@@ -1,0 +1,83 @@
+//===- Harness.h - Shared benchmark-harness utilities -----------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common driver code for the table/figure reproduction binaries: generate
+/// a profile's module, run an optimization pipeline per function, validate
+/// each transformed function under a rule configuration, and aggregate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_BENCH_HARNESS_H
+#define LLVMMD_BENCH_HARNESS_H
+
+#include "ir/Cloning.h"
+#include "ir/Module.h"
+#include "opt/Pass.h"
+#include "validator/Validator.h"
+#include "workload/Generator.h"
+#include "workload/Profiles.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace llvmmd {
+namespace bench {
+
+struct RunStats {
+  unsigned Functions = 0;
+  unsigned Transformed = 0;
+  unsigned Validated = 0;
+  uint64_t Microseconds = 0;
+  uint64_t Rewrites = 0;
+  uint64_t GraphNodes = 0;
+
+  double rate() const {
+    return Transformed ? 100.0 * Validated / Transformed : 100.0;
+  }
+};
+
+/// Optimizes every function of \p Profile's module with \p Pipeline and
+/// validates each transformed function under \p Rules.
+inline RunStats runProfile(const BenchmarkProfile &Profile,
+                           const std::string &Pipeline, unsigned RuleMask) {
+  Context Ctx;
+  auto Orig = generateBenchmark(Ctx, Profile);
+  auto Opt = cloneModule(*Orig);
+  PassManager PM;
+  bool OK = PM.parsePipeline(Pipeline);
+  (void)OK;
+  assert(OK && "bad pipeline");
+
+  RuleConfig Rules;
+  Rules.Mask = RuleMask;
+  Rules.M = Orig.get();
+
+  RunStats S;
+  for (Function *FO : Opt->definedFunctions()) {
+    ++S.Functions;
+    if (!PM.run(*FO))
+      continue;
+    ++S.Transformed;
+    const Function *FI = Orig->getFunction(FO->getName());
+    ValidationResult R = validatePair(*FI, *FO, Rules);
+    S.Validated += R.Validated;
+    S.Microseconds += R.Microseconds;
+    S.Rewrites += R.Rewrites;
+    S.GraphNodes += R.GraphNodes;
+  }
+  return S;
+}
+
+inline void printHeader(const char *Title) {
+  std::printf("\n=== %s ===\n", Title);
+}
+
+} // namespace bench
+} // namespace llvmmd
+
+#endif // LLVMMD_BENCH_HARNESS_H

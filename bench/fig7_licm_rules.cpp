@@ -1,0 +1,34 @@
+//===- fig7_licm_rules.cpp - Reproduces Figure 7: LICM rule ablation ---------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+// Validation rate of LICM alone with (a) no rewrite rules, (b) all of the
+// paper's rules. Expected shape: the no-rule baseline is already around
+// 75-80% (hoisted pure expressions produce the same referentially
+// transparent graph), all rules improve it only slightly, and the residual
+// failures are LLVM's libc knowledge (hoisting strlen out of loops). The
+// third column enables the Libc extension rule set and shows those alarms
+// closing — the fix the paper's conclusion predicts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace llvmmd;
+using namespace llvmmd::bench;
+
+int main() {
+  printHeader("Figure 7: effect of rewrite rules on LICM validation");
+  std::printf("%-12s %12s %12s %12s\n", "program", "no-rules", "all-rules",
+              "+libc(ext)");
+  for (const BenchmarkProfile &P : getPaperSuite()) {
+    RunStats None = runProfile(P, "licm", RS_None);
+    RunStats All = runProfile(P, "licm", RS_Paper);
+    RunStats Libc = runProfile(P, "licm", RS_Paper | RS_Libc);
+    std::printf("%-12s %11.1f%% %11.1f%% %11.1f%%\n", P.Name.c_str(),
+                None.rate(), All.rate(), Libc.rate());
+  }
+  std::printf("\n(paper: baseline ~75-80%% with no rules; all rules only "
+              "slightly better; libc knowledge is the residual gap)\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+//===- rule_effectiveness.cpp - §5.3-style per-rule analysis -------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+// The paper's §5.3 analyses which rewrite rules matter. This harness runs
+// the full pipeline over the whole suite and reports how often each
+// individual rule fired during validation — the "work done by the
+// validator is proportional to the work done by the optimizer" picture,
+// broken down by rule.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "normalize/Normalizer.h"
+#include "vg/GraphBuilder.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace llvmmd;
+using namespace llvmmd::bench;
+
+int main() {
+  std::map<std::string, uint64_t> Fires;
+  uint64_t Pairs = 0, Validated = 0, TotalRewrites = 0;
+
+  for (const BenchmarkProfile &P : getPaperSuite()) {
+    Context Ctx;
+    auto Orig = generateBenchmark(Ctx, P);
+    auto Opt = cloneModule(*Orig);
+    PassManager PM;
+    PM.parsePipeline(getPaperPipeline());
+    RuleConfig Rules;
+    Rules.Mask = RS_All;
+    Rules.M = Orig.get();
+
+    for (Function *FO : Opt->definedFunctions()) {
+      if (!PM.run(*FO))
+        continue;
+      const Function *FI = Orig->getFunction(FO->getName());
+      ValueGraph G;
+      BuildResult A = buildValueGraph(G, *FI);
+      BuildResult B = buildValueGraph(G, *FO);
+      if (!A.Supported || !B.Supported)
+        continue;
+      ++Pairs;
+      NormalizeStats S = normalizeGraph(G, {A.Ret, B.Ret}, Rules);
+      TotalRewrites += S.Rewrites;
+      Validated += G.find(A.Ret) == G.find(B.Ret);
+      for (const auto &[Rule, N] : S.RuleFires)
+        Fires[Rule] += N;
+    }
+  }
+
+  printHeader("Rule effectiveness across the full pipeline (all rules on)");
+  std::printf("%-28s %12s %9s\n", "rule", "fires", "share");
+  std::vector<std::pair<std::string, uint64_t>> Sorted(Fires.begin(),
+                                                       Fires.end());
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const auto &X, const auto &Y) { return X.second > Y.second; });
+  for (const auto &[Rule, N] : Sorted)
+    std::printf("%-28s %12llu %8.1f%%\n", Rule.c_str(),
+                static_cast<unsigned long long>(N),
+                TotalRewrites ? 100.0 * N / TotalRewrites : 0.0);
+  std::printf("\n%llu pairs, %llu validated (%.1f%%), %llu rewrites total "
+              "(%.1f per pair)\n",
+              static_cast<unsigned long long>(Pairs),
+              static_cast<unsigned long long>(Validated),
+              Pairs ? 100.0 * Validated / Pairs : 0.0,
+              static_cast<unsigned long long>(TotalRewrites),
+              Pairs ? static_cast<double>(TotalRewrites) / Pairs : 0.0);
+  std::printf("(the paper §4.1: a few dozen rewrites per function suffice "
+              "even for large functions)\n");
+  return 0;
+}

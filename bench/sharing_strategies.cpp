@@ -1,0 +1,77 @@
+//===- sharing_strategies.cpp - §5.4 ablation: sharing maximization ----------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+// The paper compares its simple parallel-unification algorithm against a
+// Hopcroft-style partitioning algorithm with backtracking unification, and
+// reports that they validate roughly the same fraction, while running the
+// simple algorithm first and falling back to partitioning does slightly
+// better than either alone. This harness reproduces that comparison on the
+// GVN + loop-unswitch workload (the ones that stress cycle matching).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace llvmmd;
+using namespace llvmmd::bench;
+
+namespace {
+
+RunStats runWithStrategy(const BenchmarkProfile &Profile,
+                         SharingStrategy Strategy) {
+  Context Ctx;
+  auto Orig = generateBenchmark(Ctx, Profile);
+  auto Opt = cloneModule(*Orig);
+  PassManager PM;
+  PM.parsePipeline("gvn,loop-unswitch");
+  RuleConfig Rules;
+  Rules.Mask = RS_Paper;
+  Rules.M = Orig.get();
+  Rules.Strategy = Strategy;
+
+  RunStats S;
+  for (Function *FO : Opt->definedFunctions()) {
+    ++S.Functions;
+    if (!PM.run(*FO))
+      continue;
+    ++S.Transformed;
+    ValidationResult R =
+        validatePair(*Orig->getFunction(FO->getName()), *FO, Rules);
+    S.Validated += R.Validated;
+    S.Microseconds += R.Microseconds;
+  }
+  return S;
+}
+
+} // namespace
+
+int main() {
+  printHeader("§5.4: sharing maximization strategies (gvn,loop-unswitch)");
+  std::printf("%-12s | %9s %9s | %9s %9s | %9s %9s\n", "program", "simple",
+              "time", "partition", "time", "combined", "time");
+  unsigned T[3] = {0, 0, 0}, V[3] = {0, 0, 0};
+  for (const BenchmarkProfile &P : getPaperSuite()) {
+    RunStats A = runWithStrategy(P, SharingStrategy::Simple);
+    RunStats B = runWithStrategy(P, SharingStrategy::Partition);
+    RunStats C = runWithStrategy(P, SharingStrategy::Combined);
+    T[0] += A.Transformed;
+    V[0] += A.Validated;
+    T[1] += B.Transformed;
+    V[1] += B.Validated;
+    T[2] += C.Transformed;
+    V[2] += C.Validated;
+    std::printf("%-12s | %8.1f%% %7.1fms | %8.1f%% %7.1fms | %8.1f%% "
+                "%7.1fms\n",
+                P.Name.c_str(), A.rate(), A.Microseconds / 1000.0, B.rate(),
+                B.Microseconds / 1000.0, C.rate(), C.Microseconds / 1000.0);
+  }
+  auto Pct = [](unsigned V2, unsigned T2) {
+    return T2 ? 100.0 * V2 / T2 : 100.0;
+  };
+  std::printf("%-12s | %8.1f%%           | %8.1f%%           | %8.1f%%\n",
+              "OVERALL", Pct(V[0], T[0]), Pct(V[1], T[1]), Pct(V[2], T[2]));
+  std::printf("\n(paper: both algorithms give roughly the same rate; the "
+              "combination performs slightly better)\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+//===- llvm_md_tool.cpp - The paper's validated optimizer, as a tool ----------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+// The §2 pseudocode as a command-line program: read an IR file, run the
+// optimization pipeline, validate every function, revert the ones that do
+// not check out, and print the certified module plus a report.
+//
+//   $ ./llvm_md_tool input.ll [pipeline] [--all-rules]
+//
+// With no input file, a demo module is used. The default pipeline is the
+// paper's: adce,gvn,sccp,licm,loop-deletion,loop-unswitch,dse.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "opt/Pass.h"
+#include "validator/LLVMMD.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace llvmmd;
+
+static const char *DemoModule = R"(
+@counter = global i32 0
+declare i64 @strlen(ptr) readonly
+
+define i32 @fold_me(i32 %a) {
+entry:
+  %two = add i32 1, 1
+  %four = mul i32 %two, 2
+  %r = add i32 %a, %four
+  ret i32 %r
+}
+
+define i32 @hoist_me(i32 %n, ptr %s) {
+entry:
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %b ]
+  %acc = phi i32 [ 0, %entry ], [ %a2, %b ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %b, label %x
+b:
+  %len = call i64 @strlen(ptr %s)
+  %l = trunc i64 %len to i32
+  %a2 = add i32 %acc, %l
+  store i32 %a2, ptr @counter
+  %i2 = add i32 %i, 1
+  br label %h
+x:
+  ret i32 %acc
+}
+)";
+
+int main(int argc, char **argv) {
+  std::string Text = DemoModule;
+  std::string Pipeline = getPaperPipeline();
+  bool AllRules = false;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--all-rules") == 0) {
+      AllRules = true;
+    } else if (std::strchr(argv[I], ',') || createPass(argv[I])) {
+      Pipeline = argv[I];
+    } else {
+      std::ifstream In(argv[I]);
+      if (!In) {
+        std::fprintf(stderr, "error: cannot open %s\n", argv[I]);
+        return 1;
+      }
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      Text = SS.str();
+    }
+  }
+
+  Context Ctx;
+  ParseResult PR = parseModule(Ctx, Text, "input");
+  if (!PR) {
+    std::fprintf(stderr, "parse error: %s\n", PR.Error.c_str());
+    return 1;
+  }
+
+  PassManager PM;
+  if (!PM.parsePipeline(Pipeline)) {
+    std::fprintf(stderr, "error: bad pipeline '%s'\n", Pipeline.c_str());
+    return 1;
+  }
+
+  RuleConfig Rules;
+  Rules.M = PR.M.get();
+  if (AllRules)
+    Rules.Mask = RS_All;
+
+  LLVMMDReport Report;
+  std::unique_ptr<Module> Out = runLLVMMD(*PR.M, PM, Rules, Report);
+
+  std::printf("; llvm-md: pipeline '%s', rules %s\n", Pipeline.c_str(),
+              AllRules ? "all (incl. libc/float/global extensions)"
+                       : "paper defaults");
+  for (const FunctionReport &FR : Report.Functions) {
+    if (!FR.Transformed)
+      std::printf(";   %-20s unchanged\n", FR.Name.c_str());
+    else if (FR.Validated)
+      std::printf(";   %-20s optimized & VALIDATED (%llu rewrites)\n",
+                  FR.Name.c_str(),
+                  static_cast<unsigned long long>(FR.Result.Rewrites));
+    else
+      std::printf(";   %-20s REVERTED (%s)\n", FR.Name.c_str(),
+                  FR.Result.Reason.empty() ? "alarm"
+                                           : FR.Result.Reason.c_str());
+  }
+  std::printf(";   validation rate: %.0f%%  (%.2f ms)\n\n",
+              100.0 * Report.validationRate(),
+              Report.TotalMicroseconds / 1000.0);
+  std::printf("%s", printModule(*Out).c_str());
+  return 0;
+}

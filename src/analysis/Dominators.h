@@ -1,0 +1,68 @@
+//===- Dominators.h - Dominator tree ----------------------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree built with the Cooper-Harvey-Kennedy iterative algorithm
+/// over reverse post-order, with DFS interval numbering for O(1) dominance
+/// queries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_ANALYSIS_DOMINATORS_H
+#define LLVMMD_ANALYSIS_DOMINATORS_H
+
+#include <map>
+#include <vector>
+
+namespace llvmmd {
+
+class BasicBlock;
+class Function;
+
+class DominatorTree {
+public:
+  explicit DominatorTree(const Function &F);
+
+  bool isReachable(const BasicBlock *BB) const {
+    return Index.count(const_cast<BasicBlock *>(BB)) != 0;
+  }
+
+  /// Immediate dominator; null for the entry block and unreachable blocks.
+  BasicBlock *getIDom(const BasicBlock *BB) const;
+
+  /// Reflexive dominance: every block dominates itself.
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+  bool properlyDominates(const BasicBlock *A, const BasicBlock *B) const {
+    return A != B && dominates(A, B);
+  }
+
+  /// Children of \p BB in the dominator tree.
+  const std::vector<BasicBlock *> &getChildren(const BasicBlock *BB) const;
+
+  /// Reachable blocks in reverse post-order (entry first).
+  const std::vector<BasicBlock *> &getRPO() const { return RPO; }
+
+  /// Blocks in a preorder walk of the dominator tree (entry first); visiting
+  /// in this order guarantees idom-before-block.
+  std::vector<BasicBlock *> preorder() const;
+
+private:
+  struct NodeInfo {
+    BasicBlock *IDom = nullptr;
+    std::vector<BasicBlock *> Children;
+    unsigned DFSIn = 0;
+    unsigned DFSOut = 0;
+  };
+
+  std::vector<BasicBlock *> RPO;
+  std::map<BasicBlock *, unsigned> Index; // block -> RPO index
+  std::map<const BasicBlock *, NodeInfo> Nodes;
+  static const std::vector<BasicBlock *> Empty;
+};
+
+} // namespace llvmmd
+
+#endif // LLVMMD_ANALYSIS_DOMINATORS_H

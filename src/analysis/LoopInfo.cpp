@@ -1,0 +1,137 @@
+//===- LoopInfo.cpp - Natural loop detection ----------------------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include "analysis/Dominators.h"
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace llvmmd;
+
+LoopInfo::LoopInfo(const Function &F, const DominatorTree &DT) {
+  (void)F; // the CFG is reached through the dominator tree's RPO
+  const std::vector<BasicBlock *> &RPO = DT.getRPO();
+  std::map<BasicBlock *, unsigned> RPOIndex;
+  for (unsigned I = 0, E = RPO.size(); I != E; ++I)
+    RPOIndex[RPO[I]] = I;
+
+  // Collect back edges; detect irreducibility: a retreating edge (target
+  // earlier in RPO) whose target does not dominate the source.
+  std::map<BasicBlock *, std::vector<BasicBlock *>> BackEdges;
+  for (BasicBlock *BB : RPO) {
+    for (BasicBlock *Succ : BB->successors()) {
+      auto It = RPOIndex.find(Succ);
+      if (It == RPOIndex.end())
+        continue;
+      if (It->second <= RPOIndex[BB]) {
+        if (DT.dominates(Succ, BB))
+          BackEdges[Succ].push_back(BB);
+        else
+          Irreducible = true;
+      }
+    }
+  }
+  if (Irreducible)
+    return;
+
+  // Build a loop per header; blocks = header + backward closure of latches.
+  for (auto &[Header, Latches] : BackEdges) {
+    auto L = std::make_unique<Loop>();
+    L->Header = Header;
+    L->Latches = Latches;
+    L->Blocks.insert(Header);
+    std::vector<BasicBlock *> Work(Latches.begin(), Latches.end());
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
+      if (!L->Blocks.insert(BB).second)
+        continue;
+      for (BasicBlock *Pred : BB->predecessors())
+        if (DT.isReachable(Pred) && Pred != Header)
+          Work.push_back(Pred);
+    }
+    Loops.push_back(std::move(L));
+  }
+
+  // Nesting: loop A is inside loop B iff B contains A's header and A != B.
+  // Sort by block count so parents (larger) are matched after children.
+  std::vector<Loop *> BydSize;
+  for (auto &L : Loops)
+    BydSize.push_back(L.get());
+  std::sort(BydSize.begin(), BydSize.end(), [](Loop *A, Loop *B) {
+    return A->Blocks.size() < B->Blocks.size();
+  });
+  for (unsigned I = 0, E = BydSize.size(); I != E; ++I) {
+    Loop *Inner = BydSize[I];
+    for (unsigned J = I + 1; J != E; ++J) {
+      Loop *Outer = BydSize[J];
+      if (Outer->contains(Inner->Header) && Outer != Inner) {
+        Inner->Parent = Outer;
+        Outer->SubLoops.push_back(Inner);
+        break;
+      }
+    }
+  }
+  for (auto &L : Loops)
+    if (!L->Parent)
+      TopLevel.push_back(L.get());
+
+  // Innermost-loop map: assign smaller loops first, never overwrite.
+  for (Loop *L : BydSize)
+    for (BasicBlock *BB : L->Blocks)
+      BlockMap.try_emplace(BB, L);
+
+  // Preheaders, entering blocks, exits.
+  for (auto &L : Loops) {
+    for (BasicBlock *Pred : L->Header->predecessors()) {
+      if (!DT.isReachable(Pred) || L->contains(Pred))
+        continue;
+      L->Entering.push_back(Pred);
+    }
+    if (L->Entering.size() == 1 &&
+        L->Entering.front()->successors().size() == 1)
+      L->Preheader = L->Entering.front();
+
+    std::set<BasicBlock *> ExitSet;
+    for (BasicBlock *BB : L->Blocks) {
+      bool IsExiting = false;
+      for (BasicBlock *Succ : BB->successors()) {
+        if (!L->contains(Succ)) {
+          IsExiting = true;
+          ExitSet.insert(Succ);
+        }
+      }
+      if (IsExiting)
+        L->Exiting.push_back(BB);
+    }
+    L->Exits.assign(ExitSet.begin(), ExitSet.end());
+  }
+}
+
+std::vector<Loop *> LoopInfo::getLoopsInnermostFirst() const {
+  std::vector<Loop *> Out;
+  // Post-order over the loop forest.
+  struct Frame {
+    Loop *L;
+    size_t Next = 0;
+  };
+  std::vector<Frame> Stack;
+  for (Loop *Top : TopLevel) {
+    Stack.push_back({Top, 0});
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      if (F.Next < F.L->getSubLoops().size()) {
+        Stack.push_back({F.L->getSubLoops()[F.Next++], 0});
+        continue;
+      }
+      Out.push_back(F.L);
+      Stack.pop_back();
+    }
+  }
+  return Out;
+}

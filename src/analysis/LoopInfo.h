@@ -1,0 +1,117 @@
+//===- LoopInfo.h - Natural loop detection ----------------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural loop discovery from back edges (edges whose target dominates
+/// their source). Loops carry their header, blocks, latches, preheader (if
+/// unique), exiting edges, and nesting. Functions whose CFG contains a
+/// retreating edge that is not a back edge are flagged irreducible; the
+/// Gated SSA front-end rejects those, matching the paper (§5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_ANALYSIS_LOOPINFO_H
+#define LLVMMD_ANALYSIS_LOOPINFO_H
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace llvmmd {
+
+class BasicBlock;
+class DominatorTree;
+class Function;
+
+class Loop {
+public:
+  BasicBlock *getHeader() const { return Header; }
+  Loop *getParent() const { return Parent; }
+  const std::vector<Loop *> &getSubLoops() const { return SubLoops; }
+  const std::set<BasicBlock *> &getBlocks() const { return Blocks; }
+  bool contains(const BasicBlock *BB) const {
+    return Blocks.count(const_cast<BasicBlock *>(BB)) != 0;
+  }
+  unsigned getDepth() const {
+    unsigned D = 1;
+    for (const Loop *L = Parent; L; L = L->getParent())
+      ++D;
+    return D;
+  }
+
+  /// Blocks inside the loop with a back edge to the header.
+  const std::vector<BasicBlock *> &getLatches() const { return Latches; }
+
+  /// The unique out-of-loop predecessor of the header whose only successor
+  /// is the header, or null if there is none.
+  BasicBlock *getPreheader() const { return Preheader; }
+
+  /// Loop-entering predecessors of the header (outside the loop).
+  const std::vector<BasicBlock *> &getEntering() const { return Entering; }
+
+  /// In-loop blocks with a successor outside the loop.
+  const std::vector<BasicBlock *> &getExitingBlocks() const {
+    return Exiting;
+  }
+  /// Out-of-loop successors of exiting blocks (deduplicated).
+  const std::vector<BasicBlock *> &getExitBlocks() const { return Exits; }
+
+  /// Registers a freshly created block (e.g. a preheader) as a member of
+  /// this loop and all enclosing loops, keeping membership queries correct
+  /// for transformations that run after the block was inserted.
+  void addBlock(BasicBlock *BB) {
+    for (Loop *L = this; L; L = L->Parent)
+      L->Blocks.insert(BB);
+  }
+
+private:
+  friend class LoopInfo;
+  BasicBlock *Header = nullptr;
+  Loop *Parent = nullptr;
+  std::vector<Loop *> SubLoops;
+  std::set<BasicBlock *> Blocks;
+  std::vector<BasicBlock *> Latches;
+  BasicBlock *Preheader = nullptr;
+  std::vector<BasicBlock *> Entering;
+  std::vector<BasicBlock *> Exiting;
+  std::vector<BasicBlock *> Exits;
+};
+
+class LoopInfo {
+public:
+  LoopInfo(const Function &F, const DominatorTree &DT);
+
+  /// Innermost loop containing \p BB, or null.
+  Loop *getLoopFor(const BasicBlock *BB) const {
+    auto It = BlockMap.find(const_cast<BasicBlock *>(BB));
+    return It == BlockMap.end() ? nullptr : It->second;
+  }
+
+  bool isLoopHeader(const BasicBlock *BB) const {
+    Loop *L = getLoopFor(BB);
+    return L && L->getHeader() == BB;
+  }
+
+  /// Top-level loops (not contained in any other loop).
+  const std::vector<Loop *> &getTopLevelLoops() const { return TopLevel; }
+
+  /// All loops, innermost first.
+  std::vector<Loop *> getLoopsInnermostFirst() const;
+
+  /// True if a retreating edge that is not a back edge was found.
+  bool isIrreducible() const { return Irreducible; }
+
+private:
+  std::vector<std::unique_ptr<Loop>> Loops;
+  std::vector<Loop *> TopLevel;
+  std::map<BasicBlock *, Loop *> BlockMap;
+  bool Irreducible = false;
+};
+
+} // namespace llvmmd
+
+#endif // LLVMMD_ANALYSIS_LOOPINFO_H

@@ -1,0 +1,220 @@
+//===- Cloning.cpp - Function, block and module cloning --------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Cloning.h"
+
+#include "ir/Module.h"
+
+using namespace llvmmd;
+
+Instruction *llvmmd::cloneInstruction(const Instruction *I) {
+  switch (I->getOpcode()) {
+  case Opcode::ICmp: {
+    const auto *C = cast<ICmpInst>(I);
+    return new ICmpInst(C->getPred(), C->getLHS(), C->getRHS(), C->getType());
+  }
+  case Opcode::FCmp: {
+    const auto *C = cast<FCmpInst>(I);
+    return new FCmpInst(C->getPred(), C->getLHS(), C->getRHS(), C->getType());
+  }
+  case Opcode::Trunc:
+  case Opcode::ZExt:
+  case Opcode::SExt: {
+    const auto *C = cast<CastInst>(I);
+    return new CastInst(C->getOpcode(), C->getSrc(), C->getType());
+  }
+  case Opcode::Select: {
+    const auto *S = cast<SelectInst>(I);
+    return new SelectInst(S->getCondition(), S->getTrueValue(),
+                          S->getFalseValue());
+  }
+  case Opcode::Alloca: {
+    const auto *A = cast<AllocaInst>(I);
+    return new AllocaInst(A->getAllocatedType(), A->getCount(), A->getType());
+  }
+  case Opcode::Load: {
+    const auto *L = cast<LoadInst>(I);
+    return new LoadInst(L->getType(), L->getPointer());
+  }
+  case Opcode::Store: {
+    const auto *S = cast<StoreInst>(I);
+    return new StoreInst(S->getStoredValue(), S->getPointer(), S->getType());
+  }
+  case Opcode::GEP: {
+    const auto *G = cast<GEPInst>(I);
+    return new GEPInst(G->getElementType(), G->getBase(), G->getIndex(),
+                       G->getType());
+  }
+  case Opcode::Call: {
+    const auto *C = cast<CallInst>(I);
+    std::vector<Value *> Args;
+    for (unsigned A = 0, E = C->getNumArgs(); A != E; ++A)
+      Args.push_back(C->getArg(A));
+    return new CallInst(C->getCallee(), std::move(Args), C->getType());
+  }
+  case Opcode::Phi: {
+    const auto *P = cast<PhiNode>(I);
+    auto *NP = new PhiNode(P->getType());
+    for (unsigned K = 0, E = P->getNumIncoming(); K != E; ++K)
+      NP->addIncoming(P->getIncomingValue(K), P->getIncomingBlock(K));
+    return NP;
+  }
+  case Opcode::Br: {
+    const auto *B = cast<BranchInst>(I);
+    if (B->isConditional())
+      return new BranchInst(B->getCondition(), B->getSuccessor(0),
+                            B->getSuccessor(1), B->getType());
+    return new BranchInst(B->getSuccessor(0), B->getType());
+  }
+  case Opcode::Ret: {
+    const auto *R = cast<ReturnInst>(I);
+    return new ReturnInst(R->getReturnValue(), R->getType());
+  }
+  case Opcode::Unreachable:
+    return new UnreachableInst(I->getType());
+  default:
+    assert(I->isBinaryOp() && "unhandled opcode in cloneInstruction");
+    return new BinaryOperator(I->getOpcode(), I->getOperand(0),
+                              I->getOperand(1));
+  }
+}
+
+void llvmmd::cloneFunctionBody(const Function &Src, Function &Dst,
+                               std::map<const Value *, Value *> &VMap) {
+  assert(Dst.getNumBlocks() == 0 && "destination already has a body");
+  for (unsigned I = 0, E = Src.getNumArgs(); I != E; ++I) {
+    VMap[Src.getArg(I)] = Dst.getArg(I);
+    Dst.getArg(I)->setName(Src.getArg(I)->getName());
+  }
+  std::map<const BasicBlock *, BasicBlock *> BMap;
+  for (const auto &BB : Src.blocks())
+    BMap[BB.get()] = Dst.createBlock(BB->getName());
+
+  auto MapValue = [&](Value *V) -> Value * {
+    auto It = VMap.find(V);
+    return It == VMap.end() ? V : It->second;
+  };
+
+  for (const auto &BB : Src.blocks()) {
+    BasicBlock *NewBB = BMap[BB.get()];
+    for (const Instruction *I : *BB) {
+      Instruction *NI = cloneInstruction(I);
+      NI->setName(I->getName());
+      NewBB->append(NI);
+      VMap[I] = NI;
+    }
+  }
+
+  // Remap operands, phi blocks and branch successors.
+  for (const auto &BB : Src.blocks()) {
+    BasicBlock *NewBB = BMap[BB.get()];
+    for (Instruction *NI : *NewBB) {
+      for (unsigned OpI = 0, E = NI->getNumOperands(); OpI != E; ++OpI)
+        NI->setOperand(OpI, MapValue(NI->getOperand(OpI)));
+      if (auto *P = dyn_cast<PhiNode>(NI)) {
+        for (unsigned K = 0, E = P->getNumIncoming(); K != E; ++K) {
+          auto It = BMap.find(P->getIncomingBlock(K));
+          assert(It != BMap.end() && "phi references unknown block");
+          P->setIncomingBlock(K, It->second);
+        }
+      } else if (auto *Br = dyn_cast<BranchInst>(NI)) {
+        for (unsigned SuccI = 0, E = Br->getNumSuccessors(); SuccI != E;
+             ++SuccI) {
+          auto It = BMap.find(Br->getSuccessor(SuccI));
+          assert(It != BMap.end() && "branch references unknown block");
+          Br->setSuccessor(SuccI, It->second);
+        }
+      }
+    }
+  }
+}
+
+std::vector<BasicBlock *>
+llvmmd::cloneBlocks(Function &F, const std::vector<BasicBlock *> &Blocks,
+                    std::map<const Value *, Value *> &VMap,
+                    std::map<const BasicBlock *, BasicBlock *> &BMap,
+                    const std::string &Suffix) {
+  std::vector<BasicBlock *> NewBlocks;
+  for (BasicBlock *BB : Blocks) {
+    BasicBlock *NewBB = F.createBlock(BB->getName() + Suffix);
+    BMap[BB] = NewBB;
+    NewBlocks.push_back(NewBB);
+  }
+  for (BasicBlock *BB : Blocks) {
+    BasicBlock *NewBB = BMap[BB];
+    for (const Instruction *I : *BB) {
+      Instruction *NI = cloneInstruction(I);
+      if (I->hasName())
+        NI->setName(I->getName() + Suffix);
+      NewBB->append(NI);
+      VMap[I] = NI;
+    }
+  }
+  auto MapValue = [&](Value *V) -> Value * {
+    auto It = VMap.find(V);
+    return It == VMap.end() ? V : It->second;
+  };
+  for (BasicBlock *NewBB : NewBlocks) {
+    for (Instruction *NI : *NewBB) {
+      for (unsigned OpI = 0, E = NI->getNumOperands(); OpI != E; ++OpI)
+        NI->setOperand(OpI, MapValue(NI->getOperand(OpI)));
+      if (auto *P = dyn_cast<PhiNode>(NI)) {
+        for (unsigned K = 0, E = P->getNumIncoming(); K != E; ++K) {
+          auto It = BMap.find(P->getIncomingBlock(K));
+          if (It != BMap.end())
+            P->setIncomingBlock(K, It->second);
+        }
+      } else if (auto *Br = dyn_cast<BranchInst>(NI)) {
+        for (unsigned SuccI = 0, E = Br->getNumSuccessors(); SuccI != E;
+             ++SuccI) {
+          auto It = BMap.find(Br->getSuccessor(SuccI));
+          if (It != BMap.end())
+            Br->setSuccessor(SuccI, It->second);
+        }
+      }
+    }
+  }
+  return NewBlocks;
+}
+
+std::unique_ptr<Module> llvmmd::cloneModule(const Module &M) {
+  auto New = std::make_unique<Module>(M.getContext(), M.getName());
+  std::map<const Value *, Value *> VMap;
+
+  for (const auto &G : M.globals()) {
+    GlobalVariable *NG = New->createGlobal(G->getValueType(), G->getName(),
+                                           G->getInitializer(),
+                                           G->isConstantGlobal());
+    VMap[G.get()] = NG;
+  }
+  for (const auto &F : M.functions()) {
+    Function *NF = New->createFunction(F->getFunctionType(), F->getName());
+    NF->setMemoryEffect(F->getMemoryEffect());
+    VMap[F.get()] = NF;
+  }
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    Function *NF = New->getFunction(F->getName());
+    cloneFunctionBody(*F, *NF, VMap);
+    // Remap globals and callees.
+    for (const auto &BB : NF->blocks()) {
+      for (Instruction *I : *BB) {
+        for (unsigned OpI = 0, E = I->getNumOperands(); OpI != E; ++OpI) {
+          auto It = VMap.find(I->getOperand(OpI));
+          if (It != VMap.end())
+            I->setOperand(OpI, It->second);
+        }
+        if (auto *Call = dyn_cast<CallInst>(I)) {
+          Function *NewCallee = New->getFunction(Call->getCallee()->getName());
+          assert(NewCallee && "callee not cloned");
+          Call->setCallee(NewCallee);
+        }
+      }
+    }
+  }
+  return New;
+}

@@ -1,0 +1,55 @@
+//===- Cloning.h - Function, block and module cloning -----------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cloning utilities. The llvm-md driver clones the whole module before
+/// optimizing so the validator can compare against the untouched original;
+/// loop unswitching clones loop bodies within one function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_IR_CLONING_H
+#define LLVMMD_IR_CLONING_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace llvmmd {
+
+class BasicBlock;
+class Function;
+class Instruction;
+class Module;
+class Value;
+
+/// Deep-copies \p M into a fresh module in the same Context. Globals keep
+/// their names; function bodies are cloned instruction by instruction.
+std::unique_ptr<Module> cloneModule(const Module &M);
+
+/// Clones \p Src's body into \p Dst (which must have the same signature and
+/// an empty body). \p VMap receives the old-to-new value mapping.
+void cloneFunctionBody(const Function &Src, Function &Dst,
+                       std::map<const Value *, Value *> &VMap);
+
+/// Clones \p Blocks (all in \p F) appending " \p Suffix"-named copies to
+/// \p F. Operands, phi incoming blocks and branch targets referring to
+/// cloned values/blocks are remapped; external references are left as is
+/// (the caller fixes up phi entries from predecessors outside the set).
+std::vector<BasicBlock *>
+cloneBlocks(Function &F, const std::vector<BasicBlock *> &Blocks,
+            std::map<const Value *, Value *> &VMap,
+            std::map<const BasicBlock *, BasicBlock *> &BMap,
+            const std::string &Suffix);
+
+/// Clones one instruction with identical operands (not remapped) and no
+/// parent. Phi incoming blocks and branch successors are copied verbatim.
+Instruction *cloneInstruction(const Instruction *I);
+
+} // namespace llvmmd
+
+#endif // LLVMMD_IR_CLONING_H

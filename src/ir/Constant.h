@@ -1,0 +1,158 @@
+//===- Constant.h - Constants and global variables --------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constant values: integers (interned per Context with canonical
+/// sign-extended representation), floats, the null pointer, undef, and
+/// module-owned global variables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_IR_CONSTANT_H
+#define LLVMMD_IR_CONSTANT_H
+
+#include "ir/Value.h"
+
+namespace llvmmd {
+
+/// Common base for all constants (including globals and functions, which are
+/// link-time constant addresses).
+class Constant : public Value {
+public:
+  static bool classof(const Value *V) {
+    return V->getKind() >= ValueKind::ConstantInt &&
+           V->getKind() <= ValueKind::Function;
+  }
+
+protected:
+  Constant(ValueKind Kind, Type *Ty) : Value(Kind, Ty) {}
+};
+
+/// Sign-extends the low \p Bits bits of \p V; the canonical in-memory form
+/// of an integer constant of width Bits.
+inline int64_t signExtend(int64_t V, unsigned Bits) {
+  if (Bits >= 64)
+    return V;
+  uint64_t Mask = (uint64_t(1) << Bits) - 1;
+  uint64_t Low = static_cast<uint64_t>(V) & Mask;
+  uint64_t SignBit = uint64_t(1) << (Bits - 1);
+  return static_cast<int64_t>((Low ^ SignBit) - SignBit);
+}
+
+/// Zero-extended (unsigned) view of a canonical integer constant.
+inline uint64_t zeroExtend(int64_t V, unsigned Bits) {
+  if (Bits >= 64)
+    return static_cast<uint64_t>(V);
+  return static_cast<uint64_t>(V) & ((uint64_t(1) << Bits) - 1);
+}
+
+/// An integer constant of a specific bit width. Interned: obtain via
+/// Context::getInt.
+class ConstantInt : public Constant {
+public:
+  /// The value, sign-extended to 64 bits.
+  int64_t getSExtValue() const { return Val; }
+  /// The value, zero-extended to 64 bits.
+  uint64_t getZExtValue() const { return zeroExtend(Val, getBitWidth()); }
+  unsigned getBitWidth() const { return getType()->getBitWidth(); }
+
+  bool isZero() const { return Val == 0; }
+  bool isOne() const { return Val == 1; }
+  bool isTrue() const { return getType()->isBool() && Val != 0; }
+  bool isFalse() const { return getType()->isBool() && Val == 0; }
+
+  /// True if the unsigned value is an exact power of two.
+  bool isPowerOf2() const {
+    uint64_t U = getZExtValue();
+    return U != 0 && (U & (U - 1)) == 0;
+  }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantInt;
+  }
+
+private:
+  friend class Context;
+  ConstantInt(Type *Ty, int64_t Val)
+      : Constant(ValueKind::ConstantInt, Ty), Val(Val) {}
+
+  int64_t Val;
+};
+
+/// A floating point constant (stored as double). Interned by bit pattern.
+class ConstantFP : public Constant {
+public:
+  double getValue() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantFP;
+  }
+
+private:
+  friend class Context;
+  ConstantFP(Type *Ty, double Val)
+      : Constant(ValueKind::ConstantFP, Ty), Val(Val) {}
+
+  double Val;
+};
+
+/// The null pointer constant.
+class ConstantPointerNull : public Constant {
+public:
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::ConstantPointerNull;
+  }
+
+private:
+  friend class Context;
+  explicit ConstantPointerNull(Type *PtrTy)
+      : Constant(ValueKind::ConstantPointerNull, PtrTy) {}
+};
+
+/// An undefined value of a given type.
+class UndefValue : public Constant {
+public:
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::UndefValue;
+  }
+
+private:
+  friend class Context;
+  explicit UndefValue(Type *Ty) : Constant(ValueKind::UndefValue, Ty) {}
+};
+
+/// A module-level global variable. Its value (as an operand) is the address;
+/// the pointee type and optional constant initializer live here.
+class GlobalVariable : public Constant {
+public:
+  GlobalVariable(Type *PtrTy, Type *ValueTy, std::string Name,
+                 Constant *Initializer, bool IsConstant)
+      : Constant(ValueKind::GlobalVariable, PtrTy), ValueTy(ValueTy),
+        Initializer(Initializer), IsConstant(IsConstant) {
+    setName(std::move(Name));
+  }
+
+  Type *getValueType() const { return ValueTy; }
+  Constant *getInitializer() const { return Initializer; }
+  bool hasInitializer() const { return Initializer != nullptr; }
+  /// True for `constant` globals: the memory is read-only, so loads from
+  /// them may be folded to the initializer (the paper's "folding of global
+  /// variables" rule-set knob).
+  bool isConstantGlobal() const { return IsConstant; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::GlobalVariable;
+  }
+
+private:
+  Type *ValueTy;
+  Constant *Initializer;
+  bool IsConstant;
+};
+
+} // namespace llvmmd
+
+#endif // LLVMMD_IR_CONSTANT_H

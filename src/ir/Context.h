@@ -1,0 +1,124 @@
+//===- Context.h - Type and constant interning ------------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Context owns and interns types and constants so that pointer equality is
+/// semantic equality. A single Context may back several Modules (the llvm-md
+/// driver keeps the original and the optimized module in one Context).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_IR_CONTEXT_H
+#define LLVMMD_IR_CONTEXT_H
+
+#include "ir/Constant.h"
+#include "ir/Type.h"
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace llvmmd {
+
+class Context {
+public:
+  Context()
+      : VoidTy(TypeKind::Void, 0), FloatTy(TypeKind::Float, 0),
+        PtrTy(TypeKind::Pointer, 0) {}
+  Context(const Context &) = delete;
+  Context &operator=(const Context &) = delete;
+
+  Type *getVoidTy() { return &VoidTy; }
+  Type *getFloatTy() { return &FloatTy; }
+  Type *getPtrTy() { return &PtrTy; }
+
+  Type *getIntTy(unsigned Bits) {
+    assert((Bits == 1 || Bits == 8 || Bits == 16 || Bits == 32 ||
+            Bits == 64) &&
+           "unsupported integer width");
+    auto It = IntTys.find(Bits);
+    if (It != IntTys.end())
+      return It->second.get();
+    auto *T = new Type(TypeKind::Integer, Bits);
+    IntTys.emplace(Bits, std::unique_ptr<Type>(T));
+    return T;
+  }
+
+  Type *getInt1Ty() { return getIntTy(1); }
+  Type *getInt8Ty() { return getIntTy(8); }
+  Type *getInt32Ty() { return getIntTy(32); }
+  Type *getInt64Ty() { return getIntTy(64); }
+
+  FunctionType *getFunctionTy(Type *Ret, std::vector<Type *> Params) {
+    for (auto &FT : FunctionTys)
+      if (FT->getReturnType() == Ret && FT->getParamTypes() == Params)
+        return FT.get();
+    FunctionTys.emplace_back(new FunctionType(Ret, std::move(Params)));
+    return FunctionTys.back().get();
+  }
+
+  /// Returns the interned integer constant; \p V is canonicalized by sign
+  /// extension from the type's width.
+  ConstantInt *getInt(Type *Ty, int64_t V) {
+    assert(Ty->isInteger() && "getInt requires integer type");
+    int64_t Canon = signExtend(V, Ty->getBitWidth());
+    auto Key = std::make_pair(Ty, Canon);
+    auto It = IntConsts.find(Key);
+    if (It != IntConsts.end())
+      return It->second.get();
+    auto *C = new ConstantInt(Ty, Canon);
+    IntConsts.emplace(Key, std::unique_ptr<ConstantInt>(C));
+    return C;
+  }
+
+  ConstantInt *getInt32(int64_t V) { return getInt(getInt32Ty(), V); }
+  ConstantInt *getInt64(int64_t V) { return getInt(getInt64Ty(), V); }
+  ConstantInt *getBool(bool B) { return getInt(getInt1Ty(), B ? 1 : 0); }
+  ConstantInt *getTrue() { return getBool(true); }
+  ConstantInt *getFalse() { return getBool(false); }
+
+  ConstantFP *getFloat(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    auto It = FPConsts.find(Bits);
+    if (It != FPConsts.end())
+      return It->second.get();
+    auto *C = new ConstantFP(getFloatTy(), V);
+    FPConsts.emplace(Bits, std::unique_ptr<ConstantFP>(C));
+    return C;
+  }
+
+  ConstantPointerNull *getNullPtr() {
+    if (!NullPtr)
+      NullPtr.reset(new ConstantPointerNull(getPtrTy()));
+    return NullPtr.get();
+  }
+
+  UndefValue *getUndef(Type *Ty) {
+    auto It = Undefs.find(Ty);
+    if (It != Undefs.end())
+      return It->second.get();
+    auto *U = new UndefValue(Ty);
+    Undefs.emplace(Ty, std::unique_ptr<UndefValue>(U));
+    return U;
+  }
+
+private:
+  Type VoidTy;
+  Type FloatTy;
+  Type PtrTy;
+  std::map<unsigned, std::unique_ptr<Type>> IntTys;
+  std::vector<std::unique_ptr<FunctionType>> FunctionTys;
+  std::map<std::pair<Type *, int64_t>, std::unique_ptr<ConstantInt>> IntConsts;
+  std::map<uint64_t, std::unique_ptr<ConstantFP>> FPConsts;
+  std::unique_ptr<ConstantPointerNull> NullPtr;
+  std::map<Type *, std::unique_ptr<UndefValue>> Undefs;
+};
+
+} // namespace llvmmd
+
+#endif // LLVMMD_IR_CONTEXT_H

@@ -1,0 +1,150 @@
+//===- Folding.cpp - Arithmetic constant folding helpers -------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Folding.h"
+
+#include <cmath>
+
+using namespace llvmmd;
+
+std::optional<int64_t> llvmmd::foldIntBinary(Opcode Op, int64_t A, int64_t B,
+                                             unsigned Bits) {
+  uint64_t UA = zeroExtend(A, Bits), UB = zeroExtend(B, Bits);
+  switch (Op) {
+  case Opcode::Add:
+    return signExtend(
+        static_cast<int64_t>(static_cast<uint64_t>(A) + static_cast<uint64_t>(B)),
+        Bits);
+  case Opcode::Sub:
+    return signExtend(
+        static_cast<int64_t>(static_cast<uint64_t>(A) - static_cast<uint64_t>(B)),
+        Bits);
+  case Opcode::Mul:
+    return signExtend(
+        static_cast<int64_t>(static_cast<uint64_t>(A) * static_cast<uint64_t>(B)),
+        Bits);
+  case Opcode::SDiv: {
+    if (B == 0)
+      return std::nullopt;
+    int64_t Min = signExtend(int64_t(1) << (Bits - 1), Bits);
+    if (A == Min && B == -1)
+      return std::nullopt;
+    return signExtend(A / B, Bits);
+  }
+  case Opcode::SRem: {
+    if (B == 0)
+      return std::nullopt;
+    int64_t Min = signExtend(int64_t(1) << (Bits - 1), Bits);
+    if (A == Min && B == -1)
+      return std::nullopt;
+    return signExtend(A % B, Bits);
+  }
+  case Opcode::UDiv:
+    if (UB == 0)
+      return std::nullopt;
+    return signExtend(static_cast<int64_t>(UA / UB), Bits);
+  case Opcode::URem:
+    if (UB == 0)
+      return std::nullopt;
+    return signExtend(static_cast<int64_t>(UA % UB), Bits);
+  case Opcode::Shl:
+    if (UB >= Bits)
+      return std::nullopt;
+    return signExtend(static_cast<int64_t>(UA << UB), Bits);
+  case Opcode::LShr:
+    if (UB >= Bits)
+      return std::nullopt;
+    return signExtend(static_cast<int64_t>(UA >> UB), Bits);
+  case Opcode::AShr:
+    if (UB >= Bits)
+      return std::nullopt;
+    return signExtend(A >> UB, Bits);
+  case Opcode::And:
+    return signExtend(A & B, Bits);
+  case Opcode::Or:
+    return signExtend(A | B, Bits);
+  case Opcode::Xor:
+    return signExtend(A ^ B, Bits);
+  default:
+    return std::nullopt;
+  }
+}
+
+double llvmmd::foldFloatBinary(Opcode Op, double A, double B) {
+  switch (Op) {
+  case Opcode::FAdd:
+    return A + B;
+  case Opcode::FSub:
+    return A - B;
+  case Opcode::FMul:
+    return A * B;
+  case Opcode::FDiv:
+    return A / B;
+  default:
+    assert(false && "not a float binary op");
+    return 0;
+  }
+}
+
+bool llvmmd::foldICmp(ICmpPred P, int64_t A, int64_t B, unsigned Bits) {
+  uint64_t UA = zeroExtend(A, Bits), UB = zeroExtend(B, Bits);
+  switch (P) {
+  case ICmpPred::EQ:
+    return A == B;
+  case ICmpPred::NE:
+    return A != B;
+  case ICmpPred::SLT:
+    return A < B;
+  case ICmpPred::SLE:
+    return A <= B;
+  case ICmpPred::SGT:
+    return A > B;
+  case ICmpPred::SGE:
+    return A >= B;
+  case ICmpPred::ULT:
+    return UA < UB;
+  case ICmpPred::ULE:
+    return UA <= UB;
+  case ICmpPred::UGT:
+    return UA > UB;
+  case ICmpPred::UGE:
+    return UA >= UB;
+  }
+  return false;
+}
+
+bool llvmmd::foldFCmp(FCmpPred P, double A, double B) {
+  switch (P) {
+  case FCmpPred::OEQ:
+    return A == B;
+  case FCmpPred::ONE:
+    return !(std::isnan(A) || std::isnan(B)) && A != B;
+  case FCmpPred::OLT:
+    return A < B;
+  case FCmpPred::OLE:
+    return A <= B;
+  case FCmpPred::OGT:
+    return A > B;
+  case FCmpPred::OGE:
+    return A >= B;
+  }
+  return false;
+}
+
+int64_t llvmmd::foldCast(Opcode Op, int64_t V, unsigned SrcBits,
+                         unsigned DstBits) {
+  switch (Op) {
+  case Opcode::Trunc:
+    return signExtend(V, DstBits);
+  case Opcode::ZExt:
+    return signExtend(static_cast<int64_t>(zeroExtend(V, SrcBits)), DstBits);
+  case Opcode::SExt:
+    return signExtend(V, DstBits);
+  default:
+    assert(false && "not a cast op");
+    return 0;
+  }
+}

@@ -1,0 +1,44 @@
+//===- Folding.h - Arithmetic constant folding helpers ----------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Width-aware constant evaluation of miniir operators on raw integers and
+/// doubles. Shared by the optimizer (SCCP, GVN, InstCombine) and by the
+/// value-graph normalizer's constant-folding rule set, so both sides fold
+/// identically — the property the paper's rule orientation relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_IR_FOLDING_H
+#define LLVMMD_IR_FOLDING_H
+
+#include "ir/Instruction.h"
+
+#include <optional>
+
+namespace llvmmd {
+
+/// Folds an integer binary op over canonical (sign-extended) inputs of the
+/// given width. Returns nullopt for undefined cases (division by zero,
+/// overflowing INT_MIN/-1, oversized shifts) which must not be folded.
+std::optional<int64_t> foldIntBinary(Opcode Op, int64_t A, int64_t B,
+                                     unsigned Bits);
+
+/// Folds a float binary op (always defined; IEEE semantics).
+double foldFloatBinary(Opcode Op, double A, double B);
+
+/// Evaluates an integer comparison over canonical inputs of the width.
+bool foldICmp(ICmpPred P, int64_t A, int64_t B, unsigned Bits);
+
+/// Evaluates an ordered float comparison.
+bool foldFCmp(FCmpPred P, double A, double B);
+
+/// Folds trunc/zext/sext from SrcBits to DstBits over a canonical input.
+int64_t foldCast(Opcode Op, int64_t V, unsigned SrcBits, unsigned DstBits);
+
+} // namespace llvmmd
+
+#endif // LLVMMD_IR_FOLDING_H

@@ -1,0 +1,154 @@
+//===- Function.h - Functions and declarations ------------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Function owns its arguments and basic blocks. Declarations (no body)
+/// model external functions; their attributes (readonly/readnone) are what
+/// the optimizer's "libc knowledge" consists of.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_IR_FUNCTION_H
+#define LLVMMD_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+#include "ir/Constant.h"
+#include "ir/Type.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace llvmmd {
+
+class Module;
+
+/// Side-effect attributes for declarations, mirroring LLVM's memory
+/// attributes. They drive both the optimizer (which may hoist/CSE calls)
+/// and — only when the Libc rule set is enabled — the validator.
+enum class MemoryEffect : uint8_t {
+  /// May read and write any memory (the conservative default).
+  ReadWrite,
+  /// Reads memory but never writes it (e.g. strlen).
+  ReadOnly,
+  /// Neither reads nor writes memory (e.g. abs).
+  ReadNone,
+};
+
+class Function : public Constant {
+public:
+  Function(FunctionType *FTy, std::string Name, Type *PtrTy)
+      : Constant(ValueKind::Function, PtrTy), FTy(FTy) {
+    setName(std::move(Name));
+    for (unsigned I = 0, E = FTy->getNumParams(); I != E; ++I) {
+      auto *A = new Argument(FTy->getParamType(I), I);
+      A->setName("arg" + std::to_string(I));
+      Args.emplace_back(A);
+    }
+  }
+  ~Function() override { dropBody(); }
+
+  FunctionType *getFunctionType() const { return FTy; }
+  Type *getReturnType() const { return FTy->getReturnType(); }
+
+  Module *getParent() const { return Parent; }
+  void setParent(Module *M) { Parent = M; }
+
+  unsigned getNumArgs() const { return Args.size(); }
+  Argument *getArg(unsigned I) const {
+    assert(I < Args.size() && "argument index out of range");
+    return Args[I].get();
+  }
+
+  MemoryEffect getMemoryEffect() const { return Effect; }
+  void setMemoryEffect(MemoryEffect E) { Effect = E; }
+  bool isReadOnly() const { return Effect == MemoryEffect::ReadOnly; }
+  bool isReadNone() const { return Effect == MemoryEffect::ReadNone; }
+  bool mayWriteMemory() const { return Effect == MemoryEffect::ReadWrite; }
+
+  bool isDeclaration() const { return Blocks.empty(); }
+
+  using BlockListType = std::vector<std::unique_ptr<BasicBlock>>;
+
+  BasicBlock *getEntryBlock() const {
+    assert(!Blocks.empty() && "declaration has no entry block");
+    return Blocks.front().get();
+  }
+
+  /// Appends a new block with the given name and returns it.
+  BasicBlock *createBlock(std::string Name) {
+    auto *BB = new BasicBlock(std::move(Name));
+    BB->setParent(this);
+    Blocks.emplace_back(BB);
+    return BB;
+  }
+
+  /// Unlinks and deletes \p BB. Instructions must already be use-free or
+  /// only referenced from within the erased block set (the caller is
+  /// responsible; use dropBlockReferences first when erasing cycles).
+  void eraseBlock(BasicBlock *BB) {
+    for (auto It = Blocks.begin(); It != Blocks.end(); ++It) {
+      if (It->get() != BB)
+        continue;
+      Blocks.erase(It);
+      return;
+    }
+    assert(false && "block not in function");
+  }
+
+  const BlockListType &blocks() const { return Blocks; }
+
+  /// Reorders the block list to match \p Order (a permutation of the
+  /// current blocks). The entry block is whichever comes first. Used by the
+  /// parser to restore textual block order.
+  void reorderBlocks(const std::vector<BasicBlock *> &Order) {
+    assert(Order.size() == Blocks.size() && "not a permutation");
+    BlockListType NewList;
+    for (BasicBlock *Want : Order) {
+      for (auto &Slot : Blocks) {
+        if (Slot.get() == Want) {
+          NewList.push_back(std::move(Slot));
+          break;
+        }
+      }
+    }
+    assert(NewList.size() == Blocks.size() && "block missing from order");
+    Blocks = std::move(NewList);
+  }
+
+  size_t getNumBlocks() const { return Blocks.size(); }
+
+  /// Total instruction count across all blocks.
+  size_t getInstructionCount() const {
+    size_t N = 0;
+    for (const auto &BB : Blocks)
+      N += BB->size();
+    return N;
+  }
+
+  /// Deletes all blocks (used on destruction; breaks operand cycles first).
+  void dropBody() {
+    for (auto &BB : Blocks)
+      for (Instruction *I : *BB)
+        I->dropAllReferences();
+    Blocks.clear();
+  }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Function;
+  }
+
+private:
+  FunctionType *FTy;
+  Module *Parent = nullptr;
+  std::vector<std::unique_ptr<Argument>> Args;
+  BlockListType Blocks;
+  MemoryEffect Effect = MemoryEffect::ReadWrite;
+};
+
+} // namespace llvmmd
+
+#endif // LLVMMD_IR_FUNCTION_H

@@ -1,0 +1,677 @@
+//===- Interpreter.cpp - Reference interpreter for miniir ------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interpreter.h"
+
+#include "ir/Module.h"
+
+#include <cmath>
+#include <cstring>
+
+using namespace llvmmd;
+
+namespace {
+
+/// Thrown-by-return execution signal (no C++ exceptions in this codebase).
+struct Signal {
+  ExecStatus Status = ExecStatus::OK;
+  std::string Detail;
+  bool isOK() const { return Status == ExecStatus::OK; }
+};
+
+int64_t truncToWidth(int64_t V, unsigned Bits) { return signExtend(V, Bits); }
+
+} // namespace
+
+Interpreter::Interpreter(const Module &M, uint64_t StepBudget)
+    : M(M), StepBudget(StepBudget) {
+  resetMemory();
+}
+
+void Interpreter::resetMemory() {
+  Memory.clear();
+  Globals.clear();
+  NextAddr = 0x1000;
+  for (const auto &G : M.globals()) {
+    unsigned Size = G->getValueType()->getStoreSize();
+    uint64_t Addr = allocate(Size);
+    Globals[G->getName()] = {Addr, Size};
+    if (const Constant *Init = G->getInitializer()) {
+      if (const auto *CI = dyn_cast<ConstantInt>(Init)) {
+        int64_t V = CI->getSExtValue();
+        storeBytes(Addr, &V, Size);
+      } else if (const auto *CF = dyn_cast<ConstantFP>(Init)) {
+        double D = CF->getValue();
+        storeBytes(Addr, &D, Size);
+      }
+      // null/undef initializers leave the zeroed bytes.
+    }
+  }
+  // Replay interned strings at stable addresses.
+  for (auto &[S, Bytes] : StringPool) {
+    uint64_t Addr = allocate(Bytes.size());
+    storeBytes(Addr, Bytes.data(), Bytes.size());
+    StringAddrs[S] = Addr;
+  }
+}
+
+uint64_t Interpreter::allocate(uint64_t Size) {
+  uint64_t Addr = NextAddr;
+  for (uint64_t I = 0; I < Size; ++I)
+    Memory[Addr + I] = 0;
+  NextAddr += Size + 16; // red zone between allocations
+  return Addr;
+}
+
+void Interpreter::storeBytes(uint64_t Addr, const void *Src, unsigned Size) {
+  const auto *P = static_cast<const uint8_t *>(Src);
+  for (unsigned I = 0; I < Size; ++I)
+    Memory[Addr + I] = P[I];
+}
+
+void Interpreter::loadBytes(uint64_t Addr, void *Dst, unsigned Size) const {
+  auto *P = static_cast<uint8_t *>(Dst);
+  for (unsigned I = 0; I < Size; ++I) {
+    auto It = Memory.find(Addr + I);
+    P[I] = It == Memory.end() ? 0 : It->second;
+  }
+}
+
+uint64_t Interpreter::materializeString(const std::string &S) {
+  std::vector<uint8_t> Bytes(S.begin(), S.end());
+  Bytes.push_back(0);
+  StringPool[S] = Bytes;
+  // Rebuild the initial image so the string gets its stable replay address.
+  resetMemory();
+  return StringAddrs.at(S);
+}
+
+std::map<std::string, std::vector<uint8_t>> Interpreter::globalMemory() const {
+  std::map<std::string, std::vector<uint8_t>> Out;
+  for (const auto &[Name, Region] : Globals) {
+    std::vector<uint8_t> Bytes(Region.Size);
+    loadBytes(Region.Addr, Bytes.data(), Region.Size);
+    Out[Name] = std::move(Bytes);
+  }
+  return Out;
+}
+
+namespace llvmmd {
+
+/// Executes one call frame; recursion handles nested calls.
+class FrameExec {
+public:
+  FrameExec(Interpreter &Interp, unsigned Depth)
+      : Interp(Interp), Depth(Depth) {}
+
+  Signal exec(const Function &F, const std::vector<RtValue> &Args,
+              RtValue &Ret, bool &HasRet) {
+    if (Depth > 64)
+      return {ExecStatus::Trap, "call depth exceeded"};
+    if (F.isDeclaration())
+      return execBuiltin(F, Args, Ret, HasRet);
+    if (Args.size() != F.getNumArgs())
+      return {ExecStatus::Unsupported, "argument count mismatch"};
+    for (unsigned I = 0, E = Args.size(); I != E; ++I)
+      Env[F.getArg(I)] = Args[I];
+
+    const BasicBlock *Cur = F.getEntryBlock();
+    const BasicBlock *Prev = nullptr;
+    while (true) {
+      // Parallel phi evaluation at block entry.
+      if (Prev) {
+        std::vector<std::pair<const PhiNode *, RtValue>> PhiVals;
+        for (const PhiNode *P : Cur->phis()) {
+          RtValue V;
+          Signal S = eval(P->getIncomingValueForBlock(Prev), V);
+          if (!S.isOK())
+            return S;
+          PhiVals.emplace_back(P, V);
+        }
+        for (auto &[P, V] : PhiVals)
+          Env[P] = V;
+      }
+
+      for (const Instruction *I : *Cur) {
+        if (I->isPhi())
+          continue;
+        if (++Interp.Steps > Interp.StepBudget)
+          return {ExecStatus::StepLimit, "step budget exhausted"};
+        switch (I->getOpcode()) {
+        case Opcode::Br: {
+          const auto *Br = cast<BranchInst>(I);
+          const BasicBlock *Next;
+          if (Br->isConditional()) {
+            RtValue C;
+            Signal S = eval(Br->getCondition(), C);
+            if (!S.isOK())
+              return S;
+            Next = C.Int ? Br->getSuccessor(0) : Br->getSuccessor(1);
+          } else {
+            Next = Br->getSuccessor(0);
+          }
+          Prev = Cur;
+          Cur = Next;
+          goto NextBlock;
+        }
+        case Opcode::Ret: {
+          const auto *R = cast<ReturnInst>(I);
+          HasRet = R->hasReturnValue();
+          if (HasRet) {
+            Signal S = eval(R->getReturnValue(), Ret);
+            if (!S.isOK())
+              return S;
+          }
+          return {};
+        }
+        case Opcode::Unreachable:
+          return {ExecStatus::Trap, "reached unreachable"};
+        default: {
+          Signal S = execInst(I);
+          if (!S.isOK())
+            return S;
+        }
+        }
+      }
+      return {ExecStatus::Unsupported, "block fell through"};
+    NextBlock:;
+    }
+  }
+
+private:
+  Signal eval(const Value *V, RtValue &Out) {
+    if (const auto *CI = dyn_cast<ConstantInt>(V)) {
+      Out = RtValue::makeInt(CI->getSExtValue());
+      return {};
+    }
+    if (const auto *CF = dyn_cast<ConstantFP>(V)) {
+      Out = RtValue::makeFloat(CF->getValue());
+      return {};
+    }
+    if (isa<ConstantPointerNull>(V)) {
+      Out = RtValue::makePtr(0);
+      return {};
+    }
+    if (isa<UndefValue>(V)) {
+      // Deterministic model of undef: zero.
+      if (V->getType()->isFloat())
+        Out = RtValue::makeFloat(0);
+      else if (V->getType()->isPointer())
+        Out = RtValue::makePtr(0);
+      else
+        Out = RtValue::makeInt(0);
+      return {};
+    }
+    if (const auto *G = dyn_cast<GlobalVariable>(V)) {
+      auto It = Interp.Globals.find(G->getName());
+      if (It == Interp.Globals.end())
+        return {ExecStatus::Unsupported, "unknown global"};
+      Out = RtValue::makePtr(It->second.Addr);
+      return {};
+    }
+    auto It = Env.find(V);
+    if (It == Env.end())
+      return {ExecStatus::Unsupported, "use of undefined value"};
+    Out = It->second;
+    return {};
+  }
+
+  Signal execInst(const Instruction *I) {
+    if (I->isBinaryOp())
+      return execBinary(I);
+    switch (I->getOpcode()) {
+    case Opcode::ICmp:
+      return execICmp(cast<ICmpInst>(I));
+    case Opcode::FCmp:
+      return execFCmp(cast<FCmpInst>(I));
+    case Opcode::Trunc:
+    case Opcode::ZExt:
+    case Opcode::SExt:
+      return execCast(cast<CastInst>(I));
+    case Opcode::Select: {
+      const auto *S = cast<SelectInst>(I);
+      RtValue C, T, F;
+      if (Signal Sig = eval(S->getCondition(), C); !Sig.isOK())
+        return Sig;
+      if (Signal Sig = eval(S->getTrueValue(), T); !Sig.isOK())
+        return Sig;
+      if (Signal Sig = eval(S->getFalseValue(), F); !Sig.isOK())
+        return Sig;
+      Env[I] = C.Int ? T : F;
+      return {};
+    }
+    case Opcode::Alloca: {
+      const auto *A = cast<AllocaInst>(I);
+      RtValue Count;
+      if (Signal Sig = eval(A->getCount(), Count); !Sig.isOK())
+        return Sig;
+      if (Count.Int < 0 || Count.Int > (1 << 20))
+        return {ExecStatus::Trap, "bad alloca count"};
+      uint64_t Size = static_cast<uint64_t>(Count.Int) *
+                      A->getAllocatedType()->getStoreSize();
+      Env[I] = RtValue::makePtr(Interp.allocate(Size));
+      return {};
+    }
+    case Opcode::Load: {
+      const auto *L = cast<LoadInst>(I);
+      RtValue P;
+      if (Signal Sig = eval(L->getPointer(), P); !Sig.isOK())
+        return Sig;
+      if (P.Ptr == 0)
+        return {ExecStatus::Trap, "null load"};
+      return loadValue(P.Ptr, L->getType(), Env[I]);
+    }
+    case Opcode::Store: {
+      const auto *S = cast<StoreInst>(I);
+      RtValue V, P;
+      if (Signal Sig = eval(S->getStoredValue(), V); !Sig.isOK())
+        return Sig;
+      if (Signal Sig = eval(S->getPointer(), P); !Sig.isOK())
+        return Sig;
+      if (P.Ptr == 0)
+        return {ExecStatus::Trap, "null store"};
+      return storeValue(P.Ptr, S->getStoredValue()->getType(), V);
+    }
+    case Opcode::GEP: {
+      const auto *G = cast<GEPInst>(I);
+      RtValue B, Idx;
+      if (Signal Sig = eval(G->getBase(), B); !Sig.isOK())
+        return Sig;
+      if (Signal Sig = eval(G->getIndex(), Idx); !Sig.isOK())
+        return Sig;
+      int64_t Off = Idx.Int *
+                    static_cast<int64_t>(G->getElementType()->getStoreSize());
+      Env[I] = RtValue::makePtr(B.Ptr + static_cast<uint64_t>(Off));
+      return {};
+    }
+    case Opcode::Call: {
+      const auto *C = cast<CallInst>(I);
+      std::vector<RtValue> Args;
+      for (unsigned A = 0, E = C->getNumArgs(); A != E; ++A) {
+        RtValue V;
+        if (Signal Sig = eval(C->getArg(A), V); !Sig.isOK())
+          return Sig;
+        Args.push_back(V);
+      }
+      RtValue Ret;
+      bool HasRet = false;
+      FrameExec Callee(Interp, Depth + 1);
+      Signal Sig = Callee.exec(*C->getCallee(), Args, Ret, HasRet);
+      if (!Sig.isOK())
+        return Sig;
+      if (!C->getType()->isVoid()) {
+        if (!HasRet)
+          return {ExecStatus::Unsupported, "missing return value"};
+        Env[I] = Ret;
+      }
+      return {};
+    }
+    default:
+      return {ExecStatus::Unsupported, "unhandled opcode"};
+    }
+  }
+
+  Signal execBinary(const Instruction *I) {
+    RtValue L, R;
+    if (Signal Sig = eval(I->getOperand(0), L); !Sig.isOK())
+      return Sig;
+    if (Signal Sig = eval(I->getOperand(1), R); !Sig.isOK())
+      return Sig;
+    if (isFloatBinaryOp(I->getOpcode())) {
+      double A = L.Float, B = R.Float, Res = 0;
+      switch (I->getOpcode()) {
+      case Opcode::FAdd:
+        Res = A + B;
+        break;
+      case Opcode::FSub:
+        Res = A - B;
+        break;
+      case Opcode::FMul:
+        Res = A * B;
+        break;
+      case Opcode::FDiv:
+        Res = A / B;
+        break;
+      default:
+        break;
+      }
+      Env[I] = RtValue::makeFloat(Res);
+      return {};
+    }
+    unsigned Bits = I->getType()->getBitWidth();
+    int64_t A = L.Int, B = R.Int;
+    uint64_t UA = zeroExtend(A, Bits), UB = zeroExtend(B, Bits);
+    int64_t Res = 0;
+    switch (I->getOpcode()) {
+    case Opcode::Add:
+      Res = truncToWidth(static_cast<int64_t>(
+                             static_cast<uint64_t>(A) + static_cast<uint64_t>(B)),
+                         Bits);
+      break;
+    case Opcode::Sub:
+      Res = truncToWidth(static_cast<int64_t>(
+                             static_cast<uint64_t>(A) - static_cast<uint64_t>(B)),
+                         Bits);
+      break;
+    case Opcode::Mul:
+      Res = truncToWidth(static_cast<int64_t>(
+                             static_cast<uint64_t>(A) * static_cast<uint64_t>(B)),
+                         Bits);
+      break;
+    case Opcode::SDiv: {
+      if (B == 0)
+        return {ExecStatus::Trap, "division by zero"};
+      int64_t Min = signExtend(int64_t(1) << (Bits - 1), Bits);
+      if (A == Min && B == -1)
+        return {ExecStatus::Trap, "signed division overflow"};
+      Res = truncToWidth(A / B, Bits);
+      break;
+    }
+    case Opcode::SRem: {
+      if (B == 0)
+        return {ExecStatus::Trap, "remainder by zero"};
+      int64_t Min = signExtend(int64_t(1) << (Bits - 1), Bits);
+      if (A == Min && B == -1)
+        return {ExecStatus::Trap, "signed remainder overflow"};
+      Res = truncToWidth(A % B, Bits);
+      break;
+    }
+    case Opcode::UDiv:
+      if (UB == 0)
+        return {ExecStatus::Trap, "division by zero"};
+      Res = truncToWidth(static_cast<int64_t>(UA / UB), Bits);
+      break;
+    case Opcode::URem:
+      if (UB == 0)
+        return {ExecStatus::Trap, "remainder by zero"};
+      Res = truncToWidth(static_cast<int64_t>(UA % UB), Bits);
+      break;
+    case Opcode::Shl:
+      if (UB >= Bits)
+        return {ExecStatus::Trap, "shift amount too large"};
+      Res = truncToWidth(static_cast<int64_t>(UA << UB), Bits);
+      break;
+    case Opcode::LShr:
+      if (UB >= Bits)
+        return {ExecStatus::Trap, "shift amount too large"};
+      Res = truncToWidth(static_cast<int64_t>(UA >> UB), Bits);
+      break;
+    case Opcode::AShr:
+      if (UB >= Bits)
+        return {ExecStatus::Trap, "shift amount too large"};
+      Res = truncToWidth(A >> UB, Bits);
+      break;
+    case Opcode::And:
+      Res = truncToWidth(A & B, Bits);
+      break;
+    case Opcode::Or:
+      Res = truncToWidth(A | B, Bits);
+      break;
+    case Opcode::Xor:
+      Res = truncToWidth(A ^ B, Bits);
+      break;
+    default:
+      return {ExecStatus::Unsupported, "unhandled binary opcode"};
+    }
+    Env[I] = RtValue::makeInt(Res);
+    return {};
+  }
+
+  Signal execICmp(const ICmpInst *I) {
+    RtValue L, R;
+    if (Signal Sig = eval(I->getLHS(), L); !Sig.isOK())
+      return Sig;
+    if (Signal Sig = eval(I->getRHS(), R); !Sig.isOK())
+      return Sig;
+    bool Res = false;
+    if (I->getLHS()->getType()->isPointer()) {
+      uint64_t A = L.Ptr, B = R.Ptr;
+      switch (I->getPred()) {
+      case ICmpPred::EQ:
+        Res = A == B;
+        break;
+      case ICmpPred::NE:
+        Res = A != B;
+        break;
+      default:
+        Res = false; // pointer ordering is unspecified; model as false
+        break;
+      }
+    } else {
+      unsigned Bits = I->getLHS()->getType()->getBitWidth();
+      int64_t A = L.Int, B = R.Int;
+      uint64_t UA = zeroExtend(A, Bits), UB = zeroExtend(B, Bits);
+      switch (I->getPred()) {
+      case ICmpPred::EQ:
+        Res = A == B;
+        break;
+      case ICmpPred::NE:
+        Res = A != B;
+        break;
+      case ICmpPred::SLT:
+        Res = A < B;
+        break;
+      case ICmpPred::SLE:
+        Res = A <= B;
+        break;
+      case ICmpPred::SGT:
+        Res = A > B;
+        break;
+      case ICmpPred::SGE:
+        Res = A >= B;
+        break;
+      case ICmpPred::ULT:
+        Res = UA < UB;
+        break;
+      case ICmpPred::ULE:
+        Res = UA <= UB;
+        break;
+      case ICmpPred::UGT:
+        Res = UA > UB;
+        break;
+      case ICmpPred::UGE:
+        Res = UA >= UB;
+        break;
+      }
+    }
+    Env[I] = RtValue::makeInt(Res ? 1 : 0);
+    return {};
+  }
+
+  Signal execFCmp(const FCmpInst *I) {
+    RtValue L, R;
+    if (Signal Sig = eval(I->getLHS(), L); !Sig.isOK())
+      return Sig;
+    if (Signal Sig = eval(I->getRHS(), R); !Sig.isOK())
+      return Sig;
+    double A = L.Float, B = R.Float;
+    bool Res = false;
+    switch (I->getPred()) {
+    case FCmpPred::OEQ:
+      Res = A == B;
+      break;
+    case FCmpPred::ONE:
+      Res = !(std::isnan(A) || std::isnan(B)) && A != B;
+      break;
+    case FCmpPred::OLT:
+      Res = A < B;
+      break;
+    case FCmpPred::OLE:
+      Res = A <= B;
+      break;
+    case FCmpPred::OGT:
+      Res = A > B;
+      break;
+    case FCmpPred::OGE:
+      Res = A >= B;
+      break;
+    }
+    Env[I] = RtValue::makeInt(Res ? 1 : 0);
+    return {};
+  }
+
+  Signal execCast(const CastInst *I) {
+    RtValue S;
+    if (Signal Sig = eval(I->getSrc(), S); !Sig.isOK())
+      return Sig;
+    unsigned DstBits = I->getType()->getBitWidth();
+    unsigned SrcBits = I->getSrc()->getType()->getBitWidth();
+    switch (I->getOpcode()) {
+    case Opcode::Trunc:
+      Env[I] = RtValue::makeInt(truncToWidth(S.Int, DstBits));
+      break;
+    case Opcode::ZExt:
+      Env[I] = RtValue::makeInt(
+          truncToWidth(static_cast<int64_t>(zeroExtend(S.Int, SrcBits)),
+                       DstBits));
+      break;
+    case Opcode::SExt:
+      Env[I] = RtValue::makeInt(truncToWidth(S.Int, DstBits));
+      break;
+    default:
+      return {ExecStatus::Unsupported, "unhandled cast"};
+    }
+    return {};
+  }
+
+  Signal loadValue(uint64_t Addr, Type *Ty, RtValue &Out) {
+    unsigned Size = Ty->getStoreSize();
+    if (Ty->isFloat()) {
+      double D;
+      Interp.loadBytes(Addr, &D, Size);
+      Out = RtValue::makeFloat(D);
+      return {};
+    }
+    if (Ty->isPointer()) {
+      uint64_t P;
+      Interp.loadBytes(Addr, &P, Size);
+      Out = RtValue::makePtr(P);
+      return {};
+    }
+    uint64_t Raw = 0;
+    Interp.loadBytes(Addr, &Raw, Size);
+    Out = RtValue::makeInt(signExtend(static_cast<int64_t>(Raw),
+                                      Ty->getBitWidth()));
+    return {};
+  }
+
+  Signal storeValue(uint64_t Addr, Type *Ty, const RtValue &V) {
+    unsigned Size = Ty->getStoreSize();
+    if (Ty->isFloat()) {
+      Interp.storeBytes(Addr, &V.Float, Size);
+      return {};
+    }
+    if (Ty->isPointer()) {
+      Interp.storeBytes(Addr, &V.Ptr, Size);
+      return {};
+    }
+    uint64_t Raw = zeroExtend(V.Int, Ty->getBitWidth());
+    Interp.storeBytes(Addr, &Raw, Size);
+    return {};
+  }
+
+  Signal execBuiltin(const Function &F, const std::vector<RtValue> &Args,
+                     RtValue &Ret, bool &HasRet) {
+    const std::string &Name = F.getName();
+    HasRet = !F.getReturnType()->isVoid();
+    if (Name == "strlen" && Args.size() == 1) {
+      uint64_t P = Args[0].Ptr, N = 0;
+      while (true) {
+        uint8_t B;
+        Interp.loadBytes(P + N, &B, 1);
+        if (B == 0)
+          break;
+        if (++N > (1u << 16))
+          return {ExecStatus::Trap, "unterminated string"};
+      }
+      Ret = RtValue::makeInt(static_cast<int64_t>(N));
+      return {};
+    }
+    if (Name == "memset" && Args.size() == 3) {
+      uint64_t P = Args[0].Ptr;
+      uint8_t B = static_cast<uint8_t>(Args[1].Int);
+      int64_t Len = Args[2].Int;
+      if (Len < 0 || Len > (1 << 20))
+        return {ExecStatus::Trap, "bad memset length"};
+      for (int64_t I = 0; I < Len; ++I)
+        Interp.storeBytes(P + static_cast<uint64_t>(I), &B, 1);
+      if (HasRet)
+        Ret = Args[0];
+      return {};
+    }
+    if (Name == "memcpy" && Args.size() == 3) {
+      uint64_t D = Args[0].Ptr, S = Args[1].Ptr;
+      int64_t Len = Args[2].Int;
+      if (Len < 0 || Len > (1 << 20))
+        return {ExecStatus::Trap, "bad memcpy length"};
+      for (int64_t I = 0; I < Len; ++I) {
+        uint8_t B;
+        Interp.loadBytes(S + static_cast<uint64_t>(I), &B, 1);
+        Interp.storeBytes(D + static_cast<uint64_t>(I), &B, 1);
+      }
+      if (HasRet)
+        Ret = Args[0];
+      return {};
+    }
+    if (Name == "atoi" && Args.size() == 1) {
+      uint64_t P = Args[0].Ptr;
+      int64_t V = 0;
+      bool Neg = false;
+      uint8_t B;
+      Interp.loadBytes(P, &B, 1);
+      if (B == '-') {
+        Neg = true;
+        ++P;
+        Interp.loadBytes(P, &B, 1);
+      }
+      while (B >= '0' && B <= '9') {
+        V = V * 10 + (B - '0');
+        ++P;
+        Interp.loadBytes(P, &B, 1);
+      }
+      Ret = RtValue::makeInt(signExtend(Neg ? -V : V, 32));
+      return {};
+    }
+    if (Name == "abs" && Args.size() == 1) {
+      Ret = RtValue::makeInt(Args[0].Int < 0 ? -Args[0].Int : Args[0].Int);
+      return {};
+    }
+    if (Name == "fsqrt" && Args.size() == 1) {
+      Ret = RtValue::makeFloat(std::sqrt(Args[0].Float));
+      return {};
+    }
+    if (Name == "puts" && Args.size() == 1) {
+      if (HasRet)
+        Ret = RtValue::makeInt(0);
+      return {};
+    }
+    return {ExecStatus::Trap, "unmodeled external call to " + Name};
+  }
+
+  Interpreter &Interp;
+  unsigned Depth;
+  std::map<const Value *, RtValue> Env;
+};
+
+} // namespace llvmmd
+
+ExecResult Interpreter::run(const Function &F,
+                            const std::vector<RtValue> &Args, bool Fresh) {
+  if (Fresh)
+    resetMemory();
+  Steps = 0;
+  ExecResult R;
+  FrameExec Frame(*this, 0);
+  RtValue Ret;
+  bool HasRet = false;
+  Signal S = Frame.exec(F, Args, Ret, HasRet);
+  R.Status = S.Status;
+  R.Detail = S.Detail;
+  R.HasValue = S.isOK() && HasRet;
+  if (R.HasValue)
+    R.Value = Ret;
+  return R;
+}

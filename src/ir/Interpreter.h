@@ -1,0 +1,135 @@
+//===- Interpreter.h - Reference interpreter for miniir ---------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small big-step interpreter used as the semantic oracle for
+/// differential testing: an optimizer pass (or a validated pair) is correct
+/// if original and transformed functions produce the same return value and
+/// the same final global memory on the same inputs.
+///
+/// Models the paper's guarantee precisely: termination and absence of
+/// runtime errors are *assumed*, so runs ending in a trap or over the step
+/// budget report a non-OK status and comparisons skip them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_IR_INTERPRETER_H
+#define LLVMMD_IR_INTERPRETER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace llvmmd {
+
+class Function;
+class Module;
+
+/// A runtime scalar. Pointers are 64-bit addresses in the interpreter's
+/// flat address space.
+struct RtValue {
+  enum class Kind : uint8_t { Int, Float, Ptr } K = Kind::Int;
+  int64_t Int = 0;   // canonical (sign-extended) for iN
+  double Float = 0;
+  uint64_t Ptr = 0;
+
+  static RtValue makeInt(int64_t V) {
+    RtValue R;
+    R.K = Kind::Int;
+    R.Int = V;
+    return R;
+  }
+  static RtValue makeFloat(double V) {
+    RtValue R;
+    R.K = Kind::Float;
+    R.Float = V;
+    return R;
+  }
+  static RtValue makePtr(uint64_t V) {
+    RtValue R;
+    R.K = Kind::Ptr;
+    R.Ptr = V;
+    return R;
+  }
+
+  bool operator==(const RtValue &O) const {
+    if (K != O.K)
+      return false;
+    switch (K) {
+    case Kind::Int:
+      return Int == O.Int;
+    case Kind::Float:
+      return Float == O.Float;
+    case Kind::Ptr:
+      return Ptr == O.Ptr;
+    }
+    return false;
+  }
+};
+
+enum class ExecStatus : uint8_t {
+  OK,
+  Trap,         // division by zero, null deref, unmodeled external call
+  StepLimit,    // ran out of fuel (possible non-termination)
+  Unsupported,  // malformed input
+};
+
+struct ExecResult {
+  ExecStatus Status = ExecStatus::OK;
+  bool HasValue = false;
+  RtValue Value;
+  std::string Detail;
+};
+
+/// Interprets functions of one module against a flat byte memory.
+class Interpreter {
+public:
+  /// \p StepBudget bounds total instructions executed per run.
+  explicit Interpreter(const Module &M, uint64_t StepBudget = 1u << 20);
+
+  /// Runs \p F with \p Args starting from the module's initial global
+  /// memory plus any bytes written by earlier run() calls if \p Fresh is
+  /// false (default resets memory each run).
+  ExecResult run(const Function &F, const std::vector<RtValue> &Args,
+                 bool Fresh = true);
+
+  /// Snapshot of global memory after the last run: byte content of every
+  /// global variable region, keyed by global name. This is the observable
+  /// final memory state compared in differential tests.
+  std::map<std::string, std::vector<uint8_t>> globalMemory() const;
+
+  /// Interns a NUL-terminated string in the initial memory image and
+  /// returns its (stable) address; the string survives memory resets.
+  /// Useful for feeding the modeled libc functions (strlen, atoi).
+  uint64_t materializeString(const std::string &S);
+
+private:
+  struct GlobalRegion {
+    uint64_t Addr;
+    unsigned Size;
+  };
+
+  void resetMemory();
+  uint64_t allocate(uint64_t Size);
+  void storeBytes(uint64_t Addr, const void *Src, unsigned Size);
+  void loadBytes(uint64_t Addr, void *Dst, unsigned Size) const;
+
+  const Module &M;
+  uint64_t StepBudget;
+  uint64_t Steps = 0;
+  uint64_t NextAddr = 0x1000;
+  std::map<uint64_t, uint8_t> Memory;
+  std::map<std::string, GlobalRegion> Globals;
+  std::map<std::string, std::vector<uint8_t>> StringPool;
+  std::map<std::string, uint64_t> StringAddrs;
+
+  friend class FrameExec;
+};
+
+} // namespace llvmmd
+
+#endif // LLVMMD_IR_INTERPRETER_H

@@ -1,0 +1,97 @@
+//===- Module.h - Top-level IR container ------------------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Module owns global variables and functions, and references a Context
+/// that interns types and constants. The Context must outlive the Module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_IR_MODULE_H
+#define LLVMMD_IR_MODULE_H
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace llvmmd {
+
+class Module {
+public:
+  explicit Module(Context &Ctx, std::string Name = "module")
+      : Ctx(Ctx), Name(std::move(Name)) {}
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  ~Module() {
+    // Drop function bodies before globals are destroyed: instructions hold
+    // uses of GlobalVariables, which assert being use-free on deletion.
+    for (auto &F : Functions)
+      F->dropBody();
+  }
+
+  Context &getContext() const { return Ctx; }
+  const std::string &getName() const { return Name; }
+
+  /// Creates a function (definition or declaration) owned by this module.
+  Function *createFunction(FunctionType *FTy, std::string FnName) {
+    auto *F = new Function(FTy, std::move(FnName), Ctx.getPtrTy());
+    F->setParent(this);
+    Functions.emplace_back(F);
+    return F;
+  }
+
+  Function *getFunction(const std::string &FnName) const {
+    for (const auto &F : Functions)
+      if (F->getName() == FnName)
+        return F.get();
+    return nullptr;
+  }
+
+  GlobalVariable *createGlobal(Type *ValueTy, std::string GName,
+                               Constant *Init, bool IsConstant) {
+    auto *G = new GlobalVariable(Ctx.getPtrTy(), ValueTy, std::move(GName),
+                                 Init, IsConstant);
+    Globals.emplace_back(G);
+    return G;
+  }
+
+  GlobalVariable *getGlobal(const std::string &GName) const {
+    for (const auto &G : Globals)
+      if (G->getName() == GName)
+        return G.get();
+    return nullptr;
+  }
+
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+  const std::vector<std::unique_ptr<GlobalVariable>> &globals() const {
+    return Globals;
+  }
+
+  /// Functions with bodies (the ones the validator processes).
+  std::vector<Function *> definedFunctions() const {
+    std::vector<Function *> Out;
+    for (const auto &F : Functions)
+      if (!F->isDeclaration())
+        Out.push_back(F.get());
+    return Out;
+  }
+
+private:
+  Context &Ctx;
+  std::string Name;
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<std::unique_ptr<GlobalVariable>> Globals;
+};
+
+} // namespace llvmmd
+
+#endif // LLVMMD_IR_MODULE_H

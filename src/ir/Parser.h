@@ -1,0 +1,41 @@
+//===- Parser.h - Textual IR parser ------------------------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the LLVM-flavoured textual IR produced by Printer.h. Forward
+/// references (phi back-edges, blocks defined later) are supported
+/// everywhere via a fixup pass, so block order in the text is unconstrained.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_IR_PARSER_H
+#define LLVMMD_IR_PARSER_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace llvmmd {
+
+class Context;
+class Module;
+
+/// Result of a parse: a module on success, a diagnostic on failure.
+struct ParseResult {
+  std::unique_ptr<Module> M;
+  std::string Error;
+
+  explicit operator bool() const { return M != nullptr; }
+};
+
+/// Parses a whole module. The returned module lives in \p Ctx, which must
+/// outlive it.
+ParseResult parseModule(Context &Ctx, std::string_view Text,
+                        std::string ModuleName = "module");
+
+} // namespace llvmmd
+
+#endif // LLVMMD_IR_PARSER_H

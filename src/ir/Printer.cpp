@@ -1,0 +1,316 @@
+//===- Printer.cpp - Textual IR output ------------------------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "ir/Module.h"
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace llvmmd;
+
+namespace {
+
+/// Assigns stable, unique textual names to locals within one function.
+class NameTable {
+public:
+  void build(const Function &F) {
+    for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I)
+      assign(F.getArg(I));
+    for (const auto &BB : F.blocks()) {
+      assignBlock(BB.get());
+      for (const Instruction *I : *BB)
+        if (!I->getType()->isVoid())
+          assign(I);
+    }
+  }
+
+  std::string valueName(const Value *V) const {
+    auto It = Names.find(V);
+    assert(It != Names.end() && "value was not named");
+    return It->second;
+  }
+
+  std::string blockName(const BasicBlock *BB) const {
+    auto It = BlockNames.find(BB);
+    assert(It != BlockNames.end() && "block was not named");
+    return It->second;
+  }
+
+private:
+  void assign(const Value *V) {
+    std::string Base = V->hasName() ? V->getName() : std::to_string(Next++);
+    std::string Name = Base;
+    unsigned Suffix = 1;
+    while (!UsedNames.insert(Name).second)
+      Name = Base + "." + std::to_string(Suffix++);
+    Names[V] = Name;
+  }
+
+  void assignBlock(const BasicBlock *BB) {
+    std::string Base =
+        BB->getName().empty() ? "bb" + std::to_string(Next++) : BB->getName();
+    std::string Name = Base;
+    unsigned Suffix = 1;
+    while (!UsedBlockNames.insert(Name).second)
+      Name = Base + "." + std::to_string(Suffix++);
+    BlockNames[BB] = Name;
+  }
+
+  std::map<const Value *, std::string> Names;
+  std::map<const BasicBlock *, std::string> BlockNames;
+  std::set<std::string> UsedNames;
+  std::set<std::string> UsedBlockNames;
+  unsigned Next = 0;
+};
+
+std::string formatFloat(double D) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+  std::string S(Buf);
+  // Ensure the token is recognizably a float.
+  if (S.find_first_of(".eE") == std::string::npos &&
+      S.find_first_of("in") == std::string::npos) // not inf/nan
+    S += ".0";
+  return S;
+}
+
+class FunctionPrinter {
+public:
+  explicit FunctionPrinter(const Function &F) : F(F) { Names.build(F); }
+
+  std::string ref(const Value *V) const {
+    if (const auto *CI = dyn_cast<ConstantInt>(V))
+      return std::to_string(CI->getSExtValue());
+    if (const auto *CF = dyn_cast<ConstantFP>(V))
+      return formatFloat(CF->getValue());
+    if (isa<ConstantPointerNull>(V))
+      return "null";
+    if (isa<UndefValue>(V))
+      return "undef";
+    if (isa<GlobalVariable>(V) || isa<Function>(V))
+      return "@" + V->getName();
+    return "%" + Names.valueName(V);
+  }
+
+  std::string typedRef(const Value *V) const {
+    return V->getType()->getName() + " " + ref(V);
+  }
+
+  std::string blockRef(const BasicBlock *BB) const {
+    return "%" + Names.blockName(BB);
+  }
+
+  void printInst(std::ostringstream &OS, const Instruction *I) const {
+    if (!I->getType()->isVoid())
+      OS << ref(I) << " = ";
+    switch (I->getOpcode()) {
+    case Opcode::ICmp: {
+      const auto *C = cast<ICmpInst>(I);
+      OS << "icmp " << getPredName(C->getPred()) << " "
+         << C->getLHS()->getType()->getName() << " " << ref(C->getLHS())
+         << ", " << ref(C->getRHS());
+      return;
+    }
+    case Opcode::FCmp: {
+      const auto *C = cast<FCmpInst>(I);
+      OS << "fcmp " << getPredName(C->getPred()) << " float "
+         << ref(C->getLHS()) << ", " << ref(C->getRHS());
+      return;
+    }
+    case Opcode::Trunc:
+    case Opcode::ZExt:
+    case Opcode::SExt: {
+      const auto *C = cast<CastInst>(I);
+      OS << I->getOpcodeName() << " " << typedRef(C->getSrc()) << " to "
+         << I->getType()->getName();
+      return;
+    }
+    case Opcode::Select: {
+      const auto *S = cast<SelectInst>(I);
+      OS << "select i1 " << ref(S->getCondition()) << ", "
+         << typedRef(S->getTrueValue()) << ", "
+         << typedRef(S->getFalseValue());
+      return;
+    }
+    case Opcode::Alloca: {
+      const auto *A = cast<AllocaInst>(I);
+      OS << "alloca " << A->getAllocatedType()->getName();
+      const auto *One = dyn_cast<ConstantInt>(A->getCount());
+      if (!One || !One->isOne())
+        OS << ", " << typedRef(A->getCount());
+      return;
+    }
+    case Opcode::Load: {
+      const auto *L = cast<LoadInst>(I);
+      OS << "load " << I->getType()->getName() << ", ptr "
+         << ref(L->getPointer());
+      return;
+    }
+    case Opcode::Store: {
+      const auto *S = cast<StoreInst>(I);
+      OS << "store " << typedRef(S->getStoredValue()) << ", ptr "
+         << ref(S->getPointer());
+      return;
+    }
+    case Opcode::GEP: {
+      const auto *G = cast<GEPInst>(I);
+      OS << "getelementptr " << G->getElementType()->getName() << ", ptr "
+         << ref(G->getBase()) << ", " << typedRef(G->getIndex());
+      return;
+    }
+    case Opcode::Call: {
+      const auto *C = cast<CallInst>(I);
+      OS << "call " << I->getType()->getName() << " @"
+         << C->getCallee()->getName() << "(";
+      for (unsigned A = 0, E = C->getNumArgs(); A != E; ++A) {
+        if (A)
+          OS << ", ";
+        OS << typedRef(C->getArg(A));
+      }
+      OS << ")";
+      return;
+    }
+    case Opcode::Phi: {
+      const auto *P = cast<PhiNode>(I);
+      OS << "phi " << I->getType()->getName() << " ";
+      for (unsigned K = 0, E = P->getNumIncoming(); K != E; ++K) {
+        if (K)
+          OS << ", ";
+        OS << "[ " << ref(P->getIncomingValue(K)) << ", "
+           << blockRef(P->getIncomingBlock(K)) << " ]";
+      }
+      return;
+    }
+    case Opcode::Br: {
+      const auto *B = cast<BranchInst>(I);
+      if (B->isConditional())
+        OS << "br i1 " << ref(B->getCondition()) << ", label "
+           << blockRef(B->getSuccessor(0)) << ", label "
+           << blockRef(B->getSuccessor(1));
+      else
+        OS << "br label " << blockRef(B->getSuccessor(0));
+      return;
+    }
+    case Opcode::Ret: {
+      const auto *R = cast<ReturnInst>(I);
+      if (R->hasReturnValue())
+        OS << "ret " << typedRef(R->getReturnValue());
+      else
+        OS << "ret void";
+      return;
+    }
+    case Opcode::Unreachable:
+      OS << "unreachable";
+      return;
+    default:
+      // All binary operators share one format.
+      assert(I->isBinaryOp() && "unhandled opcode in printer");
+      OS << I->getOpcodeName() << " " << I->getType()->getName() << " "
+         << ref(I->getOperand(0)) << ", " << ref(I->getOperand(1));
+      return;
+    }
+  }
+
+  std::string print() const {
+    std::ostringstream OS;
+    OS << "define " << F.getReturnType()->getName() << " @" << F.getName()
+       << "(";
+    for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I) {
+      if (I)
+        OS << ", ";
+      OS << F.getArg(I)->getType()->getName() << " " << ref(F.getArg(I));
+    }
+    OS << ") {\n";
+    for (const auto &BB : F.blocks()) {
+      OS << Names.blockName(BB.get()) << ":\n";
+      for (const Instruction *I : *BB) {
+        OS << "  ";
+        printInst(OS, I);
+        OS << "\n";
+      }
+    }
+    OS << "}\n";
+    return OS.str();
+  }
+
+private:
+  const Function &F;
+  NameTable Names;
+};
+
+std::string printDeclaration(const Function &F) {
+  std::ostringstream OS;
+  OS << "declare " << F.getReturnType()->getName() << " @" << F.getName()
+     << "(";
+  const auto &Params = F.getFunctionType()->getParamTypes();
+  for (unsigned I = 0, E = Params.size(); I != E; ++I) {
+    if (I)
+      OS << ", ";
+    OS << Params[I]->getName();
+  }
+  OS << ")";
+  if (F.isReadOnly())
+    OS << " readonly";
+  else if (F.isReadNone())
+    OS << " readnone";
+  OS << "\n";
+  return OS.str();
+}
+
+std::string printGlobal(const GlobalVariable &G) {
+  std::ostringstream OS;
+  OS << "@" << G.getName() << " = "
+     << (G.isConstantGlobal() ? "constant " : "global ")
+     << G.getValueType()->getName();
+  if (const Constant *Init = G.getInitializer()) {
+    OS << " ";
+    if (const auto *CI = dyn_cast<ConstantInt>(Init))
+      OS << CI->getSExtValue();
+    else if (const auto *CF = dyn_cast<ConstantFP>(Init))
+      OS << formatFloat(CF->getValue());
+    else if (isa<ConstantPointerNull>(Init))
+      OS << "null";
+    else
+      OS << "undef";
+  }
+  OS << "\n";
+  return OS.str();
+}
+
+} // namespace
+
+std::string llvmmd::printFunction(const Function &F) {
+  if (F.isDeclaration())
+    return printDeclaration(F);
+  return FunctionPrinter(F).print();
+}
+
+std::string llvmmd::printModule(const Module &M) {
+  std::ostringstream OS;
+  OS << "; ModuleID = '" << M.getName() << "'\n";
+  for (const auto &G : M.globals())
+    OS << printGlobal(*G);
+  for (const auto &F : M.functions())
+    if (F->isDeclaration())
+      OS << printFunction(*F);
+  for (const auto &F : M.functions())
+    if (!F->isDeclaration())
+      OS << "\n" << printFunction(*F);
+  return OS.str();
+}
+
+std::string llvmmd::printInstruction(const Instruction &I) {
+  const Function *F = I.getFunction();
+  assert(F && "instruction not in a function");
+  FunctionPrinter P(*F);
+  std::ostringstream OS;
+  P.printInst(OS, &I);
+  return OS.str();
+}

@@ -1,0 +1,36 @@
+//===- Printer.h - Textual IR output ----------------------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints modules and functions in the LLVM-flavoured textual format that
+/// Parser.h accepts; print(parse(x)) round-trips.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_IR_PRINTER_H
+#define LLVMMD_IR_PRINTER_H
+
+#include <string>
+
+namespace llvmmd {
+
+class Module;
+class Function;
+class Instruction;
+
+/// Renders the whole module (globals, declarations, definitions).
+std::string printModule(const Module &M);
+
+/// Renders a single function definition or declaration.
+std::string printFunction(const Function &F);
+
+/// Renders one instruction (without trailing newline); names for unnamed
+/// values are only stable within printFunction, so this is for debugging.
+std::string printInstruction(const Instruction &I);
+
+} // namespace llvmmd
+
+#endif // LLVMMD_IR_PRINTER_H

@@ -1,0 +1,119 @@
+//===- Type.h - Mini-LLVM type system ---------------------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type system of the miniir substrate: void, iN integers, float (stored
+/// as double), opaque pointers, and function types. Types are interned in a
+/// Context, so pointer equality is type equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_IR_TYPE_H
+#define LLVMMD_IR_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llvmmd {
+
+class Context;
+
+enum class TypeKind : uint8_t {
+  Void,
+  Integer,
+  Float,
+  Pointer,
+  Function,
+};
+
+/// An interned type. Construct only through Context factory methods.
+class Type {
+public:
+  TypeKind getKind() const { return Kind; }
+
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isInteger() const { return Kind == TypeKind::Integer; }
+  bool isFloat() const { return Kind == TypeKind::Float; }
+  bool isPointer() const { return Kind == TypeKind::Pointer; }
+  bool isFunction() const { return Kind == TypeKind::Function; }
+
+  /// For integer types, the bit width (1, 8, 16, 32 or 64).
+  unsigned getBitWidth() const {
+    assert(isInteger() && "getBitWidth on non-integer type");
+    return Bits;
+  }
+
+  bool isBool() const { return isInteger() && Bits == 1; }
+
+  /// Size in bytes when stored in memory; used by getelementptr scaling and
+  /// by the interpreter. i1 occupies one byte.
+  unsigned getStoreSize() const {
+    switch (Kind) {
+    case TypeKind::Void:
+      return 0;
+    case TypeKind::Integer:
+      return Bits <= 8 ? 1 : Bits / 8;
+    case TypeKind::Float:
+      return 8;
+    case TypeKind::Pointer:
+      return 8;
+    case TypeKind::Function:
+      return 8;
+    }
+    return 0;
+  }
+
+  /// Renders the type the way the printer and parser spell it.
+  std::string getName() const {
+    switch (Kind) {
+    case TypeKind::Void:
+      return "void";
+    case TypeKind::Integer:
+      return "i" + std::to_string(Bits);
+    case TypeKind::Float:
+      return "float";
+    case TypeKind::Pointer:
+      return "ptr";
+    case TypeKind::Function:
+      return "func";
+    }
+    return "?";
+  }
+
+private:
+  friend class Context;
+  Type(TypeKind Kind, unsigned Bits) : Kind(Kind), Bits(Bits) {}
+
+  TypeKind Kind;
+  unsigned Bits;
+};
+
+/// A function signature: return type plus parameter types. Interned in the
+/// Context like plain types.
+class FunctionType {
+public:
+  Type *getReturnType() const { return RetTy; }
+  const std::vector<Type *> &getParamTypes() const { return ParamTys; }
+  unsigned getNumParams() const { return ParamTys.size(); }
+  Type *getParamType(unsigned I) const {
+    assert(I < ParamTys.size() && "param index out of range");
+    return ParamTys[I];
+  }
+
+private:
+  friend class Context;
+  FunctionType(Type *RetTy, std::vector<Type *> ParamTys)
+      : RetTy(RetTy), ParamTys(std::move(ParamTys)) {}
+
+  Type *RetTy;
+  std::vector<Type *> ParamTys;
+};
+
+} // namespace llvmmd
+
+#endif // LLVMMD_IR_TYPE_H

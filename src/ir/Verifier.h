@@ -1,0 +1,33 @@
+//===- Verifier.h - IR well-formedness checks -------------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and SSA checks: every block terminated exactly once, phis
+/// grouped at block heads and matching the predecessor set, every use
+/// dominated by its definition, operand types consistent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_IR_VERIFIER_H
+#define LLVMMD_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace llvmmd {
+
+class Function;
+class Module;
+
+/// Appends diagnostics for \p F to \p Errors; returns true if none found.
+bool verifyFunction(const Function &F, std::vector<std::string> &Errors);
+
+/// Verifies every defined function; returns true if the module is clean.
+bool verifyModule(const Module &M, std::vector<std::string> &Errors);
+
+} // namespace llvmmd
+
+#endif // LLVMMD_IR_VERIFIER_H

@@ -1,0 +1,44 @@
+//===- Normalizer.h - Value-graph rewrite engine ----------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Applies the enabled rewrite rule sets to a shared value graph until a
+/// fixpoint (or budget). Rules are oriented the way the LLVM optimizer
+/// rewrites (paper §4.1): the engine only ever rewrites a node *into* its
+/// more-optimized form, which keeps the number of rewrites proportional to
+/// the number of transformations the optimizer performed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_NORMALIZE_NORMALIZER_H
+#define LLVMMD_NORMALIZE_NORMALIZER_H
+
+#include "normalize/Rules.h"
+#include "vg/ValueGraph.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace llvmmd {
+
+struct NormalizeStats {
+  unsigned Rewrites = 0;
+  unsigned SharingMerges = 0;
+  unsigned Iterations = 0;
+  /// Per-rule fire counts, for the rule-effectiveness analyses.
+  std::map<std::string, unsigned> RuleFires;
+};
+
+/// Normalizes \p G with respect to the live cones of \p Roots.
+/// Interleaves rule application with sharing maximization, as in Figure 1:
+/// rewrite, re-share, repeat. Returns the statistics of the run.
+NormalizeStats normalizeGraph(ValueGraph &G, const std::vector<NodeId> &Roots,
+                              const RuleConfig &Config);
+
+} // namespace llvmmd
+
+#endif // LLVMMD_NORMALIZE_NORMALIZER_H

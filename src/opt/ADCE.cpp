@@ -1,0 +1,80 @@
+//===- ADCE.cpp - Aggressive dead code elimination --------------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Liveness-seeded dead code elimination: only instructions transitively
+/// required by side effects, returns or control flow survive. Subsumes
+/// plain DCE and dead-instruction elimination, as in the paper's pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+
+#include "ir/Module.h"
+
+#include <set>
+#include <vector>
+
+using namespace llvmmd;
+
+namespace {
+
+class ADCEPass : public FunctionPass {
+public:
+  const char *getName() const override { return "adce"; }
+
+  bool run(Function &F) override {
+    if (F.isDeclaration())
+      return false;
+
+    std::set<Instruction *> Live;
+    std::vector<Instruction *> Worklist;
+    auto MarkLive = [&](Instruction *I) {
+      if (Live.insert(I).second)
+        Worklist.push_back(I);
+    };
+
+    // Roots: terminators, stores, calls that may write memory.
+    for (const auto &BB : F.blocks())
+      for (Instruction *I : *BB)
+        if (I->isTerminator() || I->hasSideEffects())
+          MarkLive(I);
+
+    while (!Worklist.empty()) {
+      Instruction *I = Worklist.back();
+      Worklist.pop_back();
+      for (Value *Op : I->operands())
+        if (auto *OpI = dyn_cast<Instruction>(Op))
+          MarkLive(OpI);
+    }
+
+    // Delete everything not live. Break references first so mutually-dead
+    // cycles (phis through back edges) can be removed.
+    std::vector<std::pair<BasicBlock *, Instruction *>> Dead;
+    for (const auto &BB : F.blocks())
+      for (Instruction *I : *BB)
+        if (!Live.count(I))
+          Dead.push_back({BB.get(), I});
+    if (Dead.empty())
+      return false;
+    for (auto &[BB, I] : Dead)
+      I->dropAllReferences();
+    for (auto &[BB, I] : Dead) {
+      assert(I->use_empty() && "dead instruction still used by live code");
+      BB->remove(I);
+      delete I;
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+namespace llvmmd {
+std::unique_ptr<FunctionPass> createADCEPass() {
+  return std::make_unique<ADCEPass>();
+}
+} // namespace llvmmd

@@ -1,0 +1,86 @@
+//===- BugInjector.cpp - Miscompilation injection for testing ---------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/BugInjector.h"
+
+#include "ir/Module.h"
+#include "support/Hashing.h"
+
+#include <vector>
+
+using namespace llvmmd;
+
+namespace {
+
+/// A candidate mutation with an applier.
+struct Mutation {
+  std::string Desc;
+  Instruction *Target;
+  int Kind; // 0: flip pred, 1: bump const, 2: swap sub ops, 3: drop store,
+            // 4: swap branch successors
+};
+
+} // namespace
+
+std::string llvmmd::injectBug(Function &F, uint64_t Seed) {
+  if (F.isDeclaration())
+    return "";
+  Context &Ctx = F.getParent()->getContext();
+  std::vector<Mutation> Candidates;
+  for (const auto &BB : F.blocks()) {
+    for (Instruction *I : *BB) {
+      if (isa<ICmpInst>(I))
+        Candidates.push_back({"flip predicate of " + I->getName(), I, 0});
+      if (I->isBinaryOp() && isa<ConstantInt>(I->getOperand(1)))
+        Candidates.push_back({"bump constant in " + I->getName(), I, 1});
+      if (I->getOpcode() == Opcode::Sub &&
+          I->getOperand(0) != I->getOperand(1))
+        Candidates.push_back({"swap sub operands of " + I->getName(), I, 2});
+      if (isa<StoreInst>(I))
+        Candidates.push_back({"drop a store", I, 3});
+      if (auto *Br = dyn_cast<BranchInst>(I))
+        if (Br->isConditional())
+          Candidates.push_back({"swap branch successors", I, 4});
+    }
+  }
+  if (Candidates.empty())
+    return "";
+  SplitMixRng Rng(Seed);
+  Mutation &M = Candidates[Rng.below(Candidates.size())];
+  switch (M.Kind) {
+  case 0: {
+    auto *Cmp = cast<ICmpInst>(M.Target);
+    Cmp->setPred(invertPred(Cmp->getPred()));
+    break;
+  }
+  case 1: {
+    const auto *C = cast<ConstantInt>(M.Target->getOperand(1));
+    M.Target->setOperand(
+        1, Ctx.getInt(C->getType(), C->getSExtValue() + 1));
+    break;
+  }
+  case 2: {
+    Value *L = M.Target->getOperand(0);
+    Value *R = M.Target->getOperand(1);
+    M.Target->setOperand(0, R);
+    M.Target->setOperand(1, L);
+    break;
+  }
+  case 3:
+    M.Target->getParent()->erase(M.Target);
+    break;
+  case 4: {
+    auto *Br = cast<BranchInst>(M.Target);
+    BasicBlock *T = Br->getSuccessor(0);
+    Br->setSuccessor(0, Br->getSuccessor(1));
+    Br->setSuccessor(1, T);
+    break;
+  }
+  default:
+    break;
+  }
+  return M.Desc;
+}

@@ -1,0 +1,31 @@
+//===- BugInjector.h - Miscompilation injection for testing -----*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deliberately introduces a semantics-changing mutation into a function.
+/// Used by the negative tests: a sound validator must reject every function
+/// pair where the "optimized" side was produced by the injector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_OPT_BUGINJECTOR_H
+#define LLVMMD_OPT_BUGINJECTOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace llvmmd {
+
+class Function;
+
+/// Mutates \p F with a deterministic pseudo-random miscompile chosen by
+/// \p Seed. Returns a description of the mutation, or an empty string if no
+/// applicable mutation site was found (e.g. a function with no candidates).
+std::string injectBug(Function &F, uint64_t Seed);
+
+} // namespace llvmmd
+
+#endif // LLVMMD_OPT_BUGINJECTOR_H

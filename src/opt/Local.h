@@ -1,0 +1,56 @@
+//===- Local.h - Local transformation utilities -----------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the optimizer passes: per-instruction constant
+/// folding, algebraic simplification, trivial dead-code removal, and CFG
+/// cleanup primitives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_OPT_LOCAL_H
+#define LLVMMD_OPT_LOCAL_H
+
+namespace llvmmd {
+
+class BasicBlock;
+class Constant;
+class Context;
+class Function;
+class Instruction;
+class Value;
+
+/// Folds \p I if all of its relevant operands are constants. Returns the
+/// folded constant, or null. Never folds operations whose folding would hide
+/// a runtime error (division by zero etc.).
+Constant *constantFoldInstruction(Instruction *I, Context &Ctx);
+
+/// Algebraic identity simplification (x+0, x*1, x*0, x-x, x^x, a&a, a|a,
+/// icmp x x, select with equal arms / constant condition, ...). Returns the
+/// simpler existing value, or null.
+Value *simplifyInstruction(Instruction *I, Context &Ctx);
+
+/// True if \p I can be erased when its result is unused.
+bool isTriviallyDead(const Instruction *I);
+
+/// Erases trivially dead instructions (transitively) in \p F; returns the
+/// number erased.
+unsigned removeDeadInstructions(Function &F);
+
+/// Deletes blocks unreachable from entry, dropping phi entries for removed
+/// predecessors. Returns the number of blocks deleted.
+unsigned removeUnreachableBlocks(Function &F);
+
+/// Removes the entry of \p BB's phis for predecessor \p Pred (used when an
+/// edge is deleted).
+void removePhiEntriesFor(BasicBlock *BB, BasicBlock *Pred);
+
+/// Replaces single-entry phis by their value; returns number replaced.
+unsigned foldSingleEntryPhis(Function &F);
+
+} // namespace llvmmd
+
+#endif // LLVMMD_OPT_LOCAL_H

@@ -1,0 +1,85 @@
+//===- Pass.cpp - Pass manager and registry ----------------------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+
+#include "ir/Module.h"
+
+#include <sstream>
+
+using namespace llvmmd;
+
+namespace llvmmd {
+std::unique_ptr<FunctionPass> createADCEPass();
+std::unique_ptr<FunctionPass> createGVNPass();
+std::unique_ptr<FunctionPass> createSCCPPass();
+std::unique_ptr<FunctionPass> createLICMPass();
+std::unique_ptr<FunctionPass> createLoopDeletionPass();
+std::unique_ptr<FunctionPass> createLoopUnswitchPass();
+std::unique_ptr<FunctionPass> createDSEPass();
+std::unique_ptr<FunctionPass> createInstCombinePass();
+std::unique_ptr<FunctionPass> createSimplifyCFGPass();
+} // namespace llvmmd
+
+std::unique_ptr<FunctionPass> llvmmd::createPass(const std::string &Name) {
+  if (Name == "adce")
+    return createADCEPass();
+  if (Name == "gvn")
+    return createGVNPass();
+  if (Name == "sccp")
+    return createSCCPPass();
+  if (Name == "licm")
+    return createLICMPass();
+  if (Name == "loop-deletion")
+    return createLoopDeletionPass();
+  if (Name == "loop-unswitch")
+    return createLoopUnswitchPass();
+  if (Name == "dse")
+    return createDSEPass();
+  if (Name == "instcombine")
+    return createInstCombinePass();
+  if (Name == "simplifycfg")
+    return createSimplifyCFGPass();
+  return nullptr;
+}
+
+bool PassManager::parsePipeline(const std::string &Pipeline) {
+  std::vector<std::unique_ptr<FunctionPass>> Parsed;
+  std::stringstream SS(Pipeline);
+  std::string Name;
+  while (std::getline(SS, Name, ',')) {
+    if (Name.empty())
+      continue;
+    auto P = createPass(Name);
+    if (!P)
+      return false;
+    Parsed.push_back(std::move(P));
+  }
+  for (auto &P : Parsed)
+    Passes.push_back(std::move(P));
+  return true;
+}
+
+bool PassManager::run(Function &F) {
+  bool Changed = false;
+  if (ChangeCounts.size() != Passes.size())
+    ChangeCounts.assign(Passes.size(), 0);
+  for (unsigned I = 0, E = Passes.size(); I != E; ++I) {
+    if (Passes[I]->run(F)) {
+      ++ChangeCounts[I];
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+bool PassManager::run(Module &M) {
+  ChangeCounts.assign(Passes.size(), 0);
+  bool Changed = false;
+  for (Function *F : M.definedFunctions())
+    Changed |= run(*F);
+  return Changed;
+}

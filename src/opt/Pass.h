@@ -1,0 +1,81 @@
+//===- Pass.h - Function pass interface and pass manager --------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimizer driver: function passes, a sequential pass manager, and a
+/// registry that builds the paper's pipeline from a comma-separated string
+/// ("adce,gvn,sccp,licm,loop-deletion,loop-unswitch,dse").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_OPT_PASS_H
+#define LLVMMD_OPT_PASS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace llvmmd {
+
+class Function;
+class Module;
+
+/// A transformation over one function.
+class FunctionPass {
+public:
+  virtual ~FunctionPass() = default;
+
+  virtual const char *getName() const = 0;
+
+  /// Transforms \p F in place; returns true iff something changed.
+  virtual bool run(Function &F) = 0;
+};
+
+/// Creates a pass by its pipeline name; null for unknown names. Known:
+/// adce, gvn, sccp, licm, loop-deletion, loop-unswitch, dse, instcombine,
+/// simplifycfg.
+std::unique_ptr<FunctionPass> createPass(const std::string &Name);
+
+/// Runs passes in order over every defined function of a module.
+class PassManager {
+public:
+  /// Parses a comma-separated pipeline; returns false on an unknown pass
+  /// name (and leaves the manager unchanged).
+  bool parsePipeline(const std::string &Pipeline);
+
+  void addPass(std::unique_ptr<FunctionPass> P) {
+    Passes.push_back(std::move(P));
+  }
+
+  size_t size() const { return Passes.size(); }
+
+  /// Runs the pipeline on one function; returns true iff any pass changed it.
+  bool run(Function &F);
+
+  /// Runs the pipeline on every defined function.
+  bool run(Module &M);
+
+  /// Per-pass change counts from the last run(Module&): how many functions
+  /// each pass reported transforming. Used by the per-optimization figures.
+  const std::vector<unsigned> &getChangeCounts() const { return ChangeCounts; }
+
+  const std::vector<std::unique_ptr<FunctionPass>> &passes() const {
+    return Passes;
+  }
+
+private:
+  std::vector<std::unique_ptr<FunctionPass>> Passes;
+  std::vector<unsigned> ChangeCounts;
+};
+
+/// The paper's evaluation pipeline (§5.1).
+inline const char *getPaperPipeline() {
+  return "adce,gvn,sccp,licm,loop-deletion,loop-unswitch,dse";
+}
+
+} // namespace llvmmd
+
+#endif // LLVMMD_OPT_PASS_H

@@ -1,0 +1,66 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast templates ------*- C++ -*-===//
+//
+// Part of the llvm-md project: a normalizing value-graph translation
+// validator, after Tristan, Govereau & Morrisett (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled opt-in RTTI in the style of llvm/Support/Casting.h. A class
+/// hierarchy participates by providing `static bool classof(const Base *)`
+/// on each derived class, usually dispatching on a Kind discriminator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_SUPPORT_CASTING_H
+#define LLVMMD_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace llvmmd {
+
+/// Returns true if \p Val is an instance of \p To (or of one of \p Tos).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename Second, typename... Rest, typename From>
+bool isa(const From *Val) {
+  return isa<To>(Val) || isa<Second, Rest...>(Val);
+}
+
+/// Checked cast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<Ty>() argument of incompatible type!");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<Ty>() argument of incompatible type!");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking cast: returns null if \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast, but tolerates (and propagates) null input.
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace llvmmd
+
+#endif // LLVMMD_SUPPORT_CASTING_H

@@ -1,0 +1,79 @@
+//===- Hashing.h - Deterministic hash combinators ---------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small deterministic hashing utilities used by the hash-consed value graph
+/// and by the optimizer's value-numbering tables. Determinism across runs
+/// matters because validation statistics in the benchmark harness must be
+/// reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_SUPPORT_HASHING_H
+#define LLVMMD_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace llvmmd {
+
+/// 64-bit FNV-1a over raw bytes; deterministic across platforms and runs.
+inline uint64_t hashBytes(const void *Data, size_t Len,
+                          uint64_t Seed = 0xcbf29ce484222325ULL) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  uint64_t H = Seed;
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= P[I];
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+/// Mixes a 64-bit value into a running hash (splitmix64 finalizer).
+inline uint64_t hashCombine(uint64_t H, uint64_t V) {
+  V += 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+  V = (V ^ (V >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  V = (V ^ (V >> 27)) * 0x94d049bb133111ebULL;
+  return H ^ (V ^ (V >> 31));
+}
+
+inline uint64_t hashString(std::string_view S, uint64_t Seed = 0) {
+  return hashBytes(S.data(), S.size(), 0xcbf29ce484222325ULL ^ Seed);
+}
+
+/// Deterministic pseudo-random number generator (xorshift128+). Used by the
+/// workload generator so that every "benchmark program" is a pure function
+/// of its profile seed.
+class SplitMixRng {
+public:
+  explicit SplitMixRng(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b9ULL) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Returns true with probability \p Percent / 100.
+  bool chance(unsigned Percent) { return below(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace llvmmd
+
+#endif // LLVMMD_SUPPORT_HASHING_H

@@ -1,0 +1,59 @@
+//===- LLVMMD.cpp - The validated optimizer driver -----------------------====//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "validator/LLVMMD.h"
+
+#include "ir/Cloning.h"
+#include "ir/Module.h"
+#include "opt/Pass.h"
+
+#include <chrono>
+#include <map>
+
+using namespace llvmmd;
+
+std::unique_ptr<Module> llvmmd::runLLVMMD(const Module &M, PassManager &PM,
+                                          const RuleConfig &Config,
+                                          LLVMMDReport &Report) {
+  auto Start = std::chrono::steady_clock::now();
+  std::unique_ptr<Module> Out = cloneModule(M);
+
+  for (Function *F : Out->definedFunctions()) {
+    const Function *Orig = M.getFunction(F->getName());
+    assert(Orig && "function lost during cloning");
+    FunctionReport FR;
+    FR.Name = F->getName();
+    FR.Transformed = PM.run(*F);
+    if (FR.Transformed) {
+      FR.Result = validatePair(*Orig, *F, Config);
+      FR.Validated = FR.Result.Validated;
+      if (!FR.Validated) {
+        // `replace fo by fi in output` — revert to the original body.
+        F->dropBody();
+        std::map<const Value *, Value *> VMap;
+        cloneFunctionBody(*Orig, *F, VMap);
+        // Remap cross-module references (globals, callees).
+        for (const auto &BB : F->blocks()) {
+          for (Instruction *I : *BB) {
+            for (unsigned OpI = 0, E = I->getNumOperands(); OpI != E; ++OpI) {
+              if (auto *GV = dyn_cast<GlobalVariable>(I->getOperand(OpI)))
+                I->setOperand(OpI, Out->getGlobal(GV->getName()));
+            }
+            if (auto *Call = dyn_cast<CallInst>(I))
+              Call->setCallee(Out->getFunction(Call->getCallee()->getName()));
+          }
+        }
+        FR.Reverted = true;
+      }
+    }
+    Report.Functions.push_back(std::move(FR));
+  }
+  Report.TotalMicroseconds =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count();
+  return Out;
+}

@@ -1,0 +1,71 @@
+//===- LLVMMD.h - The validated optimizer driver ----------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's `llvm-md` pseudocode (§2): run the off-the-shelf optimizer
+/// over a module, validate every function pair, and revert any function
+/// whose optimization could not be proven semantics-preserving. The result
+/// is a certified-optimized module plus the per-function report the
+/// evaluation figures are built from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_VALIDATOR_LLVMMD_H
+#define LLVMMD_VALIDATOR_LLVMMD_H
+
+#include "validator/Validator.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace llvmmd {
+
+class Module;
+class PassManager;
+
+struct FunctionReport {
+  std::string Name;
+  bool Transformed = false; ///< did any pass change the function?
+  bool Validated = false;   ///< counted only when Transformed
+  bool Reverted = false;    ///< replaced by the original after an alarm
+  ValidationResult Result;
+};
+
+struct LLVMMDReport {
+  std::vector<FunctionReport> Functions;
+  uint64_t TotalMicroseconds = 0;
+
+  unsigned transformed() const {
+    unsigned N = 0;
+    for (const auto &F : Functions)
+      N += F.Transformed;
+    return N;
+  }
+  unsigned validated() const {
+    unsigned N = 0;
+    for (const auto &F : Functions)
+      N += F.Transformed && F.Validated;
+    return N;
+  }
+  /// The paper's effectiveness metric: fraction of transformed functions
+  /// whose whole optimization pipeline validated.
+  double validationRate() const {
+    unsigned T = transformed();
+    return T == 0 ? 1.0 : static_cast<double>(validated()) / T;
+  }
+};
+
+/// Optimizes \p M with \p PM, validating each function against its
+/// original and reverting the ones that fail. Returns the optimized module
+/// (in the same Context) and fills \p Report.
+std::unique_ptr<Module> runLLVMMD(const Module &M, PassManager &PM,
+                                  const RuleConfig &Config,
+                                  LLVMMDReport &Report);
+
+} // namespace llvmmd
+
+#endif // LLVMMD_VALIDATOR_LLVMMD_H

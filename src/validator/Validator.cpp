@@ -1,0 +1,76 @@
+//===- Validator.cpp - Translation validation driver --------------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "validator/Validator.h"
+
+#include "ir/Module.h"
+#include "normalize/Normalizer.h"
+#include "vg/GraphBuilder.h"
+
+#include <chrono>
+
+using namespace llvmmd;
+
+ValidationResult llvmmd::validatePair(const Function &Original,
+                                      const Function &Optimized,
+                                      const RuleConfig &Config) {
+  ValidationResult R;
+  auto Start = std::chrono::steady_clock::now();
+  auto Finish = [&]() -> ValidationResult & {
+    R.Microseconds = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - Start)
+                         .count();
+    return R;
+  };
+
+  if (Original.getFunctionType() != Optimized.getFunctionType()) {
+    R.Unsupported = true;
+    R.Reason = "signature mismatch";
+    return Finish();
+  }
+
+  ValueGraph G;
+  BuildResult A = buildValueGraph(G, Original);
+  if (!A.Supported) {
+    R.Unsupported = true;
+    R.Reason = "original: " + A.Reason;
+    return Finish();
+  }
+  BuildResult B = buildValueGraph(G, Optimized);
+  if (!B.Supported) {
+    R.Unsupported = true;
+    R.Reason = "optimized: " + B.Reason;
+    return Finish();
+  }
+  R.GraphNodes = G.size();
+
+  // Best case (§2): hash-consing alone already merged the state pointers.
+  if (G.find(A.Ret) == G.find(B.Ret)) {
+    R.Validated = true;
+    R.EqualOnConstruction = true;
+    R.LiveNodes = G.countRoots();
+    return Finish();
+  }
+
+  RuleConfig C = Config;
+  std::vector<NodeId> Roots{A.Ret, B.Ret};
+  for (unsigned Round = 0; Round < C.MaxIterations; ++Round) {
+    ++R.Iterations;
+    NormalizeStats S = normalizeGraph(G, Roots, C);
+    R.Rewrites += S.Rewrites;
+    R.SharingMerges += S.SharingMerges;
+    if (G.find(A.Ret) == G.find(B.Ret)) {
+      R.Validated = true;
+      break;
+    }
+    if (S.Rewrites == 0 && S.SharingMerges == 0)
+      break; // fixpoint without convergence: alarm
+  }
+  if (!R.Validated)
+    R.Reason = "graphs did not merge";
+  R.LiveNodes = G.countRoots();
+  return Finish();
+}

@@ -1,0 +1,42 @@
+//===- GraphBuilder.h - Function -> shared value graph ----------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash-consed symbolic evaluation (paper Figure 1): compiles a function in
+/// Monadic Gated SSA form into the shared value graph. Side effects are
+/// threaded through an explicit memory state: loads take the current
+/// memory, stores/calls/allocas produce the next one, joins gate memory
+/// with γ/μ/η exactly like ordinary values. The function's root is a Ret
+/// node over (return value, final memory) — the "state pointer" the
+/// validator compares.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_VG_GRAPHBUILDER_H
+#define LLVMMD_VG_GRAPHBUILDER_H
+
+#include "vg/ValueGraph.h"
+
+#include <string>
+
+namespace llvmmd {
+
+class Function;
+
+struct BuildResult {
+  bool Supported = false;
+  std::string Reason;
+  NodeId Ret = InvalidNode;
+};
+
+/// Builds \p F into \p G. Leaves (parameters, initial memory, constants,
+/// globals) are shared across calls, so building the original and the
+/// optimized function into one graph yields the paper's shared value graph.
+BuildResult buildValueGraph(ValueGraph &G, const Function &F);
+
+} // namespace llvmmd
+
+#endif // LLVMMD_VG_GRAPHBUILDER_H

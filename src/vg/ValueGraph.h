@@ -1,0 +1,202 @@
+//===- ValueGraph.h - Shared, hash-consed value graph -----------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared value graph of the paper (§2-3): a single arena of
+/// hash-consed nodes representing *both* the original and the optimized
+/// function, so that equal subcomputations are literally the same node and
+/// the best-case equality check is O(1).
+///
+/// Acyclic nodes are interned on construction. Cycles are broken by μ
+/// nodes, which are created unique and merged later by the sharing
+/// maximization pass (§5.4): either the simple parallel-unification
+/// algorithm, a Hopcroft-style partition refinement, or the paper's default
+/// combination (simple first, partitioning as fallback).
+///
+/// Merging is a union-find over node ids; rewrite rules replace a node by
+/// merging it into its replacement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_VG_VALUEGRAPH_H
+#define LLVMMD_VG_VALUEGRAPH_H
+
+#include "ir/Function.h"
+#include "ir/Type.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace llvmmd {
+
+using NodeId = uint32_t;
+inline constexpr NodeId InvalidNode = ~NodeId(0);
+
+enum class NodeKind : uint8_t {
+  ConstInt,   // IntVal
+  ConstFloat, // FloatVal
+  ConstNull,
+  Undef,
+  Global,     // Str = name; IntVal = 1 if constant-qualified
+  Param,      // IntVal = index (shared between the two functions!)
+  InitialMem, // the memory state on function entry (shared)
+  Op,         // Op + Pred payloads; pure operators incl. GEP
+  Gamma,      // gated φ: operands [c1,v1, c2,v2, ...]
+  Mu,         // loop value: operands [init, next]; NOT hash-consed
+  Eta,        // loop exit: operands [stayCond, value]
+  Alloc,      // operands [count, memIn]; IntVal = element store size
+  AllocMem,   // operands [alloc]: memory state after the allocation
+  Load,       // operands [ptr, mem]
+  Store,      // operands [value, ptr, mem] -> memory
+  Call,       // Str = callee; IntVal = MemoryEffect; operands [args..., memIn]
+  CallMem,    // operands [call]: memory state after the call
+  Ret,        // operands [mem] or [value, mem]: the function's state pointer
+};
+
+const char *getNodeKindName(NodeKind K);
+
+struct Node {
+  NodeKind Kind;
+  Opcode Op = Opcode::Add; // valid when Kind == Op
+  uint8_t Pred = 0;        // icmp/fcmp predicate for Kind == Op
+  Type *Ty = nullptr;      // result type (null for memory-typed nodes)
+  int64_t IntVal = 0;
+  double FloatVal = 0;
+  std::string Str;
+  std::vector<NodeId> Ops;
+};
+
+/// Sharing maximization strategy (§5.4 of the paper).
+enum class SharingStrategy : uint8_t {
+  /// Bottom-up congruence pass + pairwise μ unification.
+  Simple,
+  /// Hopcroft-style partition refinement (bisimulation classes).
+  Partition,
+  /// Simple first; partitioning as a fallback. The paper reports this
+  /// performs slightly better than either alone.
+  Combined,
+};
+
+class ValueGraph {
+public:
+  //===------------------------------------------------------------------===//
+  // Node construction (hash-consed unless noted)
+  //===------------------------------------------------------------------===//
+
+  NodeId getConstInt(Type *Ty, int64_t V);
+  NodeId getConstFloat(Type *Ty, double V);
+  NodeId getConstBool(Type *BoolTy, bool B) {
+    return getConstInt(BoolTy, B ? 1 : 0);
+  }
+  NodeId getNull(Type *PtrTy);
+  NodeId getUndef(Type *Ty);
+  NodeId getGlobal(const std::string &Name, bool IsConstant, Type *PtrTy);
+  NodeId getParam(unsigned Index, Type *Ty);
+  NodeId getInitialMem();
+
+  NodeId getOp(Opcode Op, Type *Ty, std::vector<NodeId> Operands,
+               uint8_t Pred = 0, int64_t Extra = 0);
+
+  /// Gamma operands are (cond, value) pairs; they are canonically sorted.
+  NodeId getGamma(Type *Ty, std::vector<std::pair<NodeId, NodeId>> Branches);
+
+  NodeId getEta(Type *Ty, NodeId StayCond, NodeId Value);
+
+  /// μ nodes are unique (cycle breakers); operands set after body
+  /// construction via setMuOperands.
+  NodeId makeMu(Type *Ty);
+  void setMuOperands(NodeId Mu, NodeId Init, NodeId Next);
+
+  NodeId getAlloc(NodeId Count, NodeId MemIn, unsigned ElemSize);
+  NodeId getAllocMem(NodeId Alloc);
+  NodeId getLoad(Type *Ty, NodeId Ptr, NodeId Mem);
+  NodeId getStore(NodeId Value, NodeId Ptr, NodeId Mem);
+  NodeId getCall(const std::string &Callee, MemoryEffect Effect, Type *RetTy,
+                 std::vector<NodeId> ArgsAndMem);
+  NodeId getCallMem(NodeId Call);
+  NodeId getRet(NodeId ValueOrInvalid, NodeId Mem);
+
+  //===------------------------------------------------------------------===//
+  // Union-find and access
+  //===------------------------------------------------------------------===//
+
+  NodeId find(NodeId Id) const;
+  /// Merges \p From into \p Into: find(From) == find(Into) == find-of-Into.
+  /// Rewrite rules call this with Into = the canonical replacement.
+  void mergeInto(NodeId From, NodeId Into);
+
+  const Node &node(NodeId Id) const { return Nodes[find(Id)]; }
+  size_t size() const { return Nodes.size(); }
+  /// Number of live (representative) nodes.
+  size_t countRoots() const;
+
+  NodeId operand(NodeId Id, unsigned I) const {
+    return find(node(Id).Ops[I]);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Sharing maximization
+  //===------------------------------------------------------------------===//
+
+  /// Runs one round of sharing maximization; returns the number of merges.
+  unsigned maximizeSharing(SharingStrategy Strategy);
+
+  /// Canonically re-sorts every Gamma's branches (by current roots) and
+  /// commutative operators' operands. Returns number of nodes changed.
+  unsigned canonicalizeOrders();
+
+  //===------------------------------------------------------------------===//
+  // Cone queries used by rewrite rules
+  //===------------------------------------------------------------------===//
+
+  /// True if any μ node is reachable from \p Id (over current roots).
+  bool coneContainsMu(NodeId Id) const;
+
+  /// True if the Alloc node \p Alloc is non-escaping in this graph: it is
+  /// only used as a load/store/GEP address or for its AllocMem projection.
+  bool isNonEscapingAlloc(NodeId Alloc) const;
+
+  /// Structural may-alias on pointer-valued nodes (the validator-side
+  /// mirror of AliasAnalysis): NoAlias for distinct Allocs, distinct
+  /// Globals, non-escaping Alloc vs anything else, same base with disjoint
+  /// constant GEP offsets. Returns 0 = NoAlias, 1 = MayAlias, 2 = Must.
+  int aliasPointers(NodeId P, NodeId Q, unsigned SizeP, unsigned SizeQ) const;
+
+  /// Rewrite statistics (incremented by mergeInto when flagged).
+  unsigned getMergeCount() const { return MergeCount; }
+
+  /// Renders the live cone of \p Roots as readable text (one node per
+  /// line), for debugging and for the graph-dump example.
+  std::string dump(const std::vector<NodeId> &Roots) const;
+
+  /// Renders the live cone of \p Roots as a GraphViz digraph, in the style
+  /// of the paper's figures: γ/μ/η nodes labeled, memory edges dashed.
+  std::string dumpDot(const std::vector<NodeId> &Roots) const;
+
+private:
+  NodeId intern(Node N);
+
+  /// Parallel structural unification under cycle assumptions (§5.4's
+  /// "simple unification algorithm").
+  bool unify(NodeId X, NodeId Y, std::set<std::pair<NodeId, NodeId>> &Assumed,
+             unsigned Depth) const;
+
+  unsigned congruencePass();
+  unsigned muUnificationPass();
+  unsigned partitionRefinementPass();
+
+  std::vector<Node> Nodes;
+  mutable std::vector<NodeId> Parent;
+  std::map<std::string, NodeId> HashCons; // serialized key -> id
+  unsigned MergeCount = 0;
+};
+
+} // namespace llvmmd
+
+#endif // LLVMMD_VG_VALUEGRAPH_H

@@ -1,0 +1,466 @@
+//===- Generator.cpp - Deterministic IR program generator ---------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Generator.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "support/Hashing.h"
+
+#include <vector>
+
+using namespace llvmmd;
+
+namespace {
+
+class FunctionGenerator {
+public:
+  FunctionGenerator(Module &M, const BenchmarkProfile &P, Function *F,
+                    uint64_t Seed)
+      : M(M), Ctx(M.getContext()), P(P), F(F), Rng(Seed), B(Ctx) {}
+
+  void generate() {
+    BasicBlock *Entry = F->createBlock("entry");
+    B.setInsertPoint(Entry);
+    I32 = Ctx.getInt32Ty();
+    I64 = Ctx.getInt64Ty();
+    I8 = Ctx.getInt8Ty();
+
+    // Parameters: (i32 a, i32 b, ptr s).
+    Pool.push_back(F->getArg(0));
+    Pool.push_back(F->getArg(1));
+    StrParam = F->getArg(2);
+
+    // Some functions are pure integer arithmetic and control flow: their
+    // optimizations are the "minor syntactic changes" the paper says
+    // validate with hardly any rules.
+    PureArith = Rng.chance(P.ArithFnPct);
+    if (!PureArith) {
+      // A couple of local arrays for memory traffic.
+      IntArray = B.createAlloca(I32, Ctx.getInt64(8), "arr");
+      ByteArray = B.createAlloca(I8, Ctx.getInt64(16), "buf");
+      B.createStore(Ctx.getInt32(0), IntArray);
+    }
+
+    unsigned Segments =
+        P.MinSegments +
+        Rng.below(P.MaxSegments - P.MinSegments + 1);
+    for (unsigned S = 0; S < Segments; ++S)
+      emitSegment(/*Depth=*/0);
+
+    // Combine a few live values into the result.
+    Value *R = pick();
+    for (unsigned K = 0, E = 1 + Rng.below(3); K < E; ++K) {
+      Opcode Op = Rng.chance(50) ? Opcode::Add : Opcode::Xor;
+      R = B.createBinary(Op, R, pick(), "res");
+    }
+    B.createRet(R);
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Value pool helpers
+  //===------------------------------------------------------------------===//
+
+  Value *pick() {
+    if (Pool.empty() || Rng.chance(PureArith ? 5 : 15))
+      return Ctx.getInt32(Rng.range(-64, 64));
+    return Pool[Rng.below(Pool.size())];
+  }
+
+  void push(Value *V) {
+    Pool.push_back(V);
+    if (Pool.size() > 24)
+      Pool.erase(Pool.begin() + 2); // keep the params available
+  }
+
+  Value *constExpr() {
+    // A chain that SCCP / constant folding collapses.
+    Value *A = Ctx.getInt32(Rng.range(1, 9));
+    Value *C = B.createAdd(A, Ctx.getInt32(Rng.range(1, 9)), "cf");
+    if (Rng.chance(50))
+      C = B.createMul(C, Ctx.getInt32(Rng.range(1, 4)), "cf");
+    return C;
+  }
+
+  Value *someExpr() {
+    Value *A = pick(), *C = pick();
+    switch (Rng.below(6)) {
+    case 0:
+      return B.createAdd(A, C, "t");
+    case 1:
+      return B.createSub(A, C, "t");
+    case 2:
+      return B.createMul(A, Ctx.getInt32(Rng.range(2, 5)), "t");
+    case 3:
+      return B.createAnd(A, Ctx.getInt32(255), "t");
+    case 4:
+      return B.createXor(A, C, "t");
+    default:
+      return B.createBinary(Opcode::AShr, A, Ctx.getInt32(Rng.range(1, 3)),
+                            "t");
+    }
+  }
+
+  /// Pure-arithmetic functions carry fewer planted constant chains: their
+  /// GVN work is then mostly CSE, which validates without any rules.
+  unsigned constChance() const {
+    return PureArith ? P.ConstExprPct / 6 : P.ConstExprPct;
+  }
+
+  unsigned redundantChance() const {
+    return PureArith ? P.RedundantPct + P.RedundantPct / 2 : P.RedundantPct;
+  }
+
+  Value *someCond() {
+    if (Rng.chance(constChance())) {
+      // Constant-foldable condition: SCCP resolves the branch.
+      return B.createICmp(ICmpPred::SLT, constExpr(),
+                          Ctx.getInt32(Rng.range(5, 40)), "cc");
+    }
+    static const ICmpPred Preds[] = {ICmpPred::SLT, ICmpPred::SLE,
+                                     ICmpPred::EQ, ICmpPred::NE,
+                                     ICmpPred::SGT};
+    return B.createICmp(Preds[Rng.below(5)], pick(), pick(), "c");
+  }
+
+  BasicBlock *newBlock(const char *Tag) {
+    return F->createBlock(Tag + std::to_string(NextBlock++));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Segments
+  //===------------------------------------------------------------------===//
+
+  void emitSegment(unsigned Depth) {
+    unsigned Roll = Rng.below(100);
+    if (Roll < P.LoopPct && Depth < 2) {
+      emitLoop(Depth);
+      return;
+    }
+    Roll = Rng.below(100);
+    if (Roll < P.DiamondPct) {
+      emitDiamond();
+      return;
+    }
+    if (!PureArith) {
+      if (Rng.chance(P.ArrayPct))
+        emitArray();
+      if (Rng.chance(P.CallPct))
+        emitCall();
+      if (Rng.chance(P.FloatPct))
+        emitFloat();
+      if (Rng.chance(P.GlobalPct))
+        emitGlobal();
+    }
+    emitStraightline();
+  }
+
+  void emitStraightline() {
+    Value *V = someExpr();
+    if (Rng.chance(redundantChance())) {
+      // A duplicate computation for GVN to merge. Rebuild the same
+      // expression from the same operands.
+      if (auto *BO = dyn_cast<BinaryOperator>(V)) {
+        Value *Dup = B.createBinary(BO->getOpcode(), BO->getLHS(),
+                                    BO->getRHS(), "dup");
+        push(B.createAdd(V, Dup, "sum"));
+      }
+    }
+    if (Rng.chance(constChance()))
+      push(B.createAdd(someExpr(), constExpr(), "k"));
+    push(V);
+  }
+
+  void emitDiamond() {
+    Value *Cond = someCond();
+    BasicBlock *T = newBlock("then");
+    BasicBlock *E = newBlock("else");
+    BasicBlock *J = newBlock("join");
+    B.createCondBr(Cond, T, E);
+
+    bool GVNTwin = Rng.chance(P.RedundantPct);
+    Value *Shared1 = pick(), *Shared2 = pick();
+
+    B.setInsertPoint(T);
+    Value *TV = GVNTwin ? B.createAdd(Shared1, Shared2, "tw")
+                        : someExpr();
+    if (!PureArith && Rng.chance(30))
+      B.createStore(TV, B.createGEP(I32, IntArray,
+                                    Ctx.getInt64(Rng.below(8)), "p"));
+    B.createBr(J);
+
+    B.setInsertPoint(E);
+    Value *EV = GVNTwin ? B.createAdd(Shared1, Shared2, "tw")
+                        : someExpr();
+    B.createBr(J);
+
+    B.setInsertPoint(J);
+    PhiNode *P2 = B.createPhi(I32, "phi");
+    P2->addIncoming(TV, T);
+    P2->addIncoming(EV, E);
+    push(P2);
+  }
+
+  void emitLoop(unsigned Depth) {
+    // Bound the trip count so the reference interpreter always terminates.
+    // Bounds come from the parameters most of the time; constant bounds
+    // fold under SCCP and make the loop deletable (the DeadLoop knob).
+    bool Dead = Rng.chance(P.DeadLoopPct);
+    Value *NSrc = Dead && Rng.chance(50)
+                      ? static_cast<Value *>(Ctx.getInt32(Rng.range(0, 64)))
+                      : static_cast<Value *>(
+                            F->getArg(Rng.below(2)));
+    Value *N = B.createAnd(NSrc, Ctx.getInt32(15), "n");
+    Value *Init = pick();
+    bool Invariant = Rng.chance(P.InvariantPct);
+    bool Unswitch = Rng.chance(P.UnswitchPct) && !Dead;
+    bool ArrayWork = Rng.chance(P.ArrayPct) && !Dead && !PureArith;
+    bool LibcWork = Rng.chance(P.LibcPct) && !Dead && !PureArith;
+
+    // Loop-invariant ingredients defined before the loop.
+    Value *InvA = pick(), *InvB = pick();
+    Value *UnswitchCond =
+        Unswitch ? B.createICmp(ICmpPred::SGT, pick(), pick(), "uc")
+                 : nullptr;
+
+    BasicBlock *Pre = B.getInsertBlock();
+    BasicBlock *Header = newBlock("loop");
+    BasicBlock *Body = newBlock("body");
+    BasicBlock *Latch = newBlock("latch");
+    BasicBlock *Exit = newBlock("exit");
+    B.createBr(Header);
+
+    B.setInsertPoint(Header);
+    PhiNode *I = B.createPhi(I32, "i");
+    PhiNode *Acc = B.createPhi(I32, "acc");
+    I->addIncoming(Ctx.getInt32(0), Pre);
+    Acc->addIncoming(Init, Pre);
+    Value *Cmp = B.createICmp(ICmpPred::SLT, I, N, "lc");
+    B.createCondBr(Cmp, Body, Exit);
+
+    B.setInsertPoint(Body);
+    Value *Step = B.createAdd(Acc, I, "step");
+    if (Invariant) {
+      // x = a + c inside the loop but invariant: LICM hoists it.
+      Value *Inv = B.createAdd(InvA, InvB, "inv");
+      Step = B.createXor(Step, Inv, "step");
+    }
+    if (ArrayWork) {
+      Value *Ptr = B.createGEP(I32, IntArray,
+                               B.createCast(Opcode::SExt, I, I64, "ix"),
+                               "ep");
+      B.createStore(Step, Ptr);
+    }
+    if (LibcWork) {
+      // strlen of a loop-invariant string while the loop writes only
+      // non-aliasing local memory: LLVM (and our LICM) hoists the call;
+      // the validator needs libc knowledge to agree.
+      Value *Len = B.createCall(M.getFunction("strlen"), {StrParam}, "len");
+      Value *Len32 = B.createCast(Opcode::Trunc, Len, I32, "len32");
+      Step = B.createAdd(Step, Len32, "step");
+      if (!ArrayWork) {
+        // Ensure there is a store in the loop so hoisting is not trivial.
+        Value *Ptr = B.createGEP(I32, IntArray, Ctx.getInt64(1), "wp");
+        B.createStore(Step, Ptr);
+      }
+    }
+    Value *BodyOut = Step;
+    if (Unswitch) {
+      BasicBlock *UT = newBlock("ut");
+      BasicBlock *UE = newBlock("ue");
+      BasicBlock *UJ = newBlock("uj");
+      B.createCondBr(UnswitchCond, UT, UE);
+      B.setInsertPoint(UT);
+      Value *TV = B.createAdd(Step, Ctx.getInt32(1), "utv");
+      B.createBr(UJ);
+      B.setInsertPoint(UE);
+      Value *EV = B.createSub(Step, Ctx.getInt32(1), "uev");
+      B.createBr(UJ);
+      B.setInsertPoint(UJ);
+      PhiNode *UP = B.createPhi(I32, "uphi");
+      UP->addIncoming(TV, UT);
+      UP->addIncoming(EV, UE);
+      BodyOut = UP;
+    }
+    if (Depth == 0 && Rng.chance(P.NestedLoopPct))
+      BodyOut = emitInnerLoop(BodyOut);
+    B.createBr(Latch);
+
+    B.setInsertPoint(Latch);
+    Value *INext = B.createAdd(I, Ctx.getInt32(1), "inc");
+    B.createBr(Header);
+    I->addIncoming(INext, Latch);
+    Acc->addIncoming(BodyOut, Latch);
+
+    B.setInsertPoint(Exit);
+    if (!Dead)
+      push(Acc);
+    // Dead loops: the accumulator is never used again, so ADCE plus loop
+    // deletion remove the whole loop.
+  }
+
+  Value *emitInnerLoop(Value *Carry) {
+    BasicBlock *Pre = B.getInsertBlock();
+    BasicBlock *Header = newBlock("iloop");
+    BasicBlock *Body = newBlock("ibody");
+    BasicBlock *Exit = newBlock("iexit");
+    B.createBr(Header);
+
+    B.setInsertPoint(Header);
+    PhiNode *J = B.createPhi(I32, "j");
+    PhiNode *S = B.createPhi(I32, "s");
+    J->addIncoming(Ctx.getInt32(0), Pre);
+    S->addIncoming(Carry, Pre);
+    Value *Cmp = B.createICmp(ICmpPred::SLT, J, Ctx.getInt32(4), "jc");
+    B.createCondBr(Cmp, Body, Exit);
+
+    B.setInsertPoint(Body);
+    Value *SN = B.createAdd(S, J, "sn");
+    Value *JN = B.createAdd(J, Ctx.getInt32(1), "jn");
+    B.createBr(Header);
+    J->addIncoming(JN, Body);
+    S->addIncoming(SN, Body);
+
+    B.setInsertPoint(Exit);
+    return S;
+  }
+
+  void emitArray() {
+    unsigned Idx = Rng.below(8);
+    Value *Ptr = B.createGEP(I32, IntArray, Ctx.getInt64(Idx), "ap");
+    if (Rng.chance(P.DeadStorePct)) {
+      // Overwritten store: DSE removes the first one.
+      B.createStore(pick(), Ptr);
+    }
+    Value *Stored = pick();
+    B.createStore(Stored, Ptr);
+    Value *L1 = B.createLoad(I32, Ptr, "ld");
+    push(L1);
+    if (Rng.chance(P.RedundantPct)) {
+      // Redundant load: GVN forwards the stored value.
+      Value *L2 = B.createLoad(I32, Ptr, "ld2");
+      push(B.createAdd(L1, L2, "lsum"));
+    }
+  }
+
+  void emitCall() {
+    switch (Rng.below(4)) {
+    case 0: {
+      Value *Len = B.createCall(M.getFunction("strlen"), {StrParam}, "sl");
+      push(B.createCast(Opcode::Trunc, Len, I32, "sl32"));
+      return;
+    }
+    case 1: {
+      Value *V = B.createCall(M.getFunction("atoi"), {StrParam}, "ai");
+      push(V);
+      return;
+    }
+    case 2: {
+      Value *V = B.createCall(M.getFunction("abs"), {pick()}, "ab");
+      push(V);
+      return;
+    }
+    default: {
+      // memset a byte buffer then read a byte back: folding the read needs
+      // the optimizer's (and validator's) memset model.
+      unsigned Fill = Rng.below(200);
+      B.createCall(M.getFunction("memset"),
+                   {ByteArray, Ctx.getInt32(Fill), Ctx.getInt64(16)});
+      Value *Ptr = B.createGEP(I8, ByteArray, Ctx.getInt64(Rng.below(16)),
+                               "bp");
+      Value *Byte = B.createLoad(I8, Ptr, "byte");
+      push(B.createCast(Opcode::ZExt, Byte, I32, "bz"));
+      return;
+    }
+    }
+  }
+
+  void emitFloat() {
+    // Foldable float arithmetic: the optimizer folds it; the validator
+    // needs RS_FloatFold to keep up.
+    Value *A = Ctx.getFloat(1.5 * static_cast<double>(Rng.range(1, 8)));
+    Value *C = Ctx.getFloat(0.25 * static_cast<double>(Rng.range(1, 8)));
+    Value *S = B.createBinary(Opcode::FAdd, A, C, "fs");
+    Value *T = B.createBinary(Opcode::FMul, S, Ctx.getFloat(2.0), "ft");
+    Value *Cmp = B.createFCmp(FCmpPred::OGT, T, Ctx.getFloat(3.0), "fc");
+    push(B.createCast(Opcode::ZExt, Cmp, I32, "fci"));
+  }
+
+  void emitGlobal() {
+    if (Rng.chance(60)) {
+      // Load of a constant global: folded by GVN, needs RS_GlobalFold.
+      GlobalVariable *GC = M.getGlobal("gc" + std::to_string(Rng.below(4)));
+      push(B.createLoad(I32, GC, "gl"));
+      return;
+    }
+    GlobalVariable *GM = M.getGlobal("gm" + std::to_string(Rng.below(2)));
+    if (Rng.chance(50))
+      B.createStore(pick(), GM);
+    push(B.createLoad(I32, GM, "gml"));
+  }
+
+  Module &M;
+  Context &Ctx;
+  const BenchmarkProfile &P;
+  Function *F;
+  SplitMixRng Rng;
+  IRBuilder B;
+  Type *I32 = nullptr;
+  Type *I64 = nullptr;
+  Type *I8 = nullptr;
+  Value *StrParam = nullptr;
+  Value *IntArray = nullptr;
+  Value *ByteArray = nullptr;
+  std::vector<Value *> Pool;
+  unsigned NextBlock = 0;
+  bool PureArith = false;
+};
+
+void declareExternals(Module &M) {
+  Context &Ctx = M.getContext();
+  Type *I32 = Ctx.getInt32Ty(), *I64 = Ctx.getInt64Ty();
+  Type *Ptr = Ctx.getPtrTy(), *Void = Ctx.getVoidTy(), *F = Ctx.getFloatTy();
+  M.createFunction(Ctx.getFunctionTy(I64, {Ptr}), "strlen")
+      ->setMemoryEffect(MemoryEffect::ReadOnly);
+  M.createFunction(Ctx.getFunctionTy(I32, {Ptr}), "atoi")
+      ->setMemoryEffect(MemoryEffect::ReadOnly);
+  M.createFunction(Ctx.getFunctionTy(I32, {I32}), "abs")
+      ->setMemoryEffect(MemoryEffect::ReadNone);
+  M.createFunction(Ctx.getFunctionTy(Void, {Ptr, I32, I64}), "memset");
+  M.createFunction(Ctx.getFunctionTy(F, {F}), "fsqrt")
+      ->setMemoryEffect(MemoryEffect::ReadNone);
+  M.createFunction(Ctx.getFunctionTy(I32, {Ptr}), "puts");
+}
+
+} // namespace
+
+std::unique_ptr<Module> llvmmd::generateBenchmark(
+    Context &Ctx, const BenchmarkProfile &Profile) {
+  auto M = std::make_unique<Module>(Ctx, Profile.Name);
+  declareExternals(*M);
+
+  // Globals: constant (foldable) and mutable.
+  SplitMixRng Rng(Profile.Seed);
+  for (unsigned K = 0; K < 4; ++K)
+    M->createGlobal(Ctx.getInt32Ty(), "gc" + std::to_string(K),
+                    Ctx.getInt32(Rng.range(1, 1000)), /*IsConstant=*/true);
+  for (unsigned K = 0; K < 2; ++K)
+    M->createGlobal(Ctx.getInt32Ty(), "gm" + std::to_string(K),
+                    Ctx.getInt32(Rng.range(1, 100)), /*IsConstant=*/false);
+
+  Type *I32 = Ctx.getInt32Ty();
+  FunctionType *FTy =
+      Ctx.getFunctionTy(I32, {I32, I32, Ctx.getPtrTy()});
+  for (unsigned K = 0; K < Profile.FunctionCount; ++K) {
+    Function *F = M->createFunction(FTy, Profile.Name + "_f" +
+                                             std::to_string(K));
+    FunctionGenerator Gen(*M, Profile, F,
+                          hashCombine(Profile.Seed, K * 2654435761u));
+    Gen.generate();
+  }
+  return M;
+}

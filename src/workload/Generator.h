@@ -1,0 +1,37 @@
+//===- Generator.h - Deterministic IR program generator ---------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates a module of synthetic-but-realistic functions from a
+/// BenchmarkProfile: structured control flow (diamonds, while loops,
+/// nested loops), array traffic through allocas and getelementptr, calls
+/// to modeled libc functions, and deliberately planted optimization
+/// opportunities (constant chains for SCCP, redundancies for GVN,
+/// invariants for LICM/unswitch, dead stores for DSE, dead loops for loop
+/// deletion). Everything is a pure function of the profile's seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_WORKLOAD_GENERATOR_H
+#define LLVMMD_WORKLOAD_GENERATOR_H
+
+#include "workload/Profiles.h"
+
+#include <memory>
+
+namespace llvmmd {
+
+class Context;
+class Module;
+
+/// Generates the module for one benchmark profile. The module lives in
+/// \p Ctx, which must outlive it.
+std::unique_ptr<Module> generateBenchmark(Context &Ctx,
+                                          const BenchmarkProfile &Profile);
+
+} // namespace llvmmd
+
+#endif // LLVMMD_WORKLOAD_GENERATOR_H

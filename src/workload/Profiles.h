@@ -1,0 +1,81 @@
+//===- Profiles.h - Synthetic benchmark profiles ----------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One profile per benchmark program of the paper's Table 1 (the pure-C
+/// SPEC CPU2006 programs plus SQLite). We cannot ship SPEC or compile C
+/// offline, so each profile drives a deterministic IR generator whose
+/// feature mix mirrors the program's character: loop density, φ
+/// complexity, array traffic, libc usage, floating point, globals, and
+/// function-size distribution. Scale is reduced ~20x relative to the
+/// paper's function counts; the *relative* shapes of the evaluation
+/// figures are what the generator is tuned to preserve (see DESIGN.md §2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_WORKLOAD_PROFILES_H
+#define LLVMMD_WORKLOAD_PROFILES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llvmmd {
+
+/// Percentages are 0-100 probabilities per generated segment/function.
+struct BenchmarkProfile {
+  std::string Name;
+  uint64_t Seed;
+  unsigned FunctionCount;
+  /// Approximate body size: number of code segments per function, drawn
+  /// uniformly from [MinSegments, MaxSegments].
+  unsigned MinSegments;
+  unsigned MaxSegments;
+
+  // Structural mix.
+  unsigned LoopPct;        ///< a segment is a loop
+  unsigned NestedLoopPct;  ///< a loop contains an inner loop
+  unsigned DiamondPct;     ///< a segment is an if-diamond
+  unsigned ArrayPct;       ///< a segment does alloca/GEP/load/store work
+  unsigned CallPct;        ///< a segment calls an external function
+
+  // Optimization-opportunity mix (drives which validator rules matter).
+  unsigned ConstExprPct;   ///< constant-foldable subexpressions (SCCP)
+  unsigned RedundantPct;   ///< duplicated expressions and loads (GVN)
+  unsigned InvariantPct;   ///< loop-invariant arithmetic (LICM)
+  unsigned UnswitchPct;    ///< loop-invariant branches (loop unswitching)
+  unsigned DeadStorePct;   ///< overwritten / never-read stores (DSE)
+  unsigned DeadLoopPct;    ///< loops computing unused values (loop deletion)
+
+  /// Fraction of functions that are pure integer arithmetic + control flow
+  /// (no memory traffic, calls, floats or globals). These are the functions
+  /// whose GVN transformations are "minor syntactic changes" that validate
+  /// with no rewrite rules at all (the paper's ~50% GVN baseline).
+  unsigned ArithFnPct;
+
+  // False-alarm features (optimizer knowledge the paper's validator lacks
+  // without its extension rule sets).
+  unsigned LibcPct;        ///< strlen/memset/atoi patterns (needs RS_Libc)
+  unsigned FloatPct;       ///< foldable float arithmetic (needs RS_FloatFold)
+  unsigned GlobalPct;      ///< loads of constant globals (needs RS_GlobalFold)
+
+  // Table 1 bookkeeping: the paper's reported size for this program, used
+  // verbatim when printing the suite-information table.
+  const char *PaperSize;
+  const char *PaperLOC;
+  unsigned PaperFunctions;
+};
+
+/// The 12 programs of Table 1 with per-program feature mixes.
+std::vector<BenchmarkProfile> getPaperSuite();
+
+/// Looks up one profile by name (returns a FunctionCount==0 profile if
+/// unknown).
+BenchmarkProfile getProfile(const std::string &Name);
+
+} // namespace llvmmd
+
+#endif // LLVMMD_WORKLOAD_PROFILES_H

@@ -1,0 +1,170 @@
+//===- FoldingTest.cpp - Folding helpers vs the interpreter ---------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+// The compile-time folding in ir/Folding.h is used by the optimizer *and*
+// the validator; if it ever disagreed with the runtime semantics, either
+// the optimizer would miscompile or the validator would accept
+// miscompiles. These property sweeps pin the three against each other.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Folding.h"
+
+#include "ir/Interpreter.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "support/Hashing.h"
+
+#include <gtest/gtest.h>
+
+using namespace llvmmd;
+
+TEST(Folding, BasicArithmetic) {
+  EXPECT_EQ(foldIntBinary(Opcode::Add, 3, 3, 32), 6);
+  EXPECT_EQ(foldIntBinary(Opcode::Mul, 3, 2, 32), 6);
+  EXPECT_EQ(foldIntBinary(Opcode::Sub, 3, 2, 32), 1);
+  // The paper's §4 family: add 3 2 ↓ 5, mul 3 2 ↓ 6, sub 3 2 ↓ 1.
+  EXPECT_EQ(foldIntBinary(Opcode::Add, 3, 2, 32), 5);
+}
+
+TEST(Folding, WidthWrapping) {
+  EXPECT_EQ(foldIntBinary(Opcode::Add, 127, 1, 8), -128);
+  EXPECT_EQ(foldIntBinary(Opcode::Mul, 16, 16, 8), 0);
+  EXPECT_EQ(foldIntBinary(Opcode::Shl, 1, 7, 8), -128);
+}
+
+TEST(Folding, UndefinedCasesNeverFold) {
+  EXPECT_FALSE(foldIntBinary(Opcode::SDiv, 1, 0, 32).has_value());
+  EXPECT_FALSE(foldIntBinary(Opcode::UDiv, 1, 0, 32).has_value());
+  EXPECT_FALSE(foldIntBinary(Opcode::SRem, 1, 0, 32).has_value());
+  int64_t Min32 = signExtend(int64_t(1) << 31, 32);
+  EXPECT_FALSE(foldIntBinary(Opcode::SDiv, Min32, -1, 32).has_value());
+  EXPECT_FALSE(foldIntBinary(Opcode::Shl, 1, 32, 32).has_value());
+  EXPECT_FALSE(foldIntBinary(Opcode::LShr, 1, 64, 64).has_value());
+}
+
+TEST(Folding, UnsignedViews) {
+  // -1 as u8 is 255.
+  EXPECT_EQ(foldIntBinary(Opcode::UDiv, -1, 2, 8), 127);
+  EXPECT_EQ(foldIntBinary(Opcode::LShr, -1, 1, 8), 127);
+  EXPECT_EQ(foldIntBinary(Opcode::AShr, -1, 1, 8), -1);
+  EXPECT_TRUE(foldICmp(ICmpPred::UGT, -1, 1, 8));
+  EXPECT_FALSE(foldICmp(ICmpPred::SGT, -1, 1, 8));
+}
+
+TEST(Folding, Casts) {
+  EXPECT_EQ(foldCast(Opcode::Trunc, 300, 32, 8), 44);
+  EXPECT_EQ(foldCast(Opcode::SExt, -1, 8, 32), -1);
+  EXPECT_EQ(foldCast(Opcode::ZExt, -1, 8, 32), 255);
+}
+
+namespace {
+
+/// One sweep instance: (opcode, width).
+using FoldCase = std::tuple<Opcode, unsigned>;
+
+class FoldingVsInterpreter : public ::testing::TestWithParam<FoldCase> {};
+
+} // namespace
+
+TEST_P(FoldingVsInterpreter, AgreesOnRandomInputs) {
+  auto [Op, Bits] = GetParam();
+  Context Ctx;
+  Type *Ty = Ctx.getIntTy(Bits);
+  // Build `define iN @f(iN a, iN b) { %r = <op> iN %a, %b; ret iN %r }`
+  Module M(Ctx);
+  Function *F = M.createFunction(Ctx.getFunctionTy(Ty, {Ty, Ty}), "f");
+  BasicBlock *BB = F->createBlock("entry");
+  auto *I = new BinaryOperator(Op, F->getArg(0), F->getArg(1));
+  BB->append(I);
+  BB->append(new ReturnInst(I, Ctx.getVoidTy()));
+
+  Interpreter Interp(M);
+  SplitMixRng Rng(hashCombine(static_cast<uint64_t>(Op), Bits));
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    int64_t A = signExtend(static_cast<int64_t>(Rng.next()), Bits);
+    int64_t B = signExtend(static_cast<int64_t>(Rng.next()), Bits);
+    if (Trial < 20)
+      B = signExtend(Trial - 10, Bits); // cover small/edge divisors
+    auto Folded = foldIntBinary(Op, A, B, Bits);
+    ExecResult R =
+        Interp.run(*F, {RtValue::makeInt(A), RtValue::makeInt(B)});
+    if (!Folded) {
+      // The fold refused: the interpreter must trap on the same inputs.
+      EXPECT_EQ(R.Status, ExecStatus::Trap)
+          << getOpcodeName(Op) << " " << A << ", " << B;
+      continue;
+    }
+    ASSERT_EQ(R.Status, ExecStatus::OK)
+        << getOpcodeName(Op) << " " << A << ", " << B << ": " << R.Detail;
+    EXPECT_EQ(R.Value.Int, *Folded)
+        << getOpcodeName(Op) << " " << A << ", " << B;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpsAndWidths, FoldingVsInterpreter,
+    ::testing::Combine(
+        ::testing::Values(Opcode::Add, Opcode::Sub, Opcode::Mul,
+                          Opcode::SDiv, Opcode::UDiv, Opcode::SRem,
+                          Opcode::URem, Opcode::Shl, Opcode::LShr,
+                          Opcode::AShr, Opcode::And, Opcode::Or,
+                          Opcode::Xor),
+        ::testing::Values(8u, 16u, 32u, 64u)));
+
+namespace {
+
+class ICmpVsInterpreter : public ::testing::TestWithParam<ICmpPred> {};
+
+} // namespace
+
+TEST_P(ICmpVsInterpreter, AgreesOnRandomInputs) {
+  ICmpPred Pred = GetParam();
+  Context Ctx;
+  Type *Ty = Ctx.getInt32Ty();
+  Module M(Ctx);
+  Function *F =
+      M.createFunction(Ctx.getFunctionTy(Ctx.getInt1Ty(), {Ty, Ty}), "f");
+  BasicBlock *BB = F->createBlock("entry");
+  auto *I = new ICmpInst(Pred, F->getArg(0), F->getArg(1), Ctx.getInt1Ty());
+  BB->append(I);
+  BB->append(new ReturnInst(I, Ctx.getVoidTy()));
+
+  Interpreter Interp(M);
+  SplitMixRng Rng(static_cast<uint64_t>(Pred) + 99);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    int64_t A = signExtend(static_cast<int64_t>(Rng.next()), 32);
+    int64_t B = Trial % 3 ? signExtend(static_cast<int64_t>(Rng.next()), 32)
+                          : A; // exercise equality often
+    ExecResult R =
+        Interp.run(*F, {RtValue::makeInt(A), RtValue::makeInt(B)});
+    ASSERT_EQ(R.Status, ExecStatus::OK);
+    EXPECT_EQ(R.Value.Int != 0, foldICmp(Pred, A, B, 32))
+        << getPredName(Pred) << " " << A << ", " << B;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPreds, ICmpVsInterpreter,
+                         ::testing::Values(ICmpPred::EQ, ICmpPred::NE,
+                                           ICmpPred::SLT, ICmpPred::SLE,
+                                           ICmpPred::SGT, ICmpPred::SGE,
+                                           ICmpPred::ULT, ICmpPred::ULE,
+                                           ICmpPred::UGT, ICmpPred::UGE));
+
+TEST(Folding, SwapAndInvertLawsHoldSemantically) {
+  // swapPred: P(a,b) == swap(P)(b,a); invertPred: P(a,b) == !inv(P)(a,b).
+  SplitMixRng Rng(7);
+  for (ICmpPred P :
+       {ICmpPred::EQ, ICmpPred::NE, ICmpPred::SLT, ICmpPred::SLE,
+        ICmpPred::SGT, ICmpPred::SGE, ICmpPred::ULT, ICmpPred::ULE,
+        ICmpPred::UGT, ICmpPred::UGE}) {
+    for (int T = 0; T < 100; ++T) {
+      int64_t A = signExtend(static_cast<int64_t>(Rng.next()), 16);
+      int64_t B = T % 4 ? signExtend(static_cast<int64_t>(Rng.next()), 16)
+                        : A;
+      EXPECT_EQ(foldICmp(P, A, B, 16), foldICmp(swapPred(P), B, A, 16));
+      EXPECT_EQ(foldICmp(P, A, B, 16), !foldICmp(invertPred(P), A, B, 16));
+    }
+  }
+}

@@ -1,0 +1,235 @@
+//===- GatingEdgeTest.cpp - Gate computation corner cases -----------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+// §5.4: "essentially all of the technical difficulties lie in the complex
+// φ-nodes". These tests pin the gating analysis on the shapes that caused
+// trouble: nested diamonds, short-circuit-style multi-edge φs, gates that
+// span a whole loop, and the multi-exit rejection path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "validator/Validator.h"
+
+#include <gtest/gtest.h>
+
+using namespace llvmmd;
+using namespace llvmmd::testutil;
+
+namespace {
+
+ValidationResult validateSrc(Context &Ctx, const char *A, const char *B,
+                             unsigned Mask = RS_Paper) {
+  auto MA = parseOrDie(Ctx, A);
+  auto MB = parseOrDie(Ctx, B);
+  RuleConfig C;
+  C.Mask = Mask;
+  C.M = MA.get();
+  return validatePair(*MA->definedFunctions().front(),
+                      *MB->definedFunctions().front(), C);
+}
+
+} // namespace
+
+TEST(GatingEdges, NestedDiamondsValidateAgainstSelects) {
+  // φ over nested control flow vs the flattened select form: both produce
+  // γ trees over the same conditions.
+  Context Ctx;
+  auto R = validateSrc(Ctx, R"(
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %c1 = icmp slt i32 %a, 0
+  br i1 %c1, label %neg, label %pos
+neg:
+  %c2 = icmp slt i32 %b, 0
+  br i1 %c2, label %nn, label %np
+nn:
+  br label %j
+np:
+  br label %j
+pos:
+  br label %j
+j:
+  %r = phi i32 [ 1, %nn ], [ 2, %np ], [ 3, %pos ]
+  ret i32 %r
+}
+)",
+                       R"(
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %c1 = icmp slt i32 %a, 0
+  %c2 = icmp slt i32 %b, 0
+  %inner = select i1 %c2, i32 1, i32 2
+  %r = select i1 %c1, i32 %inner, i32 3
+  ret i32 %r
+}
+)");
+  EXPECT_TRUE(R.Validated)
+      << "nested diamonds and select trees express the same γs: "
+      << R.Reason;
+}
+
+TEST(GatingEdges, ShortCircuitStylePhi) {
+  // The paper's footnote: an if with short-circuit operators produces a φ
+  // with several branches whose gates are conjunctions.
+  Context Ctx;
+  auto R = validateSrc(Ctx, R"(
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %c1 = icmp sgt i32 %a, 0
+  br i1 %c1, label %test2, label %no
+test2:
+  %c2 = icmp sgt i32 %b, 0
+  br i1 %c2, label %yes, label %no
+yes:
+  br label %j
+no:
+  br label %j
+j:
+  %r = phi i32 [ 1, %yes ], [ 0, %no ]
+  ret i32 %r
+}
+)",
+                       R"(
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %c1 = icmp sgt i32 %a, 0
+  br i1 %c1, label %test2, label %no
+test2:
+  %c2 = icmp sgt i32 %b, 0
+  br i1 %c2, label %yes, label %no
+yes:
+  br label %j
+no:
+  br label %j
+j:
+  %r = phi i32 [ 1, %yes ], [ 0, %no ]
+  ret i32 %r
+}
+)");
+  EXPECT_TRUE(R.Validated) << "identical && φs: " << R.Reason;
+  EXPECT_TRUE(R.EqualOnConstruction);
+}
+
+TEST(GatingEdges, PhiAfterWholeLoopUsesEntryPredicate) {
+  // The φ at %j merges a path that went through the loop with one that
+  // bypassed it; the loop-crossing gate uses the entry predicate under
+  // the termination assumption (single exit).
+  Context Ctx;
+  const char *Src = R"(
+define i32 @f(i32 %a, i32 %n) {
+entry:
+  %c = icmp sgt i32 %a, 0
+  br i1 %c, label %pre, label %skip
+pre:
+  br label %h
+h:
+  %i = phi i32 [ 0, %pre ], [ %i2, %b ]
+  %lc = icmp slt i32 %i, %n
+  br i1 %lc, label %b, label %after
+b:
+  %i2 = add i32 %i, 1
+  br label %h
+after:
+  br label %j
+skip:
+  br label %j
+j:
+  %r = phi i32 [ %i, %after ], [ -1, %skip ]
+  ret i32 %r
+}
+)";
+  auto R = validateSrc(Ctx, Src, Src);
+  EXPECT_TRUE(R.Validated) << R.Reason;
+}
+
+TEST(GatingEdges, MultiExitLoopGateIsRejectedNotMisvalidated) {
+  // A φ whose gate would have to reason about which of two loop exits was
+  // taken: the front-end refuses (unsupported), it must not guess.
+  Context Ctx;
+  const char *Src = R"(
+define i32 @f(i32 %n, i32 %k) {
+entry:
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %b2 ]
+  %c1 = icmp slt i32 %i, %n
+  br i1 %c1, label %b, label %out1
+b:
+  %c2 = icmp eq i32 %i, %k
+  br i1 %c2, label %out2, label %b2
+b2:
+  %i2 = add i32 %i, 1
+  br label %h
+out1:
+  br label %j
+out2:
+  br label %j
+j:
+  %r = phi i32 [ 1, %out1 ], [ 2, %out2 ]
+  ret i32 %r
+}
+)";
+  auto R = validateSrc(Ctx, Src, Src);
+  EXPECT_FALSE(R.Validated);
+  EXPECT_TRUE(R.Unsupported);
+  EXPECT_NE(R.Reason.find("multi-exit"), std::string::npos) << R.Reason;
+}
+
+TEST(GatingEdges, BranchConditionReuseAcrossDiamonds) {
+  // The §4.1 ordering example: two diamonds over the same condition; GVN
+  // merges the conditions, SCCP folds the second diamond. The validator
+  // must handle the gate of diamond 2 referring to the same condition
+  // node as diamond 1.
+  Context Ctx;
+  auto R = validateSrc(Ctx, R"(
+define i32 @f(i32 %x, i32 %y) {
+entry:
+  %a = icmp slt i32 %x, %y
+  br i1 %a, label %t1, label %e1
+t1:
+  %b = icmp slt i32 %x, %y
+  br i1 %b, label %t2, label %e2
+t2:
+  br label %j2
+e2:
+  br label %j2
+j2:
+  %c = phi i32 [ 1, %t2 ], [ 2, %e2 ]
+  br label %j1
+e1:
+  br label %j1
+j1:
+  %r = phi i32 [ %c, %j2 ], [ 1, %e1 ]
+  ret i32 %r
+}
+)",
+                       R"(
+define i32 @f(i32 %x, i32 %y) {
+entry:
+  ret i32 1
+}
+)");
+  EXPECT_TRUE(R.Validated)
+      << "inside the a-branch, b is a and the φ collapses to 1: "
+      << R.Reason;
+}
+
+TEST(GatingEdges, UnreachableTerminatedPathsAreTolerated) {
+  Context Ctx;
+  const char *Src = R"(
+define i32 @f(i32 %a) {
+entry:
+  %c = icmp sge i32 %a, 0
+  br i1 %c, label %ok, label %dead
+dead:
+  unreachable
+ok:
+  ret i32 %a
+}
+)";
+  auto R = validateSrc(Ctx, Src, Src);
+  EXPECT_TRUE(R.Validated) << R.Reason;
+}

@@ -1,0 +1,176 @@
+//===- GeneratorTest.cpp - Workload generator sanity tests ----------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+// The synthetic suite is the experimental substrate; these tests check
+// that each profile actually delivers the features its knobs promise
+// (loops, calls, floats, globals, unswitchable branches) and that the
+// whole thing is a pure function of its seed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace llvmmd;
+using namespace llvmmd::testutil;
+
+namespace {
+
+struct FeatureCounts {
+  unsigned Loops = 0, NestedLoops = 0, Calls = 0, Floats = 0, Globals = 0,
+           Stores = 0, Loads = 0, Phis = 0, Functions = 0;
+};
+
+FeatureCounts countFeatures(const Module &M) {
+  FeatureCounts C;
+  for (Function *F : M.definedFunctions()) {
+    ++C.Functions;
+    DominatorTree DT(*F);
+    LoopInfo LI(*F, DT);
+    for (Loop *L : LI.getLoopsInnermostFirst()) {
+      ++C.Loops;
+      C.NestedLoops += L->getParent() != nullptr;
+    }
+    for (const auto &BB : F->blocks()) {
+      for (Instruction *I : *BB) {
+        C.Calls += isa<CallInst>(I);
+        C.Floats += isFloatBinaryOp(I->getOpcode());
+        C.Stores += isa<StoreInst>(I);
+        C.Loads += isa<LoadInst>(I);
+        C.Phis += isa<PhiNode>(I);
+        for (Value *Op : I->operands())
+          C.Globals += isa<GlobalVariable>(Op);
+      }
+    }
+  }
+  return C;
+}
+
+} // namespace
+
+TEST(Generator, SuiteCoversTwelvePrograms) {
+  auto Suite = getPaperSuite();
+  ASSERT_EQ(Suite.size(), 12u);
+  std::set<std::string> Names;
+  for (const auto &P : Suite) {
+    EXPECT_GT(P.FunctionCount, 0u);
+    EXPECT_GE(P.MaxSegments, P.MinSegments);
+    Names.insert(P.Name);
+  }
+  EXPECT_EQ(Names.size(), 12u) << "duplicate profile names";
+  EXPECT_TRUE(Names.count("sqlite"));
+  EXPECT_TRUE(Names.count("gcc"));
+  EXPECT_EQ(getProfile("nonexistent").FunctionCount, 0u);
+}
+
+TEST(Generator, ProfilesDeliverTheirFeatureMix) {
+  Context Ctx;
+  auto Lbm = generateBenchmark(Ctx, getProfile("lbm"));
+  auto Perl = generateBenchmark(Ctx, getProfile("perlbench"));
+  FeatureCounts L = countFeatures(*Lbm);
+  FeatureCounts P = countFeatures(*Perl);
+  // lbm is the FP-heavy profile; perlbench the libc-heavy one.
+  EXPECT_GT(L.Floats, 0u);
+  EXPECT_GT(P.Calls, 0u);
+  double LbmFloatDensity = double(L.Floats) / L.Functions;
+  double PerlFloatDensity = double(P.Floats) / P.Functions;
+  EXPECT_GT(LbmFloatDensity, PerlFloatDensity)
+      << "lbm must be more FP-dense than perlbench";
+  double PerlCallDensity = double(P.Calls) / P.Functions;
+  double LbmCallDensity = double(L.Calls) / L.Functions;
+  EXPECT_GT(PerlCallDensity, LbmCallDensity)
+      << "perlbench must be more call-dense than lbm";
+}
+
+TEST(Generator, EveryProfileHasLoopsAndMemory) {
+  Context Ctx;
+  for (const auto &P : getPaperSuite()) {
+    BenchmarkProfile Small = P;
+    Small.FunctionCount = std::min(Small.FunctionCount, 10u);
+    auto M = generateBenchmark(Ctx, Small);
+    FeatureCounts C = countFeatures(*M);
+    EXPECT_GT(C.Loops, 0u) << P.Name;
+    EXPECT_GT(C.Phis, 0u) << P.Name;
+    EXPECT_GT(C.Stores + C.Loads, 0u) << P.Name;
+  }
+}
+
+TEST(Generator, GccProfileIsTheLargest) {
+  Context Ctx;
+  size_t GccInsts = 0, McfInsts = 0;
+  {
+    auto M = generateBenchmark(Ctx, getProfile("gcc"));
+    for (Function *F : M->definedFunctions())
+      GccInsts += F->getInstructionCount();
+  }
+  {
+    auto M = generateBenchmark(Ctx, getProfile("mcf"));
+    for (Function *F : M->definedFunctions())
+      McfInsts += F->getInstructionCount();
+  }
+  EXPECT_GT(GccInsts, 10 * McfInsts);
+}
+
+TEST(Generator, DeterministicAcrossContexts) {
+  std::string A, B;
+  {
+    Context Ctx;
+    A = printModule(*generateBenchmark(Ctx, getProfile("sjeng")));
+  }
+  {
+    Context Ctx;
+    B = printModule(*generateBenchmark(Ctx, getProfile("sjeng")));
+  }
+  EXPECT_EQ(A, B);
+}
+
+TEST(Generator, SeedChangesTheProgram) {
+  Context Ctx;
+  BenchmarkProfile P = getProfile("hmmer");
+  P.FunctionCount = 4;
+  std::string A = printModule(*generateBenchmark(Ctx, P));
+  P.Seed ^= 0xdeadbeef;
+  std::string B = printModule(*generateBenchmark(Ctx, P));
+  EXPECT_NE(A, B);
+}
+
+TEST(Generator, DeclaresTheModeledLibc) {
+  Context Ctx;
+  auto M = generateBenchmark(Ctx, getProfile("mcf"));
+  ASSERT_NE(M->getFunction("strlen"), nullptr);
+  EXPECT_TRUE(M->getFunction("strlen")->isReadOnly());
+  ASSERT_NE(M->getFunction("abs"), nullptr);
+  EXPECT_TRUE(M->getFunction("abs")->isReadNone());
+  ASSERT_NE(M->getFunction("memset"), nullptr);
+  EXPECT_TRUE(M->getFunction("memset")->mayWriteMemory());
+  // Constant and mutable globals exist for the GlobalFold experiments.
+  ASSERT_NE(M->getGlobal("gc0"), nullptr);
+  EXPECT_TRUE(M->getGlobal("gc0")->isConstantGlobal());
+  ASSERT_NE(M->getGlobal("gm0"), nullptr);
+  EXPECT_FALSE(M->getGlobal("gm0")->isConstantGlobal());
+}
+
+TEST(Generator, AllFunctionsAreSingleReturnAndReducible) {
+  Context Ctx;
+  for (const char *Name : {"sqlite", "gcc", "lbm"}) {
+    BenchmarkProfile P = getProfile(Name);
+    P.FunctionCount = std::min(P.FunctionCount, 12u);
+    auto M = generateBenchmark(Ctx, P);
+    for (Function *F : M->definedFunctions()) {
+      unsigned Rets = 0;
+      for (const auto &BB : F->blocks())
+        Rets += BB->getTerminator() &&
+                isa<ReturnInst>(BB->getTerminator());
+      EXPECT_EQ(Rets, 1u) << F->getName();
+      DominatorTree DT(*F);
+      LoopInfo LI(*F, DT);
+      EXPECT_FALSE(LI.isIrreducible()) << F->getName();
+    }
+  }
+}

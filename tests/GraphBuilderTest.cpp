@@ -1,0 +1,302 @@
+//===- GraphBuilderTest.cpp - Gated SSA + symbolic evaluation tests -----------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "gated/GatedSSA.h"
+#include "vg/GraphBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace llvmmd;
+using namespace llvmmd::testutil;
+
+namespace {
+
+struct BuildFixture : ::testing::Test {
+  Context Ctx;
+
+  BuildResult build(ValueGraph &G, const char *Src,
+                    const char *Name = "f") {
+    auto M = parseOrDie(Ctx, Src);
+    Keep.push_back(std::move(M));
+    return buildValueGraph(G, *Keep.back()->getFunction(Name));
+  }
+
+  std::vector<std::unique_ptr<Module>> Keep;
+};
+
+} // namespace
+
+TEST_F(BuildFixture, PaperBasicBlockExampleShares) {
+  // §3.1: both B1 and B2 in one graph; the node for 'a' is shared, and the
+  // graphs differ before normalization.
+  ValueGraph G;
+  BuildResult B1 = build(G, R"(
+define i32 @f(i32 %a) {
+entry:
+  %x1 = add i32 3, 3
+  %x2 = mul i32 %a, %x1
+  %x3 = add i32 %x2, %x2
+  ret i32 %x3
+}
+)");
+  size_t NodesAfterFirst = G.size();
+  BuildResult B2 = build(G, R"(
+define i32 @f(i32 %a) {
+entry:
+  %y1 = mul i32 %a, 6
+  %y2 = shl i32 %y1, 1
+  ret i32 %y2
+}
+)");
+  ASSERT_TRUE(B1.Supported);
+  ASSERT_TRUE(B2.Supported);
+  EXPECT_NE(G.find(B1.Ret), G.find(B2.Ret));
+  // The second function reuses shared leaves: it must add fewer nodes than
+  // a fresh graph would.
+  EXPECT_LT(G.size() - NodesAfterFirst, NodesAfterFirst);
+}
+
+TEST_F(BuildFixture, IdenticalFunctionsShareEverything) {
+  const char *Src = R"(
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %c = icmp slt i32 %a, %b
+  br i1 %c, label %t, label %e
+t:
+  %x = add i32 %a, 1
+  br label %j
+e:
+  %y = mul i32 %b, 2
+  br label %j
+j:
+  %p = phi i32 [ %x, %t ], [ %y, %e ]
+  ret i32 %p
+}
+)";
+  ValueGraph G;
+  BuildResult A = build(G, Src);
+  BuildResult B = build(G, Src);
+  ASSERT_TRUE(A.Supported && B.Supported);
+  EXPECT_EQ(G.find(A.Ret), G.find(B.Ret))
+      << "identical functions must be O(1)-equal by hash-consing";
+}
+
+TEST_F(BuildFixture, LoopsBecomeMuEta) {
+  ValueGraph G;
+  BuildResult R = build(G, R"(
+define i32 @f(i32 %n) {
+entry:
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %b ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %b, label %x
+b:
+  %i2 = add i32 %i, 1
+  br label %h
+x:
+  ret i32 %i
+}
+)");
+  ASSERT_TRUE(R.Supported);
+  std::string Dump = G.dump({R.Ret});
+  EXPECT_NE(Dump.find("mu"), std::string::npos);
+  EXPECT_NE(Dump.find("eta"), std::string::npos);
+}
+
+TEST_F(BuildFixture, MemoryIsThreadedMonadically) {
+  // §3.1 side effects: two allocas get distinct identities through memory
+  // threading; the load reads through the store chain.
+  ValueGraph G;
+  BuildResult R = build(G, R"(
+define i32 @f(i32 %x, i32 %y) {
+entry:
+  %p1 = alloca i32
+  %p2 = alloca i32
+  store i32 %x, ptr %p1
+  store i32 %y, ptr %p2
+  %z = load i32, ptr %p1
+  ret i32 %z
+}
+)");
+  ASSERT_TRUE(R.Supported);
+  std::string Dump = G.dump({R.Ret});
+  EXPECT_NE(Dump.find("alloc"), std::string::npos);
+  EXPECT_NE(Dump.find("store"), std::string::npos);
+  EXPECT_NE(Dump.find("load"), std::string::npos);
+}
+
+TEST_F(BuildFixture, ReadNoneCallsArePure) {
+  // abs() takes no memory operand: two calls on the same argument become
+  // one node even across the two functions.
+  ValueGraph G;
+  const char *Src = R"(
+declare i32 @abs(i32) readnone
+define i32 @f(i32 %a) {
+entry:
+  %v = call i32 @abs(i32 %a)
+  ret i32 %v
+}
+)";
+  BuildResult A = build(G, Src);
+  BuildResult B = build(G, Src);
+  ASSERT_TRUE(A.Supported && B.Supported);
+  EXPECT_EQ(G.find(A.Ret), G.find(B.Ret));
+}
+
+TEST_F(BuildFixture, WritingCallsClobberMemory) {
+  ValueGraph G;
+  BuildResult R = build(G, R"(
+declare void @w(ptr)
+define i32 @f(ptr %p) {
+entry:
+  store i32 1, ptr %p
+  call void @w(ptr %p)
+  %v = load i32, ptr %p
+  ret i32 %v
+}
+)");
+  ASSERT_TRUE(R.Supported);
+  std::string Dump = G.dump({R.Ret});
+  EXPECT_NE(Dump.find("callmem"), std::string::npos);
+}
+
+TEST_F(BuildFixture, RejectsIrreducible) {
+  ValueGraph G;
+  BuildResult R = build(G, R"(
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %b
+b:
+  br i1 %c, label %a, label %x
+x:
+  ret void
+}
+)");
+  EXPECT_FALSE(R.Supported);
+  EXPECT_NE(R.Reason.find("irreducible"), std::string::npos);
+}
+
+TEST_F(BuildFixture, RejectsMultipleReturns) {
+  ValueGraph G;
+  BuildResult R = build(G, R"(
+define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  ret i32 1
+b:
+  ret i32 2
+}
+)");
+  EXPECT_FALSE(R.Supported);
+  EXPECT_NE(R.Reason.find("return"), std::string::npos);
+}
+
+TEST_F(BuildFixture, GatedPhiConditionsDistinguishBranchPolarity) {
+  // §3.2: swapping branch targets with the same condition changes gates.
+  ValueGraph G;
+  BuildResult A = build(G, R"(
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %c = icmp slt i32 %a, %b
+  br i1 %c, label %t, label %e
+t:
+  br label %j
+e:
+  br label %j
+j:
+  %p = phi i32 [ 1, %t ], [ 2, %e ]
+  ret i32 %p
+}
+)");
+  BuildResult B = build(G, R"(
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %c = icmp slt i32 %a, %b
+  br i1 %c, label %t, label %e
+t:
+  br label %j
+e:
+  br label %j
+j:
+  %p = phi i32 [ 2, %t ], [ 1, %e ]
+  ret i32 %p
+}
+)");
+  ASSERT_TRUE(A.Supported && B.Supported);
+  EXPECT_NE(G.find(A.Ret), G.find(B.Ret))
+      << "a φ is not referentially transparent without its gates";
+}
+
+TEST(GatedSSATest, EdgeGatesAreConditions) {
+  Context Ctx;
+  auto M = testutil::parseOrDie(Ctx, R"(
+define i32 @f(i32 %a, i32 %b) {
+entry:
+  %c = icmp slt i32 %a, %b
+  br i1 %c, label %t, label %e
+t:
+  br label %j
+e:
+  br label %j
+j:
+  %p = phi i32 [ 1, %t ], [ 2, %e ]
+  ret i32 %p
+}
+)");
+  Function *F = M->getFunction("f");
+  GatingAnalysis GA(*F);
+  ASSERT_TRUE(GA.isSupported());
+  BasicBlock *T = nullptr, *E = nullptr, *J = nullptr;
+  for (const auto &BB : F->blocks()) {
+    if (BB->getName() == "t")
+      T = BB.get();
+    if (BB->getName() == "e")
+      E = BB.get();
+    if (BB->getName() == "j")
+      J = BB.get();
+  }
+  const GateExpr *GT = GA.getEdgeGate(T, J);
+  const GateExpr *GE = GA.getEdgeGate(E, J);
+  // Through-t gate is the raw condition; through-e its negation.
+  EXPECT_EQ(GT->K, GateExpr::Kind::Cond);
+  EXPECT_EQ(GE->K, GateExpr::Kind::Not);
+}
+
+TEST(GatedSSATest, StayConditionPolarity) {
+  Context Ctx;
+  auto M = testutil::parseOrDie(Ctx, R"(
+define i32 @f(i32 %n) {
+entry:
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %b ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %b, label %x
+b:
+  %i2 = add i32 %i, 1
+  br label %h
+x:
+  ret i32 %i
+}
+)");
+  Function *F = M->getFunction("f");
+  GatingAnalysis GA(*F);
+  ASSERT_TRUE(GA.isSupported());
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  Loop *L = LI.getTopLevelLoops().front();
+  auto [Exiting, Exit] = GA.getPrimaryExitEdge(*L);
+  ASSERT_NE(Exiting, nullptr);
+  const GateExpr *Stay = GA.getStayCondition(*L, Exiting, Exit);
+  // Staying in the loop means the branch condition held (fig. 2's η(b,x)).
+  EXPECT_EQ(Stay->K, GateExpr::Kind::Cond);
+}

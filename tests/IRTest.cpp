@@ -1,0 +1,233 @@
+//===- IRTest.cpp - Core IR data structure tests ------------------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace llvmmd;
+
+TEST(Types, Interning) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.getInt32Ty(), Ctx.getIntTy(32));
+  EXPECT_NE(Ctx.getInt32Ty(), Ctx.getInt64Ty());
+  EXPECT_EQ(Ctx.getPtrTy(), Ctx.getPtrTy());
+  EXPECT_TRUE(Ctx.getInt1Ty()->isBool());
+  EXPECT_EQ(Ctx.getInt32Ty()->getName(), "i32");
+  EXPECT_EQ(Ctx.getInt32Ty()->getStoreSize(), 4u);
+  EXPECT_EQ(Ctx.getInt1Ty()->getStoreSize(), 1u);
+  EXPECT_EQ(Ctx.getFloatTy()->getStoreSize(), 8u);
+}
+
+TEST(Types, FunctionTypeInterning) {
+  Context Ctx;
+  FunctionType *A = Ctx.getFunctionTy(Ctx.getInt32Ty(), {Ctx.getInt32Ty()});
+  FunctionType *B = Ctx.getFunctionTy(Ctx.getInt32Ty(), {Ctx.getInt32Ty()});
+  FunctionType *C = Ctx.getFunctionTy(Ctx.getInt32Ty(), {Ctx.getInt64Ty()});
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+}
+
+TEST(Constants, IntInterningAndCanonicalization) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.getInt32(7), Ctx.getInt32(7));
+  EXPECT_NE(Ctx.getInt32(7), Ctx.getInt64(7));
+  // Values canonicalize by sign extension from the width.
+  ConstantInt *A = Ctx.getInt(Ctx.getInt8Ty(), 0xFF);
+  EXPECT_EQ(A->getSExtValue(), -1);
+  EXPECT_EQ(A->getZExtValue(), 0xFFu);
+  EXPECT_EQ(A, Ctx.getInt(Ctx.getInt8Ty(), -1));
+}
+
+TEST(Constants, Predicates) {
+  Context Ctx;
+  EXPECT_TRUE(Ctx.getInt32(0)->isZero());
+  EXPECT_TRUE(Ctx.getInt32(1)->isOne());
+  EXPECT_TRUE(Ctx.getTrue()->isTrue());
+  EXPECT_TRUE(Ctx.getFalse()->isFalse());
+  EXPECT_TRUE(Ctx.getInt32(64)->isPowerOf2());
+  EXPECT_FALSE(Ctx.getInt32(65)->isPowerOf2());
+  EXPECT_FALSE(Ctx.getInt32(0)->isPowerOf2());
+}
+
+TEST(Constants, FloatAndSpecials) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.getFloat(2.5), Ctx.getFloat(2.5));
+  EXPECT_NE(Ctx.getFloat(2.5), Ctx.getFloat(2.25));
+  EXPECT_EQ(Ctx.getNullPtr(), Ctx.getNullPtr());
+  EXPECT_EQ(Ctx.getUndef(Ctx.getInt32Ty()), Ctx.getUndef(Ctx.getInt32Ty()));
+  EXPECT_NE(Ctx.getUndef(Ctx.getInt32Ty()), Ctx.getUndef(Ctx.getInt64Ty()));
+}
+
+namespace {
+
+/// Builds `f(a, b) { x = a + b; y = x * a; ret y }` for use-list tests.
+struct SimpleFunc {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F;
+  Value *X, *Y;
+
+  SimpleFunc() {
+    M = std::make_unique<Module>(Ctx);
+    Type *I32 = Ctx.getInt32Ty();
+    F = M->createFunction(Ctx.getFunctionTy(I32, {I32, I32}), "f");
+    IRBuilder B(Ctx);
+    B.setInsertPoint(F->createBlock("entry"));
+    X = B.createAdd(F->getArg(0), F->getArg(1), "x");
+    Y = B.createMul(X, F->getArg(0), "y");
+    B.createRet(Y);
+  }
+};
+
+} // namespace
+
+TEST(UseLists, TrackUses) {
+  SimpleFunc S;
+  EXPECT_EQ(S.X->getNumUses(), 1u);
+  EXPECT_TRUE(S.X->hasOneUse());
+  // arg0 is used by both the add and the mul.
+  EXPECT_EQ(S.F->getArg(0)->getNumUses(), 2u);
+  EXPECT_EQ(S.Y->getNumUses(), 1u); // the return
+}
+
+TEST(UseLists, ReplaceAllUsesWith) {
+  SimpleFunc S;
+  Value *C = S.Ctx.getInt32(5);
+  S.X->replaceAllUsesWith(C);
+  EXPECT_TRUE(S.X->use_empty());
+  auto *Mul = cast<Instruction>(S.Y);
+  EXPECT_EQ(Mul->getOperand(0), C);
+}
+
+TEST(UseLists, SetOperandMaintainsLists) {
+  SimpleFunc S;
+  auto *Mul = cast<Instruction>(S.Y);
+  size_t ArgUses = S.F->getArg(0)->getNumUses();
+  Mul->setOperand(1, S.F->getArg(1));
+  EXPECT_EQ(S.F->getArg(0)->getNumUses(), ArgUses - 1);
+}
+
+TEST(Instructions, OpcodeClassification) {
+  EXPECT_TRUE(isIntBinaryOp(Opcode::Add));
+  EXPECT_TRUE(isFloatBinaryOp(Opcode::FMul));
+  EXPECT_FALSE(isIntBinaryOp(Opcode::FMul));
+  EXPECT_TRUE(isCommutativeOp(Opcode::Mul));
+  EXPECT_FALSE(isCommutativeOp(Opcode::Sub));
+  EXPECT_TRUE(isTerminatorOp(Opcode::Ret));
+  EXPECT_TRUE(isCastOp(Opcode::SExt));
+}
+
+TEST(Instructions, PredHelpers) {
+  EXPECT_EQ(swapPred(ICmpPred::SLT), ICmpPred::SGT);
+  EXPECT_EQ(swapPred(ICmpPred::EQ), ICmpPred::EQ);
+  EXPECT_EQ(invertPred(ICmpPred::SLT), ICmpPred::SGE);
+  EXPECT_EQ(invertPred(ICmpPred::NE), ICmpPred::EQ);
+  for (auto P : {ICmpPred::EQ, ICmpPred::NE, ICmpPred::SLT, ICmpPred::SLE,
+                 ICmpPred::SGT, ICmpPred::SGE, ICmpPred::ULT, ICmpPred::ULE,
+                 ICmpPred::UGT, ICmpPred::UGE}) {
+    EXPECT_EQ(swapPred(swapPred(P)), P);
+    EXPECT_EQ(invertPred(invertPred(P)), P);
+  }
+}
+
+TEST(Instructions, SideEffectQueries) {
+  SimpleFunc S;
+  IRBuilder B(S.Ctx);
+  Function *F2 = S.M->createFunction(
+      S.Ctx.getFunctionTy(S.Ctx.getVoidTy(), {S.Ctx.getPtrTy()}), "w");
+  B.setInsertPoint(S.F->getEntryBlock());
+  // Build detached checks through fresh instructions in a scratch block.
+  Function *RO = S.M->createFunction(
+      S.Ctx.getFunctionTy(S.Ctx.getInt32Ty(), {}), "ro");
+  RO->setMemoryEffect(MemoryEffect::ReadOnly);
+  Function *RN = S.M->createFunction(
+      S.Ctx.getFunctionTy(S.Ctx.getInt32Ty(), {}), "rn");
+  RN->setMemoryEffect(MemoryEffect::ReadNone);
+  BasicBlock *BB = S.F->createBlock("scratch");
+  B.setInsertPoint(BB);
+  Value *P = B.createAlloca(S.Ctx.getInt32Ty());
+  Instruction *St = B.createStore(S.Ctx.getInt32(1), P);
+  Value *Ld = B.createLoad(S.Ctx.getInt32Ty(), P);
+  Value *CW = B.createCall(F2, {P});
+  Value *CR = B.createCall(RO, {}, "cr");
+  Value *CN = B.createCall(RN, {}, "cn");
+  EXPECT_TRUE(St->hasSideEffects());
+  EXPECT_TRUE(cast<Instruction>(Ld)->mayReadMemory());
+  EXPECT_FALSE(cast<Instruction>(Ld)->mayWriteMemory());
+  EXPECT_TRUE(cast<Instruction>(CW)->hasSideEffects());
+  EXPECT_FALSE(cast<Instruction>(CR)->mayWriteMemory());
+  EXPECT_TRUE(cast<Instruction>(CR)->mayReadMemory());
+  EXPECT_FALSE(cast<Instruction>(CN)->mayReadMemory());
+}
+
+TEST(BasicBlocks, SuccessorsAndPredecessors) {
+  Context Ctx;
+  Module M(Ctx);
+  Type *I32 = Ctx.getInt32Ty();
+  Function *F = M.createFunction(
+      Ctx.getFunctionTy(I32, {Ctx.getInt1Ty()}), "f");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *T = F->createBlock("t");
+  BasicBlock *E = F->createBlock("e");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(Entry);
+  B.createCondBr(F->getArg(0), T, E);
+  B.setInsertPoint(T);
+  B.createRet(Ctx.getInt32(1));
+  B.setInsertPoint(E);
+  B.createRet(Ctx.getInt32(2));
+
+  auto Succs = Entry->successors();
+  ASSERT_EQ(Succs.size(), 2u);
+  EXPECT_EQ(Succs[0], T);
+  EXPECT_EQ(Succs[1], E);
+  auto Preds = T->predecessors();
+  ASSERT_EQ(Preds.size(), 1u);
+  EXPECT_EQ(Preds[0], Entry);
+  EXPECT_TRUE(E->predecessors().size() == 1);
+  EXPECT_EQ(Entry->getTerminator()->getOpcode(), Opcode::Br);
+}
+
+TEST(BasicBlocks, PhiHelpers) {
+  Context Ctx;
+  Module M(Ctx);
+  Type *I32 = Ctx.getInt32Ty();
+  Function *F = M.createFunction(Ctx.getFunctionTy(I32, {}), "f");
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *BJ = F->createBlock("j");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(BJ);
+  PhiNode *P = B.createPhi(I32, "p");
+  P->addIncoming(Ctx.getInt32(1), A);
+  EXPECT_EQ(P->getNumIncoming(), 1u);
+  EXPECT_EQ(P->getIncomingValueForBlock(A), Ctx.getInt32(1));
+  EXPECT_EQ(P->getBlockIndex(A), 0);
+  P->removeIncoming(0);
+  EXPECT_EQ(P->getNumIncoming(), 0u);
+  // Phis group at the head; getFirstNonPhi skips them.
+  PhiNode *P2 = B.createPhi(I32, "p2");
+  B.createRet(P2);
+  EXPECT_EQ(*BJ->getFirstNonPhi(), BJ->getTerminator());
+  EXPECT_EQ(BJ->phis().size(), 2u);
+}
+
+TEST(Module, LookupAndGlobals) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = M.createFunction(Ctx.getFunctionTy(Ctx.getVoidTy(), {}),
+                                 "foo");
+  EXPECT_EQ(M.getFunction("foo"), F);
+  EXPECT_EQ(M.getFunction("bar"), nullptr);
+  GlobalVariable *G = M.createGlobal(Ctx.getInt32Ty(), "g", Ctx.getInt32(3),
+                                     true);
+  EXPECT_EQ(M.getGlobal("g"), G);
+  EXPECT_TRUE(G->isConstantGlobal());
+  EXPECT_EQ(cast<ConstantInt>(G->getInitializer())->getSExtValue(), 3);
+  EXPECT_TRUE(F->isDeclaration());
+  EXPECT_EQ(M.definedFunctions().size(), 0u);
+}

@@ -1,0 +1,316 @@
+//===- InterpreterTest.cpp - Reference interpreter tests ----------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ir/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace llvmmd;
+using namespace llvmmd::testutil;
+
+namespace {
+
+int64_t runInt(const char *Src, std::vector<RtValue> Args = {}) {
+  Context Ctx;
+  auto M = parseOrDie(Ctx, Src);
+  expectVerified(*M);
+  Interpreter I(*M);
+  ExecResult R = I.run(*M->definedFunctions().front(), Args);
+  EXPECT_EQ(R.Status, ExecStatus::OK) << R.Detail;
+  EXPECT_TRUE(R.HasValue);
+  return R.Value.Int;
+}
+
+ExecStatus runStatus(const char *Src, std::vector<RtValue> Args = {}) {
+  Context Ctx;
+  auto M = parseOrDie(Ctx, Src);
+  Interpreter I(*M);
+  return I.run(*M->definedFunctions().front(), Args).Status;
+}
+
+} // namespace
+
+TEST(Interpreter, Arithmetic) {
+  EXPECT_EQ(runInt(R"(
+define i32 @f() {
+entry:
+  %a = add i32 20, 22
+  ret i32 %a
+}
+)"),
+            42);
+  EXPECT_EQ(runInt(R"(
+define i32 @f() {
+entry:
+  %a = mul i32 -3, 5
+  %b = sdiv i32 %a, 2
+  %c = srem i32 %a, 4
+  %d = add i32 %b, %c
+  ret i32 %d
+}
+)"),
+            -10); // -15/2 = -7 (trunc), -15%4 = -3
+}
+
+TEST(Interpreter, WrapAroundAtWidth) {
+  EXPECT_EQ(runInt(R"(
+define i8 @f() {
+entry:
+  %a = add i8 127, 1
+  ret i8 %a
+}
+)"),
+            -128);
+  EXPECT_EQ(runInt(R"(
+define i8 @f() {
+entry:
+  %a = mul i8 16, 16
+  ret i8 %a
+}
+)"),
+            0);
+}
+
+TEST(Interpreter, UnsignedOps) {
+  EXPECT_EQ(runInt(R"(
+define i8 @f() {
+entry:
+  %a = udiv i8 -1, 2
+  ret i8 %a
+}
+)"),
+            127); // 255/2
+  EXPECT_EQ(runInt(R"(
+define i1 @f() {
+entry:
+  %a = icmp ugt i8 -1, 1
+  ret i1 %a
+}
+)"),
+            1); // 255 > 1 unsigned
+}
+
+TEST(Interpreter, Traps) {
+  EXPECT_EQ(runStatus(R"(
+define i32 @f() {
+entry:
+  %a = sdiv i32 1, 0
+  ret i32 %a
+}
+)"),
+            ExecStatus::Trap);
+  EXPECT_EQ(runStatus(R"(
+define i32 @f() {
+entry:
+  %a = shl i32 1, 40
+  ret i32 %a
+}
+)"),
+            ExecStatus::Trap);
+  EXPECT_EQ(runStatus(R"(
+define i32 @f() {
+entry:
+  %min = add i32 -2147483647, -1
+  %a = sdiv i32 %min, -1
+  ret i32 %a
+}
+)"),
+            ExecStatus::Trap);
+}
+
+TEST(Interpreter, StepLimitOnInfiniteLoop) {
+  EXPECT_EQ(runStatus(R"(
+define void @f() {
+entry:
+  br label %x
+x:
+  br label %x
+}
+)"),
+            ExecStatus::StepLimit);
+}
+
+TEST(Interpreter, PhiAndLoop) {
+  // sum 0..n-1
+  const char *Src = R"(
+define i32 @f(i32 %n) {
+entry:
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %b ]
+  %s = phi i32 [ 0, %entry ], [ %s2, %b ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %b, label %x
+b:
+  %s2 = add i32 %s, %i
+  %i2 = add i32 %i, 1
+  br label %h
+x:
+  ret i32 %s
+}
+)";
+  EXPECT_EQ(runInt(Src, {RtValue::makeInt(5)}), 10);
+  EXPECT_EQ(runInt(Src, {RtValue::makeInt(0)}), 0);
+}
+
+TEST(Interpreter, ParallelPhiSemantics) {
+  // Swapping phis must read the pre-edge values, not serialized updates.
+  const char *Src = R"(
+define i32 @f(i32 %n) {
+entry:
+  br label %h
+h:
+  %a = phi i32 [ 1, %entry ], [ %b, %body ]
+  %b = phi i32 [ 2, %entry ], [ %a, %body ]
+  %i = phi i32 [ 0, %entry ], [ %i2, %body ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %x
+body:
+  %i2 = add i32 %i, 1
+  br label %h
+x:
+  %r = shl i32 %a, 4
+  %r2 = or i32 %r, %b
+  ret i32 %r2
+}
+)";
+  EXPECT_EQ(runInt(Src, {RtValue::makeInt(0)}), 0x12);
+  EXPECT_EQ(runInt(Src, {RtValue::makeInt(1)}), 0x21);
+  EXPECT_EQ(runInt(Src, {RtValue::makeInt(2)}), 0x12);
+}
+
+TEST(Interpreter, MemoryAndGEP) {
+  EXPECT_EQ(runInt(R"(
+define i32 @f() {
+entry:
+  %p = alloca i32, i64 4
+  %q = getelementptr i32, ptr %p, i64 2
+  store i32 7, ptr %p
+  store i32 9, ptr %q
+  %a = load i32, ptr %p
+  %b = load i32, ptr %q
+  %s = add i32 %a, %b
+  ret i32 %s
+}
+)"),
+            16);
+}
+
+TEST(Interpreter, GlobalsPersistAcrossCallsWithinRun) {
+  Context Ctx;
+  auto M = parseOrDie(Ctx, R"(
+@g = global i32 5
+define void @bump() {
+entry:
+  %v = load i32, ptr @g
+  %v2 = add i32 %v, 1
+  store i32 %v2, ptr @g
+  ret void
+}
+define i32 @f() {
+entry:
+  call void @bump()
+  call void @bump()
+  %v = load i32, ptr @g
+  ret i32 %v
+}
+)");
+  Interpreter I(*M);
+  ExecResult R = I.run(*M->getFunction("f"), {});
+  ASSERT_EQ(R.Status, ExecStatus::OK) << R.Detail;
+  EXPECT_EQ(R.Value.Int, 7);
+  auto Mem = I.globalMemory();
+  ASSERT_EQ(Mem.at("g").size(), 4u);
+  EXPECT_EQ(Mem.at("g")[0], 7);
+}
+
+TEST(Interpreter, Builtins) {
+  Context Ctx;
+  auto M = parseOrDie(Ctx, R"(
+declare i64 @strlen(ptr) readonly
+declare i32 @atoi(ptr) readonly
+declare i32 @abs(i32) readnone
+declare void @memset(ptr, i32, i64)
+define i64 @len(ptr %s) {
+entry:
+  %l = call i64 @strlen(ptr %s)
+  ret i64 %l
+}
+define i32 @parse(ptr %s) {
+entry:
+  %v = call i32 @atoi(ptr %s)
+  ret i32 %v
+}
+define i32 @fill() {
+entry:
+  %p = alloca i8, i64 8
+  call void @memset(ptr %p, i32 65, i64 8)
+  %q = getelementptr i8, ptr %p, i64 5
+  %b = load i8, ptr %q
+  %z = zext i8 %b to i32
+  ret i32 %z
+}
+define i32 @mag(i32 %x) {
+entry:
+  %a = call i32 @abs(i32 %x)
+  ret i32 %a
+}
+)");
+  Interpreter I(*M);
+  uint64_t S = I.materializeString("hello");
+  auto R1 = I.run(*M->getFunction("len"), {RtValue::makePtr(S)});
+  ASSERT_EQ(R1.Status, ExecStatus::OK);
+  EXPECT_EQ(R1.Value.Int, 5);
+
+  uint64_t N = I.materializeString("-321");
+  auto R2 = I.run(*M->getFunction("parse"), {RtValue::makePtr(N)});
+  ASSERT_EQ(R2.Status, ExecStatus::OK);
+  EXPECT_EQ(R2.Value.Int, -321);
+
+  auto R3 = I.run(*M->getFunction("fill"), {});
+  ASSERT_EQ(R3.Status, ExecStatus::OK);
+  EXPECT_EQ(R3.Value.Int, 65);
+
+  auto R4 = I.run(*M->getFunction("mag"), {RtValue::makeInt(-9)});
+  ASSERT_EQ(R4.Status, ExecStatus::OK);
+  EXPECT_EQ(R4.Value.Int, 9);
+}
+
+TEST(Interpreter, UnmodeledExternalTraps) {
+  EXPECT_EQ(runStatus(R"(
+declare i32 @mystery()
+define i32 @f() {
+entry:
+  %x = call i32 @mystery()
+  ret i32 %x
+}
+)"),
+            ExecStatus::Trap);
+}
+
+TEST(Interpreter, FloatsAndCasts) {
+  EXPECT_EQ(runInt(R"(
+define i32 @f() {
+entry:
+  %a = fadd float 1.5, 2.25
+  %c = fcmp oge float %a, 3.75
+  %z = zext i1 %c to i32
+  ret i32 %z
+}
+)"),
+            1);
+  EXPECT_EQ(runInt(R"(
+define i32 @f() {
+entry:
+  %t = trunc i32 300 to i8
+  %s = sext i8 %t to i32
+  ret i32 %s
+}
+)"),
+            44);
+}

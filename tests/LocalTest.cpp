@@ -1,0 +1,154 @@
+//===- LocalTest.cpp - Local optimization utility tests -------------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ir/IRBuilder.h"
+#include "opt/Local.h"
+
+#include <gtest/gtest.h>
+
+using namespace llvmmd;
+using namespace llvmmd::testutil;
+
+namespace {
+
+struct LocalFixture : ::testing::Test {
+  Context Ctx;
+  Module M{Ctx};
+  Function *F = nullptr;
+  BasicBlock *BB = nullptr;
+  IRBuilder B{Ctx};
+
+  void SetUp() override {
+    Type *I32 = Ctx.getInt32Ty();
+    F = M.createFunction(Ctx.getFunctionTy(I32, {I32, I32}), "f");
+    BB = F->createBlock("entry");
+    B.setInsertPoint(BB);
+  }
+};
+
+} // namespace
+
+TEST_F(LocalFixture, ConstantFoldBinary) {
+  auto *I = cast<Instruction>(B.createAdd(Ctx.getInt32(20), Ctx.getInt32(22)));
+  Constant *C = constantFoldInstruction(I, Ctx);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(cast<ConstantInt>(C)->getSExtValue(), 42);
+}
+
+TEST_F(LocalFixture, ConstantFoldRefusesDivByZero) {
+  auto *I = cast<Instruction>(
+      B.createBinary(Opcode::SDiv, Ctx.getInt32(1), Ctx.getInt32(0)));
+  EXPECT_EQ(constantFoldInstruction(I, Ctx), nullptr);
+}
+
+TEST_F(LocalFixture, ConstantFoldComparisonAndSelect) {
+  auto *Cmp = cast<Instruction>(
+      B.createICmp(ICmpPred::SLT, Ctx.getInt32(3), Ctx.getInt32(5)));
+  Constant *C = constantFoldInstruction(Cmp, Ctx);
+  ASSERT_NE(C, nullptr);
+  EXPECT_TRUE(cast<ConstantInt>(C)->isTrue());
+
+  auto *Sel = cast<Instruction>(
+      B.createSelect(Ctx.getTrue(), Ctx.getInt32(7), Ctx.getInt32(9)));
+  Constant *SC = constantFoldInstruction(Sel, Ctx);
+  ASSERT_NE(SC, nullptr);
+  EXPECT_EQ(cast<ConstantInt>(SC)->getSExtValue(), 7);
+}
+
+TEST_F(LocalFixture, SimplifyIdentities) {
+  Value *A = F->getArg(0);
+  EXPECT_EQ(simplifyInstruction(
+                cast<Instruction>(B.createAdd(A, Ctx.getInt32(0))), Ctx),
+            A);
+  EXPECT_EQ(simplifyInstruction(
+                cast<Instruction>(B.createMul(A, Ctx.getInt32(1))), Ctx),
+            A);
+  Value *Zero = simplifyInstruction(
+      cast<Instruction>(B.createMul(A, Ctx.getInt32(0))), Ctx);
+  EXPECT_EQ(cast<ConstantInt>(Zero)->getSExtValue(), 0);
+  EXPECT_EQ(simplifyInstruction(cast<Instruction>(B.createAnd(A, A)), Ctx),
+            A);
+  Value *X0 = simplifyInstruction(cast<Instruction>(B.createXor(A, A)), Ctx);
+  EXPECT_EQ(cast<ConstantInt>(X0)->getSExtValue(), 0);
+  Value *T = simplifyInstruction(
+      cast<Instruction>(B.createICmp(ICmpPred::SLE, A, A)), Ctx);
+  EXPECT_TRUE(cast<ConstantInt>(T)->isTrue());
+}
+
+TEST_F(LocalFixture, SimplifyPhiWithCommonValue) {
+  BasicBlock *J = F->createBlock("j");
+  IRBuilder B2(Ctx);
+  B2.setInsertPoint(J);
+  PhiNode *P = B2.createPhi(Ctx.getInt32Ty());
+  P->addIncoming(F->getArg(0), BB);
+  P->addIncoming(F->getArg(0), BB); // artificial, same value both ways
+  EXPECT_EQ(simplifyInstruction(P, Ctx), F->getArg(0));
+  // Self-references through back edges are ignored.
+  PhiNode *P2 = B2.createPhi(Ctx.getInt32Ty());
+  P2->addIncoming(F->getArg(1), BB);
+  P2->addIncoming(P2, J);
+  EXPECT_EQ(simplifyInstruction(P2, Ctx), F->getArg(1));
+}
+
+TEST_F(LocalFixture, TriviallyDeadClassification) {
+  Value *Dead = B.createAdd(F->getArg(0), Ctx.getInt32(1));
+  EXPECT_TRUE(isTriviallyDead(cast<Instruction>(Dead)));
+  Value *P = B.createAlloca(Ctx.getInt32Ty());
+  Instruction *St = B.createStore(F->getArg(0), P);
+  EXPECT_FALSE(isTriviallyDead(St));
+  B.createRet(F->getArg(0));
+  EXPECT_FALSE(isTriviallyDead(BB->getTerminator()));
+}
+
+TEST_F(LocalFixture, RemoveDeadInstructionsIsTransitive) {
+  Value *A = B.createAdd(F->getArg(0), Ctx.getInt32(1), "a");
+  Value *C = B.createMul(A, Ctx.getInt32(3), "b");
+  (void)C;
+  B.createRet(F->getArg(0));
+  EXPECT_EQ(removeDeadInstructions(*F), 2u);
+  EXPECT_EQ(F->getInstructionCount(), 1u);
+}
+
+TEST(LocalUtils, RemoveUnreachableBlocks) {
+  Context Ctx;
+  auto M = parseOrDie(Ctx, R"(
+define i32 @f(i32 %a) {
+entry:
+  ret i32 %a
+island:
+  %x = add i32 %a, 1
+  br label %island2
+island2:
+  %p = phi i32 [ %x, %island ]
+  br label %island
+}
+)");
+  Function *F = M->getFunction("f");
+  EXPECT_EQ(removeUnreachableBlocks(*F), 2u);
+  EXPECT_EQ(F->getNumBlocks(), 1u);
+  expectVerified(*M);
+}
+
+TEST(LocalUtils, FoldSingleEntryPhis) {
+  Context Ctx;
+  auto M = parseOrDie(Ctx, R"(
+define i32 @f(i32 %a) {
+entry:
+  br label %next
+next:
+  %p = phi i32 [ %a, %entry ]
+  %r = add i32 %p, 1
+  ret i32 %r
+}
+)");
+  Function *F = M->getFunction("f");
+  EXPECT_EQ(foldSingleEntryPhis(*F), 1u);
+  expectVerified(*M);
+  for (const auto &BB : F->blocks())
+    EXPECT_TRUE(BB->phis().empty());
+}

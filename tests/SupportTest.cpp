@@ -1,0 +1,82 @@
+//===- SupportTest.cpp - Casting and hashing unit tests ----------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "support/Hashing.h"
+
+#include "ir/Context.h"
+#include "ir/Instruction.h"
+
+#include <gtest/gtest.h>
+
+using namespace llvmmd;
+
+TEST(Casting, IsaAndDynCast) {
+  Context Ctx;
+  Value *C = Ctx.getInt32(42);
+  EXPECT_TRUE(isa<ConstantInt>(C));
+  EXPECT_TRUE(isa<Constant>(C));
+  EXPECT_FALSE(isa<ConstantFP>(C));
+  EXPECT_NE(dyn_cast<ConstantInt>(C), nullptr);
+  EXPECT_EQ(dyn_cast<ConstantFP>(C), nullptr);
+  EXPECT_EQ(cast<ConstantInt>(C)->getSExtValue(), 42);
+}
+
+TEST(Casting, VariadicIsa) {
+  Context Ctx;
+  Value *C = Ctx.getFloat(1.5);
+  bool Either = isa<ConstantInt, ConstantFP>(C);
+  EXPECT_TRUE(Either);
+  bool Neither = isa<ConstantPointerNull, UndefValue>(C);
+  EXPECT_FALSE(Neither);
+}
+
+TEST(Casting, DynCastOrNull) {
+  Value *Null = nullptr;
+  EXPECT_EQ(dyn_cast_or_null<ConstantInt>(Null), nullptr);
+}
+
+TEST(Hashing, BytesDeterministic) {
+  const char Data[] = "value-graph";
+  EXPECT_EQ(hashBytes(Data, sizeof(Data)), hashBytes(Data, sizeof(Data)));
+  EXPECT_NE(hashBytes(Data, 4), hashBytes(Data, 5));
+}
+
+TEST(Hashing, CombineOrderSensitive) {
+  uint64_t A = hashCombine(hashCombine(0, 1), 2);
+  uint64_t B = hashCombine(hashCombine(0, 2), 1);
+  EXPECT_NE(A, B);
+}
+
+TEST(Rng, DeterministicStreams) {
+  SplitMixRng A(123), B(123), C(124);
+  for (int I = 0; I < 100; ++I) {
+    uint64_t VA = A.next();
+    EXPECT_EQ(VA, B.next());
+    (void)C.next();
+  }
+  SplitMixRng A2(123), C2(124);
+  EXPECT_NE(A2.next(), C2.next());
+}
+
+TEST(Rng, RangeBounds) {
+  SplitMixRng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = R.range(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+    EXPECT_LT(R.below(10), 10u);
+  }
+}
+
+TEST(SignExtend, Canonicalization) {
+  EXPECT_EQ(signExtend(0xFF, 8), -1);
+  EXPECT_EQ(signExtend(0x7F, 8), 127);
+  EXPECT_EQ(signExtend(0x80, 8), -128);
+  EXPECT_EQ(signExtend(-1, 64), -1);
+  EXPECT_EQ(zeroExtend(-1, 8), 0xFFu);
+  EXPECT_EQ(zeroExtend(-1, 32), 0xFFFFFFFFu);
+}

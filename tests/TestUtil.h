@@ -1,0 +1,44 @@
+//===- TestUtil.h - Shared test helpers --------------------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_TESTS_TESTUTIL_H
+#define LLVMMD_TESTS_TESTUTIL_H
+
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace llvmmd {
+namespace testutil {
+
+/// Parses IR text, failing the test on error.
+inline std::unique_ptr<Module> parseOrDie(Context &Ctx,
+                                          const std::string &Text) {
+  ParseResult R = parseModule(Ctx, Text);
+  EXPECT_TRUE(static_cast<bool>(R)) << "parse error: " << R.Error;
+  return std::move(R.M);
+}
+
+/// Expects the module to verify cleanly.
+inline void expectVerified(const Module &M) {
+  std::vector<std::string> Errors;
+  bool OK = verifyModule(M, Errors);
+  std::string Joined;
+  for (const std::string &E : Errors)
+    Joined += E + "\n";
+  EXPECT_TRUE(OK) << Joined;
+}
+
+} // namespace testutil
+} // namespace llvmmd
+
+#endif // LLVMMD_TESTS_TESTUTIL_H

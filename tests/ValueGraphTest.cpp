@@ -1,0 +1,228 @@
+//===- ValueGraphTest.cpp - Hash-consed value graph tests ----------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vg/ValueGraph.h"
+
+#include "ir/Context.h"
+
+#include <gtest/gtest.h>
+
+using namespace llvmmd;
+
+namespace {
+
+struct GraphFixture : ::testing::Test {
+  Context Ctx;
+  ValueGraph G;
+  Type *I32 = Ctx.getInt32Ty();
+  Type *I1 = Ctx.getInt1Ty();
+};
+
+} // namespace
+
+TEST_F(GraphFixture, LeavesAreInterned) {
+  EXPECT_EQ(G.getConstInt(I32, 4), G.getConstInt(I32, 4));
+  EXPECT_NE(G.getConstInt(I32, 4), G.getConstInt(I32, 5));
+  EXPECT_NE(G.getConstInt(I32, 4), G.getConstInt(Ctx.getInt64Ty(), 4));
+  EXPECT_EQ(G.getParam(0, I32), G.getParam(0, I32));
+  EXPECT_NE(G.getParam(0, I32), G.getParam(1, I32));
+  EXPECT_EQ(G.getInitialMem(), G.getInitialMem());
+  EXPECT_EQ(G.getGlobal("g", true, Ctx.getPtrTy()),
+            G.getGlobal("g", true, Ctx.getPtrTy()));
+}
+
+TEST_F(GraphFixture, OpsAreHashConsed) {
+  NodeId A = G.getParam(0, I32), B = G.getParam(1, I32);
+  NodeId X = G.getOp(Opcode::Add, I32, {A, B});
+  NodeId Y = G.getOp(Opcode::Add, I32, {A, B});
+  EXPECT_EQ(X, Y);
+  // Commutative ops canonicalize operand order on construction.
+  NodeId Z = G.getOp(Opcode::Add, I32, {B, A});
+  EXPECT_EQ(X, Z);
+  // Non-commutative ops do not.
+  EXPECT_NE(G.getOp(Opcode::Sub, I32, {A, B}),
+            G.getOp(Opcode::Sub, I32, {B, A}));
+  // Predicate is part of the identity.
+  EXPECT_NE(G.getOp(Opcode::ICmp, I1, {A, B},
+                    static_cast<uint8_t>(ICmpPred::SLT)),
+            G.getOp(Opcode::ICmp, I1, {A, B},
+                    static_cast<uint8_t>(ICmpPred::SLE)));
+}
+
+TEST_F(GraphFixture, GammaBranchesSortCanonically) {
+  NodeId C = G.getParam(0, I1);
+  NodeId NotC = G.getOp(Opcode::Xor, I1, {C, G.getConstBool(I1, true)});
+  NodeId V1 = G.getConstInt(I32, 1), V2 = G.getConstInt(I32, 2);
+  NodeId A = G.getGamma(I32, {{C, V1}, {NotC, V2}});
+  NodeId B = G.getGamma(I32, {{NotC, V2}, {C, V1}});
+  EXPECT_EQ(A, B);
+}
+
+TEST_F(GraphFixture, UnionFindMerging) {
+  NodeId A = G.getParam(0, I32);
+  NodeId X = G.getOp(Opcode::Add, I32, {A, G.getConstInt(I32, 1)});
+  NodeId Y = G.getOp(Opcode::Add, I32, {A, G.getConstInt(I32, 2)});
+  EXPECT_NE(G.find(X), G.find(Y));
+  G.mergeInto(X, Y);
+  EXPECT_EQ(G.find(X), G.find(Y));
+  EXPECT_EQ(G.find(X), Y);
+  EXPECT_EQ(G.getMergeCount(), 1u);
+}
+
+TEST_F(GraphFixture, CongruenceClosesUpward) {
+  // Merge the leaves of two structurally parallel expressions; the parents
+  // must merge in the sharing pass.
+  NodeId A = G.getParam(0, I32), B = G.getParam(1, I32);
+  NodeId XA = G.getOp(Opcode::Mul, I32, {A, G.getConstInt(I32, 3)});
+  NodeId XB = G.getOp(Opcode::Mul, I32, {B, G.getConstInt(I32, 3)});
+  NodeId PA = G.getOp(Opcode::Sub, I32, {XA, A});
+  NodeId PB = G.getOp(Opcode::Sub, I32, {XB, B});
+  EXPECT_NE(G.find(PA), G.find(PB));
+  G.mergeInto(A, B);
+  G.maximizeSharing(SharingStrategy::Simple);
+  EXPECT_EQ(G.find(PA), G.find(PB));
+  EXPECT_EQ(G.find(XA), G.find(XB));
+}
+
+TEST_F(GraphFixture, MuUnificationMergesEqualLoops) {
+  // Two μ for the same stream: μ(0, μ+1).
+  NodeId Zero = G.getConstInt(I32, 0), One = G.getConstInt(I32, 1);
+  NodeId M1 = G.makeMu(I32);
+  G.setMuOperands(M1, Zero, G.getOp(Opcode::Add, I32, {M1, One}));
+  NodeId M2 = G.makeMu(I32);
+  G.setMuOperands(M2, Zero, G.getOp(Opcode::Add, I32, {M2, One}));
+  EXPECT_NE(G.find(M1), G.find(M2));
+  G.maximizeSharing(SharingStrategy::Simple);
+  EXPECT_EQ(G.find(M1), G.find(M2));
+}
+
+TEST_F(GraphFixture, MuUnificationRespectsDifferences) {
+  NodeId Zero = G.getConstInt(I32, 0);
+  NodeId One = G.getConstInt(I32, 1), Two = G.getConstInt(I32, 2);
+  NodeId M1 = G.makeMu(I32);
+  G.setMuOperands(M1, Zero, G.getOp(Opcode::Add, I32, {M1, One}));
+  NodeId M2 = G.makeMu(I32);
+  G.setMuOperands(M2, Zero, G.getOp(Opcode::Add, I32, {M2, Two}));
+  G.maximizeSharing(SharingStrategy::Simple);
+  EXPECT_NE(G.find(M1), G.find(M2)) << "different strides must stay apart";
+  // Different initial values likewise.
+  NodeId M3 = G.makeMu(I32);
+  G.setMuOperands(M3, One, G.getOp(Opcode::Add, I32, {M3, One}));
+  G.maximizeSharing(SharingStrategy::Simple);
+  EXPECT_NE(G.find(M1), G.find(M3));
+}
+
+TEST_F(GraphFixture, MuUnificationBacktracksCommutativeOrder) {
+  // μ(0, 1+μ) vs μ(0, μ+1) with operand orders that disagree positionally.
+  NodeId Zero = G.getConstInt(I32, 0), One = G.getConstInt(I32, 1);
+  NodeId M1 = G.makeMu(I32);
+  NodeId Add1 = G.getOp(Opcode::Add, I32, {One, M1});
+  G.setMuOperands(M1, Zero, Add1);
+  NodeId M2 = G.makeMu(I32);
+  NodeId Add2 = G.getOp(Opcode::Add, I32, {M2, One});
+  G.setMuOperands(M2, Zero, Add2);
+  G.maximizeSharing(SharingStrategy::Simple);
+  EXPECT_EQ(G.find(M1), G.find(M2));
+}
+
+TEST_F(GraphFixture, PartitionRefinementMergesCycles) {
+  NodeId Zero = G.getConstInt(I32, 0), One = G.getConstInt(I32, 1);
+  NodeId M1 = G.makeMu(I32);
+  G.setMuOperands(M1, Zero, G.getOp(Opcode::Add, I32, {M1, One}));
+  NodeId M2 = G.makeMu(I32);
+  G.setMuOperands(M2, Zero, G.getOp(Opcode::Add, I32, {M2, One}));
+  G.maximizeSharing(SharingStrategy::Partition);
+  EXPECT_EQ(G.find(M1), G.find(M2));
+}
+
+TEST_F(GraphFixture, PartitionKeepsDistinctCyclesApart) {
+  NodeId Zero = G.getConstInt(I32, 0), One = G.getConstInt(I32, 1);
+  NodeId Two = G.getConstInt(I32, 2);
+  NodeId M1 = G.makeMu(I32);
+  G.setMuOperands(M1, Zero, G.getOp(Opcode::Add, I32, {M1, One}));
+  NodeId M2 = G.makeMu(I32);
+  G.setMuOperands(M2, Zero, G.getOp(Opcode::Mul, I32, {M2, Two}));
+  G.maximizeSharing(SharingStrategy::Partition);
+  EXPECT_NE(G.find(M1), G.find(M2));
+}
+
+TEST_F(GraphFixture, AliasOnGraphPointers) {
+  NodeId Mem = G.getInitialMem();
+  NodeId One = G.getConstInt(Ctx.getInt64Ty(), 1);
+  NodeId AllocA = G.getAlloc(One, Mem, 4);
+  NodeId MemA = G.getAllocMem(AllocA);
+  NodeId AllocB = G.getAlloc(One, MemA, 4);
+  EXPECT_NE(G.find(AllocA), G.find(AllocB))
+      << "memory threading keeps allocations distinct";
+  EXPECT_EQ(G.aliasPointers(AllocA, AllocB, 4, 4), 0);
+  EXPECT_EQ(G.aliasPointers(AllocA, AllocA, 4, 4), 2);
+  // GEPs at distinct constant offsets.
+  NodeId GA = G.getOp(Opcode::GEP, Ctx.getPtrTy(),
+                      {AllocA, G.getConstInt(Ctx.getInt64Ty(), 1)}, 0, 4);
+  NodeId GB = G.getOp(Opcode::GEP, Ctx.getPtrTy(),
+                      {AllocA, G.getConstInt(Ctx.getInt64Ty(), 2)}, 0, 4);
+  EXPECT_EQ(G.aliasPointers(GA, GB, 4, 4), 0);
+  EXPECT_EQ(G.aliasPointers(GA, GB, 8, 4), 1); // overlapping footprint
+  // Distinct globals never alias; param vs global may.
+  NodeId GlobX = G.getGlobal("x", false, Ctx.getPtrTy());
+  NodeId GlobY = G.getGlobal("y", false, Ctx.getPtrTy());
+  NodeId Param = G.getParam(0, Ctx.getPtrTy());
+  EXPECT_EQ(G.aliasPointers(GlobX, GlobY, 4, 4), 0);
+  EXPECT_EQ(G.aliasPointers(GlobX, Param, 4, 4), 1);
+  // Non-escaping alloca vs param: no alias.
+  EXPECT_EQ(G.aliasPointers(AllocA, Param, 4, 4), 0);
+}
+
+TEST_F(GraphFixture, EscapeDetection) {
+  NodeId Mem = G.getInitialMem();
+  NodeId One = G.getConstInt(Ctx.getInt64Ty(), 1);
+  NodeId Alloc = G.getAlloc(One, Mem, 4);
+  EXPECT_TRUE(G.isNonEscapingAlloc(Alloc));
+  // Storing the pointer itself escapes it.
+  NodeId Other = G.getAlloc(One, G.getAllocMem(Alloc), 8);
+  G.getStore(Alloc, Other, G.getAllocMem(Alloc));
+  EXPECT_FALSE(G.isNonEscapingAlloc(Alloc));
+}
+
+TEST_F(GraphFixture, ConeContainsMu) {
+  NodeId A = G.getParam(0, I32);
+  NodeId X = G.getOp(Opcode::Add, I32, {A, G.getConstInt(I32, 1)});
+  EXPECT_FALSE(G.coneContainsMu(X));
+  NodeId M = G.makeMu(I32);
+  G.setMuOperands(M, A, G.getOp(Opcode::Add, I32, {M, X}));
+  NodeId Y = G.getOp(Opcode::Mul, I32, {M, A});
+  EXPECT_TRUE(G.coneContainsMu(Y));
+  EXPECT_TRUE(G.coneContainsMu(M));
+}
+
+TEST_F(GraphFixture, CountRootsAndDump) {
+  NodeId A = G.getParam(0, I32);
+  NodeId X = G.getOp(Opcode::Add, I32, {A, G.getConstInt(I32, 1)});
+  size_t Before = G.countRoots();
+  G.mergeInto(X, A);
+  EXPECT_EQ(G.countRoots(), Before - 1);
+  std::string Dump = G.dump({A});
+  EXPECT_NE(Dump.find("param"), std::string::npos);
+}
+
+TEST_F(GraphFixture, DumpDotRendersCone) {
+  NodeId C = G.getParam(0, I1);
+  NodeId Mu = G.makeMu(I32);
+  G.setMuOperands(Mu, G.getConstInt(I32, 0),
+                  G.getOp(Opcode::Add, I32, {Mu, G.getConstInt(I32, 1)}));
+  NodeId Eta = G.getEta(I32, C, Mu);
+  std::string Dot = G.dumpDot({Eta});
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("\xce\xbc"), std::string::npos); // μ label
+  EXPECT_NE(Dot.find("\xce\xb7"), std::string::npos); // η label
+  EXPECT_NE(Dot.find("label=\"i\""), std::string::npos);
+  // Only the cone is rendered: an unrelated node stays out.
+  NodeId Unrelated = G.getOp(Opcode::Mul, I32, {G.getParam(2, I32),
+                                                G.getParam(3, I32)});
+  (void)Unrelated;
+  std::string Dot2 = G.dumpDot({Eta});
+  EXPECT_EQ(Dot2.find("mul"), std::string::npos);
+}
