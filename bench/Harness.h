@@ -5,15 +5,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Common driver code for the table/figure reproduction binaries: generate
-/// a profile's module, run an optimization pipeline per function, validate
-/// each transformed function under a rule configuration, and aggregate.
+/// Common driver code for the table/figure reproduction binaries. Profiles
+/// are generated, optimized and validated through the driver subsystem's
+/// ValidationEngine (parallel, fingerprint-cached) instead of a hand-rolled
+/// per-binary loop; the engine's report is folded into the small RunStats
+/// the figures print.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef LLVMMD_BENCH_HARNESS_H
 #define LLVMMD_BENCH_HARNESS_H
 
+#include "driver/ValidationEngine.h"
 #include "ir/Cloning.h"
 #include "ir/Module.h"
 #include "opt/Pass.h"
@@ -41,36 +44,38 @@ struct RunStats {
   }
 };
 
+inline RunStats statsFromReport(const ValidationReport &R) {
+  RunStats S;
+  S.Functions = R.total();
+  S.Transformed = R.transformed();
+  S.Validated = R.validated();
+  S.Microseconds = R.validationMicroseconds();
+  S.Rewrites = R.rewrites();
+  S.GraphNodes = R.graphNodes();
+  return S;
+}
+
 /// Optimizes every function of \p Profile's module with \p Pipeline and
-/// validates each transformed function under \p Rules.
+/// validates each transformed function under \p RuleMask, on the engine.
+/// Passing an \p Engine reuses its thread pool and verdict cache across
+/// profiles; with none, a fresh single-use engine is built (threads = one
+/// per hardware thread).
 inline RunStats runProfile(const BenchmarkProfile &Profile,
-                           const std::string &Pipeline, unsigned RuleMask) {
+                           const std::string &Pipeline, unsigned RuleMask,
+                           ValidationEngine *Engine = nullptr) {
   Context Ctx;
   auto Orig = generateBenchmark(Ctx, Profile);
-  auto Opt = cloneModule(*Orig);
-  PassManager PM;
-  bool OK = PM.parsePipeline(Pipeline);
-  (void)OK;
-  assert(OK && "bad pipeline");
 
-  RuleConfig Rules;
-  Rules.Mask = RuleMask;
-  Rules.M = Orig.get();
-
-  RunStats S;
-  for (Function *FO : Opt->definedFunctions()) {
-    ++S.Functions;
-    if (!PM.run(*FO))
-      continue;
-    ++S.Transformed;
-    const Function *FI = Orig->getFunction(FO->getName());
-    ValidationResult R = validatePair(*FI, *FO, Rules);
-    S.Validated += R.Validated;
-    S.Microseconds += R.Microseconds;
-    S.Rewrites += R.Rewrites;
-    S.GraphNodes += R.GraphNodes;
+  EngineConfig C;
+  C.Rules.Mask = RuleMask;
+  if (!Engine) {
+    ValidationEngine Fresh(C);
+    return statsFromReport(Fresh.run(*Orig, Pipeline).Report);
   }
-  return S;
+  RuleConfig Rules = Engine->getRules();
+  Rules.Mask = RuleMask;
+  Engine->setRules(Rules);
+  return statsFromReport(Engine->run(*Orig, Pipeline).Report);
 }
 
 inline void printHeader(const char *Title) {

@@ -19,13 +19,14 @@ int main() {
                                "sccp",          "licm",
                                "loop-deletion", "loop-unswitch",
                                "dse"};
+  ValidationEngine Engine; // one thread pool + verdict cache for all runs
   for (const char *Opt : Opts) {
     printHeader((std::string("Figure 5: ") + Opt).c_str());
     std::printf("%-12s %12s %10s %8s\n", "program", "transformed",
                 "validated", "rate");
     unsigned TotalT = 0, TotalV = 0;
     for (const BenchmarkProfile &P : getPaperSuite()) {
-      RunStats S = runProfile(P, Opt, RS_Paper);
+      RunStats S = runProfile(P, Opt, RS_Paper, &Engine);
       TotalT += S.Transformed;
       TotalV += S.Validated;
       std::printf("%-12s %12u %10u %7.1f%%\n", P.Name.c_str(), S.Transformed,

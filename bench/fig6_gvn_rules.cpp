@@ -34,6 +34,7 @@ int main() {
       {"6:+commuting", RS_Paper},
   };
 
+  ValidationEngine Engine; // one thread pool + verdict cache for all runs
   printHeader("Figure 6: effect of rewrite rules on GVN validation");
   std::printf("%-12s", "program");
   for (const Config &C : Configs)
@@ -42,7 +43,7 @@ int main() {
   for (const BenchmarkProfile &P : getPaperSuite()) {
     std::printf("%-12s", P.Name.c_str());
     for (const Config &C : Configs) {
-      RunStats S = runProfile(P, "gvn", C.Mask);
+      RunStats S = runProfile(P, "gvn", C.Mask, &Engine);
       std::printf(" %12.1f%%", S.rate());
     }
     std::printf("\n");

@@ -18,13 +18,14 @@ using namespace llvmmd;
 using namespace llvmmd::bench;
 
 int main() {
+  ValidationEngine Engine; // one thread pool + verdict cache for all runs
   printHeader("Figure 7: effect of rewrite rules on LICM validation");
   std::printf("%-12s %12s %12s %12s\n", "program", "no-rules", "all-rules",
               "+libc(ext)");
   for (const BenchmarkProfile &P : getPaperSuite()) {
-    RunStats None = runProfile(P, "licm", RS_None);
-    RunStats All = runProfile(P, "licm", RS_Paper);
-    RunStats Libc = runProfile(P, "licm", RS_Paper | RS_Libc);
+    RunStats None = runProfile(P, "licm", RS_None, &Engine);
+    RunStats All = runProfile(P, "licm", RS_Paper, &Engine);
+    RunStats Libc = runProfile(P, "licm", RS_Paper | RS_Libc, &Engine);
     std::printf("%-12s %11.1f%% %11.1f%% %11.1f%%\n", P.Name.c_str(),
                 None.rate(), All.rate(), Libc.rate());
   }

@@ -28,6 +28,7 @@ int main() {
       {"4:all", RS_Paper},
   };
 
+  ValidationEngine Engine; // one thread pool + verdict cache for all runs
   printHeader("Figure 8: effect of rewrite rules on SCCP validation");
   std::printf("%-12s", "program");
   for (const Config &C : Configs)
@@ -36,7 +37,7 @@ int main() {
   for (const BenchmarkProfile &P : getPaperSuite()) {
     std::printf("%-12s", P.Name.c_str());
     for (const Config &C : Configs) {
-      RunStats S = runProfile(P, "sccp", C.Mask);
+      RunStats S = runProfile(P, "sccp", C.Mask, &Engine);
       std::printf(" %12.1f%%", S.rate());
     }
     std::printf("\n");

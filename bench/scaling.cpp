@@ -6,7 +6,12 @@
 //  * validating an *unchanged* function is (amortized) constant-time after
 //    graph construction, because hash-consing makes the comparison O(1);
 //  * the number of rewrites the validator performs tracks the number of
-//    transformations the optimizer made, not the function size.
+//    transformations the optimizer made, not the function size;
+//  * batch validation through the ValidationEngine scales with the thread
+//    count (BM_EngineBatch/threads:N).
+//
+// After the microbenchmarks run, a whole-suite engine pass is emitted as
+// BENCH_scaling.json through the engine's JSON reporter (with timing).
 //
 //===----------------------------------------------------------------------===//
 
@@ -15,6 +20,8 @@
 #include "vg/GraphBuilder.h"
 
 #include <benchmark/benchmark.h>
+
+#include <fstream>
 
 using namespace llvmmd;
 
@@ -91,6 +98,52 @@ void BM_BuildGraph(benchmark::State &State) {
 }
 BENCHMARK(BM_BuildGraph)->Arg(2)->Arg(8)->Arg(32);
 
+/// Whole-module batch validation through the engine at 1..N threads: the
+/// throughput path the driver subsystem owns. The verdict cache is disabled
+/// so every iteration measures real validations, not replays.
+void BM_EngineBatch(benchmark::State &State) {
+  unsigned Threads = State.range(0);
+  Context Ctx;
+  BenchmarkProfile P = getProfile("hmmer");
+  P.FunctionCount = 24;
+  auto M = generateBenchmark(Ctx, P);
+  EngineConfig C;
+  C.Threads = Threads;
+  C.UseCache = false;
+  ValidationEngine Engine(C);
+  unsigned Validated = 0;
+  for (auto _ : State) {
+    EngineRun Run = Engine.run(*M, getPaperPipeline());
+    Validated = Run.Report.validated();
+    benchmark::DoNotOptimize(Validated);
+  }
+  State.counters["validated"] = static_cast<double>(Validated);
+}
+BENCHMARK(BM_EngineBatch)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+/// One engine pass over a mid-size profile, emitted through the engine's
+/// JSON reporter (timing included) as BENCH_scaling.json.
+void writeEngineReport(const char *Path) {
+  Context Ctx;
+  auto M = generateBenchmark(Ctx, getProfile("sjeng"));
+  ValidationEngine Engine;
+  EngineRun Run = Engine.run(*M, getPaperPipeline());
+  std::ofstream Out(Path);
+  Out << reportToJSON(Run.Report, /*IncludeTiming=*/true);
+  std::printf("wrote %s (%u functions, %u validated, %.2f ms wall on %u "
+              "threads)\n",
+              Path, Run.Report.total(), Run.Report.validated(),
+              Run.Report.WallMicroseconds / 1000.0, Engine.getThreadCount());
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  writeEngineReport("BENCH_scaling.json");
+  return 0;
+}

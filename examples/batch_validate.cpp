@@ -1,0 +1,187 @@
+//===- batch_validate.cpp - Batch validation CLI on the engine ---------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+// Drives a whole module end-to-end through the ValidationEngine: generate
+// (or parse) a multi-function module, optimize it with a pipeline, validate
+// every transformed function in parallel, and emit the report as text, CSV
+// or JSON.
+//
+//   $ ./batch_validate [options] [input.ll]
+//     --profile NAME     generate the Table-1 profile NAME (default: sjeng)
+//     --pipeline P       comma-separated pass list (default: the paper's)
+//     --threads N        validation threads (default: hardware)
+//     --stepwise         per-pass validation with guilty-pass attribution
+//     --all-rules        enable the libc/float/global extension rule sets
+//     --revert           revert functions that fail validation
+//     --resubmit N       run the same module N times (N>1 demonstrates the
+//                        verdict cache: later runs replay memoized verdicts)
+//     --json [PATH]      write the JSON report to PATH (default stdout);
+//                        deterministic: byte-identical for any --threads
+//     --csv [PATH]       write the CSV report
+//     --quiet            suppress the text report
+//
+// Exit status: 0 when every transformed function validated, 2 when some
+// optimization could not be proven, 1 on usage or I/O errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ValidationEngine.h"
+#include "ir/Module.h"
+#include "ir/Parser.h"
+#include "opt/Pass.h"
+#include "workload/Generator.h"
+#include "workload/Profiles.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace llvmmd;
+
+namespace {
+
+bool writeOrPrint(const std::string &Path, const std::string &Content) {
+  if (Path.empty() || Path == "-") {
+    std::fputs(Content.c_str(), stdout);
+    return true;
+  }
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  Out << Content;
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string ProfileName = "sjeng";
+  std::string InputFile;
+  std::string Pipeline = getPaperPipeline();
+  std::string JsonPath, CsvPath;
+  bool EmitJson = false, EmitCsv = false, Quiet = false;
+  bool Stepwise = false, AllRules = false, Revert = false;
+  unsigned Threads = 0, Resubmit = 1;
+
+  auto TakesValue = [&](int &I) -> const char * {
+    // Optional value: consumed when the next argv is not another flag. A
+    // lone "-" (stdout) is a value, not a flag.
+    if (I + 1 < argc && (argv[I + 1][0] != '-' || argv[I + 1][1] == '\0'))
+      return argv[++I];
+    return nullptr;
+  };
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--profile") == 0 && I + 1 < argc)
+      ProfileName = argv[++I];
+    else if (std::strcmp(argv[I], "--pipeline") == 0 && I + 1 < argc)
+      Pipeline = argv[++I];
+    else if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc) {
+      int V = std::atoi(argv[++I]);
+      if (V < 0 || V > 1024) {
+        std::fprintf(stderr, "error: bad --threads value '%s'\n", argv[I]);
+        return 1;
+      }
+      Threads = static_cast<unsigned>(V);
+    } else if (std::strcmp(argv[I], "--resubmit") == 0 && I + 1 < argc) {
+      int V = std::atoi(argv[++I]);
+      if (V < 1 || V > 1000000) {
+        std::fprintf(stderr, "error: bad --resubmit value '%s'\n", argv[I]);
+        return 1;
+      }
+      Resubmit = static_cast<unsigned>(V);
+    }
+    else if (std::strcmp(argv[I], "--stepwise") == 0)
+      Stepwise = true;
+    else if (std::strcmp(argv[I], "--all-rules") == 0)
+      AllRules = true;
+    else if (std::strcmp(argv[I], "--revert") == 0)
+      Revert = true;
+    else if (std::strcmp(argv[I], "--quiet") == 0)
+      Quiet = true;
+    else if (std::strcmp(argv[I], "--json") == 0) {
+      EmitJson = true;
+      if (const char *V = TakesValue(I))
+        JsonPath = V;
+    } else if (std::strcmp(argv[I], "--csv") == 0) {
+      EmitCsv = true;
+      if (const char *V = TakesValue(I))
+        CsvPath = V;
+    } else if (argv[I][0] != '-') {
+      InputFile = argv[I];
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", argv[I]);
+      return 1;
+    }
+  }
+
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  if (!InputFile.empty()) {
+    std::ifstream In(InputFile);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", InputFile.c_str());
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    ParseResult PR = parseModule(Ctx, SS.str(), InputFile);
+    if (!PR) {
+      std::fprintf(stderr, "parse error: %s\n", PR.Error.c_str());
+      return 1;
+    }
+    M = std::move(PR.M);
+  } else {
+    BenchmarkProfile P = getProfile(ProfileName);
+    if (P.FunctionCount == 0) {
+      std::fprintf(stderr, "error: unknown profile '%s'\n",
+                   ProfileName.c_str());
+      return 1;
+    }
+    M = generateBenchmark(Ctx, P);
+  }
+
+  PassManager PM;
+  if (!PM.parsePipeline(Pipeline)) {
+    std::fprintf(stderr, "error: bad pipeline '%s'\n", Pipeline.c_str());
+    return 1;
+  }
+
+  EngineConfig C;
+  C.Threads = Threads;
+  if (AllRules)
+    C.Rules.Mask = RS_All;
+  C.Granularity = Stepwise ? ValidationGranularity::PerPass
+                           : ValidationGranularity::WholePipeline;
+  C.RevertFailures = Revert;
+  ValidationEngine Engine(C);
+
+  if (Resubmit == 0)
+    Resubmit = 1;
+  EngineRun Run;
+  for (unsigned I = 0; I < Resubmit; ++I) {
+    Run = Engine.run(*M, PM);
+    if (!Quiet && Resubmit > 1) {
+      const EngineCacheStats &CS = Engine.cacheStats();
+      std::printf("run %u/%u: %.2f ms wall, cache hits so far: %llu, "
+                  "validated from scratch: %llu\n",
+                  I + 1, Resubmit, Run.Report.WallMicroseconds / 1000.0,
+                  static_cast<unsigned long long>(CS.Hits),
+                  static_cast<unsigned long long>(CS.Misses));
+    }
+  }
+
+  if (!Quiet)
+    std::fputs(reportToText(Run.Report).c_str(), stdout);
+  if (EmitJson && !writeOrPrint(JsonPath, reportToJSON(Run.Report)))
+    return 1;
+  if (EmitCsv && !writeOrPrint(CsvPath, reportToCSV(Run.Report)))
+    return 1;
+  // 0 = everything that was transformed validated; 2 = some optimization
+  // could not be proven (whether or not it was reverted).
+  return Run.Report.validated() == Run.Report.transformed() ? 0 : 2;
+}

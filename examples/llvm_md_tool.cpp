@@ -6,18 +6,22 @@
 // optimization pipeline, validate every function, revert the ones that do
 // not check out, and print the certified module plus a report.
 //
-//   $ ./llvm_md_tool input.ll [pipeline] [--all-rules]
+//   $ ./llvm_md_tool input.ll [pipeline] [--all-rules] [--stepwise]
 //
 // With no input file, a demo module is used. The default pipeline is the
 // paper's: adce,gvn,sccp,licm,loop-deletion,loop-unswitch,dse.
 //
+// Runs on the driver subsystem's ValidationEngine (parallel validation,
+// fingerprint skip, revert-on-failure). With --stepwise each pass is
+// validated individually and a failure names the guilty pass.
+//
 //===----------------------------------------------------------------------===//
 
+#include "driver/ValidationEngine.h"
 #include "ir/Module.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "opt/Pass.h"
-#include "validator/LLVMMD.h"
 
 #include <cstdio>
 #include <cstring>
@@ -62,9 +66,12 @@ int main(int argc, char **argv) {
   std::string Text = DemoModule;
   std::string Pipeline = getPaperPipeline();
   bool AllRules = false;
+  bool Stepwise = false;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--all-rules") == 0) {
       AllRules = true;
+    } else if (std::strcmp(argv[I], "--stepwise") == 0) {
+      Stepwise = true;
     } else if (std::strchr(argv[I], ',') || createPass(argv[I])) {
       Pipeline = argv[I];
     } else {
@@ -92,32 +99,39 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  RuleConfig Rules;
-  Rules.M = PR.M.get();
+  EngineConfig C;
   if (AllRules)
-    Rules.Mask = RS_All;
+    C.Rules.Mask = RS_All;
+  C.Granularity = Stepwise ? ValidationGranularity::PerPass
+                           : ValidationGranularity::WholePipeline;
+  C.RevertFailures = true;
+  ValidationEngine Engine(C);
+  EngineRun Run = Engine.run(*PR.M, PM);
 
-  LLVMMDReport Report;
-  std::unique_ptr<Module> Out = runLLVMMD(*PR.M, PM, Rules, Report);
-
-  std::printf("; llvm-md: pipeline '%s', rules %s\n", Pipeline.c_str(),
+  std::printf("; llvm-md: pipeline '%s', rules %s%s\n", Pipeline.c_str(),
               AllRules ? "all (incl. libc/float/global extensions)"
-                       : "paper defaults");
-  for (const FunctionReport &FR : Report.Functions) {
+                       : "paper defaults",
+              Stepwise ? ", stepwise" : "");
+  for (const FunctionReportEntry &FR : Run.Report.Functions) {
     if (!FR.Transformed)
       std::printf(";   %-20s unchanged\n", FR.Name.c_str());
     else if (FR.Validated)
       std::printf(";   %-20s optimized & VALIDATED (%llu rewrites)\n",
                   FR.Name.c_str(),
                   static_cast<unsigned long long>(FR.Result.Rewrites));
+    else if (!FR.GuiltyPass.empty())
+      std::printf(";   %-20s REVERTED past guilty pass '%s' (%s)\n",
+                  FR.Name.c_str(), FR.GuiltyPass.c_str(),
+                  FR.Result.Reason.empty() ? "alarm"
+                                           : FR.Result.Reason.c_str());
     else
       std::printf(";   %-20s REVERTED (%s)\n", FR.Name.c_str(),
                   FR.Result.Reason.empty() ? "alarm"
                                            : FR.Result.Reason.c_str());
   }
-  std::printf(";   validation rate: %.0f%%  (%.2f ms)\n\n",
-              100.0 * Report.validationRate(),
-              Report.TotalMicroseconds / 1000.0);
-  std::printf("%s", printModule(*Out).c_str());
+  std::printf(";   validation rate: %.0f%%  (%.2f ms on %u threads)\n\n",
+              100.0 * Run.Report.validationRate(),
+              Run.Report.WallMicroseconds / 1000.0, Engine.getThreadCount());
+  std::printf("%s", printModule(*Run.Optimized).c_str());
   return 0;
 }

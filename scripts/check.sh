@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# check.sh - CI entry point: tier-1 verify plus a fig4 smoke run.
+#
+# Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+# Tier-1 verify (see ROADMAP.md).
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+cmake --build "$BUILD_DIR" -j
+(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+
+# Figure 4 in the smoke configuration (3 programs at 1/4 scale), on the
+# validation engine.
+"$BUILD_DIR/fig4_pipeline" --smoke
+
+# Engine determinism spot check: the JSON report must not depend on the
+# thread count. batch_validate exits 2 when some optimizations could not be
+# proven — expected on this profile; only exit 1 (usage/IO error) is fatal.
+run_bv() {
+  local rc=0
+  "$BUILD_DIR/batch_validate" "$@" || rc=$?
+  [ "$rc" -eq 0 ] || [ "$rc" -eq 2 ]
+}
+run_bv --profile sqlite --threads 1 --quiet --json "$BUILD_DIR/check_t1.json"
+run_bv --profile sqlite --threads 8 --quiet --json "$BUILD_DIR/check_t8.json"
+cmp "$BUILD_DIR/check_t1.json" "$BUILD_DIR/check_t8.json"
+
+echo "check.sh: OK"

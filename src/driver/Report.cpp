@@ -1,0 +1,339 @@
+//===- Report.cpp - Validation engine report emitters -------------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Report.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+using namespace llvmmd;
+
+//===----------------------------------------------------------------------===//
+// Aggregates
+//===----------------------------------------------------------------------===//
+
+unsigned ValidationReport::total() const {
+  return static_cast<unsigned>(Functions.size());
+}
+
+unsigned ValidationReport::transformed() const {
+  unsigned N = 0;
+  for (const auto &F : Functions)
+    N += F.Transformed;
+  return N;
+}
+
+unsigned ValidationReport::validated() const {
+  unsigned N = 0;
+  for (const auto &F : Functions)
+    N += F.Transformed && F.Validated;
+  return N;
+}
+
+unsigned ValidationReport::reverted() const {
+  unsigned N = 0;
+  for (const auto &F : Functions)
+    N += F.Reverted;
+  return N;
+}
+
+unsigned ValidationReport::cacheHits() const {
+  unsigned N = 0;
+  for (const auto &F : Functions) {
+    N += F.CacheHit;
+    for (const auto &S : F.Steps)
+      N += S.CacheHit;
+  }
+  return N;
+}
+
+unsigned ValidationReport::skippedIdentical() const {
+  unsigned N = 0;
+  for (const auto &F : Functions) {
+    N += F.SkippedIdentical;
+    for (const auto &S : F.Steps)
+      N += S.SkippedIdentical;
+  }
+  return N;
+}
+
+uint64_t ValidationReport::rewrites() const {
+  uint64_t N = 0;
+  for (const auto &F : Functions)
+    N += F.Result.Rewrites;
+  return N;
+}
+
+uint64_t ValidationReport::graphNodes() const {
+  uint64_t N = 0;
+  for (const auto &F : Functions)
+    N += F.Result.GraphNodes;
+  return N;
+}
+
+uint64_t ValidationReport::validationMicroseconds() const {
+  uint64_t N = 0;
+  for (const auto &F : Functions) {
+    N += F.Result.Microseconds;
+    // In stepwise mode the synthesized Result already sums the steps.
+  }
+  return N;
+}
+
+double ValidationReport::validationRate() const {
+  unsigned T = transformed();
+  return T == 0 ? 1.0 : static_cast<double>(validated()) / T;
+}
+
+//===----------------------------------------------------------------------===//
+// Text
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *functionStatus(const FunctionReportEntry &F) {
+  if (!F.Transformed)
+    return "unchanged";
+  if (F.SkippedIdentical)
+    return "identical (skipped)";
+  if (F.Validated)
+    return F.CacheHit ? "VALIDATED (cached)" : "VALIDATED";
+  return F.Reverted ? "FAILED -> reverted" : "FAILED";
+}
+
+} // namespace
+
+std::string llvmmd::reportToText(const ValidationReport &R) {
+  std::ostringstream OS;
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "validation report: module '%s', pipeline '%s' (%s)\n",
+                R.ModuleName.c_str(), R.Pipeline.c_str(),
+                R.Stepwise ? "stepwise" : "whole-pipeline");
+  OS << Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  %u functions, %u transformed, %u validated (%.1f%%), "
+                "%u reverted\n",
+                R.total(), R.transformed(), R.validated(),
+                100.0 * R.validationRate(), R.reverted());
+  OS << Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  %u cache hits, %u identical skips, %" PRIu64
+                " rewrites, %" PRIu64 " graph nodes\n",
+                R.cacheHits(), R.skippedIdentical(), R.rewrites(),
+                R.graphNodes());
+  OS << Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  %.2f ms wall on %u threads (%.2f ms of validation)\n",
+                R.WallMicroseconds / 1000.0, R.Threads,
+                R.validationMicroseconds() / 1000.0);
+  OS << Buf;
+  for (const auto &F : R.Functions) {
+    std::snprintf(Buf, sizeof(Buf), "  %-24s %s", F.Name.c_str(),
+                  functionStatus(F));
+    OS << Buf;
+    if (F.Transformed && !F.Validated) {
+      if (!F.GuiltyPass.empty())
+        OS << "  [guilty pass: " << F.GuiltyPass << "]";
+      if (!F.Result.Reason.empty())
+        OS << "  (" << F.Result.Reason << ")";
+    }
+    OS << '\n';
+    for (const auto &S : F.Steps) {
+      if (!S.Changed)
+        continue;
+      std::snprintf(Buf, sizeof(Buf), "    %-20s %s%s\n", S.Pass.c_str(),
+                    S.Validated ? "ok" : "FAILED",
+                    S.CacheHit          ? " (cached)"
+                    : S.SkippedIdentical ? " (identical)"
+                                         : "");
+      OS << Buf;
+    }
+  }
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// CSV
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string csvEscape(const std::string &S) {
+  if (S.find_first_of(",\"\n") == std::string::npos)
+    return S;
+  std::string Out = "\"";
+  for (char C : S) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+} // namespace
+
+std::string llvmmd::reportToCSV(const ValidationReport &R) {
+  std::ostringstream OS;
+  OS << "function,pass,transformed,validated,cache_hit,skipped_identical,"
+        "reverted,guilty_pass,rewrites,graph_nodes,iterations,us,reason\n";
+  char Buf[128];
+  auto EmitRow = [&](const std::string &Fn, const std::string &Pass,
+                     bool Transformed, bool Validated, bool CacheHit,
+                     bool Skipped, bool Reverted, const std::string &Guilty,
+                     const ValidationResult &Res) {
+    OS << csvEscape(Fn) << ',' << csvEscape(Pass) << ',' << Transformed << ','
+       << Validated << ',' << CacheHit << ',' << Skipped << ',' << Reverted
+       << ',' << csvEscape(Guilty) << ',';
+    std::snprintf(Buf, sizeof(Buf),
+                  "%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",",
+                  Res.Rewrites, Res.GraphNodes, Res.Iterations,
+                  Res.Microseconds);
+    OS << Buf << csvEscape(Res.Reason) << '\n';
+  };
+  for (const auto &F : R.Functions) {
+    EmitRow(F.Name, "", F.Transformed, F.Validated, F.CacheHit,
+            F.SkippedIdentical, F.Reverted, F.GuiltyPass, F.Result);
+    for (const auto &S : F.Steps)
+      if (S.Changed)
+        EmitRow(F.Name, S.Pass, S.Changed, S.Validated, S.CacheHit,
+                S.SkippedIdentical, false, "", S.Result);
+  }
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// JSON
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string hex64(uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%016" PRIx64, V);
+  return Buf;
+}
+
+void emitResult(std::ostringstream &OS, const ValidationResult &Res,
+                bool IncludeTiming) {
+  OS << "\"rewrites\": " << Res.Rewrites
+     << ", \"sharing_merges\": " << Res.SharingMerges
+     << ", \"graph_nodes\": " << Res.GraphNodes
+     << ", \"live_nodes\": " << Res.LiveNodes
+     << ", \"iterations\": " << Res.Iterations
+     << ", \"equal_on_construction\": "
+     << (Res.EqualOnConstruction ? "true" : "false")
+     << ", \"unsupported\": " << (Res.Unsupported ? "true" : "false")
+     << ", \"reason\": \"" << jsonEscape(Res.Reason) << '"';
+  if (IncludeTiming)
+    OS << ", \"us\": " << Res.Microseconds;
+}
+
+} // namespace
+
+std::string llvmmd::reportToJSON(const ValidationReport &R,
+                                 bool IncludeTiming) {
+  std::ostringstream OS;
+  char Buf[64];
+  OS << "{\n";
+  OS << "  \"schema\": \"llvmmd-validation-report-v1\",\n";
+  OS << "  \"module\": \"" << jsonEscape(R.ModuleName) << "\",\n";
+  OS << "  \"pipeline\": \"" << jsonEscape(R.Pipeline) << "\",\n";
+  OS << "  \"rule_mask\": " << R.RuleMask << ",\n";
+  OS << "  \"granularity\": \"" << (R.Stepwise ? "per-pass" : "pipeline")
+     << "\",\n";
+  if (IncludeTiming) {
+    OS << "  \"threads\": " << R.Threads << ",\n";
+    OS << "  \"wall_us\": " << R.WallMicroseconds << ",\n";
+    OS << "  \"validation_us\": " << R.validationMicroseconds() << ",\n";
+  }
+  OS << "  \"summary\": {";
+  OS << "\"functions\": " << R.total()
+     << ", \"transformed\": " << R.transformed()
+     << ", \"validated\": " << R.validated()
+     << ", \"reverted\": " << R.reverted()
+     << ", \"cache_hits\": " << R.cacheHits()
+     << ", \"skipped_identical\": " << R.skippedIdentical()
+     << ", \"rewrites\": " << R.rewrites()
+     << ", \"graph_nodes\": " << R.graphNodes();
+  std::snprintf(Buf, sizeof(Buf), "%.6f", R.validationRate());
+  OS << ", \"validation_rate\": " << Buf << "},\n";
+  OS << "  \"functions\": [";
+  bool FirstFn = true;
+  for (const auto &F : R.Functions) {
+    OS << (FirstFn ? "\n" : ",\n");
+    FirstFn = false;
+    OS << "    {\"name\": \"" << jsonEscape(F.Name) << "\", "
+       << "\"fingerprint_orig\": \"" << hex64(F.FingerprintOrig) << "\", "
+       << "\"fingerprint_opt\": \"" << hex64(F.FingerprintOpt) << "\", "
+       << "\"transformed\": " << (F.Transformed ? "true" : "false") << ", "
+       << "\"validated\": " << (F.Validated ? "true" : "false") << ", "
+       << "\"cache_hit\": " << (F.CacheHit ? "true" : "false") << ", "
+       << "\"skipped_identical\": "
+       << (F.SkippedIdentical ? "true" : "false") << ", "
+       << "\"reverted\": " << (F.Reverted ? "true" : "false") << ", "
+       << "\"guilty_pass\": ";
+    if (F.GuiltyPass.empty())
+      OS << "null";
+    else
+      OS << '"' << jsonEscape(F.GuiltyPass) << '"';
+    OS << ", ";
+    emitResult(OS, F.Result, IncludeTiming);
+    if (!F.Steps.empty()) {
+      OS << ", \"steps\": [";
+      bool FirstStep = true;
+      for (const auto &S : F.Steps) {
+        OS << (FirstStep ? "" : ", ");
+        FirstStep = false;
+        OS << "{\"pass\": \"" << jsonEscape(S.Pass) << "\", "
+           << "\"changed\": " << (S.Changed ? "true" : "false") << ", "
+           << "\"validated\": " << (S.Validated ? "true" : "false") << ", "
+           << "\"cache_hit\": " << (S.CacheHit ? "true" : "false") << ", "
+           << "\"skipped_identical\": "
+           << (S.SkippedIdentical ? "true" : "false") << ", "
+           << "\"fingerprint\": \"" << hex64(S.Fingerprint) << "\", ";
+        emitResult(OS, S.Result, IncludeTiming);
+        OS << '}';
+      }
+      OS << ']';
+    }
+    OS << '}';
+  }
+  OS << "\n  ]\n}\n";
+  return OS.str();
+}

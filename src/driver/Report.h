@@ -1,0 +1,107 @@
+//===- Report.h - Validation engine reports ---------------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-facing output of the validation engine: one entry per
+/// function (with per-pass steps in stepwise mode), plus emitters for human
+/// text, CSV, and JSON (the `BENCH_*.json` shape).
+///
+/// Everything in the report except wall-clock fields is a pure function of
+/// the input module, pipeline, and rule configuration — independent of the
+/// engine's thread count. The JSON emitter therefore omits timing by
+/// default, which is what makes `--threads 1` and `--threads 8` reports
+/// byte-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_DRIVER_REPORT_H
+#define LLVMMD_DRIVER_REPORT_H
+
+#include "validator/Validator.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llvmmd {
+
+/// One optimization step of one function (stepwise granularity only).
+struct StepReport {
+  std::string Pass;
+  bool Changed = false;   ///< did the pass report transforming the function?
+  bool Validated = false; ///< meaningful only when Changed
+  /// The verdict was replayed from the memo cache (or a duplicate pair
+  /// earlier in the same batch) instead of being validated from scratch.
+  bool CacheHit = false;
+  /// The pass claimed a change but the fingerprint is unchanged; validated
+  /// in O(1) without building a graph.
+  bool SkippedIdentical = false;
+  uint64_t Fingerprint = 0; ///< function fingerprint after this step
+  ValidationResult Result;
+};
+
+/// Per-function outcome.
+struct FunctionReportEntry {
+  std::string Name;
+  uint64_t FingerprintOrig = 0;
+  uint64_t FingerprintOpt = 0;
+  bool Transformed = false;
+  bool Validated = false;
+  bool CacheHit = false;
+  bool SkippedIdentical = false;
+  bool Reverted = false;
+  /// Stepwise mode: the first pass whose step failed to validate; empty when
+  /// every step validated (or in whole-pipeline mode).
+  std::string GuiltyPass;
+  /// Whole-pipeline verdict. In stepwise mode this is synthesized: Validated
+  /// iff every changed step validated, statistics summed over the steps.
+  ValidationResult Result;
+  std::vector<StepReport> Steps; ///< populated only in stepwise mode
+};
+
+struct ValidationReport {
+  std::string ModuleName;
+  std::string Pipeline;
+  unsigned RuleMask = 0;
+  bool Stepwise = false;
+  unsigned Threads = 1;
+  uint64_t WallMicroseconds = 0; ///< end-to-end engine wall time
+  std::vector<FunctionReportEntry> Functions; ///< in module order
+
+  // Aggregates (derived, always consistent with Functions).
+  unsigned total() const;
+  unsigned transformed() const;
+  unsigned validated() const;
+  unsigned reverted() const;
+  unsigned cacheHits() const;
+  unsigned skippedIdentical() const;
+  uint64_t rewrites() const;
+  uint64_t graphNodes() const;
+  /// Sum of per-pair validation wall times (CPU-ish time; exceeds
+  /// WallMicroseconds when validation ran in parallel).
+  uint64_t validationMicroseconds() const;
+  /// The paper's metric: validated / transformed (1.0 when nothing was
+  /// transformed).
+  double validationRate() const;
+};
+
+/// Human-readable report: summary header, one line per function, failures
+/// annotated with the guilty pass / reason.
+std::string reportToText(const ValidationReport &R);
+
+/// CSV: a header row plus one row per function (steps are flattened into
+/// extra rows in stepwise mode, marked by the `pass` column).
+std::string reportToCSV(const ValidationReport &R);
+
+/// JSON in the BENCH_*.json shape. With \p IncludeTiming false (the
+/// default) the output contains no wall-clock or thread-count fields and is
+/// byte-identical for any engine thread count.
+std::string reportToJSON(const ValidationReport &R,
+                         bool IncludeTiming = false);
+
+} // namespace llvmmd
+
+#endif // LLVMMD_DRIVER_REPORT_H

@@ -1,0 +1,126 @@
+//===- ThreadPool.cpp - Work-stealing thread pool -----------------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace llvmmd;
+
+ThreadPool::ThreadPool(unsigned ThreadCount) {
+  if (ThreadCount == 0) {
+    ThreadCount = std::thread::hardware_concurrency();
+    if (ThreadCount == 0)
+      ThreadCount = 1;
+  }
+  Queues.reserve(ThreadCount);
+  for (unsigned I = 0; I < ThreadCount; ++I)
+    Queues.emplace_back(std::make_unique<WorkerQueue>());
+  Workers.reserve(ThreadCount);
+  for (unsigned I = 0; I < ThreadCount; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    ShuttingDown = true;
+  }
+  WorkCV.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Body) {
+  if (N == 0)
+    return;
+
+  std::unique_lock<std::mutex> Guard(Lock);
+
+  // Seed the deques with contiguous chunks: good locality for the common
+  // case, and stealing rebalances whatever turns out to be uneven. Seeding
+  // happens under the main Lock so a worker that slept through an earlier
+  // batch can never observe these jobs together with a stale (or null)
+  // batch body — it either wakes before this critical section (sees empty
+  // queues, Body == nullptr, and re-waits) or after it (sees the new
+  // generation and body together).
+  const size_t T = Workers.size();
+  for (size_t W = 0; W < T; ++W) {
+    size_t Lo = N * W / T, Hi = N * (W + 1) / T;
+    std::lock_guard<std::mutex> QGuard(Queues[W]->Lock);
+    for (size_t I = Lo; I < Hi; ++I)
+      Queues[W]->Jobs.push_back(I);
+  }
+
+  this->Body = &Body;
+  Remaining = N;
+  ++Generation;
+  WorkCV.notify_all();
+  // Wait for completion AND for every participant to leave its pop loop, so
+  // the next batch cannot seed queues while a straggler could still pop with
+  // this batch's (about to dangle) body pointer.
+  DoneCV.wait(Guard, [this] { return Remaining == 0 && ActiveWorkers == 0; });
+  this->Body = nullptr;
+}
+
+bool ThreadPool::popJob(unsigned Id, size_t &Job) {
+  {
+    WorkerQueue &Own = *Queues[Id];
+    std::lock_guard<std::mutex> Guard(Own.Lock);
+    if (!Own.Jobs.empty()) {
+      Job = Own.Jobs.back();
+      Own.Jobs.pop_back();
+      return true;
+    }
+  }
+  // Steal from the oldest end of a sibling's deque.
+  for (size_t Offset = 1; Offset < Queues.size(); ++Offset) {
+    WorkerQueue &Victim = *Queues[(Id + Offset) % Queues.size()];
+    std::lock_guard<std::mutex> Guard(Victim.Lock);
+    if (!Victim.Jobs.empty()) {
+      Job = Victim.Jobs.front();
+      Victim.Jobs.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Id) {
+  uint64_t SeenGeneration = 0;
+  while (true) {
+    const std::function<void(size_t)> *Batch;
+    {
+      std::unique_lock<std::mutex> Guard(Lock);
+      WorkCV.wait(Guard, [&] {
+        return ShuttingDown || Generation != SeenGeneration;
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = Generation;
+      Batch = Body;
+      // Woke for a batch that already completed (this worker slept through
+      // it): nothing to do, re-arm for the next one.
+      if (!Batch)
+        continue;
+      ++ActiveWorkers;
+    }
+
+    size_t Job, Finished = 0;
+    while (popJob(Id, Job)) {
+      (*Batch)(Job);
+      ++Finished;
+    }
+    {
+      std::lock_guard<std::mutex> Guard(Lock);
+      Remaining -= Finished;
+      --ActiveWorkers;
+      if (Remaining == 0 && ActiveWorkers == 0)
+        DoneCV.notify_all();
+    }
+  }
+}

@@ -1,0 +1,78 @@
+//===- ThreadPool.h - Work-stealing thread pool -----------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size pool of persistent workers used by the validation engine to
+/// run independent function-pair validations in parallel. Each worker owns a
+/// job deque; it pops its own work LIFO and steals FIFO from siblings, so
+/// one pathologically slow pair (the paper's gcc outliers) cannot strand the
+/// rest of the batch behind it.
+///
+/// Scheduling order never affects results: jobs write to disjoint
+/// preallocated slots, so the caller's aggregation is deterministic
+/// regardless of thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_DRIVER_THREADPOOL_H
+#define LLVMMD_DRIVER_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace llvmmd {
+
+class ThreadPool {
+public:
+  /// Spawns \p ThreadCount workers; 0 means one per hardware thread.
+  explicit ThreadPool(unsigned ThreadCount = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned getThreadCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Runs Body(I) for every I in [0, N) across the pool and blocks until all
+  /// calls have returned. Not reentrant: Body must not call parallelFor on
+  /// the same pool.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Body);
+
+private:
+  struct WorkerQueue {
+    std::mutex Lock;
+    std::deque<size_t> Jobs;
+  };
+
+  void workerLoop(unsigned Id);
+  /// Pops a job for worker \p Id: own deque back first, then steals from a
+  /// sibling's front. Returns false when no work is visible anywhere.
+  bool popJob(unsigned Id, size_t &Job);
+
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  std::vector<std::thread> Workers;
+
+  std::mutex Lock;
+  std::condition_variable WorkCV; ///< workers wait here between batches
+  std::condition_variable DoneCV; ///< parallelFor waits here for completion
+  const std::function<void(size_t)> *Body = nullptr;
+  size_t Remaining = 0;    ///< jobs not yet finished in the current batch
+  size_t ActiveWorkers = 0; ///< workers currently inside their pop loop
+  uint64_t Generation = 0;  ///< bumped once per parallelFor batch
+  bool ShuttingDown = false;
+};
+
+} // namespace llvmmd
+
+#endif // LLVMMD_DRIVER_THREADPOOL_H

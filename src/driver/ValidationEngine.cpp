@@ -1,0 +1,449 @@
+//===- ValidationEngine.cpp - Parallel batch validation ------------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ValidationEngine.h"
+
+#include "ir/Cloning.h"
+#include "ir/Module.h"
+#include "opt/Pass.h"
+#include "support/Hashing.h"
+#include "validator/Validator.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstring>
+#include <map>
+
+using namespace llvmmd;
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The verdict recorded for a pair whose fingerprints are equal: validated
+/// without building a graph, the engine-level analogue of the §2 O(1) best
+/// case.
+ValidationResult identicalSkipResult() {
+  ValidationResult R;
+  R.Validated = true;
+  R.EqualOnConstruction = true;
+  return R;
+}
+
+/// Replaces \p Dst's body with a clone of \p Src's, remapping global and
+/// callee references into \p DstModule (Src may live in another module of
+/// the same Context).
+void restoreBody(const Function &Src, Function &Dst, Module &DstModule) {
+  Dst.dropBody();
+  std::map<const Value *, Value *> VMap;
+  cloneFunctionBody(Src, Dst, VMap);
+  for (const auto &BB : Dst.blocks()) {
+    for (Instruction *I : *BB) {
+      for (unsigned OpI = 0, E = I->getNumOperands(); OpI != E; ++OpI)
+        if (auto *GV = dyn_cast<GlobalVariable>(I->getOperand(OpI)))
+          I->setOperand(OpI, DstModule.getGlobal(GV->getName()));
+      if (auto *Call = dyn_cast<CallInst>(I))
+        Call->setCallee(DstModule.getFunction(Call->getCallee()->getName()));
+    }
+  }
+}
+
+uint64_t nowMicroseconds(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+size_t ValidationEngine::CacheKeyHash::operator()(const CacheKey &K) const {
+  uint64_t H = hashCombine(K.FpA, K.FpB);
+  H = hashCombine(H, K.Config);
+  return static_cast<size_t>(H);
+}
+
+uint64_t ValidationEngine::cacheConfigDigest(const Module &OrigModule) const {
+  uint64_t H = hashCombine(Cfg.Rules.Mask,
+                           static_cast<uint64_t>(Cfg.Rules.Strategy));
+  H = hashCombine(H, Cfg.Rules.MaxIterations);
+  // Function fingerprints reference globals by name only; when the global-
+  // folding rules can substitute initializers, verdicts additionally depend
+  // on the module's global definitions.
+  if (Cfg.Rules.Mask & RS_GlobalFold) {
+    for (const auto &G : OrigModule.globals()) {
+      H = hashCombine(H, hashString(G->getName()));
+      H = hashCombine(H, G->isConstantGlobal());
+      // The fold is gated on the global's value type matching the load.
+      H = hashCombine(H, hashTypeShape(G->getValueType()));
+      const Constant *Init = G->getInitializer();
+      if (!Init) {
+        H = hashCombine(H, 0x10);
+      } else if (const auto *CI = dyn_cast<ConstantInt>(Init)) {
+        H = hashCombine(H, 0x11);
+        H = hashCombine(H, static_cast<uint64_t>(CI->getSExtValue()));
+      } else if (const auto *CF = dyn_cast<ConstantFP>(Init)) {
+        double D = CF->getValue();
+        uint64_t Bits;
+        std::memcpy(&Bits, &D, sizeof(Bits));
+        H = hashCombine(hashCombine(H, 0x12), Bits);
+      } else {
+        H = hashCombine(H, static_cast<uint64_t>(Init->getKind()));
+      }
+    }
+  }
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Batch scheduling
+//===----------------------------------------------------------------------===//
+
+struct ValidationEngine::BatchState {
+  /// CacheKey::Config for every pair in this batch (rules + module digest).
+  uint64_t ConfigDigest = 0;
+  std::vector<PairJob> Jobs;
+  std::vector<Landing> Landings;
+  struct CachedLanding {
+    size_t Fn;
+    int Step;
+    ValidationResult Result;
+  };
+  std::vector<CachedLanding> Cached;
+  /// Key -> job index, for pairs already scheduled in this batch. Duplicates
+  /// share the job and land as cache hits deterministically, independent of
+  /// the thread count.
+  std::unordered_map<CacheKey, size_t, CacheKeyHash> Pending;
+};
+
+ValidationEngine::ValidationEngine(EngineConfig Config)
+    : Cfg(Config), Pool(Config.Threads) {}
+
+ValidationEngine::~ValidationEngine() = default;
+
+void ValidationEngine::clearCache() {
+  Cache.clear();
+  Stats.Entries = 0;
+}
+
+void ValidationEngine::scheduleValidation(BatchState &B, uint64_t FpA,
+                                          uint64_t FpB, const Function *A,
+                                          const Function *OptF, size_t Fn,
+                                          int Step) {
+  CacheKey Key{FpA, FpB, B.ConfigDigest};
+  if (Cfg.UseCache) {
+    auto It = Cache.find(Key);
+    if (It != Cache.end()) {
+      B.Cached.push_back({Fn, Step, It->second});
+      ++Stats.Hits;
+      return;
+    }
+  }
+  auto [PIt, Inserted] = B.Pending.try_emplace(Key, B.Jobs.size());
+  if (Inserted) {
+    PairJob Job;
+    Job.A = A;
+    Job.B = OptF;
+    Job.Key = Key;
+    B.Jobs.push_back(std::move(Job));
+    B.Landings.push_back({Fn, Step, PIt->second, false});
+  } else {
+    B.Landings.push_back({Fn, Step, PIt->second, true});
+    ++Stats.Hits;
+  }
+}
+
+void ValidationEngine::executeBatch(BatchState &B, const RuleConfig &Rules,
+                                    ValidationReport &Report) {
+  Pool.parallelFor(B.Jobs.size(), [&](size_t I) {
+    B.Jobs[I].Result = validatePair(*B.Jobs[I].A, *B.Jobs[I].B, Rules);
+  });
+  Stats.Misses += B.Jobs.size();
+
+  auto Land = [&](size_t Fn, int Step, const ValidationResult &Verdict,
+                  bool Hit) {
+    ValidationResult Res = Verdict;
+    // A replayed verdict spent no time now; don't bill the original pair's
+    // wall time to this run's aggregates.
+    if (Hit)
+      Res.Microseconds = 0;
+    FunctionReportEntry &E = Report.Functions[Fn];
+    if (Step < 0) {
+      E.Result = Res;
+      E.Validated = Res.Validated;
+      E.CacheHit = Hit;
+    } else {
+      StepReport &S = E.Steps[static_cast<size_t>(Step)];
+      S.Result = Res;
+      S.Validated = Res.Validated;
+      S.CacheHit = Hit;
+    }
+  };
+  for (const auto &C : B.Cached)
+    Land(C.Fn, C.Step, C.Result, true);
+  for (const auto &L : B.Landings)
+    Land(L.Fn, L.Step, B.Jobs[L.Job].Result, L.DuplicateHit);
+
+  if (Cfg.UseCache) {
+    for (const PairJob &Job : B.Jobs)
+      Cache.emplace(Job.Key, Job.Result);
+    Stats.Entries = Cache.size();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Module runs
+//===----------------------------------------------------------------------===//
+
+EngineRun ValidationEngine::run(const Module &M, const std::string &Pipeline) {
+  PassManager PM;
+  bool OK = PM.parsePipeline(Pipeline);
+  (void)OK;
+  assert(OK && "bad pipeline");
+  return runImpl(M, PM, Pipeline);
+}
+
+EngineRun ValidationEngine::run(const Module &M, PassManager &PM) {
+  std::string Name;
+  for (const auto &P : PM.passes()) {
+    if (!Name.empty())
+      Name += ',';
+    Name += P->getName();
+  }
+  return runImpl(M, PM, Name);
+}
+
+EngineRun ValidationEngine::runImpl(const Module &M, PassManager &PM,
+                                    const std::string &PipelineName) {
+  auto Start = std::chrono::steady_clock::now();
+  const bool Stepwise = Cfg.Granularity == ValidationGranularity::PerPass;
+
+  EngineRun Run;
+  Run.Report.ModuleName = M.getName();
+  Run.Report.Pipeline = PipelineName;
+  Run.Report.RuleMask = Cfg.Rules.Mask;
+  Run.Report.Stepwise = Stepwise;
+  Run.Report.Threads = Pool.getThreadCount();
+
+  RuleConfig Rules = Cfg.Rules;
+  Rules.M = &M;
+
+  // Graph construction interns i1 in the shared Context on demand; warm it
+  // now so the parallel phase never mutates the Context.
+  M.getContext().getInt1Ty();
+
+  Run.Optimized = cloneModule(M);
+  // Stepwise snapshots live here: same Context, so validatePair can compare
+  // across modules. Destroyed before Run.Optimized (reverse declaration
+  // order does not apply — this is a local, freed when runImpl returns,
+  // while the optimized module is moved out alive).
+  Module Snapshots(M.getContext(), M.getName() + ".snapshots");
+  // Per function: (pass index, snapshot) for every changing pass, so the
+  // revert phase can find the last certified body.
+  std::vector<std::vector<std::pair<int, const Function *>>> SnapChains;
+
+  BatchState B;
+  B.ConfigDigest = cacheConfigDigest(M);
+
+  //===--------------------------------------------------------------------===//
+  // Phase 1 (sequential): optimize, fingerprint, snapshot, schedule.
+  // Passes intern constants in the shared Context, so this cannot overlap
+  // with validation.
+  //===--------------------------------------------------------------------===//
+
+  std::vector<Function *> Defined = Run.Optimized->definedFunctions();
+  SnapChains.resize(Defined.size());
+  for (size_t Fi = 0; Fi < Defined.size(); ++Fi) {
+    Function *F = Defined[Fi];
+    const Function *Orig = M.getFunction(F->getName());
+    assert(Orig && "function lost during cloning");
+
+    FunctionReportEntry E;
+    E.Name = F->getName();
+    E.FingerprintOrig = fingerprintFunction(*Orig);
+
+    if (!Stepwise) {
+      E.Transformed = PM.run(*F);
+      if (!E.Transformed) {
+        E.FingerprintOpt = E.FingerprintOrig;
+        Run.Report.Functions.push_back(std::move(E));
+        continue;
+      }
+      E.FingerprintOpt = fingerprintFunction(*F);
+      if (E.FingerprintOpt == E.FingerprintOrig) {
+        E.SkippedIdentical = true;
+        E.Validated = true;
+        E.Result = identicalSkipResult();
+        ++Stats.SkippedIdentical;
+        Run.Report.Functions.push_back(std::move(E));
+        continue;
+      }
+      Run.Report.Functions.push_back(std::move(E));
+      scheduleValidation(B, Run.Report.Functions.back().FingerprintOrig,
+                         Run.Report.Functions.back().FingerprintOpt, Orig, F,
+                         Fi, -1);
+      continue;
+    }
+
+    // Stepwise: run each pass individually, snapshotting after every one
+    // that changes the function, and validate consecutive snapshots.
+    const Function *Prev = Orig;
+    uint64_t PrevFp = E.FingerprintOrig;
+    const auto &Passes = PM.passes();
+    E.Steps.reserve(Passes.size());
+    Run.Report.Functions.push_back(std::move(E));
+    FunctionReportEntry &Entry = Run.Report.Functions.back();
+    for (size_t Pi = 0; Pi < Passes.size(); ++Pi) {
+      StepReport S;
+      S.Pass = Passes[Pi]->getName();
+      S.Changed = Passes[Pi]->run(*F);
+      if (S.Changed) {
+        Entry.Transformed = true;
+        uint64_t Fp = fingerprintFunction(*F);
+        S.Fingerprint = Fp;
+        if (Fp == PrevFp) {
+          S.SkippedIdentical = true;
+          S.Validated = true;
+          S.Result = identicalSkipResult();
+          ++Stats.SkippedIdentical;
+        } else {
+          Function *Snap = Snapshots.createFunction(
+              F->getFunctionType(), F->getName() + ".s" + std::to_string(Pi));
+          std::map<const Value *, Value *> VMap;
+          cloneFunctionBody(*F, *Snap, VMap);
+          Entry.Steps.push_back(std::move(S));
+          scheduleValidation(B, PrevFp, Fp, Prev, Snap, Fi,
+                             static_cast<int>(Pi));
+          SnapChains[Fi].push_back({static_cast<int>(Pi), Snap});
+          Prev = Snap;
+          PrevFp = Fp;
+          continue;
+        }
+      }
+      Entry.Steps.push_back(std::move(S));
+    }
+    Entry.FingerprintOpt = PrevFp;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Phase 2 (parallel): validate all unique, uncached pairs.
+  //===--------------------------------------------------------------------===//
+
+  executeBatch(B, Rules, Run.Report);
+
+  //===--------------------------------------------------------------------===//
+  // Phase 3 (sequential): synthesize stepwise verdicts, attribute guilt,
+  // revert failures.
+  //===--------------------------------------------------------------------===//
+
+  if (Stepwise) {
+    for (FunctionReportEntry &E : Run.Report.Functions) {
+      if (!E.Transformed)
+        continue;
+      ValidationResult Sum;
+      Sum.Validated = true;
+      for (const StepReport &S : E.Steps) {
+        if (!S.Changed)
+          continue;
+        Sum.Rewrites += S.Result.Rewrites;
+        Sum.SharingMerges += S.Result.SharingMerges;
+        Sum.GraphNodes += S.Result.GraphNodes;
+        Sum.LiveNodes = S.Result.LiveNodes;
+        Sum.Iterations += S.Result.Iterations;
+        Sum.Microseconds += S.Result.Microseconds;
+        if (!S.Validated && Sum.Validated) {
+          Sum.Validated = false;
+          Sum.Unsupported = S.Result.Unsupported;
+          Sum.Reason = "step '" + S.Pass + "': " +
+                       (S.Result.Reason.empty() ? "alarm" : S.Result.Reason);
+          E.GuiltyPass = S.Pass;
+        }
+      }
+      E.Validated = Sum.Validated;
+      E.Result = std::move(Sum);
+    }
+  }
+
+  if (Cfg.RevertFailures) {
+    for (size_t Fi = 0; Fi < Defined.size(); ++Fi) {
+      FunctionReportEntry &E = Run.Report.Functions[Fi];
+      if (!E.Transformed || E.Validated)
+        continue;
+      // Whole-pipeline: back to the original. Stepwise: back to the last
+      // snapshot certified before the guilty pass (the validated prefix of
+      // the pipeline), or the original if the first change already failed.
+      const Function *Target = M.getFunction(E.Name);
+      if (Stepwise) {
+        int Guilty = -1;
+        for (size_t Si = 0; Si < E.Steps.size(); ++Si)
+          if (E.Steps[Si].Changed && !E.Steps[Si].Validated) {
+            Guilty = static_cast<int>(Si);
+            break;
+          }
+        for (const auto &[StepIdx, Snap] : SnapChains[Fi])
+          if (StepIdx < Guilty)
+            Target = Snap;
+      }
+      restoreBody(*Target, *Defined[Fi], *Run.Optimized);
+      E.Reverted = true;
+    }
+  }
+
+  Run.Report.WallMicroseconds = nowMicroseconds(Start);
+  return Run;
+}
+
+ValidationReport ValidationEngine::validateModules(const Module &Original,
+                                                   const Module &Optimized) {
+  auto Start = std::chrono::steady_clock::now();
+  ValidationReport Report;
+  Report.ModuleName = Optimized.getName();
+  Report.Pipeline = "(external)";
+  Report.RuleMask = Cfg.Rules.Mask;
+  Report.Stepwise = false;
+  Report.Threads = Pool.getThreadCount();
+
+  RuleConfig Rules = Cfg.Rules;
+  Rules.M = &Original;
+  Original.getContext().getInt1Ty();
+
+  BatchState B;
+  B.ConfigDigest = cacheConfigDigest(Original);
+  std::vector<Function *> Defined = Optimized.definedFunctions();
+  for (size_t Fi = 0; Fi < Defined.size(); ++Fi) {
+    const Function *F = Defined[Fi];
+    const Function *Orig = Original.getFunction(F->getName());
+    FunctionReportEntry E;
+    E.Name = F->getName();
+    E.FingerprintOpt = fingerprintFunction(*F);
+    if (!Orig || Orig->isDeclaration()) {
+      E.Transformed = true;
+      E.Result.Unsupported = true;
+      E.Result.Reason = "no original function of this name";
+      Report.Functions.push_back(std::move(E));
+      continue;
+    }
+    E.FingerprintOrig = fingerprintFunction(*Orig);
+    if (E.FingerprintOrig == E.FingerprintOpt) {
+      E.SkippedIdentical = true;
+      E.Validated = true;
+      E.Result = identicalSkipResult();
+      ++Stats.SkippedIdentical;
+      Report.Functions.push_back(std::move(E));
+      continue;
+    }
+    E.Transformed = true;
+    Report.Functions.push_back(std::move(E));
+    scheduleValidation(B, Report.Functions.back().FingerprintOrig,
+                       Report.Functions.back().FingerprintOpt, Orig, F, Fi,
+                       -1);
+  }
+
+  executeBatch(B, Rules, Report);
+  Report.WallMicroseconds = nowMicroseconds(Start);
+  return Report;
+}

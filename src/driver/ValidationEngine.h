@@ -1,0 +1,182 @@
+//===- ValidationEngine.h - Parallel batch validation -----------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch validation subsystem. Where `validatePair` proves one function
+/// pair and `runLLVMMD` loops over a module synchronously, the
+/// ValidationEngine owns throughput: it optimizes a module, schedules every
+/// independent (original, optimized) pair across a work-stealing thread
+/// pool, skips structurally identical pairs in O(1) via function
+/// fingerprints, memoizes verdicts across submissions, and aggregates a
+/// deterministic ValidationReport regardless of thread count.
+///
+/// Two granularities are supported:
+///  * WholePipeline — one pair per function, original vs fully optimized
+///    (the paper's Figure 4 experiment);
+///  * PerPass — the function is snapshotted after every pass that changes
+///    it and each consecutive snapshot pair is validated, so a failure is
+///    attributed to the specific guilty pass.
+///
+/// Thread-safety contract: optimization and snapshotting run sequentially
+/// (passes intern constants in the shared Context); only the pure
+/// validations — which touch no shared mutable state — run in parallel.
+/// A ValidationEngine instance must not be used from multiple threads at
+/// once, but may be reused across many runs to exploit its verdict cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_DRIVER_VALIDATIONENGINE_H
+#define LLVMMD_DRIVER_VALIDATIONENGINE_H
+
+#include "driver/Report.h"
+#include "driver/ThreadPool.h"
+#include "normalize/Rules.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace llvmmd {
+
+class Function;
+class Module;
+class PassManager;
+
+enum class ValidationGranularity : uint8_t {
+  WholePipeline, ///< one validation per transformed function
+  PerPass,       ///< snapshot + validate after every changing pass
+};
+
+struct EngineConfig {
+  /// Validation worker threads; 0 = one per hardware thread.
+  unsigned Threads = 0;
+  /// Rule sets and fixpoint budget. Rules.M is set by the engine to the
+  /// original module of each run.
+  RuleConfig Rules;
+  ValidationGranularity Granularity = ValidationGranularity::WholePipeline;
+  /// Memoize verdicts by (fingerprint, fingerprint, rule) key across
+  /// submissions to the same engine.
+  bool UseCache = true;
+  /// Restore the last certified body when a validation fails: the original
+  /// in whole-pipeline mode, the last validated snapshot in stepwise mode
+  /// (the paper's `replace fo by fi in output`).
+  bool RevertFailures = false;
+};
+
+struct EngineCacheStats {
+  uint64_t Hits = 0;   ///< verdicts replayed (cache or duplicate in batch)
+  uint64_t Misses = 0; ///< pairs validated from scratch
+  uint64_t SkippedIdentical = 0; ///< fingerprint-equal pairs, skipped O(1)
+  uint64_t Entries = 0;          ///< memoized verdicts currently held
+};
+
+/// The result of one engine run: the certified optimized module (same
+/// Context as the input) plus the full report.
+struct EngineRun {
+  std::unique_ptr<Module> Optimized;
+  ValidationReport Report;
+};
+
+class ValidationEngine {
+public:
+  explicit ValidationEngine(EngineConfig Config = EngineConfig());
+  ~ValidationEngine();
+
+  ValidationEngine(const ValidationEngine &) = delete;
+  ValidationEngine &operator=(const ValidationEngine &) = delete;
+
+  /// Clones \p M, runs \p Pipeline (comma-separated pass names) on every
+  /// defined function, and validates according to the configured
+  /// granularity. Asserts on an unparsable pipeline.
+  EngineRun run(const Module &M, const std::string &Pipeline);
+
+  /// Same, over a caller-assembled pass manager (e.g. one containing
+  /// passes that have no pipeline name).
+  EngineRun run(const Module &M, PassManager &PM);
+
+  /// Validates two already-optimized modules pairwise: every defined
+  /// function of \p Optimized against \p Original's function of the same
+  /// name. No passes are run and nothing is reverted; "transformed" means
+  /// the fingerprints differ.
+  ValidationReport validateModules(const Module &Original,
+                                   const Module &Optimized);
+
+  /// Swaps the rule configuration for subsequent runs. Safe across runs:
+  /// the verdict cache keys on (mask, strategy, fixpoint budget, and the
+  /// globals the rules can read), so entries from other configurations can
+  /// never be replayed.
+  void setRules(const RuleConfig &Rules) { Cfg.Rules = Rules; }
+  const RuleConfig &getRules() const { return Cfg.Rules; }
+
+  const EngineCacheStats &cacheStats() const { return Stats; }
+  void clearCache();
+  unsigned getThreadCount() const { return Pool.getThreadCount(); }
+
+private:
+  struct CacheKey {
+    uint64_t FpA = 0, FpB = 0;
+    /// Everything else a verdict depends on: rule mask, sharing strategy,
+    /// fixpoint budget, and — when RS_GlobalFold can read initializers — a
+    /// digest of the module's globals (fingerprints hash globals by name
+    /// only, so the same pair in two modules may differ).
+    uint64_t Config = 0;
+    bool operator==(const CacheKey &O) const {
+      return FpA == O.FpA && FpB == O.FpB && Config == O.Config;
+    }
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey &K) const;
+  };
+
+  /// A scheduled validation: a unique, uncached (original, optimized) pair.
+  struct PairJob {
+    const Function *A = nullptr;
+    const Function *B = nullptr;
+    CacheKey Key;
+    ValidationResult Result;
+  };
+  /// Where one job's verdict lands in the report: function \p Fn, step
+  /// \p Step (-1 for the whole-pipeline slot). Duplicate pairs in a batch
+  /// share a job and are marked as (deterministic) cache hits.
+  struct Landing {
+    size_t Fn = 0;
+    int Step = -1;
+    size_t Job = 0;
+    bool DuplicateHit = false;
+  };
+
+  /// Per-batch scheduling state (jobs, landings, duplicate tracking);
+  /// defined in the implementation.
+  struct BatchState;
+
+  /// Resolves the pair against the cache / in-batch duplicates or appends a
+  /// job; the verdict will land in Report.Functions[Fn] (step \p Step, or
+  /// the whole-pipeline slot when \p Step is -1).
+  /// The CacheKey::Config value for validating against \p OrigModule under
+  /// the current rule configuration.
+  uint64_t cacheConfigDigest(const Module &OrigModule) const;
+
+  void scheduleValidation(BatchState &B, uint64_t FpA, uint64_t FpB,
+                          const Function *A, const Function *OptF, size_t Fn,
+                          int Step);
+
+  /// Validates every scheduled job in parallel, lands all verdicts into
+  /// \p Report, and memoizes the new ones.
+  void executeBatch(BatchState &B, const RuleConfig &Rules,
+                    ValidationReport &Report);
+
+  EngineRun runImpl(const Module &M, PassManager &PM,
+                    const std::string &PipelineName);
+
+  EngineConfig Cfg;
+  ThreadPool Pool;
+  std::unordered_map<CacheKey, ValidationResult, CacheKeyHash> Cache;
+  EngineCacheStats Stats;
+};
+
+} // namespace llvmmd
+
+#endif // LLVMMD_DRIVER_VALIDATIONENGINE_H

@@ -35,6 +35,7 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace llvmmd {

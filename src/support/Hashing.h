@@ -21,6 +21,23 @@
 
 namespace llvmmd {
 
+class Function;
+class Type;
+
+/// Deterministic hash of a type's *shape* (kind + bit width), not its
+/// interned address, so hashes are stable across runs and Contexts. Null
+/// hashes to 0. Defined in Hashing.cpp.
+uint64_t hashTypeShape(const Type *Ty);
+
+/// Deterministic structural fingerprint of a function body: signature,
+/// block/instruction structure, opcodes, predicates, types (by shape, not
+/// address), constants, and operand wiring — but *not* the function's name,
+/// so a clone fingerprints identically to its source. Two functions with
+/// equal fingerprints are structurally identical (modulo a 2^-64 collision),
+/// which is what the validation engine's O(1) skip and verdict cache key on.
+/// Defined in Hashing.cpp.
+uint64_t fingerprintFunction(const Function &F);
+
 /// 64-bit FNV-1a over raw bytes; deterministic across platforms and runs.
 inline uint64_t hashBytes(const void *Data, size_t Len,
                           uint64_t Seed = 0xcbf29ce484222325ULL) {

@@ -6,8 +6,11 @@
 
 #include "vg/ValueGraph.h"
 
+#include "support/Hashing.h"
+
 #include <algorithm>
 #include <cstring>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -95,34 +98,53 @@ size_t ValueGraph::countRoots() const {
 
 namespace {
 
-/// Serialized structural key over canonical operand roots. Strings keep the
-/// implementation simple and deterministic; profile before optimizing.
-std::string serializeKey(const ValueGraph &G, const Node &N) {
-  std::ostringstream OS;
-  OS << static_cast<int>(N.Kind) << '|' << static_cast<int>(N.Op) << '|'
-     << static_cast<int>(N.Pred) << '|' << N.Ty << '|' << N.IntVal << '|';
-  uint64_t FloatBits;
-  std::memcpy(&FloatBits, &N.FloatVal, sizeof(FloatBits));
-  OS << FloatBits << '|' << N.Str << '|';
-  for (NodeId Op : N.Ops)
-    OS << G.find(Op) << ',';
-  return OS.str();
+/// Equality of every node field except the operand list. Floats compare by
+/// bit pattern (the hash-cons identity), so -0.0 and NaN payloads behave
+/// exactly like the former serialized-string key.
+bool scalarFieldsEqual(const Node &A, const Node &B) {
+  uint64_t ABits, BBits;
+  std::memcpy(&ABits, &A.FloatVal, sizeof(ABits));
+  std::memcpy(&BBits, &B.FloatVal, sizeof(BBits));
+  return A.Kind == B.Kind && A.Op == B.Op && A.Pred == B.Pred &&
+         A.Ty == B.Ty && A.IntVal == B.IntVal && ABits == BBits &&
+         A.Str == B.Str;
 }
 
 } // namespace
+
+uint64_t ValueGraph::hashNode(const Node &N) const {
+  uint64_t FloatBits;
+  std::memcpy(&FloatBits, &N.FloatVal, sizeof(FloatBits));
+  uint64_t H = hashCombine(static_cast<uint64_t>(N.Kind),
+                           static_cast<uint64_t>(N.Op));
+  H = hashCombine(H, N.Pred);
+  // Types are interned in the Context, so their shape identifies them.
+  H = hashCombine(H, hashTypeShape(N.Ty));
+  H = hashCombine(H, static_cast<uint64_t>(N.IntVal));
+  H = hashCombine(H, FloatBits);
+  H = hashCombine(H, hashString(N.Str));
+  H = hashCombine(H, N.Ops.size());
+  for (NodeId Op : N.Ops)
+    H = hashCombine(H, Op);
+  return H;
+}
+
+bool ValueGraph::nodeEquals(const Node &A, const Node &B) {
+  return scalarFieldsEqual(A, B) && A.Ops == B.Ops;
+}
 
 NodeId ValueGraph::intern(Node N) {
   // Canonicalize operand references before keying.
   for (NodeId &Op : N.Ops)
     Op = find(Op);
-  std::string K = serializeKey(*this, N);
-  auto It = HashCons.find(K);
-  if (It != HashCons.end())
-    return find(It->second);
+  std::vector<NodeId> &Bucket = HashCons[hashNode(N)];
+  for (NodeId Candidate : Bucket)
+    if (nodeEquals(Nodes[Candidate], N))
+      return find(Candidate);
   NodeId Id = static_cast<NodeId>(Nodes.size());
   Nodes.push_back(std::move(N));
   Parent.push_back(Id);
-  HashCons.emplace(std::move(K), Id);
+  Bucket.push_back(Id);
   return Id;
 }
 
@@ -339,24 +361,45 @@ unsigned ValueGraph::canonicalizeOrders() {
 }
 
 unsigned ValueGraph::congruencePass() {
+  // Keys must be recomputed over *current* union-find roots every iteration,
+  // unlike the frozen hash-cons table; hence the local hash buckets with
+  // root-canonicalized comparison.
+  auto CanonicalEquals = [this](const Node &A, const Node &B) {
+    if (!scalarFieldsEqual(A, B) || A.Ops.size() != B.Ops.size())
+      return false;
+    for (size_t I = 0, E = A.Ops.size(); I != E; ++I)
+      if (find(A.Ops[I]) != find(B.Ops[I]))
+        return false;
+    return true;
+  };
+
   unsigned Merges = 0;
   bool Changed = true;
   while (Changed) {
     Changed = false;
     canonicalizeOrders();
-    std::map<std::string, NodeId> Tab;
+    std::unordered_map<uint64_t, std::vector<NodeId>> Tab;
     for (NodeId I = 0; I < Nodes.size(); ++I) {
       if (find(I) != I)
         continue;
       if (Nodes[I].Kind == NodeKind::Mu)
         continue; // cycles handled by unification/partitioning
-      std::string K = serializeKey(*this, Nodes[I]);
-      auto [It, Inserted] = Tab.try_emplace(K, I);
-      if (!Inserted) {
-        mergeInto(I, It->second); // keep the earlier (smaller) id
-        ++Merges;
-        Changed = true;
+      Node Probe = Nodes[I];
+      for (NodeId &Op : Probe.Ops)
+        Op = find(Op);
+      std::vector<NodeId> &Bucket = Tab[hashNode(Probe)];
+      bool Merged = false;
+      for (NodeId Candidate : Bucket) {
+        if (CanonicalEquals(Nodes[Candidate], Probe)) {
+          mergeInto(I, Candidate); // keep the earlier (smaller) id
+          ++Merges;
+          Changed = true;
+          Merged = true;
+          break;
+        }
       }
+      if (!Merged)
+        Bucket.push_back(I);
     }
   }
   return Merges;

@@ -28,9 +28,9 @@
 #include "ir/Type.h"
 
 #include <cstdint>
-#include <map>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace llvmmd {
@@ -182,6 +182,12 @@ public:
 private:
   NodeId intern(Node N);
 
+  /// Structural hash of \p N over its (already canonicalized) operand list;
+  /// the hash-cons key. Collisions are resolved by structural equality.
+  uint64_t hashNode(const Node &N) const;
+  /// Field-by-field structural equality against an interned node.
+  static bool nodeEquals(const Node &A, const Node &B);
+
   /// Parallel structural unification under cycle assumptions (§5.4's
   /// "simple unification algorithm").
   bool unify(NodeId X, NodeId Y, std::set<std::pair<NodeId, NodeId>> &Assumed,
@@ -193,7 +199,11 @@ private:
 
   std::vector<Node> Nodes;
   mutable std::vector<NodeId> Parent;
-  std::map<std::string, NodeId> HashCons; // serialized key -> id
+  /// Structural hash -> candidate ids (collision bucket). Keys are frozen at
+  /// intern time, like the interned nodes' operand lists; later union-find
+  /// merges can make equal-shaped nodes miss, which the sharing-maximization
+  /// congruence pass cleans up.
+  std::unordered_map<uint64_t, std::vector<NodeId>> HashCons;
   unsigned MergeCount = 0;
 };
 
