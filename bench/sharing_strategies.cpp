@@ -18,30 +18,21 @@ using namespace llvmmd::bench;
 
 namespace {
 
+/// Optimize + validate one profile under \p Strategy, entirely on the
+/// engine: the strategy rides in EngineConfig.Rules.Strategy, and the
+/// verdict cache keys on it, so one engine can serve all three ablation
+/// legs without cross-talk.
 RunStats runWithStrategy(const BenchmarkProfile &Profile,
-                         SharingStrategy Strategy) {
+                         SharingStrategy Strategy,
+                         ValidationEngine &Engine) {
+  RuleConfig Rules = Engine.getRules();
+  Rules.Mask = RS_Paper;
+  Rules.Strategy = Strategy;
+  Engine.setRules(Rules);
+
   Context Ctx;
   auto Orig = generateBenchmark(Ctx, Profile);
-  auto Opt = cloneModule(*Orig);
-  PassManager PM;
-  PM.parsePipeline("gvn,loop-unswitch");
-  RuleConfig Rules;
-  Rules.Mask = RS_Paper;
-  Rules.M = Orig.get();
-  Rules.Strategy = Strategy;
-
-  RunStats S;
-  for (Function *FO : Opt->definedFunctions()) {
-    ++S.Functions;
-    if (!PM.run(*FO))
-      continue;
-    ++S.Transformed;
-    ValidationResult R =
-        validatePair(*Orig->getFunction(FO->getName()), *FO, Rules);
-    S.Validated += R.Validated;
-    S.Microseconds += R.Microseconds;
-  }
-  return S;
+  return statsFromReport(Engine.run(*Orig, "gvn,loop-unswitch").Report);
 }
 
 } // namespace
@@ -50,11 +41,12 @@ int main() {
   printHeader("§5.4: sharing maximization strategies (gvn,loop-unswitch)");
   std::printf("%-12s | %9s %9s | %9s %9s | %9s %9s\n", "program", "simple",
               "time", "partition", "time", "combined", "time");
+  ValidationEngine Engine;
   unsigned T[3] = {0, 0, 0}, V[3] = {0, 0, 0};
   for (const BenchmarkProfile &P : getPaperSuite()) {
-    RunStats A = runWithStrategy(P, SharingStrategy::Simple);
-    RunStats B = runWithStrategy(P, SharingStrategy::Partition);
-    RunStats C = runWithStrategy(P, SharingStrategy::Combined);
+    RunStats A = runWithStrategy(P, SharingStrategy::Simple, Engine);
+    RunStats B = runWithStrategy(P, SharingStrategy::Partition, Engine);
+    RunStats C = runWithStrategy(P, SharingStrategy::Combined, Engine);
     T[0] += A.Transformed;
     V[0] += A.Validated;
     T[1] += B.Transformed;

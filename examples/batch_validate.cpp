@@ -9,8 +9,13 @@
 //
 //   $ ./batch_validate [options] [input.ll]
 //     --profile NAME     generate the Table-1 profile NAME (default: sjeng)
+//     --suite NAMES      comma-separated profile list: generate one module
+//                        per profile in a single Context and validate the
+//                        whole suite in one engine batch (one report per
+//                        module plus a roll-up)
 //     --pipeline P       comma-separated pass list (default: the paper's)
-//     --threads N        validation threads (default: hardware)
+//     --threads N        worker threads for optimize + validate (default:
+//                        hardware)
 //     --stepwise         per-pass validation with guilty-pass attribution
 //     --all-rules        enable the libc/float/global extension rule sets
 //     --revert           revert functions that fail validation
@@ -61,6 +66,7 @@ bool writeOrPrint(const std::string &Path, const std::string &Content) {
 
 int main(int argc, char **argv) {
   std::string ProfileName = "sjeng";
+  std::string SuiteNames;
   std::string InputFile;
   std::string Pipeline = getPaperPipeline();
   std::string JsonPath, CsvPath;
@@ -78,6 +84,8 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--profile") == 0 && I + 1 < argc)
       ProfileName = argv[++I];
+    else if (std::strcmp(argv[I], "--suite") == 0 && I + 1 < argc)
+      SuiteNames = argv[++I];
     else if (std::strcmp(argv[I], "--pipeline") == 0 && I + 1 < argc)
       Pipeline = argv[++I];
     else if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc) {
@@ -119,6 +127,79 @@ int main(int argc, char **argv) {
     }
   }
 
+  // Validate the pipeline up front: runSuite only asserts on a bad one
+  // (compiled out in Release), and a typo must not green-light a run that
+  // validated nothing.
+  PassManager PM;
+  if (!PM.parsePipeline(Pipeline)) {
+    std::fprintf(stderr, "error: bad pipeline '%s'\n", Pipeline.c_str());
+    return 1;
+  }
+
+  EngineConfig C;
+  C.Threads = Threads;
+  if (AllRules)
+    C.Rules.Mask = RS_All;
+  C.Granularity = Stepwise ? ValidationGranularity::PerPass
+                           : ValidationGranularity::WholePipeline;
+  C.RevertFailures = Revert;
+
+  if (Resubmit == 0)
+    Resubmit = 1;
+
+  // Suite mode: one module per profile, all in one Context, validated as a
+  // single engine batch sharded over the shared pool.
+  if (!SuiteNames.empty()) {
+    if (!InputFile.empty()) {
+      std::fprintf(stderr,
+                   "error: --suite generates its modules from profiles and "
+                   "cannot be combined with an input file\n");
+      return 1;
+    }
+    Context Ctx;
+    std::vector<std::unique_ptr<Module>> Mods;
+    std::vector<const Module *> ModPtrs;
+    std::string Name;
+    std::stringstream SS(SuiteNames);
+    while (std::getline(SS, Name, ',')) {
+      if (Name.empty())
+        continue;
+      BenchmarkProfile P = getProfile(Name);
+      if (P.FunctionCount == 0) {
+        std::fprintf(stderr, "error: unknown profile '%s'\n", Name.c_str());
+        return 1;
+      }
+      Mods.push_back(generateBenchmark(Ctx, P));
+      ModPtrs.push_back(Mods.back().get());
+    }
+    if (ModPtrs.empty()) {
+      std::fprintf(stderr, "error: --suite needs at least one profile\n");
+      return 1;
+    }
+
+    ValidationEngine Engine(C);
+    SuiteRun Run;
+    for (unsigned I = 0; I < Resubmit; ++I) {
+      Run = Engine.runSuite(ModPtrs, Pipeline);
+      if (!Quiet && Resubmit > 1) {
+        const EngineCacheStats &CS = Engine.cacheStats();
+        std::printf("run %u/%u: %.2f ms wall, cache hits so far: %llu, "
+                    "validated from scratch: %llu\n",
+                    I + 1, Resubmit, Run.Report.WallMicroseconds / 1000.0,
+                    static_cast<unsigned long long>(CS.Hits),
+                    static_cast<unsigned long long>(CS.Misses));
+      }
+    }
+
+    if (!Quiet)
+      std::fputs(suiteToText(Run.Report).c_str(), stdout);
+    if (EmitJson && !writeOrPrint(JsonPath, suiteToJSON(Run.Report)))
+      return 1;
+    if (EmitCsv && !writeOrPrint(CsvPath, suiteToCSV(Run.Report)))
+      return 1;
+    return Run.Report.validated() == Run.Report.transformed() ? 0 : 2;
+  }
+
   Context Ctx;
   std::unique_ptr<Module> M;
   if (!InputFile.empty()) {
@@ -145,23 +226,7 @@ int main(int argc, char **argv) {
     M = generateBenchmark(Ctx, P);
   }
 
-  PassManager PM;
-  if (!PM.parsePipeline(Pipeline)) {
-    std::fprintf(stderr, "error: bad pipeline '%s'\n", Pipeline.c_str());
-    return 1;
-  }
-
-  EngineConfig C;
-  C.Threads = Threads;
-  if (AllRules)
-    C.Rules.Mask = RS_All;
-  C.Granularity = Stepwise ? ValidationGranularity::PerPass
-                           : ValidationGranularity::WholePipeline;
-  C.RevertFailures = Revert;
   ValidationEngine Engine(C);
-
-  if (Resubmit == 0)
-    Resubmit = 1;
   EngineRun Run;
   for (unsigned I = 0; I < Resubmit; ++I) {
     Run = Engine.run(*M, PM);

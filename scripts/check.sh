@@ -1,10 +1,40 @@
 #!/usr/bin/env bash
 # check.sh - CI entry point: tier-1 verify plus a fig4 smoke run.
 #
-# Usage: scripts/check.sh [build-dir]
+# Usage: scripts/check.sh [--tsan|--asan] [build-dir]
+#
+#   (default)  tier-1 build + ctest, fig4 smoke, engine determinism checks
+#   --tsan     ThreadSanitizer build (CMake preset "tsan") running the
+#              engine + concurrent-interning tests — the same job CI runs
+#   --asan     AddressSanitizer+UBSan build (preset "asan") running the
+#              full test suite — ditto
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+MODE=default
+case "${1:-}" in
+--tsan)
+  MODE=tsan
+  shift
+  ;;
+--asan)
+  MODE=asan
+  shift
+  ;;
+esac
+
+if [ "$MODE" != default ]; then
+  # Sanitizer modes are backed by CMakePresets.json so local runs match the
+  # CI sanitizer jobs exactly. Presets resolve relative to the source dir.
+  cd "$REPO_ROOT"
+  cmake --preset "$MODE"
+  cmake --build --preset "$MODE" -j "$(nproc)"
+  ctest --preset "$MODE" -j "$(nproc)"
+  echo "check.sh ($MODE): OK"
+  exit 0
+fi
+
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 
 # Tier-1 verify (see ROADMAP.md).
@@ -27,5 +57,11 @@ run_bv() {
 run_bv --profile sqlite --threads 1 --quiet --json "$BUILD_DIR/check_t1.json"
 run_bv --profile sqlite --threads 8 --quiet --json "$BUILD_DIR/check_t8.json"
 cmp "$BUILD_DIR/check_t1.json" "$BUILD_DIR/check_t8.json"
+
+# Same for suite mode: multiple modules sharded over one pool must emit
+# byte-identical per-module and roll-up JSON at any thread count.
+run_bv --suite sqlite,hmmer --threads 1 --quiet --json "$BUILD_DIR/check_s1.json"
+run_bv --suite sqlite,hmmer --threads 8 --quiet --json "$BUILD_DIR/check_s8.json"
+cmp "$BUILD_DIR/check_s1.json" "$BUILD_DIR/check_s8.json"
 
 echo "check.sh: OK"

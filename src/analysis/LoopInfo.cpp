@@ -39,32 +39,47 @@ LoopInfo::LoopInfo(const Function &F, const DominatorTree &DT) {
   if (Irreducible)
     return;
 
-  // Build a loop per header; blocks = header + backward closure of latches.
-  for (auto &[Header, Latches] : BackEdges) {
+  // Build a loop per header, in RPO order of the headers (BackEdges is a
+  // pointer-keyed map; iterating it directly would order loops — and thus
+  // every pass that walks them — by allocation address). Blocks = header +
+  // backward closure of latches, sorted into RPO afterwards so getBlocks()
+  // iteration is deterministic program order.
+  for (BasicBlock *Header : RPO) {
+    auto BEIt = BackEdges.find(Header);
+    if (BEIt == BackEdges.end())
+      continue;
     auto L = std::make_unique<Loop>();
     L->Header = Header;
-    L->Latches = Latches;
-    L->Blocks.insert(Header);
-    std::vector<BasicBlock *> Work(Latches.begin(), Latches.end());
+    L->Latches = BEIt->second;
+    L->BlockSet.insert(Header);
+    std::vector<BasicBlock *> Work(L->Latches.begin(), L->Latches.end());
     while (!Work.empty()) {
       BasicBlock *BB = Work.back();
       Work.pop_back();
-      if (!L->Blocks.insert(BB).second)
+      if (!L->BlockSet.insert(BB).second)
         continue;
       for (BasicBlock *Pred : BB->predecessors())
         if (DT.isReachable(Pred) && Pred != Header)
           Work.push_back(Pred);
     }
+    L->Blocks.assign(L->BlockSet.begin(), L->BlockSet.end());
+    std::sort(L->Blocks.begin(), L->Blocks.end(),
+              [&](BasicBlock *A, BasicBlock *B) {
+                return RPOIndex.find(A)->second < RPOIndex.find(B)->second;
+              });
     Loops.push_back(std::move(L));
   }
 
   // Nesting: loop A is inside loop B iff B contains A's header and A != B.
-  // Sort by block count so parents (larger) are matched after children.
+  // Sort by block count so parents (larger) are matched after children;
+  // ties break by header RPO index, never by pointer.
   std::vector<Loop *> BydSize;
   for (auto &L : Loops)
     BydSize.push_back(L.get());
-  std::sort(BydSize.begin(), BydSize.end(), [](Loop *A, Loop *B) {
-    return A->Blocks.size() < B->Blocks.size();
+  std::sort(BydSize.begin(), BydSize.end(), [&](Loop *A, Loop *B) {
+    if (A->Blocks.size() != B->Blocks.size())
+      return A->Blocks.size() < B->Blocks.size();
+    return RPOIndex[A->Header] < RPOIndex[B->Header];
   });
   for (unsigned I = 0, E = BydSize.size(); I != E; ++I) {
     Loop *Inner = BydSize[I];
@@ -97,19 +112,21 @@ LoopInfo::LoopInfo(const Function &F, const DominatorTree &DT) {
         L->Entering.front()->successors().size() == 1)
       L->Preheader = L->Entering.front();
 
+    // Blocks are in RPO, so Exiting and Exits come out in deterministic
+    // discovery order (first-seen wins for the deduplicated exit list).
     std::set<BasicBlock *> ExitSet;
     for (BasicBlock *BB : L->Blocks) {
       bool IsExiting = false;
       for (BasicBlock *Succ : BB->successors()) {
         if (!L->contains(Succ)) {
           IsExiting = true;
-          ExitSet.insert(Succ);
+          if (ExitSet.insert(Succ).second)
+            L->Exits.push_back(Succ);
         }
       }
       if (IsExiting)
         L->Exiting.push_back(BB);
     }
-    L->Exits.assign(ExitSet.begin(), ExitSet.end());
   }
 }
 

@@ -11,6 +11,13 @@
 /// retreating edge that is not a back edge are flagged irreducible; the
 /// Gated SSA front-end rejects those, matching the paper (§5.1).
 ///
+/// Every order this analysis exposes — loop discovery, block membership,
+/// exiting/exit lists, nesting ties — is derived from the CFG's RPO, never
+/// from pointer values. Passes iterate these lists to decide where hoisted
+/// or cloned code lands, so pointer-ordered iteration here used to make
+/// optimization results depend on heap-allocation history (the engine's
+/// resubmission divergence) and, with concurrent interning, on scheduling.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LLVMMD_ANALYSIS_LOOPINFO_H
@@ -32,9 +39,12 @@ public:
   BasicBlock *getHeader() const { return Header; }
   Loop *getParent() const { return Parent; }
   const std::vector<Loop *> &getSubLoops() const { return SubLoops; }
-  const std::set<BasicBlock *> &getBlocks() const { return Blocks; }
+  /// Member blocks in RPO order (header first). Deterministic: passes
+  /// iterate this to hoist/clone/delete, so it must not depend on pointer
+  /// values.
+  const std::vector<BasicBlock *> &getBlocks() const { return Blocks; }
   bool contains(const BasicBlock *BB) const {
-    return Blocks.count(const_cast<BasicBlock *>(BB)) != 0;
+    return BlockSet.count(const_cast<BasicBlock *>(BB)) != 0;
   }
   unsigned getDepth() const {
     unsigned D = 1;
@@ -62,10 +72,13 @@ public:
 
   /// Registers a freshly created block (e.g. a preheader) as a member of
   /// this loop and all enclosing loops, keeping membership queries correct
-  /// for transformations that run after the block was inserted.
+  /// for transformations that run after the block was inserted. Appended at
+  /// the end of the block list: insertion order is program order, so the
+  /// list stays deterministic.
   void addBlock(BasicBlock *BB) {
     for (Loop *L = this; L; L = L->Parent)
-      L->Blocks.insert(BB);
+      if (L->BlockSet.insert(BB).second)
+        L->Blocks.push_back(BB);
   }
 
 private:
@@ -73,7 +86,8 @@ private:
   BasicBlock *Header = nullptr;
   Loop *Parent = nullptr;
   std::vector<Loop *> SubLoops;
-  std::set<BasicBlock *> Blocks;
+  std::vector<BasicBlock *> Blocks; ///< RPO order; see getBlocks()
+  std::set<BasicBlock *> BlockSet;  ///< membership mirror of Blocks
   std::vector<BasicBlock *> Latches;
   BasicBlock *Preheader = nullptr;
   std::vector<BasicBlock *> Entering;

@@ -127,10 +127,16 @@ std::string llvmmd::reportToText(const ValidationReport &R) {
                 R.cacheHits(), R.skippedIdentical(), R.rewrites(),
                 R.graphNodes());
   OS << Buf;
-  std::snprintf(Buf, sizeof(Buf),
-                "  %.2f ms wall on %u threads (%.2f ms of validation)\n",
-                R.WallMicroseconds / 1000.0, R.Threads,
-                R.validationMicroseconds() / 1000.0);
+  // Multi-module suite runs interleave on one pool and leave per-module
+  // wall time unattributed (zero); only validation time is per-module then.
+  if (R.WallMicroseconds)
+    std::snprintf(Buf, sizeof(Buf),
+                  "  %.2f ms wall on %u threads (%.2f ms of validation)\n",
+                  R.WallMicroseconds / 1000.0, R.Threads,
+                  R.validationMicroseconds() / 1000.0);
+  else
+    std::snprintf(Buf, sizeof(Buf), "  %.2f ms of validation on %u threads\n",
+                  R.validationMicroseconds() / 1000.0, R.Threads);
   OS << Buf;
   for (const auto &F : R.Functions) {
     std::snprintf(Buf, sizeof(Buf), "  %-24s %s", F.Name.c_str(),
@@ -178,15 +184,19 @@ std::string csvEscape(const std::string &S) {
 
 } // namespace
 
-std::string llvmmd::reportToCSV(const ValidationReport &R) {
-  std::ostringstream OS;
-  OS << "function,pass,transformed,validated,cache_hit,skipped_identical,"
-        "reverted,guilty_pass,rewrites,graph_nodes,iterations,us,reason\n";
+namespace {
+
+/// The shared per-function row columns. With \p ModuleName non-null, each
+/// row is prefixed by a `module` column (the suite CSV shape).
+void emitCSVRows(std::ostringstream &OS, const ValidationReport &R,
+                 const std::string *ModuleName) {
   char Buf[128];
   auto EmitRow = [&](const std::string &Fn, const std::string &Pass,
                      bool Transformed, bool Validated, bool CacheHit,
                      bool Skipped, bool Reverted, const std::string &Guilty,
                      const ValidationResult &Res) {
+    if (ModuleName)
+      OS << csvEscape(*ModuleName) << ',';
     OS << csvEscape(Fn) << ',' << csvEscape(Pass) << ',' << Transformed << ','
        << Validated << ',' << CacheHit << ',' << Skipped << ',' << Reverted
        << ',' << csvEscape(Guilty) << ',';
@@ -204,6 +214,18 @@ std::string llvmmd::reportToCSV(const ValidationReport &R) {
         EmitRow(F.Name, S.Pass, S.Changed, S.Validated, S.CacheHit,
                 S.SkippedIdentical, false, "", S.Result);
   }
+}
+
+const char *CSVColumns =
+    "function,pass,transformed,validated,cache_hit,skipped_identical,"
+    "reverted,guilty_pass,rewrites,graph_nodes,iterations,us,reason\n";
+
+} // namespace
+
+std::string llvmmd::reportToCSV(const ValidationReport &R) {
+  std::ostringstream OS;
+  OS << CSVColumns;
+  emitCSVRows(OS, R, nullptr);
   return OS.str();
 }
 
@@ -266,23 +288,27 @@ void emitResult(std::ostringstream &OS, const ValidationResult &Res,
 
 } // namespace
 
-std::string llvmmd::reportToJSON(const ValidationReport &R,
-                                 bool IncludeTiming) {
-  std::ostringstream OS;
+namespace {
+
+/// Emits the report object (braces included, no trailing newline) with
+/// \p P prefixed to every line after the first — so the same bytes serve as
+/// a standalone document (empty prefix) and nested inside a suite report.
+void emitReportJSON(std::ostringstream &OS, const ValidationReport &R,
+                    bool IncludeTiming, const std::string &P) {
   char Buf[64];
   OS << "{\n";
-  OS << "  \"schema\": \"llvmmd-validation-report-v1\",\n";
-  OS << "  \"module\": \"" << jsonEscape(R.ModuleName) << "\",\n";
-  OS << "  \"pipeline\": \"" << jsonEscape(R.Pipeline) << "\",\n";
-  OS << "  \"rule_mask\": " << R.RuleMask << ",\n";
-  OS << "  \"granularity\": \"" << (R.Stepwise ? "per-pass" : "pipeline")
+  OS << P << "  \"schema\": \"llvmmd-validation-report-v1\",\n";
+  OS << P << "  \"module\": \"" << jsonEscape(R.ModuleName) << "\",\n";
+  OS << P << "  \"pipeline\": \"" << jsonEscape(R.Pipeline) << "\",\n";
+  OS << P << "  \"rule_mask\": " << R.RuleMask << ",\n";
+  OS << P << "  \"granularity\": \"" << (R.Stepwise ? "per-pass" : "pipeline")
      << "\",\n";
   if (IncludeTiming) {
-    OS << "  \"threads\": " << R.Threads << ",\n";
-    OS << "  \"wall_us\": " << R.WallMicroseconds << ",\n";
-    OS << "  \"validation_us\": " << R.validationMicroseconds() << ",\n";
+    OS << P << "  \"threads\": " << R.Threads << ",\n";
+    OS << P << "  \"wall_us\": " << R.WallMicroseconds << ",\n";
+    OS << P << "  \"validation_us\": " << R.validationMicroseconds() << ",\n";
   }
-  OS << "  \"summary\": {";
+  OS << P << "  \"summary\": {";
   OS << "\"functions\": " << R.total()
      << ", \"transformed\": " << R.transformed()
      << ", \"validated\": " << R.validated()
@@ -293,12 +319,12 @@ std::string llvmmd::reportToJSON(const ValidationReport &R,
      << ", \"graph_nodes\": " << R.graphNodes();
   std::snprintf(Buf, sizeof(Buf), "%.6f", R.validationRate());
   OS << ", \"validation_rate\": " << Buf << "},\n";
-  OS << "  \"functions\": [";
+  OS << P << "  \"functions\": [";
   bool FirstFn = true;
   for (const auto &F : R.Functions) {
     OS << (FirstFn ? "\n" : ",\n");
     FirstFn = false;
-    OS << "    {\"name\": \"" << jsonEscape(F.Name) << "\", "
+    OS << P << "    {\"name\": \"" << jsonEscape(F.Name) << "\", "
        << "\"fingerprint_orig\": \"" << hex64(F.FingerprintOrig) << "\", "
        << "\"fingerprint_opt\": \"" << hex64(F.FingerprintOpt) << "\", "
        << "\"transformed\": " << (F.Transformed ? "true" : "false") << ", "
@@ -333,6 +359,125 @@ std::string llvmmd::reportToJSON(const ValidationReport &R,
       OS << ']';
     }
     OS << '}';
+  }
+  OS << '\n' << P << "  ]\n" << P << '}';
+}
+
+} // namespace
+
+std::string llvmmd::reportToJSON(const ValidationReport &R,
+                                 bool IncludeTiming) {
+  std::ostringstream OS;
+  emitReportJSON(OS, R, IncludeTiming, "");
+  OS << '\n';
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Suite roll-up
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+unsigned sumModules(const std::vector<ValidationReport> &Mods,
+                    unsigned (ValidationReport::*Get)() const) {
+  unsigned N = 0;
+  for (const auto &M : Mods)
+    N += (M.*Get)();
+  return N;
+}
+
+} // namespace
+
+unsigned SuiteReport::total() const {
+  return sumModules(Modules, &ValidationReport::total);
+}
+
+unsigned SuiteReport::transformed() const {
+  return sumModules(Modules, &ValidationReport::transformed);
+}
+
+unsigned SuiteReport::validated() const {
+  return sumModules(Modules, &ValidationReport::validated);
+}
+
+unsigned SuiteReport::reverted() const {
+  return sumModules(Modules, &ValidationReport::reverted);
+}
+
+unsigned SuiteReport::cacheHits() const {
+  return sumModules(Modules, &ValidationReport::cacheHits);
+}
+
+unsigned SuiteReport::skippedIdentical() const {
+  return sumModules(Modules, &ValidationReport::skippedIdentical);
+}
+
+double SuiteReport::validationRate() const {
+  unsigned T = transformed();
+  return T == 0 ? 1.0 : static_cast<double>(validated()) / T;
+}
+
+std::string llvmmd::suiteToText(const SuiteReport &S) {
+  std::ostringstream OS;
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "suite report: %u modules, pipeline '%s' (%s)\n", S.modules(),
+                S.Pipeline.c_str(), S.Stepwise ? "stepwise" : "whole-pipeline");
+  OS << Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  %u functions, %u transformed, %u validated (%.1f%%), "
+                "%u reverted, %u cache hits, %u identical skips\n",
+                S.total(), S.transformed(), S.validated(),
+                100.0 * S.validationRate(), S.reverted(), S.cacheHits(),
+                S.skippedIdentical());
+  OS << Buf;
+  std::snprintf(Buf, sizeof(Buf), "  %.2f ms wall on %u threads\n",
+                S.WallMicroseconds / 1000.0, S.Threads);
+  OS << Buf;
+  for (const auto &M : S.Modules) {
+    OS << '\n';
+    OS << reportToText(M);
+  }
+  return OS.str();
+}
+
+std::string llvmmd::suiteToCSV(const SuiteReport &S) {
+  std::ostringstream OS;
+  OS << "module," << CSVColumns;
+  for (const auto &M : S.Modules)
+    emitCSVRows(OS, M, &M.ModuleName);
+  return OS.str();
+}
+
+std::string llvmmd::suiteToJSON(const SuiteReport &S, bool IncludeTiming) {
+  std::ostringstream OS;
+  char Buf[64];
+  OS << "{\n";
+  OS << "  \"schema\": \"llvmmd-suite-report-v1\",\n";
+  OS << "  \"pipeline\": \"" << jsonEscape(S.Pipeline) << "\",\n";
+  OS << "  \"rule_mask\": " << S.RuleMask << ",\n";
+  OS << "  \"granularity\": \"" << (S.Stepwise ? "per-pass" : "pipeline")
+     << "\",\n";
+  if (IncludeTiming) {
+    OS << "  \"threads\": " << S.Threads << ",\n";
+    OS << "  \"wall_us\": " << S.WallMicroseconds << ",\n";
+  }
+  OS << "  \"summary\": {";
+  OS << "\"modules\": " << S.modules() << ", \"functions\": " << S.total()
+     << ", \"transformed\": " << S.transformed()
+     << ", \"validated\": " << S.validated()
+     << ", \"reverted\": " << S.reverted()
+     << ", \"cache_hits\": " << S.cacheHits()
+     << ", \"skipped_identical\": " << S.skippedIdentical();
+  std::snprintf(Buf, sizeof(Buf), "%.6f", S.validationRate());
+  OS << ", \"validation_rate\": " << Buf << "},\n";
+  OS << "  \"modules\": [";
+  bool First = true;
+  for (const auto &M : S.Modules) {
+    OS << (First ? "\n    " : ",\n    ");
+    First = false;
+    emitReportJSON(OS, M, IncludeTiming, "    ");
   }
   OS << "\n  ]\n}\n";
   return OS.str();

@@ -102,6 +102,41 @@ std::string reportToCSV(const ValidationReport &R);
 std::string reportToJSON(const ValidationReport &R,
                          bool IncludeTiming = false);
 
+/// The result of one engine suite run: one ValidationReport per module (in
+/// submission order) plus a roll-up. Like ValidationReport, everything
+/// except the wall-clock fields is independent of the thread count.
+struct SuiteReport {
+  std::string Pipeline;
+  unsigned RuleMask = 0;
+  bool Stepwise = false;
+  unsigned Threads = 1;
+  uint64_t WallMicroseconds = 0; ///< end-to-end suite wall time
+  std::vector<ValidationReport> Modules;
+
+  // Roll-up aggregates over all modules.
+  unsigned modules() const { return static_cast<unsigned>(Modules.size()); }
+  unsigned total() const;
+  unsigned transformed() const;
+  unsigned validated() const;
+  unsigned reverted() const;
+  unsigned cacheHits() const;
+  unsigned skippedIdentical() const;
+  double validationRate() const;
+};
+
+/// Human-readable suite report: the roll-up summary followed by every
+/// module's text report.
+std::string suiteToText(const SuiteReport &S);
+
+/// CSV over all modules: the per-module columns prefixed by a `module`
+/// column.
+std::string suiteToCSV(const SuiteReport &S);
+
+/// JSON: schema llvmmd-suite-report-v1 with a summary object and the
+/// per-module reports nested under "modules". Deterministic for any thread
+/// count unless \p IncludeTiming is set.
+std::string suiteToJSON(const SuiteReport &S, bool IncludeTiming = false);
+
 } // namespace llvmmd
 
 #endif // LLVMMD_DRIVER_REPORT_H

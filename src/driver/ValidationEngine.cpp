@@ -103,12 +103,19 @@ uint64_t ValidationEngine::cacheConfigDigest(const Module &OrigModule) const {
 // Batch scheduling
 //===----------------------------------------------------------------------===//
 
+/// One batch spans every module of a run or suite: jobs from all modules
+/// interleave freely on the pool, while landings record which module's
+/// report each verdict belongs to.
 struct ValidationEngine::BatchState {
-  /// CacheKey::Config for every pair in this batch (rules + module digest).
-  uint64_t ConfigDigest = 0;
+  /// CacheKey::Config per module (rules + module digest).
+  std::vector<uint64_t> ConfigDigests;
+  /// Rule configuration per module (Rules.M bound to that module's
+  /// original); read concurrently by validation jobs.
+  std::vector<RuleConfig> ModuleRules;
   std::vector<PairJob> Jobs;
   std::vector<Landing> Landings;
   struct CachedLanding {
+    unsigned Mod;
     size_t Fn;
     int Step;
     ValidationResult Result;
@@ -116,8 +123,38 @@ struct ValidationEngine::BatchState {
   std::vector<CachedLanding> Cached;
   /// Key -> job index, for pairs already scheduled in this batch. Duplicates
   /// share the job and land as cache hits deterministically, independent of
-  /// the thread count.
+  /// the thread count; the key includes the config digest, so sharing across
+  /// modules of a suite is sound.
   std::unordered_map<CacheKey, size_t, CacheKeyHash> Pending;
+};
+
+/// Everything the optimize phase produces for one module. Optimizer tasks
+/// write only to per-function slots (report entries, snapshot modules,
+/// pending-pair lists), so tasks across functions and modules never touch
+/// the same memory.
+struct ValidationEngine::ModuleRunState {
+  const Module *Orig = nullptr;
+  Module *Opt = nullptr;
+  bool Stepwise = false;
+  std::vector<Function *> Defined;
+  std::vector<const Function *> Origs;
+  /// Stepwise: one snapshot module per function (same Context as the input)
+  /// so concurrent tasks never append functions to a shared module. Alive
+  /// until the revert phase has copied the certified bodies back.
+  std::vector<std::unique_ptr<Module>> SnapshotModules;
+  /// Per function: (pass index, snapshot) for every changing pass, so the
+  /// revert phase can find the last certified body.
+  std::vector<std::vector<std::pair<int, const Function *>>> SnapChains;
+  /// Validation pairs discovered by the optimize phase, landed per function
+  /// here and scheduled later in deterministic order.
+  struct PendingPair {
+    uint64_t FpA = 0, FpB = 0;
+    const Function *A = nullptr;
+    const Function *B = nullptr;
+    int Step = -1;
+  };
+  std::vector<std::vector<PendingPair>> PerFn;
+  ValidationReport *Report = nullptr;
 };
 
 ValidationEngine::ValidationEngine(EngineConfig Config)
@@ -130,15 +167,16 @@ void ValidationEngine::clearCache() {
   Stats.Entries = 0;
 }
 
-void ValidationEngine::scheduleValidation(BatchState &B, uint64_t FpA,
-                                          uint64_t FpB, const Function *A,
+void ValidationEngine::scheduleValidation(BatchState &B, unsigned Mod,
+                                          uint64_t FpA, uint64_t FpB,
+                                          const Function *A,
                                           const Function *OptF, size_t Fn,
                                           int Step) {
-  CacheKey Key{FpA, FpB, B.ConfigDigest};
+  CacheKey Key{FpA, FpB, B.ConfigDigests[Mod]};
   if (Cfg.UseCache) {
     auto It = Cache.find(Key);
     if (It != Cache.end()) {
-      B.Cached.push_back({Fn, Step, It->second});
+      B.Cached.push_back({Mod, Fn, Step, It->second});
       ++Stats.Hits;
       return;
     }
@@ -148,30 +186,32 @@ void ValidationEngine::scheduleValidation(BatchState &B, uint64_t FpA,
     PairJob Job;
     Job.A = A;
     Job.B = OptF;
+    Job.Mod = Mod;
     Job.Key = Key;
     B.Jobs.push_back(std::move(Job));
-    B.Landings.push_back({Fn, Step, PIt->second, false});
+    B.Landings.push_back({Mod, Fn, Step, PIt->second, false});
   } else {
-    B.Landings.push_back({Fn, Step, PIt->second, true});
+    B.Landings.push_back({Mod, Fn, Step, PIt->second, true});
     ++Stats.Hits;
   }
 }
 
-void ValidationEngine::executeBatch(BatchState &B, const RuleConfig &Rules,
-                                    ValidationReport &Report) {
+void ValidationEngine::executeBatch(
+    BatchState &B, const std::vector<ValidationReport *> &Reports) {
   Pool.parallelFor(B.Jobs.size(), [&](size_t I) {
-    B.Jobs[I].Result = validatePair(*B.Jobs[I].A, *B.Jobs[I].B, Rules);
+    PairJob &Job = B.Jobs[I];
+    Job.Result = validatePair(*Job.A, *Job.B, B.ModuleRules[Job.Mod]);
   });
   Stats.Misses += B.Jobs.size();
 
-  auto Land = [&](size_t Fn, int Step, const ValidationResult &Verdict,
-                  bool Hit) {
+  auto Land = [&](unsigned Mod, size_t Fn, int Step,
+                  const ValidationResult &Verdict, bool Hit) {
     ValidationResult Res = Verdict;
     // A replayed verdict spent no time now; don't bill the original pair's
     // wall time to this run's aggregates.
     if (Hit)
       Res.Microseconds = 0;
-    FunctionReportEntry &E = Report.Functions[Fn];
+    FunctionReportEntry &E = Reports[Mod]->Functions[Fn];
     if (Step < 0) {
       E.Result = Res;
       E.Validated = Res.Validated;
@@ -184,9 +224,9 @@ void ValidationEngine::executeBatch(BatchState &B, const RuleConfig &Rules,
     }
   };
   for (const auto &C : B.Cached)
-    Land(C.Fn, C.Step, C.Result, true);
+    Land(C.Mod, C.Fn, C.Step, C.Result, true);
   for (const auto &L : B.Landings)
-    Land(L.Fn, L.Step, B.Jobs[L.Job].Result, L.DuplicateHit);
+    Land(L.Mod, L.Fn, L.Step, B.Jobs[L.Job].Result, L.DuplicateHit);
 
   if (Cfg.UseCache) {
     for (const PairJob &Job : B.Jobs)
@@ -196,7 +236,76 @@ void ValidationEngine::executeBatch(BatchState &B, const RuleConfig &Rules,
 }
 
 //===----------------------------------------------------------------------===//
-// Module runs
+// Optimize phase (one task per function, runs on the pool)
+//===----------------------------------------------------------------------===//
+
+void ValidationEngine::optimizeFunction(ModuleRunState &S, size_t Fi,
+                                        PassManager &PM) {
+  Function *F = S.Defined[Fi];
+  const Function *Orig = S.Origs[Fi];
+  FunctionReportEntry &E = S.Report->Functions[Fi];
+  E.Name = F->getName();
+  E.FingerprintOrig = fingerprintFunction(*Orig);
+
+  if (!S.Stepwise) {
+    E.Transformed = PM.run(*F);
+    if (!E.Transformed) {
+      E.FingerprintOpt = E.FingerprintOrig;
+      return;
+    }
+    E.FingerprintOpt = fingerprintFunction(*F);
+    if (E.FingerprintOpt == E.FingerprintOrig) {
+      E.SkippedIdentical = true;
+      E.Validated = true;
+      E.Result = identicalSkipResult();
+      return;
+    }
+    S.PerFn[Fi].push_back(
+        {E.FingerprintOrig, E.FingerprintOpt, Orig, F, -1});
+    return;
+  }
+
+  // Stepwise: run each pass individually, snapshotting after every one
+  // that changes the function, and validate consecutive snapshots.
+  S.SnapshotModules[Fi] = std::make_unique<Module>(
+      S.Orig->getContext(), F->getName() + ".snapshots");
+  Module &Snapshots = *S.SnapshotModules[Fi];
+  const Function *Prev = Orig;
+  uint64_t PrevFp = E.FingerprintOrig;
+  const auto &Passes = PM.passes();
+  E.Steps.reserve(Passes.size());
+  for (size_t Pi = 0; Pi < Passes.size(); ++Pi) {
+    StepReport St;
+    St.Pass = Passes[Pi]->getName();
+    St.Changed = Passes[Pi]->run(*F);
+    if (St.Changed) {
+      E.Transformed = true;
+      uint64_t Fp = fingerprintFunction(*F);
+      St.Fingerprint = Fp;
+      if (Fp == PrevFp) {
+        St.SkippedIdentical = true;
+        St.Validated = true;
+        St.Result = identicalSkipResult();
+      } else {
+        Function *Snap = Snapshots.createFunction(
+            F->getFunctionType(), F->getName() + ".s" + std::to_string(Pi));
+        std::map<const Value *, Value *> VMap;
+        cloneFunctionBody(*F, *Snap, VMap);
+        E.Steps.push_back(std::move(St));
+        S.PerFn[Fi].push_back({PrevFp, Fp, Prev, Snap, static_cast<int>(Pi)});
+        S.SnapChains[Fi].push_back({static_cast<int>(Pi), Snap});
+        Prev = Snap;
+        PrevFp = Fp;
+        continue;
+      }
+    }
+    E.Steps.push_back(std::move(St));
+  }
+  E.FingerprintOpt = PrevFp;
+}
+
+//===----------------------------------------------------------------------===//
+// Module and suite runs
 //===----------------------------------------------------------------------===//
 
 EngineRun ValidationEngine::run(const Module &M, const std::string &Pipeline) {
@@ -204,7 +313,11 @@ EngineRun ValidationEngine::run(const Module &M, const std::string &Pipeline) {
   bool OK = PM.parsePipeline(Pipeline);
   (void)OK;
   assert(OK && "bad pipeline");
-  return runImpl(M, PM, Pipeline);
+  SuiteRun SR = runModules({&M}, Pipeline, PM);
+  EngineRun Run;
+  Run.Optimized = std::move(SR.Optimized.front());
+  Run.Report = std::move(SR.Report.Modules.front());
+  return Run;
 }
 
 EngineRun ValidationEngine::run(const Module &M, PassManager &PM) {
@@ -214,187 +327,189 @@ EngineRun ValidationEngine::run(const Module &M, PassManager &PM) {
       Name += ',';
     Name += P->getName();
   }
-  return runImpl(M, PM, Name);
+  SuiteRun SR = runModules({&M}, Name, PM);
+  EngineRun Run;
+  Run.Optimized = std::move(SR.Optimized.front());
+  Run.Report = std::move(SR.Report.Modules.front());
+  return Run;
 }
 
-EngineRun ValidationEngine::runImpl(const Module &M, PassManager &PM,
-                                    const std::string &PipelineName) {
+SuiteRun ValidationEngine::runSuite(const std::vector<const Module *> &Modules,
+                                    const std::string &Pipeline) {
+  PassManager PM;
+  bool OK = PM.parsePipeline(Pipeline);
+  (void)OK;
+  assert(OK && "bad pipeline");
+  return runModules(Modules, Pipeline, PM);
+}
+
+SuiteRun ValidationEngine::runModules(const std::vector<const Module *> &Mods,
+                                      const std::string &PipelineName,
+                                      PassManager &ProtoPM) {
   auto Start = std::chrono::steady_clock::now();
   const bool Stepwise = Cfg.Granularity == ValidationGranularity::PerPass;
 
-  EngineRun Run;
-  Run.Report.ModuleName = M.getName();
-  Run.Report.Pipeline = PipelineName;
-  Run.Report.RuleMask = Cfg.Rules.Mask;
-  Run.Report.Stepwise = Stepwise;
-  Run.Report.Threads = Pool.getThreadCount();
-
-  RuleConfig Rules = Cfg.Rules;
-  Rules.M = &M;
-
-  // Graph construction interns i1 in the shared Context on demand; warm it
-  // now so the parallel phase never mutates the Context.
-  M.getContext().getInt1Ty();
-
-  Run.Optimized = cloneModule(M);
-  // Stepwise snapshots live here: same Context, so validatePair can compare
-  // across modules. Destroyed before Run.Optimized (reverse declaration
-  // order does not apply — this is a local, freed when runImpl returns,
-  // while the optimized module is moved out alive).
-  Module Snapshots(M.getContext(), M.getName() + ".snapshots");
-  // Per function: (pass index, snapshot) for every changing pass, so the
-  // revert phase can find the last certified body.
-  std::vector<std::vector<std::pair<int, const Function *>>> SnapChains;
+  SuiteRun SR;
+  SR.Report.Pipeline = PipelineName;
+  SR.Report.RuleMask = Cfg.Rules.Mask;
+  SR.Report.Stepwise = Stepwise;
+  SR.Report.Threads = Pool.getThreadCount();
+  SR.Report.Modules.resize(Mods.size());
 
   BatchState B;
-  B.ConfigDigest = cacheConfigDigest(M);
+  std::vector<ModuleRunState> States(Mods.size());
+  for (size_t Mi = 0; Mi < Mods.size(); ++Mi) {
+    const Module &M = *Mods[Mi];
+    ValidationReport &R = SR.Report.Modules[Mi];
+    R.ModuleName = M.getName();
+    R.Pipeline = PipelineName;
+    R.RuleMask = Cfg.Rules.Mask;
+    R.Stepwise = Stepwise;
+    R.Threads = Pool.getThreadCount();
 
-  //===--------------------------------------------------------------------===//
-  // Phase 1 (sequential): optimize, fingerprint, snapshot, schedule.
-  // Passes intern constants in the shared Context, so this cannot overlap
-  // with validation.
-  //===--------------------------------------------------------------------===//
-
-  std::vector<Function *> Defined = Run.Optimized->definedFunctions();
-  SnapChains.resize(Defined.size());
-  for (size_t Fi = 0; Fi < Defined.size(); ++Fi) {
-    Function *F = Defined[Fi];
-    const Function *Orig = M.getFunction(F->getName());
-    assert(Orig && "function lost during cloning");
-
-    FunctionReportEntry E;
-    E.Name = F->getName();
-    E.FingerprintOrig = fingerprintFunction(*Orig);
-
-    if (!Stepwise) {
-      E.Transformed = PM.run(*F);
-      if (!E.Transformed) {
-        E.FingerprintOpt = E.FingerprintOrig;
-        Run.Report.Functions.push_back(std::move(E));
-        continue;
-      }
-      E.FingerprintOpt = fingerprintFunction(*F);
-      if (E.FingerprintOpt == E.FingerprintOrig) {
-        E.SkippedIdentical = true;
-        E.Validated = true;
-        E.Result = identicalSkipResult();
-        ++Stats.SkippedIdentical;
-        Run.Report.Functions.push_back(std::move(E));
-        continue;
-      }
-      Run.Report.Functions.push_back(std::move(E));
-      scheduleValidation(B, Run.Report.Functions.back().FingerprintOrig,
-                         Run.Report.Functions.back().FingerprintOpt, Orig, F,
-                         Fi, -1);
-      continue;
+    SR.Optimized.push_back(cloneModule(M));
+    ModuleRunState &S = States[Mi];
+    S.Orig = &M;
+    S.Opt = SR.Optimized.back().get();
+    S.Stepwise = Stepwise;
+    S.Report = &R;
+    S.Defined = S.Opt->definedFunctions();
+    S.Origs.reserve(S.Defined.size());
+    for (Function *F : S.Defined) {
+      const Function *Orig = M.getFunction(F->getName());
+      assert(Orig && "function lost during cloning");
+      S.Origs.push_back(Orig);
     }
+    S.SnapshotModules.resize(S.Defined.size());
+    S.SnapChains.resize(S.Defined.size());
+    S.PerFn.resize(S.Defined.size());
+    R.Functions.resize(S.Defined.size());
 
-    // Stepwise: run each pass individually, snapshotting after every one
-    // that changes the function, and validate consecutive snapshots.
-    const Function *Prev = Orig;
-    uint64_t PrevFp = E.FingerprintOrig;
-    const auto &Passes = PM.passes();
-    E.Steps.reserve(Passes.size());
-    Run.Report.Functions.push_back(std::move(E));
-    FunctionReportEntry &Entry = Run.Report.Functions.back();
-    for (size_t Pi = 0; Pi < Passes.size(); ++Pi) {
-      StepReport S;
-      S.Pass = Passes[Pi]->getName();
-      S.Changed = Passes[Pi]->run(*F);
-      if (S.Changed) {
-        Entry.Transformed = true;
-        uint64_t Fp = fingerprintFunction(*F);
-        S.Fingerprint = Fp;
-        if (Fp == PrevFp) {
-          S.SkippedIdentical = true;
-          S.Validated = true;
-          S.Result = identicalSkipResult();
-          ++Stats.SkippedIdentical;
-        } else {
-          Function *Snap = Snapshots.createFunction(
-              F->getFunctionType(), F->getName() + ".s" + std::to_string(Pi));
-          std::map<const Value *, Value *> VMap;
-          cloneFunctionBody(*F, *Snap, VMap);
-          Entry.Steps.push_back(std::move(S));
-          scheduleValidation(B, PrevFp, Fp, Prev, Snap, Fi,
-                             static_cast<int>(Pi));
-          SnapChains[Fi].push_back({static_cast<int>(Pi), Snap});
-          Prev = Snap;
-          PrevFp = Fp;
-          continue;
-        }
-      }
-      Entry.Steps.push_back(std::move(S));
-    }
-    Entry.FingerprintOpt = PrevFp;
+    RuleConfig MR = Cfg.Rules;
+    MR.M = &M;
+    B.ModuleRules.push_back(MR);
+    B.ConfigDigests.push_back(cacheConfigDigest(M));
   }
 
   //===--------------------------------------------------------------------===//
-  // Phase 2 (parallel): validate all unique, uncached pairs.
+  // Phase 1 (parallel): optimize, fingerprint, snapshot. Every (module,
+  // function) task is independent: passes mutate only their function and
+  // intern constants through the lock-striped Context. Each task owns a
+  // PassManager clone; when the pipeline contains a pass the registry
+  // cannot rebuild, fall back to a sequential loop over the caller's.
   //===--------------------------------------------------------------------===//
 
-  executeBatch(B, Rules, Run.Report);
+  std::vector<std::pair<size_t, size_t>> Tasks;
+  for (size_t Mi = 0; Mi < States.size(); ++Mi)
+    for (size_t Fi = 0; Fi < States[Mi].Defined.size(); ++Fi)
+      Tasks.emplace_back(Mi, Fi);
+
+  if (ProtoPM.isClonable()) {
+    Pool.parallelFor(Tasks.size(), [&](size_t T) {
+      auto [Mi, Fi] = Tasks[T];
+      std::unique_ptr<PassManager> PM = ProtoPM.clone();
+      optimizeFunction(States[Mi], Fi, *PM);
+    });
+  } else {
+    for (auto [Mi, Fi] : Tasks)
+      optimizeFunction(States[Mi], Fi, ProtoPM);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Phase 2 (sequential, deterministic order): account skips, resolve the
+  // cache, deduplicate pairs, then validate the batch in parallel.
+  //===--------------------------------------------------------------------===//
+
+  std::vector<ValidationReport *> Reports;
+  Reports.reserve(States.size());
+  for (size_t Mi = 0; Mi < States.size(); ++Mi)
+    Reports.push_back(States[Mi].Report);
+
+  for (size_t Mi = 0; Mi < States.size(); ++Mi) {
+    ModuleRunState &S = States[Mi];
+    for (size_t Fi = 0; Fi < S.Defined.size(); ++Fi) {
+      const FunctionReportEntry &E = S.Report->Functions[Fi];
+      Stats.SkippedIdentical += E.SkippedIdentical;
+      for (const StepReport &St : E.Steps)
+        Stats.SkippedIdentical += St.SkippedIdentical;
+      for (const ModuleRunState::PendingPair &P : S.PerFn[Fi])
+        scheduleValidation(B, static_cast<unsigned>(Mi), P.FpA, P.FpB, P.A,
+                           P.B, Fi, P.Step);
+    }
+  }
+
+  executeBatch(B, Reports);
 
   //===--------------------------------------------------------------------===//
   // Phase 3 (sequential): synthesize stepwise verdicts, attribute guilt,
   // revert failures.
   //===--------------------------------------------------------------------===//
 
-  if (Stepwise) {
-    for (FunctionReportEntry &E : Run.Report.Functions) {
-      if (!E.Transformed)
-        continue;
-      ValidationResult Sum;
-      Sum.Validated = true;
-      for (const StepReport &S : E.Steps) {
-        if (!S.Changed)
+  for (size_t Mi = 0; Mi < States.size(); ++Mi) {
+    ModuleRunState &S = States[Mi];
+    ValidationReport &R = *S.Report;
+
+    if (Stepwise) {
+      for (FunctionReportEntry &E : R.Functions) {
+        if (!E.Transformed)
           continue;
-        Sum.Rewrites += S.Result.Rewrites;
-        Sum.SharingMerges += S.Result.SharingMerges;
-        Sum.GraphNodes += S.Result.GraphNodes;
-        Sum.LiveNodes = S.Result.LiveNodes;
-        Sum.Iterations += S.Result.Iterations;
-        Sum.Microseconds += S.Result.Microseconds;
-        if (!S.Validated && Sum.Validated) {
-          Sum.Validated = false;
-          Sum.Unsupported = S.Result.Unsupported;
-          Sum.Reason = "step '" + S.Pass + "': " +
-                       (S.Result.Reason.empty() ? "alarm" : S.Result.Reason);
-          E.GuiltyPass = S.Pass;
-        }
-      }
-      E.Validated = Sum.Validated;
-      E.Result = std::move(Sum);
-    }
-  }
-
-  if (Cfg.RevertFailures) {
-    for (size_t Fi = 0; Fi < Defined.size(); ++Fi) {
-      FunctionReportEntry &E = Run.Report.Functions[Fi];
-      if (!E.Transformed || E.Validated)
-        continue;
-      // Whole-pipeline: back to the original. Stepwise: back to the last
-      // snapshot certified before the guilty pass (the validated prefix of
-      // the pipeline), or the original if the first change already failed.
-      const Function *Target = M.getFunction(E.Name);
-      if (Stepwise) {
-        int Guilty = -1;
-        for (size_t Si = 0; Si < E.Steps.size(); ++Si)
-          if (E.Steps[Si].Changed && !E.Steps[Si].Validated) {
-            Guilty = static_cast<int>(Si);
-            break;
+        ValidationResult Sum;
+        Sum.Validated = true;
+        for (const StepReport &St : E.Steps) {
+          if (!St.Changed)
+            continue;
+          Sum.Rewrites += St.Result.Rewrites;
+          Sum.SharingMerges += St.Result.SharingMerges;
+          Sum.GraphNodes += St.Result.GraphNodes;
+          Sum.LiveNodes = St.Result.LiveNodes;
+          Sum.Iterations += St.Result.Iterations;
+          Sum.Microseconds += St.Result.Microseconds;
+          if (!St.Validated && Sum.Validated) {
+            Sum.Validated = false;
+            Sum.Unsupported = St.Result.Unsupported;
+            Sum.Reason = "step '" + St.Pass + "': " +
+                         (St.Result.Reason.empty() ? "alarm" : St.Result.Reason);
+            E.GuiltyPass = St.Pass;
           }
-        for (const auto &[StepIdx, Snap] : SnapChains[Fi])
-          if (StepIdx < Guilty)
-            Target = Snap;
+        }
+        E.Validated = Sum.Validated;
+        E.Result = std::move(Sum);
       }
-      restoreBody(*Target, *Defined[Fi], *Run.Optimized);
-      E.Reverted = true;
+    }
+
+    if (Cfg.RevertFailures) {
+      for (size_t Fi = 0; Fi < S.Defined.size(); ++Fi) {
+        FunctionReportEntry &E = R.Functions[Fi];
+        if (!E.Transformed || E.Validated)
+          continue;
+        // Whole-pipeline: back to the original. Stepwise: back to the last
+        // snapshot certified before the guilty pass (the validated prefix of
+        // the pipeline), or the original if the first change already failed.
+        const Function *Target = S.Origs[Fi];
+        if (Stepwise) {
+          int Guilty = -1;
+          for (size_t Si = 0; Si < E.Steps.size(); ++Si)
+            if (E.Steps[Si].Changed && !E.Steps[Si].Validated) {
+              Guilty = static_cast<int>(Si);
+              break;
+            }
+          for (const auto &[StepIdx, Snap] : S.SnapChains[Fi])
+            if (StepIdx < Guilty)
+              Target = Snap;
+        }
+        restoreBody(*Target, *S.Defined[Fi], *S.Opt);
+        E.Reverted = true;
+      }
     }
   }
 
-  Run.Report.WallMicroseconds = nowMicroseconds(Start);
-  return Run;
+  SR.Report.WallMicroseconds = nowMicroseconds(Start);
+  // Suite phases interleave across modules on one pool, so end-to-end wall
+  // time is not attributable per module; only a single-module run owns it.
+  // (Per-module validationMicroseconds() remains meaningful either way.)
+  if (SR.Report.Modules.size() == 1)
+    SR.Report.Modules.front().WallMicroseconds = SR.Report.WallMicroseconds;
+  return SR;
 }
 
 ValidationReport ValidationEngine::validateModules(const Module &Original,
@@ -407,12 +522,12 @@ ValidationReport ValidationEngine::validateModules(const Module &Original,
   Report.Stepwise = false;
   Report.Threads = Pool.getThreadCount();
 
+  BatchState B;
+  B.ConfigDigests.push_back(cacheConfigDigest(Original));
   RuleConfig Rules = Cfg.Rules;
   Rules.M = &Original;
-  Original.getContext().getInt1Ty();
+  B.ModuleRules.push_back(Rules);
 
-  BatchState B;
-  B.ConfigDigest = cacheConfigDigest(Original);
   std::vector<Function *> Defined = Optimized.definedFunctions();
   for (size_t Fi = 0; Fi < Defined.size(); ++Fi) {
     const Function *F = Defined[Fi];
@@ -438,12 +553,13 @@ ValidationReport ValidationEngine::validateModules(const Module &Original,
     }
     E.Transformed = true;
     Report.Functions.push_back(std::move(E));
-    scheduleValidation(B, Report.Functions.back().FingerprintOrig,
+    scheduleValidation(B, 0, Report.Functions.back().FingerprintOrig,
                        Report.Functions.back().FingerprintOpt, Orig, F, Fi,
                        -1);
   }
 
-  executeBatch(B, Rules, Report);
+  std::vector<ValidationReport *> Reports{&Report};
+  executeBatch(B, Reports);
   Report.WallMicroseconds = nowMicroseconds(Start);
   return Report;
 }

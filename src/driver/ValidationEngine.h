@@ -20,9 +20,21 @@
 ///    it and each consecutive snapshot pair is validated, so a failure is
 ///    attributed to the specific guilty pass.
 ///
-/// Thread-safety contract: optimization and snapshotting run sequentially
-/// (passes intern constants in the shared Context); only the pure
-/// validations — which touch no shared mutable state — run in parallel.
+/// Both phases run on the pool. The *optimization* phase parallelizes per
+/// function: each optimizer task gets its own PassManager clone (passes
+/// carry scratch state) and interns constants through the lock-striped
+/// Context concurrently. The *validation* phase parallelizes per pair.
+/// Scheduling, cache interaction and report aggregation stay sequential and
+/// in deterministic submission order, so reports are byte-identical for any
+/// thread count. Pipelines containing passes the registry cannot rebuild
+/// (caller-assembled pass objects without a registered name) fall back to
+/// sequential optimization on the caller's PassManager.
+///
+/// `runSuite` shards the engine over a whole suite of modules: every
+/// (module, function) optimize task and every validation pair is scheduled
+/// on the one shared pool, the verdict cache deduplicates across modules,
+/// and the result is one ValidationReport per module plus a suite roll-up.
+///
 /// A ValidationEngine instance must not be used from multiple threads at
 /// once, but may be reused across many runs to exploit its verdict cache.
 ///
@@ -51,7 +63,7 @@ enum class ValidationGranularity : uint8_t {
 };
 
 struct EngineConfig {
-  /// Validation worker threads; 0 = one per hardware thread.
+  /// Worker threads for both phases; 0 = one per hardware thread.
   unsigned Threads = 0;
   /// Rule sets and fixpoint budget. Rules.M is set by the engine to the
   /// original module of each run.
@@ -80,6 +92,14 @@ struct EngineRun {
   ValidationReport Report;
 };
 
+/// The result of one suite run: the certified optimized modules (same order
+/// as the inputs, each in its input's Context) plus per-module reports and
+/// the roll-up.
+struct SuiteRun {
+  std::vector<std::unique_ptr<Module>> Optimized;
+  SuiteReport Report;
+};
+
 class ValidationEngine {
 public:
   explicit ValidationEngine(EngineConfig Config = EngineConfig());
@@ -96,6 +116,14 @@ public:
   /// Same, over a caller-assembled pass manager (e.g. one containing
   /// passes that have no pipeline name).
   EngineRun run(const Module &M, PassManager &PM);
+
+  /// Validates a whole suite in one batch: every module is cloned and
+  /// optimized with \p Pipeline, all (module, function) work is scheduled
+  /// over the one shared pool, and verdicts deduplicate across modules
+  /// through the cache. Modules may live in different Contexts. Reports are
+  /// emitted per module (input order) plus a suite roll-up.
+  SuiteRun runSuite(const std::vector<const Module *> &Modules,
+                    const std::string &Pipeline);
 
   /// Validates two already-optimized modules pairwise: every defined
   /// function of \p Optimized against \p Original's function of the same
@@ -131,17 +159,20 @@ private:
     size_t operator()(const CacheKey &K) const;
   };
 
-  /// A scheduled validation: a unique, uncached (original, optimized) pair.
+  /// A scheduled validation: a unique, uncached (original, optimized) pair
+  /// of module \p Mod within the current batch.
   struct PairJob {
     const Function *A = nullptr;
     const Function *B = nullptr;
+    unsigned Mod = 0;
     CacheKey Key;
     ValidationResult Result;
   };
-  /// Where one job's verdict lands in the report: function \p Fn, step
+  /// Where one job's verdict lands: module \p Mod, function \p Fn, step
   /// \p Step (-1 for the whole-pipeline slot). Duplicate pairs in a batch
   /// share a job and are marked as (deterministic) cache hits.
   struct Landing {
+    unsigned Mod = 0;
     size_t Fn = 0;
     int Step = -1;
     size_t Job = 0;
@@ -149,27 +180,39 @@ private:
   };
 
   /// Per-batch scheduling state (jobs, landings, duplicate tracking);
-  /// defined in the implementation.
+  /// defined in the implementation. One batch spans all modules of a suite.
   struct BatchState;
+  /// Per-module optimization state (clone, snapshots, pending pairs);
+  /// defined in the implementation.
+  struct ModuleRunState;
 
-  /// Resolves the pair against the cache / in-batch duplicates or appends a
-  /// job; the verdict will land in Report.Functions[Fn] (step \p Step, or
-  /// the whole-pipeline slot when \p Step is -1).
   /// The CacheKey::Config value for validating against \p OrigModule under
   /// the current rule configuration.
   uint64_t cacheConfigDigest(const Module &OrigModule) const;
 
-  void scheduleValidation(BatchState &B, uint64_t FpA, uint64_t FpB,
-                          const Function *A, const Function *OptF, size_t Fn,
-                          int Step);
+  /// Resolves the pair against the cache / in-batch duplicates or appends a
+  /// job; the verdict will land in module \p Mod's report at function
+  /// \p Fn (step \p Step, or the whole-pipeline slot when \p Step is -1).
+  void scheduleValidation(BatchState &B, unsigned Mod, uint64_t FpA,
+                          uint64_t FpB, const Function *A,
+                          const Function *OptF, size_t Fn, int Step);
 
-  /// Validates every scheduled job in parallel, lands all verdicts into
-  /// \p Report, and memoizes the new ones.
-  void executeBatch(BatchState &B, const RuleConfig &Rules,
-                    ValidationReport &Report);
+  /// Validates every scheduled job in parallel, lands all verdicts into the
+  /// per-module reports, and memoizes the new ones.
+  void executeBatch(BatchState &B,
+                    const std::vector<ValidationReport *> &Reports);
 
-  EngineRun runImpl(const Module &M, PassManager &PM,
-                    const std::string &PipelineName);
+  /// Optimizes, fingerprints and snapshots one function of one module;
+  /// thread-safe against itself on other functions.
+  void optimizeFunction(ModuleRunState &S, size_t Fi, PassManager &PM);
+
+  /// The shared engine core: run every module through optimize + validate
+  /// as one batch over the pool. When \p ProtoPM is registry-constructible
+  /// (its clone() returns non-null), each optimizer task runs its own
+  /// clone in parallel; otherwise \p ProtoPM itself runs the functions
+  /// sequentially in submission order.
+  SuiteRun runModules(const std::vector<const Module *> &Modules,
+                      const std::string &PipelineName, PassManager &ProtoPM);
 
   EngineConfig Cfg;
   ThreadPool Pool;

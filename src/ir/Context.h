@@ -9,6 +9,16 @@
 /// semantic equality. A single Context may back several Modules (the llvm-md
 /// driver keeps the original and the optimized module in one Context).
 ///
+/// Interning is thread-safe: the integer and floating-point constant tables
+/// are sharded into lock-striped buckets keyed by the value hash, so
+/// optimization passes running on different functions can intern constants
+/// concurrently without serializing on one table mutex. Canonicalization by
+/// pointer identity is preserved — a given (type, value) key always lands in
+/// the same shard and yields the same Constant* no matter which thread asks
+/// first — so existing `Constant*` equality checks keep working. The
+/// primitive and integer types are created eagerly so type queries are
+/// lock-free reads.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LLVMMD_IR_CONTEXT_H
@@ -20,6 +30,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace llvmmd {
@@ -28,7 +39,10 @@ class Context {
 public:
   Context()
       : VoidTy(TypeKind::Void, 0), FloatTy(TypeKind::Float, 0),
-        PtrTy(TypeKind::Pointer, 0) {}
+        PtrTy(TypeKind::Pointer, 0), Int1Ty(TypeKind::Integer, 1),
+        Int8Ty(TypeKind::Integer, 8), Int16Ty(TypeKind::Integer, 16),
+        Int32Ty(TypeKind::Integer, 32), Int64Ty(TypeKind::Integer, 64),
+        NullPtrConst(new ConstantPointerNull(&PtrTy)) {}
   Context(const Context &) = delete;
   Context &operator=(const Context &) = delete;
 
@@ -36,24 +50,34 @@ public:
   Type *getFloatTy() { return &FloatTy; }
   Type *getPtrTy() { return &PtrTy; }
 
+  /// All supported integer widths exist from construction, so this is a
+  /// lock-free lookup.
   Type *getIntTy(unsigned Bits) {
-    assert((Bits == 1 || Bits == 8 || Bits == 16 || Bits == 32 ||
-            Bits == 64) &&
-           "unsupported integer width");
-    auto It = IntTys.find(Bits);
-    if (It != IntTys.end())
-      return It->second.get();
-    auto *T = new Type(TypeKind::Integer, Bits);
-    IntTys.emplace(Bits, std::unique_ptr<Type>(T));
-    return T;
+    switch (Bits) {
+    case 1:
+      return &Int1Ty;
+    case 8:
+      return &Int8Ty;
+    case 16:
+      return &Int16Ty;
+    case 32:
+      return &Int32Ty;
+    case 64:
+      return &Int64Ty;
+    }
+    assert(false && "unsupported integer width");
+    return nullptr;
   }
 
-  Type *getInt1Ty() { return getIntTy(1); }
-  Type *getInt8Ty() { return getIntTy(8); }
-  Type *getInt32Ty() { return getIntTy(32); }
-  Type *getInt64Ty() { return getIntTy(64); }
+  Type *getInt1Ty() { return &Int1Ty; }
+  Type *getInt8Ty() { return &Int8Ty; }
+  Type *getInt32Ty() { return &Int32Ty; }
+  Type *getInt64Ty() { return &Int64Ty; }
 
   FunctionType *getFunctionTy(Type *Ret, std::vector<Type *> Params) {
+    // Function types are created at parse/generation time, not in hot pass
+    // loops; a single mutex over the (short) list is enough.
+    std::lock_guard<std::mutex> Guard(FunctionTysLock);
     for (auto &FT : FunctionTys)
       if (FT->getReturnType() == Ret && FT->getParamTypes() == Params)
         return FT.get();
@@ -67,11 +91,14 @@ public:
     assert(Ty->isInteger() && "getInt requires integer type");
     int64_t Canon = signExtend(V, Ty->getBitWidth());
     auto Key = std::make_pair(Ty, Canon);
-    auto It = IntConsts.find(Key);
-    if (It != IntConsts.end())
+    IntShard &S = IntShards[shardFor(static_cast<uint64_t>(Canon) ^
+                                     (uint64_t(Ty->getBitWidth()) << 56))];
+    std::lock_guard<std::mutex> Guard(S.Lock);
+    auto It = S.Consts.find(Key);
+    if (It != S.Consts.end())
       return It->second.get();
     auto *C = new ConstantInt(Ty, Canon);
-    IntConsts.emplace(Key, std::unique_ptr<ConstantInt>(C));
+    S.Consts.emplace(Key, std::unique_ptr<ConstantInt>(C));
     return C;
   }
 
@@ -84,21 +111,21 @@ public:
   ConstantFP *getFloat(double V) {
     uint64_t Bits;
     std::memcpy(&Bits, &V, sizeof(Bits));
-    auto It = FPConsts.find(Bits);
-    if (It != FPConsts.end())
+    FPShard &S = FPShards[shardFor(Bits)];
+    std::lock_guard<std::mutex> Guard(S.Lock);
+    auto It = S.Consts.find(Bits);
+    if (It != S.Consts.end())
       return It->second.get();
     auto *C = new ConstantFP(getFloatTy(), V);
-    FPConsts.emplace(Bits, std::unique_ptr<ConstantFP>(C));
+    S.Consts.emplace(Bits, std::unique_ptr<ConstantFP>(C));
     return C;
   }
 
-  ConstantPointerNull *getNullPtr() {
-    if (!NullPtr)
-      NullPtr.reset(new ConstantPointerNull(getPtrTy()));
-    return NullPtr.get();
-  }
+  ConstantPointerNull *getNullPtr() { return NullPtrConst.get(); }
 
   UndefValue *getUndef(Type *Ty) {
+    // One undef per type; types are few, so a single shard suffices.
+    std::lock_guard<std::mutex> Guard(UndefsLock);
     auto It = Undefs.find(Ty);
     if (It != Undefs.end())
       return It->second.get();
@@ -108,14 +135,44 @@ public:
   }
 
 private:
+  static constexpr unsigned NumShards = 16; // power of two
+
+  /// Shard selection only needs good dispersion, not determinism across
+  /// processes: the same key always maps to the same shard within a run,
+  /// which is what pointer-identity canonicalization requires.
+  static unsigned shardFor(uint64_t Key) {
+    // splitmix64 finalizer.
+    Key ^= Key >> 30;
+    Key *= 0xbf58476d1ce4e5b9ull;
+    Key ^= Key >> 27;
+    Key *= 0x94d049bb133111ebull;
+    Key ^= Key >> 31;
+    return static_cast<unsigned>(Key & (NumShards - 1));
+  }
+
+  struct IntShard {
+    std::mutex Lock;
+    std::map<std::pair<Type *, int64_t>, std::unique_ptr<ConstantInt>> Consts;
+  };
+  struct FPShard {
+    std::mutex Lock;
+    std::map<uint64_t, std::unique_ptr<ConstantFP>> Consts;
+  };
+
   Type VoidTy;
   Type FloatTy;
   Type PtrTy;
-  std::map<unsigned, std::unique_ptr<Type>> IntTys;
+  Type Int1Ty;
+  Type Int8Ty;
+  Type Int16Ty;
+  Type Int32Ty;
+  Type Int64Ty;
+  std::mutex FunctionTysLock;
   std::vector<std::unique_ptr<FunctionType>> FunctionTys;
-  std::map<std::pair<Type *, int64_t>, std::unique_ptr<ConstantInt>> IntConsts;
-  std::map<uint64_t, std::unique_ptr<ConstantFP>> FPConsts;
-  std::unique_ptr<ConstantPointerNull> NullPtr;
+  IntShard IntShards[NumShards];
+  FPShard FPShards[NumShards];
+  std::unique_ptr<ConstantPointerNull> NullPtrConst;
+  std::mutex UndefsLock;
   std::map<Type *, std::unique_ptr<UndefValue>> Undefs;
 };
 

@@ -31,7 +31,8 @@ public:
 
   ~Module() {
     // Drop function bodies before globals are destroyed: instructions hold
-    // uses of GlobalVariables, which assert being use-free on deletion.
+    // operands referencing GlobalVariables, and releasing those references
+    // must not touch already-deleted globals.
     for (auto &F : Functions)
       F->dropBody();
   }

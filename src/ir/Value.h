@@ -53,8 +53,20 @@ public:
   void setName(std::string N) { Name = std::move(N); }
   bool hasName() const { return !Name.empty(); }
 
+  /// Use lists are maintained only for function-local values (arguments and
+  /// instructions), which exactly one thread mutates at a time. Constants,
+  /// globals and functions are shared across modules — and, with the
+  /// thread-safe Context, across concurrently-optimized functions — so
+  /// tracking their uses would be a cross-thread data race (and their use
+  /// lists would grow without bound across engine runs). No pass consumes
+  /// them: every `users()` walk in the codebase starts from an instruction.
+  bool tracksUses() const {
+    return Kind == ValueKind::Argument || Kind == ValueKind::Instruction;
+  }
+
   /// One entry per operand slot that refers to this value (a user with two
-  /// operands equal to this value appears twice).
+  /// operands equal to this value appears twice). Empty for values that do
+  /// not track uses; see tracksUses().
   const std::vector<User *> &users() const { return Users; }
   bool use_empty() const { return Users.empty(); }
   size_t getNumUses() const { return Users.size(); }
@@ -68,8 +80,13 @@ protected:
 
 private:
   friend class User;
-  void addUse(User *U) { Users.push_back(U); }
+  void addUse(User *U) {
+    if (tracksUses())
+      Users.push_back(U);
+  }
   void removeUse(User *U) {
+    if (!tracksUses())
+      return;
     auto It = std::find(Users.begin(), Users.end(), U);
     assert(It != Users.end() && "use not found");
     Users.erase(It);

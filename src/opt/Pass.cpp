@@ -24,26 +24,39 @@ std::unique_ptr<FunctionPass> createInstCombinePass();
 std::unique_ptr<FunctionPass> createSimplifyCFGPass();
 } // namespace llvmmd
 
+namespace {
+
+struct RegistryEntry {
+  const char *Name;
+  std::unique_ptr<FunctionPass> (*Create)();
+};
+
+const RegistryEntry Registry[] = {
+    {"adce", createADCEPass},
+    {"gvn", createGVNPass},
+    {"sccp", createSCCPPass},
+    {"licm", createLICMPass},
+    {"loop-deletion", createLoopDeletionPass},
+    {"loop-unswitch", createLoopUnswitchPass},
+    {"dse", createDSEPass},
+    {"instcombine", createInstCombinePass},
+    {"simplifycfg", createSimplifyCFGPass},
+};
+
+} // namespace
+
 std::unique_ptr<FunctionPass> llvmmd::createPass(const std::string &Name) {
-  if (Name == "adce")
-    return createADCEPass();
-  if (Name == "gvn")
-    return createGVNPass();
-  if (Name == "sccp")
-    return createSCCPPass();
-  if (Name == "licm")
-    return createLICMPass();
-  if (Name == "loop-deletion")
-    return createLoopDeletionPass();
-  if (Name == "loop-unswitch")
-    return createLoopUnswitchPass();
-  if (Name == "dse")
-    return createDSEPass();
-  if (Name == "instcombine")
-    return createInstCombinePass();
-  if (Name == "simplifycfg")
-    return createSimplifyCFGPass();
+  for (const RegistryEntry &E : Registry)
+    if (Name == E.Name)
+      return E.Create();
   return nullptr;
+}
+
+bool llvmmd::isRegisteredPassName(const std::string &Name) {
+  for (const RegistryEntry &E : Registry)
+    if (Name == E.Name)
+      return true;
+  return false;
 }
 
 bool PassManager::parsePipeline(const std::string &Pipeline) {
@@ -61,6 +74,24 @@ bool PassManager::parsePipeline(const std::string &Pipeline) {
   for (auto &P : Parsed)
     Passes.push_back(std::move(P));
   return true;
+}
+
+bool PassManager::isClonable() const {
+  for (const auto &P : Passes)
+    if (!isRegisteredPassName(P->getName()))
+      return false;
+  return true;
+}
+
+std::unique_ptr<PassManager> PassManager::clone() const {
+  auto PM = std::make_unique<PassManager>();
+  for (const auto &P : Passes) {
+    auto C = createPass(P->getName());
+    if (!C)
+      return nullptr;
+    PM->addPass(std::move(C));
+  }
+  return PM;
 }
 
 bool PassManager::run(Function &F) {

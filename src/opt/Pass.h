@@ -39,6 +39,10 @@ public:
 /// simplifycfg.
 std::unique_ptr<FunctionPass> createPass(const std::string &Name);
 
+/// True iff \p Name is in the createPass registry, without constructing
+/// the pass.
+bool isRegisteredPassName(const std::string &Name);
+
 /// Runs passes in order over every defined function of a module.
 class PassManager {
 public:
@@ -51,6 +55,17 @@ public:
   }
 
   size_t size() const { return Passes.size(); }
+
+  /// Builds an independent pipeline of the same passes through the registry,
+  /// or null if any pass is not registry-constructible (a caller-assembled
+  /// pass whose name createPass does not know). The validation engine clones
+  /// the pipeline per optimizer task: passes carry per-run scratch state and
+  /// change counters, so one PassManager must never run on two threads.
+  std::unique_ptr<PassManager> clone() const;
+
+  /// True iff clone() would succeed — every pass name is in the registry.
+  /// Cheap: no pass objects are constructed.
+  bool isClonable() const;
 
   /// Runs the pipeline on one function; returns true iff any pass changed it.
   bool run(Function &F);

@@ -112,7 +112,7 @@ bool scalarFieldsEqual(const Node &A, const Node &B) {
 
 } // namespace
 
-uint64_t ValueGraph::hashNode(const Node &N) const {
+uint64_t ValueGraph::hashNodeHead(const Node &N) const {
   uint64_t FloatBits;
   std::memcpy(&FloatBits, &N.FloatVal, sizeof(FloatBits));
   uint64_t H = hashCombine(static_cast<uint64_t>(N.Kind),
@@ -124,6 +124,11 @@ uint64_t ValueGraph::hashNode(const Node &N) const {
   H = hashCombine(H, FloatBits);
   H = hashCombine(H, hashString(N.Str));
   H = hashCombine(H, N.Ops.size());
+  return H;
+}
+
+uint64_t ValueGraph::hashNode(const Node &N) const {
+  uint64_t H = hashNodeHead(N);
   for (NodeId Op : N.Ops)
     H = hashCombine(H, Op);
   return H;
@@ -490,55 +495,93 @@ bool ValueGraph::unify(NodeId X, NodeId Y,
 }
 
 unsigned ValueGraph::partitionRefinementPass() {
-  // Initial partition: head payload (kind, op, pred, type, scalars, arity).
   std::vector<NodeId> Roots;
   for (NodeId I = 0; I < Nodes.size(); ++I)
     if (find(I) == I)
       Roots.push_back(I);
   canonicalizeOrders();
 
-  std::map<NodeId, unsigned> Class;
+  // Initial partition: head payload (kind, op, pred, type, scalars, arity),
+  // bucketed by the same structural hash the hash-cons table and the
+  // congruence pass use; collisions resolve by field equality. Class ids are
+  // assigned first-seen in root (ascending NodeId) order, so the partition
+  // is deterministic.
+  std::vector<unsigned> Class(Nodes.size(), 0);
+  unsigned NumClasses = 0;
   {
-    std::map<std::string, unsigned> Heads;
+    std::unordered_map<uint64_t, std::vector<NodeId>> Heads;
     for (NodeId I : Roots) {
       const Node &N = Nodes[I];
-      std::ostringstream OS;
-      uint64_t FloatBits;
-      std::memcpy(&FloatBits, &N.FloatVal, sizeof(FloatBits));
-      OS << static_cast<int>(N.Kind) << '|' << static_cast<int>(N.Op) << '|'
-         << static_cast<int>(N.Pred) << '|' << N.Ty << '|' << N.IntVal << '|'
-         << FloatBits << '|' << N.Str << '|' << N.Ops.size();
-      Class[I] = Heads.try_emplace(OS.str(), Heads.size()).first->second;
+      std::vector<NodeId> &Bucket = Heads[hashNodeHead(N)];
+      bool Found = false;
+      for (NodeId Rep : Bucket) {
+        const Node &R = Nodes[Rep];
+        if (scalarFieldsEqual(R, N) && R.Ops.size() == N.Ops.size()) {
+          Class[I] = Class[Rep];
+          Found = true;
+          break;
+        }
+      }
+      if (!Found) {
+        Class[I] = NumClasses++;
+        Bucket.push_back(I);
+      }
     }
   }
 
-  // Refine until stable.
+  // Refine until stable: split classes by the class vector of their
+  // operands. Signatures are hash-bucketed like the initial partition; each
+  // new class is a subset of an old one (the signature leads with the old
+  // class), so the partition is stable exactly when the class count stops
+  // growing.
   while (true) {
-    std::map<std::vector<unsigned>, unsigned> Sigs;
-    std::map<NodeId, unsigned> NewClass;
-    for (NodeId I : Roots) {
-      std::vector<unsigned> Sig{Class[I]};
-      for (NodeId Op : Nodes[I].Ops) {
-        if (Op == InvalidNode) {
-          Sig.push_back(~0u);
-          continue;
+    struct SigRep {
+      const std::vector<unsigned> *Sig;
+      unsigned Class;
+    };
+    std::unordered_map<uint64_t, std::vector<SigRep>> Sigs;
+    std::vector<std::vector<unsigned>> SigStore(Roots.size());
+    std::vector<unsigned> NewClass(Nodes.size(), 0);
+    unsigned NewCount = 0;
+    for (size_t RI = 0; RI < Roots.size(); ++RI) {
+      NodeId I = Roots[RI];
+      std::vector<unsigned> &Sig = SigStore[RI];
+      Sig.push_back(Class[I]);
+      for (NodeId Op : Nodes[I].Ops)
+        Sig.push_back(Op == InvalidNode ? ~0u : Class[find(Op)]);
+      uint64_t H = hashCombine(0x9e3779b9, Sig.size());
+      for (unsigned S : Sig)
+        H = hashCombine(H, S);
+      std::vector<SigRep> &Bucket = Sigs[H];
+      bool Found = false;
+      for (const SigRep &Rep : Bucket) {
+        if (*Rep.Sig == Sig) {
+          NewClass[I] = Rep.Class;
+          Found = true;
+          break;
         }
-        Sig.push_back(Class[find(Op)]);
       }
-      NewClass[I] = Sigs.try_emplace(Sig, Sigs.size()).first->second;
+      if (!Found) {
+        NewClass[I] = NewCount++;
+        Bucket.push_back({&Sig, NewClass[I]});
+      }
     }
-    if (NewClass == Class)
-      break;
+    bool Stable = NewCount == NumClasses;
     Class = std::move(NewClass);
+    NumClasses = NewCount;
+    if (Stable)
+      break;
   }
 
   // Merge same-class roots (into the smallest id for determinism).
   unsigned Merges = 0;
-  std::map<unsigned, NodeId> Leader;
+  std::vector<NodeId> Leader(NumClasses, InvalidNode);
   for (NodeId I : Roots) {
-    auto [It, Inserted] = Leader.try_emplace(Class[I], I);
-    if (!Inserted) {
-      mergeInto(I, It->second);
+    NodeId &L = Leader[Class[I]];
+    if (L == InvalidNode) {
+      L = I;
+    } else {
+      mergeInto(I, L);
       ++Merges;
     }
   }

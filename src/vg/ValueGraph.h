@@ -28,6 +28,7 @@
 #include "ir/Type.h"
 
 #include <cstdint>
+#include <deque>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -185,6 +186,10 @@ private:
   /// Structural hash of \p N over its (already canonicalized) operand list;
   /// the hash-cons key. Collisions are resolved by structural equality.
   uint64_t hashNode(const Node &N) const;
+  /// Hash of the head payload only (kind, op, pred, type, scalars, arity) —
+  /// the operand *contents* are excluded. Bucket key for the partition
+  /// refinement pass's initial partition.
+  uint64_t hashNodeHead(const Node &N) const;
   /// Field-by-field structural equality against an interned node.
   static bool nodeEquals(const Node &A, const Node &B);
 
@@ -197,7 +202,12 @@ private:
   unsigned muUnificationPass();
   unsigned partitionRefinementPass();
 
-  std::vector<Node> Nodes;
+  /// A deque, not a vector: interning a node must never invalidate
+  /// references to existing nodes — the normalizer's rewrite rules hold
+  /// `const Node &` to the node being rewritten while creating its
+  /// replacement through getOp/getConstInt, and node() hands such
+  /// references out across the codebase.
+  std::deque<Node> Nodes;
   mutable std::vector<NodeId> Parent;
   /// Structural hash -> candidate ids (collision bucket). Keys are frozen at
   /// intern time, like the interned nodes' operand lists; later union-find

@@ -132,6 +132,97 @@ TEST(EngineTest, DeterministicStepwiseAcrossThreadCounts) {
 }
 
 //===----------------------------------------------------------------------===//
+// Suite sharding
+//===----------------------------------------------------------------------===//
+
+TEST(EngineTest, SuiteShardingDeterministicAcrossThreadCounts) {
+  std::string Baseline;
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    // Fresh Context per engine so runs cannot influence each other; both
+    // modules share it, as in the suite CLI.
+    Context Ctx;
+    auto M1 = generateBenchmark(Ctx, smallProfile());
+    BenchmarkProfile P2 = getProfile("hmmer");
+    P2.FunctionCount = 8;
+    auto M2 = generateBenchmark(Ctx, P2);
+
+    EngineConfig C;
+    C.Threads = Threads;
+    ValidationEngine Engine(C);
+    SuiteRun Run = Engine.runSuite({M1.get(), M2.get()}, getPaperPipeline());
+
+    ASSERT_EQ(Run.Report.modules(), 2u);
+    ASSERT_EQ(Run.Optimized.size(), 2u);
+    // Roll-up must agree with the per-module reports, and the suite JSON —
+    // per-module JSON included — must not depend on the thread count.
+    EXPECT_EQ(Run.Report.total(), Run.Report.Modules[0].total() +
+                                      Run.Report.Modules[1].total());
+    EXPECT_EQ(Run.Report.validated(), Run.Report.Modules[0].validated() +
+                                          Run.Report.Modules[1].validated());
+    std::string Json = suiteToJSON(Run.Report);
+    EXPECT_NE(Json.find("\"llvmmd-suite-report-v1\""), std::string::npos);
+    for (const ValidationReport &R : Run.Report.Modules)
+      EXPECT_NE(Json.find("\"module\": \"" + R.ModuleName + "\""),
+                std::string::npos);
+    EXPECT_EQ(Json.find("\"wall_us\""), std::string::npos)
+        << "timing leaked into the deterministic suite JSON";
+    if (Baseline.empty())
+      Baseline = Json;
+    else
+      EXPECT_EQ(Baseline, Json) << "thread count " << Threads
+                                << " changed the suite report";
+  }
+  EXPECT_FALSE(Baseline.empty());
+}
+
+TEST(EngineTest, SuiteSharesVerdictsAcrossModules) {
+  // Two identical modules in one suite: every pair of the second module is
+  // an in-batch duplicate of the first's, replayed deterministically.
+  Context Ctx;
+  auto M1 = generateBenchmark(Ctx, smallProfile());
+  // Same profile, same seed: structurally identical module.
+  auto M2 = generateBenchmark(Ctx, smallProfile());
+
+  ValidationEngine Engine;
+  SuiteRun Run = Engine.runSuite({M1.get(), M2.get()}, getPaperPipeline());
+  const ValidationReport &R1 = Run.Report.Modules[0];
+  const ValidationReport &R2 = Run.Report.Modules[1];
+  ASSERT_EQ(R1.total(), R2.total());
+  for (size_t I = 0; I < R1.Functions.size(); ++I) {
+    const FunctionReportEntry &A = R1.Functions[I];
+    const FunctionReportEntry &B = R2.Functions[I];
+    EXPECT_EQ(A.FingerprintOpt, B.FingerprintOpt) << A.Name;
+    EXPECT_EQ(A.Validated, B.Validated) << A.Name;
+    // The second module's transformed functions replay the first's verdicts.
+    if (B.Transformed && !B.SkippedIdentical)
+      EXPECT_TRUE(B.CacheHit) << B.Name;
+  }
+  EXPECT_EQ(Run.Report.cacheHits(), R2.transformed() - R2.skippedIdentical());
+}
+
+TEST(EngineTest, SuiteStepwiseRevertProducesCertifiedModules) {
+  // Stepwise suite run with an always-failing middle pass cannot be
+  // parallel-optimized (the injector pass has no registry name), so this
+  // also covers the sequential fallback path end to end.
+  Context Ctx;
+  auto M = parseOrDie(Ctx, TwoFunctions);
+
+  PassManager PM;
+  PM.addPass(createPass("gvn"));
+  PM.addPass(std::make_unique<BugInjectorPass>());
+
+  EngineConfig C;
+  C.Granularity = ValidationGranularity::PerPass;
+  C.RevertFailures = true;
+  ValidationEngine Engine(C);
+  EngineRun Run = Engine.run(*M, PM);
+
+  ValidationReport Certified = Engine.validateModules(*M, *Run.Optimized);
+  for (const FunctionReportEntry &E : Certified.Functions)
+    EXPECT_TRUE(E.Validated || E.SkippedIdentical) << E.Name;
+}
+
+//===----------------------------------------------------------------------===//
 // Cache and O(1) identical skip
 //===----------------------------------------------------------------------===//
 
