@@ -21,6 +21,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cassert>
+#include <cstdio>
 #include <fstream>
 
 using namespace llvmmd;
@@ -120,6 +122,43 @@ void BM_EngineBatch(benchmark::State &State) {
   State.counters["validated"] = static_cast<double>(Validated);
 }
 BENCHMARK(BM_EngineBatch)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+/// The CI warm-cache path: a fresh engine loads the persistent verdict
+/// store and revalidates the whole module by replay — construction (store
+/// load included) plus a full run, without proving a single pair from
+/// scratch. Compare against BM_EngineBatch for the cold cost the store
+/// amortizes away.
+void BM_EngineWarmStoreReplay(benchmark::State &State) {
+  Context Ctx;
+  BenchmarkProfile P = getProfile("hmmer");
+  P.FunctionCount = 24;
+  auto M = generateBenchmark(Ctx, P);
+  const char *Store = "BENCH_warm.vstore";
+  EngineConfig C;
+  C.Threads = 1;
+  C.CachePath = Store;
+  {
+    ValidationEngine Cold(C);
+    Cold.run(*M, getPaperPipeline());
+  }
+  uint64_t Replayed = 0;
+  for (auto _ : State) {
+    ValidationEngine Warm(C);
+    EngineRun Run = Warm.run(*M, getPaperPipeline());
+    benchmark::DoNotOptimize(Run.Report);
+    // Must hold in Release too (CI benches with NDEBUG): a cold validation
+    // here would mean the numbers below are not warm-replay numbers at all.
+    if (Warm.cacheStats().Misses != 0) {
+      State.SkipWithError("warm run validated from scratch; store broken?");
+      break;
+    }
+    Replayed = Warm.cacheStats().Hits;
+  }
+  State.counters["replayed"] = static_cast<double>(Replayed);
+  std::remove(Store);
+  std::remove((std::string(Store) + ".lock").c_str());
+}
+BENCHMARK(BM_EngineWarmStoreReplay)->UseRealTime();
 
 /// One engine pass over a mid-size profile, emitted through the engine's
 /// JSON reporter (timing included) as BENCH_scaling.json.

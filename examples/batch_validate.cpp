@@ -21,13 +21,27 @@
 //     --revert           revert functions that fail validation
 //     --resubmit N       run the same module N times (N>1 demonstrates the
 //                        verdict cache: later runs replay memoized verdicts)
+//     --cache PATH       persistent verdict store: load before the first run
+//                        and save after the last, so a second *process* over
+//                        the same input replays every verdict
+//     --cache-load PATH  load the store but never write it back
+//     --cache-save PATH  write the store but start cold
+//     --expect-warm      fail (exit 3) unless this process validated nothing
+//                        from scratch — every verdict must have replayed
+//                        from the store or the in-process cache; this is the
+//                        CI warm-cache invariant
+//     --print-config-digest
+//                        print the store config digest for the current flags
+//                        (rule mask / strategy / fixpoint budget / semantics
+//                        salt) and exit; CI keys its cache on this
 //     --json [PATH]      write the JSON report to PATH (default stdout);
 //                        deterministic: byte-identical for any --threads
 //     --csv [PATH]       write the CSV report
 //     --quiet            suppress the text report
 //
 // Exit status: 0 when every transformed function validated, 2 when some
-// optimization could not be proven, 1 on usage or I/O errors.
+// optimization could not be proven, 3 when --expect-warm saw a from-scratch
+// validation, 1 on usage or I/O errors.
 //
 //===----------------------------------------------------------------------===//
 
@@ -47,6 +61,30 @@
 using namespace llvmmd;
 
 namespace {
+
+/// Prints the persistent-store stats line and enforces --expect-warm: a
+/// nonzero return (3) means this process validated pairs from scratch when
+/// the caller demanded a 100% replay.
+int cacheEpilogue(const ValidationEngine &Engine, const std::string &CachePath,
+                  bool Quiet, bool ExpectWarm) {
+  const EngineCacheStats &CS = Engine.cacheStats();
+  if (!CachePath.empty() && !Quiet)
+    std::printf("verdict store '%s': %llu loaded, %llu warm hits, "
+                "%llu validated from scratch, %llu saved\n",
+                CachePath.c_str(),
+                static_cast<unsigned long long>(CS.StoreLoaded),
+                static_cast<unsigned long long>(CS.WarmHits),
+                static_cast<unsigned long long>(CS.Misses),
+                static_cast<unsigned long long>(CS.StoreSaved));
+  if (ExpectWarm && CS.Misses > 0) {
+    std::fprintf(stderr,
+                 "error: --expect-warm, but %llu pair(s) were validated from "
+                 "scratch (replay rate < 100%%)\n",
+                 static_cast<unsigned long long>(CS.Misses));
+    return 3;
+  }
+  return 0;
+}
 
 bool writeOrPrint(const std::string &Path, const std::string &Content) {
   if (Path.empty() || Path == "-") {
@@ -70,9 +108,30 @@ int main(int argc, char **argv) {
   std::string InputFile;
   std::string Pipeline = getPaperPipeline();
   std::string JsonPath, CsvPath;
+  std::string CachePath;
   bool EmitJson = false, EmitCsv = false, Quiet = false;
   bool Stepwise = false, AllRules = false, Revert = false;
+  bool CacheLoad = false, CacheSave = false, ExpectWarm = false;
+  bool PrintConfigDigest = false;
   unsigned Threads = 0, Resubmit = 1;
+
+  // --cache/--cache-load/--cache-save may repeat but must agree on the
+  // path, and the path is required: a following flag must not be eaten as
+  // the store path (that would silently disable the flag it swallowed).
+  auto SetCachePath = [&](const char *Opt, const char *P) {
+    if (!P || P[0] == '-') {
+      std::fprintf(stderr, "error: %s needs a store path\n", Opt);
+      return false;
+    }
+    if (!CachePath.empty() && CachePath != P) {
+      std::fprintf(stderr,
+                   "error: conflicting store paths '%s' and '%s'\n",
+                   CachePath.c_str(), P);
+      return false;
+    }
+    CachePath = P;
+    return true;
+  };
 
   auto TakesValue = [&](int &I) -> const char * {
     // Optional value: consumed when the next argv is not another flag. A
@@ -103,6 +162,22 @@ int main(int argc, char **argv) {
       }
       Resubmit = static_cast<unsigned>(V);
     }
+    else if (std::strcmp(argv[I], "--cache") == 0) {
+      if (!SetCachePath("--cache", I + 1 < argc ? argv[++I] : nullptr))
+        return 1;
+      CacheLoad = CacheSave = true;
+    } else if (std::strcmp(argv[I], "--cache-load") == 0) {
+      if (!SetCachePath("--cache-load", I + 1 < argc ? argv[++I] : nullptr))
+        return 1;
+      CacheLoad = true;
+    } else if (std::strcmp(argv[I], "--cache-save") == 0) {
+      if (!SetCachePath("--cache-save", I + 1 < argc ? argv[++I] : nullptr))
+        return 1;
+      CacheSave = true;
+    } else if (std::strcmp(argv[I], "--expect-warm") == 0)
+      ExpectWarm = true;
+    else if (std::strcmp(argv[I], "--print-config-digest") == 0)
+      PrintConfigDigest = true;
     else if (std::strcmp(argv[I], "--stepwise") == 0)
       Stepwise = true;
     else if (std::strcmp(argv[I], "--all-rules") == 0)
@@ -143,6 +218,15 @@ int main(int argc, char **argv) {
   C.Granularity = Stepwise ? ValidationGranularity::PerPass
                            : ValidationGranularity::WholePipeline;
   C.RevertFailures = Revert;
+  C.CachePath = CachePath;
+  C.CacheLoad = CacheLoad;
+  C.CacheSave = CacheSave;
+
+  if (PrintConfigDigest) {
+    std::printf("%016llx\n", static_cast<unsigned long long>(
+                                 verdictStoreConfigDigest(C.Rules)));
+    return 0;
+  }
 
   if (Resubmit == 0)
     Resubmit = 1;
@@ -197,6 +281,8 @@ int main(int argc, char **argv) {
       return 1;
     if (EmitCsv && !writeOrPrint(CsvPath, suiteToCSV(Run.Report)))
       return 1;
+    if (int RC = cacheEpilogue(Engine, CachePath, Quiet, ExpectWarm))
+      return RC;
     return Run.Report.validated() == Run.Report.transformed() ? 0 : 2;
   }
 
@@ -246,6 +332,8 @@ int main(int argc, char **argv) {
     return 1;
   if (EmitCsv && !writeOrPrint(CsvPath, reportToCSV(Run.Report)))
     return 1;
+  if (int RC = cacheEpilogue(Engine, CachePath, Quiet, ExpectWarm))
+    return RC;
   // 0 = everything that was transformed validated; 2 = some optimization
   // could not be proven (whether or not it was reverted).
   return Run.Report.validated() == Run.Report.transformed() ? 0 : 2;

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # check.sh - CI entry point: tier-1 verify plus a fig4 smoke run.
 #
-# Usage: scripts/check.sh [--tsan|--asan] [build-dir]
+# Usage: scripts/check.sh [--tsan|--asan|--warm] [build-dir]
 #
 #   (default)  tier-1 build + ctest, fig4 smoke, engine determinism checks
 #   --tsan     ThreadSanitizer build (CMake preset "tsan") running the
 #              engine + concurrent-interning tests — the same job CI runs
 #   --asan     AddressSanitizer+UBSan build (preset "asan") running the
 #              full test suite — ditto
+#   --warm     local reproduction of the CI warm-cache job: two suite runs
+#              against a temp verdict store; the second must replay 100% of
+#              verdicts (batch_validate --expect-warm exits 3 otherwise)
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -22,9 +25,13 @@ case "${1:-}" in
   MODE=asan
   shift
   ;;
+--warm)
+  MODE=warm
+  shift
+  ;;
 esac
 
-if [ "$MODE" != default ]; then
+if [ "$MODE" = tsan ] || [ "$MODE" = asan ]; then
   # Sanitizer modes are backed by CMakePresets.json so local runs match the
   # CI sanitizer jobs exactly. Presets resolve relative to the source dir.
   cd "$REPO_ROOT"
@@ -36,6 +43,30 @@ if [ "$MODE" != default ]; then
 fi
 
 BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+if [ "$MODE" = warm ]; then
+  # The CI warm-cache invariant, locally: a first suite run populates a
+  # fresh verdict store; a second run of the same suite must replay every
+  # verdict from it (PR 2's determinism guarantee made fingerprints
+  # byte-stable across processes, so anything less than 100% is a bug).
+  # batch_validate exits 2 when some optimizations could not be proven
+  # (expected on these profiles) and 3 when --expect-warm saw a
+  # from-scratch validation.
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target batch_validate
+  STORE="$(mktemp -d)/warm.vstore"
+  trap 'rm -rf "$(dirname "$STORE")"' EXIT
+  run_warm() {
+    local rc=0
+    "$BUILD_DIR/batch_validate" --suite sqlite,hmmer,sjeng \
+      --cache "$STORE" "$@" || rc=$?
+    [ "$rc" -eq 0 ] || [ "$rc" -eq 2 ]
+  }
+  run_warm --quiet
+  run_warm --expect-warm
+  echo "check.sh (warm): OK — second run replayed 100% of verdicts"
+  exit 0
+fi
 
 # Tier-1 verify (see ROADMAP.md).
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT"

@@ -51,6 +51,16 @@ unsigned ValidationReport::cacheHits() const {
   return N;
 }
 
+unsigned ValidationReport::warmHits() const {
+  unsigned N = 0;
+  for (const auto &F : Functions) {
+    N += F.WarmHit;
+    for (const auto &S : F.Steps)
+      N += S.WarmHit;
+  }
+  return N;
+}
+
 unsigned ValidationReport::skippedIdentical() const {
   unsigned N = 0;
   for (const auto &F : Functions) {
@@ -101,7 +111,9 @@ const char *functionStatus(const FunctionReportEntry &F) {
   if (F.SkippedIdentical)
     return "identical (skipped)";
   if (F.Validated)
-    return F.CacheHit ? "VALIDATED (cached)" : "VALIDATED";
+    return F.WarmHit    ? "VALIDATED (warm)"
+           : F.CacheHit ? "VALIDATED (cached)"
+                        : "VALIDATED";
   return F.Reverted ? "FAILED -> reverted" : "FAILED";
 }
 
@@ -122,10 +134,10 @@ std::string llvmmd::reportToText(const ValidationReport &R) {
                 100.0 * R.validationRate(), R.reverted());
   OS << Buf;
   std::snprintf(Buf, sizeof(Buf),
-                "  %u cache hits, %u identical skips, %" PRIu64
+                "  %u cache hits (%u warm), %u identical skips, %" PRIu64
                 " rewrites, %" PRIu64 " graph nodes\n",
-                R.cacheHits(), R.skippedIdentical(), R.rewrites(),
-                R.graphNodes());
+                R.cacheHits(), R.warmHits(), R.skippedIdentical(),
+                R.rewrites(), R.graphNodes());
   OS << Buf;
   // Multi-module suite runs interleave on one pool and leave per-module
   // wall time unattributed (zero); only validation time is per-module then.
@@ -154,7 +166,8 @@ std::string llvmmd::reportToText(const ValidationReport &R) {
         continue;
       std::snprintf(Buf, sizeof(Buf), "    %-20s %s%s\n", S.Pass.c_str(),
                     S.Validated ? "ok" : "FAILED",
-                    S.CacheHit          ? " (cached)"
+                    S.WarmHit            ? " (warm)"
+                    : S.CacheHit         ? " (cached)"
                     : S.SkippedIdentical ? " (identical)"
                                          : "");
       OS << Buf;
@@ -193,13 +206,13 @@ void emitCSVRows(std::ostringstream &OS, const ValidationReport &R,
   char Buf[128];
   auto EmitRow = [&](const std::string &Fn, const std::string &Pass,
                      bool Transformed, bool Validated, bool CacheHit,
-                     bool Skipped, bool Reverted, const std::string &Guilty,
-                     const ValidationResult &Res) {
+                     bool WarmHit, bool Skipped, bool Reverted,
+                     const std::string &Guilty, const ValidationResult &Res) {
     if (ModuleName)
       OS << csvEscape(*ModuleName) << ',';
     OS << csvEscape(Fn) << ',' << csvEscape(Pass) << ',' << Transformed << ','
-       << Validated << ',' << CacheHit << ',' << Skipped << ',' << Reverted
-       << ',' << csvEscape(Guilty) << ',';
+       << Validated << ',' << CacheHit << ',' << WarmHit << ',' << Skipped
+       << ',' << Reverted << ',' << csvEscape(Guilty) << ',';
     std::snprintf(Buf, sizeof(Buf),
                   "%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",",
                   Res.Rewrites, Res.GraphNodes, Res.Iterations,
@@ -207,18 +220,19 @@ void emitCSVRows(std::ostringstream &OS, const ValidationReport &R,
     OS << Buf << csvEscape(Res.Reason) << '\n';
   };
   for (const auto &F : R.Functions) {
-    EmitRow(F.Name, "", F.Transformed, F.Validated, F.CacheHit,
+    EmitRow(F.Name, "", F.Transformed, F.Validated, F.CacheHit, F.WarmHit,
             F.SkippedIdentical, F.Reverted, F.GuiltyPass, F.Result);
     for (const auto &S : F.Steps)
       if (S.Changed)
-        EmitRow(F.Name, S.Pass, S.Changed, S.Validated, S.CacheHit,
+        EmitRow(F.Name, S.Pass, S.Changed, S.Validated, S.CacheHit, S.WarmHit,
                 S.SkippedIdentical, false, "", S.Result);
   }
 }
 
 const char *CSVColumns =
-    "function,pass,transformed,validated,cache_hit,skipped_identical,"
-    "reverted,guilty_pass,rewrites,graph_nodes,iterations,us,reason\n";
+    "function,pass,transformed,validated,cache_hit,warm_hit,"
+    "skipped_identical,reverted,guilty_pass,rewrites,graph_nodes,iterations,"
+    "us,reason\n";
 
 } // namespace
 
@@ -314,6 +328,7 @@ void emitReportJSON(std::ostringstream &OS, const ValidationReport &R,
      << ", \"validated\": " << R.validated()
      << ", \"reverted\": " << R.reverted()
      << ", \"cache_hits\": " << R.cacheHits()
+     << ", \"warm_hits\": " << R.warmHits()
      << ", \"skipped_identical\": " << R.skippedIdentical()
      << ", \"rewrites\": " << R.rewrites()
      << ", \"graph_nodes\": " << R.graphNodes();
@@ -330,6 +345,7 @@ void emitReportJSON(std::ostringstream &OS, const ValidationReport &R,
        << "\"transformed\": " << (F.Transformed ? "true" : "false") << ", "
        << "\"validated\": " << (F.Validated ? "true" : "false") << ", "
        << "\"cache_hit\": " << (F.CacheHit ? "true" : "false") << ", "
+       << "\"warm_hit\": " << (F.WarmHit ? "true" : "false") << ", "
        << "\"skipped_identical\": "
        << (F.SkippedIdentical ? "true" : "false") << ", "
        << "\"reverted\": " << (F.Reverted ? "true" : "false") << ", "
@@ -350,6 +366,7 @@ void emitReportJSON(std::ostringstream &OS, const ValidationReport &R,
            << "\"changed\": " << (S.Changed ? "true" : "false") << ", "
            << "\"validated\": " << (S.Validated ? "true" : "false") << ", "
            << "\"cache_hit\": " << (S.CacheHit ? "true" : "false") << ", "
+           << "\"warm_hit\": " << (S.WarmHit ? "true" : "false") << ", "
            << "\"skipped_identical\": "
            << (S.SkippedIdentical ? "true" : "false") << ", "
            << "\"fingerprint\": \"" << hex64(S.Fingerprint) << "\", ";
@@ -409,6 +426,10 @@ unsigned SuiteReport::cacheHits() const {
   return sumModules(Modules, &ValidationReport::cacheHits);
 }
 
+unsigned SuiteReport::warmHits() const {
+  return sumModules(Modules, &ValidationReport::warmHits);
+}
+
 unsigned SuiteReport::skippedIdentical() const {
   return sumModules(Modules, &ValidationReport::skippedIdentical);
 }
@@ -427,10 +448,10 @@ std::string llvmmd::suiteToText(const SuiteReport &S) {
   OS << Buf;
   std::snprintf(Buf, sizeof(Buf),
                 "  %u functions, %u transformed, %u validated (%.1f%%), "
-                "%u reverted, %u cache hits, %u identical skips\n",
+                "%u reverted, %u cache hits (%u warm), %u identical skips\n",
                 S.total(), S.transformed(), S.validated(),
                 100.0 * S.validationRate(), S.reverted(), S.cacheHits(),
-                S.skippedIdentical());
+                S.warmHits(), S.skippedIdentical());
   OS << Buf;
   std::snprintf(Buf, sizeof(Buf), "  %.2f ms wall on %u threads\n",
                 S.WallMicroseconds / 1000.0, S.Threads);
@@ -469,6 +490,7 @@ std::string llvmmd::suiteToJSON(const SuiteReport &S, bool IncludeTiming) {
      << ", \"validated\": " << S.validated()
      << ", \"reverted\": " << S.reverted()
      << ", \"cache_hits\": " << S.cacheHits()
+     << ", \"warm_hits\": " << S.warmHits()
      << ", \"skipped_identical\": " << S.skippedIdentical();
   std::snprintf(Buf, sizeof(Buf), "%.6f", S.validationRate());
   OS << ", \"validation_rate\": " << Buf << "},\n";

@@ -36,6 +36,10 @@ struct StepReport {
   /// The verdict was replayed from the memo cache (or a duplicate pair
   /// earlier in the same batch) instead of being validated from scratch.
   bool CacheHit = false;
+  /// The replayed verdict came from the persistent verdict store, i.e. was
+  /// proven by a *prior process* (warm); a cache hit without this flag was
+  /// proven earlier in this process (cold).
+  bool WarmHit = false;
   /// The pass claimed a change but the fingerprint is unchanged; validated
   /// in O(1) without building a graph.
   bool SkippedIdentical = false;
@@ -51,6 +55,7 @@ struct FunctionReportEntry {
   bool Transformed = false;
   bool Validated = false;
   bool CacheHit = false;
+  bool WarmHit = false; ///< see StepReport::WarmHit
   bool SkippedIdentical = false;
   bool Reverted = false;
   /// Stepwise mode: the first pass whose step failed to validate; empty when
@@ -77,6 +82,10 @@ struct ValidationReport {
   unsigned validated() const;
   unsigned reverted() const;
   unsigned cacheHits() const;
+  /// The subset of cacheHits() replayed from the persistent verdict store
+  /// (proven by a prior process). cacheHits() - warmHits() are cold
+  /// in-process replays.
+  unsigned warmHits() const;
   unsigned skippedIdentical() const;
   uint64_t rewrites() const;
   uint64_t graphNodes() const;
@@ -120,6 +129,7 @@ struct SuiteReport {
   unsigned validated() const;
   unsigned reverted() const;
   unsigned cacheHits() const;
+  unsigned warmHits() const;
   unsigned skippedIdentical() const;
   double validationRate() const;
 };

@@ -14,6 +14,7 @@
 
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <map>
 
@@ -60,12 +61,6 @@ uint64_t nowMicroseconds(std::chrono::steady_clock::time_point Start) {
 }
 
 } // namespace
-
-size_t ValidationEngine::CacheKeyHash::operator()(const CacheKey &K) const {
-  uint64_t H = hashCombine(K.FpA, K.FpB);
-  H = hashCombine(H, K.Config);
-  return static_cast<size_t>(H);
-}
 
 uint64_t ValidationEngine::cacheConfigDigest(const Module &OrigModule) const {
   uint64_t H = hashCombine(Cfg.Rules.Mask,
@@ -119,6 +114,8 @@ struct ValidationEngine::BatchState {
     size_t Fn;
     int Step;
     ValidationResult Result;
+    /// Replayed from a store-loaded entry (proven by a prior process).
+    bool Warm = false;
   };
   std::vector<CachedLanding> Cached;
   /// Key -> job index, for pairs already scheduled in this batch. Duplicates
@@ -158,13 +155,67 @@ struct ValidationEngine::ModuleRunState {
 };
 
 ValidationEngine::ValidationEngine(EngineConfig Config)
-    : Cfg(Config), Pool(Config.Threads) {}
+    : Cfg(std::move(Config)), Pool(Cfg.Threads) {
+  if (!Cfg.CachePath.empty() && Cfg.CacheLoad)
+    loadCache();
+}
 
 ValidationEngine::~ValidationEngine() = default;
 
 void ValidationEngine::clearCache() {
   Cache.clear();
   Stats.Entries = 0;
+  CacheDirty = false;
+}
+
+uint64_t ValidationEngine::storeConfigDigest() const {
+  return verdictStoreConfigDigest(Cfg.Rules);
+}
+
+VerdictStore::LoadResult ValidationEngine::loadCache() {
+  VerdictMap Loaded;
+  VerdictStore::LoadResult LR =
+      VerdictStore::load(Cfg.CachePath, storeConfigDigest(), Loaded);
+  if (!LR.loaded()) {
+    // Rejections (as opposed to a simply absent store) are safe — the
+    // store will be rebuilt — but must be diagnosable: a silently-empty
+    // cache surfaces later as a baffling sub-100% replay rate.
+    if (LR.Status != VerdictStore::LoadStatus::NoFile)
+      std::fprintf(stderr,
+                   "llvmmd: warning: verdict store '%s' rejected, "
+                   "rebuilding: %s\n",
+                   Cfg.CachePath.c_str(), LR.Message.c_str());
+    return LR;
+  }
+  LR.EntriesMerged = 0;
+  for (auto &KV : Loaded)
+    if (Cache.emplace(KV.first, CachedVerdict{std::move(KV.second), true})
+            .second)
+      ++LR.EntriesMerged;
+  Stats.StoreLoaded += LR.EntriesMerged;
+  Stats.Entries = Cache.size();
+  return LR;
+}
+
+bool ValidationEngine::saveCache(std::string *Error) {
+  VerdictMap Out;
+  Out.reserve(Cache.size());
+  for (const auto &KV : Cache)
+    Out.emplace(KV.first, KV.second.Result);
+  std::string LocalError;
+  uint64_t Written = VerdictStore::save(Cfg.CachePath, storeConfigDigest(),
+                                        Out, Error ? Error : &LocalError);
+  if (Written == ~0ull) {
+    // A swallowed save failure would resurface later as a baffling
+    // "replay rate < 100%" on the next warm run; make the I/O error loud
+    // even on the automatic save-on-report path.
+    std::fprintf(stderr, "llvmmd: warning: verdict store not saved: %s\n",
+                 (Error ? *Error : LocalError).c_str());
+    return false;
+  }
+  Stats.StoreSaved = Written;
+  CacheDirty = false;
+  return true;
 }
 
 void ValidationEngine::scheduleValidation(BatchState &B, unsigned Mod,
@@ -176,8 +227,10 @@ void ValidationEngine::scheduleValidation(BatchState &B, unsigned Mod,
   if (Cfg.UseCache) {
     auto It = Cache.find(Key);
     if (It != Cache.end()) {
-      B.Cached.push_back({Mod, Fn, Step, It->second});
+      B.Cached.push_back(
+          {Mod, Fn, Step, It->second.Result, It->second.FromStore});
       ++Stats.Hits;
+      Stats.WarmHits += It->second.FromStore;
       return;
     }
   }
@@ -205,7 +258,7 @@ void ValidationEngine::executeBatch(
   Stats.Misses += B.Jobs.size();
 
   auto Land = [&](unsigned Mod, size_t Fn, int Step,
-                  const ValidationResult &Verdict, bool Hit) {
+                  const ValidationResult &Verdict, bool Hit, bool Warm) {
     ValidationResult Res = Verdict;
     // A replayed verdict spent no time now; don't bill the original pair's
     // wall time to this run's aggregates.
@@ -216,22 +269,25 @@ void ValidationEngine::executeBatch(
       E.Result = Res;
       E.Validated = Res.Validated;
       E.CacheHit = Hit;
+      E.WarmHit = Warm;
     } else {
       StepReport &S = E.Steps[static_cast<size_t>(Step)];
       S.Result = Res;
       S.Validated = Res.Validated;
       S.CacheHit = Hit;
+      S.WarmHit = Warm;
     }
   };
   for (const auto &C : B.Cached)
-    Land(C.Mod, C.Fn, C.Step, C.Result, true);
+    Land(C.Mod, C.Fn, C.Step, C.Result, true, C.Warm);
   for (const auto &L : B.Landings)
-    Land(L.Mod, L.Fn, L.Step, B.Jobs[L.Job].Result, L.DuplicateHit);
+    Land(L.Mod, L.Fn, L.Step, B.Jobs[L.Job].Result, L.DuplicateHit, false);
 
   if (Cfg.UseCache) {
     for (const PairJob &Job : B.Jobs)
-      Cache.emplace(Job.Key, Job.Result);
+      Cache.emplace(Job.Key, CachedVerdict{Job.Result, false});
     Stats.Entries = Cache.size();
+    CacheDirty |= !B.Jobs.empty();
   }
 }
 
@@ -445,6 +501,17 @@ SuiteRun ValidationEngine::runModules(const std::vector<const Module *> &Mods,
   // revert failures.
   //===--------------------------------------------------------------------===//
 
+  /// One revert task: re-clone the certified body \p Src over \p Dst in
+  /// \p DstModule. Targets are resolved sequentially; the cloning itself is
+  /// scheduled per function on the pool (tasks touch disjoint functions and
+  /// intern through the lock-striped Context, same argument as phase 1).
+  struct RevertTask {
+    const Function *Src = nullptr;
+    Function *Dst = nullptr;
+    Module *DstModule = nullptr;
+  };
+  std::vector<RevertTask> Reverts;
+
   for (size_t Mi = 0; Mi < States.size(); ++Mi) {
     ModuleRunState &S = States[Mi];
     ValidationReport &R = *S.Report;
@@ -497,11 +564,18 @@ SuiteRun ValidationEngine::runModules(const std::vector<const Module *> &Mods,
             if (StepIdx < Guilty)
               Target = Snap;
         }
-        restoreBody(*Target, *S.Defined[Fi], *S.Opt);
+        Reverts.push_back({Target, S.Defined[Fi], S.Opt});
         E.Reverted = true;
       }
     }
   }
+
+  Pool.parallelFor(Reverts.size(), [&](size_t I) {
+    restoreBody(*Reverts[I].Src, *Reverts[I].Dst, *Reverts[I].DstModule);
+  });
+
+  if (!Cfg.CachePath.empty() && Cfg.CacheSave && CacheDirty)
+    saveCache();
 
   SR.Report.WallMicroseconds = nowMicroseconds(Start);
   // Suite phases interleave across modules on one pool, so end-to-end wall
@@ -560,6 +634,8 @@ ValidationReport ValidationEngine::validateModules(const Module &Original,
 
   std::vector<ValidationReport *> Reports{&Report};
   executeBatch(B, Reports);
+  if (!Cfg.CachePath.empty() && Cfg.CacheSave && CacheDirty)
+    saveCache();
   Report.WallMicroseconds = nowMicroseconds(Start);
   return Report;
 }

@@ -45,6 +45,7 @@
 
 #include "driver/Report.h"
 #include "driver/ThreadPool.h"
+#include "driver/VerdictStore.h"
 #include "normalize/Rules.h"
 
 #include <memory>
@@ -76,13 +77,29 @@ struct EngineConfig {
   /// in whole-pipeline mode, the last validated snapshot in stepwise mode
   /// (the paper's `replace fo by fi in output`).
   bool RevertFailures = false;
+  /// Path of the persistent verdict store (VerdictStore format). Empty
+  /// keeps the cache in-memory only.
+  std::string CachePath;
+  /// With CachePath set: merge the store into the cache at construction. A
+  /// store whose magic/version/config digest mismatches is rejected and the
+  /// cache starts empty (the store will be rebuilt on save).
+  bool CacheLoad = true;
+  /// With CachePath set: save the cache back (atomically, merging the
+  /// current on-disk contents) after every run that memoized new verdicts.
+  bool CacheSave = true;
 };
 
 struct EngineCacheStats {
   uint64_t Hits = 0;   ///< verdicts replayed (cache or duplicate in batch)
+  /// The subset of Hits replayed from entries the persistent store
+  /// contributed ("warm"); Hits - WarmHits were proven by this process
+  /// ("cold" in-memory hits and in-batch duplicates).
+  uint64_t WarmHits = 0;
   uint64_t Misses = 0; ///< pairs validated from scratch
   uint64_t SkippedIdentical = 0; ///< fingerprint-equal pairs, skipped O(1)
   uint64_t Entries = 0;          ///< memoized verdicts currently held
+  uint64_t StoreLoaded = 0; ///< entries merged in from the persistent store
+  uint64_t StoreSaved = 0;  ///< entries written by the most recent save
 };
 
 /// The result of one engine run: the certified optimized module (same
@@ -143,20 +160,38 @@ public:
   void clearCache();
   unsigned getThreadCount() const { return Pool.getThreadCount(); }
 
+  /// The VerdictStore header digest for the engine's current rule
+  /// configuration (per-module globals are digested into entry keys, not
+  /// here).
+  uint64_t storeConfigDigest() const;
+
+  /// Merges the store at Cfg.CachePath into the verdict cache; entries the
+  /// engine already proved keep their in-memory verdict. Called by the
+  /// constructor when CachePath is set and CacheLoad is on; callable again
+  /// to pick up verdicts other processes saved meanwhile.
+  VerdictStore::LoadResult loadCache();
+
+  /// Atomically saves the verdict cache to Cfg.CachePath, merging the
+  /// current on-disk contents. Called automatically after every run that
+  /// memoized new verdicts (when CachePath is set and CacheSave is on).
+  bool saveCache(std::string *Error = nullptr);
+
 private:
-  struct CacheKey {
-    uint64_t FpA = 0, FpB = 0;
-    /// Everything else a verdict depends on: rule mask, sharing strategy,
-    /// fixpoint budget, and — when RS_GlobalFold can read initializers — a
-    /// digest of the module's globals (fingerprints hash globals by name
-    /// only, so the same pair in two modules may differ).
-    uint64_t Config = 0;
-    bool operator==(const CacheKey &O) const {
-      return FpA == O.FpA && FpB == O.FpB && Config == O.Config;
-    }
-  };
-  struct CacheKeyHash {
-    size_t operator()(const CacheKey &K) const;
+  /// Verdict cache keys are shared with the persistent store: both
+  /// fingerprints plus a digest of everything else the verdict depends on
+  /// (rule mask, sharing strategy, fixpoint budget, and — when
+  /// RS_GlobalFold can read initializers — the module's globals;
+  /// fingerprints hash globals by name only, so the same pair in two
+  /// modules may differ).
+  using CacheKey = VerdictKey;
+  using CacheKeyHash = VerdictKeyHash;
+
+  /// One memoized verdict plus its provenance: FromStore marks entries the
+  /// persistent store contributed, so replays can be attributed warm (prior
+  /// process) vs cold (this process).
+  struct CachedVerdict {
+    ValidationResult Result;
+    bool FromStore = false;
   };
 
   /// A scheduled validation: a unique, uncached (original, optimized) pair
@@ -216,8 +251,11 @@ private:
 
   EngineConfig Cfg;
   ThreadPool Pool;
-  std::unordered_map<CacheKey, ValidationResult, CacheKeyHash> Cache;
+  std::unordered_map<CacheKey, CachedVerdict, CacheKeyHash> Cache;
   EngineCacheStats Stats;
+  /// New verdicts were memoized since the last save; gates save-on-report
+  /// so replay-only runs don't rewrite an unchanged store.
+  bool CacheDirty = false;
 };
 
 } // namespace llvmmd

@@ -1,0 +1,311 @@
+//===- VerdictStore.cpp - Persistent cross-process verdict store --------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// On-disk layout (all integers little-endian, see support/Hashing.h):
+//
+//   header   u64 magic           "LMDVSTR\x01"
+//            u32 format version  VerdictStore::FormatVersion
+//            u32 reserved        0
+//            u64 config digest   verdictStoreConfigDigest at save time
+//            u64 entry count
+//            u64 payload hash    FNV-1a over the payload bytes
+//   payload  per entry:
+//            u64 fpA, u64 fpB, u64 config
+//            u8  flags           bit0 Validated, bit1 Unsupported,
+//                                bit2 EqualOnConstruction
+//            u64 graph nodes, live nodes, rewrites, sharing merges,
+//                iterations, microseconds
+//            u32 reason length + raw bytes
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/VerdictStore.h"
+
+#include "normalize/Rules.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
+
+using namespace llvmmd;
+
+size_t VerdictKeyHash::operator()(const VerdictKey &K) const {
+  uint64_t H = hashCombine(K.FpA, K.FpB);
+  H = hashCombine(H, K.Config);
+  return static_cast<size_t>(H);
+}
+
+uint64_t llvmmd::verdictStoreConfigDigest(const RuleConfig &Rules) {
+  uint64_t H = hashCombine(VerdictStore::SemanticsSalt, Rules.Mask);
+  H = hashCombine(H, static_cast<uint64_t>(Rules.Strategy));
+  H = hashCombine(H, Rules.MaxIterations);
+  return H;
+}
+
+namespace {
+
+constexpr uint64_t StoreMagic = 0x0152545356444d4cULL; // "LMDVSTR\x01" LE
+constexpr size_t HeaderSize = 8 + 4 + 4 + 8 + 8 + 8;
+
+enum ResultFlags : uint8_t {
+  RF_Validated = 1u << 0,
+  RF_Unsupported = 1u << 1,
+  RF_EqualOnConstruction = 1u << 2,
+};
+
+void appendEntry(std::string &Out, const VerdictKey &K,
+                 const ValidationResult &R) {
+  appendU64LE(Out, K.FpA);
+  appendU64LE(Out, K.FpB);
+  appendU64LE(Out, K.Config);
+  uint8_t Flags = (R.Validated ? RF_Validated : 0) |
+                  (R.Unsupported ? RF_Unsupported : 0) |
+                  (R.EqualOnConstruction ? RF_EqualOnConstruction : 0);
+  Out.push_back(static_cast<char>(Flags));
+  appendU64LE(Out, R.GraphNodes);
+  appendU64LE(Out, R.LiveNodes);
+  appendU64LE(Out, R.Rewrites);
+  appendU64LE(Out, R.SharingMerges);
+  appendU64LE(Out, R.Iterations);
+  appendU64LE(Out, R.Microseconds);
+  appendU32LE(Out, static_cast<uint32_t>(R.Reason.size()));
+  Out.append(R.Reason);
+}
+
+bool readEntry(const char *Data, size_t Size, size_t &Cur, VerdictKey &K,
+               ValidationResult &R) {
+  if (!readU64LE(Data, Size, Cur, K.FpA) ||
+      !readU64LE(Data, Size, Cur, K.FpB) ||
+      !readU64LE(Data, Size, Cur, K.Config))
+    return false;
+  if (Cur >= Size)
+    return false;
+  uint8_t Flags = static_cast<unsigned char>(Data[Cur++]);
+  R.Validated = Flags & RF_Validated;
+  R.Unsupported = Flags & RF_Unsupported;
+  R.EqualOnConstruction = Flags & RF_EqualOnConstruction;
+  uint32_t ReasonLen = 0;
+  if (!readU64LE(Data, Size, Cur, R.GraphNodes) ||
+      !readU64LE(Data, Size, Cur, R.LiveNodes) ||
+      !readU64LE(Data, Size, Cur, R.Rewrites) ||
+      !readU64LE(Data, Size, Cur, R.SharingMerges) ||
+      !readU64LE(Data, Size, Cur, R.Iterations) ||
+      !readU64LE(Data, Size, Cur, R.Microseconds) ||
+      !readU32LE(Data, Size, Cur, ReasonLen))
+    return false;
+  if (Size - Cur < ReasonLen)
+    return false;
+  R.Reason.assign(Data + Cur, ReasonLen);
+  Cur += ReasonLen;
+  return true;
+}
+
+/// Advisory exclusive lock on `Path + ".lock"` held for the save's whole
+/// load-merge-rename sequence. Without it two shards could both load the
+/// same on-disk state and the second rename would silently drop the first
+/// shard's new entries. Best-effort: if the lock file cannot be created the
+/// save proceeds unlocked (degrading to last-writer-wins), and on Windows
+/// (no flock) it is a no-op.
+class SaveLock {
+public:
+  explicit SaveLock(const std::string &Path) {
+#ifndef _WIN32
+    Fd = ::open((Path + ".lock").c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (Fd >= 0 && ::flock(Fd, LOCK_EX) != 0) {
+      ::close(Fd);
+      Fd = -1;
+    }
+#else
+    (void)Path;
+#endif
+  }
+  ~SaveLock() {
+#ifndef _WIN32
+    if (Fd >= 0) {
+      ::flock(Fd, LOCK_UN);
+      ::close(Fd);
+    }
+#endif
+  }
+  SaveLock(const SaveLock &) = delete;
+  SaveLock &operator=(const SaveLock &) = delete;
+
+private:
+  int Fd = -1;
+};
+
+} // namespace
+
+std::string VerdictStore::serialize(uint64_t ConfigDigest,
+                                    const VerdictMap &Map) {
+  // Deterministic payload: entries sorted by key, so the same map always
+  // serializes to the same bytes regardless of hash-table iteration order.
+  std::vector<const VerdictMap::value_type *> Entries;
+  Entries.reserve(Map.size());
+  for (const auto &KV : Map)
+    Entries.push_back(&KV);
+  std::sort(Entries.begin(), Entries.end(), [](const auto *A, const auto *B) {
+    const VerdictKey &KA = A->first, &KB = B->first;
+    if (KA.FpA != KB.FpA)
+      return KA.FpA < KB.FpA;
+    if (KA.FpB != KB.FpB)
+      return KA.FpB < KB.FpB;
+    return KA.Config < KB.Config;
+  });
+
+  std::string Payload;
+  Payload.reserve(Entries.size() * 80);
+  for (const auto *KV : Entries)
+    appendEntry(Payload, KV->first, KV->second);
+
+  std::string Out;
+  Out.reserve(HeaderSize + Payload.size());
+  appendU64LE(Out, StoreMagic);
+  appendU32LE(Out, FormatVersion);
+  appendU32LE(Out, 0);
+  appendU64LE(Out, ConfigDigest);
+  appendU64LE(Out, static_cast<uint64_t>(Entries.size()));
+  appendU64LE(Out, hashBytes(Payload.data(), Payload.size()));
+  Out += Payload;
+  return Out;
+}
+
+VerdictStore::LoadResult VerdictStore::load(const std::string &Path,
+                                            uint64_t ConfigDigest,
+                                            VerdictMap &Map) {
+  LoadResult LR;
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    LR.Status = LoadStatus::NoFile;
+    LR.Message = "no store at '" + Path + "'";
+    return LR;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Bytes = SS.str();
+
+  size_t Cur = 0;
+  uint64_t Magic = 0, FileDigest = 0, Count = 0, PayloadHash = 0;
+  uint32_t Version = 0, Reserved = 0;
+  if (!readU64LE(Bytes.data(), Bytes.size(), Cur, Magic) ||
+      !readU32LE(Bytes.data(), Bytes.size(), Cur, Version) ||
+      !readU32LE(Bytes.data(), Bytes.size(), Cur, Reserved) ||
+      !readU64LE(Bytes.data(), Bytes.size(), Cur, FileDigest) ||
+      !readU64LE(Bytes.data(), Bytes.size(), Cur, Count) ||
+      !readU64LE(Bytes.data(), Bytes.size(), Cur, PayloadHash)) {
+    LR.Status = LoadStatus::Corrupt;
+    LR.Message = "truncated header";
+    return LR;
+  }
+  if (Magic != StoreMagic) {
+    LR.Status = LoadStatus::BadMagic;
+    LR.Message = "'" + Path + "' is not a verdict store";
+    return LR;
+  }
+  if (Version != FormatVersion) {
+    LR.Status = LoadStatus::BadVersion;
+    LR.Message = "format version " + std::to_string(Version) +
+                 " (this build reads " + std::to_string(FormatVersion) + ")";
+    return LR;
+  }
+  if (FileDigest != ConfigDigest) {
+    LR.Status = LoadStatus::ConfigMismatch;
+    LR.Message = "store was produced under a different rule configuration";
+    return LR;
+  }
+  LR.EntriesInFile = Count;
+  if (hashBytes(Bytes.data() + Cur, Bytes.size() - Cur) != PayloadHash) {
+    LR.Status = LoadStatus::Corrupt;
+    LR.Message = "payload checksum mismatch";
+    return LR;
+  }
+
+  // Parse into a scratch map first so a malformed payload (count lies, bad
+  // entry bounds) cannot leave Map half-merged.
+  VerdictMap Parsed;
+  Parsed.reserve(static_cast<size_t>(Count));
+  for (uint64_t I = 0; I < Count; ++I) {
+    VerdictKey K;
+    ValidationResult R;
+    if (!readEntry(Bytes.data(), Bytes.size(), Cur, K, R)) {
+      LR.Status = LoadStatus::Corrupt;
+      LR.Message = "truncated at entry " + std::to_string(I) + " of " +
+                   std::to_string(Count);
+      return LR;
+    }
+    Parsed.emplace(K, std::move(R));
+  }
+  if (Cur != Bytes.size()) {
+    LR.Status = LoadStatus::Corrupt;
+    LR.Message = "trailing bytes after last entry";
+    return LR;
+  }
+
+  for (auto &KV : Parsed)
+    if (Map.emplace(KV.first, std::move(KV.second)).second)
+      ++LR.EntriesMerged;
+  LR.Status = LoadStatus::Loaded;
+  return LR;
+}
+
+uint64_t VerdictStore::save(const std::string &Path, uint64_t ConfigDigest,
+                            const VerdictMap &Map, std::string *Error,
+                            bool MergeExisting) {
+  SaveLock Lock(Path);
+  const VerdictMap *ToWrite = &Map;
+  VerdictMap Merged;
+  if (MergeExisting) {
+    // Union with whatever another shard already saved here. Start from the
+    // in-memory map so the current process wins per key; a store that fails
+    // to load (any reason) contributes nothing.
+    Merged = Map;
+    VerdictMap OnDisk;
+    if (load(Path, ConfigDigest, OnDisk).loaded())
+      for (auto &KV : OnDisk)
+        Merged.emplace(KV.first, std::move(KV.second));
+    ToWrite = &Merged;
+  }
+
+  std::string Bytes = serialize(ConfigDigest, *ToWrite);
+
+#ifndef _WIN32
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
+#else
+  std::string Tmp = Path + ".tmp";
+#endif
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out || !Out.write(Bytes.data(), static_cast<std::streamsize>(
+                                             Bytes.size()))) {
+      if (Error)
+        *Error = "cannot write '" + Tmp + "'";
+      std::remove(Tmp.c_str());
+      return ~0ull;
+    }
+  }
+  // POSIX rename atomically replaces the target. Windows' std::rename
+  // refuses to overwrite, so fall back to remove-then-rename there (not
+  // atomic, but the SaveLock already serializes savers on the same path).
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Path.c_str());
+    if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+      if (Error)
+        *Error = "cannot rename '" + Tmp + "' to '" + Path + "'";
+      std::remove(Tmp.c_str());
+      return ~0ull;
+    }
+  }
+  return static_cast<uint64_t>(ToWrite->size());
+}

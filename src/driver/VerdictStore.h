@@ -1,0 +1,121 @@
+//===- VerdictStore.h - Persistent cross-process verdict store --*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent half of the engine's verdict cache. Function fingerprints
+/// are byte-stable across runs, so a verdict proven in one process is just
+/// as valid in the next — the store serializes the memo table
+/// `(fp_orig, fp_opt, config) -> ValidationResult` to a versioned binary
+/// file and merges it back on load, which turns repeated CI validations of
+/// the same compiler output into pure replays.
+///
+/// Safety over convenience:
+///  * the header carries a magic, a format version, and a config digest
+///    (rule mask, sharing strategy, fixpoint budget, plus a semantics salt
+///    bumped whenever validator behavior changes); anything mismatched is
+///    *rejected* — the caller rebuilds from scratch rather than replaying
+///    verdicts proven under different rules. Per-module state (the globals
+///    digest RS_GlobalFold depends on) is part of every entry's key, so
+///    entries from other modules are inert rather than wrong.
+///  * the payload is checksummed; a truncated or bit-flipped file loads as
+///    Corrupt, never as a partial cache.
+///  * saves are atomic (write temp + rename), merge the current on-disk
+///    contents first, and serialize against each other via an advisory
+///    lock on `<path>.lock`, so concurrent shards writing the same path
+///    union their verdicts (last writer wins per key) instead of
+///    clobbering or losing each other's updates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_DRIVER_VERDICTSTORE_H
+#define LLVMMD_DRIVER_VERDICTSTORE_H
+
+#include "validator/Validator.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace llvmmd {
+
+struct RuleConfig;
+
+/// What one memoized verdict is keyed on: both structural fingerprints plus
+/// everything else the verdict depends on (rule mask, sharing strategy,
+/// fixpoint budget, and the module-globals digest when RS_GlobalFold can
+/// read initializers). Shared between the in-memory cache and the store.
+struct VerdictKey {
+  uint64_t FpA = 0, FpB = 0;
+  uint64_t Config = 0;
+  bool operator==(const VerdictKey &O) const {
+    return FpA == O.FpA && FpB == O.FpB && Config == O.Config;
+  }
+};
+
+struct VerdictKeyHash {
+  size_t operator()(const VerdictKey &K) const;
+};
+
+using VerdictMap =
+    std::unordered_map<VerdictKey, ValidationResult, VerdictKeyHash>;
+
+/// Digest of everything engine-global a replayed verdict depends on: rule
+/// mask, sharing strategy, fixpoint budget, and the store's semantics salt.
+/// This is the store header's compatibility gate; per-module inputs are
+/// digested into each entry's key instead.
+uint64_t verdictStoreConfigDigest(const RuleConfig &Rules);
+
+class VerdictStore {
+public:
+  /// On-disk layout version. Bump when the serialized shape changes.
+  static constexpr uint32_t FormatVersion = 1;
+  /// Folded into every config digest; bump when validator *behavior*
+  /// changes in a way old verdicts must not survive (new rules, fingerprint
+  /// algorithm changes, ...). Orthogonal to FormatVersion, which only
+  /// covers the byte layout.
+  static constexpr uint64_t SemanticsSalt = 0x6c6d642d76312e30ULL; // "lmd-v1.0"
+
+  enum class LoadStatus : uint8_t {
+    Loaded,         ///< entries merged into the map
+    NoFile,         ///< nothing at the path (fresh start, not an error)
+    BadMagic,       ///< not a verdict store
+    BadVersion,     ///< serialized with a different FormatVersion
+    ConfigMismatch, ///< produced under a different rule configuration
+    Corrupt,        ///< truncated file or checksum failure
+  };
+
+  struct LoadResult {
+    LoadStatus Status = LoadStatus::NoFile;
+    uint64_t EntriesInFile = 0; ///< entries the file claims to hold
+    uint64_t EntriesMerged = 0; ///< entries actually added to the map
+    std::string Message;        ///< human-readable detail on rejection
+    bool loaded() const { return Status == LoadStatus::Loaded; }
+  };
+
+  /// Loads the store at \p Path and merges its entries into \p Map. Keys
+  /// already present keep their in-memory verdict (the current process has
+  /// fresher information). On any rejection \p Map is left untouched.
+  static LoadResult load(const std::string &Path, uint64_t ConfigDigest,
+                         VerdictMap &Map);
+
+  /// Atomically replaces the store at \p Path with \p Map: serialize to a
+  /// sibling temp file, then rename over the target. When \p MergeExisting
+  /// (the default), a loadable on-disk store with the same digest is folded
+  /// in first — in-memory entries win per key — so two engines saving to
+  /// the same path union their verdicts instead of clobbering. Returns the
+  /// number of entries written, or ~0ull on I/O failure (with \p Error set).
+  static uint64_t save(const std::string &Path, uint64_t ConfigDigest,
+                       const VerdictMap &Map, std::string *Error = nullptr,
+                       bool MergeExisting = true);
+
+  /// Serializes \p Map to the store byte format (header included). Exposed
+  /// for tests that need to corrupt specific offsets.
+  static std::string serialize(uint64_t ConfigDigest, const VerdictMap &Map);
+};
+
+} // namespace llvmmd
+
+#endif // LLVMMD_DRIVER_VERDICTSTORE_H

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 namespace llvmmd {
@@ -48,6 +49,48 @@ inline uint64_t hashBytes(const void *Data, size_t Len,
     H *= 0x100000001b3ULL;
   }
   return H;
+}
+
+//===----------------------------------------------------------------------===//
+// On-disk encoding: fixed-width little-endian integers, independent of host
+// byte order, so serialized digests and verdict stores are portable and
+// byte-stable across machines. Readers take (buffer, size, cursor) and
+// return false instead of reading past the end, which is how the store
+// loader turns a truncated file into a clean rejection.
+//===----------------------------------------------------------------------===//
+
+inline void appendU32LE(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+inline void appendU64LE(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+inline bool readU32LE(const char *Data, size_t Size, size_t &Cursor,
+                      uint32_t &V) {
+  if (Size - Cursor < 4 || Cursor > Size)
+    return false;
+  V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(static_cast<unsigned char>(Data[Cursor + I]))
+         << (8 * I);
+  Cursor += 4;
+  return true;
+}
+
+inline bool readU64LE(const char *Data, size_t Size, size_t &Cursor,
+                      uint64_t &V) {
+  if (Size - Cursor < 8 || Cursor > Size)
+    return false;
+  V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(static_cast<unsigned char>(Data[Cursor + I]))
+         << (8 * I);
+  Cursor += 8;
+  return true;
 }
 
 /// Mixes a 64-bit value into a running hash (splitmix64 finalizer).

@@ -374,6 +374,40 @@ TEST(EngineTest, WholePipelineRevertRestoresOriginal) {
     EXPECT_TRUE(E.SkippedIdentical) << E.Name;
 }
 
+TEST(EngineTest, ParallelRevertIsDeterministicAcrossThreadCounts) {
+  // The revert phase re-clones certified bodies one pool task per function;
+  // the reverted output and the report must not depend on the thread count.
+  std::string Baseline;
+  for (unsigned Threads : {1u, 4u}) {
+    Context Ctx;
+    auto M = generateBenchmark(Ctx, smallProfile());
+
+    PassManager PM;
+    PM.addPass(createPass("gvn"));
+    PM.addPass(std::make_unique<BugInjectorPass>());
+
+    EngineConfig C;
+    C.Threads = Threads;
+    C.RevertFailures = true;
+    ValidationEngine Engine(C);
+    EngineRun Run = Engine.run(*M, PM);
+    EXPECT_GT(Run.Report.reverted(), 0u);
+    testutil::expectVerified(*Run.Optimized);
+
+    // Every reverted function must be provably equivalent to its original
+    // again, and the whole report must be thread-count independent.
+    ValidationReport Certified = Engine.validateModules(*M, *Run.Optimized);
+    for (const FunctionReportEntry &E : Certified.Functions)
+      EXPECT_TRUE(E.Validated || E.SkippedIdentical) << E.Name;
+    std::string Json = reportToJSON(Run.Report);
+    if (Baseline.empty())
+      Baseline = Json;
+    else
+      EXPECT_EQ(Baseline, Json) << "thread count " << Threads
+                                << " changed the reverted report";
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Report emitters
 //===----------------------------------------------------------------------===//

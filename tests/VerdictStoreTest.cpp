@@ -1,0 +1,430 @@
+//===- VerdictStoreTest.cpp - Persistent verdict store tests -----------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+// Robustness of the on-disk verdict store (round-trip, truncation, wrong
+// magic/version, config-digest mismatch, concurrent-shard merge) and its
+// integration with the ValidationEngine: a second engine loading the store
+// produced by a first must replay 100% of verdicts without validating
+// anything from scratch, and a mismatched store must be rejected and
+// rebuilt, never misused.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ValidationEngine.h"
+#include "driver/VerdictStore.h"
+#include "opt/Pass.h"
+#include "workload/Generator.h"
+#include "workload/Profiles.h"
+
+#include "TestUtil.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace llvmmd;
+
+namespace {
+
+/// A unique path under the test's temp dir, removed on destruction.
+class TempFile {
+public:
+  explicit TempFile(const std::string &Name)
+      : Path(::testing::TempDir() + "/" + Name) {
+    std::remove(Path.c_str());
+  }
+  ~TempFile() { std::remove(Path.c_str()); }
+  const std::string &path() const { return Path; }
+
+private:
+  std::string Path;
+};
+
+ValidationResult makeResult(bool Validated, uint64_t Rewrites,
+                            const std::string &Reason = "") {
+  ValidationResult R;
+  R.Validated = Validated;
+  R.Rewrites = Rewrites;
+  R.GraphNodes = Rewrites * 3 + 1;
+  R.LiveNodes = Rewrites + 1;
+  R.SharingMerges = Rewrites / 2;
+  R.Iterations = 2;
+  R.Microseconds = 123;
+  R.Reason = Reason;
+  R.EqualOnConstruction = Rewrites == 0;
+  R.Unsupported = !Validated && !Reason.empty();
+  return R;
+}
+
+VerdictMap makeMap(unsigned N, uint64_t Salt = 0) {
+  VerdictMap M;
+  for (unsigned I = 0; I < N; ++I) {
+    VerdictKey K{0x1000 + I + Salt, 0x2000 + I + Salt, 0xc0};
+    M.emplace(K, makeResult(I % 3 != 0, I, I % 3 ? "" : "alarm " +
+                                                            std::to_string(I)));
+  }
+  return M;
+}
+
+void writeBytes(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(Out.write(Bytes.data(), Bytes.size()));
+}
+
+BenchmarkProfile smallProfile() {
+  BenchmarkProfile P = getProfile("sqlite");
+  P.FunctionCount = 10;
+  return P;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Round trip
+//===----------------------------------------------------------------------===//
+
+TEST(VerdictStoreTest, RoundTripPreservesEveryField) {
+  TempFile F("roundtrip.vstore");
+  VerdictMap Saved = makeMap(17);
+  std::string Err;
+  EXPECT_EQ(VerdictStore::save(F.path(), 0xd1, Saved, &Err), Saved.size())
+      << Err;
+
+  VerdictMap Loaded;
+  VerdictStore::LoadResult LR = VerdictStore::load(F.path(), 0xd1, Loaded);
+  ASSERT_EQ(LR.Status, VerdictStore::LoadStatus::Loaded) << LR.Message;
+  EXPECT_EQ(LR.EntriesInFile, Saved.size());
+  EXPECT_EQ(LR.EntriesMerged, Saved.size());
+  ASSERT_EQ(Loaded.size(), Saved.size());
+  for (const auto &[K, R] : Saved) {
+    auto It = Loaded.find(K);
+    ASSERT_NE(It, Loaded.end());
+    EXPECT_EQ(It->second.Validated, R.Validated);
+    EXPECT_EQ(It->second.Unsupported, R.Unsupported);
+    EXPECT_EQ(It->second.EqualOnConstruction, R.EqualOnConstruction);
+    EXPECT_EQ(It->second.Reason, R.Reason);
+    EXPECT_EQ(It->second.Rewrites, R.Rewrites);
+    EXPECT_EQ(It->second.GraphNodes, R.GraphNodes);
+    EXPECT_EQ(It->second.LiveNodes, R.LiveNodes);
+    EXPECT_EQ(It->second.SharingMerges, R.SharingMerges);
+    EXPECT_EQ(It->second.Iterations, R.Iterations);
+    EXPECT_EQ(It->second.Microseconds, R.Microseconds);
+  }
+}
+
+TEST(VerdictStoreTest, SerializationIsDeterministic) {
+  // Same map, two hash tables with different insertion order: identical
+  // bytes, so stores diff cleanly and CI cache keys are stable.
+  VerdictMap A = makeMap(32);
+  VerdictMap B;
+  std::vector<std::pair<VerdictKey, ValidationResult>> Entries(A.begin(),
+                                                               A.end());
+  for (auto It = Entries.rbegin(); It != Entries.rend(); ++It)
+    B.emplace(It->first, It->second);
+  EXPECT_EQ(VerdictStore::serialize(0xd1, A), VerdictStore::serialize(0xd1, B));
+}
+
+TEST(VerdictStoreTest, MissingFileIsNoFileNotError) {
+  VerdictMap Map;
+  VerdictStore::LoadResult LR =
+      VerdictStore::load(::testing::TempDir() + "/does-not-exist.vstore", 0,
+                         Map);
+  EXPECT_EQ(LR.Status, VerdictStore::LoadStatus::NoFile);
+  EXPECT_TRUE(Map.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Rejection: truncation, magic, version, config digest
+//===----------------------------------------------------------------------===//
+
+TEST(VerdictStoreTest, TruncatedFileIsRejectedWholesale) {
+  TempFile F("truncated.vstore");
+  std::string Bytes = VerdictStore::serialize(0xd1, makeMap(9));
+  // Every possible truncation point: header, mid-entry, mid-reason. None
+  // may load, and none may leave partial entries in the map.
+  for (size_t Keep : {size_t(0), size_t(7), size_t(39), Bytes.size() / 2,
+                      Bytes.size() - 1}) {
+    writeBytes(F.path(), Bytes.substr(0, Keep));
+    VerdictMap Map;
+    VerdictStore::LoadResult LR = VerdictStore::load(F.path(), 0xd1, Map);
+    EXPECT_NE(LR.Status, VerdictStore::LoadStatus::Loaded) << "kept " << Keep;
+    EXPECT_TRUE(Map.empty()) << "partial merge after truncation at " << Keep;
+  }
+}
+
+TEST(VerdictStoreTest, TrailingGarbageIsCorrupt) {
+  TempFile F("trailing.vstore");
+  writeBytes(F.path(), VerdictStore::serialize(0xd1, makeMap(3)) + "junk");
+  VerdictMap Map;
+  EXPECT_EQ(VerdictStore::load(F.path(), 0xd1, Map).Status,
+            VerdictStore::LoadStatus::Corrupt);
+}
+
+TEST(VerdictStoreTest, WrongMagicIsRejected) {
+  TempFile F("magic.vstore");
+  writeBytes(F.path(), "definitely not a verdict store, but long enough "
+                       "to hold a whole header worth of bytes.");
+  VerdictMap Map;
+  VerdictStore::LoadResult LR = VerdictStore::load(F.path(), 0xd1, Map);
+  EXPECT_EQ(LR.Status, VerdictStore::LoadStatus::BadMagic);
+  EXPECT_TRUE(Map.empty());
+}
+
+TEST(VerdictStoreTest, WrongFormatVersionIsRejected) {
+  TempFile F("version.vstore");
+  std::string Bytes = VerdictStore::serialize(0xd1, makeMap(3));
+  // The u32 format version sits right after the u64 magic.
+  Bytes[8] = static_cast<char>(VerdictStore::FormatVersion + 1);
+  writeBytes(F.path(), Bytes);
+  VerdictMap Map;
+  VerdictStore::LoadResult LR = VerdictStore::load(F.path(), 0xd1, Map);
+  EXPECT_EQ(LR.Status, VerdictStore::LoadStatus::BadVersion);
+  EXPECT_TRUE(Map.empty());
+}
+
+TEST(VerdictStoreTest, MismatchedConfigDigestIsRejected) {
+  TempFile F("digest.vstore");
+  ASSERT_NE(VerdictStore::save(F.path(), 0xd1, makeMap(5)), ~0ull);
+  VerdictMap Map;
+  VerdictStore::LoadResult LR = VerdictStore::load(F.path(), 0xd2, Map);
+  EXPECT_EQ(LR.Status, VerdictStore::LoadStatus::ConfigMismatch);
+  EXPECT_TRUE(Map.empty());
+}
+
+TEST(VerdictStoreTest, BitFlipInPayloadIsCorrupt) {
+  TempFile F("bitflip.vstore");
+  std::string Bytes = VerdictStore::serialize(0xd1, makeMap(5));
+  Bytes[Bytes.size() - 3] ^= 0x40;
+  writeBytes(F.path(), Bytes);
+  VerdictMap Map;
+  EXPECT_EQ(VerdictStore::load(F.path(), 0xd1, Map).Status,
+            VerdictStore::LoadStatus::Corrupt);
+}
+
+//===----------------------------------------------------------------------===//
+// Merge semantics
+//===----------------------------------------------------------------------===//
+
+TEST(VerdictStoreTest, LoadMergesWithoutClobberingMemory) {
+  TempFile F("merge-load.vstore");
+  VerdictMap OnDisk = makeMap(4);
+  ASSERT_NE(VerdictStore::save(F.path(), 0xd1, OnDisk), ~0ull);
+
+  // The in-memory map already holds one of the keys with a different
+  // verdict; load must keep the in-memory one and add only the others.
+  VerdictMap Map;
+  VerdictKey Shared = OnDisk.begin()->first;
+  Map.emplace(Shared, makeResult(true, 999));
+  VerdictStore::LoadResult LR = VerdictStore::load(F.path(), 0xd1, Map);
+  ASSERT_TRUE(LR.loaded());
+  EXPECT_EQ(LR.EntriesMerged, OnDisk.size() - 1);
+  EXPECT_EQ(Map.size(), OnDisk.size());
+  EXPECT_EQ(Map.at(Shared).Rewrites, 999u);
+}
+
+TEST(VerdictStoreTest, ConcurrentShardsSavingTheSamePathMerge) {
+  TempFile F("merge-save.vstore");
+  // Two engines (shards) proved disjoint verdicts and save to one path in
+  // some order; the store must end up with the union, and for the one
+  // contested key the last writer wins.
+  VerdictMap ShardA = makeMap(6, /*Salt=*/0);
+  VerdictMap ShardB = makeMap(6, /*Salt=*/100);
+  VerdictKey Contested{0xbeef, 0xf00d, 0xc0};
+  ShardA.emplace(Contested, makeResult(true, 1));
+  ShardB.emplace(Contested, makeResult(true, 2));
+
+  ASSERT_NE(VerdictStore::save(F.path(), 0xd1, ShardA), ~0ull);
+  // B's save reports the merged size, not just its own entries.
+  EXPECT_EQ(VerdictStore::save(F.path(), 0xd1, ShardB),
+            ShardA.size() + ShardB.size() - 1);
+
+  VerdictMap Loaded;
+  ASSERT_TRUE(VerdictStore::load(F.path(), 0xd1, Loaded).loaded());
+  EXPECT_EQ(Loaded.size(), ShardA.size() + ShardB.size() - 1);
+  for (const auto &[K, R] : ShardA)
+    if (!(K == Contested))
+      EXPECT_EQ(Loaded.at(K).Rewrites, R.Rewrites);
+  for (const auto &[K, R] : ShardB)
+    EXPECT_EQ(Loaded.at(K).Rewrites, R.Rewrites);
+  EXPECT_EQ(Loaded.at(Contested).Rewrites, 2u) << "last writer must win";
+}
+
+TEST(VerdictStoreTest, SaveOverMismatchedStoreRebuildsIt) {
+  TempFile F("rebuild.vstore");
+  ASSERT_NE(VerdictStore::save(F.path(), 0xd1, makeMap(8)), ~0ull);
+  // A save under a different digest must not merge the incompatible
+  // entries — it atomically replaces the store.
+  VerdictMap Fresh = makeMap(2, /*Salt=*/500);
+  EXPECT_EQ(VerdictStore::save(F.path(), 0xd2, Fresh), Fresh.size());
+  VerdictMap Loaded;
+  ASSERT_TRUE(VerdictStore::load(F.path(), 0xd2, Loaded).loaded());
+  EXPECT_EQ(Loaded.size(), Fresh.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Engine integration: cross-process warm replay
+//===----------------------------------------------------------------------===//
+
+TEST(VerdictStoreTest, SecondEngineReplaysEverythingFromTheStore) {
+  TempFile F("engine.vstore");
+  ValidationReport First, Second;
+  uint64_t ExpectedHits = 0;
+
+  {
+    // "Process" 1: cold run, saves on report.
+    Context Ctx;
+    auto M = generateBenchmark(Ctx, smallProfile());
+    EngineConfig C;
+    C.CachePath = F.path();
+    ValidationEngine Engine(C);
+    EXPECT_EQ(Engine.cacheStats().StoreLoaded, 0u);
+    First = Engine.run(*M, getPaperPipeline()).Report;
+    EXPECT_GT(Engine.cacheStats().Misses, 0u);
+    EXPECT_EQ(Engine.cacheStats().WarmHits, 0u);
+    EXPECT_EQ(Engine.cacheStats().StoreSaved, Engine.cacheStats().Entries);
+    EXPECT_EQ(First.warmHits(), 0u);
+    ExpectedHits = Engine.cacheStats().Misses;
+  }
+  {
+    // "Process" 2: fresh Context and engine, same input; every verdict must
+    // replay warm — the acceptance criterion's 100% replay rate.
+    Context Ctx;
+    auto M = generateBenchmark(Ctx, smallProfile());
+    EngineConfig C;
+    C.CachePath = F.path();
+    ValidationEngine Engine(C);
+    EXPECT_EQ(Engine.cacheStats().StoreLoaded, ExpectedHits);
+    Second = Engine.run(*M, getPaperPipeline()).Report;
+    EXPECT_EQ(Engine.cacheStats().Misses, 0u) << "replay rate below 100%";
+    // Every hit this process saw came from the store (in-batch duplicates
+    // also resolve against the warm cache entry on a fully-warm run).
+    EXPECT_GE(Engine.cacheStats().Hits, ExpectedHits);
+    EXPECT_EQ(Engine.cacheStats().WarmHits, Engine.cacheStats().Hits);
+    EXPECT_EQ(Second.warmHits(), Second.cacheHits());
+    EXPECT_EQ(Second.warmHits(),
+              Second.transformed() - Second.skippedIdentical());
+  }
+
+  // Verdicts and statistics are identical across processes; only the
+  // replay-provenance flags (cache_hit/warm_hit) may differ.
+  ASSERT_EQ(First.Functions.size(), Second.Functions.size());
+  for (size_t I = 0; I < First.Functions.size(); ++I) {
+    const FunctionReportEntry &A = First.Functions[I];
+    const FunctionReportEntry &B = Second.Functions[I];
+    EXPECT_EQ(A.Name, B.Name);
+    EXPECT_EQ(A.FingerprintOrig, B.FingerprintOrig) << A.Name;
+    EXPECT_EQ(A.FingerprintOpt, B.FingerprintOpt) << A.Name;
+    EXPECT_EQ(A.Validated, B.Validated) << A.Name;
+    EXPECT_EQ(A.Result.Rewrites, B.Result.Rewrites) << A.Name;
+    EXPECT_EQ(A.Result.GraphNodes, B.Result.GraphNodes) << A.Name;
+    EXPECT_EQ(A.Result.SharingMerges, B.Result.SharingMerges) << A.Name;
+    EXPECT_EQ(A.Result.Reason, B.Result.Reason) << A.Name;
+  }
+}
+
+TEST(VerdictStoreTest, EngineRejectsAndRebuildsMismatchedStore) {
+  TempFile F("engine-mismatch.vstore");
+  {
+    Context Ctx;
+    auto M = generateBenchmark(Ctx, smallProfile());
+    EngineConfig C;
+    C.CachePath = F.path();
+    ValidationEngine Engine(C);
+    Engine.run(*M, getPaperPipeline());
+    ASSERT_GT(Engine.cacheStats().StoreSaved, 0u);
+  }
+  {
+    // Different fixpoint budget => different store config digest. The store
+    // must be rejected on load (not replayed!) and rebuilt on save.
+    Context Ctx;
+    auto M = generateBenchmark(Ctx, smallProfile());
+    EngineConfig C;
+    C.CachePath = F.path();
+    C.Rules.MaxIterations = 16;
+    ValidationEngine Engine(C);
+    EXPECT_EQ(Engine.cacheStats().StoreLoaded, 0u);
+    Engine.run(*M, getPaperPipeline());
+    EXPECT_GT(Engine.cacheStats().Misses, 0u);
+    EXPECT_EQ(Engine.cacheStats().WarmHits, 0u);
+  }
+  {
+    // And the rebuilt store now serves the new configuration warm.
+    Context Ctx;
+    auto M = generateBenchmark(Ctx, smallProfile());
+    EngineConfig C;
+    C.CachePath = F.path();
+    C.Rules.MaxIterations = 16;
+    ValidationEngine Engine(C);
+    EXPECT_GT(Engine.cacheStats().StoreLoaded, 0u);
+    Engine.run(*M, getPaperPipeline());
+    EXPECT_EQ(Engine.cacheStats().Misses, 0u);
+  }
+}
+
+TEST(VerdictStoreTest, CacheLoadOffStartsColdAndCacheSaveOffWritesNothing) {
+  TempFile F("engine-flags.vstore");
+  {
+    Context Ctx;
+    auto M = generateBenchmark(Ctx, smallProfile());
+    EngineConfig C;
+    C.CachePath = F.path();
+    C.CacheSave = false;
+    ValidationEngine Engine(C);
+    Engine.run(*M, getPaperPipeline());
+  }
+  EXPECT_FALSE(std::ifstream(F.path()).good()) << "CacheSave=false wrote";
+  {
+    Context Ctx;
+    auto M = generateBenchmark(Ctx, smallProfile());
+    EngineConfig C;
+    C.CachePath = F.path();
+    ValidationEngine Engine(C);
+    Engine.run(*M, getPaperPipeline());
+  }
+  {
+    Context Ctx;
+    auto M = generateBenchmark(Ctx, smallProfile());
+    EngineConfig C;
+    C.CachePath = F.path();
+    C.CacheLoad = false;
+    ValidationEngine Engine(C);
+    Engine.run(*M, getPaperPipeline());
+    EXPECT_EQ(Engine.cacheStats().StoreLoaded, 0u);
+    EXPECT_GT(Engine.cacheStats().Misses, 0u) << "CacheLoad=false replayed";
+  }
+}
+
+TEST(VerdictStoreTest, SuiteRunsShareTheStoreAcrossProcesses) {
+  TempFile F("suite.vstore");
+  auto MakeModules = [](Context &Ctx, std::vector<std::unique_ptr<Module>> &Own)
+      -> std::vector<const Module *> {
+    Own.push_back(generateBenchmark(Ctx, smallProfile()));
+    BenchmarkProfile P2 = getProfile("hmmer");
+    P2.FunctionCount = 6;
+    Own.push_back(generateBenchmark(Ctx, P2));
+    return {Own[0].get(), Own[1].get()};
+  };
+  std::string FirstJson;
+  {
+    Context Ctx;
+    std::vector<std::unique_ptr<Module>> Own;
+    EngineConfig C;
+    C.CachePath = F.path();
+    ValidationEngine Engine(C);
+    SuiteRun Run = Engine.runSuite(MakeModules(Ctx, Own), getPaperPipeline());
+    FirstJson = suiteToJSON(Run.Report);
+    EXPECT_GT(Engine.cacheStats().Misses, 0u);
+  }
+  {
+    Context Ctx;
+    std::vector<std::unique_ptr<Module>> Own;
+    EngineConfig C;
+    C.CachePath = F.path();
+    ValidationEngine Engine(C);
+    SuiteRun Run = Engine.runSuite(MakeModules(Ctx, Own), getPaperPipeline());
+    EXPECT_EQ(Engine.cacheStats().Misses, 0u) << "suite replay below 100%";
+    EXPECT_EQ(Run.Report.warmHits(), Run.Report.cacheHits());
+    EXPECT_EQ(Run.Report.warmHits(),
+              Run.Report.transformed() - Run.Report.skippedIdentical());
+  }
+}
