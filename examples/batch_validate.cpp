@@ -18,7 +18,18 @@
 //                        hardware)
 //     --stepwise         per-pass validation with guilty-pass attribution
 //     --all-rules        enable the libc/float/global extension rule sets
+//     --rule-mask N      set the rule mask explicitly (decimal or 0x hex);
+//                        a deliberately restricted mask provokes false
+//                        alarms for the triage path to explain
 //     --revert           revert functions that fail validation
+//     --triage           post-process every rejected pair on the pool:
+//                        differential witness search against the reference
+//                        interpreter, delta reduction to a minimal failing
+//                        pair, and rule-gap attribution for false alarms;
+//                        results land in all report formats
+//     --triage-inputs N  differential corpus size per pair (default 48)
+//     --triage-reduce N  delta-reduction budget in re-validations
+//                        (default 128; 0 disables reduction)
 //     --resubmit N       run the same module N times (N>1 demonstrates the
 //                        verdict cache: later runs replay memoized verdicts)
 //     --cache PATH       persistent verdict store: load before the first run
@@ -113,7 +124,11 @@ int main(int argc, char **argv) {
   bool Stepwise = false, AllRules = false, Revert = false;
   bool CacheLoad = false, CacheSave = false, ExpectWarm = false;
   bool PrintConfigDigest = false;
+  bool Triage = false;
+  bool HaveRuleMask = false;
+  unsigned RuleMask = 0;
   unsigned Threads = 0, Resubmit = 1;
+  unsigned TriageInputs = 48, TriageReduce = 128;
 
   // --cache/--cache-load/--cache-save may repeat but must agree on the
   // path, and the path is required: a following flag must not be eaten as
@@ -182,8 +197,36 @@ int main(int argc, char **argv) {
       Stepwise = true;
     else if (std::strcmp(argv[I], "--all-rules") == 0)
       AllRules = true;
-    else if (std::strcmp(argv[I], "--revert") == 0)
+    else if (std::strcmp(argv[I], "--rule-mask") == 0 && I + 1 < argc) {
+      char *End = nullptr;
+      unsigned long V = std::strtoul(argv[++I], &End, 0);
+      if (!End || *End != '\0' || V > RS_All) {
+        std::fprintf(stderr, "error: bad --rule-mask value '%s'\n", argv[I]);
+        return 1;
+      }
+      RuleMask = static_cast<unsigned>(V);
+      HaveRuleMask = true;
+    } else if (std::strcmp(argv[I], "--revert") == 0)
       Revert = true;
+    else if (std::strcmp(argv[I], "--triage") == 0)
+      Triage = true;
+    else if (std::strcmp(argv[I], "--triage-inputs") == 0 && I + 1 < argc) {
+      int V = std::atoi(argv[++I]);
+      if (V < 1 || V > 100000) {
+        std::fprintf(stderr, "error: bad --triage-inputs value '%s'\n",
+                     argv[I]);
+        return 1;
+      }
+      TriageInputs = static_cast<unsigned>(V);
+    } else if (std::strcmp(argv[I], "--triage-reduce") == 0 && I + 1 < argc) {
+      int V = std::atoi(argv[++I]);
+      if (V < 0 || V > 1000000) {
+        std::fprintf(stderr, "error: bad --triage-reduce value '%s'\n",
+                     argv[I]);
+        return 1;
+      }
+      TriageReduce = static_cast<unsigned>(V);
+    }
     else if (std::strcmp(argv[I], "--quiet") == 0)
       Quiet = true;
     else if (std::strcmp(argv[I], "--json") == 0) {
@@ -215,9 +258,14 @@ int main(int argc, char **argv) {
   C.Threads = Threads;
   if (AllRules)
     C.Rules.Mask = RS_All;
+  if (HaveRuleMask)
+    C.Rules.Mask = RuleMask;
   C.Granularity = Stepwise ? ValidationGranularity::PerPass
                            : ValidationGranularity::WholePipeline;
   C.RevertFailures = Revert;
+  C.Triage.Enabled = Triage;
+  C.Triage.MaxInputs = TriageInputs;
+  C.Triage.ReduceBudget = TriageReduce;
   C.CachePath = CachePath;
   C.CacheLoad = CacheLoad;
   C.CacheSave = CacheSave;

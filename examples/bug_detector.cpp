@@ -2,25 +2,36 @@
 //
 // Part of the llvm-md project (PLDI 2011 value-graph validation repro).
 //
-// Translation validation as a compiler-debugging tool: we play a buggy
-// optimizer by injecting deterministic miscompiles into optimized code and
-// show that the validator flags every observable one, while the reference
-// interpreter confirms each flagged pair really does behave differently.
+// Translation validation as a compiler-debugging tool, on the engine's
+// triage path: we play a buggy optimizer by injecting deterministic
+// miscompiles into optimized code, let the ValidationEngine validate every
+// pair in parallel, and let the triage subsystem post-process each
+// rejection — printing the concrete witness inputs the differential tester
+// found for every detected bug.
+//
+// Exit status 1 flags either direction of disagreement between the
+// validator and the interpreter:
+//  * a validated pair where the differential tester still finds diverging
+//    behavior (a soundness violation), or
+//  * a rejected pair whose triage classified it suspected-false-alarm even
+//    though a direct differential probe diverges (a triage defect — the
+//    probe corpus is the triage corpus, so this must not happen).
 //
 //   $ ./bug_detector [num-trials]
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/ValidationEngine.h"
 #include "ir/Cloning.h"
-#include "ir/Interpreter.h"
 #include "ir/Module.h"
 #include "opt/BugInjector.h"
 #include "opt/Pass.h"
-#include "validator/Validator.h"
+#include "triage/DifferentialTester.h"
 #include "workload/Generator.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 
 using namespace llvmmd;
 
@@ -33,60 +44,96 @@ int main(int argc, char **argv) {
   auto M = generateBenchmark(Ctx, P);
   auto Opt = cloneModule(*M);
 
+  // The "buggy compiler": a legitimate optimization pipeline followed by a
+  // deterministic injected miscompile per function.
   PassManager PM;
   PM.parsePipeline("gvn,sccp");
-  RuleConfig Rules;
-  Rules.Mask = RS_All;
-  Rules.M = M.get();
-
-  Interpreter IA(*M), IB(*Opt);
-  uint64_t SA = IA.materializeString("probe");
-  uint64_t SB = IB.materializeString("probe");
-
-  unsigned Caught = 0, Observable = 0, Silent = 0;
+  std::map<std::string, std::string> Bugs;
   uint64_t Seed = 0x5eed;
   for (Function *FO : Opt->definedFunctions()) {
-    PM.run(*FO); // a legitimate optimization first...
-    std::string Bug = injectBug(*FO, Seed++); // ...then the "compiler bug"
-    if (Bug.empty())
+    PM.run(*FO);
+    std::string Bug = injectBug(*FO, Seed++);
+    if (!Bug.empty())
+      Bugs[FO->getName()] = Bug;
+  }
+
+  // Validate + triage the whole module pair in one engine batch.
+  EngineConfig C;
+  C.Rules.Mask = RS_All;
+  C.Triage.Enabled = true;
+  ValidationEngine Engine(C);
+  ValidationReport Report = Engine.validateModules(*M, *Opt);
+
+  // The cross-check below is only sound because the probe replays exactly
+  // the corpus the engine's triage used (buildCorpus is a pure function of
+  // the signature and the input count) — read both knobs from the config.
+  DifferentialTester Probe(*M, *Opt, C.Triage.StepBudget);
+  const unsigned ProbeInputs = C.Triage.MaxInputs;
+  unsigned Caught = 0, Witnessed = 0, Silent = 0, Errors = 0;
+  for (const FunctionReportEntry &E : Report.Functions) {
+    auto BugIt = Bugs.find(E.Name);
+    if (BugIt == Bugs.end())
+      continue; // no mutation site: the pair only differs by optimization
+    const char *Verdict = E.Validated ? "ACCEPTED" : "rejected";
+    std::printf("%-14s %-40s %s\n", E.Name.c_str(), BugIt->second.c_str(),
+                Verdict);
+    if (E.Validated) {
+      // A sound validator may only accept when the bug is unobservable;
+      // cross-check with a direct differential probe.
+      DiffOutcome O = Probe.test(*M->getFunction(E.Name),
+                                 *Opt->getFunction(E.Name), ProbeInputs);
+      if (O.HasWitness) {
+        ++Errors;
+        std::printf("  ^^^ SOUNDNESS VIOLATION: accepted, but diverges on:\n");
+        for (const std::string &In : O.WitnessRendered)
+          std::printf("        %s\n", In.c_str());
+        std::printf("      %s\n", O.Divergence.c_str());
+      }
       continue;
-    Function *FI = M->getFunction(FO->getName());
-
-    // Does the bug change behavior on a few probe inputs?
-    bool Differs = false;
-    for (int T = 0; T < 4 && !Differs; ++T) {
-      std::vector<RtValue> ArgsA{RtValue::makeInt(T * 11 - 4),
-                                 RtValue::makeInt(5 - 2 * T),
-                                 RtValue::makePtr(SA)};
-      std::vector<RtValue> ArgsB{RtValue::makeInt(T * 11 - 4),
-                                 RtValue::makeInt(5 - 2 * T),
-                                 RtValue::makePtr(SB)};
-      ExecResult RA = IA.run(*FI, ArgsA);
-      ExecResult RB = IB.run(*FO, ArgsB);
-      if (RA.Status != ExecStatus::OK || RB.Status != ExecStatus::OK)
-        continue;
-      Differs = !(RA.Value == RB.Value) ||
-                IA.globalMemory() != IB.globalMemory();
     }
-
-    ValidationResult R = validatePair(*FI, *FO, Rules);
-    const char *Verdict = R.Validated ? "ACCEPTED" : "rejected";
-    std::printf("%-14s %-32s %-8s %s\n", FO->getName().c_str(), Bug.c_str(),
-                Verdict, Differs ? "(behavior differs)" : "");
-    if (Differs) {
-      ++Observable;
-      if (!R.Validated)
-        ++Caught;
-      else
-        std::printf("  ^^^ SOUNDNESS VIOLATION: observable bug accepted!\n");
-    } else if (!R.Validated) {
-      ++Silent; // rejected although no probe caught it: a false alarm or
-                // a bug our probes missed — either way the safe outcome
+    ++Caught;
+    switch (E.Triage.Classification) {
+    case TriageClassification::MiscompileWitnessed: {
+      ++Witnessed;
+      std::printf("  witness:");
+      for (const std::string &In : E.Triage.WitnessInputs)
+        std::printf(" %s", In.c_str());
+      std::printf("  ->  %s\n", E.Triage.WitnessDivergence.c_str());
+      if (E.Triage.Reduced)
+        std::printf("  reduced to %llu+%llu instructions\n",
+                    static_cast<unsigned long long>(E.Triage.OrigInstsAfter),
+                    static_cast<unsigned long long>(E.Triage.OptInstsAfter));
+      break;
+    }
+    case TriageClassification::SuspectedFalseAlarm: {
+      // The triage corpus covers the probe corpus, so a diverging probe
+      // here means the triage phase itself is broken.
+      DiffOutcome O = Probe.test(*M->getFunction(E.Name),
+                                 *Opt->getFunction(E.Name), ProbeInputs);
+      if (O.HasWitness) {
+        ++Errors;
+        std::printf("  ^^^ TRIAGE DEFECT: suspected-false-alarm but the "
+                    "probe diverges (%s)\n",
+                    O.Divergence.c_str());
+      } else {
+        ++Silent; // conservatively rejected, unobservable on the corpus
+        std::printf("  no witness on %u inputs: suspected false alarm%s%s\n",
+                    E.Triage.InputsTried,
+                    E.Triage.MissingRule.empty() ? "" : ", missing rule: ",
+                    E.Triage.MissingRule.c_str());
+      }
+      break;
+    }
+    default:
+      ++Silent;
+      break;
     }
   }
 
-  std::printf("\ncaught %u/%u observable miscompiles; %u unobservable "
-              "mutations conservatively rejected\n",
-              Caught, Observable, Silent);
-  return Caught == Observable ? 0 : 1;
+  std::printf("\n%u injected bugs: %u rejected (%u with concrete witness), "
+              "%u unobservable mutations conservatively rejected, %u "
+              "validator/interpreter disagreements\n",
+              static_cast<unsigned>(Bugs.size()), Caught, Witnessed, Silent,
+              Errors);
+  return Errors == 0 ? 0 : 1;
 }

@@ -1,16 +1,23 @@
 #!/usr/bin/env bash
 # check.sh - CI entry point: tier-1 verify plus a fig4 smoke run.
 #
-# Usage: scripts/check.sh [--tsan|--asan|--warm] [build-dir]
+# Usage: scripts/check.sh [--tsan|--asan|--warm|--triage] [build-dir]
 #
 #   (default)  tier-1 build + ctest, fig4 smoke, engine determinism checks
 #   --tsan     ThreadSanitizer build (CMake preset "tsan") running the
-#              engine + concurrent-interning tests — the same job CI runs
+#              engine + concurrent-interning + triage tests — the same job
+#              CI runs
 #   --asan     AddressSanitizer+UBSan build (preset "asan") running the
 #              full test suite — ditto
 #   --warm     local reproduction of the CI warm-cache job: two suite runs
 #              against a temp verdict store; the second must replay 100% of
 #              verdicts (batch_validate --expect-warm exits 3 otherwise)
+#   --triage   local reproduction of the CI triage job: the bug-injected
+#              corpus must agree with the interpreter (bug_detector exits
+#              nonzero on any validator/triage disagreement), triage JSON
+#              must be byte-identical across thread counts, and the
+#              restricted-rule-mask run must classify at least one alarm
+#              suspected-false-alarm with a named rule gap
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -27,6 +34,10 @@ case "${1:-}" in
   ;;
 --warm)
   MODE=warm
+  shift
+  ;;
+--triage)
+  MODE=triage
   shift
   ;;
 esac
@@ -65,6 +76,37 @@ if [ "$MODE" = warm ]; then
   run_warm --quiet
   run_warm --expect-warm
   echo "check.sh (warm): OK — second run replayed 100% of verdicts"
+  exit 0
+fi
+
+if [ "$MODE" = triage ]; then
+  # The CI triage job, locally. Three invariants:
+  #  1. On the bug-injected corpus the validator/triage never disagrees
+  #     with the reference interpreter: no accepted pair diverges, and no
+  #     rejected pair the probe can distinguish lacks a triage witness
+  #     (bug_detector exits 1 on either).
+  #  2. Triage reports are a pure function of the input: --triage JSON is
+  #     byte-identical across thread counts.
+  #  3. Under the deliberately restricted paper rule mask (the default —
+  #     no libc/float/global extension rules) at least one suite alarm is
+  #     classified suspected-false-alarm with a named missing rule.
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target batch_validate bug_detector
+  "$BUILD_DIR/bug_detector" 32
+
+  run_triage() {
+    local rc=0
+    "$BUILD_DIR/batch_validate" --profile sqlite --triage "$@" || rc=$?
+    [ "$rc" -eq 0 ] || [ "$rc" -eq 2 ]
+  }
+  run_triage --threads 1 --quiet --json "$BUILD_DIR/triage_t1.json"
+  run_triage --threads 8 --quiet --json "$BUILD_DIR/triage_t8.json"
+  cmp "$BUILD_DIR/triage_t1.json" "$BUILD_DIR/triage_t8.json"
+
+  grep -q '"classification": "suspected-false-alarm"' "$BUILD_DIR/triage_t1.json"
+  grep -q '"missing_rule": "[a-z-]*"' "$BUILD_DIR/triage_t1.json"
+  echo "check.sh (triage): OK — corpus witnessed, reports thread-count" \
+    "independent, rule gap attributed"
   exit 0
 fi
 

@@ -71,6 +71,20 @@ unsigned ValidationReport::skippedIdentical() const {
   return N;
 }
 
+unsigned ValidationReport::witnessed() const {
+  unsigned N = 0;
+  for (const auto &F : Functions)
+    N += F.Triage.Classification == TriageClassification::MiscompileWitnessed;
+  return N;
+}
+
+unsigned ValidationReport::suspectedFalseAlarms() const {
+  unsigned N = 0;
+  for (const auto &F : Functions)
+    N += F.Triage.Classification == TriageClassification::SuspectedFalseAlarm;
+  return N;
+}
+
 uint64_t ValidationReport::rewrites() const {
   uint64_t N = 0;
   for (const auto &F : Functions)
@@ -139,6 +153,13 @@ std::string llvmmd::reportToText(const ValidationReport &R) {
                 R.cacheHits(), R.warmHits(), R.skippedIdentical(),
                 R.rewrites(), R.graphNodes());
   OS << Buf;
+  if (R.witnessed() + R.suspectedFalseAlarms() > 0) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "  triage: %u miscompiles witnessed, %u suspected false "
+                  "alarms\n",
+                  R.witnessed(), R.suspectedFalseAlarms());
+    OS << Buf;
+  }
   // Multi-module suite runs interleave on one pool and leave per-module
   // wall time unattributed (zero); only validation time is per-module then.
   if (R.WallMicroseconds)
@@ -161,6 +182,34 @@ std::string llvmmd::reportToText(const ValidationReport &R) {
         OS << "  (" << F.Result.Reason << ")";
     }
     OS << '\n';
+    if (F.Triage.Classification != TriageClassification::NotRun) {
+      const TriageResult &T = F.Triage;
+      OS << "    triage: " << getTriageClassificationName(T.Classification);
+      if (T.Classification == TriageClassification::MiscompileWitnessed) {
+        OS << "  (";
+        for (size_t I = 0; I < T.WitnessInputs.size(); ++I)
+          OS << (I ? ", " : "") << T.WitnessInputs[I];
+        if (!T.WitnessInputs.empty())
+          OS << " -> ";
+        OS << T.WitnessDivergence << ')';
+      } else if (!T.MissingRule.empty()) {
+        OS << "  [missing rule: " << T.MissingRule << ']';
+      } else if (T.ClosedByAllRules) {
+        OS << "  [closed by combined extension rules]";
+      }
+      if (T.GapDiverged)
+        OS << "  (gap: " << T.GapNodeA << " vs " << T.GapNodeB << ')';
+      OS << '\n';
+      if (T.Reduced) {
+        std::snprintf(Buf, sizeof(Buf),
+                      "    reduced: %" PRIu64 "+%" PRIu64 " -> %" PRIu64
+                      "+%" PRIu64 " instructions (%u validations%s)\n",
+                      T.OrigInstsBefore, T.OptInstsBefore, T.OrigInstsAfter,
+                      T.OptInstsAfter, T.ReduceValidations,
+                      T.ReduceMinimal ? "" : ", budget exhausted");
+        OS << Buf;
+      }
+    }
     for (const auto &S : F.Steps) {
       if (!S.Changed)
         continue;
@@ -207,7 +256,8 @@ void emitCSVRows(std::ostringstream &OS, const ValidationReport &R,
   auto EmitRow = [&](const std::string &Fn, const std::string &Pass,
                      bool Transformed, bool Validated, bool CacheHit,
                      bool WarmHit, bool Skipped, bool Reverted,
-                     const std::string &Guilty, const ValidationResult &Res) {
+                     const std::string &Guilty, const ValidationResult &Res,
+                     const TriageResult *T) {
     if (ModuleName)
       OS << csvEscape(*ModuleName) << ',';
     OS << csvEscape(Fn) << ',' << csvEscape(Pass) << ',' << Transformed << ','
@@ -217,22 +267,35 @@ void emitCSVRows(std::ostringstream &OS, const ValidationReport &R,
                   "%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",",
                   Res.Rewrites, Res.GraphNodes, Res.Iterations,
                   Res.Microseconds);
-    OS << Buf << csvEscape(Res.Reason) << '\n';
+    OS << Buf << csvEscape(Res.Reason) << ',';
+    if (T && T->Classification != TriageClassification::NotRun) {
+      OS << getTriageClassificationName(T->Classification) << ',';
+      std::string Witness;
+      for (size_t I = 0; I < T->WitnessInputs.size(); ++I)
+        Witness += (I ? "; " : "") + T->WitnessInputs[I];
+      if (!T->WitnessDivergence.empty())
+        Witness += (Witness.empty() ? "" : " -> ") + T->WitnessDivergence;
+      OS << csvEscape(Witness) << ',' << csvEscape(T->MissingRule);
+    } else {
+      OS << ",,";
+    }
+    OS << '\n';
   };
   for (const auto &F : R.Functions) {
     EmitRow(F.Name, "", F.Transformed, F.Validated, F.CacheHit, F.WarmHit,
-            F.SkippedIdentical, F.Reverted, F.GuiltyPass, F.Result);
+            F.SkippedIdentical, F.Reverted, F.GuiltyPass, F.Result,
+            &F.Triage);
     for (const auto &S : F.Steps)
       if (S.Changed)
         EmitRow(F.Name, S.Pass, S.Changed, S.Validated, S.CacheHit, S.WarmHit,
-                S.SkippedIdentical, false, "", S.Result);
+                S.SkippedIdentical, false, "", S.Result, nullptr);
   }
 }
 
 const char *CSVColumns =
     "function,pass,transformed,validated,cache_hit,warm_hit,"
     "skipped_identical,reverted,guilty_pass,rewrites,graph_nodes,iterations,"
-    "us,reason\n";
+    "us,reason,triage,witness,missing_rule\n";
 
 } // namespace
 
@@ -285,6 +348,47 @@ std::string hex64(uint64_t V) {
   return Buf;
 }
 
+/// Emits the per-function "triage" value: null when triage did not run,
+/// otherwise a flat object. Deterministic (no timing fields).
+void emitTriage(std::ostringstream &OS, const TriageResult &T) {
+  if (T.Classification == TriageClassification::NotRun) {
+    OS << "null";
+    return;
+  }
+  OS << "{\"classification\": \""
+     << getTriageClassificationName(T.Classification) << '"'
+     << ", \"inputs_tried\": " << T.InputsTried
+     << ", \"inputs_skipped\": " << T.InputsSkipped;
+  if (T.Classification == TriageClassification::MiscompileWitnessed) {
+    OS << ", \"witness_inputs\": [";
+    for (size_t I = 0; I < T.WitnessInputs.size(); ++I)
+      OS << (I ? ", " : "") << '"' << jsonEscape(T.WitnessInputs[I]) << '"';
+    OS << "], \"witness_divergence\": \"" << jsonEscape(T.WitnessDivergence)
+       << '"';
+  }
+  OS << ", \"reduced\": " << (T.Reduced ? "true" : "false");
+  if (T.Reduced)
+    OS << ", \"reduce_minimal\": " << (T.ReduceMinimal ? "true" : "false")
+       << ", \"reduce_validations\": " << T.ReduceValidations
+       << ", \"insts_before\": [" << T.OrigInstsBefore << ", "
+       << T.OptInstsBefore << "], \"insts_after\": [" << T.OrigInstsAfter
+       << ", " << T.OptInstsAfter << ']';
+  if (T.GapRan) {
+    OS << ", \"gap\": {\"diverged\": " << (T.GapDiverged ? "true" : "false");
+    if (T.GapDiverged)
+      OS << ", \"node_a\": \"" << jsonEscape(T.GapNodeA) << "\", \"node_b\": \""
+         << jsonEscape(T.GapNodeB) << '"';
+    OS << ", \"missing_rule\": ";
+    if (T.MissingRule.empty())
+      OS << "null";
+    else
+      OS << '"' << T.MissingRule << '"';
+    OS << ", \"closed_by_all_rules\": "
+       << (T.ClosedByAllRules ? "true" : "false") << '}';
+  }
+  OS << '}';
+}
+
 void emitResult(std::ostringstream &OS, const ValidationResult &Res,
                 bool IncludeTiming) {
   OS << "\"rewrites\": " << Res.Rewrites
@@ -330,6 +434,8 @@ void emitReportJSON(std::ostringstream &OS, const ValidationReport &R,
      << ", \"cache_hits\": " << R.cacheHits()
      << ", \"warm_hits\": " << R.warmHits()
      << ", \"skipped_identical\": " << R.skippedIdentical()
+     << ", \"witnessed\": " << R.witnessed()
+     << ", \"suspected_false_alarms\": " << R.suspectedFalseAlarms()
      << ", \"rewrites\": " << R.rewrites()
      << ", \"graph_nodes\": " << R.graphNodes();
   std::snprintf(Buf, sizeof(Buf), "%.6f", R.validationRate());
@@ -354,6 +460,8 @@ void emitReportJSON(std::ostringstream &OS, const ValidationReport &R,
       OS << "null";
     else
       OS << '"' << jsonEscape(F.GuiltyPass) << '"';
+    OS << ", \"triage\": ";
+    emitTriage(OS, F.Triage);
     OS << ", ";
     emitResult(OS, F.Result, IncludeTiming);
     if (!F.Steps.empty()) {
@@ -434,6 +542,14 @@ unsigned SuiteReport::skippedIdentical() const {
   return sumModules(Modules, &ValidationReport::skippedIdentical);
 }
 
+unsigned SuiteReport::witnessed() const {
+  return sumModules(Modules, &ValidationReport::witnessed);
+}
+
+unsigned SuiteReport::suspectedFalseAlarms() const {
+  return sumModules(Modules, &ValidationReport::suspectedFalseAlarms);
+}
+
 double SuiteReport::validationRate() const {
   unsigned T = transformed();
   return T == 0 ? 1.0 : static_cast<double>(validated()) / T;
@@ -453,6 +569,13 @@ std::string llvmmd::suiteToText(const SuiteReport &S) {
                 100.0 * S.validationRate(), S.reverted(), S.cacheHits(),
                 S.warmHits(), S.skippedIdentical());
   OS << Buf;
+  if (S.witnessed() + S.suspectedFalseAlarms() > 0) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "  triage: %u miscompiles witnessed, %u suspected false "
+                  "alarms\n",
+                  S.witnessed(), S.suspectedFalseAlarms());
+    OS << Buf;
+  }
   std::snprintf(Buf, sizeof(Buf), "  %.2f ms wall on %u threads\n",
                 S.WallMicroseconds / 1000.0, S.Threads);
   OS << Buf;
@@ -491,7 +614,9 @@ std::string llvmmd::suiteToJSON(const SuiteReport &S, bool IncludeTiming) {
      << ", \"reverted\": " << S.reverted()
      << ", \"cache_hits\": " << S.cacheHits()
      << ", \"warm_hits\": " << S.warmHits()
-     << ", \"skipped_identical\": " << S.skippedIdentical();
+     << ", \"skipped_identical\": " << S.skippedIdentical()
+     << ", \"witnessed\": " << S.witnessed()
+     << ", \"suspected_false_alarms\": " << S.suspectedFalseAlarms();
   std::snprintf(Buf, sizeof(Buf), "%.6f", S.validationRate());
   OS << ", \"validation_rate\": " << Buf << "},\n";
   OS << "  \"modules\": [";

@@ -20,6 +20,7 @@
 #ifndef LLVMMD_DRIVER_REPORT_H
 #define LLVMMD_DRIVER_REPORT_H
 
+#include "triage/Triage.h"
 #include "validator/Validator.h"
 
 #include <cstdint>
@@ -65,6 +66,9 @@ struct FunctionReportEntry {
   /// iff every changed step validated, statistics summed over the steps.
   ValidationResult Result;
   std::vector<StepReport> Steps; ///< populated only in stepwise mode
+  /// Alarm triage for rejected pairs (Classification == NotRun when the
+  /// function validated or the engine's triage phase is disabled).
+  TriageResult Triage;
 };
 
 struct ValidationReport {
@@ -87,6 +91,10 @@ struct ValidationReport {
   /// in-process replays.
   unsigned warmHits() const;
   unsigned skippedIdentical() const;
+  /// Triage roll-ups: rejected pairs with a concrete interpreter witness /
+  /// classified suspected-false-alarm (both 0 when triage is off).
+  unsigned witnessed() const;
+  unsigned suspectedFalseAlarms() const;
   uint64_t rewrites() const;
   uint64_t graphNodes() const;
   /// Sum of per-pair validation wall times (CPU-ish time; exceeds
@@ -131,6 +139,8 @@ struct SuiteReport {
   unsigned cacheHits() const;
   unsigned warmHits() const;
   unsigned skippedIdentical() const;
+  unsigned witnessed() const;
+  unsigned suspectedFalseAlarms() const;
   double validationRate() const;
 };
 

@@ -43,15 +43,7 @@ void restoreBody(const Function &Src, Function &Dst, Module &DstModule) {
   Dst.dropBody();
   std::map<const Value *, Value *> VMap;
   cloneFunctionBody(Src, Dst, VMap);
-  for (const auto &BB : Dst.blocks()) {
-    for (Instruction *I : *BB) {
-      for (unsigned OpI = 0, E = I->getNumOperands(); OpI != E; ++OpI)
-        if (auto *GV = dyn_cast<GlobalVariable>(I->getOperand(OpI)))
-          I->setOperand(OpI, DstModule.getGlobal(GV->getName()));
-      if (auto *Call = dyn_cast<CallInst>(I))
-        Call->setCallee(DstModule.getFunction(Call->getCallee()->getName()));
-    }
-  }
+  remapModuleReferences(Dst, DstModule);
 }
 
 uint64_t nowMicroseconds(std::chrono::steady_clock::time_point Start) {
@@ -497,27 +489,12 @@ SuiteRun ValidationEngine::runModules(const std::vector<const Module *> &Mods,
   executeBatch(B, Reports);
 
   //===--------------------------------------------------------------------===//
-  // Phase 3 (sequential): synthesize stepwise verdicts, attribute guilt,
-  // revert failures.
+  // Phase 3 (sequential): synthesize stepwise verdicts and attribute guilt.
   //===--------------------------------------------------------------------===//
 
-  /// One revert task: re-clone the certified body \p Src over \p Dst in
-  /// \p DstModule. Targets are resolved sequentially; the cloning itself is
-  /// scheduled per function on the pool (tasks touch disjoint functions and
-  /// intern through the lock-striped Context, same argument as phase 1).
-  struct RevertTask {
-    const Function *Src = nullptr;
-    Function *Dst = nullptr;
-    Module *DstModule = nullptr;
-  };
-  std::vector<RevertTask> Reverts;
-
-  for (size_t Mi = 0; Mi < States.size(); ++Mi) {
-    ModuleRunState &S = States[Mi];
-    ValidationReport &R = *S.Report;
-
-    if (Stepwise) {
-      for (FunctionReportEntry &E : R.Functions) {
+  if (Stepwise) {
+    for (size_t Mi = 0; Mi < States.size(); ++Mi) {
+      for (FunctionReportEntry &E : States[Mi].Report->Functions) {
         if (!E.Transformed)
           continue;
         ValidationResult Sum;
@@ -543,6 +520,56 @@ SuiteRun ValidationEngine::runModules(const std::vector<const Module *> &Mods,
         E.Result = std::move(Sum);
       }
     }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Phase 4 (parallel): triage every rejected pair. Must precede the
+  // revert phase, which overwrites the failing optimized bodies. Tasks are
+  // collected in deterministic submission order and each writes only its
+  // own report entry; triagePair itself is a pure function of the pair and
+  // the configuration, so reports stay byte-identical for any thread
+  // count. Scratch modules intern through the lock-striped Context, the
+  // same isolation argument as the optimize phase.
+  //===--------------------------------------------------------------------===//
+
+  if (Cfg.Triage.Enabled) {
+    std::vector<std::pair<unsigned, size_t>> TriageTasks;
+    for (size_t Mi = 0; Mi < States.size(); ++Mi) {
+      const ValidationReport &R = *States[Mi].Report;
+      for (size_t Fi = 0; Fi < R.Functions.size(); ++Fi) {
+        const FunctionReportEntry &E = R.Functions[Fi];
+        if (E.Transformed && !E.Validated)
+          TriageTasks.emplace_back(static_cast<unsigned>(Mi), Fi);
+      }
+    }
+    Pool.parallelFor(TriageTasks.size(), [&](size_t I) {
+      auto [Mi, Fi] = TriageTasks[I];
+      ModuleRunState &S = States[Mi];
+      TriagePair TP{S.Orig, S.Origs[Fi], S.Opt, S.Defined[Fi]};
+      Reports[Mi]->Functions[Fi].Triage =
+          triagePair(TP, B.ModuleRules[Mi], Cfg.Triage);
+    });
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Phase 5: revert failures. Targets are resolved sequentially; the
+  // re-cloning runs one task per function on the pool.
+  //===--------------------------------------------------------------------===//
+
+  /// One revert task: re-clone the certified body \p Src over \p Dst in
+  /// \p DstModule. Targets are resolved sequentially; the cloning itself is
+  /// scheduled per function on the pool (tasks touch disjoint functions and
+  /// intern through the lock-striped Context, same argument as phase 1).
+  struct RevertTask {
+    const Function *Src = nullptr;
+    Function *Dst = nullptr;
+    Module *DstModule = nullptr;
+  };
+  std::vector<RevertTask> Reverts;
+
+  for (size_t Mi = 0; Mi < States.size(); ++Mi) {
+    ModuleRunState &S = States[Mi];
+    ValidationReport &R = *S.Report;
 
     if (Cfg.RevertFailures) {
       for (size_t Fi = 0; Fi < S.Defined.size(); ++Fi) {
@@ -603,6 +630,9 @@ ValidationReport ValidationEngine::validateModules(const Module &Original,
   B.ModuleRules.push_back(Rules);
 
   std::vector<Function *> Defined = Optimized.definedFunctions();
+  /// Original-side counterparts (null when absent), kept for the triage
+  /// phase below.
+  std::vector<const Function *> Counterparts(Defined.size(), nullptr);
   for (size_t Fi = 0; Fi < Defined.size(); ++Fi) {
     const Function *F = Defined[Fi];
     const Function *Orig = Original.getFunction(F->getName());
@@ -626,6 +656,7 @@ ValidationReport ValidationEngine::validateModules(const Module &Original,
       continue;
     }
     E.Transformed = true;
+    Counterparts[Fi] = Orig;
     Report.Functions.push_back(std::move(E));
     scheduleValidation(B, 0, Report.Functions.back().FingerprintOrig,
                        Report.Functions.back().FingerprintOpt, Orig, F, Fi,
@@ -634,6 +665,23 @@ ValidationReport ValidationEngine::validateModules(const Module &Original,
 
   std::vector<ValidationReport *> Reports{&Report};
   executeBatch(B, Reports);
+
+  // Triage every rejected pair, exactly like the optimize-and-validate
+  // path: deterministic task order, one report slot per task.
+  if (Cfg.Triage.Enabled) {
+    std::vector<size_t> TriageTasks;
+    for (size_t Fi = 0; Fi < Defined.size(); ++Fi) {
+      const FunctionReportEntry &E = Report.Functions[Fi];
+      if (E.Transformed && !E.Validated && Counterparts[Fi])
+        TriageTasks.push_back(Fi);
+    }
+    Pool.parallelFor(TriageTasks.size(), [&](size_t I) {
+      size_t Fi = TriageTasks[I];
+      TriagePair TP{&Original, Counterparts[Fi], &Optimized, Defined[Fi]};
+      Report.Functions[Fi].Triage = triagePair(TP, Rules, Cfg.Triage);
+    });
+  }
+
   if (!Cfg.CachePath.empty() && Cfg.CacheSave && CacheDirty)
     saveCache();
   Report.WallMicroseconds = nowMicroseconds(Start);

@@ -47,6 +47,7 @@
 #include "driver/ThreadPool.h"
 #include "driver/VerdictStore.h"
 #include "normalize/Rules.h"
+#include "triage/Triage.h"
 
 #include <memory>
 #include <string>
@@ -87,6 +88,11 @@ struct EngineConfig {
   /// With CachePath set: save the cache back (atomically, merging the
   /// current on-disk contents) after every run that memoized new verdicts.
   bool CacheSave = true;
+  /// Alarm triage (src/triage/): with Triage.Enabled, every rejected pair
+  /// is post-processed on the shared pool — differential witness search,
+  /// delta reduction, rule-gap attribution — and the TriageResult lands in
+  /// the function's report entry. Deterministic across thread counts.
+  TriageOptions Triage;
 };
 
 struct EngineCacheStats {

@@ -218,3 +218,21 @@ std::unique_ptr<Module> llvmmd::cloneModule(const Module &M) {
   }
   return New;
 }
+
+void llvmmd::remapModuleReferences(Function &F, Module &DstModule) {
+  for (const auto &BB : F.blocks()) {
+    for (Instruction *I : *BB) {
+      for (unsigned OpI = 0, E = I->getNumOperands(); OpI != E; ++OpI)
+        if (auto *GV = dyn_cast<GlobalVariable>(I->getOperand(OpI))) {
+          GlobalVariable *NG = DstModule.getGlobal(GV->getName());
+          assert(NG && "global missing from destination module");
+          I->setOperand(OpI, NG);
+        }
+      if (auto *Call = dyn_cast<CallInst>(I)) {
+        Function *NF = DstModule.getFunction(Call->getCallee()->getName());
+        assert(NF && "callee missing from destination module");
+        Call->setCallee(NF);
+      }
+    }
+  }
+}

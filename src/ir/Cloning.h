@@ -36,6 +36,13 @@ std::unique_ptr<Module> cloneModule(const Module &M);
 void cloneFunctionBody(const Function &Src, Function &Dst,
                        std::map<const Value *, Value *> &VMap);
 
+/// Re-points \p F's global-variable operands and call targets at
+/// \p DstModule's same-named entities. The fixup every cross-module body
+/// clone needs (the engine's revert phase, triage's scratch extraction):
+/// cloneFunctionBody copies operands verbatim, so they still reference the
+/// source module until remapped.
+void remapModuleReferences(Function &F, Module &DstModule);
+
 /// Clones \p Blocks (all in \p F) appending " \p Suffix"-named copies to
 /// \p F. Operands, phi incoming blocks and branch targets referring to
 /// cloned values/blocks are remapped; external references are left as is

@@ -121,12 +121,18 @@ public:
     const BasicBlock *Cur = F.getEntryBlock();
     const BasicBlock *Prev = nullptr;
     while (true) {
-      // Parallel phi evaluation at block entry.
+      // Parallel phi evaluation at block entry. The lookup is checked, not
+      // asserted: triage interprets reduced and mutated IR, and a phi with
+      // no entry for the taken edge must surface as a skippable non-OK run,
+      // never undefined behavior.
       if (Prev) {
         std::vector<std::pair<const PhiNode *, RtValue>> PhiVals;
         for (const PhiNode *P : Cur->phis()) {
+          int Idx = P->getBlockIndex(Prev);
+          if (Idx < 0)
+            return {ExecStatus::Unsupported, "phi has no entry for edge"};
           RtValue V;
-          Signal S = eval(P->getIncomingValueForBlock(Prev), V);
+          Signal S = eval(P->getIncomingValue(static_cast<unsigned>(Idx)), V);
           if (!S.isOK())
             return S;
           PhiVals.emplace_back(P, V);

@@ -15,35 +15,86 @@ using namespace llvmmd;
 
 namespace {
 
+enum MutationKind : int {
+  MK_PredFlip = 0,
+  MK_ConstBump,
+  MK_OperandSwap,
+  MK_StoreDrop,
+  MK_BranchSwap,
+  MK_GepShift,
+  MK_FpReassoc,
+};
+
+const char *familyName(int Kind) {
+  switch (Kind) {
+  case MK_PredFlip:
+    return "pred-flip";
+  case MK_ConstBump:
+    return "const-bump";
+  case MK_OperandSwap:
+    return "operand-swap";
+  case MK_StoreDrop:
+    return "store-drop";
+  case MK_BranchSwap:
+    return "branch-swap";
+  case MK_GepShift:
+    return "gep-shift";
+  case MK_FpReassoc:
+    return "fp-reassoc";
+  }
+  return "?";
+}
+
 /// A candidate mutation with an applier.
 struct Mutation {
   std::string Desc;
   Instruction *Target;
-  int Kind; // 0: flip pred, 1: bump const, 2: swap sub ops, 3: drop store,
-            // 4: swap branch successors
+  int Kind;
 };
 
 } // namespace
 
-std::string llvmmd::injectBug(Function &F, uint64_t Seed) {
+const std::vector<std::string> &llvmmd::getBugFamilies() {
+  static const std::vector<std::string> Families = {
+      "pred-flip",   "const-bump", "operand-swap", "store-drop",
+      "branch-swap", "gep-shift",  "fp-reassoc",
+  };
+  return Families;
+}
+
+std::string llvmmd::injectBug(Function &F, uint64_t Seed,
+                              const std::string &Family) {
   if (F.isDeclaration())
     return "";
   Context &Ctx = F.getParent()->getContext();
   std::vector<Mutation> Candidates;
+  auto Consider = [&](int Kind, const std::string &Detail, Instruction *I) {
+    if (!Family.empty() && Family != familyName(Kind))
+      return;
+    Candidates.push_back({std::string(familyName(Kind)) + ": " + Detail, I,
+                          Kind});
+  };
   for (const auto &BB : F.blocks()) {
     for (Instruction *I : *BB) {
       if (isa<ICmpInst>(I))
-        Candidates.push_back({"flip predicate of " + I->getName(), I, 0});
+        Consider(MK_PredFlip, "flip predicate of " + I->getName(), I);
       if (I->isBinaryOp() && isa<ConstantInt>(I->getOperand(1)))
-        Candidates.push_back({"bump constant in " + I->getName(), I, 1});
+        Consider(MK_ConstBump, "bump constant in " + I->getName(), I);
       if (I->getOpcode() == Opcode::Sub &&
           I->getOperand(0) != I->getOperand(1))
-        Candidates.push_back({"swap sub operands of " + I->getName(), I, 2});
+        Consider(MK_OperandSwap, "swap sub operands of " + I->getName(), I);
       if (isa<StoreInst>(I))
-        Candidates.push_back({"drop a store", I, 3});
+        Consider(MK_StoreDrop, "drop a store", I);
       if (auto *Br = dyn_cast<BranchInst>(I))
-        if (Br->isConditional())
-          Candidates.push_back({"swap branch successors", I, 4});
+        if (Br->isConditional() && Br->getSuccessor(0) != Br->getSuccessor(1))
+          Consider(MK_BranchSwap, "swap branch successors", I);
+      if (isa<GEPInst>(I))
+        Consider(MK_GepShift, "shift GEP index of " + I->getName(), I);
+      if (I->isBinaryOp() && isFloatBinaryOp(I->getOpcode()) &&
+          isCommutativeOp(I->getOpcode()))
+        if (auto *L = dyn_cast<BinaryOperator>(I->getOperand(0)))
+          if (L->getOpcode() == I->getOpcode())
+            Consider(MK_FpReassoc, "reassociate " + I->getName(), I);
     }
   }
   if (Candidates.empty())
@@ -51,32 +102,72 @@ std::string llvmmd::injectBug(Function &F, uint64_t Seed) {
   SplitMixRng Rng(Seed);
   Mutation &M = Candidates[Rng.below(Candidates.size())];
   switch (M.Kind) {
-  case 0: {
+  case MK_PredFlip: {
     auto *Cmp = cast<ICmpInst>(M.Target);
     Cmp->setPred(invertPred(Cmp->getPred()));
     break;
   }
-  case 1: {
+  case MK_ConstBump: {
     const auto *C = cast<ConstantInt>(M.Target->getOperand(1));
     M.Target->setOperand(
         1, Ctx.getInt(C->getType(), C->getSExtValue() + 1));
     break;
   }
-  case 2: {
+  case MK_OperandSwap: {
     Value *L = M.Target->getOperand(0);
     Value *R = M.Target->getOperand(1);
     M.Target->setOperand(0, R);
     M.Target->setOperand(1, L);
     break;
   }
-  case 3:
+  case MK_StoreDrop:
     M.Target->getParent()->erase(M.Target);
     break;
-  case 4: {
+  case MK_BranchSwap: {
     auto *Br = cast<BranchInst>(M.Target);
     BasicBlock *T = Br->getSuccessor(0);
     Br->setSuccessor(0, Br->getSuccessor(1));
     Br->setSuccessor(1, T);
+    break;
+  }
+  case MK_GepShift: {
+    // Shift the address by one element: constant indices are bumped in
+    // place, variable indices gain an `add idx, 1` right before the GEP.
+    auto *Gep = cast<GEPInst>(M.Target);
+    Value *Idx = Gep->getIndex();
+    if (const auto *CI = dyn_cast<ConstantInt>(Idx)) {
+      Gep->setOperand(1, Ctx.getInt(CI->getType(), CI->getSExtValue() + 1));
+    } else {
+      auto *Bump = new BinaryOperator(Opcode::Add, Idx,
+                                      Ctx.getInt(Idx->getType(), 1));
+      Bump->setName(Gep->getName() + ".shift");
+      BasicBlock *BB = Gep->getParent();
+      for (auto It = BB->begin(); It != BB->end(); ++It)
+        if (*It == Gep) {
+          BB->insert(It, Bump);
+          break;
+        }
+      Gep->setOperand(1, Bump);
+    }
+    break;
+  }
+  case MK_FpReassoc: {
+    // (a op b) op c -> a op (b op c); a semantics change under the strict
+    // FP semantics both the interpreter and the validator implement.
+    auto *L = cast<BinaryOperator>(M.Target->getOperand(0));
+    Value *A = L->getOperand(0);
+    Value *B = L->getOperand(1);
+    Value *C = M.Target->getOperand(1);
+    auto *Right = new BinaryOperator(M.Target->getOpcode(), B, C);
+    Right->setName(M.Target->getName() + ".ra");
+    BasicBlock *BB = M.Target->getParent();
+    for (auto It = BB->begin(); It != BB->end(); ++It)
+      if (*It == M.Target) {
+        BB->insert(It, Right);
+        break;
+      }
+    M.Target->setOperand(0, A);
+    M.Target->setOperand(1, Right);
     break;
   }
   default:

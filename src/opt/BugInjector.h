@@ -6,8 +6,22 @@
 ///
 /// \file
 /// Deliberately introduces a semantics-changing mutation into a function.
-/// Used by the negative tests: a sound validator must reject every function
-/// pair where the "optimized" side was produced by the injector.
+/// Used by the negative tests (a sound validator must reject every function
+/// pair where the "optimized" side was produced by the injector) and by the
+/// triage subsystem's bug corpus (every injected bug should earn a concrete
+/// interpreter witness).
+///
+/// Mutations come in named families:
+///   * `pred-flip`    — invert an icmp predicate
+///   * `const-bump`   — add one to a binary operator's constant operand
+///   * `operand-swap` — swap the operands of a subtraction
+///   * `store-drop`   — delete a store (memory family)
+///   * `gep-shift`    — shift a getelementptr index by one element
+///                      (memory family)
+///   * `branch-swap`  — swap the arms of a conditional branch
+///                      (control-flow family)
+///   * `fp-reassoc`   — reassociate (a fop b) fop c into a fop (b fop c),
+///                      unsound under strict FP semantics
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,15 +30,22 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace llvmmd {
 
 class Function;
 
+/// All mutation family names, in candidate-collection order.
+const std::vector<std::string> &getBugFamilies();
+
 /// Mutates \p F with a deterministic pseudo-random miscompile chosen by
-/// \p Seed. Returns a description of the mutation, or an empty string if no
-/// applicable mutation site was found (e.g. a function with no candidates).
-std::string injectBug(Function &F, uint64_t Seed);
+/// \p Seed. With a non-empty \p Family, only candidates of that mutation
+/// family are considered. Returns a description string that starts with
+/// the family name ("gep-shift: ..."), or an empty string if no applicable
+/// mutation site was found.
+std::string injectBug(Function &F, uint64_t Seed,
+                      const std::string &Family = "");
 
 } // namespace llvmmd
 

@@ -1,0 +1,288 @@
+//===- DifferentialTester.cpp - Interpreter-backed witness search -------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "triage/DifferentialTester.h"
+
+#include "ir/Module.h"
+#include "support/Hashing.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+using namespace llvmmd;
+
+namespace {
+
+/// The shared string table: what pointer parameters point at. The workload
+/// generator feeds pointer parameters to the modeled libc (strlen, atoi),
+/// so the boundary set covers empty, numeric, negative-numeric and plain
+/// text strings.
+const char *const StringTable[] = {
+    "", "0", "7", "-42", "123", "probe", "hello world", "999999999",
+};
+constexpr unsigned NumStrings = sizeof(StringTable) / sizeof(StringTable[0]);
+
+/// Integer boundary values; truncated to the parameter width at resolve
+/// time. Small values dominate because generated loop trip counts are
+/// masked to small ranges.
+const int64_t IntBoundary[] = {
+    0,    1,   -1,    2,     -2,     3,     5,          7,           8,
+    15,   16,  17,    -16,   31,     64,    127,        -128,        255,
+    -256, 1024, 32767, -32768, 2147483647, -2147483648LL, 4294967295LL,
+};
+constexpr unsigned NumIntBoundary = sizeof(IntBoundary) / sizeof(IntBoundary[0]);
+
+/// Float boundaries, including catastrophic-cancellation magnitudes that
+/// witness reassociation bugs ((1e16 + 1) + 2 != 1e16 + (1 + 2)).
+const double FloatBoundary[] = {
+    0.0, 1.0, -1.0, 2.0, 0.5, -0.5, 3.0, 0.25, 1e16, -1e16, 1e-3, 100.0,
+};
+constexpr unsigned NumFloatBoundary =
+    sizeof(FloatBoundary) / sizeof(FloatBoundary[0]);
+
+/// Value equality with triage semantics: NaNs of any payload are equal
+/// (both sides failed the same way), pointers are compared by the caller's
+/// policy, integers exactly.
+bool scalarEquals(const RtValue &A, const RtValue &B) {
+  if (A.K != B.K)
+    return false;
+  switch (A.K) {
+  case RtValue::Kind::Int:
+    return A.Int == B.Int;
+  case RtValue::Kind::Float:
+    if (std::isnan(A.Float) && std::isnan(B.Float))
+      return true;
+    return A.Float == B.Float;
+  case RtValue::Kind::Ptr:
+    return A.Ptr == B.Ptr;
+  }
+  return false;
+}
+
+std::string renderValue(const RtValue &V) {
+  char Buf[64];
+  switch (V.K) {
+  case RtValue::Kind::Int:
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V.Int));
+    break;
+  case RtValue::Kind::Float:
+    std::snprintf(Buf, sizeof(Buf), "%.17g", V.Float);
+    break;
+  case RtValue::Kind::Ptr:
+    std::snprintf(Buf, sizeof(Buf), "ptr:0x%llx",
+                  static_cast<unsigned long long>(V.Ptr));
+    break;
+  }
+  return Buf;
+}
+
+} // namespace
+
+DifferentialTester::DifferentialTester(const Module &MA, const Module &MB,
+                                       uint64_t StepBudget)
+    : IA(MA, StepBudget), IB(MB, StepBudget) {
+  StrAddrsA.reserve(NumStrings);
+  StrAddrsB.reserve(NumStrings);
+  for (unsigned I = 0; I < NumStrings; ++I) {
+    StrAddrsA.push_back(IA.materializeString(StringTable[I]));
+    StrAddrsB.push_back(IB.materializeString(StringTable[I]));
+  }
+  std::set<std::string> NamesA, NamesB;
+  for (const auto &G : MA.globals())
+    NamesA.insert(G->getName());
+  for (const auto &G : MB.globals())
+    NamesB.insert(G->getName());
+  CompareMemory = NamesA == NamesB;
+}
+
+RtValue DifferentialTester::resolve(const AbstractArg &Arg, bool SideA) const {
+  switch (Arg.K) {
+  case AbstractArg::Kind::Int:
+    return RtValue::makeInt(Arg.Int);
+  case AbstractArg::Kind::Float:
+    return RtValue::makeFloat(Arg.Float);
+  case AbstractArg::Kind::Str:
+    return RtValue::makePtr(SideA ? StrAddrsA[Arg.StrIdx]
+                                  : StrAddrsB[Arg.StrIdx]);
+  case AbstractArg::Kind::Null:
+    return RtValue::makePtr(0);
+  }
+  return RtValue::makeInt(0);
+}
+
+std::vector<AbstractInput>
+DifferentialTester::buildCorpus(const Function &F, unsigned MaxInputs) {
+  const FunctionType *FTy = F.getFunctionType();
+  unsigned NumParams = FTy->getNumParams();
+  std::vector<AbstractInput> Corpus;
+  if (MaxInputs == 0)
+    return Corpus;
+  if (NumParams == 0) {
+    // One run fully determines a parameterless function.
+    Corpus.emplace_back();
+    return Corpus;
+  }
+
+  auto MakeArg = [&](Type *Ty, uint64_t Ordinal, bool Random,
+                     SplitMixRng &Rng) {
+    AbstractArg A;
+    if (Ty->isFloat()) {
+      A.K = AbstractArg::Kind::Float;
+      A.Float = Random ? FloatBoundary[Rng.below(NumFloatBoundary)] *
+                             static_cast<double>(Rng.range(-4, 4))
+                       : FloatBoundary[Ordinal % NumFloatBoundary];
+    } else if (Ty->isPointer()) {
+      // Strings only in the boundary phase; a rare null in the random
+      // phase (null dereferences trap and are skipped).
+      if (Random && Rng.chance(10)) {
+        A.K = AbstractArg::Kind::Null;
+      } else {
+        A.K = AbstractArg::Kind::Str;
+        A.StrIdx = Random ? static_cast<unsigned>(Rng.below(NumStrings))
+                          : static_cast<unsigned>(Ordinal % NumStrings);
+      }
+    } else {
+      unsigned Bits = Ty->isInteger() ? Ty->getBitWidth() : 64;
+      int64_t Raw = Random ? static_cast<int64_t>(Rng.next())
+                           : IntBoundary[Ordinal % NumIntBoundary];
+      A.K = AbstractArg::Kind::Int;
+      A.Int = signExtend(Raw, Bits);
+    }
+    return A;
+  };
+
+  // Boundary phase: walk each parameter through its boundary list at a
+  // different (coprime) stride so combinations decorrelate. Then a seeded
+  // random phase up to MaxInputs. Both are pure functions of the signature.
+  SplitMixRng Rng(0x7121a6eULL);
+  unsigned BoundaryPhase = MaxInputs - MaxInputs / 3;
+  for (unsigned K = 0; K < MaxInputs; ++K) {
+    bool Random = K >= BoundaryPhase;
+    AbstractInput In;
+    In.reserve(NumParams);
+    for (unsigned P = 0; P < NumParams; ++P) {
+      uint64_t Ordinal = static_cast<uint64_t>(K) * (2 * P + 1) + P;
+      In.push_back(MakeArg(FTy->getParamType(P), Ordinal, Random, Rng));
+    }
+    Corpus.push_back(std::move(In));
+  }
+  return Corpus;
+}
+
+std::vector<std::string>
+DifferentialTester::renderInput(const AbstractInput &In) {
+  std::vector<std::string> Out;
+  Out.reserve(In.size());
+  for (size_t I = 0; I < In.size(); ++I) {
+    std::string S = "arg" + std::to_string(I) + "=";
+    char Buf[64];
+    switch (In[I].K) {
+    case AbstractArg::Kind::Int:
+      std::snprintf(Buf, sizeof(Buf), "%lld",
+                    static_cast<long long>(In[I].Int));
+      S += Buf;
+      break;
+    case AbstractArg::Kind::Float:
+      std::snprintf(Buf, sizeof(Buf), "%.17g", In[I].Float);
+      S += Buf;
+      break;
+    case AbstractArg::Kind::Str:
+      S += '"';
+      S += StringTable[In[I].StrIdx];
+      S += '"';
+      break;
+    case AbstractArg::Kind::Null:
+      S += "null";
+      break;
+    }
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+int DifferentialTester::compareOnce(const Function &A, const Function &B,
+                                    const AbstractInput &In,
+                                    std::string *Divergence) {
+  // No observation channel at all (void or pointer return, and memory not
+  // comparable): the run can confirm nothing, so it must count as skipped
+  // — otherwise a pair with zero observable behavior would be classified
+  // suspected-false-alarm instead of inconclusive.
+  Type *RetTy = A.getReturnType();
+  if ((RetTy->isVoid() || RetTy->isPointer()) && !CompareMemory)
+    return -1;
+  std::vector<RtValue> ArgsA, ArgsB;
+  ArgsA.reserve(In.size());
+  ArgsB.reserve(In.size());
+  for (const AbstractArg &Arg : In) {
+    ArgsA.push_back(resolve(Arg, /*SideA=*/true));
+    ArgsB.push_back(resolve(Arg, /*SideA=*/false));
+  }
+  ExecResult RA = IA.run(A, ArgsA);
+  ExecResult RB = IB.run(B, ArgsB);
+  // Termination and absence of runtime errors are assumed by the paper's
+  // guarantee: a trap / step-limit / unsupported run on either side is
+  // evidence of nothing and must never become a witness.
+  if (RA.Status != ExecStatus::OK || RB.Status != ExecStatus::OK)
+    return -1;
+
+  if (!RetTy->isVoid() && !RetTy->isPointer()) {
+    // Pointer returns are never compared: allocation addresses are an
+    // artifact of the interpreter, not observable program behavior.
+    if (RA.HasValue != RB.HasValue ||
+        (RA.HasValue && !scalarEquals(RA.Value, RB.Value))) {
+      if (Divergence)
+        *Divergence = "return: " + renderValue(RA.Value) +
+                      " != " + renderValue(RB.Value);
+      return 1;
+    }
+  }
+  if (CompareMemory) {
+    auto MemA = IA.globalMemory();
+    auto MemB = IB.globalMemory();
+    if (MemA != MemB) {
+      if (Divergence) {
+        *Divergence = "global memory differs";
+        for (const auto &[Name, Bytes] : MemA) {
+          auto It = MemB.find(Name);
+          if (It == MemB.end() || It->second != Bytes) {
+            *Divergence = "global '" + Name + "' differs";
+            break;
+          }
+        }
+      }
+      return 1;
+    }
+  }
+  return 0;
+}
+
+DiffOutcome DifferentialTester::test(const Function &A, const Function &B,
+                                     unsigned MaxInputs) {
+  DiffOutcome Out;
+  std::vector<AbstractInput> Corpus = buildCorpus(A, MaxInputs);
+  for (const AbstractInput &In : Corpus) {
+    std::string Divergence;
+    int R = compareOnce(A, B, In, &Divergence);
+    if (R < 0) {
+      ++Out.Skipped;
+      continue;
+    }
+    ++Out.Tried;
+    if (R > 0) {
+      Out.HasWitness = true;
+      Out.Witness = In;
+      Out.WitnessRendered = renderInput(In);
+      Out.Divergence = std::move(Divergence);
+      Out.Classification = TriageClassification::MiscompileWitnessed;
+      return Out;
+    }
+  }
+  Out.Classification = Out.Tried == 0
+                           ? TriageClassification::Inconclusive
+                           : TriageClassification::SuspectedFalseAlarm;
+  return Out;
+}

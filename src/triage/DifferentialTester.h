@@ -1,0 +1,105 @@
+//===- DifferentialTester.h - Interpreter-backed witness search -*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential testing of a function pair against the reference
+/// Interpreter: run both sides on the same inputs from fresh memory and
+/// compare the return value and the final global memory. The input corpus
+/// is a pure function of the signature and the corpus size — boundary
+/// values first (the workload generator's loops mask trip counts to small
+/// ranges, libc patterns read NUL-terminated strings), then a seeded
+/// pseudo-random fill — so witnesses are deterministic across runs and
+/// thread counts.
+///
+/// Soundness of the skip rule: the paper's guarantee assumes termination
+/// and absence of runtime errors, so a run that traps or exhausts the step
+/// budget on either side says nothing about equivalence. Such inputs are
+/// counted as skipped and can never produce a witness. Pointer-typed
+/// return values are likewise never compared (allocation addresses are not
+/// observable program behavior); memory is compared through the named
+/// global regions only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_TRIAGE_DIFFERENTIALTESTER_H
+#define LLVMMD_TRIAGE_DIFFERENTIALTESTER_H
+
+#include "ir/Interpreter.h"
+#include "triage/Triage.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llvmmd {
+
+class Function;
+class Module;
+
+/// An input value in corpus form, independent of either interpreter's
+/// address space: string arguments are indices into the shared string
+/// table and are resolved to per-side addresses at run time.
+struct AbstractArg {
+  enum class Kind : uint8_t { Int, Float, Str, Null } K = Kind::Int;
+  int64_t Int = 0;
+  double Float = 0;
+  unsigned StrIdx = 0;
+};
+
+/// One corpus entry: a value per parameter.
+using AbstractInput = std::vector<AbstractArg>;
+
+/// The outcome of one differential-testing campaign over a pair.
+struct DiffOutcome {
+  TriageClassification Classification = TriageClassification::NotRun;
+  unsigned Tried = 0;
+  unsigned Skipped = 0;
+  bool HasWitness = false;
+  AbstractInput Witness;                    ///< the diverging input
+  std::vector<std::string> WitnessRendered; ///< "argN=value" per parameter
+  std::string Divergence;                   ///< what differed
+};
+
+class DifferentialTester {
+public:
+  /// Interprets side-A functions against \p MA and side-B functions
+  /// against \p MB. The string table is materialized into both address
+  /// spaces at construction.
+  DifferentialTester(const Module &MA, const Module &MB,
+                     uint64_t StepBudget = 1u << 20);
+
+  /// Runs the deterministic corpus (at most \p MaxInputs entries) over the
+  /// pair, stopping at the first witness.
+  DiffOutcome test(const Function &A, const Function &B, unsigned MaxInputs);
+
+  /// Replays one input; returns 1 when the pair diverges on it, 0 when
+  /// both sides agree, -1 when either side was non-OK (skipped). Fills
+  /// \p Divergence on 1.
+  int compareOnce(const Function &A, const Function &B,
+                  const AbstractInput &In, std::string *Divergence = nullptr);
+
+  /// Builds the deterministic corpus for \p F's signature: boundary-value
+  /// assignments first, then seeded pseudo-random fill, \p MaxInputs total
+  /// (a single empty entry for zero-parameter functions).
+  static std::vector<AbstractInput> buildCorpus(const Function &F,
+                                                unsigned MaxInputs);
+
+  /// Renders one corpus entry as "argN=value" strings.
+  static std::vector<std::string> renderInput(const AbstractInput &In);
+
+private:
+  RtValue resolve(const AbstractArg &Arg, bool SideA) const;
+
+  Interpreter IA, IB;
+  std::vector<uint64_t> StrAddrsA, StrAddrsB;
+  /// Global memory is only comparable when both modules define the same
+  /// named regions; otherwise memory divergence is not claimed.
+  bool CompareMemory = true;
+};
+
+} // namespace llvmmd
+
+#endif // LLVMMD_TRIAGE_DIFFERENTIALTESTER_H

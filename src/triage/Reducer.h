@@ -1,0 +1,79 @@
+//===- Reducer.h - Delta reduction of failing pairs -------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delta-debugs a rejected (original, optimized) pair down to a minimal
+/// failing exemplar, the automated version of the by-hand shrinking that
+/// dominated the paper's alarm triage. The cut vocabulary has two
+/// granularities, applied over clones and re-validated after every cut:
+///
+///  * block/segment cuts — a conditional branch is committed to one arm
+///    (the other arm's segment, including whole loops, becomes unreachable
+///    and is deleted);
+///  * instruction cuts — a non-terminator instruction is erased and its
+///    uses replaced by undef (which the interpreter models as zero, so
+///    reduced witnesses stay executable).
+///
+/// The interestingness predicate preserves the alarm class: the reduced
+/// pair must still fail validation with the same Unsupported status, and —
+/// when the pair carries a miscompile witness — must still diverge under
+/// the differential tester (a witnessed pair never reduces into a mere
+/// false alarm, and vice versa). Cuts are enumerated and applied in a
+/// deterministic order to a fixpoint at which no single cut preserves the
+/// predicate (1-minimality), bounded by a re-validation budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_TRIAGE_REDUCER_H
+#define LLVMMD_TRIAGE_REDUCER_H
+
+#include "normalize/Rules.h"
+#include "triage/DifferentialTester.h"
+#include "triage/Triage.h"
+
+#include <memory>
+
+namespace llvmmd {
+
+class Function;
+class Module;
+
+/// A reduced pair: private scratch modules (in the input pair's Context)
+/// holding the minimal failing functions.
+struct ReducedPair {
+  bool Ran = false;     ///< the baseline predicate held and reduction ran
+  bool Minimal = false; ///< fixpoint reached within the budget
+  unsigned Validations = 0;
+  std::unique_ptr<Module> MA, MB;
+  Function *A = nullptr;
+  Function *B = nullptr;
+};
+
+/// Extracts \p F into a fresh single-function module in the same Context:
+/// clones of \p Src's globals, declarations for every function, bodies for
+/// \p F and everything it transitively calls. Shared by the reducer and
+/// the triage tests.
+std::unique_ptr<Module> extractFunctionModule(const Module &Src,
+                                              const Function &F);
+
+/// Reduces \p Pair under \p Rules. \p Budget bounds the number of
+/// predicate re-validations. When \p Witness is non-null the pair is a
+/// witnessed miscompile and every accepted cut must preserve a divergence
+/// (the recorded witness input is replayed first); when it is null the
+/// pair is a suspected false alarm and accepted cuts must stay
+/// divergence-free on a probe corpus. Per-cut checks run at a reduced
+/// fixpoint/step budget for speed; the end state is re-certified at the
+/// full budget — still failing validation, same alarm class over
+/// \p CertifyInputs corpus entries at the full \p StepBudget — and the
+/// reduction is discarded if certification fails.
+ReducedPair reducePair(const TriagePair &Pair, const RuleConfig &Rules,
+                       unsigned Budget, uint64_t StepBudget,
+                       const AbstractInput *Witness,
+                       unsigned CertifyInputs = 48);
+
+} // namespace llvmmd
+
+#endif // LLVMMD_TRIAGE_REDUCER_H

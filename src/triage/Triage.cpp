@@ -1,0 +1,90 @@
+//===- Triage.cpp - Alarm triage orchestration --------------------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "triage/Triage.h"
+
+#include "ir/Module.h"
+#include "ir/Printer.h"
+#include "triage/DifferentialTester.h"
+#include "triage/Reducer.h"
+#include "triage/RuleGapAttributor.h"
+
+using namespace llvmmd;
+
+const char *llvmmd::getTriageClassificationName(TriageClassification C) {
+  switch (C) {
+  case TriageClassification::NotRun:
+    return "none";
+  case TriageClassification::MiscompileWitnessed:
+    return "witness";
+  case TriageClassification::SuspectedFalseAlarm:
+    return "suspected-false-alarm";
+  case TriageClassification::Inconclusive:
+    return "inconclusive";
+  }
+  return "none";
+}
+
+TriageResult llvmmd::triagePair(const TriagePair &Pair,
+                                const RuleConfig &Rules,
+                                const TriageOptions &Opts) {
+  TriageResult R;
+
+  // Stage 1: hunt for a concrete miscompile witness.
+  DifferentialTester DT(*Pair.OrigModule, *Pair.OptModule, Opts.StepBudget);
+  DiffOutcome Diff = DT.test(*Pair.Orig, *Pair.Opt, Opts.MaxInputs);
+  R.Classification = Diff.Classification;
+  R.InputsTried = Diff.Tried;
+  R.InputsSkipped = Diff.Skipped;
+  if (Diff.HasWitness) {
+    R.WitnessInputs = Diff.WitnessRendered;
+    R.WitnessDivergence = Diff.Divergence;
+  }
+
+  // Stage 2: delta-reduce to a minimal failing exemplar.
+  R.OrigInstsBefore = Pair.Orig->getInstructionCount();
+  R.OptInstsBefore = Pair.Opt->getInstructionCount();
+  R.OrigInstsAfter = R.OrigInstsBefore;
+  R.OptInstsAfter = R.OptInstsBefore;
+  ReducedPair Reduced;
+  if (Opts.ReduceBudget > 0) {
+    Reduced = reducePair(Pair, Rules, Opts.ReduceBudget, Opts.StepBudget,
+                         Diff.HasWitness ? &Diff.Witness : nullptr,
+                         Opts.MaxInputs);
+    R.ReduceValidations = Reduced.Validations;
+    if (Reduced.Ran) {
+      R.Reduced = true;
+      R.ReduceMinimal = Reduced.Minimal;
+      R.OrigInstsAfter = Reduced.A->getInstructionCount();
+      R.OptInstsAfter = Reduced.B->getInstructionCount();
+      R.ReducedOrig = printFunction(*Reduced.A);
+      R.ReducedOpt = printFunction(*Reduced.B);
+    }
+  }
+
+  // Stage 3: attribute the rule gap of a non-witnessed alarm, preferring
+  // the reduced pair (smaller graphs, sharper diff).
+  if (R.Classification != TriageClassification::MiscompileWitnessed) {
+    RuleConfig C = Rules;
+    RuleGapOutcome Gap;
+    if (Reduced.Ran) {
+      C.M = Reduced.MA.get();
+      Gap = attributeRuleGap(*Reduced.A, *Reduced.B, C);
+    }
+    if (!Gap.Ran) {
+      C.M = Pair.OrigModule;
+      Gap = attributeRuleGap(*Pair.Orig, *Pair.Opt, C);
+    }
+    R.GapRan = Gap.Ran;
+    R.GapDiverged = Gap.Diverged;
+    R.GapNodeA = Gap.NodeA;
+    R.GapNodeB = Gap.NodeB;
+    R.MissingRuleMask = Gap.MissingRuleMask;
+    R.MissingRule = Gap.MissingRule;
+    R.ClosedByAllRules = Gap.ClosedByAllRules;
+  }
+  return R;
+}

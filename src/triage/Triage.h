@@ -1,0 +1,133 @@
+//===- Triage.h - Alarm triage for rejected function pairs ------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The alarm triage subsystem. A `Validated = false` verdict from the
+/// value-graph validator is ambiguous: it is either a real miscompile or a
+/// *false alarm* — a correct transformation the enabled rule sets cannot
+/// prove (the paper's headline evaluation metric). Triage post-processes a
+/// rejected (original, optimized) pair in three stages:
+///
+///  1. DifferentialTester drives the reference Interpreter on both
+///     functions over a deterministic, boundary-seeded input corpus. A
+///     diverging run (same inputs, different return value or final global
+///     memory) is a concrete *miscompile witness*; exhausting the corpus
+///     without divergence classifies the alarm as *suspected-false-alarm*.
+///     Runs that trap or exhaust the step budget are skipped — the paper
+///     assumes termination and absence of runtime errors, so they can never
+///     count as witnesses.
+///  2. Reducer delta-debugs the pair down to a minimal failing exemplar:
+///     block- and instruction-granularity cuts over clones, re-validating
+///     after each cut, to a deterministic 1-minimal fixpoint.
+///  3. RuleGapAttributor diffs the two normalized value graphs of a
+///     (reduced) false alarm, reports the first structurally diverging node
+///     pair, and probes which missing normalizer rule family (Rules.h)
+///     would close the gap.
+///
+/// Everything here is a pure function of the pair, the rule configuration
+/// and the options — no wall-clock, no pointer order — so triage output is
+/// byte-identical across engine thread counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_TRIAGE_TRIAGE_H
+#define LLVMMD_TRIAGE_TRIAGE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llvmmd {
+
+class Function;
+class Module;
+struct RuleConfig;
+
+/// What triage concluded about one rejected pair.
+enum class TriageClassification : uint8_t {
+  NotRun,              ///< triage disabled, or the pair validated
+  MiscompileWitnessed, ///< the interpreter found diverging behavior
+  SuspectedFalseAlarm, ///< corpus exhausted with no divergence
+  Inconclusive,        ///< every corpus run trapped or ran out of budget
+};
+
+/// Stable lowercase name, used by the report emitters ("witness",
+/// "suspected-false-alarm", ...).
+const char *getTriageClassificationName(TriageClassification C);
+
+/// Knobs for the engine's triage phase (EngineConfig::Triage).
+struct TriageOptions {
+  /// Run triage on every rejected pair of a run.
+  bool Enabled = false;
+  /// Differential-testing corpus size per pair (boundary values first, then
+  /// seeded pseudo-random fill).
+  unsigned MaxInputs = 48;
+  /// Delta-reduction budget in re-validations; 0 disables reduction.
+  unsigned ReduceBudget = 128;
+  /// Interpreter fuel per run; exhausting it skips the input.
+  uint64_t StepBudget = 1u << 20;
+};
+
+/// The outcome of triaging one rejected pair. Every field is deterministic;
+/// the report emitters surface a subset, tools (bug_detector) can print the
+/// rest.
+struct TriageResult {
+  TriageClassification Classification = TriageClassification::NotRun;
+
+  // Differential testing.
+  unsigned InputsTried = 0;   ///< corpus entries executed on both sides
+  unsigned InputsSkipped = 0; ///< entries where either side was non-OK
+  /// Witness inputs, one rendered "argN=value" string per parameter
+  /// (empty unless Classification == MiscompileWitnessed).
+  std::vector<std::string> WitnessInputs;
+  /// What diverged on the witness: "return: A != B" or "global 'g' differs".
+  std::string WitnessDivergence;
+
+  // Delta reduction.
+  bool Reduced = false;           ///< the reducer ran to a fixpoint
+  bool ReduceMinimal = false;     ///< fixpoint reached within the budget
+  unsigned ReduceValidations = 0; ///< predicate re-validations spent
+  uint64_t OrigInstsBefore = 0, OptInstsBefore = 0;
+  uint64_t OrigInstsAfter = 0, OptInstsAfter = 0;
+  /// The minimal failing pair, printed as IR text (kept out of the report
+  /// emitters; for tools and tests).
+  std::string ReducedOrig, ReducedOpt;
+
+  // Rule-gap attribution (false alarms only).
+  bool GapRan = false;
+  bool GapDiverged = false; ///< a head-diverging node pair was found
+  std::string GapNodeA, GapNodeB;
+  /// The single rule family whose addition makes the pair validate, or 0 /
+  /// empty when no single family closes the gap.
+  unsigned MissingRuleMask = 0;
+  std::string MissingRule;
+  /// No single family sufficed, but enabling every rule set validates.
+  bool ClosedByAllRules = false;
+};
+
+/// One rejected pair, as the engine sees it: the original and optimized
+/// functions with the modules that own them (the modules provide globals
+/// and callees to the interpreter and the scratch-module extraction). Both
+/// modules must share one Context.
+struct TriagePair {
+  const Module *OrigModule = nullptr;
+  const Function *Orig = nullptr;
+  const Module *OptModule = nullptr;
+  const Function *Opt = nullptr;
+};
+
+/// Triage one rejected pair: differential witness search, then delta
+/// reduction, then (for non-witnessed alarms) rule-gap attribution.
+/// \p Rules is the configuration the validator rejected the pair under;
+/// Rules.M is rebound internally where needed. Thread-safe against itself
+/// on other pairs (scratch modules are private; Context interning is
+/// lock-striped).
+TriageResult triagePair(const TriagePair &Pair, const RuleConfig &Rules,
+                        const TriageOptions &Opts);
+
+} // namespace llvmmd
+
+#endif // LLVMMD_TRIAGE_TRIAGE_H

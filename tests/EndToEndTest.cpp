@@ -16,6 +16,7 @@
 #include "ir/Interpreter.h"
 #include "opt/BugInjector.h"
 #include "opt/Pass.h"
+#include "triage/DifferentialTester.h"
 #include "validator/LLVMMD.h"
 #include "workload/Generator.h"
 
@@ -140,16 +141,16 @@ TEST_P(ProfileSweep, InjectedBugsRejectedOnWorkload) {
   // behavior (per the reference interpreter), the validator must reject
   // it. Mutations that happen to hit dead code may legitimately validate.
   Context Ctx;
-  auto M = generateBenchmark(Ctx, smallProfile(GetParam(), 6));
+  auto M = generateBenchmark(Ctx, smallProfile(GetParam(), 8));
   auto Opt = cloneModule(*M);
   PassManager PM;
   ASSERT_TRUE(PM.parsePipeline("gvn,sccp"));
   RuleConfig C;
   C.Mask = RS_All;
   C.M = M.get();
-  Interpreter IA(*M), IB(*Opt);
-  uint64_t SA = IA.materializeString("xy");
-  uint64_t SB = IB.materializeString("xy");
+  // The triage subsystem's differential tester is the observability
+  // oracle: boundary-seeded corpus, return value and global memory.
+  DifferentialTester DT(*M, *Opt);
   uint64_t Seed = 1;
   unsigned BehaviorChanging = 0;
   for (Function *FO : Opt->definedFunctions()) {
@@ -158,22 +159,7 @@ TEST_P(ProfileSweep, InjectedBugsRejectedOnWorkload) {
     if (Desc.empty())
       continue;
     Function *FI = M->getFunction(FO->getName());
-    bool Differs = false;
-    for (int T = 0; T < 4 && !Differs; ++T) {
-      std::vector<RtValue> ArgsA{RtValue::makeInt(T * 5 - 2),
-                                 RtValue::makeInt(2 - T),
-                                 RtValue::makePtr(SA)};
-      std::vector<RtValue> ArgsB{RtValue::makeInt(T * 5 - 2),
-                                 RtValue::makeInt(2 - T),
-                                 RtValue::makePtr(SB)};
-      ExecResult RA = IA.run(*FI, ArgsA);
-      ExecResult RB = IB.run(*FO, ArgsB);
-      if (RA.Status != ExecStatus::OK || RB.Status != ExecStatus::OK)
-        continue;
-      Differs = !(RA.Value == RB.Value) ||
-                IA.globalMemory() != IB.globalMemory();
-    }
-    if (!Differs)
+    if (!DT.test(*FI, *FO, 48).HasWitness)
       continue; // mutation not observable on these inputs: no claim
     ++BehaviorChanging;
     auto R = validatePair(*FI, *FO, C);

@@ -6,6 +6,7 @@
 
 #include "TestUtil.h"
 
+#include "ir/IRBuilder.h"
 #include "ir/Interpreter.h"
 
 #include <gtest/gtest.h>
@@ -121,6 +122,104 @@ entry:
 }
 )"),
             ExecStatus::Trap);
+}
+
+TEST(Interpreter, TrapsNeverHaveAValue) {
+  // Triage contract: a trapped run is non-OK and carries no value, so the
+  // differential tester can never turn it into a witness.
+  Context Ctx;
+  auto M = parseOrDie(Ctx, R"(
+define i32 @f(i32 %d) {
+entry:
+  %a = sdiv i32 100, %d
+  ret i32 %a
+}
+)");
+  Interpreter I(*M);
+  ExecResult R = I.run(*M->definedFunctions().front(), {RtValue::makeInt(0)});
+  EXPECT_EQ(R.Status, ExecStatus::Trap);
+  EXPECT_FALSE(R.HasValue);
+  // The same function is fine on a non-trapping input afterwards.
+  R = I.run(*M->definedFunctions().front(), {RtValue::makeInt(4)});
+  ASSERT_EQ(R.Status, ExecStatus::OK);
+  EXPECT_EQ(R.Value.Int, 25);
+}
+
+TEST(Interpreter, ExplicitStepBudgetExhaustsAndRecovers) {
+  // A bounded loop that needs ~4 steps per iteration: a tiny budget must
+  // report StepLimit (non-OK, no value), and the budget must reset per
+  // run so a later short run still succeeds.
+  Context Ctx;
+  auto M = parseOrDie(Ctx, R"(
+define i32 @f(i32 %n) {
+entry:
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %b ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %b, label %x
+b:
+  %i2 = add i32 %i, 1
+  br label %h
+x:
+  ret i32 %i
+}
+)");
+  Interpreter I(*M, /*StepBudget=*/12);
+  ExecResult Long = I.run(*M->definedFunctions().front(),
+                          {RtValue::makeInt(1000)});
+  EXPECT_EQ(Long.Status, ExecStatus::StepLimit);
+  EXPECT_FALSE(Long.HasValue);
+  ExecResult Short = I.run(*M->definedFunctions().front(),
+                           {RtValue::makeInt(1)});
+  ASSERT_EQ(Short.Status, ExecStatus::OK) << Short.Detail;
+  EXPECT_EQ(Short.Value.Int, 1);
+}
+
+TEST(Interpreter, PointerReturningFunctionIsDeterministic) {
+  // Allocation addresses are interpreter artifacts, not program behavior —
+  // but they must at least be deterministic across runs so differential
+  // comparisons of loaded *contents* stay meaningful.
+  Context Ctx;
+  auto M = parseOrDie(Ctx, R"(
+define ptr @f() {
+entry:
+  %p = alloca i32, i64 4
+  %q = getelementptr i32, ptr %p, i64 1
+  store i32 9, ptr %q
+  ret ptr %q
+}
+)");
+  Interpreter I(*M);
+  ExecResult R1 = I.run(*M->definedFunctions().front(), {});
+  ExecResult R2 = I.run(*M->definedFunctions().front(), {});
+  ASSERT_EQ(R1.Status, ExecStatus::OK) << R1.Detail;
+  ASSERT_EQ(R2.Status, ExecStatus::OK) << R2.Detail;
+  EXPECT_EQ(R1.Value.K, RtValue::Kind::Ptr);
+  EXPECT_EQ(R1.Value.Ptr, R2.Value.Ptr);
+  EXPECT_NE(R1.Value.Ptr, 0u);
+}
+
+TEST(Interpreter, PhiWithoutEdgeEntryIsUnsupportedNotUB) {
+  // Mutated/reduced IR can reach a phi over an edge it has no entry for;
+  // the interpreter must report Unsupported (skippable) instead of
+  // asserting. Built programmatically — the verifier would reject this.
+  Context Ctx;
+  auto M = std::make_unique<Module>(Ctx, "m");
+  Type *I32 = Ctx.getInt32Ty();
+  Function *F = M->createFunction(Ctx.getFunctionTy(I32, {I32}), "f");
+  IRBuilder B(Ctx);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Join = F->createBlock("join");
+  B.setInsertPoint(Entry);
+  B.createBr(Join);
+  B.setInsertPoint(Join);
+  PhiNode *P = B.createPhi(I32, "p");
+  (void)P; // no incoming entry for the entry->join edge
+  B.createRet(Ctx.getInt32(0));
+  Interpreter I(*M);
+  ExecResult R = I.run(*F, {RtValue::makeInt(1)});
+  EXPECT_EQ(R.Status, ExecStatus::Unsupported);
 }
 
 TEST(Interpreter, StepLimitOnInfiniteLoop) {
