@@ -1,0 +1,198 @@
+//===- serve_load.cpp - Served vs batch validation throughput -----------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+// Measures what the serving layer costs (and buys): N concurrent clients
+// submit the same benchmark suite to one in-process ValidationServer over a
+// unix-domain socket, and the resulting warm verdicts/second is compared
+// against the batch path (engine.runSuite in a loop on the same warm
+// engine). Both sides replay from a warm cache, so the comparison isolates
+// the serving overhead — framing, socket hops, per-job module lookup,
+// report emission — from validation itself.
+//
+//   $ ./serve_load [clients] [repeats-per-client]
+//
+// Defaults: 4 clients x 8 repeats over the sqlite,hmmer,sjeng suite.
+// Prints human-readable results plus one SERVE_LOAD{...} JSON line, and
+// exits nonzero if the served warm path falls below the batch warm path
+// (the acceptance bar for the serving layer).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ValidationEngine.h"
+#include "ir/Module.h"
+#include "opt/Pass.h"
+#include "server/ServerClient.h"
+#include "server/ValidationServer.h"
+#include "workload/Generator.h"
+#include "workload/Profiles.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace llvmmd;
+
+namespace {
+
+const char *const SuiteProfiles[] = {"sqlite", "hmmer", "sjeng"};
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+SubmitPayload suiteSubmission() {
+  SubmitPayload Req;
+  for (const char *Name : SuiteProfiles) {
+    SubmitModule M;
+    M.FromProfile = 1;
+    M.Name = Name;
+    Req.Modules.push_back(std::move(M));
+  }
+  return Req;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Clients = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
+  unsigned Repeats = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 8;
+  if (Clients == 0 || Repeats == 0) {
+    std::fprintf(stderr, "usage: serve_load [clients >= 1] [repeats >= 1]\n");
+    return 1;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Batch baseline: one engine, pregenerated modules, warm loop.
+  //===------------------------------------------------------------------===//
+
+  Context Ctx;
+  std::vector<std::unique_ptr<Module>> Own;
+  std::vector<const Module *> Mods;
+  unsigned SuiteFunctions = 0;
+  for (const char *Name : SuiteProfiles) {
+    Own.push_back(generateBenchmark(Ctx, getProfile(Name)));
+    Mods.push_back(Own.back().get());
+    SuiteFunctions += getProfile(Name).FunctionCount;
+  }
+
+  ValidationEngine Engine{EngineConfig()};
+  Engine.runSuite(Mods, getPaperPipeline()); // cold pass warms the cache
+  const unsigned BatchRuns = Clients * Repeats;
+  auto BatchStart = std::chrono::steady_clock::now();
+  for (unsigned I = 0; I < BatchRuns; ++I)
+    Engine.runSuite(Mods, getPaperPipeline());
+  double BatchSecs = secondsSince(BatchStart);
+  double BatchThroughput = BatchRuns * double(SuiteFunctions) / BatchSecs;
+  std::printf("batch : %3u warm suite runs (%u functions each) in %6.2fs "
+              "-> %9.0f verdicts/s\n",
+              BatchRuns, SuiteFunctions, BatchSecs, BatchThroughput);
+
+  //===------------------------------------------------------------------===//
+  // Served: in-process daemon, N concurrent clients, warm submissions.
+  //===------------------------------------------------------------------===//
+
+  ServerConfig SC;
+  SC.UnixPath = "serve_load.sock";
+  ValidationServer Server(SC);
+  std::string Error;
+  if (!Server.start(&Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  uint64_t Digest = Server.configDigest();
+
+  // Warm-up pass: first submission generates the modules server-side and
+  // proves every verdict once.
+  {
+    ServerClient Warm;
+    if (!Warm.connectUnix(SC.UnixPath, &Error) ||
+        !Warm.handshake(Digest, nullptr, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    if (!Warm.submit(suiteSubmission()))
+      return 1;
+    ServerClient::Event E;
+    while (Warm.nextEvent(E) && E.K != ServerClient::Event::Kind::JobDone)
+      ;
+  }
+
+  std::vector<std::thread> Threads;
+  std::vector<uint64_t> Misses(Clients, 0);
+  // Per-client slots (char, not vector<bool>: distinct bytes, so the
+  // client threads' writes cannot race on a shared word).
+  std::vector<char> Ok(Clients, 0);
+  auto ServeStart = std::chrono::steady_clock::now();
+  for (unsigned Ci = 0; Ci < Clients; ++Ci) {
+    Threads.emplace_back([&, Ci] {
+      ServerClient Client;
+      if (!Client.connectUnix(SC.UnixPath) || !Client.handshake(Digest))
+        return;
+      for (unsigned R = 0; R < Repeats; ++R) {
+        if (!Client.submit(suiteSubmission()))
+          return;
+        for (;;) {
+          ServerClient::Event E;
+          if (!Client.nextEvent(E))
+            return;
+          if (E.K == ServerClient::Event::Kind::JobDone) {
+            Misses[Ci] += E.Done.Misses;
+            break;
+          }
+          if (E.K == ServerClient::Event::Kind::Error)
+            return;
+        }
+      }
+      Ok[Ci] = 1;
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  double ServeSecs = secondsSince(ServeStart);
+  Server.stop();
+
+  uint64_t TotalMisses = 0;
+  bool AllOk = true;
+  for (unsigned Ci = 0; Ci < Clients; ++Ci) {
+    TotalMisses += Misses[Ci];
+    AllOk = AllOk && Ok[Ci] != 0;
+  }
+  if (!AllOk) {
+    std::fprintf(stderr, "error: a client failed mid-run\n");
+    return 1;
+  }
+  if (TotalMisses != 0)
+    std::fprintf(stderr,
+                 "warning: %llu verdicts were re-proven on the warm path\n",
+                 static_cast<unsigned long long>(TotalMisses));
+
+  unsigned ServedJobs = Clients * Repeats;
+  double ServeThroughput = ServedJobs * double(SuiteFunctions) / ServeSecs;
+  std::printf("served: %2u clients x %u warm jobs each       in %6.2fs "
+              "-> %9.0f verdicts/s  (%.2fx batch)\n",
+              Clients, Repeats, ServeSecs, ServeThroughput,
+              ServeThroughput / BatchThroughput);
+  std::printf("SERVE_LOAD{\"clients\": %u, \"repeats\": %u, "
+              "\"suite_functions\": %u, \"batch_s\": %.4f, \"serve_s\": %.4f, "
+              "\"batch_verdicts_per_s\": %.0f, \"serve_verdicts_per_s\": "
+              "%.0f}\n",
+              Clients, Repeats, SuiteFunctions, BatchSecs, ServeSecs,
+              BatchThroughput, ServeThroughput);
+
+  // The acceptance bar: serving must not cost throughput on the warm path.
+  // 0.9 leaves room for scheduler noise on loaded CI machines; a real
+  // regression (per-job regeneration, redundant emission) lands far below.
+  if (ServeThroughput < 0.9 * BatchThroughput) {
+    std::fprintf(stderr,
+                 "error: served warm throughput fell below the batch warm "
+                 "path\n");
+    return 1;
+  }
+  return 0;
+}

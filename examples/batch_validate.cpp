@@ -79,7 +79,7 @@ namespace {
 int cacheEpilogue(const ValidationEngine &Engine, const std::string &CachePath,
                   bool Quiet, bool ExpectWarm) {
   const EngineCacheStats &CS = Engine.cacheStats();
-  if (!CachePath.empty() && !Quiet)
+  if (!CachePath.empty() && !Quiet) {
     std::printf("verdict store '%s': %llu loaded, %llu warm hits, "
                 "%llu validated from scratch, %llu saved\n",
                 CachePath.c_str(),
@@ -87,11 +87,29 @@ int cacheEpilogue(const ValidationEngine &Engine, const std::string &CachePath,
                 static_cast<unsigned long long>(CS.WarmHits),
                 static_cast<unsigned long long>(CS.Misses),
                 static_cast<unsigned long long>(CS.StoreSaved));
+    if (CS.TriageHits + CS.TriageMisses + CS.TriageStoreLoaded > 0)
+      std::printf("triage cache: %llu loaded, %llu replayed (%llu warm), "
+                  "%llu interpreted from scratch\n",
+                  static_cast<unsigned long long>(CS.TriageStoreLoaded),
+                  static_cast<unsigned long long>(CS.TriageHits),
+                  static_cast<unsigned long long>(CS.TriageWarmHits),
+                  static_cast<unsigned long long>(CS.TriageMisses));
+  }
   if (ExpectWarm && CS.Misses > 0) {
     std::fprintf(stderr,
                  "error: --expect-warm, but %llu pair(s) were validated from "
                  "scratch (replay rate < 100%%)\n",
                  static_cast<unsigned long long>(CS.Misses));
+    return 3;
+  }
+  // Warm means the triage work replays too: a rejected pair that was
+  // re-interpreted from scratch breaks the invariant the same way a
+  // re-validated one does.
+  if (ExpectWarm && CS.TriageMisses > 0) {
+    std::fprintf(stderr,
+                 "error: --expect-warm, but %llu rejected pair(s) were "
+                 "re-triaged from scratch (triage replay rate < 100%%)\n",
+                 static_cast<unsigned long long>(CS.TriageMisses));
     return 3;
   }
   return 0;

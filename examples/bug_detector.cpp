@@ -66,9 +66,11 @@ int main(int argc, char **argv) {
 
   // The cross-check below is only sound because the probe replays exactly
   // the corpus the engine's triage used (buildCorpus is a pure function of
-  // the signature and the input count) — read both knobs from the config.
+  // the signature, the input count and the corpus bias) — read all three
+  // knobs from the config, resolving the bias the same way triagePair does.
   DifferentialTester Probe(*M, *Opt, C.Triage.StepBudget);
   const unsigned ProbeInputs = C.Triage.MaxInputs;
+  const CorpusBias ProbeBias = resolveCorpusBias(C.Triage, *M);
   unsigned Caught = 0, Witnessed = 0, Silent = 0, Errors = 0;
   for (const FunctionReportEntry &E : Report.Functions) {
     auto BugIt = Bugs.find(E.Name);
@@ -81,7 +83,8 @@ int main(int argc, char **argv) {
       // A sound validator may only accept when the bug is unobservable;
       // cross-check with a direct differential probe.
       DiffOutcome O = Probe.test(*M->getFunction(E.Name),
-                                 *Opt->getFunction(E.Name), ProbeInputs);
+                                 *Opt->getFunction(E.Name), ProbeInputs,
+                                 ProbeBias);
       if (O.HasWitness) {
         ++Errors;
         std::printf("  ^^^ SOUNDNESS VIOLATION: accepted, but diverges on:\n");
@@ -109,7 +112,8 @@ int main(int argc, char **argv) {
       // The triage corpus covers the probe corpus, so a diverging probe
       // here means the triage phase itself is broken.
       DiffOutcome O = Probe.test(*M->getFunction(E.Name),
-                                 *Opt->getFunction(E.Name), ProbeInputs);
+                                 *Opt->getFunction(E.Name), ProbeInputs,
+                                 ProbeBias);
       if (O.HasWitness) {
         ++Errors;
         std::printf("  ^^^ TRIAGE DEFECT: suspected-false-alarm but the "

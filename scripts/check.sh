@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # check.sh - CI entry point: tier-1 verify plus a fig4 smoke run.
 #
-# Usage: scripts/check.sh [--tsan|--asan|--warm|--triage] [build-dir]
+# Usage: scripts/check.sh [--tsan|--asan|--warm|--triage|--serve] [build-dir]
 #
 #   (default)  tier-1 build + ctest, fig4 smoke, engine determinism checks
 #   --tsan     ThreadSanitizer build (CMake preset "tsan") running the
-#              engine + concurrent-interning + triage tests — the same job
-#              CI runs
+#              engine + concurrent-interning + triage + server tests — the
+#              same job CI runs
 #   --asan     AddressSanitizer+UBSan build (preset "asan") running the
 #              full test suite — ditto
 #   --warm     local reproduction of the CI warm-cache job: two suite runs
@@ -18,6 +18,11 @@
 #              must be byte-identical across thread counts, and the
 #              restricted-rule-mask run must classify at least one alarm
 #              suspected-false-alarm with a named rule gap
+#   --serve    local reproduction of the CI serve job: start the daemon,
+#              run the client suite twice (the second pass must replay 100%
+#              warm), restart the daemon on its checkpointed store and
+#              require a fully warm replay byte-identical to the batch
+#              path, then assert a clean shutdown with no leaked store lock
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -38,6 +43,10 @@ case "${1:-}" in
   ;;
 --triage)
   MODE=triage
+  shift
+  ;;
+--serve)
+  MODE=serve
   shift
   ;;
 esac
@@ -76,6 +85,81 @@ if [ "$MODE" = warm ]; then
   run_warm --quiet
   run_warm --expect-warm
   echo "check.sh (warm): OK — second run replayed 100% of verdicts"
+  exit 0
+fi
+
+if [ "$MODE" = serve ]; then
+  # The CI serve job, locally. Four invariants:
+  #  1. A second client against a live daemon replays 100% of verdicts and
+  #     triage results (validate_client --expect-warm exits 3 otherwise).
+  #  2. A daemon *restarted* on its checkpointed store serves a fully warm
+  #     replay whose suite JSON is byte-identical to batch_validate over
+  #     the same store — the serving layer adds no bytes and loses none.
+  #  3. The daemon exits 0 on a client Shutdown frame (graceful drain).
+  #  4. No leaked store lock or temp files: after shutdown the advisory
+  #     lock is free and no write-temp files remain.
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+  cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target validate_server validate_client batch_validate
+  DIR="$(mktemp -d)"
+  DAEMON=""
+  trap '[ -n "$DAEMON" ] && kill "$DAEMON" 2>/dev/null; rm -rf "$DIR"' EXIT
+  STORE="$DIR/serve.vstore"
+  SOCK="$DIR/serve.sock"
+
+  run_client() {
+    # 2 = some optimizations unprovable (expected on these profiles);
+    # 3 = --expect-warm violated, which IS a failure here.
+    local rc=0
+    "$BUILD_DIR/validate_client" --connect "$SOCK" "$@" || rc=$?
+    [ "$rc" -eq 0 ] || [ "$rc" -eq 2 ]
+  }
+
+  start_daemon() {
+    "$BUILD_DIR/validate_server" --listen "$SOCK" --cache "$STORE" \
+      --triage --quiet &
+    DAEMON=$!
+    for _ in $(seq 1 100); do
+      [ -S "$SOCK" ] && return 0
+      sleep 0.1
+    done
+    echo "daemon did not come up" >&2
+    return 1
+  }
+
+  start_daemon
+  run_client --suite sqlite,hmmer --quiet --json "$DIR/first.json"
+  run_client --suite sqlite,hmmer --quiet --expect-warm
+  run_client --shutdown --quiet
+  wait "$DAEMON"
+
+  # Warm restart: the checkpointed store must make the new daemon serve a
+  # 100% warm replay, byte-identical to the batch path over the same store.
+  start_daemon
+  run_client --suite sqlite,hmmer --quiet --expect-warm \
+    --json "$DIR/served_warm.json"
+  run_client --shutdown --quiet
+  wait "$DAEMON"
+
+  cp "$STORE" "$DIR/batch.vstore"
+  rc=0
+  "$BUILD_DIR/batch_validate" --suite sqlite,hmmer --triage \
+    --cache "$DIR/batch.vstore" --expect-warm --quiet \
+    --json "$DIR/batch_warm.json" || rc=$?
+  [ "$rc" -eq 0 ] || [ "$rc" -eq 2 ]
+  cmp "$DIR/served_warm.json" "$DIR/batch_warm.json"
+
+  # Clean shutdown: the advisory lock must be free and no atomic-save temp
+  # files may survive the daemon.
+  if command -v flock > /dev/null 2>&1; then
+    flock -n "$STORE.lock" true
+  fi
+  if ls "$STORE".tmp.* > /dev/null 2>&1; then
+    echo "leaked verdict-store temp file" >&2
+    exit 1
+  fi
+  echo "check.sh (serve): OK — warm replay over the wire, byte-identical" \
+    "to the batch path, clean shutdown"
   exit 0
 fi
 

@@ -6,8 +6,10 @@
 
 #include "driver/Report.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <map>
 #include <sstream>
 
 using namespace llvmmd;
@@ -85,6 +87,45 @@ unsigned ValidationReport::suspectedFalseAlarms() const {
   return N;
 }
 
+namespace {
+
+/// Shared tallying for the module- and suite-level missing-rule tables.
+void tallyMissingRules(const ValidationReport &R,
+                       std::map<std::string, unsigned> &Counts) {
+  for (const auto &F : R.Functions) {
+    const TriageResult &T = F.Triage;
+    if (T.Classification == TriageClassification::NotRun)
+      continue;
+    if (!T.MissingRule.empty())
+      ++Counts[T.MissingRule];
+    else if (T.ClosedByAllRules)
+      ++Counts["(combined)"];
+  }
+}
+
+/// "Pays most" order: count descending, then name ascending so ties are
+/// deterministic.
+std::vector<std::pair<std::string, unsigned>>
+rankMissingRules(const std::map<std::string, unsigned> &Counts) {
+  std::vector<std::pair<std::string, unsigned>> Ranked(Counts.begin(),
+                                                       Counts.end());
+  std::sort(Ranked.begin(), Ranked.end(), [](const auto &A, const auto &B) {
+    if (A.second != B.second)
+      return A.second > B.second;
+    return A.first < B.first;
+  });
+  return Ranked;
+}
+
+} // namespace
+
+std::vector<std::pair<std::string, unsigned>>
+ValidationReport::missingRuleCounts() const {
+  std::map<std::string, unsigned> Counts;
+  tallyMissingRules(*this, Counts);
+  return rankMissingRules(Counts);
+}
+
 uint64_t ValidationReport::rewrites() const {
   uint64_t N = 0;
   for (const auto &F : Functions)
@@ -159,6 +200,14 @@ std::string llvmmd::reportToText(const ValidationReport &R) {
                   "alarms\n",
                   R.witnessed(), R.suspectedFalseAlarms());
     OS << Buf;
+    auto Missing = R.missingRuleCounts();
+    if (!Missing.empty()) {
+      OS << "  missing rules:";
+      for (size_t I = 0; I < Missing.size(); ++I)
+        OS << (I ? ", " : " ") << Missing[I].first << " x"
+           << Missing[I].second;
+      OS << '\n';
+    }
   }
   // Multi-module suite runs interleave on one pool and leave per-module
   // wall time unattributed (zero); only validation time is per-module then.
@@ -389,6 +438,19 @@ void emitTriage(std::ostringstream &OS, const TriageResult &T) {
   OS << '}';
 }
 
+/// Emits the ranked missing-rule table as a JSON array (ranking is
+/// meaningful, so an array of {rule, count} objects rather than an object
+/// keyed by rule).
+void emitMissingRules(
+    std::ostringstream &OS,
+    const std::vector<std::pair<std::string, unsigned>> &Missing) {
+  OS << ", \"missing_rules\": [";
+  for (size_t I = 0; I < Missing.size(); ++I)
+    OS << (I ? ", " : "") << "{\"rule\": \"" << jsonEscape(Missing[I].first)
+       << "\", \"count\": " << Missing[I].second << '}';
+  OS << ']';
+}
+
 void emitResult(std::ostringstream &OS, const ValidationResult &Res,
                 bool IncludeTiming) {
   OS << "\"rewrites\": " << Res.Rewrites
@@ -407,6 +469,53 @@ void emitResult(std::ostringstream &OS, const ValidationResult &Res,
 } // namespace
 
 namespace {
+
+/// Emits one function entry as a single-line JSON object (braces included,
+/// no newlines). Shared by the nested report emitter and the standalone
+/// functionEntryToJSON, which is what guarantees streamed per-function
+/// frames and the final report agree byte for byte.
+void emitFunctionEntry(std::ostringstream &OS, const FunctionReportEntry &F,
+                       bool IncludeTiming) {
+  OS << "{\"name\": \"" << jsonEscape(F.Name) << "\", "
+     << "\"fingerprint_orig\": \"" << hex64(F.FingerprintOrig) << "\", "
+     << "\"fingerprint_opt\": \"" << hex64(F.FingerprintOpt) << "\", "
+     << "\"transformed\": " << (F.Transformed ? "true" : "false") << ", "
+     << "\"validated\": " << (F.Validated ? "true" : "false") << ", "
+     << "\"cache_hit\": " << (F.CacheHit ? "true" : "false") << ", "
+     << "\"warm_hit\": " << (F.WarmHit ? "true" : "false") << ", "
+     << "\"skipped_identical\": "
+     << (F.SkippedIdentical ? "true" : "false") << ", "
+     << "\"reverted\": " << (F.Reverted ? "true" : "false") << ", "
+     << "\"guilty_pass\": ";
+  if (F.GuiltyPass.empty())
+    OS << "null";
+  else
+    OS << '"' << jsonEscape(F.GuiltyPass) << '"';
+  OS << ", \"triage\": ";
+  emitTriage(OS, F.Triage);
+  OS << ", ";
+  emitResult(OS, F.Result, IncludeTiming);
+  if (!F.Steps.empty()) {
+    OS << ", \"steps\": [";
+    bool FirstStep = true;
+    for (const auto &S : F.Steps) {
+      OS << (FirstStep ? "" : ", ");
+      FirstStep = false;
+      OS << "{\"pass\": \"" << jsonEscape(S.Pass) << "\", "
+         << "\"changed\": " << (S.Changed ? "true" : "false") << ", "
+         << "\"validated\": " << (S.Validated ? "true" : "false") << ", "
+         << "\"cache_hit\": " << (S.CacheHit ? "true" : "false") << ", "
+         << "\"warm_hit\": " << (S.WarmHit ? "true" : "false") << ", "
+         << "\"skipped_identical\": "
+         << (S.SkippedIdentical ? "true" : "false") << ", "
+         << "\"fingerprint\": \"" << hex64(S.Fingerprint) << "\", ";
+      emitResult(OS, S.Result, IncludeTiming);
+      OS << '}';
+    }
+    OS << ']';
+  }
+  OS << '}';
+}
 
 /// Emits the report object (braces included, no trailing newline) with
 /// \p P prefixed to every line after the first — so the same bytes serve as
@@ -438,6 +547,9 @@ void emitReportJSON(std::ostringstream &OS, const ValidationReport &R,
      << ", \"suspected_false_alarms\": " << R.suspectedFalseAlarms()
      << ", \"rewrites\": " << R.rewrites()
      << ", \"graph_nodes\": " << R.graphNodes();
+  auto Missing = R.missingRuleCounts();
+  if (!Missing.empty())
+    emitMissingRules(OS, Missing);
   std::snprintf(Buf, sizeof(Buf), "%.6f", R.validationRate());
   OS << ", \"validation_rate\": " << Buf << "},\n";
   OS << P << "  \"functions\": [";
@@ -445,45 +557,8 @@ void emitReportJSON(std::ostringstream &OS, const ValidationReport &R,
   for (const auto &F : R.Functions) {
     OS << (FirstFn ? "\n" : ",\n");
     FirstFn = false;
-    OS << P << "    {\"name\": \"" << jsonEscape(F.Name) << "\", "
-       << "\"fingerprint_orig\": \"" << hex64(F.FingerprintOrig) << "\", "
-       << "\"fingerprint_opt\": \"" << hex64(F.FingerprintOpt) << "\", "
-       << "\"transformed\": " << (F.Transformed ? "true" : "false") << ", "
-       << "\"validated\": " << (F.Validated ? "true" : "false") << ", "
-       << "\"cache_hit\": " << (F.CacheHit ? "true" : "false") << ", "
-       << "\"warm_hit\": " << (F.WarmHit ? "true" : "false") << ", "
-       << "\"skipped_identical\": "
-       << (F.SkippedIdentical ? "true" : "false") << ", "
-       << "\"reverted\": " << (F.Reverted ? "true" : "false") << ", "
-       << "\"guilty_pass\": ";
-    if (F.GuiltyPass.empty())
-      OS << "null";
-    else
-      OS << '"' << jsonEscape(F.GuiltyPass) << '"';
-    OS << ", \"triage\": ";
-    emitTriage(OS, F.Triage);
-    OS << ", ";
-    emitResult(OS, F.Result, IncludeTiming);
-    if (!F.Steps.empty()) {
-      OS << ", \"steps\": [";
-      bool FirstStep = true;
-      for (const auto &S : F.Steps) {
-        OS << (FirstStep ? "" : ", ");
-        FirstStep = false;
-        OS << "{\"pass\": \"" << jsonEscape(S.Pass) << "\", "
-           << "\"changed\": " << (S.Changed ? "true" : "false") << ", "
-           << "\"validated\": " << (S.Validated ? "true" : "false") << ", "
-           << "\"cache_hit\": " << (S.CacheHit ? "true" : "false") << ", "
-           << "\"warm_hit\": " << (S.WarmHit ? "true" : "false") << ", "
-           << "\"skipped_identical\": "
-           << (S.SkippedIdentical ? "true" : "false") << ", "
-           << "\"fingerprint\": \"" << hex64(S.Fingerprint) << "\", ";
-        emitResult(OS, S.Result, IncludeTiming);
-        OS << '}';
-      }
-      OS << ']';
-    }
-    OS << '}';
+    OS << P << "    ";
+    emitFunctionEntry(OS, F, IncludeTiming);
   }
   OS << '\n' << P << "  ]\n" << P << '}';
 }
@@ -495,6 +570,12 @@ std::string llvmmd::reportToJSON(const ValidationReport &R,
   std::ostringstream OS;
   emitReportJSON(OS, R, IncludeTiming, "");
   OS << '\n';
+  return OS.str();
+}
+
+std::string llvmmd::functionEntryToJSON(const FunctionReportEntry &F) {
+  std::ostringstream OS;
+  emitFunctionEntry(OS, F, /*IncludeTiming=*/false);
   return OS.str();
 }
 
@@ -550,6 +631,14 @@ unsigned SuiteReport::suspectedFalseAlarms() const {
   return sumModules(Modules, &ValidationReport::suspectedFalseAlarms);
 }
 
+std::vector<std::pair<std::string, unsigned>>
+SuiteReport::missingRuleCounts() const {
+  std::map<std::string, unsigned> Counts;
+  for (const auto &M : Modules)
+    tallyMissingRules(M, Counts);
+  return rankMissingRules(Counts);
+}
+
 double SuiteReport::validationRate() const {
   unsigned T = transformed();
   return T == 0 ? 1.0 : static_cast<double>(validated()) / T;
@@ -575,6 +664,15 @@ std::string llvmmd::suiteToText(const SuiteReport &S) {
                   "alarms\n",
                   S.witnessed(), S.suspectedFalseAlarms());
     OS << Buf;
+    // The paper's "which extension rule pays most" table at suite scale.
+    auto Missing = S.missingRuleCounts();
+    if (!Missing.empty()) {
+      OS << "  missing rules:";
+      for (size_t I = 0; I < Missing.size(); ++I)
+        OS << (I ? ", " : " ") << Missing[I].first << " x"
+           << Missing[I].second;
+      OS << '\n';
+    }
   }
   std::snprintf(Buf, sizeof(Buf), "  %.2f ms wall on %u threads\n",
                 S.WallMicroseconds / 1000.0, S.Threads);
@@ -591,6 +689,16 @@ std::string llvmmd::suiteToCSV(const SuiteReport &S) {
   OS << "module," << CSVColumns;
   for (const auto &M : S.Modules)
     emitCSVRows(OS, M, &M.ModuleName);
+  // Suite-scale missing-rule roll-up as a second CSV section (blank-line
+  // separated), ranked like the paper's "which extension rule pays most"
+  // table. Only present when attribution produced anything, so triage-free
+  // suite CSVs are byte-identical to the pre-roll-up shape.
+  auto Missing = S.missingRuleCounts();
+  if (!Missing.empty()) {
+    OS << "\nmissing_rule,count\n";
+    for (const auto &[Rule, Count] : Missing)
+      OS << csvEscape(Rule) << ',' << Count << '\n';
+  }
   return OS.str();
 }
 
@@ -617,6 +725,9 @@ std::string llvmmd::suiteToJSON(const SuiteReport &S, bool IncludeTiming) {
      << ", \"skipped_identical\": " << S.skippedIdentical()
      << ", \"witnessed\": " << S.witnessed()
      << ", \"suspected_false_alarms\": " << S.suspectedFalseAlarms();
+  auto Missing = S.missingRuleCounts();
+  if (!Missing.empty())
+    emitMissingRules(OS, Missing);
   std::snprintf(Buf, sizeof(Buf), "%.6f", S.validationRate());
   OS << ", \"validation_rate\": " << Buf << "},\n";
   OS << "  \"modules\": [";

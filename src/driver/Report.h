@@ -95,6 +95,13 @@ struct ValidationReport {
   /// classified suspected-false-alarm (both 0 when triage is off).
   unsigned witnessed() const;
   unsigned suspectedFalseAlarms() const;
+  /// The paper's "which extension rule pays most" table at module scale:
+  /// (rule name, alarm count) over the triaged false alarms, counting each
+  /// function's attributed missing rule ("(combined)" when only the full
+  /// extension set closes the gap). Sorted by count descending, name
+  /// ascending — deterministic for any thread count. Empty when triage was
+  /// off or attributed nothing.
+  std::vector<std::pair<std::string, unsigned>> missingRuleCounts() const;
   uint64_t rewrites() const;
   uint64_t graphNodes() const;
   /// Sum of per-pair validation wall times (CPU-ish time; exceeds
@@ -119,6 +126,12 @@ std::string reportToCSV(const ValidationReport &R);
 std::string reportToJSON(const ValidationReport &R,
                          bool IncludeTiming = false);
 
+/// One function entry as a single-line JSON object — the same bytes the
+/// full report emitter nests inside "functions" (modulo indentation), so a
+/// consumer of streamed per-function frames (the validation server) sees
+/// exactly what the final report will say. Never includes timing.
+std::string functionEntryToJSON(const FunctionReportEntry &F);
+
 /// The result of one engine suite run: one ValidationReport per module (in
 /// submission order) plus a roll-up. Like ValidationReport, everything
 /// except the wall-clock fields is independent of the thread count.
@@ -141,6 +154,9 @@ struct SuiteReport {
   unsigned skippedIdentical() const;
   unsigned witnessed() const;
   unsigned suspectedFalseAlarms() const;
+  /// Suite-scale missing-rule aggregation (see
+  /// ValidationReport::missingRuleCounts), summed over all modules.
+  std::vector<std::pair<std::string, unsigned>> missingRuleCounts() const;
   double validationRate() const;
 };
 

@@ -156,6 +156,7 @@ ValidationEngine::~ValidationEngine() = default;
 
 void ValidationEngine::clearCache() {
   Cache.clear();
+  TriageCache.clear();
   Stats.Entries = 0;
   CacheDirty = false;
 }
@@ -166,8 +167,9 @@ uint64_t ValidationEngine::storeConfigDigest() const {
 
 VerdictStore::LoadResult ValidationEngine::loadCache() {
   VerdictMap Loaded;
-  VerdictStore::LoadResult LR =
-      VerdictStore::load(Cfg.CachePath, storeConfigDigest(), Loaded);
+  TriageMap LoadedTriage;
+  VerdictStore::LoadResult LR = VerdictStore::load(
+      Cfg.CachePath, storeConfigDigest(), Loaded, &LoadedTriage);
   if (!LR.loaded()) {
     // Rejections (as opposed to a simply absent store) are safe — the
     // store will be rebuilt — but must be diagnosable: a silently-empty
@@ -184,6 +186,10 @@ VerdictStore::LoadResult ValidationEngine::loadCache() {
     if (Cache.emplace(KV.first, CachedVerdict{std::move(KV.second), true})
             .second)
       ++LR.EntriesMerged;
+  for (auto &KV : LoadedTriage)
+    if (TriageCache.emplace(KV.first, CachedTriage{std::move(KV.second), true})
+            .second)
+      ++Stats.TriageStoreLoaded;
   Stats.StoreLoaded += LR.EntriesMerged;
   Stats.Entries = Cache.size();
   return LR;
@@ -194,9 +200,14 @@ bool ValidationEngine::saveCache(std::string *Error) {
   Out.reserve(Cache.size());
   for (const auto &KV : Cache)
     Out.emplace(KV.first, KV.second.Result);
+  TriageMap TriageOut;
+  TriageOut.reserve(TriageCache.size());
+  for (const auto &KV : TriageCache)
+    TriageOut.emplace(KV.first, KV.second.Stored);
   std::string LocalError;
   uint64_t Written = VerdictStore::save(Cfg.CachePath, storeConfigDigest(),
-                                        Out, Error ? Error : &LocalError);
+                                        Out, Error ? Error : &LocalError,
+                                        /*MergeExisting=*/true, &TriageOut);
   if (Written == ~0ull) {
     // A swallowed save failure would resurface later as a baffling
     // "replay rate < 100%" on the next warm run; make the I/O error loud
@@ -208,6 +219,56 @@ bool ValidationEngine::saveCache(std::string *Error) {
   Stats.StoreSaved = Written;
   CacheDirty = false;
   return true;
+}
+
+std::vector<std::pair<unsigned, size_t>> ValidationEngine::resolveTriageCache(
+    const std::vector<std::pair<unsigned, size_t>> &Candidates,
+    const std::vector<ValidationReport *> &Reports,
+    const std::vector<uint64_t> &Digests,
+    const std::vector<uint64_t> &OptionDigests) {
+  std::vector<std::pair<unsigned, size_t>> Leftover;
+  Leftover.reserve(Candidates.size());
+  for (auto [Mi, Fi] : Candidates) {
+    FunctionReportEntry &E = Reports[Mi]->Functions[Fi];
+    // The options digest is part of the key, not just a validity stamp:
+    // two modules sharing a rejected pair but mining different corpus
+    // biases must hold separate entries, or they would evict each other
+    // every run and never reach 100% triage replay.
+    CacheKey Key{E.FingerprintOrig, E.FingerprintOpt,
+                 hashCombine(Digests[Mi], OptionDigests[Mi])};
+    if (Cfg.UseCache) {
+      auto It = TriageCache.find(Key);
+      // Digest equality re-checked as defense in depth against a
+      // hashCombine collision: a mismatched entry is inert, never wrong.
+      if (It != TriageCache.end() &&
+          It->second.Stored.OptionsDigest == OptionDigests[Mi]) {
+        E.Triage = It->second.Stored.Result;
+        ++Stats.TriageHits;
+        Stats.TriageWarmHits += It->second.FromStore;
+        continue;
+      }
+    }
+    Leftover.emplace_back(Mi, Fi);
+  }
+  return Leftover;
+}
+
+void ValidationEngine::memoizeTriage(
+    const std::vector<std::pair<unsigned, size_t>> &Tasks,
+    const std::vector<ValidationReport *> &Reports,
+    const std::vector<uint64_t> &Digests,
+    const std::vector<uint64_t> &OptionDigests) {
+  Stats.TriageMisses += Tasks.size();
+  if (!Cfg.UseCache)
+    return;
+  for (auto [Mi, Fi] : Tasks) {
+    const FunctionReportEntry &E = Reports[Mi]->Functions[Fi];
+    CacheKey Key{E.FingerprintOrig, E.FingerprintOpt,
+                 hashCombine(Digests[Mi], OptionDigests[Mi])};
+    TriageCache[Key] =
+        CachedTriage{StoredTriage{OptionDigests[Mi], E.Triage}, false};
+  }
+  CacheDirty |= !Tasks.empty();
 }
 
 void ValidationEngine::scheduleValidation(BatchState &B, unsigned Mod,
@@ -533,22 +594,37 @@ SuiteRun ValidationEngine::runModules(const std::vector<const Module *> &Mods,
   //===--------------------------------------------------------------------===//
 
   if (Cfg.Triage.Enabled) {
-    std::vector<std::pair<unsigned, size_t>> TriageTasks;
+    std::vector<std::pair<unsigned, size_t>> Candidates;
+    // Resolve the corpus bias once per module (mining walks every
+    // instruction) and hand the resolved value to each triagePair via a
+    // per-module options copy, instead of letting every pair re-mine the
+    // module. The options digest folds the same bias in, so cached
+    // entries can never replay across a bias change.
+    std::vector<TriageOptions> ModOpts(States.size(), Cfg.Triage);
+    std::vector<uint64_t> OptionDigests;
+    OptionDigests.reserve(States.size());
     for (size_t Mi = 0; Mi < States.size(); ++Mi) {
+      ModOpts[Mi].Bias = resolveCorpusBias(Cfg.Triage, *States[Mi].Orig);
+      OptionDigests.push_back(
+          triageOptionsDigest(Cfg.Triage, ModOpts[Mi].Bias));
       const ValidationReport &R = *States[Mi].Report;
       for (size_t Fi = 0; Fi < R.Functions.size(); ++Fi) {
         const FunctionReportEntry &E = R.Functions[Fi];
         if (E.Transformed && !E.Validated)
-          TriageTasks.emplace_back(static_cast<unsigned>(Mi), Fi);
+          Candidates.emplace_back(static_cast<unsigned>(Mi), Fi);
       }
     }
+    std::vector<std::pair<unsigned, size_t>> TriageTasks =
+        resolveTriageCache(Candidates, Reports, B.ConfigDigests,
+                           OptionDigests);
     Pool.parallelFor(TriageTasks.size(), [&](size_t I) {
       auto [Mi, Fi] = TriageTasks[I];
       ModuleRunState &S = States[Mi];
       TriagePair TP{S.Orig, S.Origs[Fi], S.Opt, S.Defined[Fi]};
       Reports[Mi]->Functions[Fi].Triage =
-          triagePair(TP, B.ModuleRules[Mi], Cfg.Triage);
+          triagePair(TP, B.ModuleRules[Mi], ModOpts[Mi]);
     });
+    memoizeTriage(TriageTasks, Reports, B.ConfigDigests, OptionDigests);
   }
 
   //===--------------------------------------------------------------------===//
@@ -667,19 +743,29 @@ ValidationReport ValidationEngine::validateModules(const Module &Original,
   executeBatch(B, Reports);
 
   // Triage every rejected pair, exactly like the optimize-and-validate
-  // path: deterministic task order, one report slot per task.
+  // path: deterministic task order, one report slot per task, cached
+  // results replayed instead of re-interpreted.
   if (Cfg.Triage.Enabled) {
-    std::vector<size_t> TriageTasks;
+    std::vector<std::pair<unsigned, size_t>> Candidates;
     for (size_t Fi = 0; Fi < Defined.size(); ++Fi) {
       const FunctionReportEntry &E = Report.Functions[Fi];
       if (E.Transformed && !E.Validated && Counterparts[Fi])
-        TriageTasks.push_back(Fi);
+        Candidates.emplace_back(0u, Fi);
     }
+    // Bias resolved once (not per pair) and passed down, as in runModules.
+    TriageOptions ModOpts = Cfg.Triage;
+    ModOpts.Bias = resolveCorpusBias(Cfg.Triage, Original);
+    std::vector<uint64_t> OptionDigests{
+        triageOptionsDigest(Cfg.Triage, ModOpts.Bias)};
+    std::vector<std::pair<unsigned, size_t>> TriageTasks =
+        resolveTriageCache(Candidates, Reports, B.ConfigDigests,
+                           OptionDigests);
     Pool.parallelFor(TriageTasks.size(), [&](size_t I) {
-      size_t Fi = TriageTasks[I];
+      size_t Fi = TriageTasks[I].second;
       TriagePair TP{&Original, Counterparts[Fi], &Optimized, Defined[Fi]};
-      Report.Functions[Fi].Triage = triagePair(TP, Rules, Cfg.Triage);
+      Report.Functions[Fi].Triage = triagePair(TP, Rules, ModOpts);
     });
+    memoizeTriage(TriageTasks, Reports, B.ConfigDigests, OptionDigests);
   }
 
   if (!Cfg.CachePath.empty() && Cfg.CacheSave && CacheDirty)

@@ -106,6 +106,14 @@ struct EngineCacheStats {
   uint64_t Entries = 0;          ///< memoized verdicts currently held
   uint64_t StoreLoaded = 0; ///< entries merged in from the persistent store
   uint64_t StoreSaved = 0;  ///< entries written by the most recent save
+  /// Triage replay accounting, mirroring the verdict fields: rejected pairs
+  /// whose TriageResult was replayed from the in-memory triage cache
+  /// (TriageHits; TriageWarmHits of those came from the persistent store)
+  /// vs re-interpreted from scratch (TriageMisses).
+  uint64_t TriageHits = 0;
+  uint64_t TriageWarmHits = 0;
+  uint64_t TriageMisses = 0;
+  uint64_t TriageStoreLoaded = 0; ///< triage entries merged from the store
 };
 
 /// The result of one engine run: the certified optimized module (same
@@ -166,6 +174,11 @@ public:
   void clearCache();
   unsigned getThreadCount() const { return Pool.getThreadCount(); }
 
+  /// New verdicts or triage results were memoized since the last save.
+  /// Lets callers that own the checkpoint cadence (the validation server's
+  /// periodic checkpointer) skip rewriting an unchanged store.
+  bool cacheDirty() const { return CacheDirty; }
+
   /// The VerdictStore header digest for the engine's current rule
   /// configuration (per-module globals are digested into entry keys, not
   /// here).
@@ -197,6 +210,13 @@ private:
   /// process) vs cold (this process).
   struct CachedVerdict {
     ValidationResult Result;
+    bool FromStore = false;
+  };
+
+  /// One memoized triage outcome (same key space as verdicts, plus the
+  /// options digest the stored entry was computed under).
+  struct CachedTriage {
+    StoredTriage Stored;
     bool FromStore = false;
   };
 
@@ -255,12 +275,32 @@ private:
   SuiteRun runModules(const std::vector<const Module *> &Modules,
                       const std::string &PipelineName, PassManager &ProtoPM);
 
+  /// Replays cached triage results into \p Candidates' report entries and
+  /// returns the (Mod, Fn) subset that still needs triagePair, preserving
+  /// the deterministic submission order. \p Digests are the per-module
+  /// CacheKey::Config values, \p OptionDigests the per-module
+  /// triageOptionsDigest values.
+  std::vector<std::pair<unsigned, size_t>> resolveTriageCache(
+      const std::vector<std::pair<unsigned, size_t>> &Candidates,
+      const std::vector<ValidationReport *> &Reports,
+      const std::vector<uint64_t> &Digests,
+      const std::vector<uint64_t> &OptionDigests);
+
+  /// Memoizes freshly computed triage results for \p Tasks (the
+  /// resolveTriageCache leftovers, now filled in).
+  void memoizeTriage(const std::vector<std::pair<unsigned, size_t>> &Tasks,
+                     const std::vector<ValidationReport *> &Reports,
+                     const std::vector<uint64_t> &Digests,
+                     const std::vector<uint64_t> &OptionDigests);
+
   EngineConfig Cfg;
   ThreadPool Pool;
   std::unordered_map<CacheKey, CachedVerdict, CacheKeyHash> Cache;
+  std::unordered_map<CacheKey, CachedTriage, CacheKeyHash> TriageCache;
   EngineCacheStats Stats;
-  /// New verdicts were memoized since the last save; gates save-on-report
-  /// so replay-only runs don't rewrite an unchanged store.
+  /// New verdicts or triage results were memoized since the last save;
+  /// gates save-on-report so replay-only runs don't rewrite an unchanged
+  /// store.
   bool CacheDirty = false;
 };
 

@@ -12,13 +12,28 @@
 //            u64 config digest   verdictStoreConfigDigest at save time
 //            u64 entry count
 //            u64 payload hash    FNV-1a over the payload bytes
-//   payload  per entry:
+//   payload  per verdict entry:
 //            u64 fpA, u64 fpB, u64 config
 //            u8  flags           bit0 Validated, bit1 Unsupported,
 //                                bit2 EqualOnConstruction
 //            u64 graph nodes, live nodes, rewrites, sharing merges,
 //                iterations, microseconds
 //            u32 reason length + raw bytes
+//   then (v2) the triage section, still inside the checksummed payload:
+//            u64 triage entry count
+//            per triage entry:
+//            u64 fpA, u64 fpB, u64 config, u64 options digest
+//            u8  classification
+//            u8  flags           bit0 Reduced, bit1 ReduceMinimal,
+//                                bit2 GapRan, bit3 GapDiverged,
+//                                bit4 ClosedByAllRules
+//            u32 inputs tried, inputs skipped, reduce validations,
+//                missing-rule mask
+//            u64 orig/opt insts before, orig/opt insts after
+//            u32 witness-input count + per input (u32 length + bytes)
+//            6 strings (u32 length + bytes each): witness divergence,
+//                reduced orig, reduced opt, gap node a, gap node b,
+//                missing rule
 //
 //===----------------------------------------------------------------------===//
 
@@ -82,6 +97,96 @@ void appendEntry(std::string &Out, const VerdictKey &K,
   appendU64LE(Out, R.Microseconds);
   appendU32LE(Out, static_cast<uint32_t>(R.Reason.size()));
   Out.append(R.Reason);
+}
+
+enum TriageFlags : uint8_t {
+  TF_Reduced = 1u << 0,
+  TF_ReduceMinimal = 1u << 1,
+  TF_GapRan = 1u << 2,
+  TF_GapDiverged = 1u << 3,
+  TF_ClosedByAllRules = 1u << 4,
+};
+
+void appendTriageEntry(std::string &Out, const VerdictKey &K,
+                       const StoredTriage &T) {
+  appendU64LE(Out, K.FpA);
+  appendU64LE(Out, K.FpB);
+  appendU64LE(Out, K.Config);
+  appendU64LE(Out, T.OptionsDigest);
+  const TriageResult &R = T.Result;
+  Out.push_back(static_cast<char>(R.Classification));
+  uint8_t Flags = (R.Reduced ? TF_Reduced : 0) |
+                  (R.ReduceMinimal ? TF_ReduceMinimal : 0) |
+                  (R.GapRan ? TF_GapRan : 0) |
+                  (R.GapDiverged ? TF_GapDiverged : 0) |
+                  (R.ClosedByAllRules ? TF_ClosedByAllRules : 0);
+  Out.push_back(static_cast<char>(Flags));
+  appendU32LE(Out, R.InputsTried);
+  appendU32LE(Out, R.InputsSkipped);
+  appendU32LE(Out, R.ReduceValidations);
+  appendU32LE(Out, R.MissingRuleMask);
+  appendU64LE(Out, R.OrigInstsBefore);
+  appendU64LE(Out, R.OptInstsBefore);
+  appendU64LE(Out, R.OrigInstsAfter);
+  appendU64LE(Out, R.OptInstsAfter);
+  appendU32LE(Out, static_cast<uint32_t>(R.WitnessInputs.size()));
+  for (const std::string &In : R.WitnessInputs)
+    appendLPString(Out, In);
+  appendLPString(Out, R.WitnessDivergence);
+  appendLPString(Out, R.ReducedOrig);
+  appendLPString(Out, R.ReducedOpt);
+  appendLPString(Out, R.GapNodeA);
+  appendLPString(Out, R.GapNodeB);
+  appendLPString(Out, R.MissingRule);
+}
+
+bool readTriageEntry(const char *Data, size_t Size, size_t &Cur, VerdictKey &K,
+                     StoredTriage &T) {
+  if (!readU64LE(Data, Size, Cur, K.FpA) ||
+      !readU64LE(Data, Size, Cur, K.FpB) ||
+      !readU64LE(Data, Size, Cur, K.Config) ||
+      !readU64LE(Data, Size, Cur, T.OptionsDigest))
+    return false;
+  if (Size - Cur < 2)
+    return false;
+  uint8_t Cls = static_cast<unsigned char>(Data[Cur++]);
+  // An out-of-range classification byte means the file cannot have been
+  // produced by this writer; treat it like any other corruption.
+  if (Cls > static_cast<uint8_t>(TriageClassification::Inconclusive))
+    return false;
+  TriageResult &R = T.Result;
+  R.Classification = static_cast<TriageClassification>(Cls);
+  uint8_t Flags = static_cast<unsigned char>(Data[Cur++]);
+  R.Reduced = Flags & TF_Reduced;
+  R.ReduceMinimal = Flags & TF_ReduceMinimal;
+  R.GapRan = Flags & TF_GapRan;
+  R.GapDiverged = Flags & TF_GapDiverged;
+  R.ClosedByAllRules = Flags & TF_ClosedByAllRules;
+  uint32_t WitnessCount = 0;
+  if (!readU32LE(Data, Size, Cur, R.InputsTried) ||
+      !readU32LE(Data, Size, Cur, R.InputsSkipped) ||
+      !readU32LE(Data, Size, Cur, R.ReduceValidations) ||
+      !readU32LE(Data, Size, Cur, R.MissingRuleMask) ||
+      !readU64LE(Data, Size, Cur, R.OrigInstsBefore) ||
+      !readU64LE(Data, Size, Cur, R.OptInstsBefore) ||
+      !readU64LE(Data, Size, Cur, R.OrigInstsAfter) ||
+      !readU64LE(Data, Size, Cur, R.OptInstsAfter) ||
+      !readU32LE(Data, Size, Cur, WitnessCount))
+    return false;
+  // Bound the count by the bytes actually left (each input costs at least
+  // its u32 length) so a corrupt count cannot drive a huge allocation.
+  if (WitnessCount > (Size - Cur) / 4)
+    return false;
+  R.WitnessInputs.resize(WitnessCount);
+  for (std::string &In : R.WitnessInputs)
+    if (!readLPString(Data, Size, Cur, In))
+      return false;
+  return readLPString(Data, Size, Cur, R.WitnessDivergence) &&
+         readLPString(Data, Size, Cur, R.ReducedOrig) &&
+         readLPString(Data, Size, Cur, R.ReducedOpt) &&
+         readLPString(Data, Size, Cur, R.GapNodeA) &&
+         readLPString(Data, Size, Cur, R.GapNodeB) &&
+         readLPString(Data, Size, Cur, R.MissingRule);
 }
 
 bool readEntry(const char *Data, size_t Size, size_t &Cur, VerdictKey &K,
@@ -149,26 +254,46 @@ private:
 } // namespace
 
 std::string VerdictStore::serialize(uint64_t ConfigDigest,
-                                    const VerdictMap &Map) {
+                                    const VerdictMap &Map,
+                                    const TriageMap *Triage) {
   // Deterministic payload: entries sorted by key, so the same map always
   // serializes to the same bytes regardless of hash-table iteration order.
-  std::vector<const VerdictMap::value_type *> Entries;
-  Entries.reserve(Map.size());
-  for (const auto &KV : Map)
-    Entries.push_back(&KV);
-  std::sort(Entries.begin(), Entries.end(), [](const auto *A, const auto *B) {
-    const VerdictKey &KA = A->first, &KB = B->first;
+  auto KeyLess = [](const VerdictKey &KA, const VerdictKey &KB) {
     if (KA.FpA != KB.FpA)
       return KA.FpA < KB.FpA;
     if (KA.FpB != KB.FpB)
       return KA.FpB < KB.FpB;
     return KA.Config < KB.Config;
-  });
+  };
+  std::vector<const VerdictMap::value_type *> Entries;
+  Entries.reserve(Map.size());
+  for (const auto &KV : Map)
+    Entries.push_back(&KV);
+  std::sort(Entries.begin(), Entries.end(),
+            [&](const auto *A, const auto *B) {
+              return KeyLess(A->first, B->first);
+            });
 
   std::string Payload;
   Payload.reserve(Entries.size() * 80);
   for (const auto *KV : Entries)
     appendEntry(Payload, KV->first, KV->second);
+
+  // Triage section: always present in a v2 store (possibly empty), sorted
+  // like the verdicts.
+  std::vector<const TriageMap::value_type *> TriageEntries;
+  if (Triage) {
+    TriageEntries.reserve(Triage->size());
+    for (const auto &KV : *Triage)
+      TriageEntries.push_back(&KV);
+    std::sort(TriageEntries.begin(), TriageEntries.end(),
+              [&](const auto *A, const auto *B) {
+                return KeyLess(A->first, B->first);
+              });
+  }
+  appendU64LE(Payload, static_cast<uint64_t>(TriageEntries.size()));
+  for (const auto *KV : TriageEntries)
+    appendTriageEntry(Payload, KV->first, KV->second);
 
   std::string Out;
   Out.reserve(HeaderSize + Payload.size());
@@ -184,7 +309,8 @@ std::string VerdictStore::serialize(uint64_t ConfigDigest,
 
 VerdictStore::LoadResult VerdictStore::load(const std::string &Path,
                                             uint64_t ConfigDigest,
-                                            VerdictMap &Map) {
+                                            VerdictMap &Map,
+                                            TriageMap *Triage) {
   LoadResult LR;
   std::ifstream In(Path, std::ios::binary);
   if (!In) {
@@ -232,7 +358,7 @@ VerdictStore::LoadResult VerdictStore::load(const std::string &Path,
     return LR;
   }
 
-  // Parse into a scratch map first so a malformed payload (count lies, bad
+  // Parse into scratch maps first so a malformed payload (count lies, bad
   // entry bounds) cannot leave Map half-merged.
   VerdictMap Parsed;
   Parsed.reserve(static_cast<size_t>(Count));
@@ -247,6 +373,29 @@ VerdictStore::LoadResult VerdictStore::load(const std::string &Path,
     }
     Parsed.emplace(K, std::move(R));
   }
+
+  // The triage section is parsed (and checksummed above) even when the
+  // caller does not want it, so structural corruption there is caught no
+  // matter which half of the store a process uses.
+  uint64_t TriageCount = 0;
+  TriageMap ParsedTriage;
+  if (!readU64LE(Bytes.data(), Bytes.size(), Cur, TriageCount)) {
+    LR.Status = LoadStatus::Corrupt;
+    LR.Message = "truncated triage section header";
+    return LR;
+  }
+  ParsedTriage.reserve(static_cast<size_t>(TriageCount));
+  for (uint64_t I = 0; I < TriageCount; ++I) {
+    VerdictKey K;
+    StoredTriage T;
+    if (!readTriageEntry(Bytes.data(), Bytes.size(), Cur, K, T)) {
+      LR.Status = LoadStatus::Corrupt;
+      LR.Message = "truncated at triage entry " + std::to_string(I) + " of " +
+                   std::to_string(TriageCount);
+      return LR;
+    }
+    ParsedTriage.emplace(K, std::move(T));
+  }
   if (Cur != Bytes.size()) {
     LR.Status = LoadStatus::Corrupt;
     LR.Message = "trailing bytes after last entry";
@@ -256,29 +405,44 @@ VerdictStore::LoadResult VerdictStore::load(const std::string &Path,
   for (auto &KV : Parsed)
     if (Map.emplace(KV.first, std::move(KV.second)).second)
       ++LR.EntriesMerged;
+  if (Triage)
+    for (auto &KV : ParsedTriage)
+      Triage->emplace(KV.first, std::move(KV.second));
   LR.Status = LoadStatus::Loaded;
   return LR;
 }
 
 uint64_t VerdictStore::save(const std::string &Path, uint64_t ConfigDigest,
                             const VerdictMap &Map, std::string *Error,
-                            bool MergeExisting) {
+                            bool MergeExisting, const TriageMap *Triage) {
   SaveLock Lock(Path);
   const VerdictMap *ToWrite = &Map;
+  const TriageMap *TriageToWrite = Triage;
   VerdictMap Merged;
+  TriageMap MergedTriage;
   if (MergeExisting) {
     // Union with whatever another shard already saved here. Start from the
-    // in-memory map so the current process wins per key; a store that fails
-    // to load (any reason) contributes nothing.
+    // in-memory maps so the current process wins per key; a store that
+    // fails to load (any reason) contributes nothing.
     Merged = Map;
+    if (Triage)
+      MergedTriage = *Triage;
     VerdictMap OnDisk;
-    if (load(Path, ConfigDigest, OnDisk).loaded())
+    TriageMap OnDiskTriage;
+    if (load(Path, ConfigDigest, OnDisk, &OnDiskTriage).loaded()) {
       for (auto &KV : OnDisk)
         Merged.emplace(KV.first, std::move(KV.second));
+      for (auto &KV : OnDiskTriage)
+        MergedTriage.emplace(KV.first, std::move(KV.second));
+    }
     ToWrite = &Merged;
+    // Preserve another shard's triage entries even when this engine ran
+    // with triage off (Triage == nullptr): dropping them on save would
+    // silently cool future warm runs.
+    TriageToWrite = &MergedTriage;
   }
 
-  std::string Bytes = serialize(ConfigDigest, *ToWrite);
+  std::string Bytes = serialize(ConfigDigest, *ToWrite, TriageToWrite);
 
 #ifndef _WIN32
   std::string Tmp = Path + ".tmp." + std::to_string(::getpid());

@@ -33,6 +33,7 @@
 #ifndef LLVMMD_DRIVER_VERDICTSTORE_H
 #define LLVMMD_DRIVER_VERDICTSTORE_H
 
+#include "triage/Triage.h"
 #include "validator/Validator.h"
 
 #include <cstdint>
@@ -62,6 +63,20 @@ struct VerdictKeyHash {
 using VerdictMap =
     std::unordered_map<VerdictKey, ValidationResult, VerdictKeyHash>;
 
+/// One memoized triage outcome, stored next to the verdict it explains:
+/// same fingerprint pair, with the key's Config additionally folding in
+/// the triage-options digest (triageOptionsDigest: corpus size, budgets,
+/// resolved corpus bias) so two modules that share a rejected pair but
+/// mine different biases hold separate entries. The digest also rides
+/// along in the value and is re-checked on replay — a mismatched entry is
+/// inert, never wrong.
+struct StoredTriage {
+  uint64_t OptionsDigest = 0;
+  TriageResult Result;
+};
+
+using TriageMap = std::unordered_map<VerdictKey, StoredTriage, VerdictKeyHash>;
+
 /// Digest of everything engine-global a replayed verdict depends on: rule
 /// mask, sharing strategy, fixpoint budget, and the store's semantics salt.
 /// This is the store header's compatibility gate; per-module inputs are
@@ -71,7 +86,10 @@ uint64_t verdictStoreConfigDigest(const RuleConfig &Rules);
 class VerdictStore {
 public:
   /// On-disk layout version. Bump when the serialized shape changes.
-  static constexpr uint32_t FormatVersion = 1;
+  /// v2 appended the triage section (entries keyed like verdicts, carrying
+  /// the full TriageResult plus its options digest); v1 stores are
+  /// rejected as BadVersion and rebuilt.
+  static constexpr uint32_t FormatVersion = 2;
   /// Folded into every config digest; bump when validator *behavior*
   /// changes in a way old verdicts must not survive (new rules, fingerprint
   /// algorithm changes, ...). Orthogonal to FormatVersion, which only
@@ -95,25 +113,31 @@ public:
     bool loaded() const { return Status == LoadStatus::Loaded; }
   };
 
-  /// Loads the store at \p Path and merges its entries into \p Map. Keys
-  /// already present keep their in-memory verdict (the current process has
-  /// fresher information). On any rejection \p Map is left untouched.
+  /// Loads the store at \p Path and merges its entries into \p Map (and,
+  /// when \p Triage is non-null, its triage section into \p *Triage). Keys
+  /// already present keep their in-memory value (the current process has
+  /// fresher information). On any rejection both maps are left untouched.
   static LoadResult load(const std::string &Path, uint64_t ConfigDigest,
-                         VerdictMap &Map);
+                         VerdictMap &Map, TriageMap *Triage = nullptr);
 
   /// Atomically replaces the store at \p Path with \p Map: serialize to a
   /// sibling temp file, then rename over the target. When \p MergeExisting
   /// (the default), a loadable on-disk store with the same digest is folded
   /// in first — in-memory entries win per key — so two engines saving to
-  /// the same path union their verdicts instead of clobbering. Returns the
-  /// number of entries written, or ~0ull on I/O failure (with \p Error set).
+  /// the same path union their verdicts instead of clobbering. \p Triage,
+  /// when non-null, is written (and merged) the same way. Returns the
+  /// number of verdict entries written, or ~0ull on I/O failure (with
+  /// \p Error set).
   static uint64_t save(const std::string &Path, uint64_t ConfigDigest,
                        const VerdictMap &Map, std::string *Error = nullptr,
-                       bool MergeExisting = true);
+                       bool MergeExisting = true,
+                       const TriageMap *Triage = nullptr);
 
-  /// Serializes \p Map to the store byte format (header included). Exposed
-  /// for tests that need to corrupt specific offsets.
-  static std::string serialize(uint64_t ConfigDigest, const VerdictMap &Map);
+  /// Serializes \p Map (+ optional triage section) to the store byte format
+  /// (header included). Exposed for tests that need to corrupt specific
+  /// offsets.
+  static std::string serialize(uint64_t ConfigDigest, const VerdictMap &Map,
+                               const TriageMap *Triage = nullptr);
 };
 
 } // namespace llvmmd

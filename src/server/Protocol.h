@@ -1,0 +1,196 @@
+//===- Protocol.h - Validation service wire protocol ------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framed wire protocol between the validation daemon and its clients.
+///
+/// Every message is one length-prefixed frame:
+///
+///   u32 LE payload length | u8 frame type | payload bytes
+///
+/// The reader never trusts the length field: a frame claiming more than the
+/// negotiated maximum is rejected before a byte of its payload is read, a
+/// short read (peer died mid-frame) surfaces as a clean disconnect, and an
+/// unknown frame type or undecodable payload is a protocol error that
+/// closes the connection — never undefined behavior.
+///
+/// A connection starts with a versioned handshake: the client's Hello
+/// carries the protocol version and its *verdict-store config digest* (rule
+/// mask, sharing strategy, fixpoint budget, semantics salt — exactly the
+/// header gate of the persistent VerdictStore). The server compares both
+/// against its own; a mismatch is rejected with an Error frame, never
+/// silently served, because a verdict proven under different rules is not
+/// the verdict the client asked for.
+///
+/// After HelloOk the client may Submit jobs (profile-generated or inline IR
+/// modules), request Stats, Ping, or request Shutdown. Job responses
+/// stream: one Function frame per function (the single-line JSON object of
+/// functionEntryToJSON, byte-identical to the entry in the final report), a
+/// ModuleReport frame per module as soon as that module's validation
+/// finishes, the final authoritative SuiteReport frame (exactly the bytes
+/// suiteToJSON emits for a batch run of the same inputs), and a JobDone
+/// frame carrying the engine's cache-stat deltas for the job — which is how
+/// `--expect-warm` keeps its meaning end to end over the wire.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_SERVER_PROTOCOL_H
+#define LLVMMD_SERVER_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llvmmd {
+
+/// Bumped on any wire-format change; a version mismatch fails the
+/// handshake in either direction.
+constexpr uint32_t ServerProtocolVersion = 1;
+
+/// Default ceiling on one frame's payload. Large enough for a suite report
+/// over a big module set, small enough that a garbage length field cannot
+/// drive an allocation anywhere near memory limits.
+constexpr uint32_t DefaultMaxFrameBytes = 32u << 20;
+
+enum class FrameType : uint8_t {
+  // Client -> server.
+  Hello = 1,
+  Submit = 2,
+  Stats = 3,
+  Ping = 4,
+  Shutdown = 5,
+
+  // Server -> client.
+  HelloOk = 64,
+  Accepted = 65,
+  Function = 66,
+  ModuleReport = 67,
+  SuiteReport = 68,
+  JobDone = 69,
+  StatsReply = 70,
+  Pong = 71,
+  Error = 72,
+};
+
+enum class ErrorCode : uint8_t {
+  Protocol = 1,  ///< malformed/oversized/unexpected frame; connection closes
+  Handshake = 2, ///< version or config-digest mismatch; connection closes
+  QueueFull = 3, ///< admission control rejected the job; connection stays up
+  BadSubmit = 4, ///< unknown profile / unparsable module; connection stays up
+};
+
+struct Frame {
+  FrameType Type = FrameType::Error;
+  std::string Payload;
+};
+
+enum class ReadStatus : uint8_t {
+  Ok,
+  Eof,       ///< orderly close (or shutdown) before a frame header
+  Truncated, ///< peer died mid-frame
+  Oversized, ///< length field exceeds the cap; nothing further was read
+  IOError,
+};
+
+/// Writes one frame to the connected socket \p Fd (blocking, SIGPIPE
+/// suppressed). Returns false when the peer is gone.
+bool writeFrame(int Fd, FrameType Type, const std::string &Payload);
+
+/// Reads one frame (blocking). \p MaxPayload bounds the length field.
+ReadStatus readFrame(int Fd, Frame &F, uint32_t MaxPayload);
+
+//===----------------------------------------------------------------------===//
+// Frame payloads
+//===----------------------------------------------------------------------===//
+
+struct HelloPayload {
+  uint32_t Version = ServerProtocolVersion;
+  uint64_t ConfigDigest = 0; ///< verdictStoreConfigDigest of the rule config
+};
+
+/// The server's half of the handshake.
+struct HelloOkPayload {
+  uint32_t Version = ServerProtocolVersion;
+  uint64_t ConfigDigest = 0;
+  uint32_t EngineThreads = 0;
+  uint8_t TriageEnabled = 0;
+};
+
+/// One module of a submission: either a named BenchmarkProfile the server
+/// generates (FunctionCount optionally overridden — tests and benchmarks
+/// shrink profiles this way) or inline IR text the server parses.
+struct SubmitModule {
+  uint8_t FromProfile = 1;
+  std::string Name;      ///< profile name, or module name for inline IR
+  std::string Text;      ///< IR text when !FromProfile
+  uint32_t FnCount = 0;  ///< profile FunctionCount override; 0 = default
+};
+
+struct SubmitPayload {
+  std::vector<SubmitModule> Modules;
+};
+
+struct AcceptedPayload {
+  uint64_t JobId = 0;
+  uint32_t QueuePosition = 0; ///< jobs ahead of this one when admitted
+};
+
+/// Streamed per-function verdict: \p Json is functionEntryToJSON's
+/// single-line object, byte-identical to the entry in the final report.
+struct FunctionPayload {
+  uint32_t ModuleIndex = 0;
+  std::string ModuleName;
+  std::string Json;
+};
+
+struct ModuleReportPayload {
+  uint32_t ModuleIndex = 0;
+  std::string Json; ///< reportToJSON bytes for this module
+};
+
+/// End-of-job summary: the engine's cache-stat deltas attributable to this
+/// job. Misses == 0 and TriageMisses == 0 is the served form of the
+/// `--expect-warm` invariant.
+struct JobDonePayload {
+  uint64_t JobId = 0;
+  /// 0 = every transformed function validated; 2 = some did not (the
+  /// batch_validate exit-code convention).
+  uint8_t Status = 0;
+  uint64_t Hits = 0;
+  uint64_t WarmHits = 0;
+  uint64_t Misses = 0;
+  uint64_t SkippedIdentical = 0;
+  uint64_t TriageHits = 0;
+  uint64_t TriageWarmHits = 0;
+  uint64_t TriageMisses = 0;
+  uint64_t WallMicroseconds = 0;
+};
+
+struct ErrorPayload {
+  ErrorCode Code = ErrorCode::Protocol;
+  std::string Message;
+};
+
+std::string encodeHello(const HelloPayload &P);
+bool decodeHello(const std::string &Bytes, HelloPayload &P);
+std::string encodeHelloOk(const HelloOkPayload &P);
+bool decodeHelloOk(const std::string &Bytes, HelloOkPayload &P);
+std::string encodeSubmit(const SubmitPayload &P);
+bool decodeSubmit(const std::string &Bytes, SubmitPayload &P);
+std::string encodeAccepted(const AcceptedPayload &P);
+bool decodeAccepted(const std::string &Bytes, AcceptedPayload &P);
+std::string encodeFunction(const FunctionPayload &P);
+bool decodeFunction(const std::string &Bytes, FunctionPayload &P);
+std::string encodeModuleReport(const ModuleReportPayload &P);
+bool decodeModuleReport(const std::string &Bytes, ModuleReportPayload &P);
+std::string encodeJobDone(const JobDonePayload &P);
+bool decodeJobDone(const std::string &Bytes, JobDonePayload &P);
+std::string encodeError(const ErrorPayload &P);
+bool decodeError(const std::string &Bytes, ErrorPayload &P);
+
+} // namespace llvmmd
+
+#endif // LLVMMD_SERVER_PROTOCOL_H

@@ -1,0 +1,228 @@
+//===- ServerClient.cpp - Validation service client library -------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/ServerClient.h"
+
+#include <cstring>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+using namespace llvmmd;
+
+ServerClient::~ServerClient() { close(); }
+
+void ServerClient::close() {
+#ifndef _WIN32
+  if (Fd >= 0)
+    ::close(Fd);
+#endif
+  Fd = -1;
+}
+
+bool ServerClient::connectUnix(const std::string &Path, std::string *Error) {
+#ifndef _WIN32
+  close();
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    if (Error)
+      *Error = "unix socket path too long: " + Path;
+    return false;
+  }
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0 ||
+      ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    if (Error)
+      *Error = "cannot connect to '" + Path + "'";
+    close();
+    return false;
+  }
+  return true;
+#else
+  (void)Path;
+  if (Error)
+    *Error = "client sockets are POSIX-only";
+  return false;
+#endif
+}
+
+bool ServerClient::connectTcp(const std::string &Host, uint16_t Port,
+                              std::string *Error) {
+#ifndef _WIN32
+  close();
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    if (Error)
+      *Error = "bad IPv4 address '" + Host + "'";
+    return false;
+  }
+  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0 ||
+      ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    if (Error)
+      *Error = "cannot connect to " + Host + ":" + std::to_string(Port);
+    close();
+    return false;
+  }
+  return true;
+#else
+  (void)Host;
+  (void)Port;
+  if (Error)
+    *Error = "client sockets are POSIX-only";
+  return false;
+#endif
+}
+
+bool ServerClient::sendRaw(FrameType Type, const std::string &Payload) {
+  return Fd >= 0 && writeFrame(Fd, Type, Payload);
+}
+
+bool ServerClient::readExpect(FrameType Want, Frame &F, std::string *Error) {
+  ReadStatus RS = readFrame(Fd, F, MaxFrameBytes);
+  if (RS != ReadStatus::Ok) {
+    if (Error)
+      *Error = RS == ReadStatus::Eof ? "server closed the connection"
+                                     : "connection error";
+    return false;
+  }
+  if (F.Type == Want)
+    return true;
+  if (F.Type == FrameType::Error) {
+    ErrorPayload E;
+    if (Error)
+      *Error = decodeError(F.Payload, E) ? E.Message : "undecodable error";
+    return false;
+  }
+  if (Error)
+    *Error = "unexpected frame from server";
+  return false;
+}
+
+bool ServerClient::handshake(uint64_t ConfigDigest, HelloOkPayload *Info,
+                             std::string *Error) {
+  HelloPayload H;
+  H.ConfigDigest = ConfigDigest;
+  if (!sendRaw(FrameType::Hello, encodeHello(H))) {
+    if (Error)
+      *Error = "cannot send Hello";
+    return false;
+  }
+  Frame F;
+  if (!readExpect(FrameType::HelloOk, F, Error))
+    return false;
+  HelloOkPayload Ok;
+  if (!decodeHelloOk(F.Payload, Ok)) {
+    if (Error)
+      *Error = "undecodable HelloOk";
+    return false;
+  }
+  if (Info)
+    *Info = Ok;
+  return true;
+}
+
+bool ServerClient::submit(const SubmitPayload &Req, AcceptedPayload *Accepted,
+                          std::string *Error) {
+  if (!sendRaw(FrameType::Submit, encodeSubmit(Req))) {
+    if (Error)
+      *Error = "cannot send Submit";
+    return false;
+  }
+  Frame F;
+  if (!readExpect(FrameType::Accepted, F, Error))
+    return false;
+  AcceptedPayload A;
+  if (!decodeAccepted(F.Payload, A)) {
+    if (Error)
+      *Error = "undecodable Accepted";
+    return false;
+  }
+  if (Accepted)
+    *Accepted = A;
+  return true;
+}
+
+bool ServerClient::nextEvent(Event &E, std::string *Error) {
+  Frame F;
+  ReadStatus RS = readFrame(Fd, F, MaxFrameBytes);
+  if (RS != ReadStatus::Ok) {
+    if (Error)
+      *Error = RS == ReadStatus::Eof ? "server closed the connection"
+                                     : "connection error";
+    return false;
+  }
+  switch (F.Type) {
+  case FrameType::Function:
+    E.K = Event::Kind::Function;
+    if (!decodeFunction(F.Payload, E.Function))
+      break;
+    return true;
+  case FrameType::ModuleReport:
+    E.K = Event::Kind::ModuleReport;
+    if (!decodeModuleReport(F.Payload, E.Module))
+      break;
+    return true;
+  case FrameType::SuiteReport:
+    E.K = Event::Kind::SuiteReport;
+    E.SuiteJson = std::move(F.Payload);
+    return true;
+  case FrameType::JobDone:
+    E.K = Event::Kind::JobDone;
+    if (!decodeJobDone(F.Payload, E.Done))
+      break;
+    return true;
+  case FrameType::Error:
+    E.K = Event::Kind::Error;
+    if (!decodeError(F.Payload, E.Error))
+      break;
+    return true;
+  default:
+    break;
+  }
+  if (Error)
+    *Error = "undecodable or unexpected frame from server";
+  return false;
+}
+
+bool ServerClient::stats(std::string *Json, std::string *Error) {
+  if (!sendRaw(FrameType::Stats, std::string())) {
+    if (Error)
+      *Error = "cannot send Stats";
+    return false;
+  }
+  Frame F;
+  if (!readExpect(FrameType::StatsReply, F, Error))
+    return false;
+  if (Json)
+    *Json = std::move(F.Payload);
+  return true;
+}
+
+bool ServerClient::ping(std::string *Error) {
+  if (!sendRaw(FrameType::Ping, std::string())) {
+    if (Error)
+      *Error = "cannot send Ping";
+    return false;
+  }
+  Frame F;
+  return readExpect(FrameType::Pong, F, Error);
+}
+
+bool ServerClient::requestShutdown() {
+  return sendRaw(FrameType::Shutdown, std::string());
+}

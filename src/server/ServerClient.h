@@ -1,0 +1,107 @@
+//===- ServerClient.h - Validation service client library -------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reusable client half of the validation service: connect (unix or
+/// TCP), handshake (protocol version + verdict-store config digest — the
+/// server refuses to serve a differently-configured client), submit jobs,
+/// and consume the streamed response frames as typed events. Blocking and
+/// single-threaded by design: one in-flight job per client, events arrive
+/// in submission order.
+///
+/// The suite-report event's JSON is byte-identical to what a batch
+/// `batch_validate --json` run over the same inputs and cache state emits,
+/// and the JobDone event carries the engine's cache-stat deltas for the
+/// job — so `--expect-warm` (no verdict and no triage result computed from
+/// scratch) can be enforced by the client exactly as the batch CLI does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_SERVER_SERVERCLIENT_H
+#define LLVMMD_SERVER_SERVERCLIENT_H
+
+#include "server/Protocol.h"
+
+#include <cstdint>
+#include <string>
+
+namespace llvmmd {
+
+class ServerClient {
+public:
+  ServerClient() = default;
+  ~ServerClient();
+
+  ServerClient(const ServerClient &) = delete;
+  ServerClient &operator=(const ServerClient &) = delete;
+
+  /// One response event, in wire order. Function/ModuleReport events
+  /// stream while the job runs; SuiteReport then JobDone end it. An Error
+  /// event ends the job (or, for Protocol/Handshake codes, the
+  /// connection).
+  struct Event {
+    enum class Kind : uint8_t {
+      Function,
+      ModuleReport,
+      SuiteReport,
+      JobDone,
+      Error,
+    };
+    Kind K = Kind::Error;
+    FunctionPayload Function;
+    ModuleReportPayload Module;
+    std::string SuiteJson;
+    JobDonePayload Done;
+    ErrorPayload Error;
+  };
+
+  bool connectUnix(const std::string &Path, std::string *Error = nullptr);
+  bool connectTcp(const std::string &Host, uint16_t Port,
+                  std::string *Error = nullptr);
+  bool isConnected() const { return Fd >= 0; }
+  void close();
+
+  /// Sends Hello with \p ConfigDigest and waits for HelloOk. On rejection
+  /// (version/digest mismatch) returns false with the server's message in
+  /// \p Error.
+  bool handshake(uint64_t ConfigDigest, HelloOkPayload *Info = nullptr,
+                 std::string *Error = nullptr);
+
+  /// Submits a job and waits for Accepted (or an admission Error). The
+  /// response frames are then consumed with nextEvent() until JobDone.
+  bool submit(const SubmitPayload &Req, AcceptedPayload *Accepted = nullptr,
+              std::string *Error = nullptr);
+
+  /// Reads the next response event. Returns false on connection loss or a
+  /// protocol violation (with \p Error set); an in-protocol Error frame is
+  /// returned as an Event, not a failure.
+  bool nextEvent(Event &E, std::string *Error = nullptr);
+
+  /// Requests the server's /stats JSON.
+  bool stats(std::string *Json, std::string *Error = nullptr);
+
+  bool ping(std::string *Error = nullptr);
+
+  /// Fire-and-forget graceful-shutdown request; the server drains its
+  /// queue and hangs up (observed as EOF on the next read).
+  bool requestShutdown();
+
+  /// Raw frame access for protocol-robustness tests.
+  bool sendRaw(FrameType Type, const std::string &Payload);
+  int fd() const { return Fd; }
+
+  /// Frame payload ceiling applied to *received* frames.
+  uint32_t MaxFrameBytes = DefaultMaxFrameBytes;
+
+private:
+  bool readExpect(FrameType Want, Frame &F, std::string *Error);
+
+  int Fd = -1;
+};
+
+} // namespace llvmmd
+
+#endif // LLVMMD_SERVER_SERVERCLIENT_H

@@ -93,6 +93,24 @@ inline bool readU64LE(const char *Data, size_t Size, size_t &Cursor,
   return true;
 }
 
+/// Length-prefixed string: u32 LE byte count + raw bytes. Shared by every
+/// on-disk/wire format in the project (verdict store, server protocol) so
+/// bounds handling lives in exactly one place.
+inline void appendLPString(std::string &Out, const std::string &S) {
+  appendU32LE(Out, static_cast<uint32_t>(S.size()));
+  Out.append(S);
+}
+
+inline bool readLPString(const char *Data, size_t Size, size_t &Cursor,
+                         std::string &S) {
+  uint32_t Len = 0;
+  if (!readU32LE(Data, Size, Cursor, Len) || Size - Cursor < Len)
+    return false;
+  S.assign(Data + Cursor, Len);
+  Cursor += Len;
+  return true;
+}
+
 /// Mixes a 64-bit value into a running hash (splitmix64 finalizer).
 inline uint64_t hashCombine(uint64_t H, uint64_t V) {
   V += 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);

@@ -115,7 +115,8 @@ RtValue DifferentialTester::resolve(const AbstractArg &Arg, bool SideA) const {
 }
 
 std::vector<AbstractInput>
-DifferentialTester::buildCorpus(const Function &F, unsigned MaxInputs) {
+DifferentialTester::buildCorpus(const Function &F, unsigned MaxInputs,
+                                const CorpusBias &Bias) {
   const FunctionType *FTy = F.getFunctionType();
   unsigned NumParams = FTy->getNumParams();
   std::vector<AbstractInput> Corpus;
@@ -127,28 +128,72 @@ DifferentialTester::buildCorpus(const Function &F, unsigned MaxInputs) {
     return Corpus;
   }
 
+  // An all-zero bias must reproduce the historical signature-only corpus
+  // byte for byte (same seed, same selection logic), so cached witnesses
+  // and goldens from before profile awareness stay valid.
+  const bool Biased = Bias.LibcPct || Bias.FloatPct || Bias.GlobalPct;
+  // Boundary-phase rotations: start float parameters inside the
+  // cancellation-magnitude region (1e16 family) and pointer parameters at
+  // the numeric strings when the module leans that way. Up to half a table.
+  const uint64_t FloatRot = (Bias.FloatPct * NumFloatBoundary) / 200;
+  const uint64_t StrRot = (Bias.LibcPct * NumStrings) / 200;
+  // Null pointers trap (and are skipped) on libc-shaped code; spend less of
+  // the corpus on them the more string traffic the module has.
+  const unsigned NullPct = Bias.LibcPct >= 50 ? 2 : Bias.LibcPct >= 20 ? 5 : 10;
+
   auto MakeArg = [&](Type *Ty, uint64_t Ordinal, bool Random,
                      SplitMixRng &Rng) {
     AbstractArg A;
     if (Ty->isFloat()) {
       A.K = AbstractArg::Kind::Float;
-      A.Float = Random ? FloatBoundary[Rng.below(NumFloatBoundary)] *
-                             static_cast<double>(Rng.range(-4, 4))
-                       : FloatBoundary[Ordinal % NumFloatBoundary];
+      if (Random && Biased && Rng.chance(Bias.FloatPct)) {
+        // Catastrophic-cancellation shape: a huge magnitude plus a small
+        // perturbation, the inputs that witness reassociation bugs.
+        A.Float = (Rng.chance(50) ? 1e16 : -1e16) +
+                  static_cast<double>(Rng.range(-4, 4));
+      } else {
+        A.Float = Random ? FloatBoundary[Rng.below(NumFloatBoundary)] *
+                               static_cast<double>(Rng.range(-4, 4))
+                         : FloatBoundary[(Ordinal + FloatRot) %
+                                         NumFloatBoundary];
+      }
     } else if (Ty->isPointer()) {
       // Strings only in the boundary phase; a rare null in the random
       // phase (null dereferences trap and are skipped).
-      if (Random && Rng.chance(10)) {
+      if (Random && Rng.chance(NullPct)) {
         A.K = AbstractArg::Kind::Null;
       } else {
         A.K = AbstractArg::Kind::Str;
-        A.StrIdx = Random ? static_cast<unsigned>(Rng.below(NumStrings))
-                          : static_cast<unsigned>(Ordinal % NumStrings);
+        if (Random && Biased && Rng.chance(Bias.LibcPct)) {
+          // Numeric and long strings exercise atoi/strlen paths hardest.
+          static const unsigned LibcShaped[] = {1, 2, 3, 4, 7};
+          A.StrIdx = LibcShaped[Rng.below(5)];
+        } else {
+          A.StrIdx = Random
+                         ? static_cast<unsigned>(Rng.below(NumStrings))
+                         : static_cast<unsigned>((Ordinal + StrRot) %
+                                                 NumStrings);
+        }
       }
     } else {
       unsigned Bits = Ty->isInteger() ? Ty->getBitWidth() : 64;
-      int64_t Raw = Random ? static_cast<int64_t>(Rng.next())
-                           : IntBoundary[Ordinal % NumIntBoundary];
+      int64_t Raw;
+      if (Random && Biased && Rng.chance(Bias.GlobalPct)) {
+        // Index-shaped: global-heavy code mostly feeds integers into GEPs
+        // over fixed-size global arrays; small non-negative values observe
+        // them, huge ones trap and are skipped.
+        Raw = Rng.range(0, 16);
+      } else if (Random) {
+        Raw = static_cast<int64_t>(Rng.next());
+      } else {
+        uint64_t Idx = Ordinal % NumIntBoundary;
+        // Global-heavy boundary walk: interleave the small non-negative
+        // head of the table (entries 0..8 are 0,1,-1,2,-2,3,5,7,8) so
+        // index-shaped values appear early for every parameter.
+        if (Bias.GlobalPct >= 50 && (Ordinal & 1))
+          Idx = Ordinal % 9;
+        Raw = IntBoundary[Idx];
+      }
       A.K = AbstractArg::Kind::Int;
       A.Int = signExtend(Raw, Bits);
     }
@@ -157,8 +202,14 @@ DifferentialTester::buildCorpus(const Function &F, unsigned MaxInputs) {
 
   // Boundary phase: walk each parameter through its boundary list at a
   // different (coprime) stride so combinations decorrelate. Then a seeded
-  // random phase up to MaxInputs. Both are pure functions of the signature.
-  SplitMixRng Rng(0x7121a6eULL);
+  // random phase up to MaxInputs. Both are pure functions of the signature
+  // and the bias (the seed folds the bias in so differently-biased corpora
+  // decorrelate too).
+  SplitMixRng Rng(Biased ? hashCombine(hashCombine(hashCombine(
+                                           0x7121a6eULL, Bias.LibcPct),
+                                       Bias.FloatPct),
+                                       Bias.GlobalPct)
+                         : 0x7121a6eULL);
   unsigned BoundaryPhase = MaxInputs - MaxInputs / 3;
   for (unsigned K = 0; K < MaxInputs; ++K) {
     bool Random = K >= BoundaryPhase;
@@ -261,9 +312,10 @@ int DifferentialTester::compareOnce(const Function &A, const Function &B,
 }
 
 DiffOutcome DifferentialTester::test(const Function &A, const Function &B,
-                                     unsigned MaxInputs) {
+                                     unsigned MaxInputs,
+                                     const CorpusBias &Bias) {
   DiffOutcome Out;
-  std::vector<AbstractInput> Corpus = buildCorpus(A, MaxInputs);
+  std::vector<AbstractInput> Corpus = buildCorpus(A, MaxInputs, Bias);
   for (const AbstractInput &In : Corpus) {
     std::string Divergence;
     int R = compareOnce(A, B, In, &Divergence);

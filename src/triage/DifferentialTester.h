@@ -72,8 +72,11 @@ public:
                      uint64_t StepBudget = 1u << 20);
 
   /// Runs the deterministic corpus (at most \p MaxInputs entries) over the
-  /// pair, stopping at the first witness.
-  DiffOutcome test(const Function &A, const Function &B, unsigned MaxInputs);
+  /// pair, stopping at the first witness. \p Bias skews the corpus toward a
+  /// benchmark's feature mix (see buildCorpus); the default all-zero bias
+  /// reproduces the signature-only corpus exactly.
+  DiffOutcome test(const Function &A, const Function &B, unsigned MaxInputs,
+                   const CorpusBias &Bias = CorpusBias());
 
   /// Replays one input; returns 1 when the pair diverges on it, 0 when
   /// both sides agree, -1 when either side was non-OK (skipped). Fills
@@ -83,9 +86,18 @@ public:
 
   /// Builds the deterministic corpus for \p F's signature: boundary-value
   /// assignments first, then seeded pseudo-random fill, \p MaxInputs total
-  /// (a single empty entry for zero-parameter functions).
+  /// (a single empty entry for zero-parameter functions). A non-zero
+  /// \p Bias (typically mined from the benchmark module, see
+  /// mineCorpusBias) skews both phases toward the profile's character —
+  /// libc-heavy modules walk the string table numeric-first and draw fewer
+  /// null pointers, float-heavy modules lead with catastrophic-cancellation
+  /// magnitudes, global-heavy modules weight small non-negative
+  /// index-shaped integers. Still a pure function of (signature, MaxInputs,
+  /// Bias), so witnesses stay deterministic across runs and thread counts.
   static std::vector<AbstractInput> buildCorpus(const Function &F,
-                                                unsigned MaxInputs);
+                                                unsigned MaxInputs,
+                                                const CorpusBias &Bias =
+                                                    CorpusBias());
 
   /// Renders one corpus entry as "argN=value" strings.
   static std::vector<std::string> renderInput(const AbstractInput &In);

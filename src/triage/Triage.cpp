@@ -8,6 +8,7 @@
 
 #include "ir/Module.h"
 #include "ir/Printer.h"
+#include "support/Hashing.h"
 #include "triage/DifferentialTester.h"
 #include "triage/Reducer.h"
 #include "triage/RuleGapAttributor.h"
@@ -28,14 +29,77 @@ const char *llvmmd::getTriageClassificationName(TriageClassification C) {
   return "none";
 }
 
+CorpusBias llvmmd::mineCorpusBias(const Module &M) {
+  CorpusBias B;
+  B.Derived = true;
+  unsigned Fns = 0, LibcFns = 0, FloatFns = 0, GlobalFns = 0;
+  for (const Function *F : M.definedFunctions()) {
+    ++Fns;
+    bool Libc = false, Float = false, Global = false;
+    for (const auto &BB : F->blocks()) {
+      for (const Instruction *I : *BB) {
+        Opcode Op = I->getOpcode();
+        if (I->getType()->isFloat() || isFloatBinaryOp(Op) ||
+            Op == Opcode::FCmp)
+          Float = true;
+        if (const auto *Call = dyn_cast<CallInst>(I)) {
+          const std::string &Callee = Call->getCallee()->getName();
+          if (Callee == "strlen" || Callee == "atoi" || Callee == "memset")
+            Libc = true;
+        }
+        for (unsigned Oi = 0, Oe = I->getNumOperands(); Oi != Oe; ++Oi)
+          if (isa<GlobalVariable>(I->getOperand(Oi)))
+            Global = true;
+      }
+    }
+    LibcFns += Libc;
+    FloatFns += Float;
+    GlobalFns += Global;
+  }
+  if (Fns) {
+    B.LibcPct = 100 * LibcFns / Fns;
+    B.FloatPct = 100 * FloatFns / Fns;
+    B.GlobalPct = 100 * GlobalFns / Fns;
+  }
+  return B;
+}
+
+CorpusBias llvmmd::resolveCorpusBias(const TriageOptions &Opts,
+                                     const Module &OrigModule) {
+  if (Opts.Bias.Derived)
+    return Opts.Bias;
+  if (Opts.ProfileBias)
+    return mineCorpusBias(OrigModule);
+  CorpusBias Neutral;
+  Neutral.Derived = true;
+  return Neutral;
+}
+
+uint64_t llvmmd::triageOptionsDigest(const TriageOptions &Opts,
+                                     const CorpusBias &Bias) {
+  uint64_t H = hashCombine(0x74726961676531ULL /* "triage1" */,
+                           Opts.MaxInputs);
+  H = hashCombine(H, Opts.ReduceBudget);
+  H = hashCombine(H, Opts.StepBudget);
+  H = hashCombine(H, (static_cast<uint64_t>(Bias.LibcPct) << 32) |
+                         (static_cast<uint64_t>(Bias.FloatPct) << 16) |
+                         Bias.GlobalPct);
+  return H;
+}
+
 TriageResult llvmmd::triagePair(const TriagePair &Pair,
                                 const RuleConfig &Rules,
                                 const TriageOptions &Opts) {
   TriageResult R;
 
-  // Stage 1: hunt for a concrete miscompile witness.
+  // Stage 1: hunt for a concrete miscompile witness, over a corpus biased
+  // toward the original module's feature mix (resolveCorpusBias). The
+  // reducer below keeps its signature-derived probe corpus: its only job
+  // is preserving the alarm class across cuts, and cuts change the very
+  // features a module-level bias would be mined from.
+  CorpusBias Bias = resolveCorpusBias(Opts, *Pair.OrigModule);
   DifferentialTester DT(*Pair.OrigModule, *Pair.OptModule, Opts.StepBudget);
-  DiffOutcome Diff = DT.test(*Pair.Orig, *Pair.Opt, Opts.MaxInputs);
+  DiffOutcome Diff = DT.test(*Pair.Orig, *Pair.Opt, Opts.MaxInputs, Bias);
   R.Classification = Diff.Classification;
   R.InputsTried = Diff.Tried;
   R.InputsSkipped = Diff.Skipped;

@@ -58,6 +58,28 @@ enum class TriageClassification : uint8_t {
 /// "suspected-false-alarm", ...).
 const char *getTriageClassificationName(TriageClassification C);
 
+/// How the differential corpus is biased toward a benchmark's feature mix.
+/// Percentages are 0-100 like BenchmarkProfile's; all-zero means the corpus
+/// is derived from the signature alone (byte-identical to the unbiased
+/// corpus). Mined from the module by default so parsed .ll input benefits
+/// exactly like generated profiles.
+struct CorpusBias {
+  /// The values below were mined or explicitly chosen; an un-Derived bias
+  /// asks triagePair to mine the pair's original module.
+  bool Derived = false;
+  unsigned LibcPct = 0;   ///< strlen/atoi/memset traffic: string variety up,
+                          ///< null pointers down
+  unsigned FloatPct = 0;  ///< float arithmetic: catastrophic-cancellation
+                          ///< magnitudes up
+  unsigned GlobalPct = 0; ///< global loads/stores: small non-negative
+                          ///< index-shaped integers up
+};
+
+/// Mines \p M for its libc/float/global mix (fraction of defined functions
+/// touching each feature), reproducing the generating BenchmarkProfile's
+/// character at triage time. Deterministic: a pure function of the module.
+CorpusBias mineCorpusBias(const Module &M);
+
 /// Knobs for the engine's triage phase (EngineConfig::Triage).
 struct TriageOptions {
   /// Run triage on every rejected pair of a run.
@@ -69,7 +91,26 @@ struct TriageOptions {
   unsigned ReduceBudget = 128;
   /// Interpreter fuel per run; exhausting it skips the input.
   uint64_t StepBudget = 1u << 20;
+  /// Bias the witness-search corpus from the original module's libc/float/
+  /// global mix (mineCorpusBias) instead of the signature alone. The
+  /// reducer's alarm-class probes stay signature-derived either way, so
+  /// reduction behavior does not depend on module contents.
+  bool ProfileBias = true;
+  /// Explicit bias (Derived set) wins over mining; the default un-Derived
+  /// value defers to ProfileBias.
+  CorpusBias Bias;
 };
+
+/// Resolves the bias triagePair will use for a pair from \p OrigModule: the
+/// explicit Opts.Bias when Derived, the mined mix when ProfileBias, the
+/// neutral all-zero bias otherwise.
+CorpusBias resolveCorpusBias(const TriageOptions &Opts, const Module &OrigModule);
+
+/// Digest of everything a cached TriageResult depends on besides the pair
+/// fingerprints and the rule configuration: corpus size, budgets, and the
+/// resolved corpus bias. Persisted next to stored triage entries so a
+/// replayed result is provably the one these options would recompute.
+uint64_t triageOptionsDigest(const TriageOptions &Opts, const CorpusBias &Bias);
 
 /// The outcome of triaging one rejected pair. Every field is deterministic;
 /// the report emitters surface a subset, tools (bug_detector) can print the
