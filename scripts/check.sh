@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # check.sh - CI entry point: tier-1 verify plus a fig4 smoke run.
 #
-# Usage: scripts/check.sh [--tsan|--asan|--warm|--triage|--serve] [build-dir]
+# Usage: scripts/check.sh [--tsan|--asan|--warm|--triage|--serve|--fleet] [build-dir]
 #
 #   (default)  tier-1 build + ctest, fig4 smoke, engine determinism checks
 #   --tsan     ThreadSanitizer build (CMake preset "tsan") running the
@@ -23,6 +23,12 @@
 #              warm), restart the daemon on its checkpointed store and
 #              require a fully warm replay byte-identical to the batch
 #              path, then assert a clean shutdown with no leaked store lock
+#   --fleet    local reproduction of the CI fleet job: start the router with
+#              two supervised workers, run the client suite twice (second
+#              pass 100% warm), kill -9 a worker mid-suite and require the
+#              job to complete with at most one requeue, restart the fleet
+#              on the merged store and require a warm replay byte-identical
+#              to the batch path, exercising store_tool on the shards
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -47,6 +53,10 @@ case "${1:-}" in
   ;;
 --serve)
   MODE=serve
+  shift
+  ;;
+--fleet)
+  MODE=fleet
   shift
   ;;
 esac
@@ -160,6 +170,120 @@ if [ "$MODE" = serve ]; then
   fi
   echo "check.sh (serve): OK — warm replay over the wire, byte-identical" \
     "to the batch path, clean shutdown"
+  exit 0
+fi
+
+if [ "$MODE" = fleet ]; then
+  # The CI fleet job, locally. Five invariants:
+  #  1. The fleet is indistinguishable from a single daemon at the socket:
+  #     the client suite runs against the router unchanged, and a second
+  #     pass replays 100% warm (validate_client --expect-warm exits 3
+  #     otherwise) from the sticky worker's shard.
+  #  2. kill -9 on a worker mid-suite costs only the in-flight attempt:
+  #     the job completes via the supervised restart with at most one
+  #     requeue, and the fleet keeps serving.
+  #  3. A fleet *restarted* on the merged base store serves a fully warm
+  #     replay whose suite JSON is byte-identical to batch_validate over
+  #     the same store — two process boundaries add no bytes, lose none.
+  #  4. The router exits 0 on a client Shutdown frame (drain, worker
+  #     checkpoint, shard merge).
+  #  5. store_tool can inspect the surviving shards and union them offline
+  #     into a loadable store; no leaked lock or write-temp files remain.
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+  cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target validate_fleet validate_server validate_client batch_validate \
+    store_tool
+  DIR="$(mktemp -d)"
+  ROUTER=""
+  trap '[ -n "$ROUTER" ] && kill "$ROUTER" 2>/dev/null; rm -rf "$DIR"' EXIT
+  STORE="$DIR/fleet.vstore"
+  SOCK="$DIR/fleet.sock"
+
+  run_client() {
+    # 2 = some optimizations unprovable (expected on these profiles);
+    # 3 = --expect-warm violated, which IS a failure here.
+    local rc=0
+    "$BUILD_DIR/validate_client" --connect "$SOCK" "$@" || rc=$?
+    [ "$rc" -eq 0 ] || [ "$rc" -eq 2 ]
+  }
+
+  start_fleet() {
+    # Not --quiet: the startup banner carries the worker pids the kill
+    # test needs.
+    "$BUILD_DIR/validate_fleet" --listen "$SOCK" --workers 2 \
+      --cache "$STORE" --triage > "$DIR/fleet.log" &
+    ROUTER=$!
+    for _ in $(seq 1 100); do
+      [ -S "$SOCK" ] && return 0
+      sleep 0.1
+    done
+    echo "fleet did not come up" >&2
+    cat "$DIR/fleet.log" >&2
+    return 1
+  }
+
+  start_fleet
+  run_client --suite sqlite,hmmer --quiet --json "$DIR/first.json"
+  run_client --suite sqlite,hmmer --quiet --expect-warm
+
+  # Crash recovery over the wire: a distinct (cold) suite sticks to the
+  # second worker; kill -9 it mid-run. The client must still complete the
+  # job (restart + requeue are invisible at the socket), and the router
+  # stats must show at most one requeue. If validation finished before the
+  # kill landed, the check degrades to "the fleet survives losing an idle
+  # worker" — the deterministic mid-flight version lives in FleetTest.
+  W1_PID="$(awk '/worker 1:/ { print $4 }' "$DIR/fleet.log")"
+  [ -n "$W1_PID" ]
+  run_client --suite sqlite,hmmer,sjeng --quiet --json "$DIR/kill.json" &
+  KILL_CLIENT=$!
+  sleep 0.5
+  kill -9 "$W1_PID" 2> /dev/null || true
+  wait "$KILL_CLIENT"
+  run_client --stats --quiet > "$DIR/stats.json"
+  REQUEUED="$(grep -o '"requeued": [0-9]*' "$DIR/stats.json" | grep -o '[0-9]*')"
+  if [ "${REQUEUED:-0}" -gt 1 ]; then
+    echo "worker kill cost $REQUEUED requeues (expected at most 1)" >&2
+    exit 1
+  fi
+
+  run_client --shutdown --quiet
+  wait "$ROUTER"
+
+  # The drain merged the shards into the base store; store_tool must agree
+  # they are loadable, and an offline union of the shards alone must also
+  # produce a loadable, non-empty store (the crashed-fleet salvage path).
+  "$BUILD_DIR/store_tool" --dump "$STORE" "$STORE.shard0" "$STORE.shard1"
+  "$BUILD_DIR/store_tool" --merge "$STORE.shard0,$STORE.shard1" \
+    -o "$DIR/offline.vstore"
+  "$BUILD_DIR/store_tool" --dump "$DIR/offline.vstore" | grep -q 'verdicts [1-9]'
+
+  # Warm restart: the merged store must make the new fleet serve a 100%
+  # warm replay, byte-identical to the batch path over the same store.
+  start_fleet
+  run_client --suite sqlite,hmmer --quiet --expect-warm \
+    --json "$DIR/served_warm.json"
+  run_client --shutdown --quiet
+  wait "$ROUTER"
+
+  cp "$STORE" "$DIR/batch.vstore"
+  rc=0
+  "$BUILD_DIR/batch_validate" --suite sqlite,hmmer --triage \
+    --cache "$DIR/batch.vstore" --expect-warm --quiet \
+    --json "$DIR/batch_warm.json" || rc=$?
+  [ "$rc" -eq 0 ] || [ "$rc" -eq 2 ]
+  cmp "$DIR/served_warm.json" "$DIR/batch_warm.json"
+
+  # Clean shutdown: the advisory lock must be free and no atomic-save temp
+  # files may survive the fleet (base store or shards).
+  if command -v flock > /dev/null 2>&1; then
+    flock -n "$STORE.lock" true
+  fi
+  if ls "$STORE".tmp.* "$STORE".shard*.tmp.* > /dev/null 2>&1; then
+    echo "leaked verdict-store temp file" >&2
+    exit 1
+  fi
+  echo "check.sh (fleet): OK — warm replay through the router, worker" \
+    "kill survived, byte-identical to the batch path, clean shutdown"
   exit 0
 fi
 

@@ -412,6 +412,90 @@ VerdictStore::LoadResult VerdictStore::load(const std::string &Path,
   return LR;
 }
 
+std::string VerdictStore::shardPath(const std::string &BasePath,
+                                    unsigned Index) {
+  return BasePath + ".shard" + std::to_string(Index);
+}
+
+VerdictStore::HeaderInfo VerdictStore::peekHeader(const std::string &Path) {
+  HeaderInfo HI;
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    HI.Status = LoadStatus::NoFile;
+    HI.Message = "no store at '" + Path + "'";
+    return HI;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Bytes = SS.str();
+  HI.FileBytes = Bytes.size();
+
+  size_t Cur = 0;
+  uint64_t Magic = 0, PayloadHash = 0;
+  uint32_t Reserved = 0;
+  if (!readU64LE(Bytes.data(), Bytes.size(), Cur, Magic) ||
+      !readU32LE(Bytes.data(), Bytes.size(), Cur, HI.Version) ||
+      !readU32LE(Bytes.data(), Bytes.size(), Cur, Reserved) ||
+      !readU64LE(Bytes.data(), Bytes.size(), Cur, HI.ConfigDigest) ||
+      !readU64LE(Bytes.data(), Bytes.size(), Cur, HI.VerdictEntries) ||
+      !readU64LE(Bytes.data(), Bytes.size(), Cur, PayloadHash)) {
+    HI.Status = LoadStatus::Corrupt;
+    HI.Message = "truncated header";
+    return HI;
+  }
+  if (Magic != StoreMagic) {
+    HI.Status = LoadStatus::BadMagic;
+    HI.Message = "'" + Path + "' is not a verdict store";
+    return HI;
+  }
+  if (HI.Version != FormatVersion) {
+    HI.Status = LoadStatus::BadVersion;
+    HI.Message = "format version " + std::to_string(HI.Version) +
+                 " (this build reads " + std::to_string(FormatVersion) + ")";
+    return HI;
+  }
+  if (hashBytes(Bytes.data() + Cur, Bytes.size() - Cur) != PayloadHash) {
+    HI.Status = LoadStatus::Corrupt;
+    HI.Message = "payload checksum mismatch";
+    return HI;
+  }
+  // The triage count sits after the verdict entries; load() does the full
+  // walk anyway, and a checksummed payload cannot lie about structure, so
+  // reuse it rather than duplicating the entry readers.
+  VerdictMap Scratch;
+  TriageMap ScratchTriage;
+  LoadResult LR = load(Path, HI.ConfigDigest, Scratch, &ScratchTriage);
+  if (!LR.loaded()) {
+    HI.Status = LR.Status;
+    HI.Message = LR.Message;
+    return HI;
+  }
+  HI.TriageEntries = ScratchTriage.size();
+  HI.Status = LoadStatus::Loaded;
+  return HI;
+}
+
+uint64_t VerdictStore::mergePaths(const std::vector<std::string> &Inputs,
+                                  const std::string &OutPath,
+                                  uint64_t ConfigDigest, std::string *Error) {
+  VerdictMap Merged;
+  TriageMap MergedTriage;
+  for (const std::string &Path : Inputs) {
+    // emplace in load() keeps the existing value per key, so earlier
+    // inputs win — document order is precedence order.
+    LoadResult LR = load(Path, ConfigDigest, Merged, &MergedTriage);
+    if (LR.Status == LoadStatus::NoFile)
+      continue; // a worker that never saved is an empty shard, not an error
+    if (!LR.loaded()) {
+      if (Error)
+        *Error = "'" + Path + "': " + LR.Message;
+      return ~0ull;
+    }
+  }
+  return save(OutPath, ConfigDigest, Merged, Error, /*MergeExisting=*/true,
+              &MergedTriage);
+}
+
 uint64_t VerdictStore::save(const std::string &Path, uint64_t ConfigDigest,
                             const VerdictMap &Map, std::string *Error,
                             bool MergeExisting, const TriageMap *Triage) {

@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace llvmmd {
 
@@ -138,6 +139,38 @@ public:
   /// offsets.
   static std::string serialize(uint64_t ConfigDigest, const VerdictMap &Map,
                                const TriageMap *Triage = nullptr);
+
+  /// The canonical per-worker shard path under a fleet base store:
+  /// `<base>.shard<index>`. Kept here (not in src/fleet/) so offline tools
+  /// and the fleet agree on the naming forever.
+  static std::string shardPath(const std::string &BasePath, unsigned Index);
+
+  /// Header-only inspection without touching entry payloads (the checksum
+  /// IS verified — a corrupt store should say so, not report a count).
+  struct HeaderInfo {
+    LoadStatus Status = LoadStatus::NoFile;
+    uint32_t Version = 0;
+    uint64_t ConfigDigest = 0;
+    uint64_t VerdictEntries = 0;
+    uint64_t TriageEntries = 0;
+    uint64_t FileBytes = 0;
+    std::string Message;
+    bool ok() const { return Status == LoadStatus::Loaded; }
+  };
+
+  /// Reads \p Path's header (any config digest accepted — the caller is
+  /// inspecting, not replaying). Status mirrors load(): BadMagic/BadVersion/
+  /// Corrupt on rejection, Loaded when the header and checksum hold.
+  static HeaderInfo peekHeader(const std::string &Path);
+
+  /// Offline union of \p Inputs into \p OutPath: every input must load
+  /// under \p ConfigDigest (earlier inputs win per key, matching
+  /// merge-on-save's in-memory-wins rule when inputs are ordered
+  /// freshest-first). Returns the number of verdict entries written, or
+  /// ~0ull with \p Error set when any input is rejected or the write fails.
+  static uint64_t mergePaths(const std::vector<std::string> &Inputs,
+                             const std::string &OutPath, uint64_t ConfigDigest,
+                             std::string *Error = nullptr);
 };
 
 } // namespace llvmmd

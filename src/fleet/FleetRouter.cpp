@@ -1,0 +1,683 @@
+//===- FleetRouter.cpp - Sharded validation fleet front-end -------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/FleetRouter.h"
+
+#include "driver/VerdictStore.h"
+
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+#ifndef _WIN32
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+using namespace llvmmd;
+
+FleetRouter::FleetRouter(FleetConfig Config) : Cfg(std::move(Config)) {
+  if (Cfg.WorkerSocketPrefix.empty())
+    Cfg.WorkerSocketPrefix =
+        Cfg.UnixPath.empty() ? "llvmmd-fleet" : Cfg.UnixPath;
+}
+
+FleetRouter::~FleetRouter() { stop(); }
+
+uint64_t FleetRouter::configDigest() const {
+  return verdictStoreConfigDigest(Cfg.Rules);
+}
+
+FleetCounters FleetRouter::counters() const {
+  std::lock_guard<std::mutex> G(StatsLock);
+  return Counters;
+}
+
+JobTable::Stats FleetRouter::tableStats() const {
+  return Table ? Table->stats() : JobTable::Stats();
+}
+
+uint64_t FleetRouter::workerRestarts() const {
+  return WM ? WM->restarts() : 0;
+}
+
+void FleetRouter::bumpCounter(uint64_t FleetCounters::*Field, uint64_t Delta) {
+  std::lock_guard<std::mutex> G(StatsLock);
+  Counters.*Field += Delta;
+}
+
+std::string FleetRouter::statsJSON() const {
+  FleetCounters C = counters();
+  JobTable::Stats T = tableStats();
+  std::ostringstream OS;
+  OS << "{\"schema\": \"llvmmd-fleet-stats-v1\""
+     << ", \"workers\": " << Cfg.Workers
+     << ", \"connections_accepted\": " << C.ConnectionsAccepted
+     << ", \"handshakes_rejected\": " << C.HandshakesRejected
+     << ", \"protocol_errors\": " << C.ProtocolErrors << ", \"jobs\": {"
+     << "\"submitted\": " << C.JobsSubmitted
+     << ", \"deduplicated\": " << C.JobsDeduplicated
+     << ", \"dispatched\": " << C.JobsDispatched
+     << ", \"completed\": " << C.JobsCompleted
+     << ", \"errored\": " << C.JobsErrored
+     << ", \"failed\": " << C.JobsFailed
+     << ", \"requeued\": " << C.JobsRequeued
+     << ", \"rejected\": " << C.JobsRejected
+     << ", \"queue_depth\": " << QueuedJobs.load()
+     << ", \"max_queue_depth\": " << C.MaxQueueDepth
+     << ", \"live\": " << (Table ? Table->liveJobs() : 0) << '}'
+     << ", \"subscribes\": " << C.Subscribes
+     << ", \"unknown_job_errors\": " << C.UnknownJobErrors
+     << ", \"replay_truncations\": " << T.ReplayTruncations
+     << ", \"frames_fanned\": " << T.FramesFanned
+     << ", \"worker_restarts\": " << (WM ? WM->restarts() : 0)
+     << ", \"worker_health_kills\": " << (WM ? WM->healthKills() : 0)
+     << ", \"worker_reconnects\": " << C.WorkerReconnects << "}\n";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+bool FleetRouter::listenOn(int Fd, const std::string &What,
+                           std::string *Error) {
+#ifndef _WIN32
+  if (Fd < 0 || ::listen(Fd, 64) != 0) {
+    if (Error)
+      *Error = "cannot listen on " + What;
+    if (Fd >= 0)
+      ::close(Fd);
+    return false;
+  }
+  ListenFds.push_back(Fd);
+  return true;
+#else
+  (void)Fd;
+  (void)What;
+  if (Error)
+    *Error = "router sockets are POSIX-only";
+  return false;
+#endif
+}
+
+bool FleetRouter::start(std::string *Error) {
+#ifndef _WIN32
+  {
+    std::lock_guard<std::mutex> G(LifeLock);
+    if (Started) {
+      if (Error)
+        *Error = "router already started";
+      return false;
+    }
+  }
+  if (Cfg.UnixPath.empty() && Cfg.TcpPort < 0) {
+    if (Error)
+      *Error = "no listener configured (need UnixPath and/or TcpPort)";
+    return false;
+  }
+  if (Cfg.Workers == 0) {
+    if (Error)
+      *Error = "a fleet needs at least one worker";
+    return false;
+  }
+
+  if (!Cfg.UnixPath.empty()) {
+    sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    if (Cfg.UnixPath.size() >= sizeof(Addr.sun_path)) {
+      if (Error)
+        *Error = "unix socket path too long: " + Cfg.UnixPath;
+      return false;
+    }
+    std::strncpy(Addr.sun_path, Cfg.UnixPath.c_str(),
+                 sizeof(Addr.sun_path) - 1);
+    ::unlink(Cfg.UnixPath.c_str());
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0 ||
+        ::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+      if (Error)
+        *Error = "cannot bind unix socket '" + Cfg.UnixPath + "'";
+      if (Fd >= 0)
+        ::close(Fd);
+      return false;
+    }
+    if (!listenOn(Fd, "unix socket '" + Cfg.UnixPath + "'", Error))
+      return false;
+  }
+
+  if (Cfg.TcpPort >= 0) {
+    int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    int One = 1;
+    if (Fd >= 0)
+      ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sin_family = AF_INET;
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    Addr.sin_port = htons(static_cast<uint16_t>(Cfg.TcpPort));
+    if (Fd < 0 ||
+        ::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+      if (Error)
+        *Error = "cannot bind 127.0.0.1:" + std::to_string(Cfg.TcpPort);
+      if (Fd >= 0)
+        ::close(Fd);
+      return false;
+    }
+    socklen_t AddrLen = sizeof(Addr);
+    ::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &AddrLen);
+    BoundTcpPort = ntohs(Addr.sin_port);
+    if (!listenOn(Fd, "tcp port " + std::to_string(BoundTcpPort), Error))
+      return false;
+  }
+
+  JobTable::Config TC;
+  TC.ConfigDigest = configDigest();
+  TC.Workers = Cfg.Workers;
+  TC.ReplayBufferBytes = Cfg.ReplayBufferBytes;
+  TC.MaxJobAttempts = Cfg.MaxJobAttempts;
+  Table = std::make_unique<JobTable>(TC);
+
+  WorkerManager::Config WC;
+  WC.Binary = Cfg.WorkerBinary;
+  WC.SocketPrefix = Cfg.WorkerSocketPrefix;
+  WC.StoreBase = Cfg.StorePath;
+  WC.Workers = Cfg.Workers;
+  WC.WorkerThreads = Cfg.WorkerThreads;
+  WC.Pipeline = Cfg.Pipeline;
+  // Forward the mask only when it differs from the worker default, so the
+  // workers' own digest computation stays the source of truth.
+  WC.RuleMask = Cfg.Rules.Mask == RuleConfig().Mask ? ~0u : Cfg.Rules.Mask;
+  WC.Triage = Cfg.Triage;
+  WC.CheckpointEveryJobs = Cfg.CheckpointEveryJobs;
+  WC.QueueBound = Cfg.MaxQueuedJobs;
+  WC.ConfigDigest = configDigest();
+  WC.PingIntervalMs = Cfg.PingIntervalMs;
+  WC.PingTimeoutMs = Cfg.PingTimeoutMs;
+  WC.HealthPing = Cfg.HealthPing;
+  WM = std::make_unique<WorkerManager>(WC);
+  if (!WM->start(Error)) {
+    WM.reset();
+    for (int Fd : ListenFds)
+      ::close(Fd);
+    ListenFds.clear();
+    if (!Cfg.UnixPath.empty())
+      ::unlink(Cfg.UnixPath.c_str());
+    return false;
+  }
+
+  Links.clear();
+  for (unsigned W = 0; W < Cfg.Workers; ++W)
+    Links.push_back(std::make_unique<WorkerLink>());
+
+  Accepting = true;
+  Started = true;
+  Stopped = false;
+  StopRequested = false;
+  AcceptStop = false;
+  DrainAndExit = false;
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  for (unsigned W = 0; W < Cfg.Workers; ++W)
+    Dispatchers.emplace_back([this, W] { dispatcherLoop(W); });
+  return true;
+#else
+  if (Error)
+    *Error = "the fleet router is POSIX-only";
+  return false;
+#endif
+}
+
+void FleetRouter::requestStop() {
+  requestStopFromSignal();
+  for (const auto &L : Links)
+    L->CV.notify_all();
+  LifeCV.notify_all();
+}
+
+void FleetRouter::stop() {
+#ifndef _WIN32
+  if (!Started || Stopped)
+    return;
+  requestStop();
+
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  // Dispatchers drain their queues: every admitted job still completes (or
+  // fails through its attempt budget) and its subscribers hear the end.
+  for (std::thread &T : Dispatchers)
+    if (T.joinable())
+      T.join();
+  Dispatchers.clear();
+
+  // Workers shut down gracefully — they checkpoint their shards — and the
+  // shards merge back into the base store.
+  if (WM)
+    WM->stop();
+
+  {
+    std::unique_lock<std::mutex> G(ConnLock);
+    for (const auto &C : Conns) {
+      std::lock_guard<std::mutex> WG(C->WriteLock);
+      if (C->Fd >= 0)
+        ::shutdown(C->Fd, SHUT_RDWR);
+    }
+    ConnDoneCV.wait(G, [this] { return Conns.empty(); });
+  }
+
+  for (int Fd : ListenFds)
+    ::close(Fd);
+  ListenFds.clear();
+  if (!Cfg.UnixPath.empty())
+    ::unlink(Cfg.UnixPath.c_str());
+
+  Stopped = true;
+  LifeCV.notify_all();
+#endif
+}
+
+void FleetRouter::wait() {
+  {
+    std::unique_lock<std::mutex> G(LifeLock);
+    while (!LifeCV.wait_for(G, std::chrono::milliseconds(200), [this] {
+      return StopRequested.load() || Stopped.load();
+    }))
+      ;
+  }
+  stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Client connections
+//===----------------------------------------------------------------------===//
+
+void FleetRouter::acceptLoop() {
+#ifndef _WIN32
+  std::vector<pollfd> Polls;
+  for (int Fd : ListenFds)
+    Polls.push_back({Fd, POLLIN, 0});
+  while (!AcceptStop) {
+    int N = ::poll(Polls.data(), Polls.size(), /*timeout_ms=*/100);
+    if (N <= 0)
+      continue;
+    for (pollfd &P : Polls) {
+      if (!(P.revents & POLLIN))
+        continue;
+      int Fd = ::accept(P.fd, nullptr, nullptr);
+      if (Fd < 0)
+        continue;
+      // A client that stops reading must not park a dispatcher in a
+      // blocking send forever (that would also wedge graceful shutdown).
+      timeval SendTimeout{30, 0};
+      ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &SendTimeout,
+                   sizeof(SendTimeout));
+      auto C = std::make_shared<Connection>();
+      C->Fd = Fd;
+      {
+        std::lock_guard<std::mutex> G(ConnLock);
+        C->Id = NextConnId++;
+        Conns.push_back(C);
+      }
+      bumpCounter(&FleetCounters::ConnectionsAccepted);
+      std::thread([this, C] { handleConnection(C); }).detach();
+    }
+  }
+#endif
+}
+
+bool FleetRouter::sendFrame(Connection &C, FrameType T,
+                            const std::string &Payload) {
+  if (!C.Alive.load())
+    return false;
+  std::lock_guard<std::mutex> G(C.WriteLock);
+  if (C.Fd < 0 || !writeFrame(C.Fd, T, Payload)) {
+    C.Alive = false;
+    return false;
+  }
+  return true;
+}
+
+void FleetRouter::sendError(Connection &C, ErrorCode Code,
+                            const std::string &Msg) {
+  ErrorPayload E;
+  E.Code = Code;
+  E.Message = Msg;
+  sendFrame(C, FrameType::Error, encodeError(E));
+}
+
+void FleetRouter::handleConnection(std::shared_ptr<Connection> C) {
+#ifndef _WIN32
+  for (;;) {
+    Frame F;
+    ReadStatus RS = readFrame(C->Fd, F, Cfg.MaxFrameBytes);
+    if (RS == ReadStatus::Eof)
+      break;
+    if (RS != ReadStatus::Ok) {
+      bumpCounter(&FleetCounters::ProtocolErrors);
+      sendError(*C, ErrorCode::Protocol,
+                RS == ReadStatus::Oversized
+                    ? "frame exceeds the size limit"
+                    : "truncated or unreadable frame");
+      break;
+    }
+    if (!handleFrame(C, F))
+      break;
+  }
+  C->Alive = false;
+  {
+    std::lock_guard<std::mutex> WG(C->WriteLock);
+    ::close(C->Fd);
+    C->Fd = -1;
+  }
+  {
+    std::lock_guard<std::mutex> G(ConnLock);
+    for (size_t I = 0; I < Conns.size(); ++I) {
+      if (Conns[I].get() == C.get()) {
+        Conns.erase(Conns.begin() + I);
+        break;
+      }
+    }
+    ConnDoneCV.notify_all();
+  }
+#endif
+}
+
+bool FleetRouter::handleFrame(const std::shared_ptr<Connection> &C,
+                              const Frame &F) {
+  if (!C->Handshaken) {
+    if (F.Type != FrameType::Hello) {
+      bumpCounter(&FleetCounters::ProtocolErrors);
+      sendError(*C, ErrorCode::Protocol, "expected Hello");
+      return false;
+    }
+    HelloPayload H;
+    if (!decodeHello(F.Payload, H)) {
+      bumpCounter(&FleetCounters::ProtocolErrors);
+      sendError(*C, ErrorCode::Protocol, "undecodable Hello");
+      return false;
+    }
+    if (H.Version != ServerProtocolVersion) {
+      bumpCounter(&FleetCounters::HandshakesRejected);
+      sendError(*C, ErrorCode::Handshake,
+                "protocol version " + std::to_string(H.Version) +
+                    " (router speaks " +
+                    std::to_string(ServerProtocolVersion) + ")");
+      return false;
+    }
+    if (H.ConfigDigest != configDigest()) {
+      bumpCounter(&FleetCounters::HandshakesRejected);
+      sendError(*C, ErrorCode::Handshake,
+                "config digest mismatch: the fleet validates under a "
+                "different rule configuration");
+      return false;
+    }
+    HelloOkPayload Ok;
+    Ok.ConfigDigest = configDigest();
+    Ok.EngineThreads = Cfg.Workers; // serving parallelism, not one engine's
+    Ok.TriageEnabled = Cfg.Triage;
+    C->Handshaken = true;
+    return sendFrame(*C, FrameType::HelloOk, encodeHelloOk(Ok));
+  }
+
+  switch (F.Type) {
+  case FrameType::Submit: {
+    SubmitPayload S;
+    if (!decodeSubmit(F.Payload, S) || S.Modules.empty()) {
+      bumpCounter(&FleetCounters::ProtocolErrors);
+      sendError(*C, ErrorCode::Protocol, "undecodable or empty Submit");
+      return false;
+    }
+    if (!Accepting || QueuedJobs.load() >= Cfg.MaxQueuedJobs) {
+      bumpCounter(&FleetCounters::JobsRejected);
+      sendError(*C, ErrorCode::QueueFull,
+                !Accepting ? "fleet is shutting down"
+                           : "queue full (" +
+                                 std::to_string(QueuedJobs.load()) +
+                                 " jobs pending)");
+      return true;
+    }
+    auto Sink = std::make_shared<JobTable::Sink>();
+    std::shared_ptr<Connection> Keep = C;
+    Sink->Write = [this, Keep](FrameType T, const std::string &P) {
+      return sendFrame(*Keep, T, P);
+    };
+    // The reply callback runs before any replayed/live frame can reach
+    // this sink, so the client always reads Accepted/JobId first.
+    auto Reply = [&](uint64_t Id, bool Created, uint32_t Replayed) {
+      if (Created) {
+        AcceptedPayload A;
+        A.JobId = Id;
+        A.QueuePosition = static_cast<uint32_t>(QueuedJobs.load());
+        sendFrame(*C, FrameType::Accepted, encodeAccepted(A));
+      } else {
+        JobIdPayload JI;
+        JI.JobId = Id;
+        JI.Deduplicated = 1;
+        JI.ReplayedFrames = Replayed;
+        sendFrame(*C, FrameType::JobId, encodeJobId(JI));
+      }
+    };
+    JobTable::SubmitResult R = Table->submit(S, std::move(Sink), Reply);
+    if (R.Created) {
+      bumpCounter(&FleetCounters::JobsSubmitted);
+      enqueue(R.J);
+    } else {
+      bumpCounter(&FleetCounters::JobsDeduplicated);
+    }
+    return true;
+  }
+  case FrameType::Subscribe: {
+    SubscribePayload SP;
+    if (!decodeSubscribe(F.Payload, SP)) {
+      bumpCounter(&FleetCounters::ProtocolErrors);
+      sendError(*C, ErrorCode::Protocol, "undecodable Subscribe");
+      return false;
+    }
+    auto Sink = std::make_shared<JobTable::Sink>();
+    std::shared_ptr<Connection> Keep = C;
+    Sink->Write = [this, Keep](FrameType T, const std::string &P) {
+      return sendFrame(*Keep, T, P);
+    };
+    auto Reply = [&](uint64_t Id, bool, uint32_t Replayed) {
+      JobIdPayload JI;
+      JI.JobId = Id;
+      JI.Deduplicated = 0;
+      JI.ReplayedFrames = Replayed;
+      sendFrame(*C, FrameType::JobId, encodeJobId(JI));
+    };
+    std::string Err;
+    if (!Table->subscribeJob(SP.JobId, std::move(Sink), Reply, &Err)) {
+      bumpCounter(&FleetCounters::UnknownJobErrors);
+      sendError(*C, ErrorCode::UnknownJob, Err);
+      return true;
+    }
+    bumpCounter(&FleetCounters::Subscribes);
+    return true;
+  }
+  case FrameType::Stats:
+    return sendFrame(*C, FrameType::StatsReply, statsJSON());
+  case FrameType::Ping:
+    return sendFrame(*C, FrameType::Pong, std::string());
+  case FrameType::Shutdown:
+    requestStop();
+    return true;
+  default:
+    bumpCounter(&FleetCounters::ProtocolErrors);
+    sendError(*C, ErrorCode::Protocol, "unexpected frame type");
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch: one thread per worker
+//===----------------------------------------------------------------------===//
+
+void FleetRouter::enqueue(const JobTable::JobPtr &J) {
+  WorkerLink &L = *Links[J->WorkerIndex];
+  uint64_t Depth = ++QueuedJobs;
+  {
+    std::lock_guard<std::mutex> G(L.Lock);
+    L.Queue.push_back(J);
+  }
+  L.CV.notify_all();
+  std::lock_guard<std::mutex> G(StatsLock);
+  if (Depth > Counters.MaxQueueDepth)
+    Counters.MaxQueueDepth = Depth;
+}
+
+void FleetRouter::dispatcherLoop(unsigned W) {
+  WorkerLink &L = *Links[W];
+  for (;;) {
+    JobTable::JobPtr J;
+    {
+      std::unique_lock<std::mutex> G(L.Lock);
+      // Bounded wait: the signal-safe stop path stores flags without a
+      // notify.
+      while (!L.CV.wait_for(G, std::chrono::milliseconds(200), [&] {
+        return DrainAndExit.load() || !L.Queue.empty();
+      }))
+        ;
+      if (L.Queue.empty()) {
+        if (DrainAndExit)
+          break;
+        continue;
+      }
+      J = L.Queue.front();
+      L.Queue.pop_front();
+    }
+    --QueuedJobs;
+    runJobOnWorker(W, J);
+  }
+  L.Client.reset();
+}
+
+bool FleetRouter::ensureWorkerLink(unsigned W, std::string *Error) {
+  WorkerLink &L = *Links[W];
+  uint64_t Gen = WM->generation(W);
+  // The cached connection is only trusted if the worker generation it was
+  // made against is still alive *and* it still answers: a kill -9'd worker
+  // leaves a connected-looking socket that fails on first use.
+  if (L.Client && L.ConnectedGen == Gen && L.Client->ping())
+    return true;
+  L.Client.reset();
+
+  // The whole sequence retries as a unit, not just connect(): a connect to
+  // a just-SIGKILLed worker can land in the dead listener's backlog and
+  // *succeed*, only to be reset on the first handshake read — and the
+  // half-restarted worker can transiently answer with a pid the manager
+  // has not published yet. Ride the schedule out until the monitor's
+  // respawn (reap + rebind within ~100ms) is actually serving.
+  ServerClient::RetryPolicy Rounds;
+  Rounds.Retries = 16;
+  Rounds.BaseDelayMs = 5;
+  Rounds.MaxDelayMs = 500;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    auto C = std::make_unique<ServerClient>();
+    C->MaxFrameBytes = Cfg.MaxFrameBytes;
+    // Quick per-connect retries only; the outer loop owns the pacing.
+    C->Retry.Retries = 3;
+    C->Retry.BaseDelayMs = 5;
+    C->Retry.MaxDelayMs = 50;
+    if (C->connectUnix(WM->socketPath(W), Error) &&
+        C->handshake(configDigest(), nullptr, Error)) {
+      WorkerHelloPayload WH;
+#ifndef _WIN32
+      WH.RouterId = static_cast<uint64_t>(::getpid());
+#endif
+      WH.WorkerIndex = W;
+      WH.Generation = WM->generation(W);
+      WorkerHelloOkPayload Ok;
+      if (C->workerHello(WH, &Ok, Error)) {
+        if (Ok.Pid == static_cast<uint64_t>(WM->pid(W))) {
+          L.Client = std::move(C);
+          L.ConnectedGen = WM->generation(W);
+          bumpCounter(&FleetCounters::WorkerReconnects);
+          return true;
+        }
+        if (Error)
+          *Error = "worker " + std::to_string(W) +
+                   " socket answered with a foreign pid";
+      }
+    }
+    if (Attempt >= Rounds.Retries)
+      return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        ServerClient::retryDelayMs(Rounds, Attempt)));
+  }
+}
+
+void FleetRouter::runJobOnWorker(unsigned W, const JobTable::JobPtr &J) {
+  WorkerLink &L = *Links[W];
+  Table->beginAttempt(J);
+  bumpCounter(&FleetCounters::JobsDispatched);
+
+  // Worker-lost epilogue: requeue at the front of this worker's queue (the
+  // restarted worker picks it straight back up) until the attempt budget
+  // is spent; then the job fails to its subscribers with WorkerLost.
+  auto Lost = [&] {
+    L.Client.reset();
+    if (Table->requeueOrFail(J)) {
+      bumpCounter(&FleetCounters::JobsRequeued);
+      ++QueuedJobs;
+      {
+        std::lock_guard<std::mutex> G(L.Lock);
+        L.Queue.push_front(J);
+      }
+      L.CV.notify_all();
+    } else {
+      bumpCounter(&FleetCounters::JobsFailed);
+    }
+  };
+
+  std::string Err;
+  if (!ensureWorkerLink(W, &Err))
+    return Lost();
+  AcceptedPayload Acc;
+  if (!L.Client->submit(J->Req, &Acc, &Err))
+    return Lost();
+
+  for (;;) {
+    Frame F;
+    // Raw frames on purpose: the payload bytes go to the subscribers
+    // exactly as the worker produced them — that is what makes a fleet
+    // suite report byte-identical to the batch path.
+    ReadStatus RS = readFrame(L.Client->fd(), F, Cfg.MaxFrameBytes);
+    if (RS != ReadStatus::Ok)
+      return Lost();
+    switch (F.Type) {
+    case FrameType::Function:
+    case FrameType::ModuleReport:
+    case FrameType::SuiteReport:
+      Table->deliver(J, F.Type, F.Payload);
+      break;
+    case FrameType::JobDone: {
+      JobDonePayload D;
+      if (!decodeJobDone(F.Payload, D))
+        return Lost();
+      Table->complete(J, D);
+      bumpCounter(&FleetCounters::JobsCompleted);
+      return;
+    }
+    case FrameType::Error: {
+      // An in-protocol worker error (unknown profile, parse failure) is
+      // the job's answer, not a worker failure: forward and finish.
+      ErrorPayload E;
+      if (!decodeError(F.Payload, E)) {
+        E.Code = ErrorCode::Protocol;
+        E.Message = "undecodable worker error";
+      }
+      Table->fail(J, E.Code, E.Message);
+      bumpCounter(&FleetCounters::JobsErrored);
+      return;
+    }
+    default:
+      return Lost(); // a worker violating the protocol is a lost worker
+    }
+  }
+}

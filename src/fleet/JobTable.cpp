@@ -1,0 +1,246 @@
+//===- JobTable.cpp - Fleet job registry: dedup + subscribe -------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/JobTable.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+
+using namespace llvmmd;
+
+namespace {
+
+/// Hash collisions must never merge two different submissions, so the key
+/// match is confirmed field-by-field before deduping.
+bool sameSubmission(const SubmitPayload &A, const SubmitPayload &B) {
+  if (A.Modules.size() != B.Modules.size())
+    return false;
+  for (size_t I = 0; I < A.Modules.size(); ++I) {
+    const SubmitModule &MA = A.Modules[I], &MB = B.Modules[I];
+    if (MA.FromProfile != MB.FromProfile || MA.FnCount != MB.FnCount ||
+        MA.Name != MB.Name || MA.Text != MB.Text)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+uint64_t JobTable::keyOf(const SubmitPayload &Req) const {
+  // encodeSubmit is deterministic (length-prefixed fields in order), so its
+  // bytes are a faithful identity for the submission.
+  std::string Bytes = encodeSubmit(Req);
+  return hashCombine(Cfg.ConfigDigest, hashBytes(Bytes.data(), Bytes.size()));
+}
+
+unsigned JobTable::pickWorker(uint64_t Key) {
+  // Sticky round-robin: first sighting of a key takes the next wheel slot,
+  // repeats go back to the worker whose store is already warm for it.
+  auto It = Affinity.find(Key);
+  if (It != Affinity.end())
+    return It->second;
+  unsigned W = Cfg.Workers ? NextWorker++ % Cfg.Workers : 0;
+  Affinity.emplace(Key, W);
+  return W;
+}
+
+void JobTable::fanOutLocked(Job &J, FrameType T, const std::string &Payload) {
+  uint64_t Sent = 0;
+  for (const SinkPtr &S : J.Subs) {
+    if (S->Dead)
+      continue;
+    if (S->Write(T, Payload))
+      ++Sent;
+    else
+      S->Dead = true; // the job keeps running for the other subscribers
+  }
+  J.Subs.erase(std::remove_if(J.Subs.begin(), J.Subs.end(),
+                              [](const SinkPtr &S) { return S->Dead; }),
+               J.Subs.end());
+  if (Sent) {
+    std::lock_guard<std::mutex> G(StatsLock);
+    Counters.FramesFanned += Sent;
+  }
+}
+
+JobTable::SubmitResult JobTable::submit(const SubmitPayload &Req, SinkPtr S,
+                                        const ReplyFn &Reply) {
+  uint64_t Key = keyOf(Req);
+  // TableLock is held across the attach replay below. That serializes
+  // admission behind one slow subscriber's socket in the worst case, but
+  // the accept path caps send stalls (SO_SNDTIMEO) and the alternative —
+  // dropping the table lock mid-attach — would let a racing duplicate
+  // create a second job for the same key.
+  std::unique_lock<std::mutex> TG(TableLock);
+  auto It = ByKey.find(Key);
+  if (It != ByKey.end() && sameSubmission(It->second->Req, Req)) {
+    JobPtr J = It->second;
+    std::lock_guard<std::mutex> SG(J->StreamLock);
+    if (!J->Finished && !J->BufferTruncated) {
+      uint32_t Replayed = static_cast<uint32_t>(J->Buffer.size());
+      Reply(J->Id, /*Created=*/false, Replayed);
+      uint64_t Sent = 0;
+      for (const auto &F : J->Buffer) {
+        if (!S->Write(F.first, F.second)) {
+          S->Dead = true;
+          break;
+        }
+        ++Sent;
+      }
+      if (!S->Dead)
+        J->Subs.push_back(S);
+      {
+        std::lock_guard<std::mutex> G(StatsLock);
+        ++Counters.Deduplicated;
+        Counters.FramesFanned += Sent;
+      }
+      return {J, false, Replayed};
+    }
+    // The live job's replay window was exceeded: this subscriber cannot be
+    // given a complete stream, so it gets a job of its own (the engine is
+    // warm by now — the re-run is a replay, not a recomputation).
+  }
+
+  JobPtr J = std::make_shared<Job>();
+  J->Key = Key;
+  J->Req = Req;
+  J->Id = NextJobId++;
+  J->WorkerIndex = pickWorker(Key);
+  J->Subs.push_back(std::move(S));
+  ById.emplace(J->Id, J);
+  ByKey[Key] = J; // may shadow a truncated job; its finish checks identity
+  Reply(J->Id, /*Created=*/true, 0);
+  {
+    std::lock_guard<std::mutex> G(StatsLock);
+    ++Counters.Created;
+  }
+  return {J, true, 0};
+}
+
+JobTable::JobPtr JobTable::subscribeJob(uint64_t JobId, SinkPtr S,
+                                        const ReplyFn &Reply,
+                                        std::string *Error) {
+  std::unique_lock<std::mutex> TG(TableLock);
+  auto It = ById.find(JobId);
+  if (It == ById.end()) {
+    if (Error)
+      *Error = "job " + std::to_string(JobId) + " is not running";
+    return nullptr;
+  }
+  JobPtr J = It->second;
+  std::lock_guard<std::mutex> SG(J->StreamLock);
+  if (J->BufferTruncated) {
+    if (Error)
+      *Error = "job " + std::to_string(JobId) +
+               ": replay window exceeded, cannot attach mid-stream";
+    return nullptr;
+  }
+  uint32_t Replayed = static_cast<uint32_t>(J->Buffer.size());
+  Reply(J->Id, /*Created=*/false, Replayed);
+  uint64_t Sent = 0;
+  for (const auto &F : J->Buffer) {
+    if (!S->Write(F.first, F.second)) {
+      S->Dead = true;
+      break;
+    }
+    ++Sent;
+  }
+  if (!S->Dead)
+    J->Subs.push_back(std::move(S));
+  {
+    std::lock_guard<std::mutex> G(StatsLock);
+    ++Counters.Subscribed;
+    Counters.FramesFanned += Sent;
+  }
+  return J;
+}
+
+void JobTable::beginAttempt(const JobPtr &J) {
+  std::lock_guard<std::mutex> SG(J->StreamLock);
+  ++J->Attempts;
+  J->SeenThisAttempt = 0;
+}
+
+void JobTable::deliver(const JobPtr &J, FrameType T,
+                       const std::string &Payload) {
+  std::lock_guard<std::mutex> SG(J->StreamLock);
+  ++J->SeenThisAttempt;
+  // A requeued job re-produces its stream from the start (engine
+  // determinism); everything already fanned out is skipped so subscribers
+  // see each frame exactly once.
+  if (J->SeenThisAttempt <= J->DeliveredFrames)
+    return;
+  ++J->DeliveredFrames;
+  if (!J->BufferTruncated) {
+    J->BufferBytes += Payload.size() + 8; // payload + frame header estimate
+    if (J->BufferBytes > Cfg.ReplayBufferBytes) {
+      // Past the window nothing can attach anymore; keeping a partial
+      // buffer would only invite replaying a stream with a hole in it.
+      J->Buffer.clear();
+      J->Buffer.shrink_to_fit();
+      J->BufferTruncated = true;
+      std::lock_guard<std::mutex> G(StatsLock);
+      ++Counters.ReplayTruncations;
+    } else {
+      J->Buffer.emplace_back(T, Payload);
+    }
+  }
+  fanOutLocked(*J, T, Payload);
+}
+
+void JobTable::finishLocked(std::unique_lock<std::mutex> &TableG, Job &J,
+                            FrameType T, const std::string &Payload) {
+  ById.erase(J.Id);
+  auto It = ByKey.find(J.Key);
+  if (It != ByKey.end() && It->second.get() == &J)
+    ByKey.erase(It);
+  std::lock_guard<std::mutex> SG(J.StreamLock);
+  TableG.unlock(); // the final fan-out needs no table state
+  fanOutLocked(J, T, Payload);
+  J.Finished = true;
+  J.Subs.clear();
+}
+
+void JobTable::complete(const JobPtr &J, JobDonePayload Done) {
+  // The worker numbered the job in its own space; subscribers know the
+  // router's id. Everything else in the payload is forwarded untouched.
+  Done.JobId = J->Id;
+  std::unique_lock<std::mutex> TG(TableLock);
+  finishLocked(TG, *J, FrameType::JobDone, encodeJobDone(Done));
+}
+
+void JobTable::fail(const JobPtr &J, ErrorCode Code, const std::string &Msg) {
+  ErrorPayload E;
+  E.Code = Code;
+  E.Message = Msg;
+  std::unique_lock<std::mutex> TG(TableLock);
+  finishLocked(TG, *J, FrameType::Error, encodeError(E));
+}
+
+bool JobTable::requeueOrFail(const JobPtr &J) {
+  unsigned Attempts;
+  {
+    std::lock_guard<std::mutex> SG(J->StreamLock);
+    Attempts = J->Attempts;
+  }
+  if (Attempts < Cfg.MaxJobAttempts)
+    return true;
+  fail(J, ErrorCode::WorkerLost,
+       "worker lost after " + std::to_string(Attempts) +
+           " attempt(s); giving up on job " + std::to_string(J->Id));
+  return false;
+}
+
+size_t JobTable::liveJobs() const {
+  std::lock_guard<std::mutex> G(TableLock);
+  return ById.size();
+}
+
+JobTable::Stats JobTable::stats() const {
+  std::lock_guard<std::mutex> G(StatsLock);
+  return Counters;
+}

@@ -272,3 +272,65 @@ bool llvmmd::decodeError(const std::string &Bytes, ErrorPayload &P) {
   P.Code = static_cast<ErrorCode>(Code);
   return true;
 }
+
+std::string llvmmd::encodeSubscribe(const SubscribePayload &P) {
+  std::string Out;
+  appendU64LE(Out, P.JobId);
+  return Out;
+}
+
+bool llvmmd::decodeSubscribe(const std::string &Bytes, SubscribePayload &P) {
+  size_t Cur = 0;
+  return readU64LE(Bytes.data(), Bytes.size(), Cur, P.JobId) &&
+         atEnd(Bytes, Cur);
+}
+
+std::string llvmmd::encodeJobId(const JobIdPayload &P) {
+  std::string Out;
+  appendU64LE(Out, P.JobId);
+  Out.push_back(static_cast<char>(P.Deduplicated));
+  appendU32LE(Out, P.ReplayedFrames);
+  return Out;
+}
+
+bool llvmmd::decodeJobId(const std::string &Bytes, JobIdPayload &P) {
+  size_t Cur = 0;
+  return readU64LE(Bytes.data(), Bytes.size(), Cur, P.JobId) &&
+         readU8(Bytes, Cur, P.Deduplicated) &&
+         readU32LE(Bytes.data(), Bytes.size(), Cur, P.ReplayedFrames) &&
+         atEnd(Bytes, Cur);
+}
+
+std::string llvmmd::encodeWorkerHello(const WorkerHelloPayload &P) {
+  std::string Out;
+  appendU64LE(Out, P.RouterId);
+  appendU32LE(Out, P.WorkerIndex);
+  appendU64LE(Out, P.Generation);
+  return Out;
+}
+
+bool llvmmd::decodeWorkerHello(const std::string &Bytes,
+                               WorkerHelloPayload &P) {
+  size_t Cur = 0;
+  return readU64LE(Bytes.data(), Bytes.size(), Cur, P.RouterId) &&
+         readU32LE(Bytes.data(), Bytes.size(), Cur, P.WorkerIndex) &&
+         readU64LE(Bytes.data(), Bytes.size(), Cur, P.Generation) &&
+         atEnd(Bytes, Cur);
+}
+
+std::string llvmmd::encodeWorkerHelloOk(const WorkerHelloOkPayload &P) {
+  std::string Out;
+  appendU64LE(Out, P.Pid);
+  appendU64LE(Out, P.JobsCompleted);
+  appendLPString(Out, P.StorePath);
+  return Out;
+}
+
+bool llvmmd::decodeWorkerHelloOk(const std::string &Bytes,
+                                 WorkerHelloOkPayload &P) {
+  size_t Cur = 0;
+  return readU64LE(Bytes.data(), Bytes.size(), Cur, P.Pid) &&
+         readU64LE(Bytes.data(), Bytes.size(), Cur, P.JobsCompleted) &&
+         readLPString(Bytes.data(), Bytes.size(), Cur, P.StorePath) &&
+         atEnd(Bytes, Cur);
+}

@@ -35,6 +35,19 @@
 /// frame carrying the engine's cache-stat deltas for the job — which is how
 /// `--expect-warm` keeps its meaning end to end over the wire.
 ///
+/// Version 2 adds the fleet vocabulary (src/fleet/):
+///  * Subscribe (client -> router) joins a running job's response stream
+///    mid-flight by job id; already-sent frames are replayed from the
+///    router's bounded per-job buffer, then the live tail follows.
+///  * JobId (router -> client) answers a Submit that was deduplicated onto
+///    an already-running identical job, or a Subscribe — it names the
+///    shared job and how many frames were replayed.
+///  * WorkerHello / WorkerHelloOk let the router verify, after the normal
+///    digest-gated handshake, that the process behind a worker socket is
+///    exactly the worker it spawned (pid check) and which store shard it
+///    persists to — a stale socket of a crashed generation can never be
+///    mistaken for a live worker.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LLVMMD_SERVER_PROTOCOL_H
@@ -47,8 +60,9 @@
 namespace llvmmd {
 
 /// Bumped on any wire-format change; a version mismatch fails the
-/// handshake in either direction.
-constexpr uint32_t ServerProtocolVersion = 1;
+/// handshake in either direction. v2: fleet frames (Subscribe, JobId,
+/// WorkerHello/WorkerHelloOk).
+constexpr uint32_t ServerProtocolVersion = 2;
 
 /// Default ceiling on one frame's payload. Large enough for a suite report
 /// over a big module set, small enough that a garbage length field cannot
@@ -62,6 +76,8 @@ enum class FrameType : uint8_t {
   Stats = 3,
   Ping = 4,
   Shutdown = 5,
+  Subscribe = 6,   ///< join a running job's stream by id (fleet router)
+  WorkerHello = 7, ///< router -> worker identity check after the handshake
 
   // Server -> client.
   HelloOk = 64,
@@ -73,6 +89,8 @@ enum class FrameType : uint8_t {
   StatsReply = 70,
   Pong = 71,
   Error = 72,
+  JobId = 73,         ///< submission deduplicated / subscription attached
+  WorkerHelloOk = 74, ///< worker identity reply (pid + shard path)
 };
 
 enum class ErrorCode : uint8_t {
@@ -80,6 +98,9 @@ enum class ErrorCode : uint8_t {
   Handshake = 2, ///< version or config-digest mismatch; connection closes
   QueueFull = 3, ///< admission control rejected the job; connection stays up
   BadSubmit = 4, ///< unknown profile / unparsable module; connection stays up
+  WorkerLost = 5, ///< the fleet lost the job's worker past the requeue budget
+  UnknownJob = 6, ///< Subscribe named a job that is not running (or the
+                  ///< replay window was exceeded); connection stays up
 };
 
 struct Frame {
@@ -174,6 +195,35 @@ struct ErrorPayload {
   std::string Message;
 };
 
+/// Client -> router: attach to job \p JobId's response stream mid-flight.
+struct SubscribePayload {
+  uint64_t JobId = 0;
+};
+
+/// Router -> client: the submission joined (or a Subscribe attached to) an
+/// already-running job. \p ReplayedFrames counts the buffered response
+/// frames that were replayed before the live tail.
+struct JobIdPayload {
+  uint64_t JobId = 0;
+  uint8_t Deduplicated = 0; ///< 1 when a Submit was folded onto a live job
+  uint32_t ReplayedFrames = 0;
+};
+
+/// Router -> worker, after the normal handshake: "prove you are the process
+/// I spawned". The reply's pid is checked against the spawned child, so a
+/// stale socket left by a dead generation can never be dispatched to.
+struct WorkerHelloPayload {
+  uint64_t RouterId = 0;
+  uint32_t WorkerIndex = 0;
+  uint64_t Generation = 0;
+};
+
+struct WorkerHelloOkPayload {
+  uint64_t Pid = 0;
+  uint64_t JobsCompleted = 0;
+  std::string StorePath; ///< the worker's verdict-store shard ("" = none)
+};
+
 std::string encodeHello(const HelloPayload &P);
 bool decodeHello(const std::string &Bytes, HelloPayload &P);
 std::string encodeHelloOk(const HelloOkPayload &P);
@@ -190,6 +240,14 @@ std::string encodeJobDone(const JobDonePayload &P);
 bool decodeJobDone(const std::string &Bytes, JobDonePayload &P);
 std::string encodeError(const ErrorPayload &P);
 bool decodeError(const std::string &Bytes, ErrorPayload &P);
+std::string encodeSubscribe(const SubscribePayload &P);
+bool decodeSubscribe(const std::string &Bytes, SubscribePayload &P);
+std::string encodeJobId(const JobIdPayload &P);
+bool decodeJobId(const std::string &Bytes, JobIdPayload &P);
+std::string encodeWorkerHello(const WorkerHelloPayload &P);
+bool decodeWorkerHello(const std::string &Bytes, WorkerHelloPayload &P);
+std::string encodeWorkerHelloOk(const WorkerHelloOkPayload &P);
+bool decodeWorkerHelloOk(const std::string &Bytes, WorkerHelloOkPayload &P);
 
 } // namespace llvmmd
 

@@ -6,7 +6,10 @@
 
 #include "server/ServerClient.h"
 
+#include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #ifndef _WIN32
 #include <arpa/inet.h>
@@ -17,6 +20,27 @@
 #endif
 
 using namespace llvmmd;
+
+namespace {
+
+/// The errno classes worth retrying: the listener is mid-restart
+/// (ECONNREFUSED, and ENOENT for a unix socket file not bound yet) or hung
+/// up while the connect raced its teardown (ECONNRESET).
+bool isRetryableConnectErrno(int Err) {
+  return Err == ECONNREFUSED || Err == ECONNRESET || Err == ENOENT;
+}
+
+} // namespace
+
+unsigned ServerClient::retryDelayMs(const RetryPolicy &P, unsigned Attempt) {
+  // Saturating shift: past 31 doublings the schedule is pinned to the cap
+  // anyway, and BaseDelayMs << 32 would be undefined.
+  if (Attempt >= 31)
+    return P.MaxDelayMs;
+  unsigned long long D =
+      static_cast<unsigned long long>(P.BaseDelayMs) << Attempt;
+  return D >= P.MaxDelayMs ? P.MaxDelayMs : static_cast<unsigned>(D);
+}
 
 ServerClient::~ServerClient() { close(); }
 
@@ -40,15 +64,23 @@ bool ServerClient::connectUnix(const std::string &Path, std::string *Error) {
     return false;
   }
   std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
-  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (Fd < 0 ||
-      ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
-    if (Error)
-      *Error = "cannot connect to '" + Path + "'";
+  for (unsigned Attempt = 0;; ++Attempt) {
+    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd >= 0 && ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                             sizeof(Addr)) == 0)
+      return true;
+    int Err = errno;
     close();
-    return false;
+    // ENOENT: the socket file is not bound yet — exactly what a worker
+    // restarting under us looks like before its first listen().
+    if (Attempt >= Retry.Retries || !isRetryableConnectErrno(Err)) {
+      if (Error)
+        *Error = "cannot connect to '" + Path + "'";
+      return false;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(retryDelayMs(Retry, Attempt)));
   }
-  return true;
 #else
   (void)Path;
   if (Error)
@@ -70,15 +102,21 @@ bool ServerClient::connectTcp(const std::string &Host, uint16_t Port,
       *Error = "bad IPv4 address '" + Host + "'";
     return false;
   }
-  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (Fd < 0 ||
-      ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
-    if (Error)
-      *Error = "cannot connect to " + Host + ":" + std::to_string(Port);
+  for (unsigned Attempt = 0;; ++Attempt) {
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd >= 0 && ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                             sizeof(Addr)) == 0)
+      return true;
+    int Err = errno;
     close();
-    return false;
+    if (Attempt >= Retry.Retries || !isRetryableConnectErrno(Err)) {
+      if (Error)
+        *Error = "cannot connect to " + Host + ":" + std::to_string(Port);
+      return false;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(retryDelayMs(Retry, Attempt)));
   }
-  return true;
 #else
   (void)Host;
   (void)Port;
@@ -137,23 +175,103 @@ bool ServerClient::handshake(uint64_t ConfigDigest, HelloOkPayload *Info,
 }
 
 bool ServerClient::submit(const SubmitPayload &Req, AcceptedPayload *Accepted,
-                          std::string *Error) {
+                          std::string *Error, bool *Deduplicated) {
+  if (Deduplicated)
+    *Deduplicated = false;
   if (!sendRaw(FrameType::Submit, encodeSubmit(Req))) {
     if (Error)
       *Error = "cannot send Submit";
     return false;
   }
   Frame F;
-  if (!readExpect(FrameType::Accepted, F, Error))
-    return false;
-  AcceptedPayload A;
-  if (!decodeAccepted(F.Payload, A)) {
+  ReadStatus RS = readFrame(Fd, F, MaxFrameBytes);
+  if (RS != ReadStatus::Ok) {
     if (Error)
-      *Error = "undecodable Accepted";
+      *Error = RS == ReadStatus::Eof ? "server closed the connection"
+                                     : "connection error";
     return false;
   }
-  if (Accepted)
-    *Accepted = A;
+  if (F.Type == FrameType::Accepted) {
+    AcceptedPayload A;
+    if (!decodeAccepted(F.Payload, A)) {
+      if (Error)
+        *Error = "undecodable Accepted";
+      return false;
+    }
+    if (Accepted)
+      *Accepted = A;
+    return true;
+  }
+  if (F.Type == FrameType::JobId) {
+    // A fleet router folded this submission onto an already-running
+    // identical job; the stream that follows is that job's.
+    JobIdPayload J;
+    if (!decodeJobId(F.Payload, J)) {
+      if (Error)
+        *Error = "undecodable JobId";
+      return false;
+    }
+    if (Accepted) {
+      Accepted->JobId = J.JobId;
+      Accepted->QueuePosition = 0;
+    }
+    if (Deduplicated)
+      *Deduplicated = true;
+    return true;
+  }
+  if (F.Type == FrameType::Error) {
+    ErrorPayload E;
+    if (Error)
+      *Error = decodeError(F.Payload, E) ? E.Message : "undecodable error";
+    return false;
+  }
+  if (Error)
+    *Error = "unexpected frame from server";
+  return false;
+}
+
+bool ServerClient::subscribe(uint64_t JobId, JobIdPayload *Info,
+                             std::string *Error) {
+  SubscribePayload S;
+  S.JobId = JobId;
+  if (!sendRaw(FrameType::Subscribe, encodeSubscribe(S))) {
+    if (Error)
+      *Error = "cannot send Subscribe";
+    return false;
+  }
+  Frame F;
+  if (!readExpect(FrameType::JobId, F, Error))
+    return false;
+  JobIdPayload J;
+  if (!decodeJobId(F.Payload, J)) {
+    if (Error)
+      *Error = "undecodable JobId";
+    return false;
+  }
+  if (Info)
+    *Info = J;
+  return true;
+}
+
+bool ServerClient::workerHello(const WorkerHelloPayload &Req,
+                               WorkerHelloOkPayload *Info,
+                               std::string *Error) {
+  if (!sendRaw(FrameType::WorkerHello, encodeWorkerHello(Req))) {
+    if (Error)
+      *Error = "cannot send WorkerHello";
+    return false;
+  }
+  Frame F;
+  if (!readExpect(FrameType::WorkerHelloOk, F, Error))
+    return false;
+  WorkerHelloOkPayload Ok;
+  if (!decodeWorkerHelloOk(F.Payload, Ok)) {
+    if (Error)
+      *Error = "undecodable WorkerHelloOk";
+    return false;
+  }
+  if (Info)
+    *Info = Ok;
   return true;
 }
 

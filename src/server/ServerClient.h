@@ -58,6 +58,24 @@ public:
     ErrorPayload Error;
   };
 
+  /// Connect-retry policy: opt-in (default 0 retries keeps the historical
+  /// fail-fast behavior). When the initial connect fails with a
+  /// worker-restarting-under-us error — ECONNREFUSED, ECONNRESET, or (unix
+  /// sockets only) the socket file not existing yet — the connect is
+  /// retried up to \p Retries more times with exponential backoff:
+  /// attempt k (0-based) sleeps retryDelayMs(k) before retrying. Any other
+  /// errno fails immediately.
+  struct RetryPolicy {
+    unsigned Retries = 0;
+    unsigned BaseDelayMs = 10;
+    unsigned MaxDelayMs = 1000;
+  };
+
+  /// The deterministic backoff schedule: min(BaseDelayMs << Attempt,
+  /// MaxDelayMs), saturating instead of overflowing. Pure so tests can pin
+  /// the schedule without sleeping.
+  static unsigned retryDelayMs(const RetryPolicy &P, unsigned Attempt);
+
   bool connectUnix(const std::string &Path, std::string *Error = nullptr);
   bool connectTcp(const std::string &Host, uint16_t Port,
                   std::string *Error = nullptr);
@@ -70,10 +88,25 @@ public:
   bool handshake(uint64_t ConfigDigest, HelloOkPayload *Info = nullptr,
                  std::string *Error = nullptr);
 
-  /// Submits a job and waits for Accepted (or an admission Error). The
+  /// Submits a job and waits for Accepted (or an admission Error). Against
+  /// a fleet router the reply may instead be a JobId frame — the submission
+  /// was deduplicated onto an already-running identical job; \p Accepted is
+  /// filled from it and \p Deduplicated (when non-null) is set. The
   /// response frames are then consumed with nextEvent() until JobDone.
   bool submit(const SubmitPayload &Req, AcceptedPayload *Accepted = nullptr,
-              std::string *Error = nullptr);
+              std::string *Error = nullptr, bool *Deduplicated = nullptr);
+
+  /// Fleet router only: join job \p JobId's response stream mid-flight.
+  /// Buffered frames replay first, then the live tail; consume with
+  /// nextEvent() until JobDone.
+  bool subscribe(uint64_t JobId, JobIdPayload *Info = nullptr,
+                 std::string *Error = nullptr);
+
+  /// Router -> worker identity check (after handshake): returns the
+  /// worker's pid and store shard so the caller can verify it is talking to
+  /// the process it spawned, not a stale socket.
+  bool workerHello(const WorkerHelloPayload &Req, WorkerHelloOkPayload *Info,
+                   std::string *Error = nullptr);
 
   /// Reads the next response event. Returns false on connection loss or a
   /// protocol violation (with \p Error set); an in-protocol Error frame is
@@ -95,6 +128,9 @@ public:
 
   /// Frame payload ceiling applied to *received* frames.
   uint32_t MaxFrameBytes = DefaultMaxFrameBytes;
+
+  /// Connect-retry policy for connectUnix/connectTcp (default: no retries).
+  RetryPolicy Retry;
 
 private:
   bool readExpect(FrameType Want, Frame &F, std::string *Error);

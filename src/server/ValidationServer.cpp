@@ -539,6 +539,30 @@ bool ValidationServer::handleFrame(Connection &C, const Frame &F) {
     return sendFrame(C, FrameType::StatsReply, statsJSON());
   case FrameType::Ping:
     return sendFrame(C, FrameType::Pong, std::string());
+  case FrameType::WorkerHello: {
+    // The fleet router's identity check: after the digest-gated handshake
+    // it asks "are you the process I spawned?" and verifies the pid in the
+    // reply. Any handshaken client may ask; the answer is only about us.
+    WorkerHelloPayload WH;
+    if (!decodeWorkerHello(F.Payload, WH)) {
+      {
+        std::lock_guard<std::mutex> G(StatsLock);
+        ++Counters.ProtocolErrors;
+      }
+      sendError(C, ErrorCode::Protocol, "undecodable WorkerHello");
+      return false;
+    }
+    WorkerHelloOkPayload Ok;
+#ifndef _WIN32
+    Ok.Pid = static_cast<uint64_t>(::getpid());
+#endif
+    {
+      std::lock_guard<std::mutex> G(StatsLock);
+      Ok.JobsCompleted = Counters.JobsCompleted;
+    }
+    Ok.StorePath = Cfg.Engine.CachePath;
+    return sendFrame(C, FrameType::WorkerHelloOk, encodeWorkerHelloOk(Ok));
+  }
   case FrameType::Shutdown:
     requestStop();
     return true; // connection closes when the server winds down

@@ -28,9 +28,11 @@
 
 #include "TestUtil.h"
 
+#include <chrono>
 #include <cstdio>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <thread>
 #include <unistd.h>
 
 using namespace llvmmd;
@@ -561,4 +563,82 @@ TEST(ServerTest, ShutdownFrameDrainsAndStops) {
   // Submissions after shutdown are refused (the listener is gone).
   ServerClient Late;
   EXPECT_FALSE(Late.connectUnix(D.Sock));
+}
+
+//===----------------------------------------------------------------------===//
+// Connect retry (fleet dispatchers ride out worker restarts with this)
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, RetryBackoffScheduleIsDeterministic) {
+  ServerClient::RetryPolicy P;
+  P.BaseDelayMs = 10;
+  P.MaxDelayMs = 1000;
+  // Exponential doubling from the base...
+  EXPECT_EQ(ServerClient::retryDelayMs(P, 0), 10u);
+  EXPECT_EQ(ServerClient::retryDelayMs(P, 1), 20u);
+  EXPECT_EQ(ServerClient::retryDelayMs(P, 2), 40u);
+  EXPECT_EQ(ServerClient::retryDelayMs(P, 3), 80u);
+  EXPECT_EQ(ServerClient::retryDelayMs(P, 6), 640u);
+  // ...saturating at the cap instead of overflowing the shift.
+  EXPECT_EQ(ServerClient::retryDelayMs(P, 7), 1000u);
+  EXPECT_EQ(ServerClient::retryDelayMs(P, 31), 1000u);
+  EXPECT_EQ(ServerClient::retryDelayMs(P, 200), 1000u);
+
+  ServerClient::RetryPolicy Tight;
+  Tight.BaseDelayMs = 0;
+  Tight.MaxDelayMs = 0;
+  EXPECT_EQ(ServerClient::retryDelayMs(Tight, 5), 0u);
+}
+
+TEST(ServerTest, ConnectRetriesUntilTheSocketAppears) {
+  ServeDir D("retry");
+
+  // Bind the daemon only after a delay: the default fail-fast client must
+  // error immediately, while a retrying client (the fleet's dispatcher
+  // behavior) connects once the socket shows up.
+  ServerClient FailFast;
+  EXPECT_FALSE(FailFast.connectUnix(D.Sock));
+
+  ValidationServer Server(smallServerConfig(D, 1, /*Triage=*/false));
+  std::thread Late([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    ASSERT_TRUE(Server.start());
+  });
+
+  ServerClient Patient;
+  Patient.Retry.Retries = 30;
+  Patient.Retry.BaseDelayMs = 20;
+  Patient.Retry.MaxDelayMs = 100;
+  std::string Error;
+  EXPECT_TRUE(Patient.connectUnix(D.Sock, &Error)) << Error;
+  EXPECT_TRUE(Patient.handshake(
+      verdictStoreConfigDigest(RuleConfig{}), nullptr, &Error))
+      << Error;
+  EXPECT_TRUE(Patient.ping());
+
+  Late.join();
+  Server.stop();
+}
+
+TEST(ServerTest, WorkerHelloReportsTheServersOwnPid) {
+  ServeDir D("workerhello");
+  ServerConfig SC = smallServerConfig(D, 1, /*Triage=*/false,
+                                      /*WithStore=*/true);
+  ValidationServer Server(std::move(SC));
+  ASSERT_TRUE(Server.start());
+
+  ServerClient Client;
+  ASSERT_TRUE(attach(Client, D.Sock));
+  WorkerHelloPayload WH;
+  WH.RouterId = 42;
+  WH.WorkerIndex = 3;
+  WH.Generation = 7;
+  WorkerHelloOkPayload Ok;
+  std::string Error;
+  ASSERT_TRUE(Client.workerHello(WH, &Ok, &Error)) << Error;
+  // The pid is the identity check the fleet's stale-socket defense rests
+  // on; the store path tells the router which shard this worker persists.
+  EXPECT_EQ(Ok.Pid, static_cast<uint64_t>(::getpid()));
+  EXPECT_EQ(Ok.StorePath, D.Store);
+  Server.stop();
 }

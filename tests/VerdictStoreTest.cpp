@@ -21,6 +21,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <thread>
 
 using namespace llvmmd;
 
@@ -427,4 +428,112 @@ TEST(VerdictStoreTest, SuiteRunsShareTheStoreAcrossProcesses) {
     EXPECT_EQ(Run.Report.warmHits(),
               Run.Report.transformed() - Run.Report.skippedIdentical());
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Fleet-shard API: threaded union, header inspection, offline merge
+//===----------------------------------------------------------------------===//
+
+TEST(VerdictStoreTest, ManyThreadsSavingOnePathUnionLosslessly) {
+  TempFile F("threads.vstore");
+  // The fleet's failure mode: K workers checkpointing to one path at once.
+  // Each thread owns a disjoint key range plus a contested shared range;
+  // the advisory lock + merge-on-save must union every disjoint entry
+  // (losing one means a future run re-proves a verdict it already had) and
+  // resolve each contested key to SOME writer's value, never a torn one.
+  constexpr unsigned K = 8;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < K; ++T)
+    Threads.emplace_back([&, T] {
+      VerdictMap Mine = makeMap(12, /*Salt=*/T * 1000);
+      for (unsigned I = 0; I < 4; ++I) {
+        VerdictKey Shared{0x777700 + I, 0x888800 + I, 0xc0};
+        Mine.emplace(Shared, makeResult(true, /*Rewrites=*/T + 1));
+      }
+      EXPECT_NE(VerdictStore::save(F.path(), 0xd1, Mine), ~0ull);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  VerdictMap Loaded;
+  ASSERT_TRUE(VerdictStore::load(F.path(), 0xd1, Loaded).loaded());
+  EXPECT_EQ(Loaded.size(), K * 12 + 4);
+  for (unsigned T = 0; T < K; ++T)
+    for (const auto &[Key, R] : makeMap(12, T * 1000))
+      EXPECT_EQ(Loaded.at(Key).Rewrites, R.Rewrites);
+  for (unsigned I = 0; I < 4; ++I) {
+    VerdictKey Shared{0x777700 + I, 0x888800 + I, 0xc0};
+    uint64_t Got = Loaded.at(Shared).Rewrites;
+    EXPECT_GE(Got, 1u);
+    EXPECT_LE(Got, K);
+  }
+}
+
+TEST(VerdictStoreTest, PeekHeaderReportsWithoutReplaying) {
+  TempFile F("peek.vstore");
+  VerdictMap M = makeMap(9);
+  ASSERT_NE(VerdictStore::save(F.path(), 0xabcd, M), ~0ull);
+
+  VerdictStore::HeaderInfo HI = VerdictStore::peekHeader(F.path());
+  ASSERT_TRUE(HI.ok()) << HI.Message;
+  EXPECT_EQ(HI.Version, VerdictStore::FormatVersion);
+  EXPECT_EQ(HI.ConfigDigest, 0xabcdu);
+  EXPECT_EQ(HI.VerdictEntries, M.size());
+  EXPECT_EQ(HI.TriageEntries, 0u);
+  EXPECT_GT(HI.FileBytes, 0u);
+
+  // Inspection is still honest about damage: a flipped payload byte is
+  // Corrupt (the checksum is verified), and a missing file is NoFile.
+  std::ifstream In(F.path(), std::ios::binary);
+  std::string Bytes((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+  In.close();
+  Bytes[Bytes.size() - 3] ^= 0x40;
+  writeBytes(F.path(), Bytes);
+  EXPECT_EQ(VerdictStore::peekHeader(F.path()).Status,
+            VerdictStore::LoadStatus::Corrupt);
+
+  EXPECT_EQ(VerdictStore::peekHeader(F.path() + ".nope").Status,
+            VerdictStore::LoadStatus::NoFile);
+}
+
+TEST(VerdictStoreTest, ShardPathNamingIsStable) {
+  // Offline tools (store_tool) and the fleet must agree on this forever.
+  EXPECT_EQ(VerdictStore::shardPath("/x/base.vstore", 0),
+            "/x/base.vstore.shard0");
+  EXPECT_EQ(VerdictStore::shardPath("rel", 12), "rel.shard12");
+}
+
+TEST(VerdictStoreTest, MergePathsUnionsAndRejectsMismatchedInputs) {
+  TempFile A("merge-a.vstore"), B("merge-b.vstore"), C("merge-c.vstore");
+  TempFile Out("merge-out.vstore"), Out2("merge-out2.vstore");
+  VerdictMap MA = makeMap(5, 0), MB = makeMap(5, 9000);
+  VerdictKey Contested{0xbeef, 0xf00d, 0xc0};
+  MA.emplace(Contested, makeResult(true, 11));
+  MB.emplace(Contested, makeResult(true, 22));
+  ASSERT_NE(VerdictStore::save(A.path(), 0xd1, MA), ~0ull);
+  ASSERT_NE(VerdictStore::save(B.path(), 0xd1, MB), ~0ull);
+  ASSERT_NE(VerdictStore::save(C.path(), 0xd2, makeMap(3, 50)), ~0ull);
+
+  // Union with earlier-inputs-win on the contested key; a missing input is
+  // an empty shard, not an error (a cold fleet worker never wrote one).
+  std::string Err;
+  EXPECT_EQ(VerdictStore::mergePaths(
+                {A.path(), B.path(), A.path() + ".gone"}, Out.path(), 0xd1,
+                &Err),
+            MA.size() + MB.size() - 1)
+      << Err;
+  VerdictMap Loaded;
+  ASSERT_TRUE(VerdictStore::load(Out.path(), 0xd1, Loaded).loaded());
+  EXPECT_EQ(Loaded.at(Contested).Rewrites, 11u) << "earlier input must win";
+
+  // A digest-mismatched input poisons the whole merge: verdicts proven
+  // under different rules must never union.
+  EXPECT_EQ(VerdictStore::mergePaths({A.path(), C.path()}, Out2.path(), 0xd1,
+                                     &Err),
+            ~0ull);
+  EXPECT_FALSE(Err.empty());
+  EXPECT_EQ(VerdictStore::peekHeader(Out2.path()).Status,
+            VerdictStore::LoadStatus::NoFile)
+      << "a failed merge must not write a partial store";
 }
