@@ -47,7 +47,7 @@ double secondsSince(std::chrono::steady_clock::time_point Start) {
 SubmitPayload jobSubmission(unsigned J) {
   SubmitPayload Req;
   SubmitModule M;
-  M.FromProfile = 1;
+  M.Source = SubmitProfile;
   M.Name = "sqlite";
   M.FnCount = 160 + 4 * J;
   Req.Modules.push_back(std::move(M));

@@ -50,7 +50,7 @@ SubmitPayload suiteSubmission() {
   SubmitPayload Req;
   for (const char *Name : SuiteProfiles) {
     SubmitModule M;
-    M.FromProfile = 1;
+    M.Source = SubmitProfile;
     M.Name = Name;
     Req.Modules.push_back(std::move(M));
   }

@@ -2,17 +2,24 @@
 //
 // Part of the llvm-md project (PLDI 2011 value-graph validation repro).
 //
-// Drives a whole module end-to-end through the ValidationEngine: generate
-// (or parse) a multi-function module, optimize it with a pipeline, validate
-// every transformed function in parallel, and emit the report as text, CSV
-// or JSON.
+// Drives a whole module end-to-end through the ValidationEngine: load (or
+// generate) a multi-function module through the shared ModuleLoader,
+// optimize it with a pipeline, validate every transformed function in
+// parallel, and emit the report as text, CSV or JSON.
 //
-//   $ ./batch_validate [options] [input.ll]
-//     --profile NAME     generate the Table-1 profile NAME (default: sjeng)
-//     --suite NAMES      comma-separated profile list: generate one module
-//                        per profile in a single Context and validate the
-//                        whole suite in one engine batch (one report per
-//                        module plus a roll-up)
+//   $ ./batch_validate [options] [SPEC...]
+//     SPEC               module spec: FILE (native mini-IR or real LLVM
+//                        .ll, detected by content), `-` for stdin, or
+//                        profile:NAME for a generated Table-1 benchmark.
+//                        More than one spec validates the whole set as a
+//                        suite (one report per module plus a roll-up).
+//     --input SPEC       same as a positional spec
+//     --format F         force the inline/file format: auto|mini|llvm
+//                        (default auto = content sniffing)
+//     --profile NAME     generate the Table-1 profile NAME when no spec is
+//                        given (default: sjeng)
+//     --suite NAMES      comma-separated profile list, shorthand for
+//                        profile:A profile:B ... appended to the spec list
 //     --pipeline P       comma-separated pass list (default: the paper's)
 //     --threads N        worker threads for optimize + validate (default:
 //                        hardware)
@@ -49,6 +56,7 @@
 //                        deterministic: byte-identical for any --threads
 //     --csv [PATH]       write the CSV report
 //     --quiet            suppress the text report
+//     --help             print the usage (including the spec grammar)
 //
 // Exit status: 0 when every transformed function validated, 2 when some
 // optimization could not be proven, 3 when --expect-warm saw a from-scratch
@@ -56,18 +64,17 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/ModuleLoader.h"
 #include "driver/ValidationEngine.h"
 #include "ir/Module.h"
-#include "ir/Parser.h"
 #include "opt/Pass.h"
-#include "workload/Generator.h"
-#include "workload/Profiles.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace llvmmd;
 
@@ -129,12 +136,29 @@ bool writeOrPrint(const std::string &Path, const std::string &Content) {
   return true;
 }
 
+void printHelp() {
+  std::printf(
+      "usage: batch_validate [options] [SPEC...]\n"
+      "\n%s\n"
+      "  More than one spec validates the whole set as one suite.\n"
+      "  Run flags: --profile NAME, --suite NAMES, --pipeline P,\n"
+      "  --format auto|mini|llvm, --threads N, --stepwise, --all-rules,\n"
+      "  --rule-mask N, --revert, --triage, --triage-inputs N,\n"
+      "  --triage-reduce N, --resubmit N, --cache PATH, --cache-load PATH,\n"
+      "  --cache-save PATH, --expect-warm, --print-config-digest,\n"
+      "  --json [PATH], --csv [PATH], --quiet, --help\n"
+      "  Exit status: 0 all validated, 2 some rejected, 3 --expect-warm\n"
+      "  violated, 1 usage or I/O errors.\n",
+      moduleSpecHelp());
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   std::string ProfileName = "sjeng";
   std::string SuiteNames;
-  std::string InputFile;
+  std::vector<ModuleSpec> Specs;
+  ModuleFormat Format = ModuleFormat::Auto;
   std::string Pipeline = getPaperPipeline();
   std::string JsonPath, CsvPath;
   std::string CachePath;
@@ -174,11 +198,22 @@ int main(int argc, char **argv) {
     return nullptr;
   };
   for (int I = 1; I < argc; ++I) {
-    if (std::strcmp(argv[I], "--profile") == 0 && I + 1 < argc)
+    if (std::strcmp(argv[I], "--help") == 0) {
+      printHelp();
+      return 0;
+    } else if (std::strcmp(argv[I], "--profile") == 0 && I + 1 < argc)
       ProfileName = argv[++I];
     else if (std::strcmp(argv[I], "--suite") == 0 && I + 1 < argc)
       SuiteNames = argv[++I];
-    else if (std::strcmp(argv[I], "--pipeline") == 0 && I + 1 < argc)
+    else if (std::strcmp(argv[I], "--input") == 0 && I + 1 < argc)
+      Specs.push_back(parseModuleSpec(argv[++I]));
+    else if (std::strcmp(argv[I], "--format") == 0 && I + 1 < argc) {
+      if (!parseModuleFormat(argv[++I], Format)) {
+        std::fprintf(stderr, "error: bad --format '%s' (auto|mini|llvm)\n",
+                     argv[I]);
+        return 1;
+      }
+    } else if (std::strcmp(argv[I], "--pipeline") == 0 && I + 1 < argc)
       Pipeline = argv[++I];
     else if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc) {
       int V = std::atoi(argv[++I]);
@@ -255,8 +290,8 @@ int main(int argc, char **argv) {
       EmitCsv = true;
       if (const char *V = TakesValue(I))
         CsvPath = V;
-    } else if (argv[I][0] != '-') {
-      InputFile = argv[I];
+    } else if (argv[I][0] != '-' || argv[I][1] == '\0') {
+      Specs.push_back(parseModuleSpec(argv[I]));
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", argv[I]);
       return 1;
@@ -297,35 +332,40 @@ int main(int argc, char **argv) {
   if (Resubmit == 0)
     Resubmit = 1;
 
-  // Suite mode: one module per profile, all in one Context, validated as a
-  // single engine batch sharded over the shared pool.
+  // --suite NAMES is shorthand for appending profile:NAME specs; the whole
+  // spec list then loads through the one shared ModuleLoader entry point.
   if (!SuiteNames.empty()) {
-    if (!InputFile.empty()) {
-      std::fprintf(stderr,
-                   "error: --suite generates its modules from profiles and "
-                   "cannot be combined with an input file\n");
-      return 1;
-    }
-    Context Ctx;
-    std::vector<std::unique_ptr<Module>> Mods;
-    std::vector<const Module *> ModPtrs;
     std::string Name;
     std::stringstream SS(SuiteNames);
     while (std::getline(SS, Name, ',')) {
       if (Name.empty())
         continue;
-      BenchmarkProfile P = getProfile(Name);
-      if (P.FunctionCount == 0) {
-        std::fprintf(stderr, "error: unknown profile '%s'\n", Name.c_str());
-        return 1;
-      }
-      Mods.push_back(generateBenchmark(Ctx, P));
-      ModPtrs.push_back(Mods.back().get());
+      Specs.push_back(parseModuleSpec("profile:" + Name));
     }
-    if (ModPtrs.empty()) {
+    if (Specs.empty()) {
       std::fprintf(stderr, "error: --suite needs at least one profile\n");
       return 1;
     }
+  }
+  if (Specs.empty())
+    Specs.push_back(parseModuleSpec("profile:" + ProfileName));
+  for (ModuleSpec &S : Specs)
+    S.Format = Format;
+
+  Context Ctx;
+  LoadResult Loaded = loadModules(Ctx, Specs);
+  if (!Loaded) {
+    std::fprintf(stderr, "error: %s\n", Loaded.Error.c_str());
+    return 1;
+  }
+
+  // Suite mode: more than one module (profiles and/or files), all in one
+  // Context, validated as a single engine batch sharded over the shared
+  // pool.
+  if (!SuiteNames.empty() || Loaded.Modules.size() > 1) {
+    std::vector<const Module *> ModPtrs;
+    for (const LoadedModule &LM : Loaded.Modules)
+      ModPtrs.push_back(LM.M.get());
 
     ValidationEngine Engine(C);
     SuiteRun Run;
@@ -340,6 +380,8 @@ int main(int argc, char **argv) {
                     static_cast<unsigned long long>(CS.Misses));
       }
     }
+    for (size_t I = 0; I < Loaded.Modules.size(); ++I)
+      attachUnsupported(Run.Report.Modules[I], Loaded.Modules[I]);
 
     if (!Quiet)
       std::fputs(suiteToText(Run.Report).c_str(), stdout);
@@ -352,36 +394,12 @@ int main(int argc, char **argv) {
     return Run.Report.validated() == Run.Report.transformed() ? 0 : 2;
   }
 
-  Context Ctx;
-  std::unique_ptr<Module> M;
-  if (!InputFile.empty()) {
-    std::ifstream In(InputFile);
-    if (!In) {
-      std::fprintf(stderr, "error: cannot open %s\n", InputFile.c_str());
-      return 1;
-    }
-    std::ostringstream SS;
-    SS << In.rdbuf();
-    ParseResult PR = parseModule(Ctx, SS.str(), InputFile);
-    if (!PR) {
-      std::fprintf(stderr, "parse error: %s\n", PR.Error.c_str());
-      return 1;
-    }
-    M = std::move(PR.M);
-  } else {
-    BenchmarkProfile P = getProfile(ProfileName);
-    if (P.FunctionCount == 0) {
-      std::fprintf(stderr, "error: unknown profile '%s'\n",
-                   ProfileName.c_str());
-      return 1;
-    }
-    M = generateBenchmark(Ctx, P);
-  }
+  LoadedModule &LM = Loaded.Modules.front();
 
   ValidationEngine Engine(C);
   EngineRun Run;
   for (unsigned I = 0; I < Resubmit; ++I) {
-    Run = Engine.run(*M, PM);
+    Run = Engine.run(*LM.M, PM);
     if (!Quiet && Resubmit > 1) {
       const EngineCacheStats &CS = Engine.cacheStats();
       std::printf("run %u/%u: %.2f ms wall, cache hits so far: %llu, "
@@ -391,6 +409,7 @@ int main(int argc, char **argv) {
                   static_cast<unsigned long long>(CS.Misses));
     }
   }
+  attachUnsupported(Run.Report, LM);
 
   if (!Quiet)
     std::fputs(reportToText(Run.Report).c_str(), stdout);

@@ -17,31 +17,64 @@
 //    though a direct differential probe diverges (a triage defect — the
 //    probe corpus is the triage corpus, so this must not happen).
 //
-//   $ ./bug_detector [num-trials]
+//   $ ./bug_detector [--input SPEC] [--format auto|mini|llvm] [num-trials]
+//
+// The original module comes from the shared ModuleLoader: by default the
+// sjeng profile sized to num-trials functions; --input substitutes any
+// module spec (a mini-IR or .ll file, `-` for stdin, or profile:NAME).
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/ModuleLoader.h"
 #include "driver/ValidationEngine.h"
 #include "ir/Cloning.h"
 #include "ir/Module.h"
 #include "opt/BugInjector.h"
 #include "opt/Pass.h"
 #include "triage/DifferentialTester.h"
-#include "workload/Generator.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 
 using namespace llvmmd;
 
 int main(int argc, char **argv) {
-  unsigned Trials = argc > 1 ? std::atoi(argv[1]) : 24;
+  unsigned Trials = 24;
+  ModuleSpec Spec = parseModuleSpec("profile:sjeng");
+  ModuleFormat Format = ModuleFormat::Auto;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--help") == 0) {
+      std::printf("usage: bug_detector [--input SPEC] "
+                  "[--format auto|mini|llvm] [num-trials]\n\n%s",
+                  moduleSpecHelp());
+      return 0;
+    } else if (std::strcmp(argv[I], "--input") == 0 && I + 1 < argc)
+      Spec = parseModuleSpec(argv[++I]);
+    else if (std::strcmp(argv[I], "--format") == 0 && I + 1 < argc) {
+      if (!parseModuleFormat(argv[++I], Format)) {
+        std::fprintf(stderr, "error: bad --format '%s' (auto|mini|llvm)\n",
+                     argv[I]);
+        return 1;
+      }
+    } else if (argv[I][0] != '-' || argv[I][1] == '\0') {
+      Trials = static_cast<unsigned>(std::atoi(argv[I]));
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", argv[I]);
+      return 1;
+    }
+  }
 
+  Spec.Format = Format;
+  Spec.ProfileFnCount = Trials;
   Context Ctx;
-  BenchmarkProfile P = getProfile("sjeng");
-  P.FunctionCount = Trials;
-  auto M = generateBenchmark(Ctx, P);
+  LoadResult Loaded = loadModule(Ctx, Spec);
+  if (!Loaded) {
+    std::fprintf(stderr, "error: %s\n", Loaded.Error.c_str());
+    return 1;
+  }
+  std::unique_ptr<Module> M = std::move(Loaded.Modules.front().M);
   auto Opt = cloneModule(*M);
 
   // The "buggy compiler": a legitimate optimization pipeline followed by a

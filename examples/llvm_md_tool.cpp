@@ -6,10 +6,13 @@
 // optimization pipeline, validate every function, revert the ones that do
 // not check out, and print the certified module plus a report.
 //
-//   $ ./llvm_md_tool input.ll [pipeline] [--all-rules] [--stepwise]
+//   $ ./llvm_md_tool [--input SPEC] [SPEC] [pipeline] [--all-rules]
+//                    [--stepwise]
 //
-// With no input file, a demo module is used. The default pipeline is the
-// paper's: adce,gvn,sccp,licm,loop-deletion,loop-unswitch,dse.
+// The module comes from the shared ModuleLoader: a mini-IR or real LLVM
+// .ll file (detected by content), `-` for stdin, or profile:NAME. With no
+// spec, a demo module is used. The default pipeline is the paper's:
+// adce,gvn,sccp,licm,loop-deletion,loop-unswitch,dse.
 //
 // Runs on the driver subsystem's ValidationEngine (parallel validation,
 // fingerprint skip, revert-on-failure). With --stepwise each pass is
@@ -17,16 +20,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/ModuleLoader.h"
 #include "driver/ValidationEngine.h"
 #include "ir/Module.h"
-#include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "opt/Pass.h"
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 
 using namespace llvmmd;
 
@@ -63,35 +64,51 @@ x:
 )";
 
 int main(int argc, char **argv) {
-  std::string Text = DemoModule;
+  ModuleSpec Spec;
+  Spec.From = ModuleSpec::Source::Inline;
+  Spec.Value = DemoModule;
+  Spec.Name = "input";
+  ModuleFormat Format = ModuleFormat::Auto;
   std::string Pipeline = getPaperPipeline();
   bool AllRules = false;
   bool Stepwise = false;
   for (int I = 1; I < argc; ++I) {
-    if (std::strcmp(argv[I], "--all-rules") == 0) {
+    if (std::strcmp(argv[I], "--help") == 0) {
+      std::printf("usage: llvm_md_tool [--input SPEC] [SPEC] [pipeline] "
+                  "[--all-rules] [--stepwise]\n\n%s",
+                  moduleSpecHelp());
+      return 0;
+    } else if (std::strcmp(argv[I], "--all-rules") == 0) {
       AllRules = true;
     } else if (std::strcmp(argv[I], "--stepwise") == 0) {
       Stepwise = true;
-    } else if (std::strchr(argv[I], ',') || createPass(argv[I])) {
-      Pipeline = argv[I];
-    } else {
-      std::ifstream In(argv[I]);
-      if (!In) {
-        std::fprintf(stderr, "error: cannot open %s\n", argv[I]);
+    } else if (std::strcmp(argv[I], "--input") == 0 && I + 1 < argc) {
+      Spec = parseModuleSpec(argv[++I]);
+    } else if (std::strcmp(argv[I], "--format") == 0 && I + 1 < argc) {
+      if (!parseModuleFormat(argv[++I], Format)) {
+        std::fprintf(stderr, "error: bad --format '%s' (auto|mini|llvm)\n",
+                     argv[I]);
         return 1;
       }
-      std::ostringstream SS;
-      SS << In.rdbuf();
-      Text = SS.str();
+    } else if (argv[I][0] != '-' &&
+               (std::strchr(argv[I], ',') || createPass(argv[I]))) {
+      Pipeline = argv[I];
+    } else if (argv[I][0] != '-' || argv[I][1] == '\0') {
+      Spec = parseModuleSpec(argv[I]);
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", argv[I]);
+      return 1;
     }
   }
 
+  Spec.Format = Format;
   Context Ctx;
-  ParseResult PR = parseModule(Ctx, Text, "input");
-  if (!PR) {
-    std::fprintf(stderr, "parse error: %s\n", PR.Error.c_str());
+  LoadResult Loaded = loadModule(Ctx, Spec);
+  if (!Loaded) {
+    std::fprintf(stderr, "error: %s\n", Loaded.Error.c_str());
     return 1;
   }
+  LoadedModule &LM = Loaded.Modules.front();
 
   PassManager PM;
   if (!PM.parsePipeline(Pipeline)) {
@@ -106,7 +123,8 @@ int main(int argc, char **argv) {
                            : ValidationGranularity::WholePipeline;
   C.RevertFailures = true;
   ValidationEngine Engine(C);
-  EngineRun Run = Engine.run(*PR.M, PM);
+  EngineRun Run = Engine.run(*LM.M, PM);
+  attachUnsupported(Run.Report, LM);
 
   std::printf("; llvm-md: pipeline '%s', rules %s%s\n", Pipeline.c_str(),
               AllRules ? "all (incl. libc/float/global extensions)"
@@ -129,6 +147,10 @@ int main(int argc, char **argv) {
                   FR.Result.Reason.empty() ? "alarm"
                                            : FR.Result.Reason.c_str());
   }
+  for (const UnsupportedFunctionEntry &U : Run.Report.UnsupportedFunctions)
+    std::printf(";   %-20s NOT IMPORTED: %s%s%s%s\n", U.Function.c_str(),
+                U.Reason.c_str(), U.Detail.empty() ? "" : " (",
+                U.Detail.c_str(), U.Detail.empty() ? "" : ")");
   std::printf(";   validation rate: %.0f%%  (%.2f ms on %u threads)\n\n",
               100.0 * Run.Report.validationRate(),
               Run.Report.WallMicroseconds / 1000.0, Engine.getThreadCount());

@@ -8,11 +8,19 @@
 // --expect-warm keeps its batch meaning end to end over the wire: exit 3
 // unless the daemon replayed every verdict *and* every triage result.
 //
-//   $ ./validate_client [options] [input.ll ...]
+//   $ ./validate_client [options] [SPEC ...]
+//     SPEC               module spec: FILE, `-` (stdin) or profile:NAME —
+//                        the same --input grammar every llvm-md CLI takes;
+//                        file/stdin text is read locally and submitted
+//                        inline (real .ll is imported server-side)
+//     --input SPEC       same as a positional SPEC
+//     --format F         force inline text format: auto (default), mini,
+//                        llvm
 //     --connect PATH     unix-domain socket of the daemon
 //                        (default: llvmmd-serve.sock)
 //     --tcp HOST:PORT    connect over TCP instead
 //     --suite NAMES      submit the comma-separated benchmark profiles
+//                        (same as profile:A profile:B ...)
 //     --functions N      override each profile's function count (testing)
 //     --all-rules        handshake for the extended rule configuration
 //     --rule-mask N      handshake for an explicit rule mask; the daemon
@@ -31,6 +39,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/ModuleLoader.h"
 #include "driver/VerdictStore.h"
 #include "normalize/Rules.h"
 #include "server/ServerClient.h"
@@ -38,6 +47,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -45,6 +55,14 @@
 using namespace llvmmd;
 
 namespace {
+
+void printHelp() {
+  std::fputs("usage: validate_client [options] [SPEC ...]\n\n", stdout);
+  std::fputs(moduleSpecHelp(), stdout);
+  std::fputs("\n  See the header of examples/validate_client.cpp for the "
+             "full option list.\n",
+             stdout);
+}
 
 bool writeOrPrint(const std::string &Path, const std::string &Content) {
   if (Path.empty() || Path == "-") {
@@ -67,14 +85,25 @@ int main(int argc, char **argv) {
   std::string TcpHost;
   uint16_t TcpPort = 0;
   std::string SuiteNames, JsonPath;
-  std::vector<std::string> Files;
+  std::vector<ModuleSpec> Specs;
   bool EmitJson = false, Progress = false, ExpectWarm = false;
   bool WantStats = false, WantShutdown = false, Quiet = false;
   unsigned FnCount = 0;
+  ModuleFormat Format = ModuleFormat::Auto;
   RuleConfig Rules;
 
   for (int I = 1; I < argc; ++I) {
-    if (std::strcmp(argv[I], "--connect") == 0 && I + 1 < argc) {
+    if (std::strcmp(argv[I], "--help") == 0) {
+      printHelp();
+      return 0;
+    } else if (std::strcmp(argv[I], "--input") == 0 && I + 1 < argc) {
+      Specs.push_back(parseModuleSpec(argv[++I]));
+    } else if (std::strcmp(argv[I], "--format") == 0 && I + 1 < argc) {
+      if (!parseModuleFormat(argv[++I], Format)) {
+        std::fprintf(stderr, "error: bad --format value '%s'\n", argv[I]);
+        return 1;
+      }
+    } else if (std::strcmp(argv[I], "--connect") == 0 && I + 1 < argc) {
       UnixPath = argv[++I];
     } else if (std::strcmp(argv[I], "--tcp") == 0 && I + 1 < argc) {
       std::string V = argv[++I];
@@ -113,15 +142,18 @@ int main(int argc, char **argv) {
       WantShutdown = true;
     } else if (std::strcmp(argv[I], "--quiet") == 0) {
       Quiet = true;
-    } else if (argv[I][0] != '-') {
-      Files.push_back(argv[I]);
+    } else if (argv[I][0] != '-' || argv[I][1] == '\0') {
+      Specs.push_back(parseModuleSpec(argv[I]));
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", argv[I]);
       return 1;
     }
   }
 
-  // Build the submission.
+  // Build the submission. --suite NAMES is shorthand for profile:NAME
+  // specs; every other spec's text is read locally and submitted inline
+  // with the requested format byte (the server's ModuleLoader does the
+  // same sniff/import the batch CLI would do).
   SubmitPayload Req;
   if (!SuiteNames.empty()) {
     std::stringstream SS(SuiteNames);
@@ -129,25 +161,47 @@ int main(int argc, char **argv) {
     while (std::getline(SS, Name, ',')) {
       if (Name.empty())
         continue;
-      SubmitModule M;
-      M.FromProfile = 1;
-      M.Name = Name;
-      M.FnCount = FnCount;
-      Req.Modules.push_back(std::move(M));
+      ModuleSpec S;
+      S.From = ModuleSpec::Source::Profile;
+      S.Value = Name;
+      Specs.push_back(std::move(S));
     }
   }
-  for (const std::string &Path : Files) {
-    std::ifstream In(Path);
-    if (!In) {
-      std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
-      return 1;
-    }
-    std::ostringstream SS;
-    SS << In.rdbuf();
+  for (const ModuleSpec &Spec : Specs) {
     SubmitModule M;
-    M.FromProfile = 0;
-    M.Name = Path;
-    M.Text = SS.str();
+    switch (Spec.From) {
+    case ModuleSpec::Source::Profile:
+      M.Source = SubmitProfile;
+      M.Name = Spec.Value;
+      M.FnCount = FnCount;
+      break;
+    case ModuleSpec::Source::Stdin: {
+      std::ostringstream SS;
+      SS << std::cin.rdbuf();
+      M.Source = Format == ModuleFormat::MiniIR   ? SubmitInlineMini
+                 : Format == ModuleFormat::LLVMIR ? SubmitInlineLLVM
+                                                  : SubmitInlineAuto;
+      M.Name = "<stdin>";
+      M.Text = SS.str();
+      break;
+    }
+    case ModuleSpec::Source::File:
+    case ModuleSpec::Source::Inline: {
+      std::ifstream In(Spec.Value);
+      if (!In) {
+        std::fprintf(stderr, "error: cannot open %s\n", Spec.Value.c_str());
+        return 1;
+      }
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      M.Source = Format == ModuleFormat::MiniIR   ? SubmitInlineMini
+                 : Format == ModuleFormat::LLVMIR ? SubmitInlineLLVM
+                                                  : SubmitInlineAuto;
+      M.Name = Spec.Value;
+      M.Text = SS.str();
+      break;
+    }
+    }
     Req.Modules.push_back(std::move(M));
   }
   bool HaveJob = !Req.Modules.empty();

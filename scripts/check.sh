@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # check.sh - CI entry point: tier-1 verify plus a fig4 smoke run.
 #
-# Usage: scripts/check.sh [--tsan|--asan|--warm|--triage|--serve|--fleet] [build-dir]
+# Usage: scripts/check.sh [--tsan|--asan|--warm|--triage|--serve|--fleet|--llvm] [build-dir]
 #
 #   (default)  tier-1 build + ctest, fig4 smoke, engine determinism checks
 #   --tsan     ThreadSanitizer build (CMake preset "tsan") running the
@@ -23,6 +23,12 @@
 #              warm), restart the daemon on its checkpointed store and
 #              require a fully warm replay byte-identical to the batch
 #              path, then assert a clean shutdown with no leaked store lock
+#   --llvm     local reproduction of the CI llvm-ingest job: validate the
+#              frozen .ll fixture pair (clang -O0 vs opt output) through the
+#              batch, server, and fleet front doors and byte-compare the
+#              three suite JSON reports; when clang AND opt are on PATH,
+#              additionally regenerate the pair from the fixtures' C source
+#              and revalidate the fresh output
 #   --fleet    local reproduction of the CI fleet job: start the router with
 #              two supervised workers, run the client suite twice (second
 #              pass 100% warm), kill -9 a worker mid-suite and require the
@@ -57,6 +63,10 @@ case "${1:-}" in
   ;;
 --fleet)
   MODE=fleet
+  shift
+  ;;
+--llvm)
+  MODE=llvm
   shift
   ;;
 esac
@@ -284,6 +294,88 @@ if [ "$MODE" = fleet ]; then
   fi
   echo "check.sh (fleet): OK — warm replay through the router, worker" \
     "kill survived, byte-identical to the batch path, clean shutdown"
+  exit 0
+fi
+
+if [ "$MODE" = llvm ]; then
+  # The CI llvm-ingest job, locally. Three invariants:
+  #  1. The frozen .ll fixture pair (clang -O0 vs opt output) imports and
+  #     validates through the batch front door: every transformed function
+  #     validates (exit 0), and the one function outside the importer's
+  #     subset (to_int, fptosi) is rejected *per function* with its named
+  #     reason — present in the JSON — never sinking its module.
+  #  2. The same specs submitted through the server front door produce
+  #     byte-identical suite JSON: the unified ModuleLoader means one load
+  #     path behind every front door.
+  #  3. Same through the fleet router — two process boundaries add no
+  #     bytes and lose none.
+  #  When clang AND opt are both on PATH the pair is regenerated from the
+  #  fixtures' C source and the fresh output revalidated: current compiler
+  #  output must still import, still validate, and still reject to_int by
+  #  name. Frozen fixtures keep the job deterministic everywhere else.
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+  cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target batch_validate validate_server validate_client validate_fleet
+  DIR="$(mktemp -d)"
+  DAEMON=""
+  trap '[ -n "$DAEMON" ] && kill "$DAEMON" 2>/dev/null; rm -rf "$DIR"' EXIT
+  FIX="$REPO_ROOT/tests/fixtures/llvm"
+  PAIR=("$FIX/kernels_O0.ll" "$FIX/kernels_opt.ll")
+
+  "$BUILD_DIR/batch_validate" "${PAIR[@]}" --quiet --json "$DIR/batch.json"
+  grep -q '"unsupported_functions": 2' "$DIR/batch.json"
+  grep -q '"name": "to_int"' "$DIR/batch.json"
+  grep -q '"reason": "unsupported-instruction"' "$DIR/batch.json"
+
+  wait_sock() {
+    for _ in $(seq 1 100); do
+      [ -S "$1" ] && return 0
+      sleep 0.1
+    done
+    echo "$2 did not come up" >&2
+    return 1
+  }
+
+  "$BUILD_DIR/validate_server" --listen "$DIR/s.sock" --quiet &
+  DAEMON=$!
+  wait_sock "$DIR/s.sock" "daemon"
+  "$BUILD_DIR/validate_client" --connect "$DIR/s.sock" "${PAIR[@]}" \
+    --quiet --json "$DIR/server.json"
+  "$BUILD_DIR/validate_client" --connect "$DIR/s.sock" --shutdown --quiet
+  wait "$DAEMON"
+  cmp "$DIR/batch.json" "$DIR/server.json"
+
+  "$BUILD_DIR/validate_fleet" --listen "$DIR/f.sock" --workers 2 --quiet &
+  DAEMON=$!
+  wait_sock "$DIR/f.sock" "fleet"
+  "$BUILD_DIR/validate_client" --connect "$DIR/f.sock" "${PAIR[@]}" \
+    --quiet --json "$DIR/fleet.json"
+  "$BUILD_DIR/validate_client" --connect "$DIR/f.sock" --shutdown --quiet
+  wait "$DAEMON"
+  DAEMON=""
+  cmp "$DIR/batch.json" "$DIR/fleet.json"
+
+  REGEN=" (regeneration skipped: clang/opt not on PATH)"
+  if command -v clang > /dev/null 2>&1 && command -v opt > /dev/null 2>&1; then
+    # Match the frozen fixtures' shape: -O0 without optnone so opt can
+    # work, mem2reg'd into SSA form, then a conservative scalar pipeline
+    # for the "optimized" side. Per-function rejects of constructs newer
+    # compilers emit are fine; a module-level import failure is not.
+    clang -S -emit-llvm -O0 -Xclang -disable-O0-optnone \
+      -o "$DIR/fresh_base.ll" "$FIX/kernels.c"
+    opt -S -passes=mem2reg "$DIR/fresh_base.ll" -o "$DIR/fresh_O0.ll"
+    opt -S -passes=mem2reg,sccp,adce,simplifycfg "$DIR/fresh_base.ll" \
+      -o "$DIR/fresh_opt.ll"
+    rc=0
+    "$BUILD_DIR/batch_validate" "$DIR/fresh_O0.ll" "$DIR/fresh_opt.ll" \
+      --quiet --json "$DIR/fresh.json" || rc=$?
+    [ "$rc" -eq 0 ] || [ "$rc" -eq 2 ]
+    grep -q '"name": "to_int"' "$DIR/fresh.json"
+    grep -q '"reason": "unsupported-instruction"' "$DIR/fresh.json"
+    REGEN=" and regenerated clang/opt output revalidated"
+  fi
+  echo "check.sh (llvm): OK — fixture pair byte-identical through batch," \
+    "server and fleet$REGEN"
   exit 0
 fi
 

@@ -73,6 +73,10 @@ unsigned ValidationReport::skippedIdentical() const {
   return N;
 }
 
+unsigned ValidationReport::unsupportedFunctions() const {
+  return static_cast<unsigned>(UnsupportedFunctions.size());
+}
+
 unsigned ValidationReport::witnessed() const {
   unsigned N = 0;
   for (const auto &F : Functions)
@@ -194,6 +198,18 @@ std::string llvmmd::reportToText(const ValidationReport &R) {
                 R.cacheHits(), R.warmHits(), R.skippedIdentical(),
                 R.rewrites(), R.graphNodes());
   OS << Buf;
+  if (R.unsupportedFunctions() > 0) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "  %u function(s) rejected by the ingest frontend:\n",
+                  R.unsupportedFunctions());
+    OS << Buf;
+    for (const auto &U : R.UnsupportedFunctions) {
+      OS << "    " << U.Function << ": " << U.Reason;
+      if (!U.Detail.empty())
+        OS << " (" << U.Detail << ')';
+      OS << '\n';
+    }
+  }
   if (R.witnessed() + R.suspectedFalseAlarms() > 0) {
     std::snprintf(Buf, sizeof(Buf),
                   "  triage: %u miscompiles witnessed, %u suspected false "
@@ -328,7 +344,7 @@ void emitCSVRows(std::ostringstream &OS, const ValidationReport &R,
     } else {
       OS << ",,";
     }
-    OS << '\n';
+    OS << ",\n"; // unsupported_reason: empty for validated rows
   };
   for (const auto &F : R.Functions) {
     EmitRow(F.Name, "", F.Transformed, F.Validated, F.CacheHit, F.WarmHit,
@@ -339,12 +355,23 @@ void emitCSVRows(std::ostringstream &OS, const ValidationReport &R,
         EmitRow(F.Name, S.Pass, S.Changed, S.Validated, S.CacheHit, S.WarmHit,
                 S.SkippedIdentical, false, "", S.Result, nullptr);
   }
+  // Frontend-rejected functions: one row each, all outcome columns zero,
+  // the reason class (plus detail) in the trailing column.
+  for (const auto &U : R.UnsupportedFunctions) {
+    if (ModuleName)
+      OS << csvEscape(*ModuleName) << ',';
+    OS << csvEscape(U.Function) << ",,0,0,0,0,0,0,,0,0,0,0,,,,";
+    std::string Reason = U.Reason;
+    if (!U.Detail.empty())
+      Reason += ": " + U.Detail;
+    OS << csvEscape(Reason) << '\n';
+  }
 }
 
 const char *CSVColumns =
     "function,pass,transformed,validated,cache_hit,warm_hit,"
     "skipped_identical,reverted,guilty_pass,rewrites,graph_nodes,iterations,"
-    "us,reason,triage,witness,missing_rule\n";
+    "us,reason,triage,witness,missing_rule,unsupported_reason\n";
 
 } // namespace
 
@@ -543,6 +570,7 @@ void emitReportJSON(std::ostringstream &OS, const ValidationReport &R,
      << ", \"cache_hits\": " << R.cacheHits()
      << ", \"warm_hits\": " << R.warmHits()
      << ", \"skipped_identical\": " << R.skippedIdentical()
+     << ", \"unsupported_functions\": " << R.unsupportedFunctions()
      << ", \"witnessed\": " << R.witnessed()
      << ", \"suspected_false_alarms\": " << R.suspectedFalseAlarms()
      << ", \"rewrites\": " << R.rewrites()
@@ -552,6 +580,16 @@ void emitReportJSON(std::ostringstream &OS, const ValidationReport &R,
     emitMissingRules(OS, Missing);
   std::snprintf(Buf, sizeof(Buf), "%.6f", R.validationRate());
   OS << ", \"validation_rate\": " << Buf << "},\n";
+  if (!R.UnsupportedFunctions.empty()) {
+    OS << P << "  \"unsupported\": [";
+    for (size_t I = 0; I < R.UnsupportedFunctions.size(); ++I) {
+      const UnsupportedFunctionEntry &U = R.UnsupportedFunctions[I];
+      OS << (I ? ", " : "") << "{\"name\": \"" << jsonEscape(U.Function)
+         << "\", \"reason\": \"" << jsonEscape(U.Reason)
+         << "\", \"detail\": \"" << jsonEscape(U.Detail) << "\"}";
+    }
+    OS << "],\n";
+  }
   OS << P << "  \"functions\": [";
   bool FirstFn = true;
   for (const auto &F : R.Functions) {
@@ -623,6 +661,10 @@ unsigned SuiteReport::skippedIdentical() const {
   return sumModules(Modules, &ValidationReport::skippedIdentical);
 }
 
+unsigned SuiteReport::unsupportedFunctions() const {
+  return sumModules(Modules, &ValidationReport::unsupportedFunctions);
+}
+
 unsigned SuiteReport::witnessed() const {
   return sumModules(Modules, &ValidationReport::witnessed);
 }
@@ -658,6 +700,12 @@ std::string llvmmd::suiteToText(const SuiteReport &S) {
                 100.0 * S.validationRate(), S.reverted(), S.cacheHits(),
                 S.warmHits(), S.skippedIdentical());
   OS << Buf;
+  if (S.unsupportedFunctions() > 0) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "  %u function(s) rejected by the ingest frontend\n",
+                  S.unsupportedFunctions());
+    OS << Buf;
+  }
   if (S.witnessed() + S.suspectedFalseAlarms() > 0) {
     std::snprintf(Buf, sizeof(Buf),
                   "  triage: %u miscompiles witnessed, %u suspected false "
@@ -723,6 +771,7 @@ std::string llvmmd::suiteToJSON(const SuiteReport &S, bool IncludeTiming) {
      << ", \"cache_hits\": " << S.cacheHits()
      << ", \"warm_hits\": " << S.warmHits()
      << ", \"skipped_identical\": " << S.skippedIdentical()
+     << ", \"unsupported_functions\": " << S.unsupportedFunctions()
      << ", \"witnessed\": " << S.witnessed()
      << ", \"suspected_false_alarms\": " << S.suspectedFalseAlarms();
   auto Missing = S.missingRuleCounts();

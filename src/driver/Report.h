@@ -71,6 +71,16 @@ struct FunctionReportEntry {
   TriageResult Triage;
 };
 
+/// One function an ingest frontend refused to import (it exists in the
+/// module only as a declaration). Reason is the frontend's named reject
+/// class (e.g. "vector-type", "indirect-call"); Detail names the concrete
+/// construct.
+struct UnsupportedFunctionEntry {
+  std::string Function;
+  std::string Reason;
+  std::string Detail;
+};
+
 struct ValidationReport {
   std::string ModuleName;
   std::string Pipeline;
@@ -79,6 +89,9 @@ struct ValidationReport {
   unsigned Threads = 1;
   uint64_t WallMicroseconds = 0; ///< end-to-end engine wall time
   std::vector<FunctionReportEntry> Functions; ///< in module order
+  /// Functions the ingest frontend rejected, in textual order (empty for
+  /// native mini-IR and generated modules).
+  std::vector<UnsupportedFunctionEntry> UnsupportedFunctions;
 
   // Aggregates (derived, always consistent with Functions).
   unsigned total() const;
@@ -91,6 +104,8 @@ struct ValidationReport {
   /// in-process replays.
   unsigned warmHits() const;
   unsigned skippedIdentical() const;
+  /// Number of frontend-rejected functions (UnsupportedFunctions.size()).
+  unsigned unsupportedFunctions() const;
   /// Triage roll-ups: rejected pairs with a concrete interpreter witness /
   /// classified suspected-false-alarm (both 0 when triage is off).
   unsigned witnessed() const;
@@ -152,6 +167,7 @@ struct SuiteReport {
   unsigned cacheHits() const;
   unsigned warmHits() const;
   unsigned skippedIdentical() const;
+  unsigned unsupportedFunctions() const;
   unsigned witnessed() const;
   unsigned suspectedFalseAlarms() const;
   /// Suite-scale missing-rule aggregation (see

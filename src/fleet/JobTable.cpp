@@ -21,7 +21,7 @@ bool sameSubmission(const SubmitPayload &A, const SubmitPayload &B) {
     return false;
   for (size_t I = 0; I < A.Modules.size(); ++I) {
     const SubmitModule &MA = A.Modules[I], &MB = B.Modules[I];
-    if (MA.FromProfile != MB.FromProfile || MA.FnCount != MB.FnCount ||
+    if (MA.Source != MB.Source || MA.FnCount != MB.FnCount ||
         MA.Name != MB.Name || MA.Text != MB.Text)
       return false;
   }

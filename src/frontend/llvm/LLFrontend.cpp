@@ -1,0 +1,639 @@
+//===- LLFrontend.cpp - Module parser, post-process, public entry ---------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/llvm/LLFrontend.h"
+#include "frontend/llvm/LLImporter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+using namespace llvmmd;
+
+//===----------------------------------------------------------------------===//
+// Construction / driver
+//===----------------------------------------------------------------------===//
+
+LLImporter::LLImporter(Context &Ctx, std::vector<LLToken> Tokens,
+                       std::string ModuleName)
+    : Ctx(Ctx), Toks(std::move(Tokens)),
+      M(new Module(Ctx, std::move(ModuleName))) {}
+
+LLImportResult LLImporter::run() {
+  LLImportResult Res;
+  try {
+    scanTopLevel();
+  } catch (const LLFatalErr &E) {
+    Res.Error = E.Msg;
+    Res.ErrorLine = E.Line;
+    Res.ErrorCol = E.Col;
+    return Res;
+  }
+  for (PendingFn &PF : Pending) {
+    Cur = PF.BodyBegin;
+    try {
+      translateBody(PF);
+    } catch (const LLRejectErr &E) {
+      PF.F->dropBody();
+      Rejected.push_back(
+          {PF.F->getName(), E.Reason, E.Detail, E.Line ? E.Line : PF.DefLine});
+    } catch (const LLFatalErr &E) {
+      // Structural garbage inside one body is still only that function's
+      // problem: per-function isolation is the contract.
+      PF.F->dropBody();
+      Rejected.push_back({PF.F->getName(), llreject::SyntaxError, E.Msg,
+                          E.Line ? E.Line : PF.DefLine});
+    }
+  }
+  Res.M = std::move(M);
+  Res.Rejected = std::move(Rejected);
+  return Res;
+}
+
+//===----------------------------------------------------------------------===//
+// Token cursor
+//===----------------------------------------------------------------------===//
+
+const LLToken &LLImporter::tok(size_t Ahead) const {
+  size_t I = Cur + Ahead;
+  if (I >= Toks.size())
+    I = Toks.size() - 1; // Eof sentinel
+  return Toks[I];
+}
+
+void LLImporter::advance() {
+  if (Cur + 1 < Toks.size())
+    ++Cur;
+}
+
+bool LLImporter::isWord(const char *W) const {
+  return tok().Kind == LLTok::Word && tok().Text == W;
+}
+
+bool LLImporter::eatWord(const char *W) {
+  if (!isWord(W))
+    return false;
+  advance();
+  return true;
+}
+
+void LLImporter::expectTok(LLTok K, const char *What) {
+  if (tok().Kind != K)
+    fatal(std::string("expected ") + What);
+  advance();
+}
+
+void LLImporter::skipRestOfLine() {
+  unsigned Line = tok().Line;
+  while (tok().Kind != LLTok::Eof && tok().Line == Line)
+    advance();
+}
+
+void LLImporter::skipLineTail(unsigned Line, size_t Limit) {
+  while (Cur < Limit && tok().Kind != LLTok::Eof && tok().Line == Line)
+    advance();
+}
+
+void LLImporter::skipTrailingOnLine() {
+  if (Cur == 0)
+    return;
+  unsigned Line = Toks[Cur - 1].Line;
+  while (tok().Kind != LLTok::Eof && tok().Line == Line)
+    advance();
+}
+
+void LLImporter::fatal(std::string Msg) const {
+  std::ostringstream OS;
+  OS << "line " << tok().Line << ": " << Msg;
+  if (tok().Kind != LLTok::Eof && !tok().Text.empty())
+    OS << " (got '" << tok().Text << "')";
+  else if (tok().Kind == LLTok::Eof)
+    OS << " (got end of input)";
+  throw LLFatalErr{OS.str(), tok().Line, tok().Col};
+}
+
+void LLImporter::reject(const char *Reason, std::string Detail) const {
+  throw LLRejectErr{Reason, std::move(Detail), tok().Line};
+}
+
+//===----------------------------------------------------------------------===//
+// Name sanitization
+//===----------------------------------------------------------------------===//
+
+std::string LLImporter::sanitizeName(const std::string &Name) {
+  std::string Out;
+  Out.reserve(Name.size());
+  for (char C : Name) {
+    if (std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '.' ||
+        C == '$')
+      Out.push_back(C);
+    else
+      Out.push_back('_');
+  }
+  return Out;
+}
+
+std::string LLImporter::uniqueName(std::string Base,
+                                   std::set<std::string> &Used) {
+  if (Used.insert(Base).second)
+    return Base;
+  for (unsigned I = 1;; ++I) {
+    std::string Cand = Base + "." + std::to_string(I);
+    if (Used.insert(Cand).second)
+      return Cand;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pass 1: module structure
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Module/global-level keywords that carry no meaning for the mini-IR and
+/// are skipped wherever they appear before the `global`/`constant` keyword
+/// or a function signature.
+bool isLinkageOrVisibilityWord(const std::string &W) {
+  static const char *Words[] = {
+      "private",      "internal",       "external",   "extern_weak",
+      "linkonce",     "linkonce_odr",   "weak",       "weak_odr",
+      "common",       "appending",      "available_externally",
+      "dso_local",    "dso_preemptable", "hidden",    "protected",
+      "default",      "dllimport",      "dllexport",  "unnamed_addr",
+      "local_unnamed_addr", "externally_initialized", "thread_local",
+      "addrspace",    "align",          "section",    "comdat",
+      "partition",    "code_model",     "no_sanitize_address",
+      "sanitize_address_dyninit"};
+  for (const char *K : Words)
+    if (W == K)
+      return true;
+  return false;
+}
+
+} // namespace
+
+void LLImporter::scanTopLevel() {
+  while (tok().Kind != LLTok::Eof) {
+    const LLToken &T = tok();
+    switch (T.Kind) {
+    case LLTok::Word:
+      if (T.Text == "target" || T.Text == "source_filename" ||
+          T.Text == "module" || T.Text == "uselistorder" ||
+          T.Text == "uselistorder_bb" || T.Text == "declare_comdat") {
+        skipRestOfLine();
+        continue;
+      }
+      if (T.Text == "attributes") {
+        // attributes #N = { ... }
+        advance();
+        expectTok(LLTok::AttrId, "'#N'");
+        expectTok(LLTok::Equals, "'='");
+        expectTok(LLTok::LBrace, "'{'");
+        unsigned Depth = 1;
+        while (Depth && tok().Kind != LLTok::Eof) {
+          if (tok().Kind == LLTok::LBrace)
+            ++Depth;
+          else if (tok().Kind == LLTok::RBrace)
+            --Depth;
+          advance();
+        }
+        continue;
+      }
+      if (T.Text == "declare") {
+        parseFunctionHeader(/*IsDefine=*/false);
+        continue;
+      }
+      if (T.Text == "define") {
+        parseFunctionHeader(/*IsDefine=*/true);
+        continue;
+      }
+      if (!T.Text.empty() && T.Text[0] == '$') {
+        skipRestOfLine(); // $comdat = comdat any
+        continue;
+      }
+      fatal("unexpected top-level construct");
+    case LLTok::GlobalId:
+      parseGlobalDef();
+      continue;
+    case LLTok::LocalId:
+      // %struct.S = type { ... } — named types are aggregates we do not
+      // model; uses inside functions reject per function via parseType.
+      skipRestOfLine();
+      continue;
+    case LLTok::MetaId:
+      skipRestOfLine(); // !0 = !{...} / !llvm.module.flags = !{...}
+      continue;
+    default:
+      fatal("unexpected top-level token");
+    }
+  }
+}
+
+void LLImporter::parseGlobalDef() {
+  unsigned Line = tok().Line;
+  std::string OrigName = tok().Text;
+  advance();
+  expectTok(LLTok::Equals, "'='");
+
+  bool IsConstant = false;
+  bool IsDeclaration = false;
+  while (true) {
+    if (isWord("global")) {
+      advance();
+      break;
+    }
+    if (isWord("constant")) {
+      IsConstant = true;
+      advance();
+      break;
+    }
+    if (tok().Kind == LLTok::Word && isLinkageOrVisibilityWord(tok().Text)) {
+      if (tok().Text == "external" || tok().Text == "extern_weak")
+        IsDeclaration = true;
+      advance();
+      // thread_local(localdynamic), addrspace(1)
+      if (tok().Kind == LLTok::LParen) {
+        while (tok().Kind != LLTok::RParen && tok().Kind != LLTok::Eof)
+          advance();
+        expectTok(LLTok::RParen, "')'");
+      }
+      continue;
+    }
+    fatal("expected 'global' or 'constant' for @" + OrigName);
+  }
+
+  // Type (one array level allowed) and initializer. Anything we cannot
+  // model marks the global unsupported: functions touching it reject with
+  // `unsupported-constant`, the rest of the module is unaffected.
+  LLType Ty;
+  try {
+    Ty = parseTypeOrArray();
+  } catch (const LLRejectErr &) {
+    UnsupportedGlobals.insert(OrigName);
+    skipRestOfLine();
+    return;
+  }
+
+  Constant *Init = nullptr;
+  if (!IsDeclaration && tok().Line == Line) {
+    try {
+      if (tok().Kind == LLTok::CStr) {
+        // c"bytes": an i8 array; the flattened global keeps element 0.
+        if (Ty.Ty != Ctx.getInt8Ty())
+          reject(llreject::UnsupportedConstant, "c\"...\" on non-i8 global");
+        std::string Bytes = unescapeLLString(tok().Text);
+        advance();
+        Init = Ctx.getInt(Ctx.getInt8Ty(),
+                          Bytes.empty()
+                              ? 0
+                              : static_cast<unsigned char>(Bytes[0]));
+      } else if (tok().Kind == LLTok::LBracket) {
+        // [i32 1, i32 2, ...] — keep the first element (see header notes on
+        // array flattening).
+        advance();
+        bool First = true;
+        while (tok().Kind != LLTok::RBracket) {
+          Type *ElemTy = parseType();
+          Constant *C = parseConstantLiteral(ElemTy);
+          if (First) {
+            if (ElemTy != Ty.Ty)
+              reject(llreject::UnsupportedConstant, "array element type");
+            Init = C;
+            First = false;
+          }
+          if (tok().Kind == LLTok::Comma) {
+            advance();
+            continue;
+          }
+          break;
+        }
+        expectTok(LLTok::RBracket, "']'");
+        if (!Init)
+          Init = zeroOf(Ty.Ty);
+      } else if (tok().Kind == LLTok::Comma) {
+        // No initializer, straight to ", align 4".
+      } else if (isWord("zeroinitializer")) {
+        advance();
+        Init = zeroOf(Ty.Ty);
+      } else if (tok().Kind == LLTok::GlobalId || tok().Kind == LLTok::Word ||
+                 tok().Kind == LLTok::Int || tok().Kind == LLTok::Float ||
+                 tok().Kind == LLTok::FloatHex) {
+        Init = parseConstantLiteral(Ty.Ty);
+      }
+    } catch (const LLRejectErr &) {
+      UnsupportedGlobals.insert(OrigName);
+      skipRestOfLine();
+      return;
+    }
+  }
+  skipTrailingOnLine();
+
+  if (GlobalByName.count(OrigName) || FnByName.count(OrigName))
+    fatal("redefinition of @" + OrigName);
+  std::string Name = uniqueName(sanitizeName(OrigName), UsedModuleNames);
+  GlobalByName[OrigName] = M->createGlobal(Ty.Ty, Name, Init, IsConstant);
+}
+
+std::string LLImporter::peekFunctionName() const {
+  unsigned Line = tok().Line;
+  for (size_t I = Cur; I < Toks.size() && Toks[I].Line == Line; ++I)
+    if (Toks[I].Kind == LLTok::GlobalId)
+      return Toks[I].Text;
+  return "<unknown>";
+}
+
+void LLImporter::parseFunctionHeader(bool IsDefine) {
+  unsigned Line = tok().Line;
+  std::string OrigName = peekFunctionName();
+  advance(); // define / declare
+
+  // A reject anywhere in the signature poisons the function, not the
+  // module: skip the declaration (and body, for defines) and remember the
+  // reason so callers reject with `unsupported-callee`.
+  auto skipAfterBadSignature = [&](const char *CalleeReason) {
+    BadCallees[OrigName] = CalleeReason;
+    if (!IsDefine) {
+      skipTrailingOnLine();
+      return;
+    }
+    // Find the body-open brace: the first '{' that ends its line. A '{'
+    // with more tokens after it on the same line is an aggregate type in
+    // the signature we are skipping — consume that brace group whole.
+    while (tok().Kind != LLTok::Eof) {
+      if (tok().Kind == LLTok::LBrace) {
+        if (tok(1).Kind == LLTok::Eof || tok(1).Line != tok().Line)
+          break;
+        unsigned TypeDepth = 1;
+        advance();
+        while (TypeDepth && tok().Kind != LLTok::Eof) {
+          if (tok().Kind == LLTok::LBrace)
+            ++TypeDepth;
+          else if (tok().Kind == LLTok::RBrace)
+            --TypeDepth;
+          advance();
+        }
+        continue;
+      }
+      advance();
+    }
+    expectTok(LLTok::LBrace, "'{'");
+    unsigned Depth = 1;
+    while (Depth && tok().Kind != LLTok::Eof) {
+      if (tok().Kind == LLTok::LBrace)
+        ++Depth;
+      else if (tok().Kind == LLTok::RBrace)
+        --Depth;
+      advance();
+    }
+  };
+
+  Type *RetTy = nullptr;
+  std::vector<Type *> Params;
+  std::vector<std::string> ParamNames;
+  bool IsVararg = false;
+  unsigned RejLine = Line;
+  try {
+    // Return attributes / linkage words before the return type, including
+    // parenthesized forms (dereferenceable(8)) and "align 4".
+    while (tok().Kind == LLTok::Word && !atTypeStart()) {
+      bool WasAlign = tok().Text == "align";
+      advance();
+      if (tok().Kind == LLTok::LParen) {
+        while (tok().Kind != LLTok::RParen && tok().Kind != LLTok::Eof)
+          advance();
+        expectTok(LLTok::RParen, "')'");
+      } else if (WasAlign && tok().Kind == LLTok::Int) {
+        advance();
+      }
+    }
+    RetTy = parseType();
+    if (tok().Kind != LLTok::GlobalId)
+      fatal("expected function name");
+    advance();
+    expectTok(LLTok::LParen, "'('");
+    while (tok().Kind != LLTok::RParen) {
+      if (tok().Kind == LLTok::Ellipsis) {
+        IsVararg = true;
+        advance();
+        break;
+      }
+      Type *P = parseType();
+      skipParamAttrs();
+      std::string PName;
+      if (tok().Kind == LLTok::LocalId) {
+        PName = tok().Text;
+        advance();
+      }
+      Params.push_back(P);
+      ParamNames.push_back(PName);
+      if (tok().Kind == LLTok::Comma) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    expectTok(LLTok::RParen, "')'");
+  } catch (const LLRejectErr &E) {
+    RejLine = E.Line;
+    skipAfterBadSignature(llreject::UnsupportedCallee);
+    if (IsDefine)
+      Rejected.push_back({sanitizeName(OrigName), E.Reason, E.Detail, RejLine});
+    return;
+  }
+
+  if (IsVararg) {
+    skipAfterBadSignature(llreject::VarargsCall);
+    if (IsDefine)
+      Rejected.push_back({sanitizeName(OrigName), llreject::VarargsCall,
+                          "varargs signature", Line});
+    return;
+  }
+
+  if (FnByName.count(OrigName) || GlobalByName.count(OrigName))
+    fatal("redefinition of @" + OrigName);
+
+  std::string Name = uniqueName(sanitizeName(OrigName), UsedModuleNames);
+  Function *F = M->createFunction(Ctx.getFunctionTy(RetTy, Params), Name);
+  FnByName[OrigName] = F;
+
+  // Known libc declarations get the memory effects the optimizer's libc
+  // knowledge consists of (clang carries them in attribute groups we skip).
+  static const char *ReadOnlyLibc[] = {"strlen", "strcmp", "strncmp",
+                                       "memcmp", "strchr", "strrchr"};
+  static const char *ReadNoneLibc[] = {"abs",     "labs",    "llabs",
+                                       "isdigit", "isalpha", "isupper",
+                                       "islower", "toupper", "tolower"};
+  for (const char *L : ReadOnlyLibc)
+    if (OrigName == L)
+      F->setMemoryEffect(MemoryEffect::ReadOnly);
+  for (const char *L : ReadNoneLibc)
+    if (OrigName == L)
+      F->setMemoryEffect(MemoryEffect::ReadNone);
+
+  if (!IsDefine) {
+    // Trailer tokens on the declaration's own line(s) only — the cursor may
+    // already sit on the next construct. `declare ... readonly` from our
+    // own printer round-trips too.
+    unsigned EndLine = Toks[Cur - 1].Line;
+    while (tok().Line == EndLine && tok().Kind != LLTok::Eof) {
+      if (tok().Kind == LLTok::Word && tok().Text == "readonly")
+        F->setMemoryEffect(MemoryEffect::ReadOnly);
+      else if (tok().Kind == LLTok::Word && tok().Text == "readnone")
+        F->setMemoryEffect(MemoryEffect::ReadNone);
+      advance();
+    }
+    return;
+  }
+
+  // Skip function attributes between ')' and '{' (#0, align 2, section
+  // "...", personality, !dbg ...), then capture the body token range.
+  while (tok().Kind != LLTok::LBrace && tok().Kind != LLTok::Eof)
+    advance();
+  expectTok(LLTok::LBrace, "'{'");
+  size_t Begin = Cur;
+  unsigned Depth = 1;
+  while (tok().Kind != LLTok::Eof) {
+    if (tok().Kind == LLTok::LBrace)
+      ++Depth;
+    else if (tok().Kind == LLTok::RBrace && --Depth == 0)
+      break;
+    advance();
+  }
+  if (tok().Kind == LLTok::Eof)
+    fatal("unterminated function body for @" + OrigName);
+  size_t End = Cur;
+  advance(); // consume '}'
+
+  PendingFn PF;
+  PF.F = F;
+  PF.OrigName = OrigName;
+  PF.ArgNames = std::move(ParamNames);
+  PF.BodyBegin = Begin;
+  PF.BodyEnd = End;
+  PF.DefLine = Line;
+  Pending.push_back(std::move(PF));
+}
+
+//===----------------------------------------------------------------------===//
+// Post-process pass
+//===----------------------------------------------------------------------===//
+
+void LLImporter::postProcessFunction(Body &B) {
+  Function *F = B.PF->F;
+
+  // Every referenced block must have been defined by a label.
+  if (B.Order.size() != F->getNumBlocks()) {
+    for (const auto &[Name, BB] : B.Blocks)
+      if (std::find(B.Order.begin(), B.Order.end(), BB) == B.Order.end())
+        throw LLRejectErr{llreject::SyntaxError,
+                          "branch to undefined label '%" + Name + "'",
+                          B.PF->DefLine};
+    throw LLRejectErr{llreject::SyntaxError, "undefined label",
+                      B.PF->DefLine};
+  }
+
+  resolveFixups(B);
+  remapSwitchPhis(B);
+
+  for (const auto &BB : F->blocks())
+    if (!BB->getTerminator())
+      throw LLRejectErr{llreject::SyntaxError,
+                        "block '" + BB->getName() + "' has no terminator",
+                        B.PF->DefLine};
+
+  F->reorderBlocks(B.Order);
+}
+
+void LLImporter::resolveFixups(Body &B) {
+  for (const auto &Fix : B.Fixups) {
+    auto It = B.Locals.find(Fix.Name);
+    if (It == B.Locals.end())
+      throw LLRejectErr{llreject::SyntaxError,
+                        "use of undefined value '%" + Fix.Name + "'",
+                        Fix.Line};
+    if (It->second->getType() != Fix.Ty)
+      throw LLRejectErr{llreject::SyntaxError,
+                        "type mismatch resolving '%" + Fix.Name + "'",
+                        Fix.Line};
+    Fix.I->setOperand(Fix.OpIdx, It->second);
+  }
+}
+
+void LLImporter::remapSwitchPhis(Body &B) {
+  for (const auto &SW : B.Switches) {
+    // Group the lowered edges by target block, in case order.
+    std::vector<std::pair<BasicBlock *, std::vector<BasicBlock *>>> ByTarget;
+    for (const auto &[Target, Source] : SW.Edges) {
+      auto It = std::find_if(ByTarget.begin(), ByTarget.end(),
+                             [&](const auto &E) { return E.first == Target; });
+      if (It == ByTarget.end())
+        ByTarget.push_back({Target, {Source}});
+      else
+        It->second.push_back(Source);
+    }
+    for (const auto &[Target, Sources] : ByTarget) {
+      for (PhiNode *P : Target->phis()) {
+        int Idx = P->getBlockIndex(SW.Orig);
+        if (Idx < 0)
+          continue;
+        Value *V = P->getIncomingValue(static_cast<unsigned>(Idx));
+        P->setIncomingBlock(static_cast<unsigned>(Idx), Sources.front());
+        for (size_t I = 1; I < Sources.size(); ++I)
+          P->addIncoming(V, Sources[I]);
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Public entry points
+//===----------------------------------------------------------------------===//
+
+LLImportResult llvmmd::importLLModule(Context &Ctx, std::string_view Text,
+                                      std::string ModuleName) {
+  // Adopt the "; ModuleID = '<name>'" header when the caller did not name
+  // the module, matching the native parser's convention.
+  if (ModuleName == "module") {
+    constexpr std::string_view Tag = "; ModuleID = '";
+    size_t Pos = Text.find(Tag);
+    if (Pos != std::string_view::npos) {
+      size_t Start = Pos + Tag.size();
+      size_t End = Text.find('\'', Start);
+      if (End != std::string_view::npos)
+        ModuleName = std::string(Text.substr(Start, End - Start));
+    }
+  }
+
+  std::vector<LLToken> Toks;
+  LLImportResult Res;
+  std::string LexError;
+  unsigned ErrLine = 0, ErrCol = 0;
+  if (!lexLLText(Text, Toks, LexError, ErrLine, ErrCol)) {
+    Res.Error = "line " + std::to_string(ErrLine) + ": " + LexError;
+    Res.ErrorLine = ErrLine;
+    Res.ErrorCol = ErrCol;
+    return Res;
+  }
+  return LLImporter(Ctx, std::move(Toks), std::move(ModuleName)).run();
+}
+
+bool llvmmd::looksLikeLLVMIR(std::string_view Text) {
+  // Markers real clang/opt output carries and the mini-IR printer never
+  // emits. Substring checks keep sniffing O(bytes) with no parsing.
+  static const char *Markers[] = {
+      "target datalayout", "target triple",   "source_filename",
+      "attributes #",      "!llvm.",          " dso_local ",
+      " noundef",          ", align ",        " nsw ",
+      " nuw ",             " inbounds ",      "zeroinitializer",
+      " x i",              " x float",        " x double",
+      "c\"",               " switch i",       "%struct.",
+      "%union.",           "%class.",         " poison",
+      " tail call ",       "local_unnamed_addr"};
+  for (const char *Mk : Markers)
+    if (Text.find(Mk) != std::string_view::npos)
+      return true;
+  return false;
+}

@@ -1,0 +1,94 @@
+//===- LLFrontend.h - Textual LLVM .ll subset importer ----------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Public entry point of the `.ll`-subset importer: maps a practical subset
+/// of real LLVM IR (i1/i8/i16/i32/i64, float/double, pointers, gep, phi,
+/// br + switch-as-br, icmp/fcmp, binary ops, calls to known declarations,
+/// globals with scalar/array initializers) onto the native mini-IR.
+///
+/// Unsupported constructs are rejected **per function**: the offending
+/// function is demoted to a declaration and reported with a named reason
+/// class (see `llreject`), while the rest of the module imports and
+/// validates normally. Only malformed top-level structure fails the whole
+/// module, with a line/column diagnostic.
+///
+/// Noise that real `clang`/`opt` output carries but the mini-IR does not
+/// model — `target` lines, `source_filename`, attribute groups, metadata,
+/// parameter/function attributes, `align`, `nsw`/`nuw`, fast-math flags —
+/// is tolerated and dropped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_FRONTEND_LLVM_LLFRONTEND_H
+#define LLVMMD_FRONTEND_LLVM_LLFRONTEND_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llvmmd {
+
+class Context;
+class Module;
+
+/// The named reject-reason classes a function can be refused with. Reports
+/// surface these verbatim (`unsupported_functions` accounting), so they are
+/// stable strings, not an enum that would print as a number.
+namespace llreject {
+inline constexpr const char *VectorType = "vector-type";
+inline constexpr const char *AggregateType = "aggregate-type";
+inline constexpr const char *UnsupportedType = "unsupported-type";
+inline constexpr const char *UnsupportedInstruction = "unsupported-instruction";
+inline constexpr const char *UnsupportedPredicate = "unsupported-predicate";
+inline constexpr const char *MultiIndexGEP = "multi-index-gep";
+inline constexpr const char *IndirectCall = "indirect-call";
+inline constexpr const char *VarargsCall = "varargs-call";
+inline constexpr const char *UnsupportedCallee = "unsupported-callee";
+inline constexpr const char *UnsupportedConstant = "unsupported-constant";
+inline constexpr const char *SyntaxError = "syntax-error";
+} // namespace llreject
+
+/// One function the importer refused, with the reason class and a
+/// human-readable detail ("fptosi", "fcmp predicate 'uno'", ...).
+struct LLFunctionReject {
+  std::string Function;
+  std::string Reason; ///< one of the llreject:: classes
+  std::string Detail;
+  unsigned Line = 0; ///< 1-based source line of the offending construct
+};
+
+struct LLImportResult {
+  /// The imported module; rejected functions are present as declarations
+  /// so calls to them stay well-formed. Null only on a module-level error.
+  std::unique_ptr<Module> M;
+  /// Per-function rejections, in textual order.
+  std::vector<LLFunctionReject> Rejected;
+  /// Module-level diagnostic when !M.
+  std::string Error;
+  unsigned ErrorLine = 0;
+  unsigned ErrorCol = 0;
+
+  explicit operator bool() const { return M != nullptr; }
+};
+
+/// Imports `.ll` text. The returned module lives in \p Ctx, which must
+/// outlive it. Never throws; per-function problems land in `Rejected`,
+/// top-level problems in `Error`.
+LLImportResult importLLModule(Context &Ctx, std::string_view Text,
+                              std::string ModuleName = "module");
+
+/// Content sniffer for format auto-detection: true when \p Text carries
+/// constructs only real LLVM IR emits (target lines, attribute groups,
+/// metadata, `align` suffixes, wrap flags, switch, array types, ...). The
+/// mini-IR printer produces none of these, so "not LLVM-looking" text is
+/// routed to the native parser.
+bool looksLikeLLVMIR(std::string_view Text);
+
+} // namespace llvmmd
+
+#endif // LLVMMD_FRONTEND_LLVM_LLFRONTEND_H

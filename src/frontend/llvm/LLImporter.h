@@ -1,0 +1,214 @@
+//===- LLImporter.h - Internal .ll importer state ---------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The importer class shared by the frontend's translation units, split by
+/// layer the way shady splits its LLVM frontend (`l2s_*`):
+///
+///   LLLexer.cpp         — tokenizer
+///   LLFrontend.cpp      — module-structure parser + post-process pass +
+///                         the public importLLModule / looksLikeLLVMIR
+///   LLTypes.cpp         — type & constant translator
+///   LLInstructions.cpp  — instruction translator (incl. switch-as-br
+///                         lowering)
+///
+/// Error discipline: `LLRejectErr` is thrown while translating one function
+/// and caught per function (the function is demoted to a declaration and
+/// recorded with its named reason class); `LLFatalErr` is thrown for
+/// malformed top-level structure and fails the whole import with a
+/// line/column diagnostic. Neither escapes importLLModule().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_FRONTEND_LLVM_LLIMPORTER_H
+#define LLVMMD_FRONTEND_LLVM_LLIMPORTER_H
+
+#include "frontend/llvm/LLFrontend.h"
+#include "frontend/llvm/LLLexer.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace llvmmd {
+
+/// Per-function rejection (caught at function granularity).
+struct LLRejectErr {
+  const char *Reason; ///< llreject:: class
+  std::string Detail;
+  unsigned Line;
+};
+
+/// Module-level malformation (fails the whole import).
+struct LLFatalErr {
+  std::string Msg;
+  unsigned Line;
+  unsigned Col;
+};
+
+class LLImporter {
+public:
+  LLImporter(Context &Ctx, std::vector<LLToken> Tokens,
+             std::string ModuleName);
+
+  /// Runs both passes. Does not throw.
+  LLImportResult run();
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Shared state
+  //===--------------------------------------------------------------------===//
+
+  Context &Ctx;
+  std::vector<LLToken> Toks;
+  size_t Cur = 0;
+  std::unique_ptr<Module> M;
+  std::vector<LLFunctionReject> Rejected;
+
+  /// A `define` whose signature imported: the declaration exists, the body
+  /// token range is translated in pass 2.
+  struct PendingFn {
+    Function *F = nullptr;
+    std::string OrigName;                  ///< .ll name (pre-sanitization)
+    std::vector<std::string> ArgNames;     ///< .ll argument names
+    size_t BodyBegin = 0;                  ///< first token inside the braces
+    size_t BodyEnd = 0;                    ///< index of the closing '}'
+    unsigned DefLine = 0;
+  };
+  std::vector<PendingFn> Pending;
+
+  /// .ll name -> native object (names are sanitized on creation, so module
+  /// lookups by original name go through these maps).
+  std::map<std::string, Function *> FnByName;
+  std::map<std::string, GlobalVariable *> GlobalByName;
+  /// Declared/defined functions we could not model: callee name -> reason
+  /// class to reject the *caller* with.
+  std::map<std::string, const char *> BadCallees;
+  std::set<std::string> UnsupportedGlobals;
+  std::set<std::string> UsedModuleNames; ///< sanitized global/function names
+
+  //===--------------------------------------------------------------------===//
+  // Token cursor helpers (LLFrontend.cpp)
+  //===--------------------------------------------------------------------===//
+
+  const LLToken &tok(size_t Ahead = 0) const;
+  void advance();
+  bool isWord(const char *W) const;
+  bool eatWord(const char *W);
+  void expectTok(LLTok K, const char *What); ///< fatal on mismatch
+  void skipRestOfLine();
+  /// Skips ", align 4, !tbaa !8 #2"-style trailer tokens on \p Line.
+  void skipLineTail(unsigned Line, size_t Limit);
+  /// Skips trailer tokens sharing the last *consumed* token's line. Unlike
+  /// skipRestOfLine this is a no-op when the construct ended its line and
+  /// the cursor already sits on the next line's first token.
+  void skipTrailingOnLine();
+  [[noreturn]] void fatal(std::string Msg) const;
+  [[noreturn]] void reject(const char *Reason, std::string Detail) const;
+
+  //===--------------------------------------------------------------------===//
+  // Name sanitization (LLFrontend.cpp)
+  //===--------------------------------------------------------------------===//
+
+  /// Restricts a .ll name to the mini-IR identifier charset ([A-Za-z0-9_.$])
+  /// and uniquifies against \p Used, so import -> print -> reparse
+  /// round-trips.
+  static std::string sanitizeName(const std::string &Name);
+  static std::string uniqueName(std::string Base, std::set<std::string> &Used);
+
+  //===--------------------------------------------------------------------===//
+  // Pass 1: module structure (LLFrontend.cpp)
+  //===--------------------------------------------------------------------===//
+
+  void scanTopLevel();
+  void parseGlobalDef();
+  void parseFunctionHeader(bool IsDefine);
+  /// First @name on the current line (for diagnostics before the name is
+  /// reached in grammar order).
+  std::string peekFunctionName() const;
+
+  //===--------------------------------------------------------------------===//
+  // Type & constant translator (LLTypes.cpp)
+  //===--------------------------------------------------------------------===//
+
+  /// A translated first-class type, or one level of array ([N x T]).
+  struct LLType {
+    Type *Ty = nullptr; ///< scalar type, or the array element type
+    uint64_t Count = 0;
+    bool IsArray = false;
+  };
+
+  Type *parseType();         ///< scalar only; arrays reject too
+  LLType parseTypeOrArray(); ///< allows [N x scalar]
+  bool atTypeStart() const;
+  /// Skips parameter/return-value attributes (noundef, align N,
+  /// dereferenceable(8), ...) at the cursor.
+  void skipParamAttrs();
+  Constant *parseConstantLiteral(Type *Ty);
+  Constant *zeroOf(Type *Ty);
+  int64_t parseIntText(const std::string &Text) const;
+
+  //===--------------------------------------------------------------------===//
+  // Pass 2: instruction translator (LLInstructions.cpp)
+  //===--------------------------------------------------------------------===//
+
+  struct Body {
+    PendingFn *PF = nullptr;
+    std::map<std::string, Value *> Locals; ///< .ll name -> value
+    std::set<std::string> UsedValueNames;  ///< sanitized
+    std::map<std::string, BasicBlock *> Blocks; ///< .ll label -> block
+    std::set<std::string> UsedBlockNames;
+    std::vector<BasicBlock *> Order; ///< textual definition order
+    struct Fixup {
+      Instruction *I;
+      unsigned OpIdx;
+      std::string Name;
+      Type *Ty;
+      unsigned Line;
+    };
+    std::vector<Fixup> Fixups;
+    /// One lowered `switch`: every (target, actual-source) edge the icmp/br
+    /// chain produces, for the phi-incoming remap in post-processing.
+    struct SwitchLower {
+      BasicBlock *Orig;
+      std::vector<std::pair<BasicBlock *, BasicBlock *>> Edges;
+    };
+    std::vector<SwitchLower> Switches;
+  };
+
+  using DeferList = std::vector<std::pair<unsigned, std::string>>;
+
+  void translateBody(PendingFn &PF);
+  BasicBlock *getOrCreateBlock(Body &B, const std::string &Name);
+  void defineLocal(Body &B, const std::string &Name, Value *V,
+                   bool Rename = true);
+  Value *parseValueRef(Body &B, Type *Ty, DeferList *Defer, unsigned OpIdx);
+  Value *parseTypedValue(Body &B, DeferList *Defer, unsigned OpIdx);
+  void translateInstruction(Body &B, IRBuilder &Builder);
+  Instruction *translateOpcode(Body &B, IRBuilder &Builder,
+                               const std::string &Op, DeferList &Defer,
+                               Value **AliasResult);
+  Instruction *translateCall(Body &B, IRBuilder &Builder, DeferList &Defer);
+  Instruction *translateGEP(Body &B, IRBuilder &Builder, DeferList &Defer);
+  Instruction *translateSwitch(Body &B, IRBuilder &Builder, DeferList &Defer);
+  void recordFixups(Body &B, Instruction *I, const DeferList &Defer,
+                    unsigned Line);
+
+  //===--------------------------------------------------------------------===//
+  // Post-process pass (LLFrontend.cpp)
+  //===--------------------------------------------------------------------===//
+
+  void postProcessFunction(Body &B);
+  void resolveFixups(Body &B);
+  void remapSwitchPhis(Body &B);
+};
+
+} // namespace llvmmd
+
+#endif // LLVMMD_FRONTEND_LLVM_LLIMPORTER_H

@@ -149,7 +149,7 @@ std::string llvmmd::encodeSubmit(const SubmitPayload &P) {
   std::string Out;
   appendU32LE(Out, static_cast<uint32_t>(P.Modules.size()));
   for (const SubmitModule &M : P.Modules) {
-    Out.push_back(static_cast<char>(M.FromProfile));
+    Out.push_back(static_cast<char>(M.Source));
     appendLPString(Out, M.Name);
     appendLPString(Out, M.Text);
     appendU32LE(Out, M.FnCount);
@@ -170,7 +170,7 @@ bool llvmmd::decodeSubmit(const std::string &Bytes, SubmitPayload &P) {
   P.Modules.reserve(Count);
   for (uint32_t I = 0; I < Count; ++I) {
     SubmitModule M;
-    if (!readU8(Bytes, Cur, M.FromProfile) ||
+    if (!readU8(Bytes, Cur, M.Source) ||
         !readLPString(Bytes.data(), Bytes.size(), Cur, M.Name) ||
         !readLPString(Bytes.data(), Bytes.size(), Cur, M.Text) ||
         !readU32LE(Bytes.data(), Bytes.size(), Cur, M.FnCount))

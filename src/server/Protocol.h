@@ -140,13 +140,26 @@ struct HelloOkPayload {
   uint8_t TriageEnabled = 0;
 };
 
+/// Source/format selector of one submitted module. Wire-compatible with
+/// the original boolean "from profile" byte: 0 keeps its old meaning
+/// (inline text, format auto-detected — which is exactly what old clients
+/// sent) and 1 still means a generated profile; 2 and 3 pin the inline
+/// text's format explicitly.
+enum SubmitSource : uint8_t {
+  SubmitInlineAuto = 0, ///< inline text, content-sniffed mini-IR vs .ll
+  SubmitProfile = 1,    ///< server-generated benchmark profile
+  SubmitInlineMini = 2, ///< inline text, forced native mini-IR
+  SubmitInlineLLVM = 3, ///< inline text, forced LLVM .ll import
+};
+
 /// One module of a submission: either a named BenchmarkProfile the server
 /// generates (FunctionCount optionally overridden — tests and benchmarks
-/// shrink profiles this way) or inline IR text the server parses.
+/// shrink profiles this way) or inline IR text the server loads through
+/// the shared ModuleLoader (see SubmitSource for the format byte).
 struct SubmitModule {
-  uint8_t FromProfile = 1;
+  uint8_t Source = SubmitProfile;
   std::string Name;      ///< profile name, or module name for inline IR
-  std::string Text;      ///< IR text when !FromProfile
+  std::string Text;      ///< IR text for the inline sources
   uint32_t FnCount = 0;  ///< profile FunctionCount override; 0 = default
 };
 

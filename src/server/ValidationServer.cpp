@@ -6,11 +6,9 @@
 
 #include "server/ValidationServer.h"
 
+#include "driver/ModuleLoader.h"
 #include "ir/Module.h"
-#include "ir/Parser.h"
 #include "opt/Pass.h"
-#include "workload/Generator.h"
-#include "workload/Profiles.h"
 
 #include <algorithm>
 #include <chrono>
@@ -631,33 +629,45 @@ void ValidationServer::executorLoop() {
 const Module *
 ValidationServer::materializeModule(const SubmitModule &M, Context &JobCtx,
                                     std::vector<std::unique_ptr<Module>> &Own,
+                                    std::vector<UnsupportedFunctionEntry> *Unsupported,
                                     std::string *Error) {
-  if (M.FromProfile) {
+  if (M.Source == SubmitProfile) {
     std::string Key = M.Name + ":" + std::to_string(M.FnCount);
     auto It = GenCache.find(Key);
     if (It != GenCache.end())
       return It->second.get();
-    BenchmarkProfile P = getProfile(M.Name);
-    if (P.FunctionCount == 0) {
-      *Error = "unknown profile '" + M.Name + "'";
-      return nullptr;
-    }
-    if (M.FnCount)
-      P.FunctionCount = M.FnCount;
     if (!GenCtx)
       GenCtx = std::make_unique<Context>();
-    auto Gen = generateBenchmark(*GenCtx, P);
-    const Module *Result = Gen.get();
-    GenCache.emplace(std::move(Key), std::move(Gen));
+    ModuleSpec Spec;
+    Spec.From = ModuleSpec::Source::Profile;
+    Spec.Value = M.Name;
+    Spec.ProfileFnCount = M.FnCount;
+    LoadResult LR = loadModule(*GenCtx, Spec);
+    if (!LR) {
+      *Error = LR.Error;
+      return nullptr;
+    }
+    const Module *Result = LR.Modules.front().M.get();
+    GenCache.emplace(std::move(Key), std::move(LR.Modules.front().M));
     return Result;
   }
-  ParseResult PR = parseModule(JobCtx, M.Text,
-                               M.Name.empty() ? "module" : M.Name);
-  if (!PR) {
-    *Error = "parse error in '" + M.Name + "': " + PR.Error;
+  ModuleSpec Spec;
+  Spec.From = ModuleSpec::Source::Inline;
+  Spec.Value = M.Text;
+  Spec.Name = M.Name.empty() ? "module" : M.Name;
+  Spec.Format = M.Source == SubmitInlineMini   ? ModuleFormat::MiniIR
+                : M.Source == SubmitInlineLLVM ? ModuleFormat::LLVMIR
+                                               : ModuleFormat::Auto;
+  LoadResult LR = loadModule(JobCtx, Spec);
+  if (!LR) {
+    // LR.Error leads with the module name and the loader's line/column
+    // diagnostic, which is exactly what the Error frame should carry.
+    *Error = "load error: " + LR.Error;
     return nullptr;
   }
-  Own.push_back(std::move(PR.M));
+  if (Unsupported)
+    *Unsupported = std::move(LR.Modules.front().Unsupported);
+  Own.push_back(std::move(LR.Modules.front().M));
   return Own.back().get();
 }
 
@@ -676,9 +686,11 @@ void ValidationServer::runJob(const Job &J) {
   Context JobCtx;
   std::vector<std::unique_ptr<Module>> Own;
   std::vector<const Module *> Mods;
+  std::vector<std::vector<UnsupportedFunctionEntry>> Unsupported;
   for (const SubmitModule &M : J.Req.Modules) {
     std::string Error;
-    const Module *Mod = materializeModule(M, JobCtx, Own, &Error);
+    std::vector<UnsupportedFunctionEntry> U;
+    const Module *Mod = materializeModule(M, JobCtx, Own, &U, &Error);
     if (!Mod) {
       sendError(C, ErrorCode::BadSubmit, Error);
       std::lock_guard<std::mutex> G(StatsLock);
@@ -686,6 +698,7 @@ void ValidationServer::runJob(const Job &J) {
       return;
     }
     Mods.push_back(Mod);
+    Unsupported.push_back(std::move(U));
   }
 
   const EngineCacheStats Before = Engine->cacheStats();
@@ -702,6 +715,9 @@ void ValidationServer::runJob(const Job &J) {
   SR.Threads = Engine->getThreadCount();
   for (size_t Mi = 0; Mi < Mods.size(); ++Mi) {
     EngineRun Run = Engine->run(*Mods[Mi], Pipeline);
+    // The ingest frontend's rejections ride on the module report so the
+    // streamed and final JSON match batch_validate's byte for byte.
+    Run.Report.UnsupportedFunctions = std::move(Unsupported[Mi]);
     for (const FunctionReportEntry &E : Run.Report.Functions) {
       FunctionPayload FP;
       FP.ModuleIndex = static_cast<uint32_t>(Mi);

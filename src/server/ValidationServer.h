@@ -216,9 +216,13 @@ private:
   /// Engine-thread only: checkpoint the store when dirty (no-op while the
   /// cache is clean or no store is configured).
   void checkpoint();
-  /// Engine-thread only: resolve one submitted module to a Module*.
+  /// Engine-thread only: resolve one submitted module to a Module* through
+  /// the shared ModuleLoader. \p Unsupported receives the ingest frontend's
+  /// per-function rejections for `.ll` submissions; \p Error gets the
+  /// loader's diagnostic (with line/column) on failure.
   const Module *materializeModule(const SubmitModule &M, Context &JobCtx,
                                   std::vector<std::unique_ptr<Module>> &Own,
+                                  std::vector<UnsupportedFunctionEntry> *Unsupported,
                                   std::string *Error);
 
   ServerConfig Cfg;

@@ -90,7 +90,7 @@ FleetConfig smallFleetConfig(const FleetDir &D, unsigned Workers,
 SubmitPayload profileSubmission(const std::string &Name, unsigned Functions) {
   SubmitPayload Req;
   SubmitModule M;
-  M.FromProfile = 1;
+  M.Source = SubmitProfile;
   M.Name = Name;
   M.FnCount = Functions;
   Req.Modules.push_back(std::move(M));
@@ -532,7 +532,7 @@ struct CaptureSink {
 SubmitPayload inlineSubmission(const std::string &Name) {
   SubmitPayload Req;
   SubmitModule M;
-  M.FromProfile = 1;
+  M.Source = SubmitProfile;
   M.Name = Name;
   M.FnCount = 4;
   Req.Modules.push_back(M);

@@ -71,7 +71,7 @@ ServerConfig smallServerConfig(const ServeDir &D, unsigned Threads = 1,
 SubmitPayload sqliteSubmission(unsigned Functions = 16) {
   SubmitPayload Req;
   SubmitModule M;
-  M.FromProfile = 1;
+  M.Source = SubmitProfile;
   M.Name = "sqlite";
   M.FnCount = Functions;
   Req.Modules.push_back(std::move(M));
@@ -285,7 +285,7 @@ TEST(ServerTest, UnknownProfileIsABadSubmitNotADisconnect) {
   ASSERT_TRUE(attach(Client, D.Sock));
   SubmitPayload Req;
   SubmitModule M;
-  M.FromProfile = 1;
+  M.Source = SubmitProfile;
   M.Name = "not-a-benchmark";
   Req.Modules.push_back(std::move(M));
   ASSERT_TRUE(Client.submit(Req));
@@ -513,7 +513,7 @@ TEST(ServerTest, InlineIRSubmissionValidatesLikeTheBatchEngine) {
 
   SubmitPayload Req;
   SubmitModule SM;
-  SM.FromProfile = 0;
+  SM.Source = SubmitInlineAuto;
   SM.Name = "inline-test";
   SM.Text = Ir;
   Req.Modules.push_back(std::move(SM));

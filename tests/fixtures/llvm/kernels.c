@@ -1,0 +1,85 @@
+/* Reference source for the frozen .ll fixture pair in this directory.
+ *
+ * kernels_O0.ll is (the supported subset of) what
+ *
+ *   clang -O0 -S -emit-llvm kernels.c -o - | opt -S -passes=mem2reg
+ *
+ * produces for this file; kernels_opt.ll is the same module after a
+ * conservative cleanup pass pipeline (constant folding, value renaming,
+ * redundant-load elimination) — every function remains observably
+ * equivalent. Both files are frozen: tests and scripts/check.sh validate
+ * them byte-for-byte without needing a clang on PATH. When clang/opt are
+ * available, `scripts/check.sh --llvm` additionally regenerates an O0
+ * module from this source and validates it from scratch.
+ *
+ * `to_int` is deliberately outside the importer's subset (fptosi): both
+ * fixtures must import with exactly one per-function rejection, proving
+ * that one unsupported construct does not poison the rest of the module.
+ */
+
+typedef unsigned long size_t;
+extern size_t strlen(const char *s);
+
+int g_count = 0;
+int g_table[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+double g_scale = 1.5;
+
+/* Saturating 32-bit add performed in 64-bit arithmetic. */
+int saturating_add(int a, int b) {
+  long s = (long)a + (long)b;
+  if (s > 2147483647L)
+    return 2147483647;
+  if (s < -2147483648L)
+    return (int)-2147483648L;
+  return (int)s;
+}
+
+/* Loop + global array indexing (gep), wrap-around mask. */
+int sum_table(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i)
+    acc += g_table[i & 7];
+  return acc;
+}
+
+/* Switch dispatch (lowered to a compare chain by the importer). */
+int classify(int c) {
+  switch (c) {
+  case 0:
+    return 10;
+  case 1:
+    return 20;
+  case 7:
+    return 70;
+  default:
+    return -1;
+  }
+}
+
+/* Float arithmetic against a global, plus a select. */
+double scale_mix(double x, double y) {
+  double r = x * g_scale + 0.5;
+  return r > y ? r : y;
+}
+
+/* Libc call + truncating cast + global update. */
+int count_len(const char *s) {
+  int n = (int)strlen(s);
+  g_count = g_count + n;
+  return n;
+}
+
+/* Loop-invariant global load plus foldable constant arithmetic: the paper
+ * pipeline (sccp, licm, gvn) actually transforms this one, so the fixture
+ * suite exercises real validations, not just imports. */
+int fold_and_hoist(int n) {
+  int acc = 0;
+  int four = (1 + 1) * 2;
+  for (int i = 0; i < n; ++i)
+    acc += g_count + four;
+  return acc;
+}
+
+/* OUTSIDE the supported subset: fptosi. Present in both .ll fixtures so
+ * the per-function rejection path is exercised end to end. */
+int to_int(double x) { return (int)x; }

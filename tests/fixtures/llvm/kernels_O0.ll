@@ -1,0 +1,162 @@
+; ModuleID = 'kernels.c'
+source_filename = "kernels.c"
+target datalayout = "e-m:e-p270:32:32-p271:32:32-p272:64:64-i64:64-f80:128-n8:16:32:64-S128"
+target triple = "x86_64-unknown-linux-gnu"
+
+@g_count = dso_local global i32 0, align 4
+@g_table = dso_local global [8 x i32] [i32 1, i32 2, i32 3, i32 4, i32 5, i32 6, i32 7, i32 8], align 16
+@g_scale = dso_local global double 1.500000e+00, align 8
+
+; Function Attrs: noinline nounwind optnone uwtable
+define dso_local i32 @saturating_add(i32 noundef %a, i32 noundef %b) #0 {
+entry:
+  %conv = sext i32 %a to i64
+  %conv1 = sext i32 %b to i64
+  %add = add nsw i64 %conv, %conv1
+  %cmp = icmp sgt i64 %add, 2147483647
+  br i1 %cmp, label %if.then, label %if.end
+
+if.then:                                          ; preds = %entry
+  br label %return
+
+if.end:                                           ; preds = %entry
+  %cmp2 = icmp slt i64 %add, -2147483648
+  br i1 %cmp2, label %if.then3, label %if.end4
+
+if.then3:                                         ; preds = %if.end
+  br label %return
+
+if.end4:                                          ; preds = %if.end
+  %conv5 = trunc i64 %add to i32
+  br label %return
+
+return:                                           ; preds = %if.end4, %if.then3, %if.then
+  %retval.0 = phi i32 [ 2147483647, %if.then ], [ -2147483648, %if.then3 ], [ %conv5, %if.end4 ]
+  ret i32 %retval.0
+}
+
+; Function Attrs: noinline nounwind optnone uwtable
+define dso_local i32 @sum_table(i32 noundef %n) #0 {
+entry:
+  br label %for.cond
+
+for.cond:                                         ; preds = %for.body, %entry
+  %i.0 = phi i32 [ 0, %entry ], [ %inc, %for.body ]
+  %acc.0 = phi i32 [ 0, %entry ], [ %add, %for.body ]
+  %cmp = icmp slt i32 %i.0, %n
+  br i1 %cmp, label %for.body, label %for.end
+
+for.body:                                         ; preds = %for.cond
+  %and = and i32 %i.0, 7
+  %idxprom = sext i32 %and to i64
+  %arrayidx = getelementptr inbounds [8 x i32], ptr @g_table, i64 0, i64 %idxprom
+  %0 = load i32, ptr %arrayidx, align 4
+  %add = add nsw i32 %acc.0, %0
+  %inc = add nsw i32 %i.0, 1
+  br label %for.cond
+
+for.end:                                          ; preds = %for.cond
+  ret i32 %acc.0
+}
+
+; Function Attrs: noinline nounwind optnone uwtable
+define dso_local i32 @classify(i32 noundef %c) #0 {
+entry:
+  switch i32 %c, label %sw.default [
+    i32 0, label %sw.bb
+    i32 1, label %sw.bb1
+    i32 7, label %sw.bb2
+  ]
+
+sw.bb:                                            ; preds = %entry
+  br label %return
+
+sw.bb1:                                           ; preds = %entry
+  br label %return
+
+sw.bb2:                                           ; preds = %entry
+  br label %return
+
+sw.default:                                       ; preds = %entry
+  br label %return
+
+return:                                           ; preds = %sw.default, %sw.bb2, %sw.bb1, %sw.bb
+  %retval.0 = phi i32 [ -1, %sw.default ], [ 70, %sw.bb2 ], [ 20, %sw.bb1 ], [ 10, %sw.bb ]
+  ret i32 %retval.0
+}
+
+; Function Attrs: noinline nounwind optnone uwtable
+define dso_local double @scale_mix(double noundef %x, double noundef %y) #0 {
+entry:
+  %0 = load double, ptr @g_scale, align 8
+  %mul = fmul double %x, %0
+  %add = fadd double %mul, 5.000000e-01
+  %cmp = fcmp ogt double %add, %y
+  br i1 %cmp, label %cond.true, label %cond.false
+
+cond.true:                                        ; preds = %entry
+  br label %cond.end
+
+cond.false:                                       ; preds = %entry
+  br label %cond.end
+
+cond.end:                                         ; preds = %cond.false, %cond.true
+  %cond = phi double [ %add, %cond.true ], [ %y, %cond.false ]
+  ret double %cond
+}
+
+; Function Attrs: noinline nounwind optnone uwtable
+define dso_local i32 @count_len(ptr noundef %s) #0 {
+entry:
+  %call = call i64 @strlen(ptr noundef %s) #2
+  %conv = trunc i64 %call to i32
+  %0 = load i32, ptr @g_count, align 4
+  %add = add nsw i32 %0, %conv
+  store i32 %add, ptr @g_count, align 4
+  ret i32 %conv
+}
+
+; Function Attrs: noinline nounwind optnone uwtable
+define dso_local i32 @fold_and_hoist(i32 noundef %n) #0 {
+entry:
+  %two = add nsw i32 1, 1
+  %four = mul nsw i32 %two, 2
+  br label %for.cond
+
+for.cond:                                         ; preds = %for.body, %entry
+  %i.0 = phi i32 [ 0, %entry ], [ %inc, %for.body ]
+  %acc.0 = phi i32 [ 0, %entry ], [ %add2, %for.body ]
+  %cmp = icmp slt i32 %i.0, %n
+  br i1 %cmp, label %for.body, label %for.end
+
+for.body:                                         ; preds = %for.cond
+  %0 = load i32, ptr @g_count, align 4
+  %add1 = add nsw i32 %0, %four
+  %add2 = add nsw i32 %acc.0, %add1
+  %inc = add nsw i32 %i.0, 1
+  br label %for.cond
+
+for.end:                                          ; preds = %for.cond
+  ret i32 %acc.0
+}
+
+; Function Attrs: noinline nounwind optnone uwtable
+define dso_local i32 @to_int(double noundef %x) #0 {
+entry:
+  %conv = fptosi double %x to i32
+  ret i32 %conv
+}
+
+; Function Attrs: nounwind willreturn memory(read)
+declare i64 @strlen(ptr noundef) #1
+
+attributes #0 = { noinline nounwind optnone uwtable "frame-pointer"="all" "no-trapping-math"="true" "stack-protector-buffer-size"="8" "target-cpu"="x86-64" }
+attributes #1 = { nounwind willreturn memory(read) "no-trapping-math"="true" "target-cpu"="x86-64" }
+attributes #2 = { nounwind willreturn memory(read) }
+
+!llvm.module.flags = !{!0, !1}
+!llvm.ident = !{!2}
+
+!0 = !{i32 1, !"wchar_size", i32 4}
+!1 = !{i32 8, !"PIC Level", i32 2}
+!2 = !{!"clang version 18.1.3"}

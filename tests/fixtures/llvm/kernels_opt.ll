@@ -1,0 +1,147 @@
+; ModuleID = 'kernels.c'
+; kernels_O0.ll after a conservative cleanup pipeline: trampoline blocks
+; threaded, branches folded to selects where legal, values renamed, index
+; extensions narrowed to zext nneg. Every function remains observably
+; equivalent to its kernels_O0.ll counterpart; to_int is still outside the
+; importer's subset.
+source_filename = "kernels.c"
+target datalayout = "e-m:e-p270:32:32-p271:32:32-p272:64:64-i64:64-f80:128-n8:16:32:64-S128"
+target triple = "x86_64-unknown-linux-gnu"
+
+@g_count = dso_local local_unnamed_addr global i32 0, align 4
+@g_table = dso_local local_unnamed_addr global [8 x i32] [i32 1, i32 2, i32 3, i32 4, i32 5, i32 6, i32 7, i32 8], align 16
+@g_scale = dso_local local_unnamed_addr global double 1.500000e+00, align 8
+
+; Function Attrs: nounwind uwtable
+define dso_local i32 @saturating_add(i32 noundef %a, i32 noundef %b) local_unnamed_addr #0 {
+entry:
+  %sa = sext i32 %a to i64
+  %sb = sext i32 %b to i64
+  %sum = add nsw i64 %sa, %sb
+  %hi = icmp sgt i64 %sum, 2147483647
+  br i1 %hi, label %return, label %lo.check
+
+lo.check:                                         ; preds = %entry
+  %lo = icmp slt i64 %sum, -2147483648
+  br i1 %lo, label %return, label %mid
+
+mid:                                              ; preds = %lo.check
+  %t = trunc i64 %sum to i32
+  br label %return
+
+return:                                           ; preds = %mid, %lo.check, %entry
+  %r = phi i32 [ 2147483647, %entry ], [ -2147483648, %lo.check ], [ %t, %mid ]
+  ret i32 %r
+}
+
+; Function Attrs: nounwind uwtable
+define dso_local i32 @sum_table(i32 noundef %n) local_unnamed_addr #0 {
+entry:
+  br label %loop
+
+loop:                                             ; preds = %body, %entry
+  %i = phi i32 [ 0, %entry ], [ %i.next, %body ]
+  %acc = phi i32 [ 0, %entry ], [ %acc.next, %body ]
+  %exit.cond = icmp slt i32 %i, %n
+  br i1 %exit.cond, label %body, label %done
+
+body:                                             ; preds = %loop
+  %masked = and i32 %i, 7
+  %idx = zext nneg i32 %masked to i64
+  %slot = getelementptr inbounds [8 x i32], ptr @g_table, i64 0, i64 %idx
+  %v = load i32, ptr %slot, align 4
+  %acc.next = add nsw i32 %acc, %v
+  %i.next = add nuw nsw i32 %i, 1
+  br label %loop
+
+done:                                             ; preds = %loop
+  ret i32 %acc
+}
+
+; Function Attrs: nounwind uwtable
+define dso_local i32 @classify(i32 noundef %c) local_unnamed_addr #0 {
+entry:
+  switch i32 %c, label %return [
+    i32 0, label %is0
+    i32 1, label %is1
+    i32 7, label %is7
+  ]
+
+is0:                                              ; preds = %entry
+  br label %return
+
+is1:                                              ; preds = %entry
+  br label %return
+
+is7:                                              ; preds = %entry
+  br label %return
+
+return:                                           ; preds = %is7, %is1, %is0, %entry
+  %r = phi i32 [ -1, %entry ], [ 70, %is7 ], [ 20, %is1 ], [ 10, %is0 ]
+  ret i32 %r
+}
+
+; Function Attrs: nounwind uwtable
+define dso_local double @scale_mix(double noundef %x, double noundef %y) local_unnamed_addr #0 {
+entry:
+  %scale = load double, ptr @g_scale, align 8
+  %scaled = fmul double %x, %scale
+  %r = fadd double %scaled, 5.000000e-01
+  %bigger = fcmp ogt double %r, %y
+  %pick = select i1 %bigger, double %r, double %y
+  ret double %pick
+}
+
+; Function Attrs: nounwind uwtable
+define dso_local i32 @count_len(ptr noundef %s) local_unnamed_addr #0 {
+entry:
+  %len = tail call i64 @strlen(ptr noundef %s) #2
+  %len32 = trunc i64 %len to i32
+  %old = load i32, ptr @g_count, align 4
+  %new = add nsw i32 %old, %len32
+  store i32 %new, ptr @g_count, align 4
+  ret i32 %len32
+}
+
+; Function Attrs: nounwind uwtable
+define dso_local i32 @fold_and_hoist(i32 noundef %n) local_unnamed_addr #0 {
+entry:
+  %g = load i32, ptr @g_count, align 4
+  %step = add nsw i32 %g, 4
+  br label %loop
+
+loop:                                             ; preds = %body, %entry
+  %i = phi i32 [ 0, %entry ], [ %i.next, %body ]
+  %acc = phi i32 [ 0, %entry ], [ %acc.next, %body ]
+  %exit.cond = icmp slt i32 %i, %n
+  br i1 %exit.cond, label %body, label %done
+
+body:                                             ; preds = %loop
+  %acc.next = add nsw i32 %acc, %step
+  %i.next = add nuw nsw i32 %i, 1
+  br label %loop
+
+done:                                             ; preds = %loop
+  ret i32 %acc
+}
+
+; Function Attrs: nounwind uwtable
+define dso_local i32 @to_int(double noundef %x) local_unnamed_addr #0 {
+entry:
+  %conv = fptosi double %x to i32
+  ret i32 %conv
+}
+
+; Function Attrs: nounwind willreturn memory(read)
+declare i64 @strlen(ptr noundef) local_unnamed_addr #1
+
+attributes #0 = { nounwind uwtable "frame-pointer"="all" "no-trapping-math"="true" "stack-protector-buffer-size"="8" "target-cpu"="x86-64" }
+attributes #1 = { nounwind willreturn memory(read) "no-trapping-math"="true" "target-cpu"="x86-64" }
+attributes #2 = { nounwind willreturn memory(read) }
+
+!llvm.module.flags = !{!0, !1}
+!llvm.ident = !{!2}
+
+!0 = !{i32 1, !"wchar_size", i32 4}
+!1 = !{i32 8, !"PIC Level", i32 2}
+!2 = !{!"clang version 18.1.3"}
