@@ -17,6 +17,7 @@
 
 #include "Harness.h"
 
+#include "driver/VerdictStore.h"
 #include "vg/GraphBuilder.h"
 
 #include <benchmark/benchmark.h>
@@ -24,6 +25,7 @@
 #include <cassert>
 #include <cstdio>
 #include <fstream>
+#include <map>
 
 using namespace llvmmd;
 
@@ -159,6 +161,123 @@ void BM_EngineWarmStoreReplay(benchmark::State &State) {
   std::remove((std::string(Store) + ".lock").c_str());
 }
 BENCHMARK(BM_EngineWarmStoreReplay)->UseRealTime();
+
+/// Arena teardown: destroying a whole generated module is one arena free
+/// per function body plus the module arena — no per-instruction deletes.
+/// Generation is excluded from the timed region.
+void BM_ModuleTeardown(benchmark::State &State) {
+  Context Ctx;
+  BenchmarkProfile P = getProfile("sjeng");
+  P.FunctionCount = State.range(0);
+  uint64_t Insts = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto M = generateBenchmark(Ctx, P);
+    Insts = 0;
+    for (const Function *F : M->definedFunctions())
+      Insts += F->getInstructionCount();
+    State.ResumeTiming();
+    M.reset();
+  }
+  State.counters["instructions"] = static_cast<double>(Insts);
+}
+BENCHMARK(BM_ModuleTeardown)->Arg(4)->Arg(16);
+
+/// The engine's snapshot/revert cycle: drop a function body (its arena is
+/// reset, slab kept warm) and re-clone it from the pristine copy. After the
+/// first cycle the body arena never allocates from the OS again, so this is
+/// the steady-state cost of rewinding a candidate function.
+void BM_SnapshotReclone(benchmark::State &State) {
+  Context Ctx;
+  auto M = generateBenchmark(Ctx, scaledProfile(State.range(0)));
+  auto Pristine = cloneModule(*M);
+  Function *F = M->definedFunctions().front();
+  const Function *Src = Pristine->definedFunctions().front();
+  for (auto _ : State) {
+    F->dropBody();
+    std::map<const Value *, Value *> VMap;
+    cloneFunctionBody(*Src, *F, VMap);
+    remapModuleReferences(*F, *M);
+    benchmark::DoNotOptimize(F);
+  }
+  State.counters["instructions"] =
+      static_cast<double>(F->getInstructionCount());
+}
+BENCHMARK(BM_SnapshotReclone)->Arg(4)->Arg(16);
+
+/// Builds a many-module verdict store on disk for the mapped-probe bench.
+/// Distinct Config values model distinct modules (the per-module globals
+/// digest folds into Config), so the entries spread across v3 shards.
+std::string writeProbeStore(uint64_t Digest, unsigned Modules,
+                            unsigned PerModule, VerdictKey &ProbeKey) {
+  VerdictMap Map;
+  for (unsigned Mod = 0; Mod < Modules; ++Mod) {
+    uint64_t Config = 0xbe9c000 + Mod * 0x9e3779b9ULL;
+    for (unsigned I = 0; I < PerModule; ++I) {
+      VerdictKey K{0x1000 + I, 0x2000 + I, Config};
+      ValidationResult R;
+      R.Validated = true;
+      R.Rewrites = I;
+      Map.emplace(K, R);
+      if (Mod == Modules / 2 && I == 0)
+        ProbeKey = K;
+    }
+  }
+  std::string Path = "BENCH_probe.vstore";
+  VerdictStore::save(Path, Digest, Map, /*Error=*/nullptr,
+                     /*MergeExisting=*/false);
+  return Path;
+}
+
+/// Probing one module's verdicts through the mmap-backed view: open the
+/// store, look up a single key, report how many shards had to be
+/// materialized. Contrast with BM_StoreFullLoad, which parses and verifies
+/// every shard up front.
+void BM_StoreMappedProbe(benchmark::State &State) {
+  const uint64_t Digest = 0xd19e57;
+  VerdictKey Probe;
+  std::string Path = writeProbeStore(Digest, 32, 64, Probe);
+  unsigned Shards = 0, Materialized = 0;
+  for (auto _ : State) {
+    auto Mapped = MappedVerdictStore::open(Path, Digest);
+    const ValidationResult *R = Mapped->lookup(Probe);
+    benchmark::DoNotOptimize(R);
+    if (!R) {
+      State.SkipWithError("probe key missing; store broken?");
+      break;
+    }
+    Shards = Mapped->numShards();
+    Materialized = Mapped->shardsMaterialized();
+  }
+  State.counters["shards"] = static_cast<double>(Shards);
+  State.counters["shards_touched"] = static_cast<double>(Materialized);
+  std::remove(Path.c_str());
+  std::remove((Path + ".lock").c_str());
+}
+BENCHMARK(BM_StoreMappedProbe);
+
+/// The eager path the mapped view replaces for single-module consumers:
+/// checksum-verify and parse the entire store into an in-memory map.
+void BM_StoreFullLoad(benchmark::State &State) {
+  const uint64_t Digest = 0xd19e57;
+  VerdictKey Probe;
+  std::string Path = writeProbeStore(Digest, 32, 64, Probe);
+  uint64_t Merged = 0;
+  for (auto _ : State) {
+    VerdictMap Map;
+    VerdictStore::LoadResult R = VerdictStore::load(Path, Digest, Map);
+    benchmark::DoNotOptimize(Map);
+    if (!R.loaded()) {
+      State.SkipWithError("store failed to load");
+      break;
+    }
+    Merged = R.EntriesMerged;
+  }
+  State.counters["entries"] = static_cast<double>(Merged);
+  std::remove(Path.c_str());
+  std::remove((Path + ".lock").c_str());
+}
+BENCHMARK(BM_StoreFullLoad);
 
 /// One engine pass over a mid-size profile, emitted through the engine's
 /// JSON reporter (timing included) as BENCH_scaling.json.

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # check.sh - CI entry point: tier-1 verify plus a fig4 smoke run.
 #
-# Usage: scripts/check.sh [--tsan|--asan|--warm|--triage|--serve|--fleet|--llvm] [build-dir]
+# Usage: scripts/check.sh [--tsan|--asan|--warm|--triage|--serve|--fleet|--llvm|--bench] [build-dir]
 #
 #   (default)  tier-1 build + ctest, fig4 smoke, engine determinism checks
 #   --tsan     ThreadSanitizer build (CMake preset "tsan") running the
@@ -29,6 +29,11 @@
 #              three suite JSON reports; when clang AND opt are on PATH,
 #              additionally regenerate the pair from the fixtures' C source
 #              and revalidate the fresh output
+#   --bench    local reproduction of the CI perf-trajectory gate: Release
+#              build (CMake preset "release"), run bench/scaling, compare
+#              its BENCH_scaling.json against the committed seed baseline
+#              in bench/baselines/ with bench_compare.py (throughput must
+#              be at least 1.0x the seed)
 #   --fleet    local reproduction of the CI fleet job: start the router with
 #              two supervised workers, run the client suite twice (second
 #              pass 100% warm), kill -9 a worker mid-suite and require the
@@ -69,6 +74,10 @@ case "${1:-}" in
   MODE=llvm
   shift
   ;;
+--bench)
+  MODE=bench
+  shift
+  ;;
 esac
 
 if [ "$MODE" = tsan ] || [ "$MODE" = asan ]; then
@@ -79,6 +88,24 @@ if [ "$MODE" = tsan ] || [ "$MODE" = asan ]; then
   cmake --build --preset "$MODE" -j "$(nproc)"
   ctest --preset "$MODE" -j "$(nproc)"
   echo "check.sh ($MODE): OK"
+  exit 0
+fi
+
+if [ "$MODE" = bench ]; then
+  # The CI perf-trajectory gate, locally: Release build (preset "release",
+  # so numbers are comparable to CI's), run the scaling benchmarks — the
+  # gated metric is the engine report's wall clock, so the microbenchmark
+  # min-time can stay short — then hold the emitted BENCH_scaling.json to
+  # at least 1.0x the committed seed baseline's batch throughput. The seed
+  # was recorded before the arena allocator landed, so a healthy tree
+  # clears the bar with headroom.
+  cd "$REPO_ROOT"
+  cmake --preset release
+  cmake --build --preset release -j "$(nproc)" --target scaling
+  (cd build-release && ./scaling --benchmark_min_time=0.01)
+  python3 scripts/bench_compare.py bench/baselines/BENCH_scaling.json \
+    build-release/BENCH_scaling.json --max-regression 0
+  echo "check.sh (bench): OK — throughput at least 1.0x the seed baseline"
   exit 0
 fi
 

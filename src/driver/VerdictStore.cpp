@@ -4,24 +4,39 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// On-disk layout (all integers little-endian, see support/Hashing.h):
+// v3 on-disk layout (all integers little-endian, see support/Hashing.h):
 //
 //   header   u64 magic           "LMDVSTR\x01"
 //            u32 format version  VerdictStore::FormatVersion
-//            u32 reserved        0
+//            u32 shard count     S (>= 1)
 //            u64 config digest   verdictStoreConfigDigest at save time
-//            u64 entry count
-//            u64 payload hash    FNV-1a over the payload bytes
-//   payload  per verdict entry:
+//            u64 verdict total   sum of the index's verdict counts
+//            u64 triage total    sum of the index's triage counts
+//            u64 index hash      FNV-1a over the S * 40 index bytes
+//   index    S records, 40 bytes each:
+//            u64 offset          absolute, PageBytes-aligned
+//            u64 bytes           shard payload size (padding excluded)
+//            u64 verdict count, u64 triage count
+//            u64 payload hash    FNV-1a over the shard payload
+//   shards   at their offsets, zero-padded up to the next shard; the file
+//            ends exactly at the last shard's final payload byte, so both
+//            truncation and appended garbage break the size equation.
+//
+// Entries are partitioned by hashing the key's Config field (which folds in
+// the per-module globals digest), so one module's verdicts form one shard
+// and a reader probing for one module touches one shard's pages. Layout is
+// fully deterministic: shard count derives from the entry count, offsets
+// are forced to the canonical packing, entries sort by key within a shard.
+//
+// Shard payload:  <verdict entries> <triage entries>  (counts in the index)
+//   per verdict entry:
 //            u64 fpA, u64 fpB, u64 config
 //            u8  flags           bit0 Validated, bit1 Unsupported,
 //                                bit2 EqualOnConstruction
 //            u64 graph nodes, live nodes, rewrites, sharing merges,
 //                iterations, microseconds
 //            u32 reason length + raw bytes
-//   then (v2) the triage section, still inside the checksummed payload:
-//            u64 triage entry count
-//            per triage entry:
+//   per triage entry:
 //            u64 fpA, u64 fpB, u64 config, u64 options digest
 //            u8  classification
 //            u8  flags           bit0 Reduced, bit1 ReduceMinimal,
@@ -34,6 +49,11 @@
 //            6 strings (u32 length + bytes each): witness divergence,
 //                reduced orig, reduced opt, gap node a, gap node b,
 //                missing rule
+//
+// v2 (still read, rewritten as v3 on the next save) was one flat payload:
+// the same header magic/version, then u32 reserved, u64 config digest,
+// u64 entry count, u64 payload hash, the verdict entries, a u64 triage
+// count, and the triage entries — all behind a single whole-payload hash.
 //
 //===----------------------------------------------------------------------===//
 
@@ -51,6 +71,7 @@
 #ifndef _WIN32
 #include <fcntl.h>
 #include <sys/file.h>
+#include <sys/mman.h>
 #include <unistd.h>
 #endif
 
@@ -72,7 +93,34 @@ uint64_t llvmmd::verdictStoreConfigDigest(const RuleConfig &Rules) {
 namespace {
 
 constexpr uint64_t StoreMagic = 0x0152545356444d4cULL; // "LMDVSTR\x01" LE
-constexpr size_t HeaderSize = 8 + 4 + 4 + 8 + 8 + 8;
+constexpr uint32_t LegacyVersion2 = 2;
+// magic + version + shard count + digest + verdict total + triage total +
+// index hash.
+constexpr size_t HeaderSizeV3 = 8 + 4 + 4 + 8 + 8 + 8 + 8;
+constexpr size_t IndexRecordSize = 8 + 8 + 8 + 8 + 8;
+
+size_t alignToPage(size_t N) {
+  return (N + VerdictStore::PageBytes - 1) & ~(VerdictStore::PageBytes - 1);
+}
+
+/// Deterministic shard count for a store holding \p Entries entries total:
+/// a power of two targeting ~128 entries per shard, clamped to [1, 64] so
+/// small stores stay one page of index + one shard and huge ones do not
+/// drown in padding.
+uint32_t shardCountFor(size_t Entries) {
+  size_t Want = (Entries + 127) / 128;
+  uint32_t S = 1;
+  while (S < Want && S < 64)
+    S <<= 1;
+  return S;
+}
+
+/// Which shard a key lives in. Keyed on Config only: the per-module globals
+/// digest folds into Config, so all of one module's entries land together.
+uint32_t shardFor(uint64_t Config, uint32_t ShardCount) {
+  return static_cast<uint32_t>(hashCombine(0x9e3779b97f4a7c15ULL, Config) &
+                               (ShardCount - 1));
+}
 
 enum ResultFlags : uint8_t {
   RF_Validated = 1u << 0,
@@ -217,6 +265,268 @@ bool readEntry(const char *Data, size_t Size, size_t &Cur, VerdictKey &K,
   return true;
 }
 
+/// Parses one shard payload: \p VerdictCount entries, then \p TriageCount
+/// triage entries, nothing else. The caller has already verified the hash.
+bool parseShardPayload(const char *Data, size_t Size, uint64_t VerdictCount,
+                       uint64_t TriageCount, VerdictMap &V, TriageMap &T) {
+  size_t Cur = 0;
+  V.reserve(V.size() + static_cast<size_t>(VerdictCount));
+  for (uint64_t I = 0; I < VerdictCount; ++I) {
+    VerdictKey K;
+    ValidationResult R;
+    if (!readEntry(Data, Size, Cur, K, R))
+      return false;
+    V.emplace(K, std::move(R));
+  }
+  T.reserve(T.size() + static_cast<size_t>(TriageCount));
+  for (uint64_t I = 0; I < TriageCount; ++I) {
+    VerdictKey K;
+    StoredTriage ST;
+    if (!readTriageEntry(Data, Size, Cur, K, ST))
+      return false;
+    T.emplace(K, std::move(ST));
+  }
+  return Cur == Size;
+}
+
+/// The whole file, mmap'd read-only when the platform allows it and read
+/// into memory otherwise. Either way `data()/size()` view the full bytes;
+/// with mmap the kernel faults pages in only as they are touched, which is
+/// what makes the lazy MappedVerdictStore O(pages touched).
+class FileBuffer {
+public:
+  FileBuffer() = default;
+  FileBuffer(const FileBuffer &) = delete;
+  FileBuffer &operator=(const FileBuffer &) = delete;
+  ~FileBuffer() {
+#ifndef _WIN32
+    if (Mapped)
+      ::munmap(Mapped, Size);
+#endif
+  }
+
+  /// False only when the file cannot be opened (the NoFile case).
+  bool open(const std::string &Path) {
+#ifndef _WIN32
+    int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (Fd < 0)
+      return false;
+    off_t End = ::lseek(Fd, 0, SEEK_END);
+    if (End > 0) {
+      void *M = ::mmap(nullptr, static_cast<size_t>(End), PROT_READ,
+                       MAP_PRIVATE, Fd, 0);
+      if (M != MAP_FAILED) {
+        Mapped = M;
+        Data = static_cast<const char *>(M);
+        Size = static_cast<size_t>(End);
+        ::close(Fd);
+        return true;
+      }
+    }
+    ::close(Fd);
+#endif
+    std::ifstream In(Path, std::ios::binary);
+    if (!In)
+      return false;
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Owned = SS.str();
+    Data = Owned.data();
+    Size = Owned.size();
+    return true;
+  }
+
+  const char *data() const { return Data; }
+  size_t size() const { return Size; }
+
+private:
+  const char *Data = nullptr;
+  size_t Size = 0;
+  std::string Owned;
+#ifndef _WIN32
+  void *Mapped = nullptr;
+#endif
+};
+
+struct ShardRecord {
+  uint64_t Offset = 0;
+  uint64_t Bytes = 0;
+  uint64_t VerdictCount = 0;
+  uint64_t TriageCount = 0;
+  uint64_t PayloadHash = 0;
+};
+
+struct StoreIndex {
+  uint64_t ConfigDigest = 0;
+  uint64_t VerdictTotal = 0;
+  uint64_t TriageTotal = 0;
+  std::vector<ShardRecord> Shards;
+};
+
+/// Reads the magic and version. Returns Loaded when \p Version is one this
+/// build can read (the caller dispatches), an error status otherwise.
+VerdictStore::LoadStatus readMagicAndVersion(const char *Data, size_t Size,
+                                             const std::string &Path,
+                                             uint32_t &Version,
+                                             std::string &Message) {
+  size_t Cur = 0;
+  uint64_t Magic = 0;
+  if (!readU64LE(Data, Size, Cur, Magic) ||
+      !readU32LE(Data, Size, Cur, Version)) {
+    Message = "truncated header";
+    return VerdictStore::LoadStatus::Corrupt;
+  }
+  if (Magic != StoreMagic) {
+    Message = "'" + Path + "' is not a verdict store";
+    return VerdictStore::LoadStatus::BadMagic;
+  }
+  if (Version != VerdictStore::FormatVersion && Version != LegacyVersion2) {
+    Message = "format version " + std::to_string(Version) +
+              " (this build reads " +
+              std::to_string(VerdictStore::FormatVersion) + " and " +
+              std::to_string(LegacyVersion2) + ")";
+    return VerdictStore::LoadStatus::BadVersion;
+  }
+  return VerdictStore::LoadStatus::Loaded;
+}
+
+/// Parses and validates a v3 header + shard index (magic/version already
+/// read): index hash, canonical offsets, exact file size, count totals.
+/// Everything here is O(index); shard payload hashes are NOT checked.
+VerdictStore::LoadStatus parseV3Index(const char *Data, size_t Size,
+                                      StoreIndex &Idx, std::string &Message) {
+  size_t Cur = 8 + 4; // past magic + version
+  uint32_t ShardCount = 0;
+  uint64_t IndexHash = 0;
+  if (!readU32LE(Data, Size, Cur, ShardCount) ||
+      !readU64LE(Data, Size, Cur, Idx.ConfigDigest) ||
+      !readU64LE(Data, Size, Cur, Idx.VerdictTotal) ||
+      !readU64LE(Data, Size, Cur, Idx.TriageTotal) ||
+      !readU64LE(Data, Size, Cur, IndexHash)) {
+    Message = "truncated header";
+    return VerdictStore::LoadStatus::Corrupt;
+  }
+  if (ShardCount == 0 || ShardCount > (1u << 20) ||
+      Size - Cur < static_cast<size_t>(ShardCount) * IndexRecordSize) {
+    Message = "truncated shard index";
+    return VerdictStore::LoadStatus::Corrupt;
+  }
+  if (hashBytes(Data + Cur, ShardCount * IndexRecordSize) != IndexHash) {
+    Message = "shard index checksum mismatch";
+    return VerdictStore::LoadStatus::Corrupt;
+  }
+  Idx.Shards.resize(ShardCount);
+  for (ShardRecord &S : Idx.Shards) {
+    readU64LE(Data, Size, Cur, S.Offset);
+    readU64LE(Data, Size, Cur, S.Bytes);
+    readU64LE(Data, Size, Cur, S.VerdictCount);
+    readU64LE(Data, Size, Cur, S.TriageCount);
+    readU64LE(Data, Size, Cur, S.PayloadHash);
+  }
+  // The layout is canonical; anything off-pattern did not come from this
+  // writer and is rejected rather than interpreted.
+  uint64_t VerdictSum = 0, TriageSum = 0;
+  size_t Expect = alignToPage(Cur);
+  for (const ShardRecord &S : Idx.Shards) {
+    if (S.Offset != Expect || S.Offset > Size || S.Bytes > Size - S.Offset) {
+      Message = "shard index out of bounds";
+      return VerdictStore::LoadStatus::Corrupt;
+    }
+    Expect = alignToPage(S.Offset + S.Bytes);
+    VerdictSum += S.VerdictCount;
+    TriageSum += S.TriageCount;
+  }
+  const ShardRecord &Last = Idx.Shards.back();
+  if (Last.Offset + Last.Bytes != Size) {
+    Message = "file size does not match the shard index";
+    return VerdictStore::LoadStatus::Corrupt;
+  }
+  if (VerdictSum != Idx.VerdictTotal || TriageSum != Idx.TriageTotal) {
+    Message = "entry totals do not match the shard index";
+    return VerdictStore::LoadStatus::Corrupt;
+  }
+  return VerdictStore::LoadStatus::Loaded;
+}
+
+/// Full v2 flat-payload parse (magic/version already read). Kept verbatim
+/// from the v2 reader so old stores keep loading byte-for-byte.
+VerdictStore::LoadResult loadV2(const char *Data, size_t Size,
+                                uint64_t ConfigDigest, VerdictMap &Map,
+                                TriageMap *Triage) {
+  VerdictStore::LoadResult LR;
+  size_t Cur = 8 + 4; // past magic + version
+  uint64_t FileDigest = 0, Count = 0, PayloadHash = 0;
+  uint32_t Reserved = 0;
+  if (!readU32LE(Data, Size, Cur, Reserved) ||
+      !readU64LE(Data, Size, Cur, FileDigest) ||
+      !readU64LE(Data, Size, Cur, Count) ||
+      !readU64LE(Data, Size, Cur, PayloadHash)) {
+    LR.Status = VerdictStore::LoadStatus::Corrupt;
+    LR.Message = "truncated header";
+    return LR;
+  }
+  if (FileDigest != ConfigDigest) {
+    LR.Status = VerdictStore::LoadStatus::ConfigMismatch;
+    LR.Message = "store was produced under a different rule configuration";
+    return LR;
+  }
+  LR.EntriesInFile = Count;
+  if (hashBytes(Data + Cur, Size - Cur) != PayloadHash) {
+    LR.Status = VerdictStore::LoadStatus::Corrupt;
+    LR.Message = "payload checksum mismatch";
+    return LR;
+  }
+
+  // Parse into scratch maps first so a malformed payload (count lies, bad
+  // entry bounds) cannot leave Map half-merged.
+  VerdictMap Parsed;
+  Parsed.reserve(static_cast<size_t>(Count));
+  for (uint64_t I = 0; I < Count; ++I) {
+    VerdictKey K;
+    ValidationResult R;
+    if (!readEntry(Data, Size, Cur, K, R)) {
+      LR.Status = VerdictStore::LoadStatus::Corrupt;
+      LR.Message = "truncated at entry " + std::to_string(I) + " of " +
+                   std::to_string(Count);
+      return LR;
+    }
+    Parsed.emplace(K, std::move(R));
+  }
+  uint64_t TriageCount = 0;
+  TriageMap ParsedTriage;
+  if (!readU64LE(Data, Size, Cur, TriageCount)) {
+    LR.Status = VerdictStore::LoadStatus::Corrupt;
+    LR.Message = "truncated triage section header";
+    return LR;
+  }
+  ParsedTriage.reserve(static_cast<size_t>(TriageCount));
+  for (uint64_t I = 0; I < TriageCount; ++I) {
+    VerdictKey K;
+    StoredTriage T;
+    if (!readTriageEntry(Data, Size, Cur, K, T)) {
+      LR.Status = VerdictStore::LoadStatus::Corrupt;
+      LR.Message = "truncated at triage entry " + std::to_string(I) + " of " +
+                   std::to_string(TriageCount);
+      return LR;
+    }
+    ParsedTriage.emplace(K, std::move(T));
+  }
+  if (Cur != Size) {
+    LR.Status = VerdictStore::LoadStatus::Corrupt;
+    LR.Message = "trailing bytes after last entry";
+    return LR;
+  }
+
+  for (auto &KV : Parsed)
+    if (Map.emplace(KV.first, std::move(KV.second)).second)
+      ++LR.EntriesMerged;
+  if (Triage)
+    for (auto &KV : ParsedTriage)
+      Triage->emplace(KV.first, std::move(KV.second));
+  LR.Status = VerdictStore::LoadStatus::Loaded;
+  return LR;
+}
+
 /// Advisory exclusive lock on `Path + ".lock"` held for the save's whole
 /// load-merge-rename sequence. Without it two shards could both load the
 /// same on-disk state and the second rename would silently drop the first
@@ -256,8 +566,10 @@ private:
 std::string VerdictStore::serialize(uint64_t ConfigDigest,
                                     const VerdictMap &Map,
                                     const TriageMap *Triage) {
-  // Deterministic payload: entries sorted by key, so the same map always
-  // serializes to the same bytes regardless of hash-table iteration order.
+  // Deterministic bytes: shard count derives from the entry count, entries
+  // sort by key within their shard, offsets follow the canonical packing —
+  // the same maps always serialize identically regardless of hash-table
+  // iteration order, so stores diff cleanly and CI cache keys are stable.
   auto KeyLess = [](const VerdictKey &KA, const VerdictKey &KB) {
     if (KA.FpA != KB.FpA)
       return KA.FpA < KB.FpA;
@@ -265,45 +577,69 @@ std::string VerdictStore::serialize(uint64_t ConfigDigest,
       return KA.FpB < KB.FpB;
     return KA.Config < KB.Config;
   };
-  std::vector<const VerdictMap::value_type *> Entries;
-  Entries.reserve(Map.size());
+
+  size_t TriageSize = Triage ? Triage->size() : 0;
+  uint32_t ShardCount = shardCountFor(Map.size() + TriageSize);
+
+  std::vector<std::vector<const VerdictMap::value_type *>> Entries(ShardCount);
   for (const auto &KV : Map)
-    Entries.push_back(&KV);
-  std::sort(Entries.begin(), Entries.end(),
-            [&](const auto *A, const auto *B) {
-              return KeyLess(A->first, B->first);
-            });
-
-  std::string Payload;
-  Payload.reserve(Entries.size() * 80);
-  for (const auto *KV : Entries)
-    appendEntry(Payload, KV->first, KV->second);
-
-  // Triage section: always present in a v2 store (possibly empty), sorted
-  // like the verdicts.
-  std::vector<const TriageMap::value_type *> TriageEntries;
-  if (Triage) {
-    TriageEntries.reserve(Triage->size());
+    Entries[shardFor(KV.first.Config, ShardCount)].push_back(&KV);
+  std::vector<std::vector<const TriageMap::value_type *>> TriageEntries(
+      ShardCount);
+  if (Triage)
     for (const auto &KV : *Triage)
-      TriageEntries.push_back(&KV);
-    std::sort(TriageEntries.begin(), TriageEntries.end(),
-              [&](const auto *A, const auto *B) {
-                return KeyLess(A->first, B->first);
-              });
+      TriageEntries[shardFor(KV.first.Config, ShardCount)].push_back(&KV);
+
+  std::vector<std::string> Payloads(ShardCount);
+  std::vector<ShardRecord> Index(ShardCount);
+  for (uint32_t S = 0; S < ShardCount; ++S) {
+    auto ByKey = [&](const auto *A, const auto *B) {
+      return KeyLess(A->first, B->first);
+    };
+    std::sort(Entries[S].begin(), Entries[S].end(), ByKey);
+    std::sort(TriageEntries[S].begin(), TriageEntries[S].end(), ByKey);
+    std::string &P = Payloads[S];
+    P.reserve(Entries[S].size() * 80);
+    for (const auto *KV : Entries[S])
+      appendEntry(P, KV->first, KV->second);
+    for (const auto *KV : TriageEntries[S])
+      appendTriageEntry(P, KV->first, KV->second);
+    Index[S].Bytes = P.size();
+    Index[S].VerdictCount = Entries[S].size();
+    Index[S].TriageCount = TriageEntries[S].size();
+    Index[S].PayloadHash = hashBytes(P.data(), P.size());
   }
-  appendU64LE(Payload, static_cast<uint64_t>(TriageEntries.size()));
-  for (const auto *KV : TriageEntries)
-    appendTriageEntry(Payload, KV->first, KV->second);
+
+  size_t Offset = alignToPage(HeaderSizeV3 + ShardCount * IndexRecordSize);
+  for (uint32_t S = 0; S < ShardCount; ++S) {
+    Index[S].Offset = Offset;
+    Offset = alignToPage(Offset + Index[S].Bytes);
+  }
+
+  std::string IndexBytes;
+  IndexBytes.reserve(ShardCount * IndexRecordSize);
+  for (const ShardRecord &S : Index) {
+    appendU64LE(IndexBytes, S.Offset);
+    appendU64LE(IndexBytes, S.Bytes);
+    appendU64LE(IndexBytes, S.VerdictCount);
+    appendU64LE(IndexBytes, S.TriageCount);
+    appendU64LE(IndexBytes, S.PayloadHash);
+  }
 
   std::string Out;
-  Out.reserve(HeaderSize + Payload.size());
+  Out.reserve(Index.back().Offset + Index.back().Bytes);
   appendU64LE(Out, StoreMagic);
   appendU32LE(Out, FormatVersion);
-  appendU32LE(Out, 0);
+  appendU32LE(Out, ShardCount);
   appendU64LE(Out, ConfigDigest);
-  appendU64LE(Out, static_cast<uint64_t>(Entries.size()));
-  appendU64LE(Out, hashBytes(Payload.data(), Payload.size()));
-  Out += Payload;
+  appendU64LE(Out, static_cast<uint64_t>(Map.size()));
+  appendU64LE(Out, static_cast<uint64_t>(TriageSize));
+  appendU64LE(Out, hashBytes(IndexBytes.data(), IndexBytes.size()));
+  Out += IndexBytes;
+  for (uint32_t S = 0; S < ShardCount; ++S) {
+    Out.resize(Index[S].Offset); // zero padding up to the shard boundary
+    Out += Payloads[S];
+  }
   return Out;
 }
 
@@ -312,94 +648,50 @@ VerdictStore::LoadResult VerdictStore::load(const std::string &Path,
                                             VerdictMap &Map,
                                             TriageMap *Triage) {
   LoadResult LR;
-  std::ifstream In(Path, std::ios::binary);
-  if (!In) {
+  FileBuffer Buf;
+  if (!Buf.open(Path)) {
     LR.Status = LoadStatus::NoFile;
     LR.Message = "no store at '" + Path + "'";
     return LR;
   }
-  std::ostringstream SS;
-  SS << In.rdbuf();
-  std::string Bytes = SS.str();
 
-  size_t Cur = 0;
-  uint64_t Magic = 0, FileDigest = 0, Count = 0, PayloadHash = 0;
-  uint32_t Version = 0, Reserved = 0;
-  if (!readU64LE(Bytes.data(), Bytes.size(), Cur, Magic) ||
-      !readU32LE(Bytes.data(), Bytes.size(), Cur, Version) ||
-      !readU32LE(Bytes.data(), Bytes.size(), Cur, Reserved) ||
-      !readU64LE(Bytes.data(), Bytes.size(), Cur, FileDigest) ||
-      !readU64LE(Bytes.data(), Bytes.size(), Cur, Count) ||
-      !readU64LE(Bytes.data(), Bytes.size(), Cur, PayloadHash)) {
-    LR.Status = LoadStatus::Corrupt;
-    LR.Message = "truncated header";
+  uint32_t Version = 0;
+  LR.Status = readMagicAndVersion(Buf.data(), Buf.size(), Path, Version,
+                                  LR.Message);
+  if (LR.Status != LoadStatus::Loaded)
     return LR;
-  }
-  if (Magic != StoreMagic) {
-    LR.Status = LoadStatus::BadMagic;
-    LR.Message = "'" + Path + "' is not a verdict store";
+  if (Version == LegacyVersion2)
+    return loadV2(Buf.data(), Buf.size(), ConfigDigest, Map, Triage);
+
+  StoreIndex Idx;
+  LR.Status = parseV3Index(Buf.data(), Buf.size(), Idx, LR.Message);
+  if (LR.Status != LoadStatus::Loaded)
     return LR;
-  }
-  if (Version != FormatVersion) {
-    LR.Status = LoadStatus::BadVersion;
-    LR.Message = "format version " + std::to_string(Version) +
-                 " (this build reads " + std::to_string(FormatVersion) + ")";
-    return LR;
-  }
-  if (FileDigest != ConfigDigest) {
+  if (Idx.ConfigDigest != ConfigDigest) {
     LR.Status = LoadStatus::ConfigMismatch;
     LR.Message = "store was produced under a different rule configuration";
     return LR;
   }
-  LR.EntriesInFile = Count;
-  if (hashBytes(Bytes.data() + Cur, Bytes.size() - Cur) != PayloadHash) {
-    LR.Status = LoadStatus::Corrupt;
-    LR.Message = "payload checksum mismatch";
-    return LR;
-  }
+  LR.EntriesInFile = Idx.VerdictTotal;
 
-  // Parse into scratch maps first so a malformed payload (count lies, bad
-  // entry bounds) cannot leave Map half-merged.
+  // Parse every shard into scratch maps first so a malformed one cannot
+  // leave Map half-merged.
   VerdictMap Parsed;
-  Parsed.reserve(static_cast<size_t>(Count));
-  for (uint64_t I = 0; I < Count; ++I) {
-    VerdictKey K;
-    ValidationResult R;
-    if (!readEntry(Bytes.data(), Bytes.size(), Cur, K, R)) {
-      LR.Status = LoadStatus::Corrupt;
-      LR.Message = "truncated at entry " + std::to_string(I) + " of " +
-                   std::to_string(Count);
-      return LR;
-    }
-    Parsed.emplace(K, std::move(R));
-  }
-
-  // The triage section is parsed (and checksummed above) even when the
-  // caller does not want it, so structural corruption there is caught no
-  // matter which half of the store a process uses.
-  uint64_t TriageCount = 0;
   TriageMap ParsedTriage;
-  if (!readU64LE(Bytes.data(), Bytes.size(), Cur, TriageCount)) {
-    LR.Status = LoadStatus::Corrupt;
-    LR.Message = "truncated triage section header";
-    return LR;
-  }
-  ParsedTriage.reserve(static_cast<size_t>(TriageCount));
-  for (uint64_t I = 0; I < TriageCount; ++I) {
-    VerdictKey K;
-    StoredTriage T;
-    if (!readTriageEntry(Bytes.data(), Bytes.size(), Cur, K, T)) {
+  for (size_t S = 0; S < Idx.Shards.size(); ++S) {
+    const ShardRecord &R = Idx.Shards[S];
+    const char *P = Buf.data() + R.Offset;
+    if (hashBytes(P, R.Bytes) != R.PayloadHash) {
       LR.Status = LoadStatus::Corrupt;
-      LR.Message = "truncated at triage entry " + std::to_string(I) + " of " +
-                   std::to_string(TriageCount);
+      LR.Message = "shard " + std::to_string(S) + " checksum mismatch";
       return LR;
     }
-    ParsedTriage.emplace(K, std::move(T));
-  }
-  if (Cur != Bytes.size()) {
-    LR.Status = LoadStatus::Corrupt;
-    LR.Message = "trailing bytes after last entry";
-    return LR;
+    if (!parseShardPayload(P, R.Bytes, R.VerdictCount, R.TriageCount, Parsed,
+                           ParsedTriage)) {
+      LR.Status = LoadStatus::Corrupt;
+      LR.Message = "malformed shard " + std::to_string(S);
+      return LR;
+    }
   }
 
   for (auto &KV : Parsed)
@@ -419,58 +711,64 @@ std::string VerdictStore::shardPath(const std::string &BasePath,
 
 VerdictStore::HeaderInfo VerdictStore::peekHeader(const std::string &Path) {
   HeaderInfo HI;
-  std::ifstream In(Path, std::ios::binary);
-  if (!In) {
+  FileBuffer Buf;
+  if (!Buf.open(Path)) {
     HI.Status = LoadStatus::NoFile;
     HI.Message = "no store at '" + Path + "'";
     return HI;
   }
-  std::ostringstream SS;
-  SS << In.rdbuf();
-  std::string Bytes = SS.str();
-  HI.FileBytes = Bytes.size();
+  HI.FileBytes = Buf.size();
 
-  size_t Cur = 0;
-  uint64_t Magic = 0, PayloadHash = 0;
-  uint32_t Reserved = 0;
-  if (!readU64LE(Bytes.data(), Bytes.size(), Cur, Magic) ||
-      !readU32LE(Bytes.data(), Bytes.size(), Cur, HI.Version) ||
-      !readU32LE(Bytes.data(), Bytes.size(), Cur, Reserved) ||
-      !readU64LE(Bytes.data(), Bytes.size(), Cur, HI.ConfigDigest) ||
-      !readU64LE(Bytes.data(), Bytes.size(), Cur, HI.VerdictEntries) ||
-      !readU64LE(Bytes.data(), Bytes.size(), Cur, PayloadHash)) {
-    HI.Status = LoadStatus::Corrupt;
-    HI.Message = "truncated header";
+  HI.Status = readMagicAndVersion(Buf.data(), Buf.size(), Path, HI.Version,
+                                  HI.Message);
+  if (HI.Status != LoadStatus::Loaded)
+    return HI;
+
+  if (HI.Version == LegacyVersion2) {
+    // v2 has no per-section counts outside the payload, so counting triage
+    // entries needs the full walk; reuse the loader (any digest accepted —
+    // read it out of the header first).
+    size_t Cur = 8 + 4;
+    uint32_t Reserved = 0;
+    if (!readU32LE(Buf.data(), Buf.size(), Cur, Reserved) ||
+        !readU64LE(Buf.data(), Buf.size(), Cur, HI.ConfigDigest)) {
+      HI.Status = LoadStatus::Corrupt;
+      HI.Message = "truncated header";
+      return HI;
+    }
+    VerdictMap Scratch;
+    TriageMap ScratchTriage;
+    LoadResult LR = load(Path, HI.ConfigDigest, Scratch, &ScratchTriage);
+    if (!LR.loaded()) {
+      HI.Status = LR.Status;
+      HI.Message = LR.Message;
+      return HI;
+    }
+    HI.VerdictEntries = LR.EntriesInFile;
+    HI.TriageEntries = ScratchTriage.size();
+    HI.Status = LoadStatus::Loaded;
     return HI;
   }
-  if (Magic != StoreMagic) {
-    HI.Status = LoadStatus::BadMagic;
-    HI.Message = "'" + Path + "' is not a verdict store";
+
+  StoreIndex Idx;
+  HI.Status = parseV3Index(Buf.data(), Buf.size(), Idx, HI.Message);
+  if (HI.Status != LoadStatus::Loaded)
     return HI;
+  // Counts come straight from the verified index — no entry is parsed —
+  // but inspection stays honest about damage: every shard checksum is
+  // still verified (a pure hash pass, no allocation).
+  for (size_t S = 0; S < Idx.Shards.size(); ++S) {
+    const ShardRecord &R = Idx.Shards[S];
+    if (hashBytes(Buf.data() + R.Offset, R.Bytes) != R.PayloadHash) {
+      HI.Status = LoadStatus::Corrupt;
+      HI.Message = "shard " + std::to_string(S) + " checksum mismatch";
+      return HI;
+    }
   }
-  if (HI.Version != FormatVersion) {
-    HI.Status = LoadStatus::BadVersion;
-    HI.Message = "format version " + std::to_string(HI.Version) +
-                 " (this build reads " + std::to_string(FormatVersion) + ")";
-    return HI;
-  }
-  if (hashBytes(Bytes.data() + Cur, Bytes.size() - Cur) != PayloadHash) {
-    HI.Status = LoadStatus::Corrupt;
-    HI.Message = "payload checksum mismatch";
-    return HI;
-  }
-  // The triage count sits after the verdict entries; load() does the full
-  // walk anyway, and a checksummed payload cannot lie about structure, so
-  // reuse it rather than duplicating the entry readers.
-  VerdictMap Scratch;
-  TriageMap ScratchTriage;
-  LoadResult LR = load(Path, HI.ConfigDigest, Scratch, &ScratchTriage);
-  if (!LR.loaded()) {
-    HI.Status = LR.Status;
-    HI.Message = LR.Message;
-    return HI;
-  }
-  HI.TriageEntries = ScratchTriage.size();
+  HI.ShardCount = static_cast<uint32_t>(Idx.Shards.size());
+  HI.ConfigDigest = Idx.ConfigDigest;
+  HI.VerdictEntries = Idx.VerdictTotal;
+  HI.TriageEntries = Idx.TriageTotal;
   HI.Status = LoadStatus::Loaded;
   return HI;
 }
@@ -556,4 +854,124 @@ uint64_t VerdictStore::save(const std::string &Path, uint64_t ConfigDigest,
     }
   }
   return static_cast<uint64_t>(ToWrite->size());
+}
+
+//===----------------------------------------------------------------------===//
+// MappedVerdictStore
+//===----------------------------------------------------------------------===//
+
+struct MappedVerdictStore::Impl {
+  FileBuffer Buf;
+  StoreIndex Idx;
+  struct Shard {
+    bool Materialized = false;
+    VerdictMap V;
+    TriageMap T;
+  };
+  std::vector<Shard> Shards;
+  unsigned MaterializedCount = 0;
+
+  Shard &shardFor(uint64_t Config) {
+    uint32_t S = Idx.Shards.empty()
+                     ? 0
+                     : ::shardFor(Config,
+                                  static_cast<uint32_t>(Idx.Shards.size()));
+    Shard &Sh = Shards[S];
+    if (Sh.Materialized)
+      return Sh;
+    Sh.Materialized = true;
+    ++MaterializedCount;
+    if (!Idx.Shards.empty()) {
+      const ShardRecord &R = Idx.Shards[S];
+      const char *P = Buf.data() + R.Offset;
+      // A shard that fails its checksum (or structure) materializes as
+      // empty: lookups miss and the caller re-proves — wasted work, never
+      // a wrong answer.
+      if (hashBytes(P, R.Bytes) == R.PayloadHash &&
+          !parseShardPayload(P, R.Bytes, R.VerdictCount, R.TriageCount, Sh.V,
+                             Sh.T)) {
+        Sh.V.clear();
+        Sh.T.clear();
+      }
+    }
+    return Sh;
+  }
+};
+
+MappedVerdictStore::MappedVerdictStore() : I(new Impl) {}
+MappedVerdictStore::~MappedVerdictStore() = default;
+
+std::unique_ptr<MappedVerdictStore>
+MappedVerdictStore::open(const std::string &Path, uint64_t ConfigDigest,
+                         VerdictStore::LoadResult *Out) {
+  VerdictStore::LoadResult LR;
+  std::unique_ptr<MappedVerdictStore> M(new MappedVerdictStore());
+  Impl &I = *M->I;
+  auto Fail = [&]() -> std::unique_ptr<MappedVerdictStore> {
+    if (Out)
+      *Out = LR;
+    return nullptr;
+  };
+
+  if (!I.Buf.open(Path)) {
+    LR.Status = VerdictStore::LoadStatus::NoFile;
+    LR.Message = "no store at '" + Path + "'";
+    return Fail();
+  }
+  uint32_t Version = 0;
+  LR.Status = readMagicAndVersion(I.Buf.data(), I.Buf.size(), Path, Version,
+                                  LR.Message);
+  if (LR.Status != VerdictStore::LoadStatus::Loaded)
+    return Fail();
+
+  if (Version == LegacyVersion2) {
+    // Old flat format: no index to be lazy over — materialize everything
+    // up front behind the same interface.
+    I.Shards.resize(1);
+    LR = loadV2(I.Buf.data(), I.Buf.size(), ConfigDigest, I.Shards[0].V,
+                &I.Shards[0].T);
+    if (!LR.loaded())
+      return Fail();
+    I.Idx.VerdictTotal = LR.EntriesInFile;
+    I.Shards[0].Materialized = true;
+    I.MaterializedCount = 1;
+  } else {
+    LR.Status = parseV3Index(I.Buf.data(), I.Buf.size(), I.Idx, LR.Message);
+    if (LR.Status != VerdictStore::LoadStatus::Loaded)
+      return Fail();
+    if (I.Idx.ConfigDigest != ConfigDigest) {
+      LR.Status = VerdictStore::LoadStatus::ConfigMismatch;
+      LR.Message = "store was produced under a different rule configuration";
+      return Fail();
+    }
+    I.Shards.resize(I.Idx.Shards.size());
+    LR.EntriesInFile = I.Idx.VerdictTotal;
+  }
+  if (Out)
+    *Out = LR;
+  return M;
+}
+
+const ValidationResult *MappedVerdictStore::lookup(const VerdictKey &K) {
+  Impl::Shard &S = I->shardFor(K.Config);
+  auto It = S.V.find(K);
+  return It == S.V.end() ? nullptr : &It->second;
+}
+
+const StoredTriage *MappedVerdictStore::lookupTriage(const VerdictKey &K) {
+  Impl::Shard &S = I->shardFor(K.Config);
+  auto It = S.T.find(K);
+  return It == S.T.end() ? nullptr : &It->second;
+}
+
+unsigned MappedVerdictStore::numShards() const {
+  return static_cast<unsigned>(I->Shards.size());
+}
+
+unsigned MappedVerdictStore::shardsMaterialized() const {
+  return I->MaterializedCount;
+}
+
+uint64_t MappedVerdictStore::verdictEntriesInFile() const {
+  return I->Idx.VerdictTotal;
 }

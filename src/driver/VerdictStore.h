@@ -20,13 +20,21 @@
 ///    verdicts proven under different rules. Per-module state (the globals
 ///    digest RS_GlobalFold depends on) is part of every entry's key, so
 ///    entries from other modules are inert rather than wrong.
-///  * the payload is checksummed; a truncated or bit-flipped file loads as
-///    Corrupt, never as a partial cache.
+///  * every shard payload is checksummed and the shard index carries its
+///    own hash; a truncated or bit-flipped file loads as Corrupt, never as
+///    a partial cache.
 ///  * saves are atomic (write temp + rename), merge the current on-disk
 ///    contents first, and serialize against each other via an advisory
 ///    lock on `<path>.lock`, so concurrent shards writing the same path
 ///    union their verdicts (last writer wins per key) instead of
 ///    clobbering or losing each other's updates.
+///  * since v3 the payload is split into page-aligned shards partitioned by
+///    the entry key's Config field — the per-module digest folds into
+///    Config, so one module's verdicts land in one shard. A
+///    MappedVerdictStore mmaps the file (when the platform has mmap) and
+///    materializes shards lazily on first lookup: probing a store for one
+///    module's verdicts touches the index page plus that module's shard
+///    pages, not the whole file.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,6 +45,7 @@
 #include "validator/Validator.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -88,9 +97,14 @@ class VerdictStore {
 public:
   /// On-disk layout version. Bump when the serialized shape changes.
   /// v2 appended the triage section (entries keyed like verdicts, carrying
-  /// the full TriageResult plus its options digest); v1 stores are
-  /// rejected as BadVersion and rebuilt.
-  static constexpr uint32_t FormatVersion = 2;
+  /// the full TriageResult plus its options digest); v3 restructured the
+  /// payload into page-aligned, per-module shards behind an index header.
+  /// v3 is written; v2 is still read (and rewritten as v3 on the next
+  /// save); v1 stores are rejected as BadVersion and rebuilt.
+  static constexpr uint32_t FormatVersion = 3;
+  /// Shard payloads start on multiples of this and the index is sized to
+  /// it, so mapping one shard touches only its own pages.
+  static constexpr size_t PageBytes = 4096;
   /// Folded into every config digest; bump when validator *behavior*
   /// changes in a way old verdicts must not survive (new rules, fingerprint
   /// algorithm changes, ...). Orthogonal to FormatVersion, which only
@@ -150,6 +164,7 @@ public:
   struct HeaderInfo {
     LoadStatus Status = LoadStatus::NoFile;
     uint32_t Version = 0;
+    uint32_t ShardCount = 0; ///< 0 for v2 stores (single flat payload)
     uint64_t ConfigDigest = 0;
     uint64_t VerdictEntries = 0;
     uint64_t TriageEntries = 0;
@@ -160,7 +175,10 @@ public:
 
   /// Reads \p Path's header (any config digest accepted — the caller is
   /// inspecting, not replaying). Status mirrors load(): BadMagic/BadVersion/
-  /// Corrupt on rejection, Loaded when the header and checksum hold.
+  /// Corrupt on rejection, Loaded when the header and checksums hold. For a
+  /// v3 store the entry counts come straight from the index — no entry is
+  /// parsed — but every shard checksum is still verified: inspection stays
+  /// honest about damage.
   static HeaderInfo peekHeader(const std::string &Path);
 
   /// Offline union of \p Inputs into \p OutPath: every input must load
@@ -171,6 +189,48 @@ public:
   static uint64_t mergePaths(const std::vector<std::string> &Inputs,
                              const std::string &OutPath, uint64_t ConfigDigest,
                              std::string *Error = nullptr);
+};
+
+/// Read-only view of a store that materializes shards lazily: open() maps
+/// the file (mmap on POSIX, a plain read elsewhere) and verifies only the
+/// header and shard index; a lookup verifies and parses just the shard its
+/// key hashes to, the first time any key lands there. A warm probe against
+/// an N-module store therefore costs O(index pages + pages of the shards
+/// actually hit), while load() always pays for the whole file.
+///
+/// The config digest is gated at open() exactly like load(). A shard whose
+/// checksum fails materializes as empty (lookups miss; the caller re-proves
+/// — wrong answers are impossible, only wasted work). v2 stores are served
+/// through the same interface by materializing the flat payload eagerly.
+///
+/// Not thread-safe: confine one instance to one thread.
+class MappedVerdictStore {
+public:
+  /// Opens \p Path; returns null (with \p Out describing why, when given)
+  /// unless the header, index, and digest all check out.
+  static std::unique_ptr<MappedVerdictStore>
+  open(const std::string &Path, uint64_t ConfigDigest,
+       VerdictStore::LoadResult *Out = nullptr);
+  ~MappedVerdictStore();
+  MappedVerdictStore(const MappedVerdictStore &) = delete;
+  MappedVerdictStore &operator=(const MappedVerdictStore &) = delete;
+
+  /// The stored verdict for \p K, or null. Materializes K's shard on first
+  /// touch. The pointer lives as long as this object.
+  const ValidationResult *lookup(const VerdictKey &K);
+  /// The stored triage outcome for \p K, or null.
+  const StoredTriage *lookupTriage(const VerdictKey &K);
+
+  unsigned numShards() const;
+  /// How many shards have been verified + parsed so far (the laziness
+  /// observable the tests and benches assert on).
+  unsigned shardsMaterialized() const;
+  uint64_t verdictEntriesInFile() const;
+
+private:
+  MappedVerdictStore();
+  struct Impl;
+  std::unique_ptr<Impl> I;
 };
 
 } // namespace llvmmd

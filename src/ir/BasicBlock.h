@@ -32,7 +32,9 @@ public:
   explicit BasicBlock(std::string Name) : Name(std::move(Name)) {}
   BasicBlock(const BasicBlock &) = delete;
   BasicBlock &operator=(const BasicBlock &) = delete;
-  ~BasicBlock();
+  // Blocks and their instructions are owned by the parent function's body
+  // arena; destruction never frees instructions (the arena does).
+  ~BasicBlock() = default;
 
   const std::string &getName() const { return Name; }
   void setName(std::string N) { Name = std::move(N); }
@@ -69,11 +71,12 @@ public:
     I->setParent(nullptr);
   }
 
-  /// Unlinks and deletes \p I. The instruction must have no remaining uses.
+  /// Unlinks \p I and releases its operand uses. The instruction must have
+  /// no remaining uses. Its storage stays in the function's body arena
+  /// until the body is dropped — erase never frees.
   void erase(Instruction *I) {
     remove(I);
     I->dropAllReferences();
-    delete I;
   }
 
   /// The block terminator, or null if the block is not yet terminated.

@@ -7,45 +7,47 @@
 #include "ir/Cloning.h"
 
 #include "ir/Module.h"
+#include "support/Arena.h"
 
 using namespace llvmmd;
 
-Instruction *llvmmd::cloneInstruction(const Instruction *I) {
+Instruction *llvmmd::cloneInstruction(const Instruction *I, Arena &A) {
   switch (I->getOpcode()) {
   case Opcode::ICmp: {
     const auto *C = cast<ICmpInst>(I);
-    return new ICmpInst(C->getPred(), C->getLHS(), C->getRHS(), C->getType());
+    return A.create<ICmpInst>(C->getPred(), C->getLHS(), C->getRHS(), C->getType());
   }
   case Opcode::FCmp: {
     const auto *C = cast<FCmpInst>(I);
-    return new FCmpInst(C->getPred(), C->getLHS(), C->getRHS(), C->getType());
+    return A.create<FCmpInst>(C->getPred(), C->getLHS(), C->getRHS(), C->getType());
   }
   case Opcode::Trunc:
   case Opcode::ZExt:
   case Opcode::SExt: {
     const auto *C = cast<CastInst>(I);
-    return new CastInst(C->getOpcode(), C->getSrc(), C->getType());
+    return A.create<CastInst>(C->getOpcode(), C->getSrc(), C->getType());
   }
   case Opcode::Select: {
     const auto *S = cast<SelectInst>(I);
-    return new SelectInst(S->getCondition(), S->getTrueValue(),
+    return A.create<SelectInst>(S->getCondition(), S->getTrueValue(),
                           S->getFalseValue());
   }
   case Opcode::Alloca: {
-    const auto *A = cast<AllocaInst>(I);
-    return new AllocaInst(A->getAllocatedType(), A->getCount(), A->getType());
+    const auto *AI = cast<AllocaInst>(I);
+    return A.create<AllocaInst>(AI->getAllocatedType(), AI->getCount(),
+                                AI->getType());
   }
   case Opcode::Load: {
     const auto *L = cast<LoadInst>(I);
-    return new LoadInst(L->getType(), L->getPointer());
+    return A.create<LoadInst>(L->getType(), L->getPointer());
   }
   case Opcode::Store: {
     const auto *S = cast<StoreInst>(I);
-    return new StoreInst(S->getStoredValue(), S->getPointer(), S->getType());
+    return A.create<StoreInst>(S->getStoredValue(), S->getPointer(), S->getType());
   }
   case Opcode::GEP: {
     const auto *G = cast<GEPInst>(I);
-    return new GEPInst(G->getElementType(), G->getBase(), G->getIndex(),
+    return A.create<GEPInst>(G->getElementType(), G->getBase(), G->getIndex(),
                        G->getType());
   }
   case Opcode::Call: {
@@ -53,11 +55,11 @@ Instruction *llvmmd::cloneInstruction(const Instruction *I) {
     std::vector<Value *> Args;
     for (unsigned A = 0, E = C->getNumArgs(); A != E; ++A)
       Args.push_back(C->getArg(A));
-    return new CallInst(C->getCallee(), std::move(Args), C->getType());
+    return A.create<CallInst>(C->getCallee(), std::move(Args), C->getType());
   }
   case Opcode::Phi: {
     const auto *P = cast<PhiNode>(I);
-    auto *NP = new PhiNode(P->getType());
+    auto *NP = A.create<PhiNode>(P->getType());
     for (unsigned K = 0, E = P->getNumIncoming(); K != E; ++K)
       NP->addIncoming(P->getIncomingValue(K), P->getIncomingBlock(K));
     return NP;
@@ -65,19 +67,19 @@ Instruction *llvmmd::cloneInstruction(const Instruction *I) {
   case Opcode::Br: {
     const auto *B = cast<BranchInst>(I);
     if (B->isConditional())
-      return new BranchInst(B->getCondition(), B->getSuccessor(0),
+      return A.create<BranchInst>(B->getCondition(), B->getSuccessor(0),
                             B->getSuccessor(1), B->getType());
-    return new BranchInst(B->getSuccessor(0), B->getType());
+    return A.create<BranchInst>(B->getSuccessor(0), B->getType());
   }
   case Opcode::Ret: {
     const auto *R = cast<ReturnInst>(I);
-    return new ReturnInst(R->getReturnValue(), R->getType());
+    return A.create<ReturnInst>(R->getReturnValue(), R->getType());
   }
   case Opcode::Unreachable:
-    return new UnreachableInst(I->getType());
+    return A.create<UnreachableInst>(I->getType());
   default:
     assert(I->isBinaryOp() && "unhandled opcode in cloneInstruction");
-    return new BinaryOperator(I->getOpcode(), I->getOperand(0),
+    return A.create<BinaryOperator>(I->getOpcode(), I->getOperand(0),
                               I->getOperand(1));
   }
 }
@@ -85,23 +87,24 @@ Instruction *llvmmd::cloneInstruction(const Instruction *I) {
 void llvmmd::cloneFunctionBody(const Function &Src, Function &Dst,
                                std::map<const Value *, Value *> &VMap) {
   assert(Dst.getNumBlocks() == 0 && "destination already has a body");
+  Arena &A = Dst.bodyArena();
   for (unsigned I = 0, E = Src.getNumArgs(); I != E; ++I) {
     VMap[Src.getArg(I)] = Dst.getArg(I);
     Dst.getArg(I)->setName(Src.getArg(I)->getName());
   }
   std::map<const BasicBlock *, BasicBlock *> BMap;
-  for (const auto &BB : Src.blocks())
-    BMap[BB.get()] = Dst.createBlock(BB->getName());
+  for (const BasicBlock *BB : Src.blocks())
+    BMap[BB] = Dst.createBlock(BB->getName());
 
   auto MapValue = [&](Value *V) -> Value * {
     auto It = VMap.find(V);
     return It == VMap.end() ? V : It->second;
   };
 
-  for (const auto &BB : Src.blocks()) {
-    BasicBlock *NewBB = BMap[BB.get()];
+  for (const BasicBlock *BB : Src.blocks()) {
+    BasicBlock *NewBB = BMap[BB];
     for (const Instruction *I : *BB) {
-      Instruction *NI = cloneInstruction(I);
+      Instruction *NI = cloneInstruction(I, A);
       NI->setName(I->getName());
       NewBB->append(NI);
       VMap[I] = NI;
@@ -109,8 +112,8 @@ void llvmmd::cloneFunctionBody(const Function &Src, Function &Dst,
   }
 
   // Remap operands, phi blocks and branch successors.
-  for (const auto &BB : Src.blocks()) {
-    BasicBlock *NewBB = BMap[BB.get()];
+  for (const BasicBlock *BB : Src.blocks()) {
+    BasicBlock *NewBB = BMap[BB];
     for (Instruction *NI : *NewBB) {
       for (unsigned OpI = 0, E = NI->getNumOperands(); OpI != E; ++OpI)
         NI->setOperand(OpI, MapValue(NI->getOperand(OpI)));
@@ -137,6 +140,7 @@ llvmmd::cloneBlocks(Function &F, const std::vector<BasicBlock *> &Blocks,
                     std::map<const Value *, Value *> &VMap,
                     std::map<const BasicBlock *, BasicBlock *> &BMap,
                     const std::string &Suffix) {
+  Arena &A = F.bodyArena();
   std::vector<BasicBlock *> NewBlocks;
   for (BasicBlock *BB : Blocks) {
     BasicBlock *NewBB = F.createBlock(BB->getName() + Suffix);
@@ -146,7 +150,7 @@ llvmmd::cloneBlocks(Function &F, const std::vector<BasicBlock *> &Blocks,
   for (BasicBlock *BB : Blocks) {
     BasicBlock *NewBB = BMap[BB];
     for (const Instruction *I : *BB) {
-      Instruction *NI = cloneInstruction(I);
+      Instruction *NI = cloneInstruction(I, A);
       if (I->hasName())
         NI->setName(I->getName() + Suffix);
       NewBB->append(NI);
@@ -184,24 +188,24 @@ std::unique_ptr<Module> llvmmd::cloneModule(const Module &M) {
   auto New = std::make_unique<Module>(M.getContext(), M.getName());
   std::map<const Value *, Value *> VMap;
 
-  for (const auto &G : M.globals()) {
+  for (const GlobalVariable *G : M.globals()) {
     GlobalVariable *NG = New->createGlobal(G->getValueType(), G->getName(),
                                            G->getInitializer(),
                                            G->isConstantGlobal());
-    VMap[G.get()] = NG;
+    VMap[G] = NG;
   }
-  for (const auto &F : M.functions()) {
+  for (const Function *F : M.functions()) {
     Function *NF = New->createFunction(F->getFunctionType(), F->getName());
     NF->setMemoryEffect(F->getMemoryEffect());
-    VMap[F.get()] = NF;
+    VMap[F] = NF;
   }
-  for (const auto &F : M.functions()) {
+  for (const Function *F : M.functions()) {
     if (F->isDeclaration())
       continue;
     Function *NF = New->getFunction(F->getName());
     cloneFunctionBody(*F, *NF, VMap);
     // Remap globals and callees.
-    for (const auto &BB : NF->blocks()) {
+    for (BasicBlock *BB : NF->blocks()) {
       for (Instruction *I : *BB) {
         for (unsigned OpI = 0, E = I->getNumOperands(); OpI != E; ++OpI) {
           auto It = VMap.find(I->getOperand(OpI));
@@ -220,7 +224,7 @@ std::unique_ptr<Module> llvmmd::cloneModule(const Module &M) {
 }
 
 void llvmmd::remapModuleReferences(Function &F, Module &DstModule) {
-  for (const auto &BB : F.blocks()) {
+  for (BasicBlock *BB : F.blocks()) {
     for (Instruction *I : *BB) {
       for (unsigned OpI = 0, E = I->getNumOperands(); OpI != E; ++OpI)
         if (auto *GV = dyn_cast<GlobalVariable>(I->getOperand(OpI))) {

@@ -21,6 +21,7 @@
 
 namespace llvmmd {
 
+class Arena;
 class BasicBlock;
 class Function;
 class Instruction;
@@ -53,9 +54,10 @@ cloneBlocks(Function &F, const std::vector<BasicBlock *> &Blocks,
             std::map<const BasicBlock *, BasicBlock *> &BMap,
             const std::string &Suffix);
 
-/// Clones one instruction with identical operands (not remapped) and no
-/// parent. Phi incoming blocks and branch successors are copied verbatim.
-Instruction *cloneInstruction(const Instruction *I);
+/// Clones one instruction into \p A (normally the destination function's
+/// body arena) with identical operands (not remapped) and no parent. Phi
+/// incoming blocks and branch successors are copied verbatim.
+Instruction *cloneInstruction(const Instruction *I, Arena &A);
 
 } // namespace llvmmd
 

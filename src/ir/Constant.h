@@ -76,6 +76,7 @@ public:
 
 private:
   friend class Context;
+  friend class Arena;
   ConstantInt(Type *Ty, int64_t Val)
       : Constant(ValueKind::ConstantInt, Ty), Val(Val) {}
 
@@ -93,6 +94,7 @@ public:
 
 private:
   friend class Context;
+  friend class Arena;
   ConstantFP(Type *Ty, double Val)
       : Constant(ValueKind::ConstantFP, Ty), Val(Val) {}
 
@@ -108,6 +110,7 @@ public:
 
 private:
   friend class Context;
+  friend class Arena;
   explicit ConstantPointerNull(Type *PtrTy)
       : Constant(ValueKind::ConstantPointerNull, PtrTy) {}
 };
@@ -121,6 +124,7 @@ public:
 
 private:
   friend class Context;
+  friend class Arena;
   explicit UndefValue(Type *Ty) : Constant(ValueKind::UndefValue, Ty) {}
 };
 

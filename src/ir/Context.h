@@ -19,6 +19,12 @@
 /// primitive and integer types are created eagerly so type queries are
 /// lock-free reads.
 ///
+/// Storage: every interned object (constants, undefs, function types) is
+/// bump-allocated from one context arena behind a dedicated mutex (the
+/// innermost lock — shard locks are always taken first), so tearing down a
+/// Context frees a few slabs instead of one heap object per constant.
+/// Interned pointers live exactly as long as the Context, never longer.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LLVMMD_IR_CONTEXT_H
@@ -26,10 +32,10 @@
 
 #include "ir/Constant.h"
 #include "ir/Type.h"
+#include "support/Arena.h"
 
 #include <cstring>
 #include <map>
-#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -41,8 +47,9 @@ public:
       : VoidTy(TypeKind::Void, 0), FloatTy(TypeKind::Float, 0),
         PtrTy(TypeKind::Pointer, 0), Int1Ty(TypeKind::Integer, 1),
         Int8Ty(TypeKind::Integer, 8), Int16Ty(TypeKind::Integer, 16),
-        Int32Ty(TypeKind::Integer, 32), Int64Ty(TypeKind::Integer, 64),
-        NullPtrConst(new ConstantPointerNull(&PtrTy)) {}
+        Int32Ty(TypeKind::Integer, 32), Int64Ty(TypeKind::Integer, 64) {
+    NullPtrConst = InternArena.create<ConstantPointerNull>(&PtrTy);
+  }
   Context(const Context &) = delete;
   Context &operator=(const Context &) = delete;
 
@@ -78,11 +85,11 @@ public:
     // Function types are created at parse/generation time, not in hot pass
     // loops; a single mutex over the (short) list is enough.
     std::lock_guard<std::mutex> Guard(FunctionTysLock);
-    for (auto &FT : FunctionTys)
+    for (auto *FT : FunctionTys)
       if (FT->getReturnType() == Ret && FT->getParamTypes() == Params)
-        return FT.get();
-    FunctionTys.emplace_back(new FunctionType(Ret, std::move(Params)));
-    return FunctionTys.back().get();
+        return FT;
+    FunctionTys.push_back(arenaCreate<FunctionType>(Ret, std::move(Params)));
+    return FunctionTys.back();
   }
 
   /// Returns the interned integer constant; \p V is canonicalized by sign
@@ -96,9 +103,9 @@ public:
     std::lock_guard<std::mutex> Guard(S.Lock);
     auto It = S.Consts.find(Key);
     if (It != S.Consts.end())
-      return It->second.get();
-    auto *C = new ConstantInt(Ty, Canon);
-    S.Consts.emplace(Key, std::unique_ptr<ConstantInt>(C));
+      return It->second;
+    auto *C = arenaCreate<ConstantInt>(Ty, Canon);
+    S.Consts.emplace(Key, C);
     return C;
   }
 
@@ -115,22 +122,22 @@ public:
     std::lock_guard<std::mutex> Guard(S.Lock);
     auto It = S.Consts.find(Bits);
     if (It != S.Consts.end())
-      return It->second.get();
-    auto *C = new ConstantFP(getFloatTy(), V);
-    S.Consts.emplace(Bits, std::unique_ptr<ConstantFP>(C));
+      return It->second;
+    auto *C = arenaCreate<ConstantFP>(getFloatTy(), V);
+    S.Consts.emplace(Bits, C);
     return C;
   }
 
-  ConstantPointerNull *getNullPtr() { return NullPtrConst.get(); }
+  ConstantPointerNull *getNullPtr() { return NullPtrConst; }
 
   UndefValue *getUndef(Type *Ty) {
     // One undef per type; types are few, so a single shard suffices.
     std::lock_guard<std::mutex> Guard(UndefsLock);
     auto It = Undefs.find(Ty);
     if (It != Undefs.end())
-      return It->second.get();
-    auto *U = new UndefValue(Ty);
-    Undefs.emplace(Ty, std::unique_ptr<UndefValue>(U));
+      return It->second;
+    auto *U = arenaCreate<UndefValue>(Ty);
+    Undefs.emplace(Ty, U);
     return U;
   }
 
@@ -150,14 +157,28 @@ private:
     return static_cast<unsigned>(Key & (NumShards - 1));
   }
 
+  /// Arena allocation behind the arena mutex. The shard/table lock is
+  /// always held first, the arena lock strictly inside it, so lock order
+  /// is total and two shards can still intern at once right up to the
+  /// (pointer-bump) allocation itself.
+  template <typename T, typename... ArgTys> T *arenaCreate(ArgTys &&...Args) {
+    std::lock_guard<std::mutex> Guard(ArenaLock);
+    return InternArena.create<T>(std::forward<ArgTys>(Args)...);
+  }
+
   struct IntShard {
     std::mutex Lock;
-    std::map<std::pair<Type *, int64_t>, std::unique_ptr<ConstantInt>> Consts;
+    std::map<std::pair<Type *, int64_t>, ConstantInt *> Consts;
   };
   struct FPShard {
     std::mutex Lock;
-    std::map<uint64_t, std::unique_ptr<ConstantFP>> Consts;
+    std::map<uint64_t, ConstantFP *> Consts;
   };
+
+  // The arena is declared before every table that points into it, so the
+  // interned objects outlive all raw pointers to them during teardown.
+  Arena InternArena{16 * 1024};
+  std::mutex ArenaLock;
 
   Type VoidTy;
   Type FloatTy;
@@ -168,12 +189,12 @@ private:
   Type Int32Ty;
   Type Int64Ty;
   std::mutex FunctionTysLock;
-  std::vector<std::unique_ptr<FunctionType>> FunctionTys;
+  std::vector<FunctionType *> FunctionTys;
   IntShard IntShards[NumShards];
   FPShard FPShards[NumShards];
-  std::unique_ptr<ConstantPointerNull> NullPtrConst;
+  ConstantPointerNull *NullPtrConst = nullptr;
   std::mutex UndefsLock;
-  std::map<Type *, std::unique_ptr<UndefValue>> Undefs;
+  std::map<Type *, UndefValue *> Undefs;
 };
 
 } // namespace llvmmd

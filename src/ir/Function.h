@@ -9,6 +9,15 @@
 /// model external functions; their attributes (readonly/readnone) are what
 /// the optimizer's "libc knowledge" consists of.
 ///
+/// Ownership: the Function object and its Arguments live in the parent
+/// module's arena (they survive body replacement — reverts and re-clones
+/// keep Argument pointers valid). Blocks and instructions live in the
+/// function's own body arena: `dropBody()` releases the whole body as one
+/// arena reset and recycles the slab, so the stepwise snapshot/revert
+/// cycle re-clones into already-hot memory. Exactly one thread mutates a
+/// function body at a time (the engine's per-function task model), so the
+/// body arena needs no lock.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LLVMMD_IR_FUNCTION_H
@@ -17,8 +26,9 @@
 #include "ir/BasicBlock.h"
 #include "ir/Constant.h"
 #include "ir/Type.h"
+#include "support/Arena.h"
 
-#include <memory>
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -40,13 +50,15 @@ enum class MemoryEffect : uint8_t {
 
 class Function : public Constant {
 public:
-  Function(FunctionType *FTy, std::string Name, Type *PtrTy)
+  /// \p ObjArena owns the Argument objects (the module arena — arguments
+  /// must survive dropBody). Construct through Module::createFunction.
+  Function(FunctionType *FTy, std::string Name, Type *PtrTy, Arena &ObjArena)
       : Constant(ValueKind::Function, PtrTy), FTy(FTy) {
     setName(std::move(Name));
     for (unsigned I = 0, E = FTy->getNumParams(); I != E; ++I) {
-      auto *A = new Argument(FTy->getParamType(I), I);
+      auto *A = ObjArena.create<Argument>(FTy->getParamType(I), I);
       A->setName("arg" + std::to_string(I));
-      Args.emplace_back(A);
+      Args.push_back(A);
     }
   }
   ~Function() override { dropBody(); }
@@ -60,7 +72,7 @@ public:
   unsigned getNumArgs() const { return Args.size(); }
   Argument *getArg(unsigned I) const {
     assert(I < Args.size() && "argument index out of range");
-    return Args[I].get();
+    return Args[I];
   }
 
   MemoryEffect getMemoryEffect() const { return Effect; }
@@ -71,32 +83,37 @@ public:
 
   bool isDeclaration() const { return Blocks.empty(); }
 
-  using BlockListType = std::vector<std::unique_ptr<BasicBlock>>;
+  using BlockListType = std::vector<BasicBlock *>;
+
+  /// The arena holding this function's blocks and instructions. Pointers
+  /// into it die at dropBody(); nothing outside the function may keep them
+  /// across a body replacement.
+  Arena &bodyArena() { return BodyArena; }
 
   BasicBlock *getEntryBlock() const {
     assert(!Blocks.empty() && "declaration has no entry block");
-    return Blocks.front().get();
+    return Blocks.front();
   }
 
   /// Appends a new block with the given name and returns it.
   BasicBlock *createBlock(std::string Name) {
-    auto *BB = new BasicBlock(std::move(Name));
+    auto *BB = BodyArena.create<BasicBlock>(std::move(Name));
     BB->setParent(this);
-    Blocks.emplace_back(BB);
+    Blocks.push_back(BB);
     return BB;
   }
 
-  /// Unlinks and deletes \p BB. Instructions must already be use-free or
-  /// only referenced from within the erased block set (the caller is
-  /// responsible; use dropBlockReferences first when erasing cycles).
+  /// Unlinks \p BB and releases its instructions' operand uses. The block's
+  /// storage stays in the body arena until dropBody. Instructions must
+  /// already be use-free or only referenced from within the erased block
+  /// set (the caller is responsible; use dropBlockReferences first when
+  /// erasing cycles).
   void eraseBlock(BasicBlock *BB) {
-    for (auto It = Blocks.begin(); It != Blocks.end(); ++It) {
-      if (It->get() != BB)
-        continue;
-      Blocks.erase(It);
-      return;
-    }
-    assert(false && "block not in function");
+    auto It = std::find(Blocks.begin(), Blocks.end(), BB);
+    assert(It != Blocks.end() && "block not in function");
+    for (Instruction *I : *BB)
+      I->dropAllReferences();
+    Blocks.erase(It);
   }
 
   const BlockListType &blocks() const { return Blocks; }
@@ -106,17 +123,12 @@ public:
   /// parser to restore textual block order.
   void reorderBlocks(const std::vector<BasicBlock *> &Order) {
     assert(Order.size() == Blocks.size() && "not a permutation");
-    BlockListType NewList;
-    for (BasicBlock *Want : Order) {
-      for (auto &Slot : Blocks) {
-        if (Slot.get() == Want) {
-          NewList.push_back(std::move(Slot));
-          break;
-        }
-      }
-    }
-    assert(NewList.size() == Blocks.size() && "block missing from order");
-    Blocks = std::move(NewList);
+#ifndef NDEBUG
+    for (BasicBlock *Want : Order)
+      assert(std::find(Blocks.begin(), Blocks.end(), Want) != Blocks.end() &&
+             "block missing from order");
+#endif
+    Blocks = Order;
   }
 
   size_t getNumBlocks() const { return Blocks.size(); }
@@ -124,17 +136,20 @@ public:
   /// Total instruction count across all blocks.
   size_t getInstructionCount() const {
     size_t N = 0;
-    for (const auto &BB : Blocks)
+    for (const BasicBlock *BB : Blocks)
       N += BB->size();
     return N;
   }
 
-  /// Deletes all blocks (used on destruction; breaks operand cycles first).
+  /// Releases the whole body in one arena reset: operand cycles are broken
+  /// first, then every block and instruction is destroyed together and the
+  /// slab is recycled for the next body (revert/re-clone hits warm memory).
   void dropBody() {
-    for (auto &BB : Blocks)
+    for (BasicBlock *BB : Blocks)
       for (Instruction *I : *BB)
         I->dropAllReferences();
     Blocks.clear();
+    BodyArena.reset();
   }
 
   static bool classof(const Value *V) {
@@ -144,7 +159,8 @@ public:
 private:
   FunctionType *FTy;
   Module *Parent = nullptr;
-  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<Argument *> Args;
+  Arena BodyArena{4096};
   BlockListType Blocks;
   MemoryEffect Effect = MemoryEffect::ReadWrite;
 };

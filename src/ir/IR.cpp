@@ -217,23 +217,14 @@ CallInst::CallInst(Function *Callee, std::vector<Value *> Args, Type *RetTy)
     addOperand(A);
 }
 
-BasicBlock::~BasicBlock() {
-  // Break mutual references (including phi cycles) before deleting.
-  for (Instruction *I : Insts)
-    I->dropAllReferences();
-  for (Instruction *I : Insts)
-    delete I;
-  Insts.clear();
-}
-
 std::vector<BasicBlock *> BasicBlock::predecessors() const {
   std::vector<BasicBlock *> Out;
   if (!Parent)
     return Out;
-  for (const auto &BB : Parent->blocks()) {
+  for (BasicBlock *BB : Parent->blocks()) {
     for (BasicBlock *Succ : BB->successors()) {
       if (Succ == this) {
-        Out.push_back(BB.get());
+        Out.push_back(BB);
         break;
       }
     }

@@ -38,7 +38,7 @@ public:
 
   Value *createBinary(Opcode Op, Value *L, Value *R,
                       const std::string &Name = "") {
-    return insert(new BinaryOperator(Op, L, R), Name);
+    return insert(arena().create<BinaryOperator>(Op, L, R), Name);
   }
 
   Value *createAdd(Value *L, Value *R, const std::string &Name = "") {
@@ -65,21 +65,21 @@ public:
 
   Value *createICmp(ICmpPred P, Value *L, Value *R,
                     const std::string &Name = "") {
-    return insert(new ICmpInst(P, L, R, Ctx.getInt1Ty()), Name);
+    return insert(arena().create<ICmpInst>(P, L, R, Ctx.getInt1Ty()), Name);
   }
   Value *createFCmp(FCmpPred P, Value *L, Value *R,
                     const std::string &Name = "") {
-    return insert(new FCmpInst(P, L, R, Ctx.getInt1Ty()), Name);
+    return insert(arena().create<FCmpInst>(P, L, R, Ctx.getInt1Ty()), Name);
   }
 
   Value *createCast(Opcode Op, Value *Src, Type *DestTy,
                     const std::string &Name = "") {
-    return insert(new CastInst(Op, Src, DestTy), Name);
+    return insert(arena().create<CastInst>(Op, Src, DestTy), Name);
   }
 
   Value *createSelect(Value *C, Value *T, Value *F,
                       const std::string &Name = "") {
-    return insert(new SelectInst(C, T, F), Name);
+    return insert(arena().create<SelectInst>(C, T, F), Name);
   }
 
   //===------------------------------------------------------------------===//
@@ -90,27 +90,27 @@ public:
                       const std::string &Name = "") {
     if (!Count)
       Count = Ctx.getInt64(1);
-    return insert(new AllocaInst(Ty, Count, Ctx.getPtrTy()), Name);
+    return insert(arena().create<AllocaInst>(Ty, Count, Ctx.getPtrTy()), Name);
   }
 
   Value *createLoad(Type *Ty, Value *Ptr, const std::string &Name = "") {
-    return insert(new LoadInst(Ty, Ptr), Name);
+    return insert(arena().create<LoadInst>(Ty, Ptr), Name);
   }
 
   Instruction *createStore(Value *V, Value *Ptr) {
-    auto *S = new StoreInst(V, Ptr, Ctx.getVoidTy());
+    auto *S = arena().create<StoreInst>(V, Ptr, Ctx.getVoidTy());
     BB->append(S);
     return S;
   }
 
   Value *createGEP(Type *ElemTy, Value *Base, Value *Index,
                    const std::string &Name = "") {
-    return insert(new GEPInst(ElemTy, Base, Index, Ctx.getPtrTy()), Name);
+    return insert(arena().create<GEPInst>(ElemTy, Base, Index, Ctx.getPtrTy()), Name);
   }
 
   Value *createCall(Function *Callee, std::vector<Value *> Args,
                     const std::string &Name = "") {
-    auto *C = new CallInst(Callee, std::move(Args), Callee->getReturnType());
+    auto *C = arena().create<CallInst>(Callee, std::move(Args), Callee->getReturnType());
     if (C->getType()->isVoid()) {
       BB->append(C);
       return C;
@@ -123,7 +123,7 @@ public:
   //===------------------------------------------------------------------===//
 
   PhiNode *createPhi(Type *Ty, const std::string &Name = "") {
-    auto *P = new PhiNode(Ty);
+    auto *P = arena().create<PhiNode>(Ty);
     if (!Name.empty())
       P->setName(Name);
     BB->insert(BB->getFirstNonPhi(), P);
@@ -131,30 +131,38 @@ public:
   }
 
   Instruction *createBr(BasicBlock *Target) {
-    auto *B = new BranchInst(Target, Ctx.getVoidTy());
+    auto *B = arena().create<BranchInst>(Target, Ctx.getVoidTy());
     BB->append(B);
     return B;
   }
 
   Instruction *createCondBr(Value *Cond, BasicBlock *T, BasicBlock *F) {
-    auto *B = new BranchInst(Cond, T, F, Ctx.getVoidTy());
+    auto *B = arena().create<BranchInst>(Cond, T, F, Ctx.getVoidTy());
     BB->append(B);
     return B;
   }
 
   Instruction *createRet(Value *V = nullptr) {
-    auto *R = new ReturnInst(V, Ctx.getVoidTy());
+    auto *R = arena().create<ReturnInst>(V, Ctx.getVoidTy());
     BB->append(R);
     return R;
   }
 
   Instruction *createUnreachable() {
-    auto *U = new UnreachableInst(Ctx.getVoidTy());
+    auto *U = arena().create<UnreachableInst>(Ctx.getVoidTy());
     BB->append(U);
     return U;
   }
 
 private:
+  /// Every instruction is allocated from the insertion block's function
+  /// body arena, so builder-created IR dies with the body it belongs to.
+  Arena &arena() const {
+    assert(BB && "no insertion point set");
+    assert(BB->getParent() && "insertion block not attached to a function");
+    return BB->getParent()->bodyArena();
+  }
+
   Value *insert(Instruction *I, const std::string &Name) {
     if (!Name.empty())
       I->setName(Name);

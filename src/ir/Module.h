@@ -8,6 +8,12 @@
 /// A Module owns global variables and functions, and references a Context
 /// that interns types and constants. The Context must outlive the Module.
 ///
+/// Ownership: functions, their arguments, and globals are bump-allocated
+/// from the module arena — destroying the module is a handful of slab
+/// frees, not one delete per object. Module structure (creating functions
+/// and globals) is mutated sequentially; only function *bodies* are built
+/// concurrently, and those live in each function's own body arena.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LLVMMD_IR_MODULE_H
@@ -15,8 +21,8 @@
 
 #include "ir/Context.h"
 #include "ir/Function.h"
+#include "support/Arena.h"
 
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,67 +36,70 @@ public:
   Module &operator=(const Module &) = delete;
 
   ~Module() {
-    // Drop function bodies before globals are destroyed: instructions hold
-    // operands referencing GlobalVariables, and releasing those references
-    // must not touch already-deleted globals.
-    for (auto &F : Functions)
+    // Drop function bodies before the arena destroys globals and
+    // arguments: instructions hold operands referencing them, and
+    // releasing those references must not touch destroyed values.
+    for (Function *F : Functions)
       F->dropBody();
   }
 
   Context &getContext() const { return Ctx; }
   const std::string &getName() const { return Name; }
 
+  /// The arena owning this module's functions, arguments and globals.
+  Arena &arena() { return MArena; }
+
   /// Creates a function (definition or declaration) owned by this module.
   Function *createFunction(FunctionType *FTy, std::string FnName) {
-    auto *F = new Function(FTy, std::move(FnName), Ctx.getPtrTy());
+    auto *F =
+        MArena.create<Function>(FTy, std::move(FnName), Ctx.getPtrTy(), MArena);
     F->setParent(this);
-    Functions.emplace_back(F);
+    Functions.push_back(F);
     return F;
   }
 
   Function *getFunction(const std::string &FnName) const {
-    for (const auto &F : Functions)
+    for (Function *F : Functions)
       if (F->getName() == FnName)
-        return F.get();
+        return F;
     return nullptr;
   }
 
   GlobalVariable *createGlobal(Type *ValueTy, std::string GName,
                                Constant *Init, bool IsConstant) {
-    auto *G = new GlobalVariable(Ctx.getPtrTy(), ValueTy, std::move(GName),
-                                 Init, IsConstant);
-    Globals.emplace_back(G);
+    auto *G = MArena.create<GlobalVariable>(Ctx.getPtrTy(), ValueTy,
+                                            std::move(GName), Init, IsConstant);
+    Globals.push_back(G);
     return G;
   }
 
   GlobalVariable *getGlobal(const std::string &GName) const {
-    for (const auto &G : Globals)
+    for (GlobalVariable *G : Globals)
       if (G->getName() == GName)
-        return G.get();
+        return G;
     return nullptr;
   }
 
-  const std::vector<std::unique_ptr<Function>> &functions() const {
-    return Functions;
-  }
-  const std::vector<std::unique_ptr<GlobalVariable>> &globals() const {
-    return Globals;
-  }
+  const std::vector<Function *> &functions() const { return Functions; }
+  const std::vector<GlobalVariable *> &globals() const { return Globals; }
 
   /// Functions with bodies (the ones the validator processes).
   std::vector<Function *> definedFunctions() const {
     std::vector<Function *> Out;
-    for (const auto &F : Functions)
+    for (Function *F : Functions)
       if (!F->isDeclaration())
-        Out.push_back(F.get());
+        Out.push_back(F);
     return Out;
   }
 
 private:
   Context &Ctx;
   std::string Name;
-  std::vector<std::unique_ptr<Function>> Functions;
-  std::vector<std::unique_ptr<GlobalVariable>> Globals;
+  // Declared before the pointer lists so the arena (and the objects in it)
+  // outlives them during teardown.
+  Arena MArena;
+  std::vector<Function *> Functions;
+  std::vector<GlobalVariable *> Globals;
 };
 
 } // namespace llvmmd

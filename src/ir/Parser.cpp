@@ -640,6 +640,8 @@ private:
   Instruction *
   parseInstructionBody(BodyState &S, BasicBlock *BB, const std::string &Op,
                        std::vector<std::pair<unsigned, std::string>> &Defer) {
+    // Parsed instructions live in the owning function's body arena.
+    Arena &IArena = BB->getParent()->bodyArena();
     // Binary operators.
     static const std::map<std::string, Opcode> BinOps = {
         {"add", Opcode::Add},   {"sub", Opcode::Sub},
@@ -662,7 +664,7 @@ private:
       Value *R = parseValueRef(S, Ty, nullptr, &Defer, 1);
       if (!R)
         return nullptr;
-      auto *I = new BinaryOperator(BinIt->second, L, R);
+      auto *I = IArena.create<BinaryOperator>(BinIt->second, L, R);
       BB->append(I);
       return I;
     }
@@ -689,7 +691,7 @@ private:
       Value *R = parseValueRef(S, Ty, nullptr, &Defer, 1);
       if (!R)
         return nullptr;
-      auto *I = new ICmpInst(P, L, R, Ctx.getInt1Ty());
+      auto *I = IArena.create<ICmpInst>(P, L, R, Ctx.getInt1Ty());
       BB->append(I);
       return I;
     }
@@ -714,7 +716,7 @@ private:
       Value *R = parseValueRef(S, Ty, nullptr, &Defer, 1);
       if (!R)
         return nullptr;
-      auto *I = new FCmpInst(P, L, R, Ctx.getInt1Ty());
+      auto *I = IArena.create<FCmpInst>(P, L, R, Ctx.getInt1Ty());
       BB->append(I);
       return I;
     }
@@ -729,7 +731,7 @@ private:
       Type *DstTy = parseType();
       if (!DstTy)
         return nullptr;
-      auto *I = new CastInst(CastOp, Src, DstTy);
+      auto *I = IArena.create<CastInst>(CastOp, Src, DstTy);
       BB->append(I);
       return I;
     }
@@ -750,7 +752,7 @@ private:
         error("select arm type mismatch");
         return nullptr;
       }
-      auto *I = new SelectInst(C, T, F);
+      auto *I = IArena.create<SelectInst>(C, T, F);
       BB->append(I);
       return I;
     }
@@ -766,7 +768,7 @@ private:
         if (!Count)
           return nullptr;
       }
-      auto *I = new AllocaInst(Ty, Count, Ctx.getPtrTy());
+      auto *I = IArena.create<AllocaInst>(Ty, Count, Ctx.getPtrTy());
       BB->append(I);
       return I;
     }
@@ -778,7 +780,7 @@ private:
       Value *Ptr = parseValueRef(S, Ctx.getPtrTy(), nullptr, &Defer, 0);
       if (!Ptr)
         return nullptr;
-      auto *I = new LoadInst(Ty, Ptr);
+      auto *I = IArena.create<LoadInst>(Ty, Ptr);
       BB->append(I);
       return I;
     }
@@ -790,7 +792,7 @@ private:
       Value *Ptr = parseValueRef(S, Ctx.getPtrTy(), nullptr, &Defer, 1);
       if (!Ptr)
         return nullptr;
-      auto *I = new StoreInst(V, Ptr, Ctx.getVoidTy());
+      auto *I = IArena.create<StoreInst>(V, Ptr, Ctx.getVoidTy());
       BB->append(I);
       return I;
     }
@@ -805,7 +807,7 @@ private:
       Value *Idx = parseTypedValue(S, &Defer, 1);
       if (!Idx)
         return nullptr;
-      auto *I = new GEPInst(ElemTy, Base, Idx, Ctx.getPtrTy());
+      auto *I = IArena.create<GEPInst>(ElemTy, Base, Idx, Ctx.getPtrTy());
       BB->append(I);
       return I;
     }
@@ -842,7 +844,7 @@ private:
       }
       if (!expect(TokKind::RParen, "')'"))
         return nullptr;
-      auto *I = new CallInst(Callee, std::move(Args), RetTy);
+      auto *I = IArena.create<CallInst>(Callee, std::move(Args), RetTy);
       BB->append(I);
       return I;
     }
@@ -851,7 +853,7 @@ private:
       Type *Ty = parseType();
       if (!Ty)
         return nullptr;
-      auto *P = new PhiNode(Ty);
+      auto *P = IArena.create<PhiNode>(Ty);
       BB->append(P);
       unsigned Idx = 0;
       while (true) {
@@ -889,7 +891,7 @@ private:
         }
         BasicBlock *T = getOrCreateBlock(S, Tok.Text);
         advance();
-        auto *I = new BranchInst(T, Ctx.getVoidTy());
+        auto *I = IArena.create<BranchInst>(T, Ctx.getVoidTy());
         BB->append(I);
         return I;
       }
@@ -912,7 +914,7 @@ private:
       }
       BasicBlock *F = getOrCreateBlock(S, Tok.Text);
       advance();
-      auto *I = new BranchInst(C, T, F, Ctx.getVoidTy());
+      auto *I = IArena.create<BranchInst>(C, T, F, Ctx.getVoidTy());
       BB->append(I);
       return I;
     }
@@ -920,20 +922,20 @@ private:
     if (Op == "ret") {
       if (Tok.Kind == TokKind::Word && Tok.Text == "void") {
         advance();
-        auto *I = new ReturnInst(nullptr, Ctx.getVoidTy());
+        auto *I = IArena.create<ReturnInst>(nullptr, Ctx.getVoidTy());
         BB->append(I);
         return I;
       }
       Value *V = parseTypedValue(S, &Defer, 0);
       if (!V)
         return nullptr;
-      auto *I = new ReturnInst(V, Ctx.getVoidTy());
+      auto *I = IArena.create<ReturnInst>(V, Ctx.getVoidTy());
       BB->append(I);
       return I;
     }
 
     if (Op == "unreachable") {
-      auto *I = new UnreachableInst(Ctx.getVoidTy());
+      auto *I = IArena.create<UnreachableInst>(Ctx.getVoidTy());
       BB->append(I);
       return I;
     }

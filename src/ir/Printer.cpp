@@ -24,7 +24,7 @@ public:
     for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I)
       assign(F.getArg(I));
     for (const auto &BB : F.blocks()) {
-      assignBlock(BB.get());
+      assignBlock(BB);
       for (const Instruction *I : *BB)
         if (!I->getType()->isVoid())
           assign(I);
@@ -229,7 +229,7 @@ public:
     }
     OS << ") {\n";
     for (const auto &BB : F.blocks()) {
-      OS << Names.blockName(BB.get()) << ":\n";
+      OS << Names.blockName(BB) << ":\n";
       for (const Instruction *I : *BB) {
         OS << "  ";
         printInst(OS, I);

@@ -107,6 +107,7 @@ public:
 
 private:
   friend class Context;
+  friend class Arena;
   FunctionType(Type *RetTy, std::vector<Type *> ParamTys)
       : RetTy(RetTy), ParamTys(std::move(ParamTys)) {}
 

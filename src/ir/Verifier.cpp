@@ -43,7 +43,7 @@ private:
       return;
     std::set<const BasicBlock *> InFunction;
     for (const auto &BB : F.blocks())
-      InFunction.insert(BB.get());
+      InFunction.insert(BB);
 
     for (const auto &BB : F.blocks()) {
       if (BB->empty()) {
@@ -65,7 +65,7 @@ private:
         } else {
           SeenNonPhi = true;
         }
-        if (I->getParent() != BB.get())
+        if (I->getParent() != BB)
           report("instruction with wrong parent in '" + BB->getName() + "'");
         for (const Value *Op : I->operands())
           if (!Op)
@@ -107,7 +107,7 @@ private:
       return;
     DominatorTree DT(F);
     for (const auto &BB : F.blocks()) {
-      if (!DT.isReachable(BB.get()))
+      if (!DT.isReachable(BB))
         continue;
       for (const Instruction *I : *BB) {
         if (const auto *P = dyn_cast<PhiNode>(I)) {
@@ -132,7 +132,7 @@ private:
                    BB->getName() + "'");
             continue;
           }
-          if (Def->getParent() == BB.get()) {
+          if (Def->getParent() == BB) {
             // Same block: def must come first.
             bool Found = false;
             for (const Instruction *J : *BB) {
@@ -146,7 +146,7 @@ private:
             if (!Found)
               report("use before def of '" + Def->getName() + "' in '" +
                      BB->getName() + "'");
-          } else if (!DT.dominates(Def->getParent(), BB.get())) {
+          } else if (!DT.dominates(Def->getParent(), BB)) {
             report("definition of '" + Def->getName() +
                    "' does not dominate use in '" + BB->getName() + "'");
           }

@@ -57,15 +57,15 @@ public:
     for (const auto &BB : F.blocks())
       for (Instruction *I : *BB)
         if (!Live.count(I))
-          Dead.push_back({BB.get(), I});
+          Dead.push_back({BB, I});
     if (Dead.empty())
       return false;
     for (auto &[BB, I] : Dead)
       I->dropAllReferences();
     for (auto &[BB, I] : Dead) {
       assert(I->use_empty() && "dead instruction still used by live code");
+      // Unlink only: the body arena reclaims the storage at dropBody.
       BB->remove(I);
-      delete I;
     }
     return true;
   }

@@ -138,8 +138,8 @@ std::string llvmmd::injectBug(Function &F, uint64_t Seed,
     if (const auto *CI = dyn_cast<ConstantInt>(Idx)) {
       Gep->setOperand(1, Ctx.getInt(CI->getType(), CI->getSExtValue() + 1));
     } else {
-      auto *Bump = new BinaryOperator(Opcode::Add, Idx,
-                                      Ctx.getInt(Idx->getType(), 1));
+      auto *Bump = Gep->getFunction()->bodyArena().create<BinaryOperator>(
+          Opcode::Add, Idx, Ctx.getInt(Idx->getType(), 1));
       Bump->setName(Gep->getName() + ".shift");
       BasicBlock *BB = Gep->getParent();
       for (auto It = BB->begin(); It != BB->end(); ++It)
@@ -158,7 +158,8 @@ std::string llvmmd::injectBug(Function &F, uint64_t Seed,
     Value *A = L->getOperand(0);
     Value *B = L->getOperand(1);
     Value *C = M.Target->getOperand(1);
-    auto *Right = new BinaryOperator(M.Target->getOpcode(), B, C);
+    auto *Right = M.Target->getFunction()->bodyArena().create<BinaryOperator>(
+        M.Target->getOpcode(), B, C);
     Right->setName(M.Target->getName() + ".ra");
     BasicBlock *BB = M.Target->getParent();
     for (auto It = BB->begin(); It != BB->end(); ++It)

@@ -48,7 +48,7 @@ public:
             continue;
           }
           if (Instruction *New = combine(I, Ctx)) {
-            BB->insert(findPos(BB.get(), I), New);
+            BB->insert(findPos(BB, I), New);
             New->setName(I->getName());
             I->replaceAllUsesWith(New);
             BB->erase(I);
@@ -83,15 +83,14 @@ private:
     case Opcode::Add:
       // a + a  ==>  shl a, 1   (LLVM prefers the shift; paper §4)
       if (L == R)
-        return new BinaryOperator(Opcode::Shl, L,
-                                  Ctx.getInt(I->getType(), 1));
+        return I->getFunction()->bodyArena().create<BinaryOperator>(
+            Opcode::Shl, L, Ctx.getInt(I->getType(), 1));
       // a + (-k)  ==>  a - k
       if (RC && RC->getSExtValue() < 0 &&
           RC->getSExtValue() != signExtend(int64_t(1) << (RC->getBitWidth() - 1),
                                            RC->getBitWidth()))
-        return new BinaryOperator(Opcode::Sub, L,
-                                  Ctx.getInt(I->getType(),
-                                             -RC->getSExtValue()));
+        return I->getFunction()->bodyArena().create<BinaryOperator>(
+            Opcode::Sub, L, Ctx.getInt(I->getType(), -RC->getSExtValue()));
       return nullptr;
     case Opcode::Mul:
       // a * 2^k  ==>  shl a, k
@@ -100,8 +99,8 @@ private:
         unsigned K = 0;
         while ((uint64_t(1) << K) != V)
           ++K;
-        return new BinaryOperator(Opcode::Shl, L,
-                                  Ctx.getInt(I->getType(), K));
+        return I->getFunction()->bodyArena().create<BinaryOperator>(
+            Opcode::Shl, L, Ctx.getInt(I->getType(), K));
       }
       return nullptr;
     default:

@@ -241,8 +241,8 @@ unsigned llvmmd::removeUnreachableBlocks(Function &F) {
     Reachable.insert(BB);
   std::vector<BasicBlock *> Dead;
   for (const auto &BB : F.blocks())
-    if (!Reachable.count(BB.get()))
-      Dead.push_back(BB.get());
+    if (!Reachable.count(BB))
+      Dead.push_back(BB);
   if (Dead.empty())
     return 0;
 

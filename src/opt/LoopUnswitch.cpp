@@ -110,7 +110,7 @@ private:
           continue;
         if (!DT.dominates(BB, Exiting))
           return false;
-        auto *P = new PhiNode(I->getType());
+        auto *P = I->getFunction()->bodyArena().create<PhiNode>(I->getType());
         P->setName(I->getName() + ".lcssa");
         Exit->insert(Exit->begin(), P);
         P->addIncoming(I, Exiting);
@@ -180,7 +180,7 @@ private:
     auto *ClonedHeader = BMap.at(Header);
     auto *PreBr = cast<BranchInst>(Preheader->getTerminator());
     Preheader->erase(PreBr);
-    Preheader->append(new BranchInst(
+    Preheader->append(F.bodyArena().create<BranchInst>(
         Cond, Header, ClonedHeader,
         F.getParent()->getContext().getVoidTy()));
     return true;

@@ -28,7 +28,7 @@ BasicBlock *llvmmd::ensurePreheader(Function &F, Loop &L) {
     if (Entering.size() == 1) {
       Merged = P->getIncomingValueForBlock(Entering.front());
     } else {
-      auto *NewPhi = new PhiNode(P->getType());
+      auto *NewPhi = F.bodyArena().create<PhiNode>(P->getType());
       NewPhi->setName(P->getName() + ".ph");
       for (BasicBlock *E : Entering)
         NewPhi->addIncoming(P->getIncomingValueForBlock(E), E);
@@ -44,7 +44,7 @@ BasicBlock *llvmmd::ensurePreheader(Function &F, Loop &L) {
     P->addIncoming(Merged, Pre);
   }
 
-  Pre->append(new BranchInst(Header, Ctx.getVoidTy()));
+  Pre->append(F.bodyArena().create<BranchInst>(Header, Ctx.getVoidTy()));
 
   // Redirect entering edges.
   for (BasicBlock *E : Entering) {

@@ -284,7 +284,7 @@ private:
   bool rewrite() {
     bool Changed = false;
     for (const auto &BB : F.blocks()) {
-      if (!ExecutableBlocks.count(BB.get()))
+      if (!ExecutableBlocks.count(BB))
         continue;
       std::vector<Instruction *> Insts(BB->begin(), BB->end());
       for (Instruction *I : Insts) {
@@ -298,20 +298,20 @@ private:
     }
     // Fold branches along non-executable edges.
     for (const auto &BB : F.blocks()) {
-      if (!ExecutableBlocks.count(BB.get()))
+      if (!ExecutableBlocks.count(BB))
         continue;
       auto *Br = dyn_cast_or_null<BranchInst>(BB->getTerminator());
       if (!Br || !Br->isConditional())
         continue;
-      bool TrueLive = isEdgeExecutable(BB.get(), Br->getSuccessor(0));
-      bool FalseLive = isEdgeExecutable(BB.get(), Br->getSuccessor(1));
+      bool TrueLive = isEdgeExecutable(BB, Br->getSuccessor(0));
+      bool FalseLive = isEdgeExecutable(BB, Br->getSuccessor(1));
       if (TrueLive && FalseLive)
         continue;
       BasicBlock *Live = TrueLive ? Br->getSuccessor(0) : Br->getSuccessor(1);
       BasicBlock *Dead = TrueLive ? Br->getSuccessor(1) : Br->getSuccessor(0);
       if (!TrueLive && !FalseLive)
         continue; // block is dead anyway; unreachable removal handles it
-      removePhiEntriesFor(Dead, BB.get());
+      removePhiEntriesFor(Dead, BB);
       Br->makeUnconditional(Live);
       Changed = true;
     }

@@ -52,11 +52,11 @@ private:
         BasicBlock *T = Br->getSuccessor(0);
         // The phi entries for the two copies of the edge collapse to one.
         for (PhiNode *P : T->phis()) {
-          int Idx = P->getBlockIndex(BB.get());
+          int Idx = P->getBlockIndex(BB);
           // Remove one duplicate entry if present twice.
           int Count = 0;
           for (unsigned K = 0; K < P->getNumIncoming(); ++K)
-            if (P->getIncomingBlock(K) == BB.get())
+            if (P->getIncomingBlock(K) == BB)
               ++Count;
           if (Count > 1 && Idx >= 0)
             P->removeIncoming(static_cast<unsigned>(Idx));
@@ -70,7 +70,7 @@ private:
         continue;
       BasicBlock *Live = C->isTrue() ? Br->getSuccessor(0) : Br->getSuccessor(1);
       BasicBlock *Dead = C->isTrue() ? Br->getSuccessor(1) : Br->getSuccessor(0);
-      removePhiEntriesFor(Dead, BB.get());
+      removePhiEntriesFor(Dead, BB);
       Br->makeUnconditional(Live);
       Changed = true;
     }
@@ -85,7 +85,7 @@ private:
     while (Merged) {
       Merged = false;
       for (const auto &BBPtr : F.blocks()) {
-        BasicBlock *BB = BBPtr.get();
+        BasicBlock *BB = BBPtr;
         if (BB == F.getEntryBlock())
           continue;
         std::vector<BasicBlock *> Preds = BB->predecessors();

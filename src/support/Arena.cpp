@@ -1,0 +1,95 @@
+//===- Arena.cpp - Bump-pointer allocation with scoped teardown ----------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+using namespace llvmmd;
+
+Arena::~Arena() {
+  for (DtorNode *N = Dtors; N; N = N->Prev)
+    N->Destroy(N->Obj);
+  Slab *S = Cur;
+  while (S) {
+    Slab *Prev = S->Prev;
+    ::operator delete(S);
+    S = Prev;
+  }
+}
+
+void *Arena::allocate(size_t Bytes, size_t Align) {
+  uintptr_t P = reinterpret_cast<uintptr_t>(BumpPtr);
+  uintptr_t Aligned = (P + Align - 1) & ~static_cast<uintptr_t>(Align - 1);
+  if (!Cur || Aligned + Bytes > reinterpret_cast<uintptr_t>(BumpEnd)) {
+    // Reserve alignment slack so the aligned pointer always fits; an
+    // allocation larger than the growth schedule gets an exact-fit slab.
+    grow(Bytes + Align);
+    P = reinterpret_cast<uintptr_t>(BumpPtr);
+    Aligned = (P + Align - 1) & ~static_cast<uintptr_t>(Align - 1);
+  }
+  BumpPtr = reinterpret_cast<char *>(Aligned + Bytes);
+  BytesAllocated += Bytes;
+  return reinterpret_cast<void *>(Aligned);
+}
+
+void Arena::grow(size_t MinBytes) {
+  size_t Cap = NextSlabBytes;
+  if (Cap < MinBytes)
+    Cap = MinBytes;
+  auto *S = static_cast<Slab *>(::operator new(sizeof(Slab) + Cap));
+  S->Prev = Cur;
+  S->Capacity = Cap;
+  Cur = S;
+  BumpPtr = reinterpret_cast<char *>(S + 1);
+  BumpEnd = BumpPtr + Cap;
+  BytesReserved += Cap;
+  if (NextSlabBytes < MaxSlabBytes) {
+    NextSlabBytes <<= 1;
+    if (NextSlabBytes > MaxSlabBytes)
+      NextSlabBytes = MaxSlabBytes;
+  }
+}
+
+void Arena::reset() {
+  for (DtorNode *N = Dtors; N; N = N->Prev)
+    N->Destroy(N->Obj);
+  Dtors = nullptr;
+
+  // Recycle the largest slab; free the rest. A reset-heavy consumer (the
+  // stepwise snapshot/revert loop) converges to one right-sized slab and
+  // stops allocating.
+  Slab *Keep = nullptr;
+  Slab *S = Cur;
+  while (S) {
+    Slab *Prev = S->Prev;
+    if (!Keep) {
+      Keep = S;
+    } else if (S->Capacity > Keep->Capacity) {
+      BytesReserved -= Keep->Capacity;
+      ::operator delete(Keep);
+      Keep = S;
+    } else {
+      BytesReserved -= S->Capacity;
+      ::operator delete(S);
+    }
+    S = Prev;
+  }
+  Cur = Keep;
+  if (Cur) {
+    Cur->Prev = nullptr;
+    BumpPtr = reinterpret_cast<char *>(Cur + 1);
+    BumpEnd = BumpPtr + Cur->Capacity;
+  } else {
+    BumpPtr = BumpEnd = nullptr;
+  }
+  BytesAllocated = 0;
+}
+
+size_t Arena::numSlabs() const {
+  size_t N = 0;
+  for (Slab *S = Cur; S; S = S->Prev)
+    ++N;
+  return N;
+}

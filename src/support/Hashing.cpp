@@ -85,14 +85,14 @@ uint64_t llvmmd::fingerprintFunction(const Function &F) {
   for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I)
     Num.emplace(F.getArg(I), NextNum++);
   for (const auto &BB : F.blocks()) {
-    BlockNum.emplace(BB.get(), NextNum++);
+    BlockNum.emplace(BB, NextNum++);
     for (const Instruction *I : *BB)
       Num.emplace(I, NextNum++);
   }
 
   // Pass 2: hash every instruction in block order.
   for (const auto &BB : F.blocks()) {
-    H = hashCombine(H, BlockNum[BB.get()]);
+    H = hashCombine(H, BlockNum[BB]);
     for (const Instruction *I : *BB) {
       H = hashCombine(H, static_cast<uint64_t>(I->getOpcode()));
       H = hashCombine(H, hashType(I->getType()));

@@ -85,7 +85,7 @@ void enumerateCuts(const Function &F, uint8_t Side, std::vector<Cut> &Out) {
 bool applyCut(Function &F, const Cut &C) {
   if (C.Block >= F.getNumBlocks())
     return false;
-  BasicBlock *BB = F.blocks()[C.Block].get();
+  BasicBlock *BB = F.blocks()[C.Block];
   if (C.Kind == 2) {
     if (C.Index >= BB->size())
       return false;

@@ -26,9 +26,9 @@
 
 #include "ir/Function.h"
 #include "ir/Type.h"
+#include "support/Arena.h"
 
 #include <cstdint>
-#include <deque>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -202,12 +202,25 @@ private:
   unsigned muUnificationPass();
   unsigned partitionRefinementPass();
 
-  /// A deque, not a vector: interning a node must never invalidate
-  /// references to existing nodes — the normalizer's rewrite rules hold
-  /// `const Node &` to the node being rewritten while creating its
-  /// replacement through getOp/getConstInt, and node() hands such
-  /// references out across the codebase.
-  std::deque<Node> Nodes;
+  /// Arena-backed, pointer-stable node table. Interning a node must never
+  /// invalidate references to existing nodes — the normalizer's rewrite
+  /// rules hold `const Node &` to the node being rewritten while creating
+  /// its replacement through getOp/getConstInt, and node() hands such
+  /// references out across the codebase. Nodes are bump-allocated in
+  /// creation order (normalization walks touch consecutive memory) and
+  /// freed with the graph in a handful of slab releases.
+  class NodeTable {
+  public:
+    Node &operator[](size_t I) { return *Items[I]; }
+    const Node &operator[](size_t I) const { return *Items[I]; }
+    size_t size() const { return Items.size(); }
+    void push_back(Node N) { Items.push_back(A.create<Node>(std::move(N))); }
+
+  private:
+    Arena A{16 * 1024};
+    std::vector<Node *> Items;
+  };
+  NodeTable Nodes;
   mutable std::vector<NodeId> Parent;
   /// Structural hash -> candidate ids (collision bucket). Keys are frozen at
   /// intern time, like the interned nodes' operand lists; later union-find

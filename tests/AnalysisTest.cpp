@@ -21,7 +21,7 @@ namespace {
 BasicBlock *blockNamed(Function *F, const std::string &Name) {
   for (const auto &BB : F->blocks())
     if (BB->getName() == Name)
-      return BB.get();
+      return BB;
   return nullptr;
 }
 

@@ -7,6 +7,7 @@
 #include "TestUtil.h"
 
 #include "ir/Cloning.h"
+#include "support/Arena.h"
 #include "ir/Interpreter.h"
 #include "workload/Generator.h"
 
@@ -104,15 +105,15 @@ j:
 }
 )");
   Function *F = M->getFunction("f");
+  Arena Scratch;
   for (const auto &BB : F->blocks()) {
     for (Instruction *I : *BB) {
-      Instruction *C = cloneInstruction(I);
+      Instruction *C = cloneInstruction(I, Scratch);
       EXPECT_EQ(C->getOpcode(), I->getOpcode());
       EXPECT_EQ(C->getNumOperands(), I->getNumOperands());
       for (unsigned K = 0; K < I->getNumOperands(); ++K)
         EXPECT_EQ(C->getOperand(K), I->getOperand(K));
       C->dropAllReferences();
-      delete C;
     }
   }
 }
@@ -138,7 +139,7 @@ x:
   std::vector<BasicBlock *> LoopBlocks;
   for (const auto &BB : F->blocks())
     if (BB->getName() == "h" || BB->getName() == "b")
-      LoopBlocks.push_back(BB.get());
+      LoopBlocks.push_back(BB);
   std::map<const Value *, Value *> VMap;
   std::map<const BasicBlock *, BasicBlock *> BMap;
   auto Clones = cloneBlocks(*F, LoopBlocks, VMap, BMap, ".c");

@@ -76,9 +76,9 @@ TEST_P(FoldingVsInterpreter, AgreesOnRandomInputs) {
   Module M(Ctx);
   Function *F = M.createFunction(Ctx.getFunctionTy(Ty, {Ty, Ty}), "f");
   BasicBlock *BB = F->createBlock("entry");
-  auto *I = new BinaryOperator(Op, F->getArg(0), F->getArg(1));
+  auto *I = F->bodyArena().create<BinaryOperator>(Op, F->getArg(0), F->getArg(1));
   BB->append(I);
-  BB->append(new ReturnInst(I, Ctx.getVoidTy()));
+  BB->append(F->bodyArena().create<ReturnInst>(I, Ctx.getVoidTy()));
 
   Interpreter Interp(M);
   SplitMixRng Rng(hashCombine(static_cast<uint64_t>(Op), Bits));
@@ -127,9 +127,9 @@ TEST_P(ICmpVsInterpreter, AgreesOnRandomInputs) {
   Function *F =
       M.createFunction(Ctx.getFunctionTy(Ctx.getInt1Ty(), {Ty, Ty}), "f");
   BasicBlock *BB = F->createBlock("entry");
-  auto *I = new ICmpInst(Pred, F->getArg(0), F->getArg(1), Ctx.getInt1Ty());
+  auto *I = F->bodyArena().create<ICmpInst>(Pred, F->getArg(0), F->getArg(1), Ctx.getInt1Ty());
   BB->append(I);
-  BB->append(new ReturnInst(I, Ctx.getVoidTy()));
+  BB->append(F->bodyArena().create<ReturnInst>(I, Ctx.getVoidTy()));
 
   Interpreter Interp(M);
   SplitMixRng Rng(static_cast<uint64_t>(Pred) + 99);

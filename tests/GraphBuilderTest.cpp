@@ -258,11 +258,11 @@ j:
   BasicBlock *T = nullptr, *E = nullptr, *J = nullptr;
   for (const auto &BB : F->blocks()) {
     if (BB->getName() == "t")
-      T = BB.get();
+      T = BB;
     if (BB->getName() == "e")
-      E = BB.get();
+      E = BB;
     if (BB->getName() == "j")
-      J = BB.get();
+      J = BB;
   }
   const GateExpr *GT = GA.getEdgeGate(T, J);
   const GateExpr *GE = GA.getEdgeGate(E, J);

@@ -14,11 +14,13 @@
 #include "driver/ValidationEngine.h"
 #include "driver/VerdictStore.h"
 #include "opt/Pass.h"
+#include "support/Hashing.h"
 #include "workload/Generator.h"
 #include "workload/Profiles.h"
 
 #include "TestUtil.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <thread>
@@ -495,6 +497,214 @@ TEST(VerdictStoreTest, PeekHeaderReportsWithoutReplaying) {
 
   EXPECT_EQ(VerdictStore::peekHeader(F.path() + ".nope").Status,
             VerdictStore::LoadStatus::NoFile);
+}
+
+//===----------------------------------------------------------------------===//
+// v3 sharded layout: index round-trip, lazy mapped lookups, v2 fallback
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A map large enough to force multiple shards, spread over \p Modules
+/// distinct Config values (one per "module").
+VerdictMap makeMultiModuleMap(unsigned Modules, unsigned PerModule) {
+  VerdictMap M;
+  for (unsigned Mod = 0; Mod < Modules; ++Mod)
+    for (unsigned I = 0; I < PerModule; ++I) {
+      VerdictKey K{0x1000 + I, 0x2000 + I, 0xc000 + Mod * 0x9e37};
+      M.emplace(K, makeResult(I % 2 == 0, I, I % 2 ? "" : "r"));
+    }
+  return M;
+}
+
+/// Serializes a map in the retired v2 flat layout, byte-for-byte what the
+/// old writer produced, so the fallback reader has a real artifact to chew
+/// on without keeping binary fixtures in the tree.
+std::string serializeV2(uint64_t ConfigDigest, const VerdictMap &Map) {
+  auto Append64 = [](std::string &S, uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      S.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  };
+  auto Append32 = [](std::string &S, uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      S.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  };
+  std::vector<const VerdictMap::value_type *> Entries;
+  for (const auto &KV : Map)
+    Entries.push_back(&KV);
+  std::sort(Entries.begin(), Entries.end(), [](const auto *A, const auto *B) {
+    if (A->first.FpA != B->first.FpA)
+      return A->first.FpA < B->first.FpA;
+    if (A->first.FpB != B->first.FpB)
+      return A->first.FpB < B->first.FpB;
+    return A->first.Config < B->first.Config;
+  });
+  std::string Payload;
+  for (const auto *KV : Entries) {
+    const VerdictKey &K = KV->first;
+    const ValidationResult &R = KV->second;
+    Append64(Payload, K.FpA);
+    Append64(Payload, K.FpB);
+    Append64(Payload, K.Config);
+    uint8_t Flags = (R.Validated ? 1 : 0) | (R.Unsupported ? 2 : 0) |
+                    (R.EqualOnConstruction ? 4 : 0);
+    Payload.push_back(static_cast<char>(Flags));
+    Append64(Payload, R.GraphNodes);
+    Append64(Payload, R.LiveNodes);
+    Append64(Payload, R.Rewrites);
+    Append64(Payload, R.SharingMerges);
+    Append64(Payload, R.Iterations);
+    Append64(Payload, R.Microseconds);
+    Append32(Payload, static_cast<uint32_t>(R.Reason.size()));
+    Payload += R.Reason;
+  }
+  Append64(Payload, 0); // empty triage section
+  std::string Out;
+  Append64(Out, 0x0152545356444d4cULL); // store magic
+  Append32(Out, 2);                     // the retired version
+  Append32(Out, 0);                     // v2 reserved field
+  Append64(Out, ConfigDigest);
+  Append64(Out, static_cast<uint64_t>(Entries.size()));
+  Append64(Out, hashBytes(Payload.data(), Payload.size()));
+  Out += Payload;
+  return Out;
+}
+
+} // namespace
+
+TEST(VerdictStoreTest, ShardedLayoutRoundTripsAndReportsShards) {
+  TempFile F("sharded.vstore");
+  // 40 modules x 20 entries = 800 entries: multiple shards by construction.
+  VerdictMap Big = makeMultiModuleMap(40, 20);
+  ASSERT_NE(VerdictStore::save(F.path(), 0xd1, Big), ~0ull);
+
+  VerdictStore::HeaderInfo HI = VerdictStore::peekHeader(F.path());
+  ASSERT_TRUE(HI.ok()) << HI.Message;
+  EXPECT_EQ(HI.Version, 3u);
+  EXPECT_GT(HI.ShardCount, 1u) << "800 entries must split into shards";
+  EXPECT_EQ(HI.VerdictEntries, Big.size());
+
+  // Shard payloads start on page boundaries: the file is strictly larger
+  // than the raw entry bytes but every entry still round-trips.
+  VerdictMap Loaded;
+  VerdictStore::LoadResult LR = VerdictStore::load(F.path(), 0xd1, Loaded);
+  ASSERT_TRUE(LR.loaded()) << LR.Message;
+  ASSERT_EQ(Loaded.size(), Big.size());
+  for (const auto &[K, R] : Big) {
+    auto It = Loaded.find(K);
+    ASSERT_NE(It, Loaded.end());
+    EXPECT_EQ(It->second.Rewrites, R.Rewrites);
+    EXPECT_EQ(It->second.Reason, R.Reason);
+  }
+}
+
+TEST(VerdictStoreTest, MappedLookupTouchesOnlyTheKeysShard) {
+  TempFile F("mapped.vstore");
+  VerdictMap Big = makeMultiModuleMap(40, 20);
+  ASSERT_NE(VerdictStore::save(F.path(), 0xd1, Big), ~0ull);
+
+  VerdictStore::LoadResult LR;
+  auto Mapped = MappedVerdictStore::open(F.path(), 0xd1, &LR);
+  ASSERT_NE(Mapped, nullptr) << LR.Message;
+  ASSERT_GT(Mapped->numShards(), 1u);
+  EXPECT_EQ(Mapped->shardsMaterialized(), 0u) << "open must not parse shards";
+  EXPECT_EQ(Mapped->verdictEntriesInFile(), Big.size());
+
+  // Probing one module's keys materializes exactly one shard...
+  VerdictKey First = Big.begin()->first;
+  const ValidationResult *R = Mapped->lookup(First);
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(R->Rewrites, Big.at(First).Rewrites);
+  EXPECT_EQ(Mapped->shardsMaterialized(), 1u);
+  VerdictKey SameModule = First;
+  SameModule.FpA ^= 0xdead; // same Config => same shard, missing key
+  EXPECT_EQ(Mapped->lookup(SameModule), nullptr);
+  EXPECT_EQ(Mapped->shardsMaterialized(), 1u);
+
+  // ...and a full sweep finds everything without a single wrong answer.
+  for (const auto &[K, Want] : Big) {
+    const ValidationResult *Got = Mapped->lookup(K);
+    ASSERT_NE(Got, nullptr);
+    EXPECT_EQ(Got->Rewrites, Want.Rewrites);
+  }
+  EXPECT_LE(Mapped->shardsMaterialized(), Mapped->numShards());
+
+  // Digest gating matches load(): a mismatched open fails cleanly.
+  EXPECT_EQ(MappedVerdictStore::open(F.path(), 0xd2, &LR), nullptr);
+  EXPECT_EQ(LR.Status, VerdictStore::LoadStatus::ConfigMismatch);
+}
+
+TEST(VerdictStoreTest, MappedStoreNeverServesFromACorruptShard) {
+  TempFile F("mapped-corrupt.vstore");
+  VerdictMap Big = makeMultiModuleMap(40, 20);
+  std::string Bytes = VerdictStore::serialize(0xd1, Big);
+  // Flip one byte in the last shard's payload (the file ends inside it).
+  Bytes[Bytes.size() - 3] ^= 0x40;
+  writeBytes(F.path(), Bytes);
+
+  // load() rejects the whole file...
+  VerdictMap Map;
+  EXPECT_EQ(VerdictStore::load(F.path(), 0xd1, Map).Status,
+            VerdictStore::LoadStatus::Corrupt);
+
+  // ...while the mapped view still opens (the index is intact) and serves
+  // healthy shards, but every lookup landing in the damaged shard misses
+  // rather than returning a possibly-torn verdict.
+  VerdictStore::LoadResult LR;
+  auto Mapped = MappedVerdictStore::open(F.path(), 0xd1, &LR);
+  ASSERT_NE(Mapped, nullptr) << LR.Message;
+  unsigned Hits = 0, Misses = 0;
+  for (const auto &[K, Want] : Big) {
+    const ValidationResult *Got = Mapped->lookup(K);
+    if (!Got) {
+      ++Misses;
+      continue;
+    }
+    ++Hits;
+    EXPECT_EQ(Got->Rewrites, Want.Rewrites);
+  }
+  EXPECT_GT(Hits, 0u) << "healthy shards must still serve";
+  EXPECT_GT(Misses, 0u) << "the corrupt shard must refuse to serve";
+}
+
+TEST(VerdictStoreTest, LegacyV2StoresStillLoadAndUpgradeOnSave) {
+  TempFile F("legacy.vstore");
+  VerdictMap Old = makeMap(11);
+  writeBytes(F.path(), serializeV2(0xd1, Old));
+
+  // The v2 reader path: full round-trip, header inspection, mapped view.
+  VerdictMap Loaded;
+  VerdictStore::LoadResult LR = VerdictStore::load(F.path(), 0xd1, Loaded);
+  ASSERT_TRUE(LR.loaded()) << LR.Message;
+  ASSERT_EQ(Loaded.size(), Old.size());
+  for (const auto &[K, R] : Old)
+    EXPECT_EQ(Loaded.at(K).Rewrites, R.Rewrites);
+
+  VerdictStore::HeaderInfo HI = VerdictStore::peekHeader(F.path());
+  ASSERT_TRUE(HI.ok()) << HI.Message;
+  EXPECT_EQ(HI.Version, 2u);
+  EXPECT_EQ(HI.ShardCount, 0u);
+  EXPECT_EQ(HI.VerdictEntries, Old.size());
+
+  auto Mapped = MappedVerdictStore::open(F.path(), 0xd1, &LR);
+  ASSERT_NE(Mapped, nullptr) << LR.Message;
+  EXPECT_EQ(Mapped->lookup(Old.begin()->first)->Rewrites,
+            Old.at(Old.begin()->first).Rewrites);
+
+  // A config-mismatched v2 store is still rejected, not replayed.
+  VerdictMap Denied;
+  EXPECT_EQ(VerdictStore::load(F.path(), 0xd2, Denied).Status,
+            VerdictStore::LoadStatus::ConfigMismatch);
+
+  // Saving over it merges the old entries and rewrites the file as v3.
+  VerdictMap Fresh = makeMap(3, /*Salt=*/7000);
+  EXPECT_EQ(VerdictStore::save(F.path(), 0xd1, Fresh),
+            Old.size() + Fresh.size());
+  HI = VerdictStore::peekHeader(F.path());
+  ASSERT_TRUE(HI.ok()) << HI.Message;
+  EXPECT_EQ(HI.Version, VerdictStore::FormatVersion);
+  EXPECT_GE(HI.ShardCount, 1u);
+  EXPECT_EQ(HI.VerdictEntries, Old.size() + Fresh.size());
 }
 
 TEST(VerdictStoreTest, ShardPathNamingIsStable) {
