@@ -55,6 +55,16 @@
 //     --json [PATH]      write the JSON report to PATH (default stdout);
 //                        deterministic: byte-identical for any --threads
 //     --csv [PATH]       write the CSV report
+//     --timing           include wall-clock and per-phase timing in the
+//                        JSON/CSV reports (breaks byte-identity, which is
+//                        why it is opt-in)
+//     --trace PATH       write a Chrome trace-event JSON file (load in
+//                        chrome://tracing or ui.perfetto.dev) with spans
+//                        for optimize/validate/triage/store phases and,
+//                        in --stepwise mode, one span per pass execution;
+//                        never changes the report bytes
+//     --log-level L      diagnostic log verbosity: debug|info|warn|error|
+//                        off (default warn; LLVMMD_LOG env is the fallback)
 //     --quiet            suppress the text report
 //     --help             print the usage (including the spec grammar)
 //
@@ -68,6 +78,8 @@
 #include "driver/ValidationEngine.h"
 #include "ir/Module.h"
 #include "opt/Pass.h"
+#include "support/Log.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
@@ -146,7 +158,8 @@ void printHelp() {
       "  --rule-mask N, --revert, --triage, --triage-inputs N,\n"
       "  --triage-reduce N, --resubmit N, --cache PATH, --cache-load PATH,\n"
       "  --cache-save PATH, --expect-warm, --print-config-digest,\n"
-      "  --json [PATH], --csv [PATH], --quiet, --help\n"
+      "  --json [PATH], --csv [PATH], --timing, --trace PATH,\n"
+      "  --log-level debug|info|warn|error|off, --quiet, --help\n"
       "  Exit status: 0 all validated, 2 some rejected, 3 --expect-warm\n"
       "  violated, 1 usage or I/O errors.\n",
       moduleSpecHelp());
@@ -162,7 +175,9 @@ int main(int argc, char **argv) {
   std::string Pipeline = getPaperPipeline();
   std::string JsonPath, CsvPath;
   std::string CachePath;
+  std::string TracePath;
   bool EmitJson = false, EmitCsv = false, Quiet = false;
+  bool IncludeTiming = false;
   bool Stepwise = false, AllRules = false, Revert = false;
   bool CacheLoad = false, CacheSave = false, ExpectWarm = false;
   bool PrintConfigDigest = false;
@@ -290,6 +305,20 @@ int main(int argc, char **argv) {
       EmitCsv = true;
       if (const char *V = TakesValue(I))
         CsvPath = V;
+    } else if (std::strcmp(argv[I], "--timing") == 0)
+      IncludeTiming = true;
+    else if (std::strcmp(argv[I], "--trace") == 0 && I + 1 < argc)
+      TracePath = argv[++I];
+    else if (std::strcmp(argv[I], "--log-level") == 0 && I + 1 < argc) {
+      LogLevel L;
+      if (!parseLogLevel(argv[++I], L)) {
+        std::fprintf(stderr,
+                     "error: bad --log-level '%s' "
+                     "(debug|info|warn|error|off)\n",
+                     argv[I]);
+        return 1;
+      }
+      setLogLevel(L);
     } else if (argv[I][0] != '-' || argv[I][1] == '\0') {
       Specs.push_back(parseModuleSpec(argv[I]));
     } else {
@@ -352,6 +381,22 @@ int main(int argc, char **argv) {
   for (ModuleSpec &S : Specs)
     S.Format = Format;
 
+  // Tracing is enabled for the whole run (load through report emission)
+  // and flushed after the reports are out, so an I/O failure on the trace
+  // path cannot cost the validation results.
+  if (!TracePath.empty())
+    traceEnable();
+  auto WriteTrace = [&]() {
+    if (TracePath.empty())
+      return true;
+    std::string Err;
+    if (!traceWriteFile(TracePath, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return false;
+    }
+    return true;
+  };
+
   Context Ctx;
   LoadResult Loaded = loadModules(Ctx, Specs);
   if (!Loaded) {
@@ -385,9 +430,13 @@ int main(int argc, char **argv) {
 
     if (!Quiet)
       std::fputs(suiteToText(Run.Report).c_str(), stdout);
-    if (EmitJson && !writeOrPrint(JsonPath, suiteToJSON(Run.Report)))
+    if (EmitJson &&
+        !writeOrPrint(JsonPath, suiteToJSON(Run.Report, IncludeTiming)))
       return 1;
-    if (EmitCsv && !writeOrPrint(CsvPath, suiteToCSV(Run.Report)))
+    if (EmitCsv &&
+        !writeOrPrint(CsvPath, suiteToCSV(Run.Report, IncludeTiming)))
+      return 1;
+    if (!WriteTrace())
       return 1;
     if (int RC = cacheEpilogue(Engine, CachePath, Quiet, ExpectWarm))
       return RC;
@@ -413,9 +462,12 @@ int main(int argc, char **argv) {
 
   if (!Quiet)
     std::fputs(reportToText(Run.Report).c_str(), stdout);
-  if (EmitJson && !writeOrPrint(JsonPath, reportToJSON(Run.Report)))
+  if (EmitJson &&
+      !writeOrPrint(JsonPath, reportToJSON(Run.Report, IncludeTiming)))
     return 1;
   if (EmitCsv && !writeOrPrint(CsvPath, reportToCSV(Run.Report)))
+    return 1;
+  if (!WriteTrace())
     return 1;
   if (int RC = cacheEpilogue(Engine, CachePath, Quiet, ExpectWarm))
     return RC;

@@ -18,6 +18,14 @@
 //       merge fail (verdicts proven under different rules must never
 //       union). Earlier inputs win per key. Exit 0 on success.
 //
+//   $ ./store_tool --stats PATH...
+//       Per-shard occupancy of each v3 store: entries, triage entries,
+//       payload bytes and checksum health per shard, plus the index-level
+//       totals — the view that answers "is one module's shard hogging the
+//       file" and "which shard did the corruption hit". A v2 store reports
+//       its totals with a no-shards note. Exit 0 iff every file (and every
+//       shard) is healthy.
+//
 //===----------------------------------------------------------------------===//
 
 #include "driver/VerdictStore.h"
@@ -107,6 +115,54 @@ int merge(const std::vector<std::string> &Inputs, const std::string &Out) {
   return 0;
 }
 
+int stats(const std::vector<std::string> &Paths) {
+  int Rc = 0;
+  for (const std::string &P : Paths) {
+    VerdictStore::HeaderInfo HI;
+    std::vector<VerdictStore::ShardStats> Shards =
+        VerdictStore::peekShards(P, &HI);
+    if (HI.Status == VerdictStore::LoadStatus::Loaded && Shards.empty()) {
+      std::printf("%s: v%u digest %016llx verdicts %llu triage %llu "
+                  "(%llu bytes, flat payload — no shards)\n",
+                  P.c_str(), HI.Version,
+                  static_cast<unsigned long long>(HI.ConfigDigest),
+                  static_cast<unsigned long long>(HI.VerdictEntries),
+                  static_cast<unsigned long long>(HI.TriageEntries),
+                  static_cast<unsigned long long>(HI.FileBytes));
+      continue;
+    }
+    if (Shards.empty()) {
+      std::printf("%s: %s%s%s\n", P.c_str(), statusName(HI.Status),
+                  HI.Message.empty() ? "" : " — ", HI.Message.c_str());
+      Rc = 1;
+      continue;
+    }
+    std::printf("%s: v%u digest %016llx, %u shard(s), verdicts %llu "
+                "triage %llu (%llu bytes)\n",
+                P.c_str(), HI.Version,
+                static_cast<unsigned long long>(HI.ConfigDigest),
+                HI.ShardCount,
+                static_cast<unsigned long long>(HI.VerdictEntries),
+                static_cast<unsigned long long>(HI.TriageEntries),
+                static_cast<unsigned long long>(HI.FileBytes));
+    for (size_t S = 0; S < Shards.size(); ++S) {
+      const VerdictStore::ShardStats &SS = Shards[S];
+      std::printf("  shard %zu: verdicts %llu triage %llu, %llu bytes "
+                  "@ offset %llu%s\n",
+                  S, static_cast<unsigned long long>(SS.VerdictEntries),
+                  static_cast<unsigned long long>(SS.TriageEntries),
+                  static_cast<unsigned long long>(SS.Bytes),
+                  static_cast<unsigned long long>(SS.Offset),
+                  SS.ChecksumOk ? "" : " CORRUPT");
+      if (!SS.ChecksumOk)
+        Rc = 1;
+    }
+    if (HI.Status != VerdictStore::LoadStatus::Loaded)
+      Rc = 1;
+  }
+  return Rc;
+}
+
 std::vector<std::string> splitCommas(const std::string &S) {
   std::vector<std::string> Out;
   size_t Start = 0;
@@ -123,7 +179,8 @@ std::vector<std::string> splitCommas(const std::string &S) {
 
 int usage() {
   std::fprintf(stderr, "usage: store_tool --dump PATH...\n"
-                       "       store_tool --merge A,B,C -o OUT\n");
+                       "       store_tool --merge A,B,C -o OUT\n"
+                       "       store_tool --stats PATH...\n");
   return 1;
 }
 
@@ -138,6 +195,13 @@ int main(int argc, char **argv) {
     if (Paths.empty())
       return usage();
     return dump(Paths);
+  }
+
+  if (std::strcmp(argv[1], "--stats") == 0) {
+    std::vector<std::string> Paths(argv + 2, argv + argc);
+    if (Paths.empty())
+      return usage();
+    return stats(Paths);
   }
 
   if (std::strcmp(argv[1], "--merge") == 0) {

@@ -30,6 +30,9 @@
 //     --progress         print one line per streamed function verdict
 //     --expect-warm      exit 3 unless the job replayed 100% warm
 //     --stats            print the daemon's /stats JSON after the job
+//     --metrics          print the daemon's /metrics scrape (Prometheus
+//                        text exposition; against a fleet router this is
+//                        the fleet-wide roll-up) after the job
 //     --shutdown         ask the daemon to shut down (after any job)
 //     --quiet            suppress the text summary
 //
@@ -87,7 +90,8 @@ int main(int argc, char **argv) {
   std::string SuiteNames, JsonPath;
   std::vector<ModuleSpec> Specs;
   bool EmitJson = false, Progress = false, ExpectWarm = false;
-  bool WantStats = false, WantShutdown = false, Quiet = false;
+  bool WantStats = false, WantMetrics = false, WantShutdown = false;
+  bool Quiet = false;
   unsigned FnCount = 0;
   ModuleFormat Format = ModuleFormat::Auto;
   RuleConfig Rules;
@@ -138,6 +142,8 @@ int main(int argc, char **argv) {
       ExpectWarm = true;
     } else if (std::strcmp(argv[I], "--stats") == 0) {
       WantStats = true;
+    } else if (std::strcmp(argv[I], "--metrics") == 0) {
+      WantMetrics = true;
     } else if (std::strcmp(argv[I], "--shutdown") == 0) {
       WantShutdown = true;
     } else if (std::strcmp(argv[I], "--quiet") == 0) {
@@ -205,10 +211,10 @@ int main(int argc, char **argv) {
     Req.Modules.push_back(std::move(M));
   }
   bool HaveJob = !Req.Modules.empty();
-  if (!HaveJob && !WantStats && !WantShutdown) {
+  if (!HaveJob && !WantStats && !WantMetrics && !WantShutdown) {
     std::fprintf(stderr,
-                 "error: nothing to do (need --suite, input files, --stats "
-                 "or --shutdown)\n");
+                 "error: nothing to do (need --suite, input files, --stats, "
+                 "--metrics or --shutdown)\n");
     return 1;
   }
 
@@ -306,6 +312,15 @@ int main(int argc, char **argv) {
       return 1;
     }
     std::fputs(Json.c_str(), stdout);
+  }
+
+  if (WantMetrics) {
+    std::string Text;
+    if (!Client.metrics(&Text, &Error)) {
+      std::fprintf(stderr, "error: metrics failed: %s\n", Error.c_str());
+      return 1;
+    }
+    std::fputs(Text.c_str(), stdout);
   }
 
   if (WantShutdown)

@@ -33,6 +33,9 @@
 //     --no-health-ping   disable the monitor's protocol-level health pings
 //     --print-config-digest
 //                        print the handshake/store config digest and exit
+//     --log-level L      diagnostic log verbosity: debug|info|warn|error|
+//                        off (default warn; LLVMMD_LOG env is the fallback)
+//     --log-json         emit log lines as JSON objects instead of text
 //     --quiet            only errors on stderr
 //
 // Runs until a client sends Shutdown or SIGINT/SIGTERM arrives; either way
@@ -42,6 +45,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "fleet/FleetRouter.h"
+#include "support/Log.h"
 
 #include <csignal>
 #include <cstdio>
@@ -173,6 +177,21 @@ int main(int argc, char **argv) {
       C.HealthPing = false;
     } else if (std::strcmp(argv[I], "--print-config-digest") == 0) {
       PrintDigest = true;
+    } else if (std::strcmp(argv[I], "--log-level") == 0) {
+      const char *V = Value("--log-level");
+      if (!V)
+        return 1;
+      LogLevel L;
+      if (!parseLogLevel(V, L)) {
+        std::fprintf(stderr,
+                     "error: bad --log-level '%s' "
+                     "(debug|info|warn|error|off)\n",
+                     V);
+        return 1;
+      }
+      setLogLevel(L);
+    } else if (std::strcmp(argv[I], "--log-json") == 0) {
+      setLogJSON(true);
     } else if (std::strcmp(argv[I], "--quiet") == 0) {
       Quiet = true;
     } else {

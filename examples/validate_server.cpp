@@ -32,6 +32,12 @@
 //                        (default 1; 0 = only at shutdown)
 //     --print-config-digest
 //                        print the handshake/store config digest and exit
+//     --slow-job-ms N    log a warn-level line for any job slower than N
+//                        milliseconds end-to-end (0 = disabled)
+//     --log-level L      diagnostic log verbosity: debug|info|warn|error|
+//                        off (default warn; LLVMMD_LOG env is the fallback)
+//     --log-json         emit log lines as JSON objects (one per line)
+//                        instead of text — for log shippers
 //     --quiet            only errors on stderr
 //
 // The daemon runs until a client sends a Shutdown frame or it receives
@@ -41,6 +47,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "server/ValidationServer.h"
+#include "support/Log.h"
 
 #include <csignal>
 #include <cstdio>
@@ -136,6 +143,27 @@ int main(int argc, char **argv) {
       C.CheckpointEveryJobs = static_cast<unsigned>(std::atoi(V));
     } else if (std::strcmp(argv[I], "--print-config-digest") == 0) {
       PrintDigest = true;
+    } else if (std::strcmp(argv[I], "--slow-job-ms") == 0) {
+      const char *V = Value("--slow-job-ms");
+      if (!V)
+        return 1;
+      C.SlowJobMicroseconds =
+          static_cast<uint64_t>(std::strtoull(V, nullptr, 10)) * 1000;
+    } else if (std::strcmp(argv[I], "--log-level") == 0) {
+      const char *V = Value("--log-level");
+      if (!V)
+        return 1;
+      LogLevel L;
+      if (!parseLogLevel(V, L)) {
+        std::fprintf(stderr,
+                     "error: bad --log-level '%s' "
+                     "(debug|info|warn|error|off)\n",
+                     V);
+        return 1;
+      }
+      setLogLevel(L);
+    } else if (std::strcmp(argv[I], "--log-json") == 0) {
+      setLogJSON(true);
     } else if (std::strcmp(argv[I], "--quiet") == 0) {
       Quiet = true;
     } else {

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # check.sh - CI entry point: tier-1 verify plus a fig4 smoke run.
 #
-# Usage: scripts/check.sh [--tsan|--asan|--warm|--triage|--serve|--fleet|--llvm|--bench] [build-dir]
+# Usage: scripts/check.sh [--tsan|--asan|--warm|--triage|--serve|--fleet|--llvm|--bench|--obs] [build-dir]
 #
 #   (default)  tier-1 build + ctest, fig4 smoke, engine determinism checks
 #   --tsan     ThreadSanitizer build (CMake preset "tsan") running the
@@ -34,6 +34,15 @@
 #              its BENCH_scaling.json against the committed seed baseline
 #              in bench/baselines/ with bench_compare.py (throughput must
 #              be at least 1.0x the seed)
+#   --obs      local reproduction of the CI observability job: the suite
+#              JSON must be byte-identical with tracing on and off and
+#              across 1/2/8 threads (telemetry must never leak into
+#              reports); the emitted trace must validate as Chrome
+#              trace-event JSON (scripts/check_obs.py); a live server's
+#              /metrics scrape and a two-worker fleet's roll-up must both
+#              validate as Prometheus text exposition, the roll-up carrying
+#              per-worker labels; store_tool --stats must render the
+#              per-shard occupancy of the fleet's checkpointed store
 #   --fleet    local reproduction of the CI fleet job: start the router with
 #              two supervised workers, run the client suite twice (second
 #              pass 100% warm), kill -9 a worker mid-suite and require the
@@ -76,6 +85,10 @@ case "${1:-}" in
   ;;
 --bench)
   MODE=bench
+  shift
+  ;;
+--obs)
+  MODE=obs
   shift
   ;;
 esac
@@ -207,6 +220,93 @@ if [ "$MODE" = serve ]; then
   fi
   echo "check.sh (serve): OK — warm replay over the wire, byte-identical" \
     "to the batch path, clean shutdown"
+  exit 0
+fi
+
+if [ "$MODE" = obs ]; then
+  # The CI observability job, locally. Four invariants:
+  #  1. Telemetry never leaks into reports: suite JSON is byte-identical
+  #     with --trace on and off, and across 1/2/8 threads.
+  #  2. The emitted trace validates as Chrome trace-event JSON with at
+  #     least one span (scripts/check_obs.py trace).
+  #  3. A live daemon's /metrics scrape validates as Prometheus text
+  #     exposition (scripts/check_obs.py prom) and carries server- and
+  #     engine-layer families; the fleet roll-up likewise, with
+  #     per-worker labels on the relabeled worker samples.
+  #  4. store_tool --stats renders the per-shard occupancy of the fleet's
+  #     checkpointed store.
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+  cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target batch_validate validate_server validate_client validate_fleet \
+    store_tool
+  DIR="$(mktemp -d)"
+  DAEMON=""
+  trap '[ -n "$DAEMON" ] && kill "$DAEMON" 2>/dev/null; rm -rf "$DIR"' EXIT
+
+  run_bv() {
+    # 2 = some optimizations unprovable (expected on these profiles).
+    local rc=0
+    "$BUILD_DIR/batch_validate" --suite sqlite,hmmer --quiet "$@" || rc=$?
+    [ "$rc" -eq 0 ] || [ "$rc" -eq 2 ]
+  }
+  run_bv --threads 1 --json "$DIR/t1.json"
+  run_bv --threads 2 --json "$DIR/t2.json" --trace "$DIR/t2.trace.json"
+  run_bv --threads 8 --json "$DIR/t8.json" --trace "$DIR/t8.trace.json"
+  cmp "$DIR/t1.json" "$DIR/t2.json"
+  cmp "$DIR/t1.json" "$DIR/t8.json"
+  python3 "$REPO_ROOT/scripts/check_obs.py" trace "$DIR/t2.trace.json"
+  python3 "$REPO_ROOT/scripts/check_obs.py" trace "$DIR/t8.trace.json"
+
+  run_client() {
+    local rc=0
+    "$BUILD_DIR/validate_client" --connect "$@" || rc=$?
+    [ "$rc" -eq 0 ] || [ "$rc" -eq 2 ]
+  }
+  wait_sock() {
+    for _ in $(seq 1 100); do
+      [ -S "$1" ] && return 0
+      sleep 0.1
+    done
+    echo "$2 did not come up" >&2
+    return 1
+  }
+
+  # A daemon that has served a suite must expose both its own layer and
+  # the engine's counters at /metrics, in valid exposition format.
+  "$BUILD_DIR/validate_server" --listen "$DIR/s.sock" --quiet &
+  DAEMON=$!
+  wait_sock "$DIR/s.sock" "daemon"
+  run_client "$DIR/s.sock" --suite sqlite,hmmer --quiet --json "$DIR/srv.json"
+  run_client "$DIR/s.sock" --metrics --quiet > "$DIR/server.prom"
+  run_client "$DIR/s.sock" --shutdown --quiet
+  wait "$DAEMON"
+  python3 "$REPO_ROOT/scripts/check_obs.py" prom "$DIR/server.prom"
+  grep -q '^llvmmd_server_jobs_completed_total ' "$DIR/server.prom"
+  grep -q '^llvmmd_server_queue_wait_us_count ' "$DIR/server.prom"
+  grep -q '^llvmmd_engine_pairs_validated_total ' "$DIR/server.prom"
+
+  # The fleet roll-up: router-level families plus every worker's samples
+  # relabeled with worker="N", still one valid exposition document.
+  "$BUILD_DIR/validate_fleet" --listen "$DIR/f.sock" --workers 2 \
+    --cache "$DIR/f.vstore" --quiet > "$DIR/fleet.log" &
+  DAEMON=$!
+  wait_sock "$DIR/f.sock" "fleet"
+  run_client "$DIR/f.sock" --suite sqlite,hmmer --quiet --json "$DIR/flt.json"
+  run_client "$DIR/f.sock" --metrics --quiet > "$DIR/fleet.prom"
+  run_client "$DIR/f.sock" --shutdown --quiet
+  wait "$DAEMON"
+  DAEMON=""
+  python3 "$REPO_ROOT/scripts/check_obs.py" prom "$DIR/fleet.prom"
+  grep -q '^llvmmd_fleet_worker_up{worker="0"} 1' "$DIR/fleet.prom"
+  grep -q '^llvmmd_fleet_jobs_completed_total ' "$DIR/fleet.prom"
+  grep -q '^llvmmd_server_jobs_completed_total{worker=' "$DIR/fleet.prom"
+
+  # The drain checkpointed the merged store; --stats must render its
+  # per-shard occupancy (and exit 0: every shard healthy).
+  "$BUILD_DIR/store_tool" --stats "$DIR/f.vstore" | grep -q 'shard 0:'
+
+  echo "check.sh (obs): OK — reports byte-identical with telemetry on/off" \
+    "and across thread counts, trace and /metrics formats validated"
   exit 0
 fi
 

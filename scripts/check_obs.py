@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""check_obs.py - validate the observability output formats. Stdlib only.
+
+Two subcommands, both exiting nonzero with a pointed message on the first
+violation:
+
+  check_obs.py trace FILE
+      FILE must be Chrome trace-event JSON as chrome://tracing and Perfetto
+      accept it: a top-level object with a "traceEvents" list; every event
+      carries name/cat/ph/ts/pid/tid with the right types; complete events
+      (ph == "X") also carry a non-negative integer "dur". Requires at
+      least one event (a suite run that traced nothing is a wiring bug).
+
+  check_obs.py prom FILE
+      FILE must be Prometheus text exposition format: every non-comment
+      line is `name{labels} value`; every sample family is announced by a
+      single # TYPE line appearing before its samples; histogram families
+      emit cumulative _bucket series ending in le="+Inf", plus _sum and
+      _count, with bucket counts non-decreasing and the +Inf bucket equal
+      to _count. Requires at least one llvmmd_-prefixed sample.
+
+Used by scripts/check.sh --obs and the CI observability job.
+"""
+
+import json
+import re
+import sys
+
+
+def fail(msg):
+    print("check_obs: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path, "rb") as f:
+        try:
+            doc = json.load(f)
+        except ValueError as e:
+            fail("%s: not valid JSON: %s" % (path, e))
+    if not isinstance(doc, dict):
+        fail("%s: top level must be an object" % path)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("%s: missing traceEvents list" % path)
+    if not events:
+        fail("%s: traceEvents is empty (tracing produced no spans)" % path)
+    for i, ev in enumerate(events):
+        where = "%s: traceEvents[%d]" % (path, i)
+        if not isinstance(ev, dict):
+            fail("%s: event is not an object" % where)
+        for key, want in (("name", str), ("cat", str), ("ph", str)):
+            if not isinstance(ev.get(key), want):
+                fail("%s: missing or mistyped %r" % (where, key))
+        for key in ("ts", "pid", "tid"):
+            v = ev.get(key)
+            if not isinstance(v, int) or isinstance(v, bool):
+                fail("%s: %r must be an integer" % (where, key))
+        if ev["ph"] == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, int) or isinstance(dur, bool) or dur < 0:
+                fail("%s: complete event needs non-negative integer 'dur'"
+                     % where)
+    print("check_obs: trace OK — %d event(s) in %s" % (len(events), path))
+
+
+# `name{labels} value` — labels optional, value is prometheus float text
+# (digits, inf, or scientific notation; our emitters only write integers).
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(\{[^}]*\})?'
+    r' ([0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?|\+Inf|NaN)$')
+TYPE_RE = re.compile(r'^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) '
+                     r'(counter|gauge|histogram|summary|untyped)$')
+HELP_RE = re.compile(r'^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$')
+LE_RE = re.compile(r'le="([^"]*)"')
+
+
+def labels_minus_le(labels):
+    """Canonical non-le label set: '{a="1",b="2"}' with le dropped, sorted;
+    "" when nothing remains. Series values never contain commas here."""
+    inner = labels.strip("{}")
+    parts = sorted(p for p in inner.split(",")
+                   if p and not p.startswith("le="))
+    return "{%s}" % ",".join(parts) if parts else ""
+
+
+def family_of(name):
+    """Map a sample name to its announced family (strip histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[:-len(suffix)]
+    return name
+
+
+def check_prom(path):
+    with open(path, "r") as f:
+        text = f.read()
+    if text and not text.endswith("\n"):
+        fail("%s: missing trailing newline" % path)
+
+    types = {}      # family -> type string
+    samples = []    # (name, labels-or-"", value, lineno)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        where = "%s:%d" % (path, lineno)
+        if line.startswith("# TYPE "):
+            m = TYPE_RE.match(line)
+            if not m:
+                fail("%s: malformed TYPE line: %r" % (where, line))
+            if m.group(1) in types:
+                fail("%s: duplicate TYPE for %s (families must be grouped)"
+                     % (where, m.group(1)))
+            types[m.group(1)] = m.group(2)
+            continue
+        if line.startswith("# HELP "):
+            if not HELP_RE.match(line):
+                fail("%s: malformed HELP line: %r" % (where, line))
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail("%s: malformed sample line: %r" % (where, line))
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        fam = family_of(name)
+        base_known = fam in types
+        if not base_known and name not in types:
+            fail("%s: sample %s has no preceding # TYPE" % (where, name))
+        samples.append((name, labels, value, lineno))
+
+    llvmmd = [s for s in samples if s[0].startswith("llvmmd_")]
+    if not llvmmd:
+        fail("%s: no llvmmd_-prefixed samples" % path)
+
+    # Histogram consistency: per (family, non-le label set) the cumulative
+    # buckets must be non-decreasing, end in le="+Inf", and match _count.
+    for fam, ftype in sorted(types.items()):
+        if ftype != "histogram":
+            continue
+        series = {}  # other-labels -> {"buckets": [(le, v)], "count": v}
+        for name, labels, value, lineno in samples:
+            if family_of(name) != fam:
+                continue
+            rest = labels_minus_le(labels)
+            entry = series.setdefault(rest, {"buckets": [], "count": None})
+            if name.endswith("_bucket"):
+                le = LE_RE.search(labels)
+                if not le:
+                    fail("%s:%d: %s_bucket without an le label"
+                         % (path, lineno, fam))
+                entry["buckets"].append((le.group(1), int(float(value))))
+            elif name.endswith("_count"):
+                entry["count"] = int(float(value))
+        for rest, entry in series.items():
+            tag = "%s%s" % (fam, rest)
+            buckets = entry["buckets"]
+            if not buckets:
+                fail("%s: histogram %s has no buckets" % (path, tag))
+            if buckets[-1][0] != "+Inf":
+                fail("%s: histogram %s does not end in le=\"+Inf\""
+                     % (path, tag))
+            prev = 0
+            for le, v in buckets:
+                if v < prev:
+                    fail("%s: histogram %s bucket le=%r not cumulative "
+                         "(%d < %d)" % (path, tag, le, v, prev))
+                prev = v
+            if entry["count"] is None:
+                fail("%s: histogram %s missing _count" % (path, tag))
+            if buckets[-1][1] != entry["count"]:
+                fail("%s: histogram %s +Inf bucket %d != _count %d"
+                     % (path, tag, buckets[-1][1], entry["count"]))
+
+    print("check_obs: prom OK — %d sample(s), %d llvmmd family(ies) in %s"
+          % (len(samples),
+             len({family_of(s[0]) for s in llvmmd}), path))
+
+
+def main(argv):
+    if len(argv) != 3 or argv[1] not in ("trace", "prom"):
+        print("usage: check_obs.py {trace|prom} FILE", file=sys.stderr)
+        return 2
+    if argv[1] == "trace":
+        check_trace(argv[2])
+    else:
+        check_prom(argv[2])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -732,11 +732,20 @@ std::string llvmmd::suiteToText(const SuiteReport &S) {
   return OS.str();
 }
 
-std::string llvmmd::suiteToCSV(const SuiteReport &S) {
+std::string llvmmd::suiteToCSV(const SuiteReport &S, bool IncludeTiming) {
   std::ostringstream OS;
   OS << "module," << CSVColumns;
   for (const auto &M : S.Modules)
     emitCSVRows(OS, M, &M.ModuleName);
+  // Opt-in phase wall-time section (blank-line separated, like the
+  // missing-rule roll-up below). Off by default: wall times vary run to
+  // run, and the default CSV must stay byte-identical across thread
+  // counts and telemetry settings.
+  if (IncludeTiming && !S.PhaseMicroseconds.empty()) {
+    OS << "\nphase,wall_us\n";
+    for (const auto &[Phase, Us] : S.PhaseMicroseconds)
+      OS << csvEscape(Phase) << ',' << Us << '\n';
+  }
   // Suite-scale missing-rule roll-up as a second CSV section (blank-line
   // separated), ranked like the paper's "which extension rule pays most"
   // table. Only present when attribution produced anything, so triage-free
@@ -762,6 +771,16 @@ std::string llvmmd::suiteToJSON(const SuiteReport &S, bool IncludeTiming) {
   if (IncludeTiming) {
     OS << "  \"threads\": " << S.Threads << ",\n";
     OS << "  \"wall_us\": " << S.WallMicroseconds << ",\n";
+    if (!S.PhaseMicroseconds.empty()) {
+      OS << "  \"phase_us\": {";
+      bool FirstPhase = true;
+      for (const auto &[Phase, Us] : S.PhaseMicroseconds) {
+        OS << (FirstPhase ? "" : ", ") << '"' << jsonEscape(Phase)
+           << "\": " << Us;
+        FirstPhase = false;
+      }
+      OS << "},\n";
+    }
   }
   OS << "  \"summary\": {";
   OS << "\"modules\": " << S.modules() << ", \"functions\": " << S.total()

@@ -156,6 +156,11 @@ struct SuiteReport {
   bool Stepwise = false;
   unsigned Threads = 1;
   uint64_t WallMicroseconds = 0; ///< end-to-end suite wall time
+  /// Per-phase wall-time breakdown for this run (phase or pass name →
+  /// microseconds), in engine emission order. Opt-in in the emitters
+  /// (IncludeTiming), so default suite output stays byte-identical across
+  /// thread counts and with telemetry on or off.
+  std::vector<std::pair<std::string, uint64_t>> PhaseMicroseconds;
   std::vector<ValidationReport> Modules;
 
   // Roll-up aggregates over all modules.
@@ -182,7 +187,7 @@ std::string suiteToText(const SuiteReport &S);
 
 /// CSV over all modules: the per-module columns prefixed by a `module`
 /// column.
-std::string suiteToCSV(const SuiteReport &S);
+std::string suiteToCSV(const SuiteReport &S, bool IncludeTiming = false);
 
 /// JSON: schema llvmmd-suite-report-v1 with a summary object and the
 /// per-module reports nested under "modules". Deterministic for any thread

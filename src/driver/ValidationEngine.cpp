@@ -10,11 +10,14 @@
 #include "ir/Module.h"
 #include "opt/Pass.h"
 #include "support/Hashing.h"
+#include "support/Log.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
 #include "validator/Validator.h"
 
+#include <atomic>
 #include <cassert>
 #include <chrono>
-#include <cstdio>
 #include <cstring>
 #include <map>
 
@@ -50,6 +53,58 @@ uint64_t nowMicroseconds(std::chrono::steady_clock::time_point Start) {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now() - Start)
       .count();
+}
+
+/// Wall-time of one engine phase; read once when the phase ends.
+class PhaseTimer {
+public:
+  PhaseTimer() : Start(std::chrono::steady_clock::now()) {}
+  uint64_t elapsedUs() const { return nowMicroseconds(Start); }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// Engine-level instruments in the process registry. Registered once;
+/// the references are hot-path-safe (sharded counters).
+struct EngineMetrics {
+  Counter &PairsValidated;
+  Counter &CacheHits;
+  Counter &WarmHits;
+  Counter &SkippedIdentical;
+  Counter &TriageRuns;
+  Histogram &RunUs;
+};
+
+EngineMetrics &engineMetrics() {
+  static EngineMetrics M{
+      telemetry().counter("llvmmd_engine_pairs_validated_total",
+                          "Function pairs validated from scratch"),
+      telemetry().counter("llvmmd_engine_cache_hits_total",
+                          "Verdicts replayed from cache or in-batch dedup"),
+      telemetry().counter("llvmmd_engine_warm_hits_total",
+                          "Cache hits replayed from the persistent store"),
+      telemetry().counter("llvmmd_engine_skipped_identical_total",
+                          "Fingerprint-equal pairs skipped O(1)"),
+      telemetry().counter("llvmmd_engine_triage_runs_total",
+                          "Rejected pairs triaged from scratch"),
+      telemetry().histogram("llvmmd_engine_run_us",
+                            "End-to-end engine run wall time (microseconds)",
+                            defaultLatencyBoundsMicros()),
+  };
+  return M;
+}
+
+/// Merges per-pass wall-time deltas into the accumulated
+/// EngineCacheStats breakdown, keyed by pass name.
+void accumulatePassTime(std::vector<std::pair<std::string, uint64_t>> &Into,
+                        const std::string &Pass, uint64_t Us) {
+  for (auto &KV : Into)
+    if (KV.first == Pass) {
+      KV.second += Us;
+      return;
+    }
+  Into.emplace_back(Pass, Us);
 }
 
 } // namespace
@@ -125,6 +180,10 @@ struct ValidationEngine::ModuleRunState {
   const Module *Orig = nullptr;
   Module *Opt = nullptr;
   bool Stepwise = false;
+  /// Stepwise: shared per-pass wall-time accumulators (one slot per
+  /// pipeline pass, owned by runModules). Concurrent optimize tasks
+  /// fetch_add relaxed; read after the phase barrier.
+  std::atomic<uint64_t> *PassTimesUs = nullptr;
   std::vector<Function *> Defined;
   std::vector<const Function *> Origs;
   /// Stepwise: one snapshot module per function (same Context as the input)
@@ -166,19 +225,20 @@ uint64_t ValidationEngine::storeConfigDigest() const {
 }
 
 VerdictStore::LoadResult ValidationEngine::loadCache() {
+  PhaseTimer Timer;
+  TraceSpan Span("store_load", "store", Cfg.CachePath);
   VerdictMap Loaded;
   TriageMap LoadedTriage;
   VerdictStore::LoadResult LR = VerdictStore::load(
       Cfg.CachePath, storeConfigDigest(), Loaded, &LoadedTriage);
+  Stats.StoreLoadMicroseconds += Timer.elapsedUs();
   if (!LR.loaded()) {
     // Rejections (as opposed to a simply absent store) are safe — the
     // store will be rebuilt — but must be diagnosable: a silently-empty
     // cache surfaces later as a baffling sub-100% replay rate.
     if (LR.Status != VerdictStore::LoadStatus::NoFile)
-      std::fprintf(stderr,
-                   "llvmmd: warning: verdict store '%s' rejected, "
-                   "rebuilding: %s\n",
-                   Cfg.CachePath.c_str(), LR.Message.c_str());
+      logWarn("engine", "verdict store '" + Cfg.CachePath +
+                            "' rejected, rebuilding: " + LR.Message);
     return LR;
   }
   LR.EntriesMerged = 0;
@@ -196,6 +256,8 @@ VerdictStore::LoadResult ValidationEngine::loadCache() {
 }
 
 bool ValidationEngine::saveCache(std::string *Error) {
+  PhaseTimer Timer;
+  TraceSpan Span("store_save", "store", Cfg.CachePath);
   VerdictMap Out;
   Out.reserve(Cache.size());
   for (const auto &KV : Cache)
@@ -212,11 +274,13 @@ bool ValidationEngine::saveCache(std::string *Error) {
     // A swallowed save failure would resurface later as a baffling
     // "replay rate < 100%" on the next warm run; make the I/O error loud
     // even on the automatic save-on-report path.
-    std::fprintf(stderr, "llvmmd: warning: verdict store not saved: %s\n",
-                 (Error ? *Error : LocalError).c_str());
+    logWarn("engine",
+            "verdict store not saved: " + (Error ? *Error : LocalError));
+    Stats.StoreSaveMicroseconds += Timer.elapsedUs();
     return false;
   }
   Stats.StoreSaved = Written;
+  Stats.StoreSaveMicroseconds += Timer.elapsedUs();
   CacheDirty = false;
   return true;
 }
@@ -386,7 +450,16 @@ void ValidationEngine::optimizeFunction(ModuleRunState &S, size_t Fi,
   for (size_t Pi = 0; Pi < Passes.size(); ++Pi) {
     StepReport St;
     St.Pass = Passes[Pi]->getName();
+    uint64_t PassStartUs = traceNowUs();
+    PhaseTimer PassTimer;
     St.Changed = Passes[Pi]->run(*F);
+    if (S.PassTimesUs)
+      S.PassTimesUs[Pi].fetch_add(PassTimer.elapsedUs(),
+                                  std::memory_order_relaxed);
+    if (traceEnabled())
+      traceCompleteEvent("pass", "optimize", PassStartUs,
+                         traceNowUs() - PassStartUs,
+                         St.Pass + " @ " + F->getName());
     if (St.Changed) {
       E.Transformed = true;
       uint64_t Fp = fingerprintFunction(*F);
@@ -457,6 +530,9 @@ SuiteRun ValidationEngine::runModules(const std::vector<const Module *> &Mods,
                                       PassManager &ProtoPM) {
   auto Start = std::chrono::steady_clock::now();
   const bool Stepwise = Cfg.Granularity == ValidationGranularity::PerPass;
+  const uint64_t HitsBefore = Stats.Hits, WarmBefore = Stats.WarmHits,
+                 SkipBefore = Stats.SkippedIdentical,
+                 TriageBefore = Stats.TriageMisses;
 
   SuiteRun SR;
   SR.Report.Pipeline = PipelineName;
@@ -513,15 +589,30 @@ SuiteRun ValidationEngine::runModules(const std::vector<const Module *> &Mods,
     for (size_t Fi = 0; Fi < States[Mi].Defined.size(); ++Fi)
       Tasks.emplace_back(Mi, Fi);
 
-  if (ProtoPM.isClonable()) {
-    Pool.parallelFor(Tasks.size(), [&](size_t T) {
-      auto [Mi, Fi] = Tasks[T];
-      std::unique_ptr<PassManager> PM = ProtoPM.clone();
-      optimizeFunction(States[Mi], Fi, *PM);
-    });
-  } else {
-    for (auto [Mi, Fi] : Tasks)
-      optimizeFunction(States[Mi], Fi, ProtoPM);
+  // Stepwise runs time each pass individually into these shared slots;
+  // the whole-pipeline path accounts only the phase total below.
+  const size_t NumPasses = ProtoPM.passes().size();
+  std::vector<std::atomic<uint64_t>> PassTimesUs(Stepwise ? NumPasses : 0);
+  if (Stepwise)
+    for (ModuleRunState &S : States)
+      S.PassTimesUs = PassTimesUs.data();
+
+  uint64_t OptimizeUs = 0, ValidateUs = 0, StepwiseUs = 0, TriageUs = 0,
+           RevertUs = 0;
+  {
+    PhaseTimer Timer;
+    TraceSpan Span("optimize", "engine");
+    if (ProtoPM.isClonable()) {
+      Pool.parallelFor(Tasks.size(), [&](size_t T) {
+        auto [Mi, Fi] = Tasks[T];
+        std::unique_ptr<PassManager> PM = ProtoPM.clone();
+        optimizeFunction(States[Mi], Fi, *PM);
+      });
+    } else {
+      for (auto [Mi, Fi] : Tasks)
+        optimizeFunction(States[Mi], Fi, ProtoPM);
+    }
+    OptimizeUs = Timer.elapsedUs();
   }
 
   //===--------------------------------------------------------------------===//
@@ -547,13 +638,21 @@ SuiteRun ValidationEngine::runModules(const std::vector<const Module *> &Mods,
     }
   }
 
-  executeBatch(B, Reports);
+  {
+    PhaseTimer Timer;
+    TraceSpan Span("validate", "engine",
+                   std::to_string(B.Jobs.size()) + " pairs");
+    executeBatch(B, Reports);
+    ValidateUs = Timer.elapsedUs();
+  }
 
   //===--------------------------------------------------------------------===//
   // Phase 3 (sequential): synthesize stepwise verdicts and attribute guilt.
   //===--------------------------------------------------------------------===//
 
   if (Stepwise) {
+    PhaseTimer Timer;
+    TraceSpan Span("stepwise_synthesis", "engine");
     for (size_t Mi = 0; Mi < States.size(); ++Mi) {
       for (FunctionReportEntry &E : States[Mi].Report->Functions) {
         if (!E.Transformed)
@@ -581,6 +680,7 @@ SuiteRun ValidationEngine::runModules(const std::vector<const Module *> &Mods,
         E.Result = std::move(Sum);
       }
     }
+    StepwiseUs = Timer.elapsedUs();
   }
 
   //===--------------------------------------------------------------------===//
@@ -594,6 +694,8 @@ SuiteRun ValidationEngine::runModules(const std::vector<const Module *> &Mods,
   //===--------------------------------------------------------------------===//
 
   if (Cfg.Triage.Enabled) {
+    PhaseTimer Timer;
+    TraceSpan Span("triage", "engine");
     std::vector<std::pair<unsigned, size_t>> Candidates;
     // Resolve the corpus bias once per module (mining walks every
     // instruction) and hand the resolved value to each triagePair via a
@@ -625,6 +727,7 @@ SuiteRun ValidationEngine::runModules(const std::vector<const Module *> &Mods,
           triagePair(TP, B.ModuleRules[Mi], ModOpts[Mi]);
     });
     memoizeTriage(TriageTasks, Reports, B.ConfigDigests, OptionDigests);
+    TriageUs = Timer.elapsedUs();
   }
 
   //===--------------------------------------------------------------------===//
@@ -643,6 +746,8 @@ SuiteRun ValidationEngine::runModules(const std::vector<const Module *> &Mods,
   };
   std::vector<RevertTask> Reverts;
 
+  PhaseTimer RevertTimer;
+  uint64_t RevertStartUs = traceNowUs();
   for (size_t Mi = 0; Mi < States.size(); ++Mi) {
     ModuleRunState &S = States[Mi];
     ValidationReport &R = *S.Report;
@@ -676,7 +781,12 @@ SuiteRun ValidationEngine::runModules(const std::vector<const Module *> &Mods,
   Pool.parallelFor(Reverts.size(), [&](size_t I) {
     restoreBody(*Reverts[I].Src, *Reverts[I].Dst, *Reverts[I].DstModule);
   });
+  RevertUs = RevertTimer.elapsedUs();
+  if (traceEnabled())
+    traceCompleteEvent("revert", "engine", RevertStartUs,
+                       traceNowUs() - RevertStartUs);
 
+  uint64_t StoreSaveBeforeUs = Stats.StoreSaveMicroseconds;
   if (!Cfg.CachePath.empty() && Cfg.CacheSave && CacheDirty)
     saveCache();
 
@@ -686,6 +796,38 @@ SuiteRun ValidationEngine::runModules(const std::vector<const Module *> &Mods,
   // (Per-module validationMicroseconds() remains meaningful either way.)
   if (SR.Report.Modules.size() == 1)
     SR.Report.Modules.front().WallMicroseconds = SR.Report.WallMicroseconds;
+
+  // Telemetry epilogue: accumulate phase wall times into the engine stats,
+  // publish this run's breakdown on the report (emitters expose it only
+  // behind IncludeTiming), and feed the process metrics registry. None of
+  // this touches verdict-bearing fields.
+  Stats.OptimizeMicroseconds += OptimizeUs;
+  Stats.ValidateMicroseconds += ValidateUs;
+  Stats.StepwiseMicroseconds += StepwiseUs;
+  Stats.TriageMicroseconds += TriageUs;
+  Stats.RevertMicroseconds += RevertUs;
+  SR.Report.PhaseMicroseconds = {
+      {"optimize", OptimizeUs},
+      {"validate", ValidateUs},
+      {"stepwise_synthesis", StepwiseUs},
+      {"triage", TriageUs},
+      {"revert", RevertUs},
+      {"store_save", Stats.StoreSaveMicroseconds - StoreSaveBeforeUs},
+  };
+  for (size_t Pi = 0; Pi < PassTimesUs.size(); ++Pi) {
+    uint64_t Us = PassTimesUs[Pi].load(std::memory_order_relaxed);
+    const std::string &Pass = ProtoPM.passes()[Pi]->getName();
+    accumulatePassTime(Stats.PassMicroseconds, Pass, Us);
+    SR.Report.PhaseMicroseconds.emplace_back("pass:" + Pass, Us);
+  }
+
+  EngineMetrics &EM = engineMetrics();
+  EM.PairsValidated.add(B.Jobs.size());
+  EM.CacheHits.add(Stats.Hits - HitsBefore);
+  EM.WarmHits.add(Stats.WarmHits - WarmBefore);
+  EM.SkippedIdentical.add(Stats.SkippedIdentical - SkipBefore);
+  EM.TriageRuns.add(Stats.TriageMisses - TriageBefore);
+  EM.RunUs.observe(SR.Report.WallMicroseconds);
   return SR;
 }
 
@@ -740,12 +882,21 @@ ValidationReport ValidationEngine::validateModules(const Module &Original,
   }
 
   std::vector<ValidationReport *> Reports{&Report};
-  executeBatch(B, Reports);
+  {
+    PhaseTimer Timer;
+    TraceSpan Span("validate", "engine",
+                   std::to_string(B.Jobs.size()) + " pairs");
+    executeBatch(B, Reports);
+    Stats.ValidateMicroseconds += Timer.elapsedUs();
+  }
+  engineMetrics().PairsValidated.add(B.Jobs.size());
 
   // Triage every rejected pair, exactly like the optimize-and-validate
   // path: deterministic task order, one report slot per task, cached
   // results replayed instead of re-interpreted.
   if (Cfg.Triage.Enabled) {
+    PhaseTimer Timer;
+    TraceSpan Span("triage", "engine");
     std::vector<std::pair<unsigned, size_t>> Candidates;
     for (size_t Fi = 0; Fi < Defined.size(); ++Fi) {
       const FunctionReportEntry &E = Report.Functions[Fi];
@@ -766,10 +917,12 @@ ValidationReport ValidationEngine::validateModules(const Module &Original,
       Report.Functions[Fi].Triage = triagePair(TP, Rules, ModOpts);
     });
     memoizeTriage(TriageTasks, Reports, B.ConfigDigests, OptionDigests);
+    Stats.TriageMicroseconds += Timer.elapsedUs();
   }
 
   if (!Cfg.CachePath.empty() && Cfg.CacheSave && CacheDirty)
     saveCache();
   Report.WallMicroseconds = nowMicroseconds(Start);
+  engineMetrics().RunUs.observe(Report.WallMicroseconds);
   return Report;
 }

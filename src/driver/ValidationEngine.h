@@ -114,6 +114,20 @@ struct EngineCacheStats {
   uint64_t TriageWarmHits = 0;
   uint64_t TriageMisses = 0;
   uint64_t TriageStoreLoaded = 0; ///< triage entries merged from the store
+  /// Phase wall-time accounting, accumulated across runs (microseconds).
+  /// Telemetry only — these numbers never feed verdict-bearing report
+  /// fields (suite JSON exposes them solely behind IncludeTiming).
+  uint64_t OptimizeMicroseconds = 0;  ///< phase 1: optimize + fingerprint
+  uint64_t ValidateMicroseconds = 0;  ///< batch pair validation
+  uint64_t StepwiseMicroseconds = 0;  ///< stepwise synthesis + attribution
+  uint64_t TriageMicroseconds = 0;    ///< differential/reduce/attribute
+  uint64_t RevertMicroseconds = 0;    ///< failure revert re-cloning
+  uint64_t StoreLoadMicroseconds = 0; ///< verdict store load
+  uint64_t StoreSaveMicroseconds = 0; ///< verdict store checkpoint/save
+  /// Per-pass optimize wall time (pass name → accumulated microseconds),
+  /// populated in stepwise granularity where passes run individually; the
+  /// whole-pipeline path accounts under OptimizeMicroseconds only.
+  std::vector<std::pair<std::string, uint64_t>> PassMicroseconds;
 };
 
 /// The result of one engine run: the certified optimized module (same

@@ -773,6 +773,70 @@ VerdictStore::HeaderInfo VerdictStore::peekHeader(const std::string &Path) {
   return HI;
 }
 
+std::vector<VerdictStore::ShardStats>
+VerdictStore::peekShards(const std::string &Path, HeaderInfo *Info) {
+  HeaderInfo HI;
+  std::vector<ShardStats> Out;
+  FileBuffer Buf;
+  if (!Buf.open(Path)) {
+    HI.Status = LoadStatus::NoFile;
+    HI.Message = "no store at '" + Path + "'";
+    if (Info)
+      *Info = HI;
+    return Out;
+  }
+  HI.FileBytes = Buf.size();
+
+  HI.Status = readMagicAndVersion(Buf.data(), Buf.size(), Path, HI.Version,
+                                  HI.Message);
+  if (HI.Status == LoadStatus::Loaded && HI.Version == LegacyVersion2) {
+    // v2 is one flat payload: nothing shard-shaped to report. The header
+    // info still comes back (via the full-walk peek) so callers can say
+    // "v2, N entries, no shards" instead of failing.
+    HI = peekHeader(Path);
+    if (Info)
+      *Info = HI;
+    return Out;
+  }
+  if (HI.Status != LoadStatus::Loaded) {
+    if (Info)
+      *Info = HI;
+    return Out;
+  }
+
+  StoreIndex Idx;
+  HI.Status = parseV3Index(Buf.data(), Buf.size(), Idx, HI.Message);
+  if (HI.Status != LoadStatus::Loaded) {
+    if (Info)
+      *Info = HI;
+    return Out;
+  }
+  HI.ShardCount = static_cast<uint32_t>(Idx.Shards.size());
+  HI.ConfigDigest = Idx.ConfigDigest;
+  HI.VerdictEntries = Idx.VerdictTotal;
+  HI.TriageEntries = Idx.TriageTotal;
+
+  Out.reserve(Idx.Shards.size());
+  for (const ShardRecord &R : Idx.Shards) {
+    ShardStats S;
+    S.Offset = R.Offset;
+    S.Bytes = R.Bytes;
+    S.VerdictEntries = R.VerdictCount;
+    S.TriageEntries = R.TriageCount;
+    S.ChecksumOk = hashBytes(Buf.data() + R.Offset, R.Bytes) == R.PayloadHash;
+    if (!S.ChecksumOk) {
+      HI.Status = LoadStatus::Corrupt;
+      if (HI.Message.empty())
+        HI.Message = "shard " + std::to_string(&R - Idx.Shards.data()) +
+                     " checksum mismatch";
+    }
+    Out.push_back(S);
+  }
+  if (Info)
+    *Info = HI;
+  return Out;
+}
+
 uint64_t VerdictStore::mergePaths(const std::vector<std::string> &Inputs,
                                   const std::string &OutPath,
                                   uint64_t ConfigDigest, std::string *Error) {

@@ -181,6 +181,28 @@ public:
   /// honest about damage.
   static HeaderInfo peekHeader(const std::string &Path);
 
+  /// One v3 shard's slot in the index, for occupancy inspection
+  /// (`store_tool --stats`). Offsets/bytes are the on-disk payload (the
+  /// page padding between shards is derivable from the next offset);
+  /// ChecksumOk is the shard's payload hash verified against the file.
+  struct ShardStats {
+    uint64_t Offset = 0;
+    uint64_t Bytes = 0;
+    uint64_t VerdictEntries = 0;
+    uint64_t TriageEntries = 0;
+    bool ChecksumOk = false;
+  };
+
+  /// Per-shard occupancy of the v3 store at \p Path, in index order. Unlike
+  /// peekHeader a damaged shard does not reject the whole inspection: the
+  /// bad shard reports ChecksumOk=false and \p Info (when given) comes back
+  /// Corrupt, but every shard's index record is still returned — exactly
+  /// what "which shard is hurt, how much is lost" needs. A v2 store (no
+  /// shards) or an unreadable header yields an empty vector with \p Info
+  /// carrying the peekHeader-style status.
+  static std::vector<ShardStats> peekShards(const std::string &Path,
+                                            HeaderInfo *Info = nullptr);
+
   /// Offline union of \p Inputs into \p OutPath: every input must load
   /// under \p ConfigDigest (earlier inputs win per key, matching
   /// merge-on-save's in-memory-wins rule when inputs are ordered

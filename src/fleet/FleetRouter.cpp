@@ -7,9 +7,12 @@
 #include "fleet/FleetRouter.h"
 
 #include "driver/VerdictStore.h"
+#include "support/Log.h"
+#include "support/Trace.h"
 
 #include <chrono>
 #include <cstring>
+#include <map>
 #include <sstream>
 
 #ifndef _WIN32
@@ -79,6 +82,159 @@ std::string FleetRouter::statsJSON() const {
      << ", \"worker_restarts\": " << (WM ? WM->restarts() : 0)
      << ", \"worker_health_kills\": " << (WM ? WM->healthKills() : 0)
      << ", \"worker_reconnects\": " << C.WorkerReconnects << "}\n";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Fleet-wide /metrics roll-up
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One metric family parsed out of a worker's text exposition: the
+/// `# HELP` / `# TYPE` header plus its sample lines (re-labeled by the
+/// caller). Same-name families from different workers merge so the
+/// roll-up stays valid exposition format (one TYPE header per name).
+struct ExpoFamily {
+  std::string Help;
+  std::string Type;
+  std::vector<std::string> Samples;
+};
+
+/// Injects `worker="N"` as the first label of one sample line
+/// (`name{labels} value` or `name value`).
+std::string withWorkerLabel(const std::string &Line, unsigned Worker) {
+  std::string Label = "worker=\"" + std::to_string(Worker) + "\"";
+  size_t Brace = Line.find('{');
+  size_t Space = Line.find(' ');
+  if (Brace != std::string::npos && (Space == std::string::npos ||
+                                     Brace < Space))
+    return Line.substr(0, Brace + 1) + Label + "," + Line.substr(Brace + 1);
+  if (Space == std::string::npos)
+    return Line; // not a sample line; passed through untouched
+  return Line.substr(0, Space) + "{" + Label + "}" + Line.substr(Space);
+}
+
+/// Parses a worker scrape into \p Families, appending each sample with
+/// the worker label. `_bucket`/`_sum`/`_count` samples attach to their
+/// histogram's family (the most recent TYPE header), exactly as the
+/// exposition format groups them.
+void mergeWorkerScrape(const std::string &Text, unsigned Worker,
+                       std::vector<std::string> &Order,
+                       std::map<std::string, ExpoFamily> &Families) {
+  std::string Current;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Line = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Line.empty())
+      continue;
+    if (Line.rfind("# HELP ", 0) == 0 || Line.rfind("# TYPE ", 0) == 0) {
+      size_t NameStart = 7;
+      size_t NameEnd = Line.find(' ', NameStart);
+      if (NameEnd == std::string::npos)
+        continue;
+      std::string Name = Line.substr(NameStart, NameEnd - NameStart);
+      auto It = Families.find(Name);
+      if (It == Families.end()) {
+        Order.push_back(Name);
+        It = Families.emplace(Name, ExpoFamily()).first;
+      }
+      std::string Rest = Line.substr(NameEnd + 1);
+      if (Line[2] == 'H') {
+        if (It->second.Help.empty())
+          It->second.Help = Rest;
+      } else if (It->second.Type.empty())
+        It->second.Type = Rest;
+      Current = Name;
+      continue;
+    }
+    if (Line[0] == '#' || Current.empty())
+      continue;
+    Families[Current].Samples.push_back(withWorkerLabel(Line, Worker));
+  }
+}
+
+} // namespace
+
+std::string FleetRouter::metricsText() const {
+  FleetCounters C = counters();
+  JobTable::Stats T = tableStats();
+
+  std::ostringstream OS;
+  auto Emit = [&OS](const char *Name, const char *Type, const char *Help,
+                    uint64_t Value) {
+    OS << "# HELP " << Name << " " << Help << "\n# TYPE " << Name << " "
+       << Type << "\n"
+       << Name << " " << Value << "\n";
+  };
+  Emit("llvmmd_fleet_workers", "gauge", "Configured worker processes",
+       Cfg.Workers);
+  Emit("llvmmd_fleet_queue_depth", "gauge",
+       "Jobs queued across all dispatchers", QueuedJobs.load());
+  Emit("llvmmd_fleet_jobs_submitted_total", "counter",
+       "Jobs admitted by the router", C.JobsSubmitted);
+  Emit("llvmmd_fleet_jobs_deduplicated_total", "counter",
+       "Submissions deduplicated onto a running identical job",
+       C.JobsDeduplicated);
+  Emit("llvmmd_fleet_jobs_dispatched_total", "counter",
+       "Dispatch attempts sent to workers", C.JobsDispatched);
+  Emit("llvmmd_fleet_jobs_completed_total", "counter",
+       "Jobs completed by workers", C.JobsCompleted);
+  Emit("llvmmd_fleet_jobs_requeued_total", "counter",
+       "Jobs requeued after a worker loss", C.JobsRequeued);
+  Emit("llvmmd_fleet_jobs_failed_total", "counter",
+       "Jobs failed with WorkerLost after the attempt budget",
+       C.JobsFailed);
+  Emit("llvmmd_fleet_worker_restarts_total", "counter",
+       "Worker processes respawned by the monitor",
+       WM ? WM->restarts() : 0);
+  Emit("llvmmd_fleet_worker_health_kills_total", "counter",
+       "Workers killed by the health check", WM ? WM->healthKills() : 0);
+  Emit("llvmmd_fleet_worker_reconnects_total", "counter",
+       "Dispatcher reconnects to (re)spawned workers", C.WorkerReconnects);
+  Emit("llvmmd_fleet_frames_fanned_total", "counter",
+       "Response frames fanned out to subscribers", T.FramesFanned);
+
+  // Per-worker scrapes over fresh connections: the dispatcher threads
+  // exclusively own the cached links, and a connection thread must never
+  // block behind a dispatch. A worker mid-respawn is simply reported
+  // down; the roll-up stays useful while the monitor restarts it.
+  std::vector<std::string> Order;
+  std::map<std::string, ExpoFamily> Families;
+  std::string Up = "# HELP llvmmd_fleet_worker_up Worker scrape reachability "
+                   "(1 = scraped)\n# TYPE llvmmd_fleet_worker_up gauge\n";
+  for (unsigned W = 0; W < Cfg.Workers && WM; ++W) {
+    std::string Text, Err;
+    ServerClient Probe;
+    Probe.MaxFrameBytes = Cfg.MaxFrameBytes;
+    Probe.Retry.Retries = 2;
+    Probe.Retry.BaseDelayMs = 5;
+    Probe.Retry.MaxDelayMs = 20;
+    bool Ok = Probe.connectUnix(WM->socketPath(W), &Err) &&
+              Probe.handshake(configDigest(), nullptr, &Err) &&
+              Probe.metrics(&Text, &Err);
+    Up += "llvmmd_fleet_worker_up{worker=\"" + std::to_string(W) + "\"} " +
+          (Ok ? "1" : "0") + "\n";
+    if (Ok)
+      mergeWorkerScrape(Text, W, Order, Families);
+    else
+      logInfo("fleet", "metrics scrape of worker " + std::to_string(W) +
+                           " failed: " + Err);
+  }
+  OS << Up;
+  for (const std::string &Name : Order) {
+    const ExpoFamily &F = Families[Name];
+    if (!F.Help.empty())
+      OS << "# HELP " << Name << " " << F.Help << "\n";
+    if (!F.Type.empty())
+      OS << "# TYPE " << Name << " " << F.Type << "\n";
+    for (const std::string &S : F.Samples)
+      OS << S << "\n";
+  }
   return OS.str();
 }
 
@@ -502,6 +658,8 @@ bool FleetRouter::handleFrame(const std::shared_ptr<Connection> &C,
   }
   case FrameType::Stats:
     return sendFrame(*C, FrameType::StatsReply, statsJSON());
+  case FrameType::Metrics:
+    return sendFrame(*C, FrameType::MetricsReply, metricsText());
   case FrameType::Ping:
     return sendFrame(*C, FrameType::Pong, std::string());
   case FrameType::Shutdown:
@@ -616,14 +774,21 @@ void FleetRouter::runJobOnWorker(unsigned W, const JobTable::JobPtr &J) {
   WorkerLink &L = *Links[W];
   Table->beginAttempt(J);
   bumpCounter(&FleetCounters::JobsDispatched);
+  TraceSpan DispatchSpan("dispatch", "fleet",
+                         "worker " + std::to_string(W));
 
   // Worker-lost epilogue: requeue at the front of this worker's queue (the
   // restarted worker picks it straight back up) until the attempt budget
   // is spent; then the job fails to its subscribers with WorkerLost.
-  auto Lost = [&] {
+  auto Lost = [&](const std::string &Why) {
     L.Client.reset();
     if (Table->requeueOrFail(J)) {
       bumpCounter(&FleetCounters::JobsRequeued);
+      logWarn("fleet", "worker " + std::to_string(W) + " lost (" + Why +
+                           "); job requeued");
+      if (traceEnabled())
+        traceCompleteEvent("requeue", "fleet", traceNowUs(), 0,
+                           "worker " + std::to_string(W));
       ++QueuedJobs;
       {
         std::lock_guard<std::mutex> G(L.Lock);
@@ -632,15 +797,18 @@ void FleetRouter::runJobOnWorker(unsigned W, const JobTable::JobPtr &J) {
       L.CV.notify_all();
     } else {
       bumpCounter(&FleetCounters::JobsFailed);
+      logError("fleet", "worker " + std::to_string(W) + " lost (" + Why +
+                            "); attempt budget spent, job failed with "
+                            "WorkerLost");
     }
   };
 
   std::string Err;
   if (!ensureWorkerLink(W, &Err))
-    return Lost();
+    return Lost(Err.empty() ? "cannot connect" : Err);
   AcceptedPayload Acc;
   if (!L.Client->submit(J->Req, &Acc, &Err))
-    return Lost();
+    return Lost(Err.empty() ? "submit failed" : Err);
 
   for (;;) {
     Frame F;
@@ -649,7 +817,7 @@ void FleetRouter::runJobOnWorker(unsigned W, const JobTable::JobPtr &J) {
     // suite report byte-identical to the batch path.
     ReadStatus RS = readFrame(L.Client->fd(), F, Cfg.MaxFrameBytes);
     if (RS != ReadStatus::Ok)
-      return Lost();
+      return Lost("stream broken mid-job");
     switch (F.Type) {
     case FrameType::Function:
     case FrameType::ModuleReport:
@@ -659,7 +827,7 @@ void FleetRouter::runJobOnWorker(unsigned W, const JobTable::JobPtr &J) {
     case FrameType::JobDone: {
       JobDonePayload D;
       if (!decodeJobDone(F.Payload, D))
-        return Lost();
+        return Lost("undecodable JobDone");
       Table->complete(J, D);
       bumpCounter(&FleetCounters::JobsCompleted);
       return;
@@ -677,7 +845,9 @@ void FleetRouter::runJobOnWorker(unsigned W, const JobTable::JobPtr &J) {
       return;
     }
     default:
-      return Lost(); // a worker violating the protocol is a lost worker
+      // A worker violating the protocol is a lost worker.
+      return Lost("unexpected frame type " +
+                  std::to_string(static_cast<unsigned>(F.Type)));
     }
   }
 }

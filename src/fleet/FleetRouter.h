@@ -155,6 +155,13 @@ public:
   JobTable::Stats tableStats() const;
   uint64_t workerRestarts() const;
   std::string statsJSON() const;
+  /// The fleet-wide /metrics roll-up in Prometheus text exposition
+  /// format: the router's own `llvmmd_fleet_*` families plus every live
+  /// worker's scrape with its samples re-labeled `worker="N"` (same-name
+  /// families from different workers merge into one `# TYPE` group).
+  /// Scrapes run on the calling connection thread over fresh connections;
+  /// the dispatcher-owned links are never touched.
+  std::string metricsText() const;
 
   /// Test/demo access to the supervised workers (pids, kill).
   WorkerManager *workers() { return WM.get(); }

@@ -48,6 +48,15 @@
 ///    persists to — a stale socket of a crashed generation can never be
 ///    mistaken for a live worker.
 ///
+/// Version 3 adds the telemetry vocabulary:
+///  * Metrics (client -> server) requests a scrape; MetricsReply carries
+///    the raw Prometheus text-exposition payload (like StatsReply carries
+///    raw JSON). A server answers with its own registry; the fleet router
+///    answers with a roll-up — its own fleet metrics plus every live
+///    worker's scrape re-labeled `worker="N"` — so one scrape shows the
+///    whole fleet. Metrics are a diagnostic channel only: verdict-bearing
+///    frames are byte-identical whether or not anything ever scrapes.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LLVMMD_SERVER_PROTOCOL_H
@@ -61,8 +70,9 @@ namespace llvmmd {
 
 /// Bumped on any wire-format change; a version mismatch fails the
 /// handshake in either direction. v2: fleet frames (Subscribe, JobId,
-/// WorkerHello/WorkerHelloOk).
-constexpr uint32_t ServerProtocolVersion = 2;
+/// WorkerHello/WorkerHelloOk). v3: telemetry frames (Metrics,
+/// MetricsReply).
+constexpr uint32_t ServerProtocolVersion = 3;
 
 /// Default ceiling on one frame's payload. Large enough for a suite report
 /// over a big module set, small enough that a garbage length field cannot
@@ -78,6 +88,7 @@ enum class FrameType : uint8_t {
   Shutdown = 5,
   Subscribe = 6,   ///< join a running job's stream by id (fleet router)
   WorkerHello = 7, ///< router -> worker identity check after the handshake
+  Metrics = 8,     ///< scrape request; answered with MetricsReply
 
   // Server -> client.
   HelloOk = 64,
@@ -91,6 +102,7 @@ enum class FrameType : uint8_t {
   Error = 72,
   JobId = 73,         ///< submission deduplicated / subscription attached
   WorkerHelloOk = 74, ///< worker identity reply (pid + shard path)
+  MetricsReply = 75,  ///< raw Prometheus text-exposition payload
 };
 
 enum class ErrorCode : uint8_t {

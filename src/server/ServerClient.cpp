@@ -331,6 +331,20 @@ bool ServerClient::stats(std::string *Json, std::string *Error) {
   return true;
 }
 
+bool ServerClient::metrics(std::string *Text, std::string *Error) {
+  if (!sendRaw(FrameType::Metrics, std::string())) {
+    if (Error)
+      *Error = "cannot send Metrics";
+    return false;
+  }
+  Frame F;
+  if (!readExpect(FrameType::MetricsReply, F, Error))
+    return false;
+  if (Text)
+    *Text = std::move(F.Payload);
+  return true;
+}
+
 bool ServerClient::ping(std::string *Error) {
   if (!sendRaw(FrameType::Ping, std::string())) {
     if (Error)

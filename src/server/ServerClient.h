@@ -116,6 +116,10 @@ public:
   /// Requests the server's /stats JSON.
   bool stats(std::string *Json, std::string *Error = nullptr);
 
+  /// Requests a /metrics scrape (Prometheus text exposition format). A
+  /// fleet router answers with the fleet-wide roll-up.
+  bool metrics(std::string *Text, std::string *Error = nullptr);
+
   bool ping(std::string *Error = nullptr);
 
   /// Fire-and-forget graceful-shutdown request; the server drains its

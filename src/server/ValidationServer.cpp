@@ -9,6 +9,9 @@
 #include "driver/ModuleLoader.h"
 #include "ir/Module.h"
 #include "opt/Pass.h"
+#include "support/Log.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <chrono>
@@ -31,6 +34,48 @@ uint64_t elapsedMicroseconds(std::chrono::steady_clock::time_point Start) {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now() - Start)
       .count();
+}
+
+/// Server-level instruments in the process registry: the /metrics side of
+/// the /stats counters, plus the latency distributions /stats cannot
+/// carry. Registered once per process; a test constructing several
+/// servers keeps accumulating into the same (monotonic) instruments.
+struct ServerMetrics {
+  Gauge &QueueDepth;
+  Histogram &QueueWaitUs;
+  Histogram &JobUs;
+  Counter &JobsCompleted;
+  Counter &JobsRejected;
+  Counter &HandshakeErrors;
+  Counter &ProtocolErrors;
+  Histogram &CheckpointUs;
+};
+
+ServerMetrics &serverMetrics() {
+  static ServerMetrics M{
+      telemetry().gauge("llvmmd_server_queue_depth",
+                        "Jobs queued, not yet running"),
+      telemetry().histogram(
+          "llvmmd_server_queue_wait_us",
+          "Accepted to executor-start wait (microseconds)",
+          defaultLatencyBoundsMicros()),
+      telemetry().histogram("llvmmd_server_job_us",
+                            "End-to-end job wall time (microseconds)",
+                            defaultLatencyBoundsMicros()),
+      telemetry().counter("llvmmd_server_jobs_completed_total",
+                          "Jobs run to completion"),
+      telemetry().counter("llvmmd_server_jobs_rejected_total",
+                          "Submissions refused by admission control"),
+      telemetry().counter("llvmmd_server_handshake_errors_total",
+                          "Handshakes rejected (version or digest mismatch)"),
+      telemetry().counter("llvmmd_server_protocol_errors_total",
+                          "Malformed, oversized or unexpected frames"),
+      telemetry().histogram("llvmmd_server_checkpoint_us",
+                            "Verdict-store shard checkpoint wall time "
+                            "(microseconds)",
+                            defaultLatencyBoundsMicros()),
+  };
+  return M;
 }
 
 } // namespace
@@ -88,7 +133,8 @@ std::string ValidationServer::statsJSON() const {
      << ", \"errored\": " << C.JobsErrored
      << ", \"queue_depth\": " << Depth
      << ", \"max_queue_depth\": " << C.MaxQueueDepth
-     << ", \"job_us\": " << C.JobMicroseconds << '}'
+     << ", \"job_us\": " << C.JobMicroseconds
+     << ", \"queue_wait_us\": " << C.QueueWaitMicroseconds << '}'
      << ", \"functions_reported\": " << C.FunctionsReported
      << ", \"modules_validated\": " << C.ModulesValidated
      << ", \"checkpoints\": " << C.Checkpoints << ", \"engine\": {"
@@ -103,6 +149,16 @@ std::string ValidationServer::statsJSON() const {
      << ", \"triage_misses\": " << E.TriageMisses
      << ", \"triage_store_loaded\": " << E.TriageStoreLoaded << "}}\n";
   return OS.str();
+}
+
+std::string ValidationServer::metricsText() const {
+  // Gauges describe "now"; refresh them from the live queue before the
+  // registry snapshot so a scrape never reports a stale depth.
+  {
+    std::lock_guard<std::mutex> G(QueueLock);
+    serverMetrics().QueueDepth.set(static_cast<int64_t>(Queue.size()));
+  }
+  return telemetry().renderPrometheus();
 }
 
 //===----------------------------------------------------------------------===//
@@ -370,6 +426,12 @@ void ValidationServer::handleConnection(std::shared_ptr<Connection> C) {
         std::lock_guard<std::mutex> G(StatsLock);
         ++Counters.ProtocolErrors;
       }
+      serverMetrics().ProtocolErrors.inc();
+      logWarn("server",
+              std::string("dropping connection: ") +
+                  (RS == ReadStatus::Oversized ? "oversized frame"
+                                               : "truncated or unreadable "
+                                                 "frame"));
       sendError(*C, ErrorCode::Protocol,
                 RS == ReadStatus::Oversized
                     ? "frame exceeds the size limit"
@@ -413,6 +475,7 @@ bool ValidationServer::handleFrame(Connection &C, const Frame &F) {
         std::lock_guard<std::mutex> G(StatsLock);
         ++Counters.ProtocolErrors;
       }
+      serverMetrics().ProtocolErrors.inc();
       sendError(C, ErrorCode::Protocol, "expected Hello");
       return false;
     }
@@ -422,6 +485,7 @@ bool ValidationServer::handleFrame(Connection &C, const Frame &F) {
         std::lock_guard<std::mutex> G(StatsLock);
         ++Counters.ProtocolErrors;
       }
+      serverMetrics().ProtocolErrors.inc();
       sendError(C, ErrorCode::Protocol, "undecodable Hello");
       return false;
     }
@@ -430,6 +494,10 @@ bool ValidationServer::handleFrame(Connection &C, const Frame &F) {
         std::lock_guard<std::mutex> G(StatsLock);
         ++Counters.HandshakesRejected;
       }
+      serverMetrics().HandshakeErrors.inc();
+      logWarn("server", "handshake rejected: client speaks protocol v" +
+                            std::to_string(H.Version) + ", server v" +
+                            std::to_string(ServerProtocolVersion));
       sendError(C, ErrorCode::Handshake,
                 "protocol version " + std::to_string(H.Version) +
                     " (server speaks " +
@@ -444,6 +512,8 @@ bool ValidationServer::handleFrame(Connection &C, const Frame &F) {
         std::lock_guard<std::mutex> G(StatsLock);
         ++Counters.HandshakesRejected;
       }
+      serverMetrics().HandshakeErrors.inc();
+      logWarn("server", "handshake rejected: config digest mismatch");
       sendError(C, ErrorCode::Handshake,
                 "config digest mismatch: server validates under a "
                 "different rule configuration");
@@ -465,6 +535,7 @@ bool ValidationServer::handleFrame(Connection &C, const Frame &F) {
         std::lock_guard<std::mutex> G(StatsLock);
         ++Counters.ProtocolErrors;
       }
+      serverMetrics().ProtocolErrors.inc();
       sendError(C, ErrorCode::Protocol, "undecodable or empty Submit");
       return false;
     }
@@ -501,7 +572,9 @@ bool ValidationServer::handleFrame(Connection &C, const Frame &F) {
         J.Id = JobId;
         Gate = std::make_shared<JobGate>();
         J.Gate = Gate;
+        J.Enqueued = std::chrono::steady_clock::now();
         Queue.push_back(std::move(J));
+        serverMetrics().QueueDepth.set(static_cast<int64_t>(Queue.size()));
       }
     }
     {
@@ -515,6 +588,8 @@ bool ValidationServer::handleFrame(Connection &C, const Frame &F) {
       }
     }
     if (!RejectReason.empty()) {
+      serverMetrics().JobsRejected.inc();
+      logInfo("server", "submission rejected: " + RejectReason);
       sendError(C, ErrorCode::QueueFull, RejectReason);
       return true;
     }
@@ -535,6 +610,8 @@ bool ValidationServer::handleFrame(Connection &C, const Frame &F) {
   }
   case FrameType::Stats:
     return sendFrame(C, FrameType::StatsReply, statsJSON());
+  case FrameType::Metrics:
+    return sendFrame(C, FrameType::MetricsReply, metricsText());
   case FrameType::Ping:
     return sendFrame(C, FrameType::Pong, std::string());
   case FrameType::WorkerHello: {
@@ -547,6 +624,7 @@ bool ValidationServer::handleFrame(Connection &C, const Frame &F) {
         std::lock_guard<std::mutex> G(StatsLock);
         ++Counters.ProtocolErrors;
       }
+      serverMetrics().ProtocolErrors.inc();
       sendError(C, ErrorCode::Protocol, "undecodable WorkerHello");
       return false;
     }
@@ -569,6 +647,9 @@ bool ValidationServer::handleFrame(Connection &C, const Frame &F) {
       std::lock_guard<std::mutex> G(StatsLock);
       ++Counters.ProtocolErrors;
     }
+    serverMetrics().ProtocolErrors.inc();
+    logWarn("server", "closing connection: unexpected frame type " +
+                          std::to_string(static_cast<unsigned>(F.Type)));
     sendError(C, ErrorCode::Protocol, "unexpected frame type");
     return false;
   }
@@ -584,7 +665,10 @@ void ValidationServer::checkpoint() {
   // unchanged store once per cadence interval.
   if (Cfg.Engine.CachePath.empty() || !Engine->cacheDirty())
     return;
+  auto Start = std::chrono::steady_clock::now();
+  TraceSpan Span("checkpoint", "store");
   Engine->saveCache();
+  serverMetrics().CheckpointUs.observe(elapsedMicroseconds(Start));
   std::lock_guard<std::mutex> G(StatsLock);
   ++Counters.Checkpoints;
   EngineSnapshot = Engine->cacheStats();
@@ -611,6 +695,19 @@ void ValidationServer::executorLoop() {
         continue;
       J = std::move(Queue.front());
       Queue.pop_front();
+      serverMetrics().QueueDepth.set(static_cast<int64_t>(Queue.size()));
+    }
+    // Accepted -> executor-start wait, measured at the pop so it covers
+    // exactly the time the job sat behind others (or a paused executor).
+    uint64_t WaitUs = elapsedMicroseconds(J.Enqueued);
+    serverMetrics().QueueWaitUs.observe(WaitUs);
+    if (traceEnabled())
+      traceCompleteEvent("queue_wait", "server",
+                         traceNowUs() > WaitUs ? traceNowUs() - WaitUs : 0,
+                         WaitUs, "job " + std::to_string(J.Id));
+    {
+      std::lock_guard<std::mutex> G(StatsLock);
+      Counters.QueueWaitMicroseconds += WaitUs;
     }
     runJob(J);
     ++SinceCheckpoint;
@@ -679,6 +776,7 @@ void ValidationServer::runJob(const Job &J) {
     J.Gate->CV.wait(G, [&] { return J.Gate->Open; });
   }
   auto Start = std::chrono::steady_clock::now();
+  TraceSpan JobSpan("job", "server", "job " + std::to_string(J.Id));
   Connection &C = *J.Conn;
 
   // Materialize every module up front so a bad submission fails before any
@@ -764,5 +862,13 @@ void ValidationServer::runJob(const Job &J) {
     Counters.JobMicroseconds += SR.WallMicroseconds;
     EngineSnapshot = After;
   }
+  serverMetrics().JobsCompleted.inc();
+  serverMetrics().JobUs.observe(SR.WallMicroseconds);
+  if (Cfg.SlowJobMicroseconds && SR.WallMicroseconds > Cfg.SlowJobMicroseconds)
+    logWarn("server",
+            "slow job " + std::to_string(J.Id) + ": " +
+                std::to_string(SR.WallMicroseconds / 1000) + " ms over " +
+                std::to_string(SR.Modules.size()) + " module(s), threshold " +
+                std::to_string(Cfg.SlowJobMicroseconds / 1000) + " ms");
   sendFrame(C, FrameType::JobDone, encodeJobDone(D));
 }

@@ -54,6 +54,7 @@
 #include "server/Protocol.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -90,6 +91,10 @@ struct ServerConfig {
   unsigned CheckpointEveryJobs = 1;
   /// Per-frame payload ceiling for this server's connections.
   uint32_t MaxFrameBytes = DefaultMaxFrameBytes;
+  /// Log a warn-level line for any job whose end-to-end wall time exceeds
+  /// this many microseconds (0 = disabled). Diagnostic only — the job
+  /// itself is unaffected.
+  uint64_t SlowJobMicroseconds = 0;
 };
 
 /// Monotonic serving counters, exposed through /stats (statsJSON) and the
@@ -106,6 +111,9 @@ struct ServerCounters {
   uint64_t FunctionsReported = 0;
   uint64_t ModulesValidated = 0;
   uint64_t JobMicroseconds = 0; ///< summed end-to-end job wall time
+  /// Summed Accepted -> executor-start wait. With JobsCompleted this
+  /// gives mean queue wait; the per-job distribution is in /metrics.
+  uint64_t QueueWaitMicroseconds = 0;
   uint64_t Checkpoints = 0;
 };
 
@@ -169,6 +177,9 @@ public:
   /// The /stats reply: serving counters + engine cache counters + queue
   /// depth as one JSON document.
   std::string statsJSON() const;
+  /// The /metrics reply: the process metrics registry rendered as
+  /// Prometheus text exposition format (server gauges refreshed first).
+  std::string metricsText() const;
 
 private:
   struct Connection {
@@ -202,6 +213,9 @@ private:
     std::shared_ptr<Connection> Conn;
     std::shared_ptr<JobGate> Gate;
     SubmitPayload Req;
+    /// Stamped under QueueLock at admission; the executor measures
+    /// Accepted -> executor-start queue wait against it on pop.
+    std::chrono::steady_clock::time_point Enqueued;
   };
 
   bool listenOn(int Fd, const std::string &What, std::string *Error);

@@ -1,0 +1,165 @@
+//===- Log.cpp - Leveled structured logging -------------------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace llvmmd {
+
+namespace {
+
+/// -1 = unresolved (consult LLVMMD_LOG on first use).
+std::atomic<int> GlobalLevel{-1};
+std::atomic<bool> GlobalJSON{false};
+
+std::mutex EmitLock;
+std::string *TestSink = nullptr; // guarded by EmitLock
+
+int resolveLevelSlow() {
+  int Level = static_cast<int>(LogLevel::Warn);
+  if (const char *Env = std::getenv("LLVMMD_LOG")) {
+    LogLevel Parsed;
+    if (parseLogLevel(Env, Parsed))
+      Level = static_cast<int>(Parsed);
+  }
+  // Another thread may race the resolution; both compute from the same
+  // environment, so either store wins harmlessly.
+  int Expected = -1;
+  GlobalLevel.compare_exchange_strong(Expected, Level,
+                                      std::memory_order_relaxed);
+  return GlobalLevel.load(std::memory_order_relaxed);
+}
+
+inline int currentLevel() {
+  int L = GlobalLevel.load(std::memory_order_relaxed);
+  return L >= 0 ? L : resolveLevelSlow();
+}
+
+void appendJSONEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+} // namespace
+
+bool parseLogLevel(const std::string &Text, LogLevel &Out) {
+  if (Text == "debug")
+    Out = LogLevel::Debug;
+  else if (Text == "info")
+    Out = LogLevel::Info;
+  else if (Text == "warn" || Text == "warning")
+    Out = LogLevel::Warn;
+  else if (Text == "error")
+    Out = LogLevel::Error;
+  else if (Text == "off" || Text == "silent")
+    Out = LogLevel::Off;
+  else
+    return false;
+  return true;
+}
+
+const char *logLevelName(LogLevel L) {
+  switch (L) {
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Off:
+    return "off";
+  }
+  return "?";
+}
+
+void setLogLevel(LogLevel L) {
+  GlobalLevel.store(static_cast<int>(L), std::memory_order_relaxed);
+}
+
+LogLevel logLevel() { return static_cast<LogLevel>(currentLevel()); }
+
+void setLogJSON(bool Enable) {
+  GlobalJSON.store(Enable, std::memory_order_relaxed);
+}
+
+bool logEnabled(LogLevel L) {
+  return static_cast<int>(L) >= currentLevel() && L != LogLevel::Off;
+}
+
+void logMessage(LogLevel L, const char *Component,
+                const std::string &Message) {
+  if (!logEnabled(L))
+    return;
+  std::string Line;
+  Line.reserve(Message.size() + 64);
+  if (GlobalJSON.load(std::memory_order_relaxed)) {
+    auto Now = std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::system_clock::now().time_since_epoch())
+                   .count();
+    Line += "{\"ts_us\": ";
+    Line += std::to_string(Now);
+    Line += ", \"level\": \"";
+    Line += logLevelName(L);
+    Line += "\", \"component\": \"";
+    appendJSONEscaped(Line, Component);
+    Line += "\", \"msg\": \"";
+    appendJSONEscaped(Line, Message);
+    Line += "\"}\n";
+  } else {
+    Line += "llvmmd: ";
+    Line += logLevelName(L);
+    Line += ": [";
+    Line += Component;
+    Line += "] ";
+    Line += Message;
+    Line += '\n';
+  }
+  std::lock_guard<std::mutex> Guard(EmitLock);
+  if (TestSink) {
+    *TestSink += Line;
+    return;
+  }
+  std::fwrite(Line.data(), 1, Line.size(), stderr);
+}
+
+void setLogSinkForTesting(std::string *Sink) {
+  std::lock_guard<std::mutex> Guard(EmitLock);
+  TestSink = Sink;
+}
+
+} // namespace llvmmd

@@ -1,0 +1,95 @@
+//===- Log.h - Leveled structured logging -----------------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One leveled logger for the whole stack, replacing the scattered
+/// `fprintf(stderr, ...)` warnings that grew with each layer. Two output
+/// shapes share one call site:
+///
+///   * text (default): `llvmmd: warn: [engine] verdict store rejected ...`
+///     — what a human tails;
+///   * JSON-lines (`setLogJSON(true)` / `--log-json`): one JSON object per
+///     line with `ts_us`, `level`, `component`, `msg` — what a fleet log
+///     collector filters with `jq`.
+///
+/// The threshold comes from `setLogLevel()` or, before any explicit call,
+/// the `LLVMMD_LOG` environment variable (`debug|info|warn|error|off`).
+/// The default is `warn`, matching the stderr chatter the logger replaced.
+///
+/// Emission is a single `fwrite` of a fully formatted line under a mutex,
+/// so concurrent threads never interleave partial lines. The level check
+/// itself is one relaxed atomic load — a disabled `logDebug` in a hot loop
+/// costs a compare and branch.
+///
+/// Log output carries wall-clock timestamps and therefore must never feed
+/// verdict-bearing report channels; it goes to stderr only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_SUPPORT_LOG_H
+#define LLVMMD_SUPPORT_LOG_H
+
+#include <string>
+
+namespace llvmmd {
+
+enum class LogLevel : int {
+  Debug = 0,
+  Info = 1,
+  Warn = 2,
+  Error = 3,
+  Off = 4,
+};
+
+/// Parses `debug|info|warn|warning|error|off|silent` (case-sensitive,
+/// lowercase). Returns true and sets \p Out on success.
+bool parseLogLevel(const std::string &Text, LogLevel &Out);
+
+/// Spelled name of \p L (`"warn"`, ...). `Off` renders as `"off"`.
+const char *logLevelName(LogLevel L);
+
+/// Sets the global threshold; messages below it are dropped at the call
+/// site. Overrides any `LLVMMD_LOG` environment setting.
+void setLogLevel(LogLevel L);
+
+/// Current threshold (resolving `LLVMMD_LOG` on first use).
+LogLevel logLevel();
+
+/// Switches between text and JSON-lines output.
+void setLogJSON(bool Enable);
+
+/// True when a message at \p L would be emitted — use to skip building
+/// expensive message strings.
+bool logEnabled(LogLevel L);
+
+/// Emits one line at \p L tagged with \p Component (a short subsystem
+/// name: "engine", "server", "fleet", "store", "loader").
+void logMessage(LogLevel L, const char *Component, const std::string &Message);
+
+inline void logDebug(const char *Component, const std::string &Message) {
+  if (logEnabled(LogLevel::Debug))
+    logMessage(LogLevel::Debug, Component, Message);
+}
+inline void logInfo(const char *Component, const std::string &Message) {
+  if (logEnabled(LogLevel::Info))
+    logMessage(LogLevel::Info, Component, Message);
+}
+inline void logWarn(const char *Component, const std::string &Message) {
+  if (logEnabled(LogLevel::Warn))
+    logMessage(LogLevel::Warn, Component, Message);
+}
+inline void logError(const char *Component, const std::string &Message) {
+  if (logEnabled(LogLevel::Error))
+    logMessage(LogLevel::Error, Component, Message);
+}
+
+/// For tests: routes log lines into \p Sink instead of stderr (nullptr
+/// restores stderr). Not for production use.
+void setLogSinkForTesting(std::string *Sink);
+
+} // namespace llvmmd
+
+#endif // LLVMMD_SUPPORT_LOG_H

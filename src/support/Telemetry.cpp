@@ -1,0 +1,149 @@
+//===- Telemetry.cpp - Process-wide metrics registry ----------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace llvmmd {
+
+unsigned Counter::shardIndex() {
+  // A per-thread id hashed onto the shards; threads created together get
+  // distinct shards instead of all hashing to slot 0.
+  static std::atomic<unsigned> NextThread{0};
+  thread_local unsigned ThreadSlot =
+      NextThread.fetch_add(1, std::memory_order_relaxed);
+  return ThreadSlot % NumShards;
+}
+
+Histogram::Histogram(std::vector<uint64_t> UpperBounds)
+    : Bounds(std::move(UpperBounds)),
+      BucketCounts(Bounds.size() + 1) {}
+
+std::vector<uint64_t> defaultLatencyBoundsMicros() {
+  return {100,        250,        500,        1000,      2500,
+          5000,       10000,      25000,      50000,     100000,
+          250000,     500000,     1000000,    2500000,   10000000,
+          60000000};
+}
+
+struct MetricsRegistry::Family {
+  enum Kind { K_Counter, K_Gauge, K_Histogram };
+  std::string Name;
+  std::string Help;
+  int Kind = K_Counter;
+  std::unique_ptr<Counter> C;
+  std::unique_ptr<Gauge> G;
+  std::unique_ptr<Histogram> H;
+};
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex Lock;
+  // deque: stable addresses as families register.
+  std::deque<Family> Families;
+  std::map<std::string, Family *> ByName;
+};
+
+MetricsRegistry::Impl *MetricsRegistry::impl() const {
+  static Impl TheImpl;
+  return &TheImpl;
+}
+
+MetricsRegistry::Family &MetricsRegistry::findOrCreate(const std::string &Name,
+                                                       const std::string &Help,
+                                                       int Kind) {
+  Impl *I = impl();
+  std::lock_guard<std::mutex> Guard(I->Lock);
+  auto It = I->ByName.find(Name);
+  if (It != I->ByName.end())
+    return *It->second;
+  I->Families.emplace_back();
+  Family &F = I->Families.back();
+  F.Name = Name;
+  F.Help = Help;
+  F.Kind = Kind;
+  I->ByName[Name] = &F;
+  return F;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name,
+                                  const std::string &Help) {
+  Family &F = findOrCreate(Name, Help, Family::K_Counter);
+  if (!F.C)
+    F.C.reset(new Counter());
+  return *F.C;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name,
+                              const std::string &Help) {
+  Family &F = findOrCreate(Name, Help, Family::K_Gauge);
+  if (!F.G)
+    F.G.reset(new Gauge());
+  return *F.G;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      const std::string &Help,
+                                      std::vector<uint64_t> UpperBounds) {
+  Family &F = findOrCreate(Name, Help, Family::K_Histogram);
+  if (!F.H)
+    F.H.reset(new Histogram(std::move(UpperBounds)));
+  return *F.H;
+}
+
+std::string MetricsRegistry::renderPrometheus() const {
+  Impl *I = impl();
+  std::vector<Family *> Sorted;
+  {
+    std::lock_guard<std::mutex> Guard(I->Lock);
+    Sorted.reserve(I->ByName.size());
+    for (auto &KV : I->ByName)
+      Sorted.push_back(KV.second); // std::map: already name-sorted
+  }
+  std::string Out;
+  for (Family *F : Sorted) {
+    Out += "# HELP " + F->Name + " " + F->Help + "\n";
+    switch (F->Kind) {
+    case Family::K_Counter:
+      Out += "# TYPE " + F->Name + " counter\n";
+      Out += F->Name + " " + std::to_string(F->C ? F->C->value() : 0) + "\n";
+      break;
+    case Family::K_Gauge:
+      Out += "# TYPE " + F->Name + " gauge\n";
+      Out += F->Name + " " + std::to_string(F->G ? F->G->value() : 0) + "\n";
+      break;
+    case Family::K_Histogram: {
+      Out += "# TYPE " + F->Name + " histogram\n";
+      const Histogram &H = *F->H;
+      uint64_t Cumulative = 0;
+      for (unsigned B = 0, N = static_cast<unsigned>(H.bounds().size());
+           B <= N; ++B) {
+        Cumulative += H.bucketCount(B);
+        std::string LE =
+            B < N ? std::to_string(H.bounds()[B]) : std::string("+Inf");
+        Out += F->Name + "_bucket{le=\"" + LE + "\"} " +
+               std::to_string(Cumulative) + "\n";
+      }
+      Out += F->Name + "_sum " + std::to_string(H.sum()) + "\n";
+      Out += F->Name + "_count " + std::to_string(H.count()) + "\n";
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+MetricsRegistry &telemetry() {
+  static MetricsRegistry Registry;
+  return Registry;
+}
+
+} // namespace llvmmd

@@ -1,0 +1,152 @@
+//===- Telemetry.h - Process-wide metrics registry --------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide metrics registry in the Prometheus client-library mold,
+/// sized for the engine's hot paths:
+///
+///   * `Counter` — monotonic, sharded across cache-line-padded atomics so
+///     eight engine threads bumping the same counter never bounce one
+///     line; `add()` is a relaxed fetch_add on the caller's shard.
+///   * `Gauge` — a single atomic int64 (set/add); gauges are updated from
+///     cold paths (queue admission, scrape time), not per-function work.
+///   * `Histogram` — fixed bucket boundaries chosen at registration, one
+///     atomic per bucket plus sharded count/sum; `observe()` is a linear
+///     scan of ≤ ~16 boundaries and two relaxed adds. No locks anywhere
+///     on the observation path.
+///
+/// Instruments are registered once by name (`telemetry().counter(...)`)
+/// and the returned reference is stable for the process lifetime — hold
+/// it, don't re-look-up per event. Registration takes a mutex; re-
+/// registering a name returns the existing instrument (helps tests that
+/// construct a server repeatedly in one process).
+///
+/// `renderPrometheus()` snapshots every instrument as Prometheus text
+/// exposition format (`# HELP` / `# TYPE` + samples; histograms emit
+/// cumulative `_bucket{le=...}` / `_sum` / `_count`). Metric names follow
+/// `llvmmd_<layer>_<what>[_total|_us]`.
+///
+/// Telemetry values never feed verdict-bearing reports: scrapes are a
+/// separate channel, and every suite/module report stays byte-identical
+/// whether or not anything reads the registry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_SUPPORT_TELEMETRY_H
+#define LLVMMD_SUPPORT_TELEMETRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llvmmd {
+
+/// Monotonic counter, sharded to keep concurrent increments off one cache
+/// line. Readers sum the shards (approximate snapshot under concurrent
+/// writers, exact once writers quiesce — the same contract Prometheus
+/// clients give).
+class Counter {
+public:
+  static constexpr unsigned NumShards = 16;
+
+  void add(uint64_t Delta) {
+    Shards[shardIndex()].Value.fetch_add(Delta, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+
+  uint64_t value() const {
+    uint64_t Sum = 0;
+    for (const auto &S : Shards)
+      Sum += S.Value.load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+private:
+  static unsigned shardIndex();
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> Value{0};
+  };
+  Shard Shards[NumShards];
+};
+
+/// Point-in-time value; updated from cold paths, so one atomic suffices.
+class Gauge {
+public:
+  void set(int64_t V) { Value.store(V, std::memory_order_relaxed); }
+  void add(int64_t Delta) { Value.fetch_add(Delta, std::memory_order_relaxed); }
+  int64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> Value{0};
+};
+
+/// Fixed-boundary latency histogram. Boundaries are upper bounds in the
+/// metric's unit (microseconds by convention); an observation lands in
+/// the first bucket whose bound is >= the value, or overflows past the
+/// last bound (the implicit +Inf bucket).
+class Histogram {
+public:
+  explicit Histogram(std::vector<uint64_t> UpperBounds);
+
+  void observe(uint64_t V) {
+    unsigned I = 0, N = static_cast<unsigned>(Bounds.size());
+    while (I < N && V > Bounds[I])
+      ++I;
+    BucketCounts[I].fetch_add(1, std::memory_order_relaxed);
+    Count.add(1);
+    Sum.add(V);
+  }
+
+  const std::vector<uint64_t> &bounds() const { return Bounds; }
+  /// Count in bucket \p I (non-cumulative); index bounds().size() is the
+  /// overflow (+Inf) bucket.
+  uint64_t bucketCount(unsigned I) const {
+    return BucketCounts[I].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return Count.value(); }
+  uint64_t sum() const { return Sum.value(); }
+
+private:
+  std::vector<uint64_t> Bounds;
+  std::vector<std::atomic<uint64_t>> BucketCounts; // Bounds.size() + 1
+  Counter Count;
+  Counter Sum;
+};
+
+/// Default latency boundaries: ~exponential from 100us to 60s. Shared by
+/// job/queue-wait/checkpoint histograms so fleet roll-ups can merge
+/// bucket-for-bucket.
+std::vector<uint64_t> defaultLatencyBoundsMicros();
+
+class MetricsRegistry {
+public:
+  /// Registers (or finds) an instrument. Help text is taken from the
+  /// first registration. References stay valid for the process lifetime.
+  Counter &counter(const std::string &Name, const std::string &Help);
+  Gauge &gauge(const std::string &Name, const std::string &Help);
+  Histogram &histogram(const std::string &Name, const std::string &Help,
+                       std::vector<uint64_t> UpperBounds);
+
+  /// Prometheus text exposition format, families sorted by name.
+  std::string renderPrometheus() const;
+
+private:
+  struct Family;
+  Family &findOrCreate(const std::string &Name, const std::string &Help,
+                       int Kind);
+
+  struct Impl;
+  Impl *impl() const;
+};
+
+/// The process-wide registry.
+MetricsRegistry &telemetry();
+
+} // namespace llvmmd
+
+#endif // LLVMMD_SUPPORT_TELEMETRY_H

@@ -1,0 +1,165 @@
+//===- Trace.cpp - Phase span tracing (Chrome trace-event JSON) -----------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace llvmmd {
+
+namespace {
+
+struct TraceEvent {
+  const char *Name;
+  const char *Cat;
+  std::string Arg;
+  uint64_t StartUs;
+  uint64_t DurUs;
+  uint32_t Tid;
+};
+
+std::atomic<bool> Enabled{false};
+std::mutex EventsLock;
+std::vector<TraceEvent> Events; // guarded by EventsLock
+std::chrono::steady_clock::time_point Epoch;
+
+uint32_t threadTid() {
+  static std::atomic<uint32_t> NextTid{1};
+  thread_local uint32_t Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
+  return Tid;
+}
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+} // namespace
+
+void traceEnable() {
+  std::lock_guard<std::mutex> Guard(EventsLock);
+  Events.clear();
+  Events.reserve(4096);
+  Epoch = std::chrono::steady_clock::now();
+  Enabled.store(true, std::memory_order_release);
+}
+
+void traceDisable() { Enabled.store(false, std::memory_order_release); }
+
+bool traceEnabled() { return Enabled.load(std::memory_order_acquire); }
+
+size_t traceEventCount() {
+  std::lock_guard<std::mutex> Guard(EventsLock);
+  return Events.size();
+}
+
+uint64_t traceNowUs() {
+  if (!traceEnabled())
+    return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+void traceCompleteEvent(const char *Name, const char *Cat, uint64_t StartUs,
+                        uint64_t DurUs, const std::string &Arg) {
+  if (!traceEnabled())
+    return;
+  TraceEvent E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.Arg = Arg;
+  E.StartUs = StartUs;
+  E.DurUs = DurUs;
+  E.Tid = threadTid();
+  std::lock_guard<std::mutex> Guard(EventsLock);
+  Events.push_back(std::move(E));
+}
+
+std::string traceToJSON() {
+  std::vector<TraceEvent> Snapshot;
+  {
+    std::lock_guard<std::mutex> Guard(EventsLock);
+    Snapshot = Events;
+  }
+#ifndef _WIN32
+  long Pid = static_cast<long>(::getpid());
+#else
+  long Pid = 0;
+#endif
+  std::string Out = "{\"traceEvents\": [";
+  bool First = true;
+  for (const TraceEvent &E : Snapshot) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += "{\"name\": \"";
+    appendEscaped(Out, E.Name);
+    Out += "\", \"cat\": \"";
+    appendEscaped(Out, E.Cat);
+    Out += "\", \"ph\": \"X\", \"ts\": " + std::to_string(E.StartUs) +
+           ", \"dur\": " + std::to_string(E.DurUs) +
+           ", \"pid\": " + std::to_string(Pid) +
+           ", \"tid\": " + std::to_string(E.Tid);
+    if (!E.Arg.empty()) {
+      Out += ", \"args\": {\"detail\": \"";
+      appendEscaped(Out, E.Arg);
+      Out += "\"}";
+    }
+    Out += "}";
+  }
+  Out += "], \"displayTimeUnit\": \"ms\"}\n";
+  return Out;
+}
+
+bool traceWriteFile(const std::string &Path, std::string *Error) {
+  std::string Json = traceToJSON();
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+  int CloseRC = std::fclose(F);
+  if (Written != Json.size() || CloseRC != 0) {
+    if (Error)
+      *Error = "short write to '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+} // namespace llvmmd

@@ -1,0 +1,106 @@
+//===- Trace.h - Phase span tracing (Chrome trace-event JSON) ---*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A span tracer for answering "where did the time go": every layer wraps
+/// its phases (parse/ingest, optimize per pass, validate per pass, triage,
+/// store load/checkpoint/merge, queue wait, fleet dispatch/requeue) in
+/// `TraceSpan` RAII guards, and an enabled tracer collects them as
+/// complete events for export as Chrome trace-event JSON — load the file
+/// at `ui.perfetto.dev` (or chrome://tracing) to see the per-thread
+/// timeline.
+///
+/// Disabled (the default) a span is two relaxed atomic loads — no clock
+/// reads, no allocation. Enabled, span completion appends one fixed-size
+/// event under a global mutex; tracing is an opt-in diagnostic mode, not
+/// a hot-path citizen like the metrics registry.
+///
+/// Span names must be string literals (or otherwise outlive the tracer):
+/// events store the pointer, not a copy, so per-item detail goes in the
+/// `Arg` string, which *is* copied.
+///
+/// Timestamps are microseconds on the steady clock relative to
+/// `traceEnable()`; they never enter verdict-bearing reports — the trace
+/// file is its own channel, and suite JSON is byte-identical with tracing
+/// on or off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_SUPPORT_TRACE_H
+#define LLVMMD_SUPPORT_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace llvmmd {
+
+/// Starts collecting spans (clearing any prior collection). Timestamps
+/// are relative to this call.
+void traceEnable();
+
+/// Stops collecting. Collected events remain available to write.
+void traceDisable();
+
+/// True when spans are being collected.
+bool traceEnabled();
+
+/// Number of events collected so far (tests).
+size_t traceEventCount();
+
+/// Renders collected events as Chrome trace-event JSON:
+/// `{"traceEvents": [{"name": ..., "ph": "X", "ts": ..., "dur": ...,
+///   "pid": ..., "tid": ..., "cat": ...}, ...]}`.
+std::string traceToJSON();
+
+/// Writes `traceToJSON()` to \p Path. Returns false and sets \p Error on
+/// I/O failure.
+bool traceWriteFile(const std::string &Path, std::string *Error = nullptr);
+
+/// Records one complete event directly (for spans whose start/end don't
+/// nest lexically, e.g. queue wait measured across threads).
+/// \p Name and \p Cat must be string literals.
+void traceCompleteEvent(const char *Name, const char *Cat, uint64_t StartUs,
+                        uint64_t DurUs, const std::string &Arg = "");
+
+/// Microseconds since traceEnable() on the steady clock (0 if disabled).
+uint64_t traceNowUs();
+
+/// RAII span: captures the clock at construction and records a complete
+/// event at destruction, when tracing is enabled. Name/Cat must be
+/// string literals.
+class TraceSpan {
+public:
+  TraceSpan(const char *Name, const char *Cat) : Name(Name), Cat(Cat) {
+    if (traceEnabled()) {
+      Active = true;
+      StartUs = traceNowUs();
+    }
+  }
+  TraceSpan(const char *Name, const char *Cat, std::string Arg)
+      : TraceSpan(Name, Cat) {
+    if (Active)
+      this->Arg = std::move(Arg);
+  }
+  ~TraceSpan() {
+    if (Active)
+      traceCompleteEvent(Name, Cat, StartUs, traceNowUs() - StartUs, Arg);
+  }
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+private:
+  const char *Name;
+  const char *Cat;
+  std::string Arg;
+  uint64_t StartUs = 0;
+  bool Active = false;
+};
+
+} // namespace llvmmd
+
+#endif // LLVMMD_SUPPORT_TRACE_H

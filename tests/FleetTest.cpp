@@ -34,6 +34,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #ifndef _WIN32
@@ -460,6 +462,75 @@ TEST(FleetTest, IdleWorkerRestartedAfterKill) {
   std::string Suite;
   EXPECT_TRUE(runJob(Client, profileSubmission("hmmer", 6), &Suite));
   EXPECT_FALSE(Suite.empty());
+  Router.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Fleet-wide metrics roll-up
+//===----------------------------------------------------------------------===//
+
+TEST(FleetTest, MetricsRollUpAggregatesWorkersAndShowsRespawns) {
+  FleetDir D("metrics");
+  FleetRouter Router(smallFleetConfig(D, 2));
+  std::string Error;
+  ASSERT_TRUE(Router.start(&Error)) << Error;
+
+  ServerClient Client;
+  ASSERT_TRUE(attach(Client, D.Sock));
+  std::string Suite;
+  ASSERT_TRUE(runJob(Client, profileSubmission("sqlite", 8), &Suite));
+
+  // Kill the idle worker and wait for the monitor to respawn it, so the
+  // scrape that follows must show the restart.
+  WorkerManager *WM = Router.workers();
+  pid_t OldPid = WM->pid(1);
+  ASSERT_TRUE(WM->killWorker(1));
+  ASSERT_TRUE(eventually(
+      [&] { return WM->restarts() >= 1 && WM->pid(1) > 0 &&
+                   WM->pid(1) != OldPid; }));
+
+  // Scrape until the respawned worker answers (its listen can lag the
+  // monitor's respawn by a beat; a not-yet-up worker reports worker_up 0,
+  // which is correct but not what this test is about).
+  std::string Text;
+  ASSERT_TRUE(eventually([&] {
+    return Client.metrics(&Text) &&
+           Text.find("llvmmd_fleet_worker_up{worker=\"1\"} 1") !=
+               std::string::npos;
+  })) << Text;
+  // The router's own families: jobs routed, and the respawn the kill
+  // caused.
+  EXPECT_NE(Text.find("# TYPE llvmmd_fleet_jobs_completed_total counter"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("llvmmd_fleet_jobs_completed_total 1"),
+            std::string::npos);
+  // Anchor at line start: the bare find would hit the # HELP line.
+  size_t RestartPos = Text.find("\nllvmmd_fleet_worker_restarts_total ");
+  ASSERT_NE(RestartPos, std::string::npos);
+  uint64_t Restarts = std::strtoull(
+      Text.c_str() + RestartPos +
+          std::strlen("\nllvmmd_fleet_worker_restarts_total "),
+      nullptr, 10);
+  EXPECT_GE(Restarts, 1u);
+
+  // Per-worker liveness and the workers' own scrapes merged in, each
+  // sample re-labeled with its worker — one TYPE group per family even
+  // with two workers exporting the same names.
+  EXPECT_NE(Text.find("llvmmd_fleet_worker_up{worker=\"0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(Text.find("llvmmd_server_jobs_completed_total{worker=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(Text.find("llvmmd_server_jobs_completed_total{worker=\"1\"}"),
+            std::string::npos);
+  size_t FirstType =
+      Text.find("# TYPE llvmmd_server_jobs_completed_total counter");
+  ASSERT_NE(FirstType, std::string::npos);
+  EXPECT_EQ(
+      Text.find("# TYPE llvmmd_server_jobs_completed_total counter",
+                FirstType + 1),
+      std::string::npos)
+      << "same-name worker families must merge into one TYPE group";
   Router.stop();
 }
 

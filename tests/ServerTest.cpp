@@ -30,6 +30,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <sstream>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <thread>
@@ -544,6 +545,57 @@ TEST(ServerTest, StatsAndPing) {
   ASSERT_TRUE(Client.stats(&Stats));
   EXPECT_NE(Stats.find("\"llvmmd-server-stats-v1\""), std::string::npos);
   EXPECT_NE(Stats.find("\"completed\": 1"), std::string::npos) << Stats;
+  Server.stop();
+}
+
+TEST(ServerTest, MetricsScrapeIsPrometheusExposition) {
+  ServeDir D("metrics");
+  ValidationServer Server(smallServerConfig(D));
+  ASSERT_TRUE(Server.start());
+  ServerClient Client;
+  ASSERT_TRUE(attach(Client, D.Sock));
+
+  std::string Json;
+  JobDonePayload Done;
+  ASSERT_TRUE(runJob(Client, sqliteSubmission(6), &Json, &Done));
+
+  std::string Text;
+  ASSERT_TRUE(Client.metrics(&Text));
+  // Well-formed exposition: HELP/TYPE headers, and the server families the
+  // job just exercised. Counters are process-global, so assert >= 1 rather
+  // than == 1 (other tests in this binary may have run jobs already).
+  EXPECT_NE(Text.find("# HELP llvmmd_server_jobs_completed_total"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("# TYPE llvmmd_server_jobs_completed_total counter"),
+            std::string::npos);
+  EXPECT_NE(Text.find("# TYPE llvmmd_server_job_us histogram"),
+            std::string::npos);
+  EXPECT_NE(Text.find("llvmmd_server_job_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(Text.find("llvmmd_server_queue_depth 0"), std::string::npos);
+  EXPECT_NE(Text.find("llvmmd_server_queue_wait_us_count"),
+            std::string::npos);
+  // The engine families ride in the same registry.
+  EXPECT_NE(Text.find("llvmmd_engine_pairs_validated_total"),
+            std::string::npos);
+  // Every line is a comment or `name[{labels}] value`.
+  std::istringstream Lines(Text);
+  std::string Line;
+  while (std::getline(Lines, Line)) {
+    ASSERT_FALSE(Line.empty());
+    if (Line[0] == '#')
+      continue;
+    size_t Space = Line.rfind(' ');
+    ASSERT_NE(Space, std::string::npos) << Line;
+    EXPECT_NE(Line.substr(0, Space).find("llvmmd_"), std::string::npos)
+        << Line;
+  }
+
+  // The /stats JSON carries the queue-wait aggregate next to job_us.
+  std::string Stats;
+  ASSERT_TRUE(Client.stats(&Stats));
+  EXPECT_NE(Stats.find("\"queue_wait_us\""), std::string::npos) << Stats;
   Server.stop();
 }
 

@@ -1,0 +1,322 @@
+//===- TelemetryTest.cpp - Metrics / trace / log unit tests -------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+// The observability stack's own tests: histogram bucket edges, counter
+// correctness under concurrent writers (run under TSan by the tsan
+// preset), Chrome trace-event JSON well-formedness, logger level
+// filtering — and the load-bearing invariant that none of it ever leaks
+// into the deterministic report channel: suite JSON is byte-identical
+// with tracing on or off.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Log.h"
+#include "support/Telemetry.h"
+#include "support/Trace.h"
+
+#include "driver/ValidationEngine.h"
+#include "ir/Module.h"
+#include "opt/Pass.h"
+#include "workload/Generator.h"
+#include "workload/Profiles.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace llvmmd;
+
+//===----------------------------------------------------------------------===//
+// Counters and gauges
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, CounterSumsConcurrentWriters) {
+  // Registered (not stack-allocated) so the instrument outlives the test
+  // the way production counters do; the name is test-local.
+  Counter &C = telemetry().counter("llvmmd_test_concurrent_total",
+                                   "concurrency test counter");
+  uint64_t Before = C.value();
+  constexpr unsigned Threads = 8;
+  constexpr unsigned PerThread = 20000;
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([&C] {
+      for (unsigned I = 0; I < PerThread; ++I)
+        C.inc();
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(C.value() - Before, uint64_t(Threads) * PerThread);
+}
+
+TEST(TelemetryTest, RegistryReturnsSameInstrumentForSameName) {
+  Counter &A = telemetry().counter("llvmmd_test_identity_total", "first");
+  Counter &B = telemetry().counter("llvmmd_test_identity_total", "second");
+  EXPECT_EQ(&A, &B);
+  Gauge &G1 = telemetry().gauge("llvmmd_test_identity_gauge", "g");
+  Gauge &G2 = telemetry().gauge("llvmmd_test_identity_gauge", "g");
+  EXPECT_EQ(&G1, &G2);
+}
+
+TEST(TelemetryTest, GaugeSetAndAdd) {
+  Gauge &G = telemetry().gauge("llvmmd_test_depth", "gauge test");
+  G.set(42);
+  EXPECT_EQ(G.value(), 42);
+  G.add(-40);
+  EXPECT_EQ(G.value(), 2);
+  G.set(0);
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram bucket edges
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, HistogramBucketEdges) {
+  Histogram &H = telemetry().histogram("llvmmd_test_edges_us",
+                                       "bucket edge test", {10, 100, 1000});
+  // Upper bounds are inclusive: an observation exactly on a bound lands in
+  // that bound's bucket, one past it lands in the next.
+  H.observe(0);    // bucket 0 (<= 10)
+  H.observe(10);   // bucket 0 (edge, inclusive)
+  H.observe(11);   // bucket 1
+  H.observe(100);  // bucket 1 (edge)
+  H.observe(101);  // bucket 2
+  H.observe(1000); // bucket 2 (edge)
+  H.observe(1001); // overflow (+Inf)
+  H.observe(~0ull); // overflow
+
+  EXPECT_EQ(H.bucketCount(0), 2u);
+  EXPECT_EQ(H.bucketCount(1), 2u);
+  EXPECT_EQ(H.bucketCount(2), 2u);
+  EXPECT_EQ(H.bucketCount(3), 2u); // implicit +Inf bucket
+  EXPECT_EQ(H.count(), 8u);
+  EXPECT_EQ(H.sum(), 0ull + 10 + 11 + 100 + 101 + 1000 + 1001 + ~0ull);
+}
+
+TEST(TelemetryTest, DefaultLatencyBoundsAreSortedAndShared) {
+  std::vector<uint64_t> B = defaultLatencyBoundsMicros();
+  ASSERT_FALSE(B.empty());
+  for (size_t I = 1; I < B.size(); ++I)
+    EXPECT_LT(B[I - 1], B[I]);
+  // The contract fleet roll-ups rely on: every call returns the same
+  // boundaries, so same-name histograms merge bucket-for-bucket.
+  EXPECT_EQ(B, defaultLatencyBoundsMicros());
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus exposition
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, RenderPrometheusShape) {
+  Counter &C =
+      telemetry().counter("llvmmd_test_render_total", "render test counter");
+  C.add(3);
+  Histogram &H = telemetry().histogram("llvmmd_test_render_us",
+                                       "render test histogram", {5, 50});
+  H.observe(1);
+  H.observe(100);
+
+  std::string Text = telemetry().renderPrometheus();
+  EXPECT_NE(Text.find("# HELP llvmmd_test_render_total render test counter"),
+            std::string::npos);
+  EXPECT_NE(Text.find("# TYPE llvmmd_test_render_total counter"),
+            std::string::npos);
+  EXPECT_NE(Text.find("# TYPE llvmmd_test_render_us histogram"),
+            std::string::npos);
+  // Cumulative buckets with the +Inf terminator, then sum and count.
+  EXPECT_NE(Text.find("llvmmd_test_render_us_bucket{le=\"5\"} 1"),
+            std::string::npos);
+  EXPECT_NE(Text.find("llvmmd_test_render_us_bucket{le=\"50\"} 1"),
+            std::string::npos);
+  EXPECT_NE(Text.find("llvmmd_test_render_us_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(Text.find("llvmmd_test_render_us_sum 101"), std::string::npos);
+  EXPECT_NE(Text.find("llvmmd_test_render_us_count 2"), std::string::npos);
+  // Families come out sorted by name, so the exposition is deterministic.
+  EXPECT_LT(Text.find("llvmmd_test_render_total"),
+            Text.find("llvmmd_test_render_us"));
+}
+
+//===----------------------------------------------------------------------===//
+// Trace collection and JSON
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Every test that enables tracing must disable it on every exit path —
+/// the tracer is process-global and a leak would silently slow later
+/// tests (and TSan runs) in this binary.
+struct TraceGuard {
+  TraceGuard() { traceEnable(); }
+  ~TraceGuard() { traceDisable(); }
+};
+
+} // namespace
+
+TEST(TelemetryTest, TraceSpansCollectAndRenderAsChromeJSON) {
+  TraceGuard G;
+  ASSERT_TRUE(traceEnabled());
+  {
+    TraceSpan Outer("outer", "test", "detail with \"quotes\" and \\slashes");
+    TraceSpan Inner("inner", "test");
+  }
+  traceCompleteEvent("direct", "test", 5, 10, "cross-thread");
+  EXPECT_EQ(traceEventCount(), 3u);
+
+  std::string Json = traceToJSON();
+  EXPECT_EQ(Json.find("displayTimeUnit") != std::string::npos, true);
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\": \"outer\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\": \"inner\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ts\": 5"), std::string::npos);
+  EXPECT_NE(Json.find("\"dur\": 10"), std::string::npos);
+  // The arg string is escaped, not emitted raw.
+  EXPECT_NE(Json.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_EQ(Json.find("detail with \"quotes\""), std::string::npos);
+}
+
+TEST(TelemetryTest, TraceDisabledCollectsNothing) {
+  ASSERT_FALSE(traceEnabled());
+  size_t Before = traceEventCount();
+  {
+    TraceSpan Span("ignored", "test");
+  }
+  traceCompleteEvent("also-ignored", "test", 0, 1);
+  EXPECT_EQ(traceEventCount(), Before);
+}
+
+TEST(TelemetryTest, TraceEnableResetsCollection) {
+  {
+    TraceGuard G;
+    TraceSpan("first", "test", std::string());
+  }
+  EXPECT_GE(traceEventCount(), 1u);
+  TraceGuard G2;
+  EXPECT_EQ(traceEventCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Reports stay byte-identical with telemetry on or off
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, SuiteJSONByteIdenticalWithTracingOnAndOff) {
+  BenchmarkProfile P = getProfile("sqlite");
+  P.FunctionCount = 10;
+
+  auto RunSuite = [&](bool Traced) {
+    Context Ctx;
+    auto M = generateBenchmark(Ctx, P);
+    EngineConfig C;
+    C.Threads = 2;
+    ValidationEngine Engine(C);
+    std::string Json;
+    if (Traced) {
+      TraceGuard G;
+      Json = suiteToJSON(Engine.runSuite({M.get()}, getPaperPipeline()).Report);
+      EXPECT_GT(traceEventCount(), 0u) << "tracing was on but no spans landed";
+    } else {
+      Json = suiteToJSON(Engine.runSuite({M.get()}, getPaperPipeline()).Report);
+    }
+    return Json;
+  };
+
+  std::string Plain = RunSuite(false);
+  std::string Traced = RunSuite(true);
+  std::string PlainAgain = RunSuite(false);
+  EXPECT_EQ(Plain, Traced) << "tracing changed the suite report bytes";
+  EXPECT_EQ(Plain, PlainAgain);
+  EXPECT_EQ(Plain.find("\"wall_us\""), std::string::npos);
+  EXPECT_EQ(Plain.find("\"phase_us\""), std::string::npos);
+}
+
+TEST(TelemetryTest, TimingOptInEmitsPhaseBreakdown) {
+  BenchmarkProfile P = getProfile("sqlite");
+  P.FunctionCount = 6;
+  Context Ctx;
+  auto M = generateBenchmark(Ctx, P);
+  ValidationEngine Engine;
+  SuiteRun Run = Engine.runSuite({M.get()}, getPaperPipeline());
+  EXPECT_FALSE(Run.Report.PhaseMicroseconds.empty());
+
+  std::string Timed = suiteToJSON(Run.Report, /*IncludeTiming=*/true);
+  EXPECT_NE(Timed.find("\"wall_us\""), std::string::npos);
+  EXPECT_NE(Timed.find("\"phase_us\""), std::string::npos);
+  EXPECT_NE(Timed.find("\"optimize\""), std::string::npos);
+  std::string Csv = suiteToCSV(Run.Report, /*IncludeTiming=*/true);
+  EXPECT_NE(Csv.find("phase,wall_us"), std::string::npos);
+  // And the default emitters never show it.
+  EXPECT_EQ(suiteToJSON(Run.Report).find("phase_us"), std::string::npos);
+  EXPECT_EQ(suiteToCSV(Run.Report).find("phase,wall_us"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Logger
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Restores the logger's global state (level, sink, shape) on scope exit.
+struct LogGuard {
+  LogGuard() = default;
+  ~LogGuard() {
+    setLogSinkForTesting(nullptr);
+    setLogJSON(false);
+    setLogLevel(LogLevel::Warn);
+  }
+};
+
+} // namespace
+
+TEST(TelemetryTest, ParseLogLevelSpellings) {
+  LogLevel L;
+  EXPECT_TRUE(parseLogLevel("debug", L));
+  EXPECT_EQ(L, LogLevel::Debug);
+  EXPECT_TRUE(parseLogLevel("warning", L));
+  EXPECT_EQ(L, LogLevel::Warn);
+  EXPECT_TRUE(parseLogLevel("silent", L));
+  EXPECT_EQ(L, LogLevel::Off);
+  EXPECT_FALSE(parseLogLevel("verbose", L));
+  EXPECT_FALSE(parseLogLevel("", L));
+}
+
+TEST(TelemetryTest, LoggerFiltersBelowThreshold) {
+  LogGuard G;
+  std::string Sink;
+  setLogSinkForTesting(&Sink);
+
+  setLogLevel(LogLevel::Warn);
+  logDebug("test", "dropped debug");
+  logInfo("test", "dropped info");
+  logWarn("test", "kept warn");
+  logError("test", "kept error");
+  EXPECT_EQ(Sink.find("dropped"), std::string::npos);
+  EXPECT_NE(Sink.find("llvmmd: warn: [test] kept warn"), std::string::npos);
+  EXPECT_NE(Sink.find("llvmmd: error: [test] kept error"), std::string::npos);
+
+  Sink.clear();
+  setLogLevel(LogLevel::Off);
+  logError("test", "dropped even errors");
+  EXPECT_TRUE(Sink.empty());
+
+  Sink.clear();
+  setLogLevel(LogLevel::Debug);
+  logDebug("test", "now visible");
+  EXPECT_NE(Sink.find("now visible"), std::string::npos);
+}
+
+TEST(TelemetryTest, LoggerJSONLines) {
+  LogGuard G;
+  std::string Sink;
+  setLogSinkForTesting(&Sink);
+  setLogLevel(LogLevel::Info);
+  setLogJSON(true);
+  logInfo("server", "a \"quoted\" message");
+  EXPECT_NE(Sink.find("\"level\": \"info\""), std::string::npos);
+  EXPECT_NE(Sink.find("\"component\": \"server\""), std::string::npos);
+  EXPECT_NE(Sink.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(Sink.find("\"ts_us\""), std::string::npos);
+  EXPECT_EQ(Sink.back(), '\n');
+}
