@@ -383,9 +383,13 @@ int main(int argc, char **argv) {
 
   // Tracing is enabled for the whole run (load through report emission)
   // and flushed after the reports are out, so an I/O failure on the trace
-  // path cannot cost the validation results.
-  if (!TracePath.empty())
+  // path cannot cost the validation results. batch_validate is a front
+  // door, so it mints the run's trace id itself — the same args.trace_id
+  // key a fleet flame carries, greppable from log lines.
+  if (!TracePath.empty()) {
     traceEnable();
+    traceSetCurrentTraceId(traceMintTraceId());
+  }
   auto WriteTrace = [&]() {
     if (TracePath.empty())
       return true;

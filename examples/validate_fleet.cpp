@@ -31,6 +31,13 @@
 //     --max-attempts N   dispatch attempts per job (default 2 = one
 //                        requeue after a worker crash)
 //     --no-health-ping   disable the monitor's protocol-level health pings
+//     --http-metrics A   serve GET /metrics (the fleet-wide Prometheus
+//                        roll-up) and /healthz over HTTP on HOST:PORT
+//                        (port 0 = ephemeral, printed at startup)
+//     --trace FILE       trace the fleet: every admitted job gets a trace
+//                        id, workers ship their spans home, and one
+//                        merged Chrome trace-event JSON (open in
+//                        ui.perfetto.dev) is written at shutdown
 //     --print-config-digest
 //                        print the handshake/store config digest and exit
 //     --log-level L      diagnostic log verbosity: debug|info|warn|error|
@@ -46,6 +53,7 @@
 
 #include "fleet/FleetRouter.h"
 #include "support/Log.h"
+#include "support/Trace.h"
 
 #include <csignal>
 #include <cstdio>
@@ -82,6 +90,7 @@ int main(int argc, char **argv) {
   C.UnixPath = "llvmmd-fleet.sock";
   C.WorkerBinary = defaultWorkerBinary(argv[0]);
   bool NoUnix = false, Quiet = false, PrintDigest = false;
+  std::string TracePath;
 
   for (int I = 1; I < argc; ++I) {
     auto Value = [&](const char *Opt) -> const char * {
@@ -175,6 +184,16 @@ int main(int argc, char **argv) {
       C.MaxJobAttempts = static_cast<unsigned>(N);
     } else if (std::strcmp(argv[I], "--no-health-ping") == 0) {
       C.HealthPing = false;
+    } else if (std::strcmp(argv[I], "--http-metrics") == 0) {
+      const char *V = Value("--http-metrics");
+      if (!V)
+        return 1;
+      C.HttpMetrics = V;
+    } else if (std::strcmp(argv[I], "--trace") == 0) {
+      const char *V = Value("--trace");
+      if (!V)
+        return 1;
+      TracePath = V;
     } else if (std::strcmp(argv[I], "--print-config-digest") == 0) {
       PrintDigest = true;
     } else if (std::strcmp(argv[I], "--log-level") == 0) {
@@ -202,12 +221,27 @@ int main(int argc, char **argv) {
   if (NoUnix)
     C.UnixPath.clear();
 
+  // Remember the HTTP host for the startup banner (scripts grep the
+  // "http:" line for the ephemeral port); the config moves into the
+  // router next.
+  std::string HttpHost = "127.0.0.1";
+  size_t HostEnd = C.HttpMetrics.rfind(':');
+  if (HostEnd != std::string::npos && HostEnd > 0)
+    HttpHost = C.HttpMetrics.substr(0, HostEnd);
+  if (HttpHost == "localhost")
+    HttpHost = "127.0.0.1";
+
   FleetRouter Router(std::move(C));
   if (PrintDigest) {
     std::printf("%016llx\n",
                 static_cast<unsigned long long>(Router.configDigest()));
     return 0;
   }
+
+  // Tracing goes on before the router serves: the Submit path mints a
+  // trace id for every admitted job only while tracing is enabled.
+  if (!TracePath.empty())
+    traceEnable();
 
   std::string Error;
   if (!Router.start(&Error)) {
@@ -228,11 +262,27 @@ int main(int argc, char **argv) {
                   static_cast<long>(WM->pid(W)), WM->socketPath(W).c_str());
     if (Router.boundTcpPort() >= 0)
       std::printf("  tcp: 127.0.0.1:%d\n", Router.boundTcpPort());
+    if (Router.boundHttpPort() >= 0)
+      std::printf("  http: %s:%d\n", HttpHost.c_str(),
+                  Router.boundHttpPort());
     std::fflush(stdout);
   }
 
   Router.wait();
   TheRouter = nullptr;
+
+  // Written after the drain: every dispatched job's span blob has been
+  // ingested by then, so the file is the whole fleet's merged flame.
+  if (!TracePath.empty()) {
+    std::string TraceErr;
+    if (!traceWriteFile(TracePath, &TraceErr))
+      std::fprintf(stderr, "error: cannot write trace: %s\n",
+                   TraceErr.c_str());
+    else if (!Quiet)
+      std::printf("validate_fleet: merged trace written to %s\n",
+                  TracePath.c_str());
+  }
+
   if (!Quiet)
     std::printf("validate_fleet: stopped cleanly\n");
   return 0;

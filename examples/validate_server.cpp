@@ -33,7 +33,12 @@
 //     --print-config-digest
 //                        print the handshake/store config digest and exit
 //     --slow-job-ms N    log a warn-level line for any job slower than N
-//                        milliseconds end-to-end (0 = disabled)
+//                        milliseconds end-to-end (0 = disabled); traced
+//                        jobs carry their trace id in the line
+//     --http-metrics A   serve GET /metrics (Prometheus text exposition,
+//                        same content as the protocol Metrics frame) and
+//                        /healthz over HTTP on HOST:PORT (port 0 =
+//                        ephemeral, printed at startup)
 //     --log-level L      diagnostic log verbosity: debug|info|warn|error|
 //                        off (default warn; LLVMMD_LOG env is the fallback)
 //     --log-json         emit log lines as JSON objects (one per line)
@@ -149,6 +154,11 @@ int main(int argc, char **argv) {
         return 1;
       C.SlowJobMicroseconds =
           static_cast<uint64_t>(std::strtoull(V, nullptr, 10)) * 1000;
+    } else if (std::strcmp(argv[I], "--http-metrics") == 0) {
+      const char *V = Value("--http-metrics");
+      if (!V)
+        return 1;
+      C.HttpMetrics = V;
     } else if (std::strcmp(argv[I], "--log-level") == 0) {
       const char *V = Value("--log-level");
       if (!V)
@@ -174,6 +184,16 @@ int main(int argc, char **argv) {
   if (NoUnix)
     C.UnixPath.clear();
 
+  // Remember the HTTP host for the startup banner (scripts grep the
+  // "http:" line for the ephemeral port); the config moves into the
+  // server next.
+  std::string HttpHost = "127.0.0.1";
+  size_t HostEnd = C.HttpMetrics.rfind(':');
+  if (HostEnd != std::string::npos && HostEnd > 0)
+    HttpHost = C.HttpMetrics.substr(0, HostEnd);
+  if (HttpHost == "localhost")
+    HttpHost = "127.0.0.1";
+
   ValidationServer Server(std::move(C));
   if (PrintDigest) {
     std::printf("%016llx\n",
@@ -198,6 +218,9 @@ int main(int argc, char **argv) {
                 Server.engineThreads());
     if (Server.boundTcpPort() >= 0)
       std::printf("  tcp: 127.0.0.1:%d\n", Server.boundTcpPort());
+    if (Server.boundHttpPort() >= 0)
+      std::printf("  http: %s:%d\n", HttpHost.c_str(),
+                  Server.boundHttpPort());
     std::fflush(stdout);
   }
 

@@ -41,8 +41,12 @@
 #              trace-event JSON (scripts/check_obs.py); a live server's
 #              /metrics scrape and a two-worker fleet's roll-up must both
 #              validate as Prometheus text exposition, the roll-up carrying
-#              per-worker labels; store_tool --stats must render the
-#              per-shard occupancy of the fleet's checkpointed store
+#              per-worker labels; both daemons must also answer a real
+#              HTTP GET on --http-metrics with the same exposition (no
+#              validate_client involved); a traced fleet job must merge
+#              into one flame — a single trace id spanning at least two
+#              pids; store_tool --stats must render the per-shard
+#              occupancy of the fleet's checkpointed store
 #   --fleet    local reproduction of the CI fleet job: start the router with
 #              two supervised workers, run the client suite twice (second
 #              pass 100% warm), kill -9 a worker mid-suite and require the
@@ -224,7 +228,7 @@ if [ "$MODE" = serve ]; then
 fi
 
 if [ "$MODE" = obs ]; then
-  # The CI observability job, locally. Four invariants:
+  # The CI observability job, locally. Six invariants:
   #  1. Telemetry never leaks into reports: suite JSON is byte-identical
   #     with --trace on and off, and across 1/2/8 threads.
   #  2. The emitted trace validates as Chrome trace-event JSON with at
@@ -233,7 +237,15 @@ if [ "$MODE" = obs ]; then
   #     exposition (scripts/check_obs.py prom) and carries server- and
   #     engine-layer families; the fleet roll-up likewise, with
   #     per-worker labels on the relabeled worker samples.
-  #  4. store_tool --stats renders the per-shard occupancy of the fleet's
+  #  4. Both daemons answer a plain HTTP GET on --http-metrics with the
+  #     same exposition — scraped with a raw socket (check_obs.py http),
+  #     no validate_client, the way Prometheus actually arrives. The
+  #     server's HTTP body must be byte-identical to the protocol scrape.
+  #  5. A traced fleet job merges into one flame: the router-written
+  #     trace holds a single trace id whose spans cover at least two
+  #     pids (router dispatch + worker engine phases), and the traced
+  #     run's suite JSON is byte-identical to the batch front door.
+  #  6. store_tool --stats renders the per-shard occupancy of the fleet's
   #     checkpointed store.
   cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
   cmake --build "$BUILD_DIR" -j "$(nproc)" \
@@ -270,29 +282,55 @@ if [ "$MODE" = obs ]; then
     echo "$2 did not come up" >&2
     return 1
   }
+  wait_http() {
+    # The startup banner's "  http: HOST:PORT" line carries the ephemeral
+    # port (the daemons bind --http-metrics ...:0 and fflush the banner).
+    for _ in $(seq 1 100); do
+      ADDR="$(awk '/^  http: / { print $2; exit }' "$1")"
+      [ -n "$ADDR" ] && { echo "$ADDR"; return 0; }
+      sleep 0.1
+    done
+    echo "http banner did not appear in $1" >&2
+    return 1
+  }
 
   # A daemon that has served a suite must expose both its own layer and
-  # the engine's counters at /metrics, in valid exposition format.
-  "$BUILD_DIR/validate_server" --listen "$DIR/s.sock" --quiet &
+  # the engine's counters at /metrics, in valid exposition format —
+  # identically over the framed protocol and over plain HTTP.
+  "$BUILD_DIR/validate_server" --listen "$DIR/s.sock" \
+    --http-metrics 127.0.0.1:0 > "$DIR/server.log" &
   DAEMON=$!
   wait_sock "$DIR/s.sock" "daemon"
+  SRV_HTTP="$(wait_http "$DIR/server.log")"
   run_client "$DIR/s.sock" --suite sqlite,hmmer --quiet --json "$DIR/srv.json"
   run_client "$DIR/s.sock" --metrics --quiet > "$DIR/server.prom"
+  python3 "$REPO_ROOT/scripts/check_obs.py" http "http://$SRV_HTTP/metrics"
+  python3 - "$SRV_HTTP" "$DIR/server.http.prom" << 'EOF'
+import sys, urllib.request
+body = urllib.request.urlopen("http://%s/metrics" % sys.argv[1]).read()
+open(sys.argv[2], "wb").write(body)
+EOF
   run_client "$DIR/s.sock" --shutdown --quiet
   wait "$DAEMON"
   python3 "$REPO_ROOT/scripts/check_obs.py" prom "$DIR/server.prom"
   grep -q '^llvmmd_server_jobs_completed_total ' "$DIR/server.prom"
   grep -q '^llvmmd_server_queue_wait_us_count ' "$DIR/server.prom"
   grep -q '^llvmmd_engine_pairs_validated_total ' "$DIR/server.prom"
+  # The transport must not change the bytes: HTTP scrape == protocol
+  # scrape (both taken after the suite, with the daemon idle).
+  cmp "$DIR/server.prom" "$DIR/server.http.prom"
 
   # The fleet roll-up: router-level families plus every worker's samples
-  # relabeled with worker="N", still one valid exposition document.
+  # relabeled with worker="N", still one valid exposition document —
+  # also answering over HTTP while jobs could be in flight.
   "$BUILD_DIR/validate_fleet" --listen "$DIR/f.sock" --workers 2 \
-    --cache "$DIR/f.vstore" --quiet > "$DIR/fleet.log" &
+    --cache "$DIR/f.vstore" --http-metrics 127.0.0.1:0 > "$DIR/fleet.log" &
   DAEMON=$!
   wait_sock "$DIR/f.sock" "fleet"
+  FLT_HTTP="$(wait_http "$DIR/fleet.log")"
   run_client "$DIR/f.sock" --suite sqlite,hmmer --quiet --json "$DIR/flt.json"
   run_client "$DIR/f.sock" --metrics --quiet > "$DIR/fleet.prom"
+  python3 "$REPO_ROOT/scripts/check_obs.py" http "http://$FLT_HTTP/metrics"
   run_client "$DIR/f.sock" --shutdown --quiet
   wait "$DAEMON"
   DAEMON=""
@@ -301,12 +339,33 @@ if [ "$MODE" = obs ]; then
   grep -q '^llvmmd_fleet_jobs_completed_total ' "$DIR/fleet.prom"
   grep -q '^llvmmd_server_jobs_completed_total{worker=' "$DIR/fleet.prom"
 
+  # The merged flame: a traced single-job fleet run must produce a trace
+  # with exactly one trace id spanning at least two pids, and the traced
+  # run's report must be byte-identical to the batch front door over the
+  # same module (tracing is invisible in reports).
+  "$BUILD_DIR/validate_fleet" --listen "$DIR/t.sock" --workers 2 \
+    --trace "$DIR/fleet.trace.json" > "$DIR/traced.log" &
+  DAEMON=$!
+  wait_sock "$DIR/t.sock" "traced fleet"
+  run_client "$DIR/t.sock" --suite hmmer --quiet --json "$DIR/traced.json"
+  run_client "$DIR/t.sock" --shutdown --quiet
+  wait "$DAEMON"
+  DAEMON=""
+  python3 "$REPO_ROOT/scripts/check_obs.py" trace "$DIR/fleet.trace.json" \
+    --single-trace-id --min-pids 2
+  rc=0
+  "$BUILD_DIR/batch_validate" --suite hmmer --quiet \
+    --json "$DIR/hmmer_batch.json" || rc=$?
+  [ "$rc" -eq 0 ] || [ "$rc" -eq 2 ]
+  cmp "$DIR/traced.json" "$DIR/hmmer_batch.json"
+
   # The drain checkpointed the merged store; --stats must render its
   # per-shard occupancy (and exit 0: every shard healthy).
   "$BUILD_DIR/store_tool" --stats "$DIR/f.vstore" | grep -q 'shard 0:'
 
   echo "check.sh (obs): OK — reports byte-identical with telemetry on/off" \
-    "and across thread counts, trace and /metrics formats validated"
+    "and across thread counts, trace and /metrics validated over the" \
+    "protocol and over HTTP, one trace id across processes"
   exit 0
 fi
 

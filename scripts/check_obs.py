@@ -1,15 +1,21 @@
 #!/usr/bin/env python3
 """check_obs.py - validate the observability output formats. Stdlib only.
 
-Two subcommands, both exiting nonzero with a pointed message on the first
-violation:
+Three subcommands, all exiting nonzero with a pointed message on the
+first violation:
 
-  check_obs.py trace FILE
+  check_obs.py trace FILE [--single-trace-id] [--min-pids N]
       FILE must be Chrome trace-event JSON as chrome://tracing and Perfetto
       accept it: a top-level object with a "traceEvents" list; every event
       carries name/cat/ph/ts/pid/tid with the right types; complete events
       (ph == "X") also carry a non-negative integer "dur". Requires at
       least one event (a suite run that traced nothing is a wiring bug).
+      --single-trace-id additionally requires that at least one event
+      carries args.trace_id and that all such events agree on one value —
+      the merged-fleet-flame invariant. --min-pids N requires the traced
+      events (all events, if none carry a trace id) to span at least N
+      distinct pids: a fleet trace that never left the router's process
+      means span propagation is broken.
 
   check_obs.py prom FILE
       FILE must be Prometheus text exposition format: every non-comment
@@ -19,12 +25,21 @@ violation:
       _count, with bucket counts non-decreasing and the +Inf bucket equal
       to _count. Requires at least one llvmmd_-prefixed sample.
 
+  check_obs.py http URL
+      GETs URL (http:// only) exactly as a Prometheus scraper would — no
+      validate_client, no framed protocol — and requires a 200 status, the
+      exposition Content-Type (text/plain; version=0.0.4), and a body that
+      passes the same checks as `prom`.
+
 Used by scripts/check.sh --obs and the CI observability job.
 """
 
+import argparse
+import http.client
 import json
 import re
 import sys
+import urllib.parse
 
 
 def fail(msg):
@@ -32,7 +47,7 @@ def fail(msg):
     sys.exit(1)
 
 
-def check_trace(path):
+def check_trace(path, single_trace_id=False, min_pids=0):
     with open(path, "rb") as f:
         try:
             doc = json.load(f)
@@ -61,7 +76,27 @@ def check_trace(path):
             if not isinstance(dur, int) or isinstance(dur, bool) or dur < 0:
                 fail("%s: complete event needs non-negative integer 'dur'"
                      % where)
-    print("check_obs: trace OK — %d event(s) in %s" % (len(events), path))
+
+    traced = [ev for ev in events
+              if isinstance(ev.get("args"), dict)
+              and "trace_id" in ev["args"]]
+    if single_trace_id:
+        ids = {ev["args"]["trace_id"] for ev in traced}
+        if not ids:
+            fail("%s: no event carries args.trace_id (id propagation "
+                 "is broken)" % path)
+        if len(ids) != 1:
+            fail("%s: %d distinct trace ids in one merged trace: %s"
+                 % (path, len(ids), ", ".join(sorted(ids))))
+    if min_pids:
+        pids = {ev["pid"] for ev in (traced or events)}
+        if len(pids) < min_pids:
+            fail("%s: trace spans %d pid(s), expected >= %d (worker spans "
+                 "never reached the merge)" % (path, len(pids), min_pids))
+
+    print("check_obs: trace OK — %d event(s), %d traced, %d pid(s) in %s"
+          % (len(events), len(traced),
+             len({ev["pid"] for ev in events}), path))
 
 
 # `name{labels} value` — labels optional, value is prometheus float text
@@ -74,6 +109,8 @@ TYPE_RE = re.compile(r'^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) '
                      r'(counter|gauge|histogram|summary|untyped)$')
 HELP_RE = re.compile(r'^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$')
 LE_RE = re.compile(r'le="([^"]*)"')
+
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4"
 
 
 def labels_minus_le(labels):
@@ -93,18 +130,16 @@ def family_of(name):
     return name
 
 
-def check_prom(path):
-    with open(path, "r") as f:
-        text = f.read()
+def check_prom_text(text, where_label):
     if text and not text.endswith("\n"):
-        fail("%s: missing trailing newline" % path)
+        fail("%s: missing trailing newline" % where_label)
 
     types = {}      # family -> type string
     samples = []    # (name, labels-or-"", value, lineno)
     for lineno, line in enumerate(text.splitlines(), 1):
         if not line:
             continue
-        where = "%s:%d" % (path, lineno)
+        where = "%s:%d" % (where_label, lineno)
         if line.startswith("# TYPE "):
             m = TYPE_RE.match(line)
             if not m:
@@ -132,7 +167,7 @@ def check_prom(path):
 
     llvmmd = [s for s in samples if s[0].startswith("llvmmd_")]
     if not llvmmd:
-        fail("%s: no llvmmd_-prefixed samples" % path)
+        fail("%s: no llvmmd_-prefixed samples" % where_label)
 
     # Histogram consistency: per (family, non-le label set) the cumulative
     # buckets must be non-decreasing, end in le="+Inf", and match _count.
@@ -149,7 +184,7 @@ def check_prom(path):
                 le = LE_RE.search(labels)
                 if not le:
                     fail("%s:%d: %s_bucket without an le label"
-                         % (path, lineno, fam))
+                         % (where_label, lineno, fam))
                 entry["buckets"].append((le.group(1), int(float(value))))
             elif name.endswith("_count"):
                 entry["count"] = int(float(value))
@@ -157,35 +192,81 @@ def check_prom(path):
             tag = "%s%s" % (fam, rest)
             buckets = entry["buckets"]
             if not buckets:
-                fail("%s: histogram %s has no buckets" % (path, tag))
+                fail("%s: histogram %s has no buckets" % (where_label, tag))
             if buckets[-1][0] != "+Inf":
                 fail("%s: histogram %s does not end in le=\"+Inf\""
-                     % (path, tag))
+                     % (where_label, tag))
             prev = 0
             for le, v in buckets:
                 if v < prev:
                     fail("%s: histogram %s bucket le=%r not cumulative "
-                         "(%d < %d)" % (path, tag, le, v, prev))
+                         "(%d < %d)" % (where_label, tag, le, v, prev))
                 prev = v
             if entry["count"] is None:
-                fail("%s: histogram %s missing _count" % (path, tag))
+                fail("%s: histogram %s missing _count" % (where_label, tag))
             if buckets[-1][1] != entry["count"]:
                 fail("%s: histogram %s +Inf bucket %d != _count %d"
-                     % (path, tag, buckets[-1][1], entry["count"]))
+                     % (where_label, tag, buckets[-1][1], entry["count"]))
 
     print("check_obs: prom OK — %d sample(s), %d llvmmd family(ies) in %s"
           % (len(samples),
-             len({family_of(s[0]) for s in llvmmd}), path))
+             len({family_of(s[0]) for s in llvmmd}), where_label))
+
+
+def check_prom(path):
+    with open(path, "r") as f:
+        check_prom_text(f.read(), path)
+
+
+def check_http(url):
+    u = urllib.parse.urlsplit(url)
+    if u.scheme != "http" or not u.hostname:
+        fail("%s: need an http://HOST:PORT/... URL" % url)
+    path = u.path or "/"
+    if u.query:
+        path += "?" + u.query
+    try:
+        conn = http.client.HTTPConnection(u.hostname, u.port or 80,
+                                          timeout=10)
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        body = resp.read().decode("utf-8", errors="replace")
+    except OSError as e:
+        fail("%s: request failed: %s" % (url, e))
+    if resp.status != 200:
+        fail("%s: HTTP %d %s (want 200 OK)"
+             % (url, resp.status, resp.reason))
+    ctype = resp.getheader("Content-Type", "")
+    if not ctype.startswith(EXPOSITION_CONTENT_TYPE):
+        fail("%s: Content-Type %r does not announce the exposition format "
+             "(%r)" % (url, ctype, EXPOSITION_CONTENT_TYPE))
+    print("check_obs: http OK — 200, Content-Type %r from %s" % (ctype, url))
+    check_prom_text(body, url)
 
 
 def main(argv):
-    if len(argv) != 3 or argv[1] not in ("trace", "prom"):
-        print("usage: check_obs.py {trace|prom} FILE", file=sys.stderr)
-        return 2
-    if argv[1] == "trace":
-        check_trace(argv[2])
+    parser = argparse.ArgumentParser(
+        prog="check_obs.py",
+        description="validate observability output formats (stdlib only)")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    t = sub.add_parser("trace", help="Chrome trace-event JSON file")
+    t.add_argument("file")
+    t.add_argument("--single-trace-id", action="store_true",
+                   help="all traced events must share one args.trace_id")
+    t.add_argument("--min-pids", type=int, default=0, metavar="N",
+                   help="traced events must span at least N distinct pids")
+    pr = sub.add_parser("prom", help="Prometheus text exposition file")
+    pr.add_argument("file")
+    h = sub.add_parser("http", help="GET a /metrics URL and validate it")
+    h.add_argument("url")
+    args = parser.parse_args(argv[1:])
+
+    if args.cmd == "trace":
+        check_trace(args.file, args.single_trace_id, args.min_pids)
+    elif args.cmd == "prom":
+        check_prom(args.file)
     else:
-        check_prom(argv[2])
+        check_http(args.url)
     return 0
 
 

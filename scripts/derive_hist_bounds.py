@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Derive the shared latency-histogram bucket bounds from measured data.
+
+Reads validation-report JSONs (the committed benchmark baselines under
+bench/baselines/) and prints a C++ initializer for
+`defaultLatencyBoundsMicros()` in src/support/Telemetry.cpp:
+
+    python3 scripts/derive_hist_bounds.py bench/baselines/*.json
+
+Method: pool every per-function `us` sample together with the module-level
+`wall_us`/`validation_us` samples, take evenly spaced quantiles of each of
+the two populations (function-level latencies and whole-job latencies live
+three decades apart, so one quantile sweep over the pool would spend all
+its resolution on the bigger population), snap each quantile up to a
+human-readable grid ({1, 1.5, 2, 2.5, 3, 4, 5, 7.5} x 10^k), and append
+fixed headroom bounds above the observed maximum so regressions land in a
+real bucket instead of +Inf.
+
+Every layer shares one bound layout — that is what lets the fleet roll-up
+merge same-name histograms bucket-for-bucket — so the output is baked into
+defaultLatencyBoundsMicros(), never computed per binary. Stdlib only.
+"""
+
+import json
+import sys
+
+GRID_MANTISSAS = (1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0, 7.5)
+
+# Headroom above the measured maximum: a slow job under contention, a
+# pathological suite, and the "something is wedged" bucket.
+HEADROOM_US = (1_000_000, 2_500_000, 10_000_000, 60_000_000)
+
+# Quantiles per population. The low end is anchored at the 5th percentile
+# so the first bucket is informative, the top at the 95th so the maximum
+# is covered by the headroom bounds instead of a data-chasing bound.
+QUANTILES = (0.05, 0.25, 0.50, 0.75, 0.90, 0.95)
+
+
+def snap_up(value):
+    """Smallest grid point >= value."""
+    if value <= 0:
+        return 1
+    scale = 1
+    while True:
+        for m in GRID_MANTISSAS:
+            candidate = m * scale
+            if candidate >= value and candidate == int(candidate):
+                return int(candidate)
+        scale *= 10
+
+
+def quantile(sorted_vals, q):
+    """Nearest-rank quantile (deterministic, no interpolation)."""
+    if not sorted_vals:
+        return None
+    idx = min(len(sorted_vals) - 1, max(0, round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[idx]
+
+
+def collect(paths):
+    fn_us, job_us = [], []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        for key in ("wall_us", "validation_us"):
+            v = doc.get(key)
+            if isinstance(v, int) and v > 0:
+                job_us.append(v)
+        for fn in doc.get("functions", []):
+            v = fn.get("us")
+            if isinstance(v, int) and v > 0:
+                fn_us.append(v)
+    return sorted(fn_us), sorted(job_us)
+
+
+def bridge(bounds, max_ratio=10):
+    """No bucket spans more than a decade: the measured distribution is
+    bimodal (sub-ms functions, hundreds-of-ms jobs) and a drifting latency
+    should climb through buckets, not vanish into one three-decade bin."""
+    out = [bounds[0]]
+    for b in bounds[1:]:
+        while b > out[-1] * max_ratio:
+            out.append(snap_up(out[-1] * max_ratio))
+        out.append(b)
+    return sorted(set(out))
+
+
+def derive(fn_us, job_us):
+    bounds = set()
+    for population in (fn_us, job_us):
+        for q in QUANTILES:
+            v = quantile(population, q)
+            if v is not None:
+                bounds.add(snap_up(v))
+    bounds.update(HEADROOM_US)
+    return bridge(sorted(bounds))
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.stderr.write(__doc__)
+        return 2
+    fn_us, job_us = collect(argv[1:])
+    if not fn_us and not job_us:
+        sys.stderr.write("no latency samples found in the given reports\n")
+        return 1
+    bounds = derive(fn_us, job_us)
+    print("// %d function samples, %d job samples from %d report(s)"
+          % (len(fn_us), len(job_us), len(argv) - 1))
+    print("std::vector<uint64_t> defaultLatencyBoundsMicros() {")
+    body = ", ".join(str(b) for b in bounds)
+    print("  return {%s};" % body)
+    print("}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

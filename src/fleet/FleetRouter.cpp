@@ -7,7 +7,9 @@
 #include "fleet/FleetRouter.h"
 
 #include "driver/VerdictStore.h"
+#include "support/Http.h"
 #include "support/Log.h"
+#include "support/Telemetry.h"
 #include "support/Trace.h"
 
 #include <chrono>
@@ -161,6 +163,41 @@ void mergeWorkerScrape(const std::string &Text, unsigned Worker,
 } // namespace
 
 std::string FleetRouter::metricsText() const {
+  // Short-TTL cache with coalescing: a fresh sweep is served to everyone
+  // who asks within the TTL, and scrapes racing a cache miss wait for the
+  // one in-flight sweep instead of stampeding the workers. TTL 0 keeps
+  // the coalescing but never serves stale text.
+  const auto Ttl = std::chrono::milliseconds(Cfg.MetricsCacheTtlMs);
+  std::unique_lock<std::mutex> G(MetricsCacheLock);
+  for (;;) {
+    if (MetricsCacheValid && Cfg.MetricsCacheTtlMs &&
+        std::chrono::steady_clock::now() - MetricsCacheAt < Ttl)
+      return MetricsCache;
+    if (!MetricsRefreshInFlight)
+      break;
+    MetricsCacheCV.wait(G); // the in-flight sweep's result serves us too
+  }
+  MetricsRefreshInFlight = true;
+  G.unlock();
+  std::string Text = buildRollup();
+  G.lock();
+  MetricsCache = Text;
+  MetricsCacheAt = std::chrono::steady_clock::now();
+  MetricsCacheValid = true;
+  MetricsRefreshInFlight = false;
+  MetricsCacheCV.notify_all();
+  return Text;
+}
+
+int FleetRouter::boundHttpPort() const {
+  return Http ? Http->boundPort() : -1;
+}
+
+std::string FleetRouter::buildRollup() const {
+  // The sweep count is itself a sample in the roll-up (bumped before the
+  // snapshot below so each sweep sees itself); the delta between two
+  // scrapes tells an operator how well the cache is coalescing.
+  const_cast<FleetRouter *>(this)->bumpCounter(&FleetCounters::MetricsSweeps);
   FleetCounters C = counters();
   JobTable::Stats T = tableStats();
 
@@ -198,25 +235,54 @@ std::string FleetRouter::metricsText() const {
        "Dispatcher reconnects to (re)spawned workers", C.WorkerReconnects);
   Emit("llvmmd_fleet_frames_fanned_total", "counter",
        "Response frames fanned out to subscribers", T.FramesFanned);
+  Emit("llvmmd_fleet_metrics_sweeps_total", "counter",
+       "Worker metric sweeps performed (cache hits excluded)",
+       C.MetricsSweeps);
 
-  // Per-worker scrapes over fresh connections: the dispatcher threads
-  // exclusively own the cached links, and a connection thread must never
-  // block behind a dispatch. A worker mid-respawn is simply reported
-  // down; the roll-up stays useful while the monitor restarts it.
+  // Per-worker scrapes, preferably over the dispatchers' persistent
+  // links: every dispatcher is asked up front (they scrape concurrently
+  // between jobs), then each answer is collected against one shared
+  // deadline. A dispatcher that is mid-job, drained, or whose link is
+  // down answers late or not at all — those workers fall back to a fresh
+  // dial, so a worker mid-respawn is simply reported down and the
+  // roll-up stays useful while the monitor restarts it.
+  std::vector<uint64_t> Targets(Cfg.Workers, 0);
+  for (unsigned W = 0; W < Cfg.Workers && WM; ++W) {
+    WorkerLink &L = *Links[W];
+    std::lock_guard<std::mutex> LG(L.Lock);
+    Targets[W] = ++L.ScrapeSeq;
+    L.CV.notify_all();
+  }
+  const auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(300);
+
   std::vector<std::string> Order;
   std::map<std::string, ExpoFamily> Families;
   std::string Up = "# HELP llvmmd_fleet_worker_up Worker scrape reachability "
                    "(1 = scraped)\n# TYPE llvmmd_fleet_worker_up gauge\n";
   for (unsigned W = 0; W < Cfg.Workers && WM; ++W) {
+    WorkerLink &L = *Links[W];
     std::string Text, Err;
-    ServerClient Probe;
-    Probe.MaxFrameBytes = Cfg.MaxFrameBytes;
-    Probe.Retry.Retries = 2;
-    Probe.Retry.BaseDelayMs = 5;
-    Probe.Retry.MaxDelayMs = 20;
-    bool Ok = Probe.connectUnix(WM->socketPath(W), &Err) &&
-              Probe.handshake(configDigest(), nullptr, &Err) &&
-              Probe.metrics(&Text, &Err);
+    bool Ok = false, Answered = false;
+    {
+      std::unique_lock<std::mutex> LG(L.Lock);
+      Answered = L.CV.wait_until(
+          LG, Deadline, [&] { return L.ScrapeDoneSeq >= Targets[W]; });
+      if (Answered && L.ScrapeOk) {
+        Ok = true;
+        Text = L.ScrapeText;
+      }
+    }
+    if (!Ok) {
+      ServerClient Probe;
+      Probe.MaxFrameBytes = Cfg.MaxFrameBytes;
+      Probe.Retry.Retries = 2;
+      Probe.Retry.BaseDelayMs = 5;
+      Probe.Retry.MaxDelayMs = 20;
+      Ok = Probe.connectUnix(WM->socketPath(W), &Err) &&
+           Probe.handshake(configDigest(), nullptr, &Err) &&
+           Probe.metrics(&Text, &Err);
+    }
     Up += "llvmmd_fleet_worker_up{worker=\"" + std::to_string(W) + "\"} " +
           (Ok ? "1" : "0") + "\n";
     if (Ok)
@@ -334,6 +400,34 @@ bool FleetRouter::start(std::string *Error) {
       return false;
   }
 
+  // The /metrics sidecar binds before the workers spawn: a bad
+  // --http-metrics address should fail fast, not after paying fleet
+  // startup. The handler runs on the responder's own connection threads
+  // and only ever calls the (internally locked) roll-up.
+  if (!Cfg.HttpMetrics.empty()) {
+    Http = std::make_unique<HttpServer>();
+    Http->handle("/metrics", [this] {
+      HttpResponse R;
+      R.ContentType = PrometheusContentType;
+      R.Body = metricsText();
+      return R;
+    });
+    Http->handle("/healthz", [] {
+      HttpResponse R;
+      R.Body = "ok\n";
+      return R;
+    });
+    if (!Http->start(Cfg.HttpMetrics, Error)) {
+      Http.reset();
+      for (int Fd : ListenFds)
+        ::close(Fd);
+      ListenFds.clear();
+      if (!Cfg.UnixPath.empty())
+        ::unlink(Cfg.UnixPath.c_str());
+      return false;
+    }
+  }
+
   JobTable::Config TC;
   TC.ConfigDigest = configDigest();
   TC.Workers = Cfg.Workers;
@@ -361,6 +455,10 @@ bool FleetRouter::start(std::string *Error) {
   WM = std::make_unique<WorkerManager>(WC);
   if (!WM->start(Error)) {
     WM.reset();
+    if (Http) {
+      Http->stop();
+      Http.reset();
+    }
     for (int Fd : ListenFds)
       ::close(Fd);
     ListenFds.clear();
@@ -432,6 +530,11 @@ void FleetRouter::stop() {
   ListenFds.clear();
   if (!Cfg.UnixPath.empty())
     ::unlink(Cfg.UnixPath.c_str());
+
+  // The HTTP responder outlives the drain so a scraper watching the
+  // shutdown sees the final counters; it goes down last.
+  if (Http)
+    Http->stop();
 
   Stopped = true;
   LifeCV.notify_all();
@@ -598,6 +701,12 @@ bool FleetRouter::handleFrame(const std::shared_ptr<Connection> &C,
                                  " jobs pending)");
       return true;
     }
+    // The fleet's front door mints the trace id: when the router is
+    // tracing, every admitted job gets one (client-supplied ids are
+    // kept), rides the Submit frame to the worker, and comes home on
+    // JobDone with the worker's span blob.
+    if (traceEnabled() && S.TraceId == 0)
+      S.TraceId = traceMintTraceId();
     auto Sink = std::make_shared<JobTable::Sink>();
     std::shared_ptr<Connection> Keep = C;
     Sink->Write = [this, Keep](FrameType T, const std::string &P) {
@@ -698,9 +807,17 @@ void FleetRouter::dispatcherLoop(unsigned W) {
       // Bounded wait: the signal-safe stop path stores flags without a
       // notify.
       while (!L.CV.wait_for(G, std::chrono::milliseconds(200), [&] {
-        return DrainAndExit.load() || !L.Queue.empty();
+        return DrainAndExit.load() || !L.Queue.empty() ||
+               L.ScrapeDoneSeq < L.ScrapeSeq;
       }))
         ;
+      if (L.ScrapeDoneSeq < L.ScrapeSeq) {
+        // A scrape is waiting on the persistent link; it is quick, so it
+        // goes first, and the loop re-checks for a job right after.
+        G.unlock();
+        serviceScrape(W);
+        continue;
+      }
       if (L.Queue.empty()) {
         if (DrainAndExit)
           break;
@@ -712,7 +829,45 @@ void FleetRouter::dispatcherLoop(unsigned W) {
     --QueuedJobs;
     runJobOnWorker(W, J);
   }
+  // A roll-up racing the drain must not wait out its deadline on a
+  // dispatcher that will never answer.
+  {
+    std::lock_guard<std::mutex> G(L.Lock);
+    L.ScrapeDoneSeq = L.ScrapeSeq;
+    L.ScrapeOk = false;
+    L.ScrapeText.clear();
+  }
+  L.CV.notify_all();
   L.Client.reset();
+}
+
+void FleetRouter::serviceScrape(unsigned W) {
+  WorkerLink &L = *Links[W];
+  uint64_t Target;
+  {
+    std::lock_guard<std::mutex> G(L.Lock);
+    if (L.ScrapeDoneSeq >= L.ScrapeSeq)
+      return;
+    Target = L.ScrapeSeq;
+  }
+  // Reuse the persistent link only when it already exists for the live
+  // worker generation: a scrape must never pay the reconnect retry
+  // schedule (the roll-up's fresh-dial fallback covers a down link), and
+  // answering "no" fast beats answering "yes" slowly.
+  std::string Text, Err;
+  bool Ok = false;
+  if (L.Client && WM && L.ConnectedGen == WM->generation(W)) {
+    Ok = L.Client->metrics(&Text, &Err);
+    if (!Ok)
+      L.Client.reset(); // poisoned link; the next job redials
+  }
+  {
+    std::lock_guard<std::mutex> G(L.Lock);
+    L.ScrapeDoneSeq = Target;
+    L.ScrapeOk = Ok;
+    L.ScrapeText = std::move(Text);
+  }
+  L.CV.notify_all();
 }
 
 bool FleetRouter::ensureWorkerLink(unsigned W, std::string *Error) {
@@ -774,8 +929,11 @@ void FleetRouter::runJobOnWorker(unsigned W, const JobTable::JobPtr &J) {
   WorkerLink &L = *Links[W];
   Table->beginAttempt(J);
   bumpCounter(&FleetCounters::JobsDispatched);
-  TraceSpan DispatchSpan("dispatch", "fleet",
-                         "worker " + std::to_string(W));
+  // Explicit trace id: dispatcher threads run concurrent traced jobs, so
+  // the process-global current id would be ambiguous here.
+  TraceSpan DispatchSpan("dispatch", "fleet", J->Req.TraceId,
+                         "worker " + std::to_string(W) + " job " +
+                             std::to_string(J->Id));
 
   // Worker-lost epilogue: requeue at the front of this worker's queue (the
   // restarted worker picks it straight back up) until the attempt budget
@@ -785,10 +943,12 @@ void FleetRouter::runJobOnWorker(unsigned W, const JobTable::JobPtr &J) {
     if (Table->requeueOrFail(J)) {
       bumpCounter(&FleetCounters::JobsRequeued);
       logWarn("fleet", "worker " + std::to_string(W) + " lost (" + Why +
-                           "); job requeued");
+                           "); job " + std::to_string(J->Id) + " requeued" +
+                           traceLogTag(J->Req.TraceId));
       if (traceEnabled())
-        traceCompleteEvent("requeue", "fleet", traceNowUs(), 0,
-                           "worker " + std::to_string(W));
+        traceCompleteEventForTrace(J->Req.TraceId, "requeue", "fleet",
+                                   traceNowUs(), 0,
+                                   "worker " + std::to_string(W));
       ++QueuedJobs;
       {
         std::lock_guard<std::mutex> G(L.Lock);
@@ -798,8 +958,10 @@ void FleetRouter::runJobOnWorker(unsigned W, const JobTable::JobPtr &J) {
     } else {
       bumpCounter(&FleetCounters::JobsFailed);
       logError("fleet", "worker " + std::to_string(W) + " lost (" + Why +
-                            "); attempt budget spent, job failed with "
-                            "WorkerLost");
+                            "); attempt budget spent, job " +
+                            std::to_string(J->Id) +
+                            " failed with WorkerLost" +
+                            traceLogTag(J->Req.TraceId));
     }
   };
 
@@ -828,6 +990,16 @@ void FleetRouter::runJobOnWorker(unsigned W, const JobTable::JobPtr &J) {
       JobDonePayload D;
       if (!decodeJobDone(F.Payload, D))
         return Lost("undecodable JobDone");
+      // The worker ships its spans home on JobDone; merging them here is
+      // what turns a fleet job into one flame across pids. A bad blob
+      // only costs the worker's spans, never the job.
+      if (D.TraceId && !D.TraceBlob.empty() && traceEnabled()) {
+        std::string IngestErr;
+        if (!traceIngestEvents(D.TraceBlob, &IngestErr))
+          logWarn("fleet", "job " + std::to_string(J->Id) +
+                               ": span blob rejected: " + IngestErr +
+                               traceLogTag(D.TraceId));
+      }
       Table->complete(J, D);
       bumpCounter(&FleetCounters::JobsCompleted);
       return;

@@ -95,6 +95,15 @@ struct FleetConfig {
   unsigned PingTimeoutMs = 2000;
   bool HealthPing = true;
   uint32_t MaxFrameBytes = DefaultMaxFrameBytes;
+  /// `HOST:PORT` for the embedded HTTP responder (GET /metrics +
+  /// /healthz; empty = none, port 0 = ephemeral). A stock Prometheus can
+  /// scrape the fleet-wide roll-up straight off the router.
+  std::string HttpMetrics;
+  /// How long one roll-up's worker sweep stays fresh: scrapes within the
+  /// TTL are served from cache, and concurrent scrapes coalesce onto one
+  /// in-flight sweep either way. 0 disables caching (every scrape
+  /// sweeps). Kept short by default — a scrape is a view of "now".
+  unsigned MetricsCacheTtlMs = 250;
 };
 
 struct FleetCounters {
@@ -113,6 +122,9 @@ struct FleetCounters {
   uint64_t JobsRequeued = 0;
   uint64_t WorkerReconnects = 0;
   uint64_t MaxQueueDepth = 0;
+  /// Worker sweeps actually performed by the metrics roll-up; scrapes
+  /// served from cache or coalesced onto an in-flight sweep don't count.
+  uint64_t MetricsSweeps = 0;
 };
 
 class FleetRouter {
@@ -159,9 +171,16 @@ public:
   /// format: the router's own `llvmmd_fleet_*` families plus every live
   /// worker's scrape with its samples re-labeled `worker="N"` (same-name
   /// families from different workers merge into one `# TYPE` group).
-  /// Scrapes run on the calling connection thread over fresh connections;
-  /// the dispatcher-owned links are never touched.
+  /// Served from a short-TTL cache (MetricsCacheTtlMs); on a miss, one
+  /// sweep runs and concurrent scrapes wait for its result instead of
+  /// sweeping again. The sweep asks each dispatcher to scrape over its
+  /// persistent worker link (serviced between jobs), falling back to a
+  /// fresh dial when the link is down or the dispatcher is mid-job.
   std::string metricsText() const;
+
+  /// The HTTP responder's kernel-assigned port; -1 when HttpMetrics is
+  /// unset or before start().
+  int boundHttpPort() const;
 
   /// Test/demo access to the supervised workers (pids, kill).
   WorkerManager *workers() { return WM.get(); }
@@ -183,6 +202,16 @@ private:
     std::deque<JobTable::JobPtr> Queue;
     std::unique_ptr<ServerClient> Client;
     uint64_t ConnectedGen = 0;
+    /// Scrape-request slot: the roll-up sweep bumps ScrapeSeq and the
+    /// dispatcher — the only thread allowed to touch Client — answers
+    /// between jobs, setting ScrapeDoneSeq/ScrapeOk/ScrapeText and
+    /// notifying CV. A dispatcher that is mid-job simply doesn't answer
+    /// before the requester's deadline, which then falls back to a fresh
+    /// dial. Guarded by Lock.
+    uint64_t ScrapeSeq = 0;
+    uint64_t ScrapeDoneSeq = 0;
+    bool ScrapeOk = false;
+    std::string ScrapeText;
   };
 
   bool listenOn(int Fd, const std::string &What, std::string *Error);
@@ -190,6 +219,12 @@ private:
   void handleConnection(std::shared_ptr<Connection> C);
   bool handleFrame(const std::shared_ptr<Connection> &C, const Frame &F);
   void dispatcherLoop(unsigned W);
+  /// Dispatcher-thread only: answer a pending scrape request over the
+  /// persistent link (if it is currently connected).
+  void serviceScrape(unsigned W);
+  /// One actual worker sweep + roll-up render (the cache miss path of
+  /// metricsText).
+  std::string buildRollup() const;
   /// One dispatch attempt; requeues or finishes the job itself.
   void runJobOnWorker(unsigned W, const JobTable::JobPtr &J);
   bool ensureWorkerLink(unsigned W, std::string *Error);
@@ -202,6 +237,19 @@ private:
   std::unique_ptr<JobTable> Table;
   std::unique_ptr<WorkerManager> WM;
   std::vector<std::unique_ptr<WorkerLink>> Links;
+  /// The /metrics + /healthz sidecar (HttpMetrics config); null when off.
+  std::unique_ptr<class HttpServer> Http;
+
+  /// Roll-up cache: one sweep's rendered text plus its timestamp, and the
+  /// in-flight flag that coalesces concurrent cache misses onto a single
+  /// sweep. All guarded by MetricsCacheLock (mutable: metricsText is
+  /// logically const).
+  mutable std::mutex MetricsCacheLock;
+  mutable std::condition_variable MetricsCacheCV;
+  mutable std::string MetricsCache;
+  mutable std::chrono::steady_clock::time_point MetricsCacheAt;
+  mutable bool MetricsCacheValid = false;
+  mutable bool MetricsRefreshInFlight = false;
 
   std::vector<int> ListenFds;
   int BoundTcpPort = -1;

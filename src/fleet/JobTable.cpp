@@ -32,8 +32,13 @@ bool sameSubmission(const SubmitPayload &A, const SubmitPayload &B) {
 
 uint64_t JobTable::keyOf(const SubmitPayload &Req) const {
   // encodeSubmit is deterministic (length-prefixed fields in order), so its
-  // bytes are a faithful identity for the submission.
-  std::string Bytes = encodeSubmit(Req);
+  // bytes are a faithful identity for the submission — after zeroing the
+  // trace id, which names an observation of the job, not the job: two
+  // identical suites submitted under different trace ids must still dedup
+  // onto one engine run (sameSubmission likewise ignores it).
+  SubmitPayload Canon = Req;
+  Canon.TraceId = 0;
+  std::string Bytes = encodeSubmit(Canon);
   return hashCombine(Cfg.ConfigDigest, hashBytes(Bytes.data(), Bytes.size()));
 }
 
@@ -207,8 +212,13 @@ void JobTable::finishLocked(std::unique_lock<std::mutex> &TableG, Job &J,
 
 void JobTable::complete(const JobPtr &J, JobDonePayload Done) {
   // The worker numbered the job in its own space; subscribers know the
-  // router's id. Everything else in the payload is forwarded untouched.
+  // router's id. The span blob is the router's to merge, not the
+  // subscribers' to re-parse — it is stripped here (the dispatcher has
+  // already ingested it), while the trace id itself fans out so a traced
+  // client can join its JobDone to the merged flame. Everything else in
+  // the payload is forwarded untouched.
   Done.JobId = J->Id;
+  Done.TraceBlob.clear();
   std::unique_lock<std::mutex> TG(TableLock);
   finishLocked(TG, *J, FrameType::JobDone, encodeJobDone(Done));
 }

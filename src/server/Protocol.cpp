@@ -154,6 +154,11 @@ std::string llvmmd::encodeSubmit(const SubmitPayload &P) {
     appendLPString(Out, M.Text);
     appendU32LE(Out, M.FnCount);
   }
+  // Optional trailing trace id: absent entirely for untraced submissions,
+  // which keeps them byte-identical to the pre-trace v3 encoding (and
+  // keeps hash-of-encoding job keys stable across the upgrade).
+  if (P.TraceId)
+    appendU64LE(Out, P.TraceId);
   return Out;
 }
 
@@ -177,6 +182,10 @@ bool llvmmd::decodeSubmit(const std::string &Bytes, SubmitPayload &P) {
       return false;
     P.Modules.push_back(std::move(M));
   }
+  P.TraceId = 0;
+  if (!atEnd(Bytes, Cur) &&
+      !readU64LE(Bytes.data(), Bytes.size(), Cur, P.TraceId))
+    return false;
   return atEnd(Bytes, Cur);
 }
 
@@ -237,22 +246,35 @@ std::string llvmmd::encodeJobDone(const JobDonePayload &P) {
   appendU64LE(Out, P.TriageWarmHits);
   appendU64LE(Out, P.TriageMisses);
   appendU64LE(Out, P.WallMicroseconds);
+  // Optional trailing trace fields, same contract as encodeSubmit: only a
+  // traced job's JobDone grows, untraced bytes stay pre-trace v3.
+  if (P.TraceId) {
+    appendU64LE(Out, P.TraceId);
+    appendLPString(Out, P.TraceBlob);
+  }
   return Out;
 }
 
 bool llvmmd::decodeJobDone(const std::string &Bytes, JobDonePayload &P) {
   size_t Cur = 0;
-  return readU64LE(Bytes.data(), Bytes.size(), Cur, P.JobId) &&
-         readU8(Bytes, Cur, P.Status) &&
-         readU64LE(Bytes.data(), Bytes.size(), Cur, P.Hits) &&
-         readU64LE(Bytes.data(), Bytes.size(), Cur, P.WarmHits) &&
-         readU64LE(Bytes.data(), Bytes.size(), Cur, P.Misses) &&
-         readU64LE(Bytes.data(), Bytes.size(), Cur, P.SkippedIdentical) &&
-         readU64LE(Bytes.data(), Bytes.size(), Cur, P.TriageHits) &&
-         readU64LE(Bytes.data(), Bytes.size(), Cur, P.TriageWarmHits) &&
-         readU64LE(Bytes.data(), Bytes.size(), Cur, P.TriageMisses) &&
-         readU64LE(Bytes.data(), Bytes.size(), Cur, P.WallMicroseconds) &&
-         atEnd(Bytes, Cur);
+  if (!(readU64LE(Bytes.data(), Bytes.size(), Cur, P.JobId) &&
+        readU8(Bytes, Cur, P.Status) &&
+        readU64LE(Bytes.data(), Bytes.size(), Cur, P.Hits) &&
+        readU64LE(Bytes.data(), Bytes.size(), Cur, P.WarmHits) &&
+        readU64LE(Bytes.data(), Bytes.size(), Cur, P.Misses) &&
+        readU64LE(Bytes.data(), Bytes.size(), Cur, P.SkippedIdentical) &&
+        readU64LE(Bytes.data(), Bytes.size(), Cur, P.TriageHits) &&
+        readU64LE(Bytes.data(), Bytes.size(), Cur, P.TriageWarmHits) &&
+        readU64LE(Bytes.data(), Bytes.size(), Cur, P.TriageMisses) &&
+        readU64LE(Bytes.data(), Bytes.size(), Cur, P.WallMicroseconds)))
+    return false;
+  P.TraceId = 0;
+  P.TraceBlob.clear();
+  if (!atEnd(Bytes, Cur) &&
+      !(readU64LE(Bytes.data(), Bytes.size(), Cur, P.TraceId) &&
+        readLPString(Bytes.data(), Bytes.size(), Cur, P.TraceBlob)))
+    return false;
+  return atEnd(Bytes, Cur);
 }
 
 std::string llvmmd::encodeError(const ErrorPayload &P) {

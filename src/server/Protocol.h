@@ -71,7 +71,12 @@ namespace llvmmd {
 /// Bumped on any wire-format change; a version mismatch fails the
 /// handshake in either direction. v2: fleet frames (Subscribe, JobId,
 /// WorkerHello/WorkerHelloOk). v3: telemetry frames (Metrics,
-/// MetricsReply).
+/// MetricsReply). Still v3: the trace extension (Submit carries a
+/// trailing TraceId, JobDone a trailing TraceId + span blob) is encoded
+/// only for traced jobs and decoded only if present, so both directions
+/// interoperate with pre-trace v3 peers — untraced traffic is
+/// byte-identical, and a traced field reaching an old decoder only fails
+/// that one frame's strict-length check, never the handshake.
 constexpr uint32_t ServerProtocolVersion = 3;
 
 /// Default ceiling on one frame's payload. Large enough for a suite report
@@ -177,6 +182,14 @@ struct SubmitModule {
 
 struct SubmitPayload {
   std::vector<SubmitModule> Modules;
+  /// Distributed-tracing id minted at the front door (router or
+  /// `batch_validate`); 0 = untraced. **Optional trailing field**: encoded
+  /// only when nonzero, so untraced traffic is byte-identical to the
+  /// pre-trace v3 wire format and a decoder that stops at the module list
+  /// (an old peer) simply never sees a traced submission's id. TraceId
+  /// never contributes to job identity — the fleet's dedup key zeroes it
+  /// before hashing.
+  uint64_t TraceId = 0;
 };
 
 struct AcceptedPayload {
@@ -213,6 +226,15 @@ struct JobDonePayload {
   uint64_t TriageWarmHits = 0;
   uint64_t TriageMisses = 0;
   uint64_t WallMicroseconds = 0;
+  /// Echo of the submission's trace id (0 = untraced); optional trailing
+  /// field, same compatibility contract as SubmitPayload::TraceId.
+  uint64_t TraceId = 0;
+  /// The executing server's span buffer for this job, serialized by
+  /// `traceSerializeEvents` — shipped back so the router can merge worker
+  /// spans into one flame. Present only when TraceId is nonzero; the
+  /// router strips it (keeping TraceId) before fanning JobDone out to
+  /// subscribers.
+  std::string TraceBlob;
 };
 
 struct ErrorPayload {

@@ -9,6 +9,7 @@
 #include "driver/ModuleLoader.h"
 #include "ir/Module.h"
 #include "opt/Pass.h"
+#include "support/Http.h"
 #include "support/Log.h"
 #include "support/Telemetry.h"
 #include "support/Trace.h"
@@ -97,6 +98,10 @@ uint64_t ValidationServer::configDigest() const {
 
 unsigned ValidationServer::engineThreads() const {
   return Engine ? Engine->getThreadCount() : 0;
+}
+
+int ValidationServer::boundHttpPort() const {
+  return Http ? Http->boundPort() : -1;
 }
 
 ServerCounters ValidationServer::counters() const {
@@ -254,6 +259,28 @@ bool ValidationServer::start(std::string *Error) {
       return false;
   }
 
+  if (!Cfg.HttpMetrics.empty()) {
+    Http = std::make_unique<HttpServer>();
+    Http->handle("/metrics", [this] {
+      HttpResponse R;
+      R.ContentType = PrometheusContentType;
+      R.Body = metricsText();
+      return R;
+    });
+    Http->handle("/healthz", [] {
+      HttpResponse R;
+      R.Body = "ok\n";
+      return R;
+    });
+    if (!Http->start(Cfg.HttpMetrics, Error)) {
+      Http.reset();
+      for (int Fd : ListenFds)
+        ::close(Fd);
+      ListenFds.clear();
+      return false;
+    }
+  }
+
   // The engine loads the warm store here (CacheLoad), before any client
   // can connect — a half-loaded cache can never serve a request.
   Engine = std::make_unique<ValidationEngine>(Cfg.Engine);
@@ -317,6 +344,10 @@ void ValidationServer::stop() {
   ListenFds.clear();
   if (!Cfg.UnixPath.empty())
     ::unlink(Cfg.UnixPath.c_str());
+  // The HTTP sidecar outlives the drain (a scrape during shutdown still
+  // answers) and goes down last.
+  if (Http)
+    Http->stop();
 
   Stopped = true;
   LifeCV.notify_all();
@@ -573,6 +604,14 @@ bool ValidationServer::handleFrame(Connection &C, const Frame &F) {
         Gate = std::make_shared<JobGate>();
         J.Gate = Gate;
         J.Enqueued = std::chrono::steady_clock::now();
+        // A traced submission turns span collection on for its own sake
+        // (a fleet worker has no --trace of its own); the executor turns
+        // it back off once no traced work remains. Enabling here, at
+        // admission, puts the job's queue wait inside the trace epoch.
+        if (J.Req.TraceId && !traceEnabled()) {
+          traceEnable();
+          TraceSelfEnabled = true;
+        }
         Queue.push_back(std::move(J));
         serverMetrics().QueueDepth.set(static_cast<int64_t>(Queue.size()));
       }
@@ -697,6 +736,12 @@ void ValidationServer::executorLoop() {
       Queue.pop_front();
       serverMetrics().QueueDepth.set(static_cast<int64_t>(Queue.size()));
     }
+    // Everything the executor (and the engine pool under it) records from
+    // here to JobDone belongs to this job: snapshot the buffer index for
+    // the span blob and point the process-global current trace id at the
+    // job so every nested span inherits it.
+    J.TraceStartIdx = J.Req.TraceId ? traceEventCount() : 0;
+    traceSetCurrentTraceId(J.Req.TraceId);
     // Accepted -> executor-start wait, measured at the pop so it covers
     // exactly the time the job sat behind others (or a paused executor).
     uint64_t WaitUs = elapsedMicroseconds(J.Enqueued);
@@ -710,6 +755,23 @@ void ValidationServer::executorLoop() {
       Counters.QueueWaitMicroseconds += WaitUs;
     }
     runJob(J);
+    traceSetCurrentTraceId(0);
+    if (J.Req.TraceId) {
+      // Turn self-enabled collection back off once the queue holds no
+      // more traced jobs, so an untraced daemon stops accumulating
+      // events. An operator's --trace (TraceSelfEnabled false) stays on.
+      std::lock_guard<std::mutex> G(QueueLock);
+      if (TraceSelfEnabled) {
+        bool MoreTraced = false;
+        for (const Job &Q : Queue)
+          if (Q.Req.TraceId)
+            MoreTraced = true;
+        if (!MoreTraced) {
+          traceDisable();
+          TraceSelfEnabled = false;
+        }
+      }
+    }
     ++SinceCheckpoint;
     if (Cfg.CheckpointEveryJobs &&
         SinceCheckpoint >= Cfg.CheckpointEveryJobs) {
@@ -776,7 +838,11 @@ void ValidationServer::runJob(const Job &J) {
     J.Gate->CV.wait(G, [&] { return J.Gate->Open; });
   }
   auto Start = std::chrono::steady_clock::now();
-  TraceSpan JobSpan("job", "server", "job " + std::to_string(J.Id));
+  // Not a plain RAII span: a traced job's blob is serialized before the
+  // JobDone frame, and the "job" span must already be in the buffer by
+  // then — so it is closed by hand right after the suite report streams.
+  auto JobSpan = std::make_unique<TraceSpan>("job", "server",
+                                             "job " + std::to_string(J.Id));
   Connection &C = *J.Conn;
 
   // Materialize every module up front so a bad submission fails before any
@@ -790,6 +856,8 @@ void ValidationServer::runJob(const Job &J) {
     std::vector<UnsupportedFunctionEntry> U;
     const Module *Mod = materializeModule(M, JobCtx, Own, &U, &Error);
     if (!Mod) {
+      logWarn("server", "job " + std::to_string(J.Id) + " failed: " + Error +
+                            traceLogTag(J.Req.TraceId));
       sendError(C, ErrorCode::BadSubmit, Error);
       std::lock_guard<std::mutex> G(StatsLock);
       ++Counters.JobsErrored;
@@ -841,6 +909,9 @@ void ValidationServer::runJob(const Job &J) {
   // timing fields, which is what makes the equality testable).
   sendFrame(C, FrameType::SuiteReport, suiteToJSON(SR));
 
+  // Close the job span now so a traced job's blob carries it.
+  JobSpan.reset();
+
   const EngineCacheStats After = Engine->cacheStats();
   JobDonePayload D;
   D.JobId = J.Id;
@@ -853,6 +924,13 @@ void ValidationServer::runJob(const Job &J) {
   D.TriageWarmHits = After.TriageWarmHits - Before.TriageWarmHits;
   D.TriageMisses = After.TriageMisses - Before.TriageMisses;
   D.WallMicroseconds = SR.WallMicroseconds;
+  if (J.Req.TraceId) {
+    // Ship this job's spans home: the router (or whoever traced the
+    // submission) merges them into its own buffer, rebased onto its
+    // epoch, so one fleet job renders as one flame across pids.
+    D.TraceId = J.Req.TraceId;
+    D.TraceBlob = traceSerializeEvents(J.TraceStartIdx);
+  }
 
   // Counters first, then the frame: a client holding JobDone must see its
   // job reflected in /stats.
@@ -869,6 +947,7 @@ void ValidationServer::runJob(const Job &J) {
             "slow job " + std::to_string(J.Id) + ": " +
                 std::to_string(SR.WallMicroseconds / 1000) + " ms over " +
                 std::to_string(SR.Modules.size()) + " module(s), threshold " +
-                std::to_string(Cfg.SlowJobMicroseconds / 1000) + " ms");
+                std::to_string(Cfg.SlowJobMicroseconds / 1000) + " ms" +
+                traceLogTag(J.Req.TraceId));
   sendFrame(C, FrameType::JobDone, encodeJobDone(D));
 }

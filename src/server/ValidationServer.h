@@ -95,6 +95,12 @@ struct ServerConfig {
   /// this many microseconds (0 = disabled). Diagnostic only — the job
   /// itself is unaffected.
   uint64_t SlowJobMicroseconds = 0;
+  /// `HOST:PORT` for the embedded HTTP responder serving GET /metrics and
+  /// /healthz (empty = none; port 0 = ephemeral, read back with
+  /// boundHttpPort()). Lets a stock Prometheus scrape the daemon without
+  /// `validate_client` as a bridge; the body is byte-identical to the
+  /// protocol Metrics frame.
+  std::string HttpMetrics;
 };
 
 /// Monotonic serving counters, exposed through /stats (statsJSON) and the
@@ -170,6 +176,10 @@ public:
   /// The kernel-assigned port when TcpPort was 0; -1 before start().
   int boundTcpPort() const { return BoundTcpPort; }
 
+  /// The HTTP responder's kernel-assigned port; -1 when HttpMetrics is
+  /// unset or before start().
+  int boundHttpPort() const;
+
   unsigned engineThreads() const;
 
   ServerCounters counters() const;
@@ -216,6 +226,11 @@ private:
     /// Stamped under QueueLock at admission; the executor measures
     /// Accepted -> executor-start queue wait against it on pop.
     std::chrono::steady_clock::time_point Enqueued;
+    /// Event-buffer index snapshotted at executor pop: the job's own
+    /// spans are exactly [TraceStartIdx, end) when JobDone is built,
+    /// because the executor is the only traced writer between pop and
+    /// done. Meaningful only for traced jobs (Req.TraceId != 0).
+    size_t TraceStartIdx = 0;
   };
 
   bool listenOn(int Fd, const std::string &What, std::string *Error);
@@ -242,6 +257,13 @@ private:
   ServerConfig Cfg;
   std::string Pipeline;
   std::unique_ptr<ValidationEngine> Engine;
+  /// The /metrics + /healthz sidecar (HttpMetrics config); null when off.
+  std::unique_ptr<class HttpServer> Http;
+  /// True while span collection is on because a *traced job* turned it on
+  /// (as opposed to the operator's --trace): the executor turns it back
+  /// off once no traced work remains, so an untraced daemon does not
+  /// accumulate events forever. Guarded by QueueLock.
+  bool TraceSelfEnabled = false;
 
   /// Generated-profile cache: submitted profiles are materialized once per
   /// (name, function-count) and revalidated from the same IR afterwards.

@@ -1,0 +1,238 @@
+//===- Http.cpp - Minimal embedded HTTP/1.1 responder ---------------------===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Http.h"
+
+#include "support/Log.h"
+
+#include <cstring>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+using namespace llvmmd;
+
+namespace {
+
+const char *statusReason(int Status) {
+  switch (Status) {
+  case 200:
+    return "OK";
+  case 400:
+    return "Bad Request";
+  case 404:
+    return "Not Found";
+  case 405:
+    return "Method Not Allowed";
+  default:
+    return "Internal Server Error";
+  }
+}
+
+#ifndef _WIN32
+bool sendAll(int Fd, const std::string &Bytes) {
+  size_t Sent = 0;
+  while (Sent < Bytes.size()) {
+    ssize_t N = ::send(Fd, Bytes.data() + Sent, Bytes.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N <= 0)
+      return false;
+    Sent += static_cast<size_t>(N);
+  }
+  return true;
+}
+#endif
+
+} // namespace
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(const std::string &Path, HttpHandler H) {
+  Handlers[Path] = std::move(H);
+}
+
+std::string HttpServer::boundAddress() const {
+  if (BoundPort < 0)
+    return "";
+  return Host + ":" + std::to_string(BoundPort);
+}
+
+bool HttpServer::start(const std::string &HostPort, std::string *Error) {
+#ifndef _WIN32
+  if (Started) {
+    if (Error)
+      *Error = "http server already started";
+    return false;
+  }
+  size_t Colon = HostPort.rfind(':');
+  if (Colon == std::string::npos || Colon + 1 >= HostPort.size()) {
+    if (Error)
+      *Error = "http address must be HOST:PORT, got '" + HostPort + "'";
+    return false;
+  }
+  Host = HostPort.substr(0, Colon);
+  if (Host == "localhost")
+    Host = "127.0.0.1";
+  int Port = -1;
+  try {
+    Port = std::stoi(HostPort.substr(Colon + 1));
+  } catch (...) {
+  }
+  if (Port < 0 || Port > 65535) {
+    if (Error)
+      *Error = "bad http port in '" + HostPort + "'";
+    return false;
+  }
+
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    if (Error)
+      *Error = "bad http host '" + Host + "' (numeric IPv4 or localhost)";
+    return false;
+  }
+
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  int One = 1;
+  if (Fd >= 0)
+    ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (Fd < 0 ||
+      ::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, 16) != 0) {
+    if (Error)
+      *Error = "cannot bind http listener on " + HostPort;
+    if (Fd >= 0)
+      ::close(Fd);
+    return false;
+  }
+  socklen_t AddrLen = sizeof(Addr);
+  ::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &AddrLen);
+  BoundPort = ntohs(Addr.sin_port);
+  ListenFd = Fd;
+  Stop = false;
+  Started = true;
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  return true;
+#else
+  (void)HostPort;
+  if (Error)
+    *Error = "the http responder is POSIX-only";
+  return false;
+#endif
+}
+
+void HttpServer::stop() {
+#ifndef _WIN32
+  if (!Started)
+    return;
+  Stop = true;
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  ListenFd = -1;
+  {
+    std::unique_lock<std::mutex> G(ConnLock);
+    ConnDoneCV.wait(G, [this] { return ActiveConns == 0; });
+  }
+  Started = false;
+#endif
+}
+
+void HttpServer::acceptLoop() {
+#ifndef _WIN32
+  while (!Stop) {
+    pollfd P{ListenFd, POLLIN, 0};
+    int N = ::poll(&P, 1, /*timeout_ms=*/100);
+    if (N <= 0 || !(P.revents & POLLIN))
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    // Bounded I/O either way: a scraper that stalls mid-request or stops
+    // reading the reply costs one connection thread for a few seconds,
+    // never the daemon.
+    timeval Timeout{5, 0};
+    ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Timeout, sizeof(Timeout));
+    ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Timeout, sizeof(Timeout));
+    {
+      std::lock_guard<std::mutex> G(ConnLock);
+      ++ActiveConns;
+    }
+    std::thread([this, Fd] {
+      serveConnection(Fd);
+      std::lock_guard<std::mutex> G(ConnLock);
+      --ActiveConns;
+      ConnDoneCV.notify_all();
+    }).detach();
+  }
+#endif
+}
+
+void HttpServer::serveConnection(int Fd) {
+#ifndef _WIN32
+  // Read until the blank line ending the header block; request bodies are
+  // out of scope (GET only) and anything past 8KB of headers is abuse.
+  std::string Request;
+  char Buf[1024];
+  while (Request.find("\r\n\r\n") == std::string::npos &&
+         Request.size() < 8192) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      break;
+    Request.append(Buf, static_cast<size_t>(N));
+  }
+
+  HttpResponse R;
+  std::string Allow;
+  size_t LineEnd = Request.find("\r\n");
+  size_t Sp1 = Request.find(' ');
+  size_t Sp2 = Sp1 == std::string::npos ? std::string::npos
+                                        : Request.find(' ', Sp1 + 1);
+  if (LineEnd == std::string::npos || Sp1 == std::string::npos ||
+      Sp2 == std::string::npos || Sp2 > LineEnd) {
+    R.Status = 400;
+    R.Body = "malformed request line\n";
+  } else {
+    std::string Method = Request.substr(0, Sp1);
+    std::string Path = Request.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+    size_t Query = Path.find('?');
+    if (Query != std::string::npos)
+      Path.resize(Query);
+    if (Method != "GET") {
+      R.Status = 405;
+      R.Body = "only GET is served here\n";
+      Allow = "Allow: GET\r\n";
+    } else {
+      auto It = Handlers.find(Path);
+      if (It == Handlers.end()) {
+        R.Status = 404;
+        R.Body = "no such path: " + Path + "\n";
+      } else {
+        R = It->second();
+      }
+    }
+  }
+
+  std::string Reply = "HTTP/1.1 " + std::to_string(R.Status) + " " +
+                      statusReason(R.Status) + "\r\n" + Allow +
+                      "Content-Type: " + R.ContentType + "\r\n" +
+                      "Content-Length: " + std::to_string(R.Body.size()) +
+                      "\r\nConnection: close\r\n\r\n" + R.Body;
+  if (!sendAll(Fd, Reply))
+    logDebug("http", "short write on reply (peer gone?)");
+  ::close(Fd);
+#else
+  (void)Fd;
+#endif
+}

@@ -1,0 +1,94 @@
+//===- Http.h - Minimal embedded HTTP/1.1 responder -------------*- C++ -*-===//
+//
+// Part of the llvm-md project (PLDI 2011 value-graph validation repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately tiny HTTP/1.1 server for the daemons' sidecar endpoints
+/// (`GET /metrics`, `GET /healthz`) so a stock Prometheus can scrape a
+/// `validate_server` or `validate_fleet` without `validate_client` as a
+/// bridge. No dependencies, blocking POSIX sockets, one detached thread
+/// per connection (scrapes are short; the framed protocol keeps the real
+/// traffic).
+///
+/// Scope is intentionally narrow: GET only (anything else is 405), exact
+/// path match after stripping the query string (miss is 404), headers are
+/// read and discarded, every response carries Content-Length and closes
+/// the connection. That is the whole contract a scraper needs; this is
+/// not a web framework.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLVMMD_SUPPORT_HTTP_H
+#define LLVMMD_SUPPORT_HTTP_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace llvmmd {
+
+struct HttpResponse {
+  int Status = 200;
+  /// Full Content-Type header value, e.g. the Prometheus exposition
+  /// `text/plain; version=0.0.4; charset=utf-8`.
+  std::string ContentType = "text/plain; charset=utf-8";
+  std::string Body;
+};
+
+/// Handler for one route; runs on the connection's thread, so it may
+/// block briefly (the fleet roll-up does) but must be thread-safe.
+using HttpHandler = std::function<HttpResponse()>;
+
+class HttpServer {
+public:
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer &) = delete;
+  HttpServer &operator=(const HttpServer &) = delete;
+
+  /// Registers \p H for exact-match GETs of \p Path. Call before start().
+  void handle(const std::string &Path, HttpHandler H);
+
+  /// Binds `HOST:PORT` (numeric IPv4 or `localhost`; port 0 = ephemeral,
+  /// read back with boundPort()) and spawns the accept thread. False with
+  /// \p Error on a bad address or bind failure.
+  bool start(const std::string &HostPort, std::string *Error = nullptr);
+
+  /// Joins the accept thread and waits for in-flight connections.
+  void stop();
+
+  /// Kernel-assigned port after start(); -1 before.
+  int boundPort() const { return BoundPort; }
+
+  /// `host:port` actually bound (ephemeral port resolved); empty before
+  /// start().
+  std::string boundAddress() const;
+
+private:
+  void acceptLoop();
+  void serveConnection(int Fd);
+
+  int ListenFd = -1;
+  int BoundPort = -1;
+  std::string Host;
+  std::map<std::string, HttpHandler> Handlers;
+  std::atomic<bool> Stop{false};
+  std::atomic<bool> Started{false};
+  std::thread AcceptThread;
+
+  std::mutex ConnLock;
+  std::condition_variable ConnDoneCV;
+  unsigned ActiveConns = 0; // guarded by ConnLock
+};
+
+} // namespace llvmmd
+
+#endif // LLVMMD_SUPPORT_HTTP_H

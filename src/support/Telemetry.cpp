@@ -29,10 +29,18 @@ Histogram::Histogram(std::vector<uint64_t> UpperBounds)
       BucketCounts(Bounds.size() + 1) {}
 
 std::vector<uint64_t> defaultLatencyBoundsMicros() {
-  return {100,        250,        500,        1000,      2500,
-          5000,       10000,      25000,      50000,     100000,
-          250000,     500000,     1000000,    2500000,   10000000,
-          60000000};
+  // Derived by scripts/derive_hist_bounds.py from the committed baseline
+  // distributions (bench/baselines/BENCH_scaling*.json: 24 function
+  // samples, 4 job samples): quantiles of the two measured populations —
+  // per-function validations cluster in 130µs–2ms, whole jobs in
+  // 220–320ms — snapped to a readable grid, decade-bridged so no bucket
+  // spans more than 10x, with fixed headroom bounds above the observed
+  // maximum. Re-run the script when the baselines move. One shared
+  // layout for every layer: the fleet roll-up merges same-name
+  // histograms bucket-for-bucket, which only works if worker and router
+  // agree on the edges.
+  return {150,    400,    750,     2000,    20000,    200000,
+          250000, 400000, 1000000, 2500000, 10000000, 60000000};
 }
 
 struct MetricsRegistry::Family {

@@ -118,10 +118,17 @@ private:
   Counter Sum;
 };
 
-/// Default latency boundaries: ~exponential from 100us to 60s. Shared by
-/// job/queue-wait/checkpoint histograms so fleet roll-ups can merge
-/// bucket-for-bucket.
+/// Default latency boundaries, 100us to 60s. Shared by job/queue-wait/
+/// checkpoint histograms so fleet roll-ups can merge bucket-for-bucket.
+/// Derived from the measured distributions in `bench/baselines/` by
+/// `scripts/derive_hist_bounds.py` (see the .cpp for the layout notes);
+/// re-run that script against fresh BENCH artifacts before retuning.
 std::vector<uint64_t> defaultLatencyBoundsMicros();
+
+/// The Content-Type a Prometheus text-exposition response must carry
+/// (the HTTP /metrics endpoints serve renderPrometheus() under it).
+inline constexpr const char *PrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
 
 class MetricsRegistry {
 public:

@@ -6,6 +6,8 @@
 
 #include "support/Trace.h"
 
+#include "support/Hashing.h"
+
 #include <cstdio>
 #include <mutex>
 #include <vector>
@@ -19,15 +21,18 @@ namespace llvmmd {
 namespace {
 
 struct TraceEvent {
-  const char *Name;
-  const char *Cat;
+  std::string Name;
+  std::string Cat;
   std::string Arg;
+  uint64_t TraceId;
   uint64_t StartUs;
   uint64_t DurUs;
   uint32_t Tid;
+  uint64_t Pid; // 0 = this process (rendered as getpid()); else origin pid
 };
 
 std::atomic<bool> Enabled{false};
+std::atomic<uint64_t> CurrentTraceId{0};
 std::mutex EventsLock;
 std::vector<TraceEvent> Events; // guarded by EventsLock
 std::chrono::steady_clock::time_point Epoch;
@@ -36,6 +41,25 @@ uint32_t threadTid() {
   static std::atomic<uint32_t> NextTid{1};
   thread_local uint32_t Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
   return Tid;
+}
+
+uint64_t localPid() {
+#ifndef _WIN32
+  return static_cast<uint64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+/// The trace epoch as absolute steady-clock microseconds. CLOCK_MONOTONIC
+/// has one origin machine-wide, so two processes' epochs expressed this
+/// way differ by exactly the wall time between their traceEnable() calls —
+/// that difference is the rebase offset for ingested events.
+uint64_t epochAbsUsLocked() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          Epoch.time_since_epoch())
+          .count());
 }
 
 void appendEscaped(std::string &Out, const std::string &S) {
@@ -64,6 +88,28 @@ void appendEscaped(std::string &Out, const std::string &S) {
     }
   }
 }
+
+void recordEvent(uint64_t TraceId, const char *Name, const char *Cat,
+                 uint64_t StartUs, uint64_t DurUs, const std::string &Arg) {
+  if (!traceEnabled())
+    return;
+  TraceEvent E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.Arg = Arg;
+  E.TraceId = TraceId;
+  E.StartUs = StartUs;
+  E.DurUs = DurUs;
+  E.Tid = threadTid();
+  E.Pid = 0;
+  std::lock_guard<std::mutex> Guard(EventsLock);
+  Events.push_back(std::move(E));
+}
+
+// Span-blob wire tags (independent of the server protocol version: the
+// blob is opaque payload inside a JobDone frame).
+constexpr char BlobMagic[4] = {'L', 'M', 'T', 'R'};
+constexpr uint32_t BlobVersion = 1;
 
 } // namespace
 
@@ -95,17 +141,120 @@ uint64_t traceNowUs() {
 
 void traceCompleteEvent(const char *Name, const char *Cat, uint64_t StartUs,
                         uint64_t DurUs, const std::string &Arg) {
-  if (!traceEnabled())
-    return;
-  TraceEvent E;
-  E.Name = Name;
-  E.Cat = Cat;
-  E.Arg = Arg;
-  E.StartUs = StartUs;
-  E.DurUs = DurUs;
-  E.Tid = threadTid();
+  recordEvent(traceCurrentTraceId(), Name, Cat, StartUs, DurUs, Arg);
+}
+
+void traceCompleteEventForTrace(uint64_t TraceId, const char *Name,
+                                const char *Cat, uint64_t StartUs,
+                                uint64_t DurUs, const std::string &Arg) {
+  recordEvent(TraceId, Name, Cat, StartUs, DurUs, Arg);
+}
+
+uint64_t traceMintTraceId() {
+  static std::atomic<uint64_t> Next{1};
+  uint64_t Nonce = Next.fetch_add(1, std::memory_order_relaxed);
+  uint64_t NowUs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  uint64_t Id = hashCombine(hashCombine(localPid(), NowUs), Nonce);
+  return Id ? Id : 1;
+}
+
+std::string traceLogTag(uint64_t TraceId) {
+  if (!TraceId)
+    return "";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), " trace 0x%016llx",
+                static_cast<unsigned long long>(TraceId));
+  return Buf;
+}
+
+void traceSetCurrentTraceId(uint64_t Id) {
+  CurrentTraceId.store(Id, std::memory_order_release);
+}
+
+uint64_t traceCurrentTraceId() {
+  return CurrentTraceId.load(std::memory_order_acquire);
+}
+
+std::string traceSerializeEvents(size_t FromIndex) {
   std::lock_guard<std::mutex> Guard(EventsLock);
-  Events.push_back(std::move(E));
+  std::string Out;
+  Out.append(BlobMagic, sizeof(BlobMagic));
+  appendU32LE(Out, BlobVersion);
+  appendU64LE(Out, localPid());
+  appendU64LE(Out, epochAbsUsLocked());
+  size_t Begin = FromIndex < Events.size() ? FromIndex : Events.size();
+  appendU32LE(Out, static_cast<uint32_t>(Events.size() - Begin));
+  for (size_t I = Begin; I < Events.size(); ++I) {
+    const TraceEvent &E = Events[I];
+    appendU64LE(Out, E.TraceId);
+    appendU64LE(Out, E.StartUs);
+    appendU64LE(Out, E.DurUs);
+    appendU32LE(Out, E.Tid);
+    appendU64LE(Out, E.Pid ? E.Pid : localPid());
+    appendLPString(Out, E.Name);
+    appendLPString(Out, E.Cat);
+    appendLPString(Out, E.Arg);
+  }
+  return Out;
+}
+
+bool traceIngestEvents(const std::string &Blob, std::string *Error) {
+  auto Fail = [&](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  if (!traceEnabled())
+    return Fail("tracing disabled");
+  const char *Data = Blob.data();
+  size_t Size = Blob.size(), Cur = 0;
+  if (Size < sizeof(BlobMagic) ||
+      std::string(Data, sizeof(BlobMagic)) !=
+          std::string(BlobMagic, sizeof(BlobMagic)))
+    return Fail("bad span blob magic");
+  Cur = sizeof(BlobMagic);
+  uint32_t Version = 0, Count = 0;
+  uint64_t ForeignPid = 0, ForeignEpochUs = 0;
+  if (!readU32LE(Data, Size, Cur, Version) || Version != BlobVersion)
+    return Fail("unsupported span blob version");
+  if (!readU64LE(Data, Size, Cur, ForeignPid) ||
+      !readU64LE(Data, Size, Cur, ForeignEpochUs) ||
+      !readU32LE(Data, Size, Cur, Count))
+    return Fail("truncated span blob header");
+
+  std::lock_guard<std::mutex> Guard(EventsLock);
+  // Offset from the foreign epoch to ours, in signed µs; spans that began
+  // before our epoch clamp to ts=0 rather than going negative.
+  int64_t OffsetUs = static_cast<int64_t>(ForeignEpochUs) -
+                     static_cast<int64_t>(epochAbsUsLocked());
+  std::vector<TraceEvent> Incoming;
+  Incoming.reserve(Count);
+  for (uint32_t I = 0; I < Count; ++I) {
+    TraceEvent E;
+    uint64_t Pid = 0;
+    uint32_t Tid = 0;
+    if (!readU64LE(Data, Size, Cur, E.TraceId) ||
+        !readU64LE(Data, Size, Cur, E.StartUs) ||
+        !readU64LE(Data, Size, Cur, E.DurUs) ||
+        !readU32LE(Data, Size, Cur, Tid) || !readU64LE(Data, Size, Cur, Pid) ||
+        !readLPString(Data, Size, Cur, E.Name) ||
+        !readLPString(Data, Size, Cur, E.Cat) ||
+        !readLPString(Data, Size, Cur, E.Arg))
+      return Fail("truncated span blob event");
+    int64_t Rebased = static_cast<int64_t>(E.StartUs) + OffsetUs;
+    E.StartUs = Rebased > 0 ? static_cast<uint64_t>(Rebased) : 0;
+    E.Tid = Tid;
+    E.Pid = Pid ? Pid : ForeignPid;
+    Incoming.push_back(std::move(E));
+  }
+  if (Cur != Size)
+    return Fail("trailing bytes after span blob events");
+  for (TraceEvent &E : Incoming)
+    Events.push_back(std::move(E));
+  return true;
 }
 
 std::string traceToJSON() {
@@ -114,11 +263,7 @@ std::string traceToJSON() {
     std::lock_guard<std::mutex> Guard(EventsLock);
     Snapshot = Events;
   }
-#ifndef _WIN32
-  long Pid = static_cast<long>(::getpid());
-#else
-  long Pid = 0;
-#endif
+  uint64_t Pid = localPid();
   std::string Out = "{\"traceEvents\": [";
   bool First = true;
   for (const TraceEvent &E : Snapshot) {
@@ -131,12 +276,28 @@ std::string traceToJSON() {
     appendEscaped(Out, E.Cat);
     Out += "\", \"ph\": \"X\", \"ts\": " + std::to_string(E.StartUs) +
            ", \"dur\": " + std::to_string(E.DurUs) +
-           ", \"pid\": " + std::to_string(Pid) +
+           ", \"pid\": " + std::to_string(E.Pid ? E.Pid : Pid) +
            ", \"tid\": " + std::to_string(E.Tid);
-    if (!E.Arg.empty()) {
-      Out += ", \"args\": {\"detail\": \"";
-      appendEscaped(Out, E.Arg);
-      Out += "\"}";
+    if (!E.Arg.empty() || E.TraceId) {
+      Out += ", \"args\": {";
+      bool FirstArg = true;
+      if (!E.Arg.empty()) {
+        Out += "\"detail\": \"";
+        appendEscaped(Out, E.Arg);
+        Out += "\"";
+        FirstArg = false;
+      }
+      if (E.TraceId) {
+        if (!FirstArg)
+          Out += ", ";
+        char Buf[24];
+        std::snprintf(Buf, sizeof(Buf), "0x%016llx",
+                      static_cast<unsigned long long>(E.TraceId));
+        Out += "\"trace_id\": \"";
+        Out += Buf;
+        Out += "\"";
+      }
+      Out += "}";
     }
     Out += "}";
   }

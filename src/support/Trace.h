@@ -14,13 +14,20 @@
 /// timeline.
 ///
 /// Disabled (the default) a span is two relaxed atomic loads — no clock
-/// reads, no allocation. Enabled, span completion appends one fixed-size
-/// event under a global mutex; tracing is an opt-in diagnostic mode, not
-/// a hot-path citizen like the metrics registry.
+/// reads, no allocation. Enabled, span completion appends one event under
+/// a global mutex; tracing is an opt-in diagnostic mode, not a hot-path
+/// citizen like the metrics registry.
 ///
-/// Span names must be string literals (or otherwise outlive the tracer):
-/// events store the pointer, not a copy, so per-item detail goes in the
-/// `Arg` string, which *is* copied.
+/// Spans carry a **trace id**: a nonzero 64-bit token minted at the front
+/// door (router or `batch_validate`) and carried across the wire so one
+/// fleet job renders as a single flame across processes. Events record
+/// the process-global "current" trace id at span start; contexts with
+/// concurrent jobs in flight (fleet dispatchers) pass an explicit id
+/// instead. Events can be serialized from a worker and ingested by the
+/// router: timestamps ride the steady clock (CLOCK_MONOTONIC, machine
+/// -wide on Linux), so a foreign event's epoch-anchored times rebase
+/// exactly onto the local trace epoch, and each event keeps its origin
+/// pid so Perfetto groups the flame per process.
 ///
 /// Timestamps are microseconds on the steady clock relative to
 /// `traceEnable()`; they never enter verdict-bearing reports — the trace
@@ -49,12 +56,14 @@ void traceDisable();
 /// True when spans are being collected.
 bool traceEnabled();
 
-/// Number of events collected so far (tests).
+/// Number of events collected so far (tests, and the snapshot index for
+/// `traceSerializeEvents`).
 size_t traceEventCount();
 
 /// Renders collected events as Chrome trace-event JSON:
 /// `{"traceEvents": [{"name": ..., "ph": "X", "ts": ..., "dur": ...,
-///   "pid": ..., "tid": ..., "cat": ...}, ...]}`.
+///   "pid": ..., "tid": ..., "cat": ...}, ...]}`. Events with a nonzero
+/// trace id carry it as `args.trace_id` ("0x..." string).
 std::string traceToJSON();
 
 /// Writes `traceToJSON()` to \p Path. Returns false and sets \p Error on
@@ -62,23 +71,61 @@ std::string traceToJSON();
 bool traceWriteFile(const std::string &Path, std::string *Error = nullptr);
 
 /// Records one complete event directly (for spans whose start/end don't
-/// nest lexically, e.g. queue wait measured across threads).
-/// \p Name and \p Cat must be string literals.
+/// nest lexically, e.g. queue wait measured across threads). Tagged with
+/// the current trace id. \p Name and \p Cat must be string literals.
 void traceCompleteEvent(const char *Name, const char *Cat, uint64_t StartUs,
                         uint64_t DurUs, const std::string &Arg = "");
+
+/// Like `traceCompleteEvent` but tagged with an explicit \p TraceId, for
+/// contexts with several traced jobs in flight at once (fleet dispatcher
+/// threads) where the process-global current id would be ambiguous.
+void traceCompleteEventForTrace(uint64_t TraceId, const char *Name,
+                                const char *Cat, uint64_t StartUs,
+                                uint64_t DurUs, const std::string &Arg = "");
+
+/// Mints a fresh nonzero trace id (unique within and across the processes
+/// of one fleet with overwhelming probability: pid, clock and a counter
+/// are folded through the fingerprint hash).
+uint64_t traceMintTraceId();
+
+/// Sets the process-global current trace id; 0 clears it. Sound wherever
+/// a single job owns the traced phases at a time — the server's executor
+/// thread (single-caller engine contract) and `batch_validate`.
+void traceSetCurrentTraceId(uint64_t Id);
+
+/// The process-global current trace id (0 when none).
+uint64_t traceCurrentTraceId();
+
+/// Serializes events `[FromIndex, end)` into a self-contained binary blob
+/// carrying this process's pid and steady-clock epoch, so another process
+/// on the same machine can `traceIngestEvents` and rebase timestamps onto
+/// its own epoch. Returns an empty-payload blob when the range is empty.
+std::string traceSerializeEvents(size_t FromIndex);
+
+/// Merges a blob produced by `traceSerializeEvents` in another process
+/// into the local collection, rebasing timestamps (negative results clamp
+/// to 0) and preserving each event's origin pid and trace id. Returns
+/// false on malformed input or when tracing is disabled.
+bool traceIngestEvents(const std::string &Blob, std::string *Error = nullptr);
 
 /// Microseconds since traceEnable() on the steady clock (0 if disabled).
 uint64_t traceNowUs();
 
-/// RAII span: captures the clock at construction and records a complete
-/// event at destruction, when tracing is enabled. Name/Cat must be
-/// string literals.
+/// " trace 0x..." log-line suffix joining a slow-job warning or per-job
+/// error to its flame (grep the hex in the trace JSON's args.trace_id);
+/// empty for untraced jobs so existing log shapes are unchanged.
+std::string traceLogTag(uint64_t TraceId);
+
+/// RAII span: captures the clock and the current trace id at construction
+/// and records a complete event at destruction, when tracing is enabled.
+/// Name/Cat must be string literals.
 class TraceSpan {
 public:
   TraceSpan(const char *Name, const char *Cat) : Name(Name), Cat(Cat) {
     if (traceEnabled()) {
       Active = true;
       StartUs = traceNowUs();
+      TraceId = traceCurrentTraceId();
     }
   }
   TraceSpan(const char *Name, const char *Cat, std::string Arg)
@@ -86,9 +133,19 @@ public:
     if (Active)
       this->Arg = std::move(Arg);
   }
+  /// Span under an explicit trace id (concurrent-dispatch contexts).
+  TraceSpan(const char *Name, const char *Cat, uint64_t ExplicitTraceId,
+            std::string Arg)
+      : TraceSpan(Name, Cat) {
+    if (Active) {
+      TraceId = ExplicitTraceId;
+      this->Arg = std::move(Arg);
+    }
+  }
   ~TraceSpan() {
     if (Active)
-      traceCompleteEvent(Name, Cat, StartUs, traceNowUs() - StartUs, Arg);
+      traceCompleteEventForTrace(TraceId, Name, Cat, StartUs,
+                                 traceNowUs() - StartUs, Arg);
   }
   TraceSpan(const TraceSpan &) = delete;
   TraceSpan &operator=(const TraceSpan &) = delete;
@@ -98,6 +155,7 @@ private:
   const char *Cat;
   std::string Arg;
   uint64_t StartUs = 0;
+  uint64_t TraceId = 0;
   bool Active = false;
 };
 

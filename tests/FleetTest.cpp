@@ -27,6 +27,7 @@
 #include "driver/ValidationEngine.h"
 #include "driver/VerdictStore.h"
 #include "opt/Pass.h"
+#include "support/Trace.h"
 #include "workload/Generator.h"
 #include "workload/Profiles.h"
 
@@ -36,6 +37,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <thread>
 
 #ifndef _WIN32
@@ -532,6 +534,118 @@ TEST(FleetTest, MetricsRollUpAggregatesWorkersAndShowsRespawns) {
       std::string::npos)
       << "same-name worker families must merge into one TYPE group";
   Router.stop();
+}
+
+TEST(FleetTest, ConcurrentScrapesCoalesceOntoOneSweep) {
+  FleetDir D("coalesce");
+  FleetRouter Router(smallFleetConfig(D, 2));
+  std::string Error;
+  ASSERT_TRUE(Router.start(&Error)) << Error;
+
+  // Prime the cache, then race a burst of scrapes inside the TTL: they
+  // must all be served by at most one additional sweep (zero if the
+  // primer's is still fresh), not one sweep each.
+  std::string Primer = Router.metricsText();
+  ASSERT_NE(Primer.find("llvmmd_fleet_metrics_sweeps_total"),
+            std::string::npos)
+      << Primer;
+  uint64_t Before = Router.counters().MetricsSweeps;
+
+  constexpr unsigned Scrapers = 8;
+  std::vector<std::string> Texts(Scrapers);
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I < Scrapers; ++I)
+    Threads.emplace_back([&, I] { Texts[I] = Router.metricsText(); });
+  for (std::thread &T : Threads)
+    T.join();
+  uint64_t After = Router.counters().MetricsSweeps;
+  EXPECT_LE(After - Before, 1u)
+      << Scrapers << " concurrent scrapes cost " << (After - Before)
+      << " sweeps";
+  for (const std::string &T : Texts)
+    EXPECT_NE(T.find("llvmmd_fleet_workers"), std::string::npos);
+  Router.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Distributed tracing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Tracing is process-global; every enable must pair with a disable on
+/// every exit path or later tests in this binary pay for it.
+struct TraceGuard {
+  TraceGuard() { traceEnable(); }
+  ~TraceGuard() { traceDisable(); }
+};
+
+/// Distinct `args.trace_id` values in a Chrome trace JSON.
+std::set<std::string> traceIdsIn(const std::string &Json) {
+  std::set<std::string> Ids;
+  size_t Pos = 0;
+  while ((Pos = Json.find("\"trace_id\": \"", Pos)) != std::string::npos) {
+    Pos += std::strlen("\"trace_id\": \"");
+    Ids.insert(Json.substr(Pos, Json.find('"', Pos) - Pos));
+  }
+  return Ids;
+}
+
+/// Distinct pids among events that carry a trace id. Each event renders
+/// `"pid": N` before its args, so scan back from every trace_id hit.
+std::set<std::string> tracedPidsIn(const std::string &Json) {
+  std::set<std::string> Pids;
+  size_t Pos = 0;
+  while ((Pos = Json.find("\"trace_id\":", Pos)) != std::string::npos) {
+    size_t PidKey = Json.rfind("\"pid\": ", Pos);
+    if (PidKey != std::string::npos) {
+      PidKey += std::strlen("\"pid\": ");
+      Pids.insert(Json.substr(PidKey, Json.find(',', PidKey) - PidKey));
+    }
+    ++Pos;
+  }
+  return Pids;
+}
+
+} // namespace
+
+TEST(FleetTest, TracedFleetJobMergesOneFlameAcrossPids) {
+  FleetDir D("trace");
+  FleetRouter Router(smallFleetConfig(D, 1));
+  std::string Error;
+  ASSERT_TRUE(Router.start(&Error)) << Error;
+
+  // Tracing on in the router's process = the fleet's front door mints a
+  // trace id per admitted job; the worker self-enables when it sees it
+  // and ships its spans home on JobDone.
+  TraceGuard G;
+  ServerClient Client;
+  ASSERT_TRUE(attach(Client, D.Sock));
+  std::string Suite;
+  JobDonePayload Done;
+  ASSERT_TRUE(runJob(Client, profileSubmission("hmmer", 6), &Suite, &Done));
+
+  // The trace id rode JobDone back to the subscriber; the blob did not
+  // (it is the router's to merge, not the client's to re-parse).
+  EXPECT_NE(Done.TraceId, 0u);
+  EXPECT_TRUE(Done.TraceBlob.empty());
+
+  // Byte-identity holds with propagation enabled end to end.
+  EXPECT_EQ(Suite, batchSuiteJSON(profileSubmission("hmmer", 6).Modules));
+
+  Router.stop();
+  std::string Json = traceToJSON();
+  // One flame: a single trace id spanning at least two processes (router
+  // dispatch + worker engine), with the phases nested under it.
+  std::set<std::string> Ids = traceIdsIn(Json);
+  EXPECT_EQ(Ids.size(), 1u) << Json;
+  EXPECT_GE(tracedPidsIn(Json).size(), 2u)
+      << "expected router and worker pids in one trace:\n"
+      << Json;
+  EXPECT_NE(Json.find("\"name\": \"dispatch\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\": \"job\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\": \"queue_wait\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\": \"validate\""), std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//

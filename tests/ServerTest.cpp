@@ -23,6 +23,7 @@
 #include "ir/Printer.h"
 #include "opt/Pass.h"
 #include "support/Hashing.h"
+#include "support/Telemetry.h"
 #include "workload/Generator.h"
 #include "workload/Profiles.h"
 
@@ -30,6 +31,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <netinet/in.h>
 #include <sstream>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -121,6 +124,69 @@ bool attach(ServerClient &Client, const std::string &Sock,
   RuleConfig Rules;
   return Client.connectUnix(Sock, Error) &&
          Client.handshake(verdictStoreConfigDigest(Rules), nullptr, Error);
+}
+
+/// Minimal HTTP/1.1 GET against 127.0.0.1:\p Port — deliberately not the
+/// ServerClient (the whole point of the HTTP endpoint is that a plain
+/// scraper needs none of our code). Fills the status line, the
+/// Content-Type header value, and the body.
+bool httpGet(int Port, const std::string &Path, std::string *StatusLine,
+             std::string *ContentType, std::string *Body) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return false;
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return false;
+  }
+  std::string Req =
+      "GET " + Path + " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  size_t Sent = 0;
+  while (Sent < Req.size()) {
+    ssize_t N = ::send(Fd, Req.data() + Sent, Req.size() - Sent, 0);
+    if (N <= 0) {
+      ::close(Fd);
+      return false;
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  std::string Resp;
+  char Buf[4096];
+  for (;;) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N < 0) {
+      ::close(Fd);
+      return false;
+    }
+    if (N == 0)
+      break;
+    Resp.append(Buf, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+  size_t HeaderEnd = Resp.find("\r\n\r\n");
+  if (HeaderEnd == std::string::npos)
+    return false;
+  std::string Headers = Resp.substr(0, HeaderEnd);
+  if (Body)
+    *Body = Resp.substr(HeaderEnd + 4);
+  size_t LineEnd = Headers.find("\r\n");
+  if (StatusLine)
+    *StatusLine = Headers.substr(0, LineEnd);
+  if (ContentType) {
+    ContentType->clear();
+    size_t CT = Headers.find("Content-Type: ");
+    if (CT != std::string::npos) {
+      size_t End = Headers.find("\r\n", CT);
+      size_t Start = CT + std::strlen("Content-Type: ");
+      *ContentType = Headers.substr(Start, End - Start);
+    }
+  }
+  return true;
 }
 
 /// What the batch engine would produce for the same submission and cache
@@ -597,6 +663,86 @@ TEST(ServerTest, MetricsScrapeIsPrometheusExposition) {
   ASSERT_TRUE(Client.stats(&Stats));
   EXPECT_NE(Stats.find("\"queue_wait_us\""), std::string::npos) << Stats;
   Server.stop();
+}
+
+TEST(ServerTest, HttpMetricsScrapeIsByteIdenticalToProtocolScrape) {
+  ServeDir D("http");
+  ServerConfig C = smallServerConfig(D);
+  C.HttpMetrics = "127.0.0.1:0"; // ephemeral: the test reads the bound port
+  ValidationServer Server(std::move(C));
+  ASSERT_TRUE(Server.start());
+  ASSERT_GT(Server.boundHttpPort(), 0);
+
+  ServerClient Client;
+  ASSERT_TRUE(attach(Client, D.Sock));
+  std::string Json;
+  JobDonePayload Done;
+  ASSERT_TRUE(runJob(Client, sqliteSubmission(6), &Json, &Done));
+
+  // Same renderer behind both transports; the server is idle between the
+  // two scrapes, so the bytes must match exactly.
+  std::string FrameText;
+  ASSERT_TRUE(Client.metrics(&FrameText));
+  std::string Status, ContentType, Body;
+  ASSERT_TRUE(httpGet(Server.boundHttpPort(), "/metrics", &Status,
+                      &ContentType, &Body));
+  EXPECT_EQ(Status, "HTTP/1.1 200 OK");
+  EXPECT_EQ(ContentType, PrometheusContentType);
+  EXPECT_EQ(Body, FrameText);
+
+  ASSERT_TRUE(httpGet(Server.boundHttpPort(), "/healthz", &Status, nullptr,
+                      &Body));
+  EXPECT_EQ(Status, "HTTP/1.1 200 OK");
+  EXPECT_EQ(Body, "ok\n");
+
+  // Unknown paths miss cleanly; query strings are stripped before match.
+  ASSERT_TRUE(httpGet(Server.boundHttpPort(), "/nope", &Status, nullptr,
+                      nullptr));
+  EXPECT_EQ(Status, "HTTP/1.1 404 Not Found");
+  ASSERT_TRUE(httpGet(Server.boundHttpPort(), "/metrics?format=raw", &Status,
+                      nullptr, &Body));
+  EXPECT_EQ(Status, "HTTP/1.1 200 OK");
+
+  Server.stop();
+}
+
+TEST(ServerTest, TraceExtensionIsOptionalTrailingAndRoundTrips) {
+  // Untraced payloads encode byte-identically to the pre-extension wire
+  // format: the trace fields only exist on the wire when set.
+  SubmitPayload Plain = sqliteSubmission(4);
+  SubmitPayload Traced = sqliteSubmission(4);
+  Traced.TraceId = 0xabcdef0123456789ull;
+  std::string PlainBytes = encodeSubmit(Plain);
+  std::string TracedBytes = encodeSubmit(Traced);
+  EXPECT_EQ(TracedBytes.size(), PlainBytes.size() + 8);
+  EXPECT_EQ(TracedBytes.compare(0, PlainBytes.size(), PlainBytes), 0);
+
+  SubmitPayload Out;
+  ASSERT_TRUE(decodeSubmit(PlainBytes, Out));
+  EXPECT_EQ(Out.TraceId, 0u);
+  ASSERT_TRUE(decodeSubmit(TracedBytes, Out));
+  EXPECT_EQ(Out.TraceId, Traced.TraceId);
+
+  JobDonePayload D;
+  D.JobId = 7;
+  D.Hits = 4;
+  std::string LegacyDone = encodeJobDone(D);
+  D.TraceId = Traced.TraceId;
+  D.TraceBlob = "opaque span bytes";
+  std::string TracedDone = encodeJobDone(D);
+  EXPECT_GT(TracedDone.size(), LegacyDone.size());
+
+  JobDonePayload DOut;
+  ASSERT_TRUE(decodeJobDone(LegacyDone, DOut));
+  EXPECT_EQ(DOut.TraceId, 0u);
+  EXPECT_TRUE(DOut.TraceBlob.empty());
+  ASSERT_TRUE(decodeJobDone(TracedDone, DOut));
+  EXPECT_EQ(DOut.TraceId, D.TraceId);
+  EXPECT_EQ(DOut.TraceBlob, D.TraceBlob);
+
+  // A traced frame with its blob torn off is a decode error, not a
+  // silently-mangled payload.
+  EXPECT_FALSE(decodeJobDone(TracedDone.substr(0, TracedDone.size() - 4), DOut));
 }
 
 TEST(ServerTest, ShutdownFrameDrainsAndStops) {

@@ -23,6 +23,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -196,6 +197,62 @@ TEST(TelemetryTest, TraceEnableResetsCollection) {
   EXPECT_GE(traceEventCount(), 1u);
   TraceGuard G2;
   EXPECT_EQ(traceEventCount(), 0u);
+}
+
+TEST(TelemetryTest, TraceIdTagsSpansAndLogLines) {
+  uint64_t Id = traceMintTraceId();
+  ASSERT_NE(Id, 0u);
+  EXPECT_NE(Id, traceMintTraceId()) << "minted ids must differ";
+
+  // The log tag is the grep key joining a warning line to its flame.
+  EXPECT_EQ(traceLogTag(0), "");
+  std::string Tag = traceLogTag(Id);
+  EXPECT_EQ(Tag.rfind(" trace 0x", 0), 0u) << Tag;
+
+  TraceGuard G;
+  traceSetCurrentTraceId(Id);
+  { TraceSpan Span("tagged", "test"); }
+  traceSetCurrentTraceId(0);
+  { TraceSpan Span("untagged", "test"); }
+  std::string Json = traceToJSON();
+  // The hex in the log tag is the same hex in args.trace_id.
+  std::string Hex = Tag.substr(std::strlen(" trace "));
+  EXPECT_NE(Json.find("\"trace_id\": \"" + Hex + "\""), std::string::npos)
+      << Json;
+  // The untagged span carries no trace_id.
+  size_t Untagged = Json.find("\"name\": \"untagged\"");
+  ASSERT_NE(Untagged, std::string::npos);
+  EXPECT_EQ(Json.find("trace_id", Untagged), std::string::npos);
+}
+
+TEST(TelemetryTest, TraceBlobRoundTripsAcrossEpochs) {
+  uint64_t Id = traceMintTraceId();
+  std::string Blob;
+  {
+    TraceGuard G;
+    traceCompleteEventForTrace(Id, "worker_span", "test", 7, 11, "shipped");
+    Blob = traceSerializeEvents(0);
+    traceSetCurrentTraceId(0);
+  }
+  ASSERT_FALSE(Blob.empty());
+
+  // A fresh enable is a fresh epoch — exactly the router's position when a
+  // worker's blob arrives. Ingest rebases the foreign timestamps onto it.
+  TraceGuard G;
+  std::string Err;
+  ASSERT_TRUE(traceIngestEvents(Blob, &Err)) << Err;
+  EXPECT_EQ(traceEventCount(), 1u);
+  std::string Json = traceToJSON();
+  EXPECT_NE(Json.find("\"name\": \"worker_span\""), std::string::npos);
+  EXPECT_NE(Json.find("\"dur\": 11"), std::string::npos);
+  EXPECT_NE(Json.find("trace_id"), std::string::npos);
+
+  // Malformed input is rejected whole: no partial merges.
+  size_t Before = traceEventCount();
+  EXPECT_FALSE(traceIngestEvents(Blob.substr(0, Blob.size() - 3), &Err));
+  EXPECT_FALSE(traceIngestEvents("not a blob", &Err));
+  EXPECT_FALSE(traceIngestEvents(Blob + "x", &Err));
+  EXPECT_EQ(traceEventCount(), Before);
 }
 
 //===----------------------------------------------------------------------===//
